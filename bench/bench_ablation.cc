@@ -1,0 +1,153 @@
+// Ablations of the design choices DESIGN.md calls out: what each
+// security/performance mechanism costs, measured by switching it off.
+//
+//  A1  Merkle subtree memoization (on/off)   — proof generation cost
+//  A2  encrypt-then-MAC AEAD vs raw AES-CTR  — integrity's price
+//  A3  checkpoint signing: XMSS vs none      — hash-based signature cost
+//  A4  per-record keys vs one shared key     — key-wrap overhead of the
+//                                              granularity that enables
+//                                              crypto-shredding
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/keystore.h"
+#include "crypto/aead.h"
+#include "crypto/ctr.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "crypto/xmss.h"
+#include "storage/mem_env.h"
+
+namespace medvault::bench {
+namespace {
+
+using namespace medvault::crypto;
+
+// ---- A1: Merkle memoization ---------------------------------------------------
+
+void RunMerkleProofs(benchmark::State& state, bool memoize) {
+  const int n = static_cast<int>(state.range(0));
+  MerkleTree tree(memoize);
+  for (int i = 0; i < n; i++) tree.Append("leaf-" + std::to_string(i));
+  uint64_t index = 0;
+  for (auto _ : state) {
+    auto proof = tree.InclusionProof(index % n, n);
+    if (!proof.ok()) state.SkipWithError("proof failed");
+    benchmark::DoNotOptimize(proof);
+    index += 131;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_A1_MerkleProof_Memoized(benchmark::State& s) {
+  RunMerkleProofs(s, true);
+}
+void BM_A1_MerkleProof_Naive(benchmark::State& s) {
+  RunMerkleProofs(s, false);
+}
+BENCHMARK(BM_A1_MerkleProof_Memoized)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_A1_MerkleProof_Naive)->Arg(1024)->Arg(16384);
+
+void RunMerkleAppendRoot(benchmark::State& state, bool memoize) {
+  // The audit-log pattern: append then read the root (checkpointing).
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MerkleTree tree(memoize);
+    for (int i = 0; i < n; i++) {
+      tree.Append("event");
+      if (i % 64 == 63) benchmark::DoNotOptimize(tree.Root());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_A1_AppendWithRoots_Memoized(benchmark::State& s) {
+  RunMerkleAppendRoot(s, true);
+}
+void BM_A1_AppendWithRoots_Naive(benchmark::State& s) {
+  RunMerkleAppendRoot(s, false);
+}
+BENCHMARK(BM_A1_AppendWithRoots_Memoized)->Arg(4096);
+BENCHMARK(BM_A1_AppendWithRoots_Naive)->Arg(4096);
+
+// ---- A2: integrity's price ------------------------------------------------------
+
+void BM_A2_AeadSeal(benchmark::State& state) {
+  Aead aead;
+  (void)aead.Init(std::string(32, 'k'));
+  std::string nonce(16, 'n');
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead.Seal(nonce, data, "aad"));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+void BM_A2_CtrOnly(benchmark::State& state) {
+  AesCtr ctr;
+  (void)ctr.Init(std::string(32, 'k'));
+  std::string nonce(16, 'n');
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctr.Crypt(nonce, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_A2_AeadSeal)->Arg(512)->Arg(8192);
+BENCHMARK(BM_A2_CtrOnly)->Arg(512)->Arg(8192);
+
+// ---- A3: checkpoint signing cost ---------------------------------------------------
+
+void BM_A3_CheckpointSigned(benchmark::State& state) {
+  XmssSigner signer("secret", "public", 10);
+  std::string payload(100, 'p');
+  for (auto _ : state) {
+    auto sig = signer.Sign(payload);
+    if (!sig.ok()) {
+      state.SkipWithError("exhausted");
+      return;
+    }
+    benchmark::DoNotOptimize(sig);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_A3_CheckpointHashOnly(benchmark::State& state) {
+  std::string payload(100, 'p');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256Digest(payload));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_A3_CheckpointSigned)->Iterations(64);
+BENCHMARK(BM_A3_CheckpointHashOnly);
+
+// ---- A4: key granularity -------------------------------------------------------------
+
+void BM_A4_PerRecordKeys(benchmark::State& state) {
+  storage::MemEnv env;
+  core::KeyStore keystore(&env, "keys.db", std::string(32, 'M'), "seed");
+  (void)keystore.Open();
+  int i = 0;
+  for (auto _ : state) {
+    Status s = keystore.CreateKey("r-" + std::to_string(i++));
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+void BM_A4_SharedKeyLookup(benchmark::State& state) {
+  // The encryption-only model's "key management": one key, no per-record
+  // wrap or log write. (What you give up: per-record shredding.)
+  std::string shared(32, 'k');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shared);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_A4_PerRecordKeys);
+BENCHMARK(BM_A4_SharedKeyLookup);
+
+}  // namespace
+}  // namespace medvault::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,142 @@
+// E5 — audit trail costs (paper §3: "verifiable audit trails"): append
+// latency, full-log verification vs log size, and the O(log n) proof
+// sizes that make spot-checks cheap for an external auditor.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/audit.h"
+#include "crypto/xmss.h"
+#include "storage/mem_env.h"
+
+namespace medvault::bench {
+namespace {
+
+using core::AuditAction;
+using core::AuditLog;
+
+void BM_AuditAppend(benchmark::State& state) {
+  storage::MemEnv env;
+  AuditLog log(&env, "audit.log");
+  (void)log.Open();
+  Timestamp t = 0;
+  for (auto _ : state) {
+    auto seq = log.Append("dr-a", AuditAction::kRead, "r-1", "ok", t++);
+    if (!seq.ok()) state.SkipWithError(seq.status().ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AuditAppend);
+
+void BM_AuditVerifyAll(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  storage::MemEnv env;
+  crypto::XmssSigner signer("bench-secret", "bench-public", 4);
+  AuditLog log(&env, "audit.log");
+  (void)log.Open();
+  for (int i = 0; i < n; i++) {
+    (void)log.Append("dr-a", AuditAction::kRead, "r-1", "ok", i);
+  }
+  (void)log.Checkpoint(&signer, n);
+
+  for (auto _ : state) {
+    Status s = log.VerifyAll(signer.public_key(), "bench-public", 4);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["events"] = n;
+}
+BENCHMARK(BM_AuditVerifyAll)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_InclusionProofGenerate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  storage::MemEnv env;
+  AuditLog log(&env, "audit.log");
+  (void)log.Open();
+  for (int i = 0; i < n; i++) {
+    (void)log.Append("dr-a", AuditAction::kRead, "r-1", "ok", i);
+  }
+  uint64_t seq = 0;
+  for (auto _ : state) {
+    auto proof = log.ProveEvent(seq % n);
+    if (!proof.ok()) state.SkipWithError(proof.status().ToString().c_str());
+    benchmark::DoNotOptimize(proof);
+    seq += 17;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InclusionProofGenerate)->Arg(1024)->Arg(16384);
+
+void BM_InclusionProofVerify(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  storage::MemEnv env;
+  AuditLog log(&env, "audit.log");
+  (void)log.Open();
+  for (int i = 0; i < n; i++) {
+    (void)log.Append("dr-a", AuditAction::kRead, "r-1", "ok", i);
+  }
+  auto proof = log.ProveEvent(n / 2);
+  std::string root = log.Root();
+  for (auto _ : state) {
+    Status s = AuditLog::VerifyEventProof(*proof, root);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.counters["proof_hashes"] = static_cast<double>(proof->path.size());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InclusionProofVerify)->Arg(1024)->Arg(16384);
+
+void BM_ConsistencyProof(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  storage::MemEnv env;
+  AuditLog log(&env, "audit.log");
+  (void)log.Open();
+  for (int i = 0; i < n; i++) {
+    (void)log.Append("dr-a", AuditAction::kRead, "r-1", "ok", i);
+  }
+  // Build the trusted head the auditor would have retained at n/2.
+  core::SignedCheckpoint trusted;
+  trusted.tree_size = n / 2;
+  {
+    storage::MemEnv env2;
+    AuditLog half(&env2, "audit.log");
+    (void)half.Open();
+    for (int i = 0; i < n / 2; i++) {
+      (void)half.Append("dr-a", AuditAction::kRead, "r-1", "ok", i);
+    }
+    trusted.root = half.Root();
+  }
+  for (auto _ : state) {
+    Status s = log.VerifyAgainstTrusted(trusted);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConsistencyProof)->Arg(1024)->Arg(16384);
+
+void PrintProofSizes() {
+  printf("\nE5 proof-size growth (hashes per inclusion proof — O(log n)):\n");
+  printf("%10s %14s\n", "events", "proof hashes");
+  for (int n : {16, 256, 4096, 65536}) {
+    storage::MemEnv env;
+    AuditLog log(&env, "audit.log");
+    (void)log.Open();
+    for (int i = 0; i < n; i++) {
+      (void)log.Append("a", AuditAction::kRead, "r", "", i);
+    }
+    auto proof = log.ProveEvent(n / 2);
+    printf("%10d %14zu\n", n, proof->path.size());
+  }
+}
+
+}  // namespace
+}  // namespace medvault::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  medvault::bench::PrintProofSizes();
+  return 0;
+}

@@ -1,0 +1,162 @@
+// E9 — crypto primitive throughput: the overhead budget behind every
+// other experiment. SHA-256, HMAC, AES-CTR, AEAD, Merkle operations,
+// WOTS/XMSS signing & verification, and XMSS key generation vs height.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "crypto/aead.h"
+#include "crypto/ctr.h"
+#include "crypto/hmac.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "crypto/wots.h"
+#include "crypto/xmss.h"
+
+namespace medvault::bench {
+namespace {
+
+using namespace medvault::crypto;
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256Digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  std::string key(32, 'k');
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HmacSha256(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(4096);
+
+void BM_AesCtr(benchmark::State& state) {
+  AesCtr ctr;
+  (void)ctr.Init(std::string(32, 'k'));
+  std::string nonce(16, 'n');
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ctr.Crypt(nonce, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesCtr)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_AeadSeal(benchmark::State& state) {
+  Aead aead;
+  (void)aead.Init(std::string(32, 'k'));
+  std::string nonce(16, 'n');
+  std::string data(state.range(0), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead.Seal(nonce, data, "aad"));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_AeadOpen(benchmark::State& state) {
+  Aead aead;
+  (void)aead.Init(std::string(32, 'k'));
+  std::string nonce(16, 'n');
+  std::string data(state.range(0), 'x');
+  std::string sealed = *aead.Seal(nonce, data, "aad");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead.Open(sealed, "aad"));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AeadOpen)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_MerkleAppendAndRoot(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    MerkleTree tree;
+    for (int i = 0; i < n; i++) tree.Append("leaf");
+    benchmark::DoNotOptimize(tree.Root());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MerkleAppendAndRoot)->Arg(256)->Arg(4096);
+
+void BM_MerkleInclusionProof(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  MerkleTree tree;
+  for (int i = 0; i < n; i++) tree.Append("leaf-" + std::to_string(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.InclusionProof(n / 2, n));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MerkleInclusionProof)->Arg(1024)->Arg(16384);
+
+void BM_WotsSign(benchmark::State& state) {
+  Wots wots("secret-seed", "public-seed", 0);
+  std::string digest = Sha256Digest("message");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wots.Sign(digest));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WotsSign);
+
+void BM_WotsVerify(benchmark::State& state) {
+  Wots wots("secret-seed", "public-seed", 0);
+  std::string digest = Sha256Digest("message");
+  auto sig = *wots.Sign(digest);
+  std::string pk = wots.PublicKey();
+  for (auto _ : state) {
+    Status s = Wots::Verify(digest, sig, pk, "public-seed", 0);
+    if (!s.ok()) state.SkipWithError("verify failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WotsVerify);
+
+void BM_XmssKeygen(benchmark::State& state) {
+  const int height = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    XmssSigner signer("secret", "public", height);
+    benchmark::DoNotOptimize(signer.public_key());
+  }
+  state.counters["signatures"] = static_cast<double>(1 << height);
+}
+BENCHMARK(BM_XmssKeygen)->Arg(2)->Arg(4)->Arg(6)->Unit(benchmark::kMillisecond);
+
+void BM_XmssSign(benchmark::State& state) {
+  XmssSigner signer("secret", "public", 10);  // 1024 signatures
+  for (auto _ : state) {
+    auto sig = signer.Sign("audit checkpoint payload");
+    if (!sig.ok()) {
+      state.SkipWithError("signer exhausted");
+      return;
+    }
+    benchmark::DoNotOptimize(sig);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XmssSign)->Iterations(64);
+
+void BM_XmssVerify(benchmark::State& state) {
+  XmssSigner signer("secret", "public", 4);
+  auto sig = *signer.Sign("payload");
+  for (auto _ : state) {
+    Status s = XmssSigner::Verify("payload", sig, signer.public_key(),
+                                  "public", 4);
+    if (!s.ok()) state.SkipWithError("verify failed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_XmssVerify);
+
+}  // namespace
+}  // namespace medvault::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// E1 — ingest throughput across the five storage models vs record size
+// ("the trade-off between security and performance", paper §4).
+// Expected shape: relational fastest; encrypted-db pays cipher cost;
+// medvault pays AEAD + audit + provenance + index blinding — a
+// small-constant factor, not an order of magnitude.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace medvault::bench {
+namespace {
+
+void RunIngest(benchmark::State& state, const std::string& model) {
+  const size_t note_bytes = static_cast<size_t>(state.range(0));
+  StoreInstance si = MakeStore(model);
+  sim::EhrGenerator::Options options;
+  options.note_bytes = note_bytes;
+  sim::EhrGenerator gen(7, options);
+
+  int64_t records = 0;
+  for (auto _ : state) {
+    sim::EhrRecord r = gen.Next();
+    auto id = si.store->Put(r.text, r.keywords);
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+    records++;
+  }
+  state.SetItemsProcessed(records);
+  state.SetBytesProcessed(records * static_cast<int64_t>(note_bytes));
+}
+
+void BM_Ingest_Relational(benchmark::State& state) {
+  RunIngest(state, "relational");
+}
+void BM_Ingest_EncryptedDb(benchmark::State& state) {
+  RunIngest(state, "encrypted-db");
+}
+void BM_Ingest_ObjectStore(benchmark::State& state) {
+  RunIngest(state, "object-store");
+}
+void BM_Ingest_Worm(benchmark::State& state) { RunIngest(state, "worm"); }
+void BM_Ingest_MedVault(benchmark::State& state) {
+  RunIngest(state, "medvault");
+}
+
+BENCHMARK(BM_Ingest_Relational)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_Ingest_EncryptedDb)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_Ingest_ObjectStore)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_Ingest_Worm)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_Ingest_MedVault)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+}  // namespace medvault::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E7 — verifiable migration (paper §3 [10], HIPAA exact-copy): end-to-
+// end migration throughput across vault sizes, the share of time spent
+// on cryptographic verification, and receipt size.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "core/migration.h"
+#include "core/vault.h"
+
+namespace medvault::bench {
+namespace {
+
+using core::Migrator;
+using core::Role;
+using core::Vault;
+using core::VaultOptions;
+
+std::unique_ptr<Vault> OpenVault(storage::Env* env, const ManualClock* clock,
+                                 const std::string& system,
+                                 const std::string& entropy) {
+  VaultOptions options;
+  options.env = env;
+  options.dir = "vault";
+  options.clock = clock;
+  options.master_key = std::string(32, 'M');
+  options.entropy = entropy;
+  options.signer_height = 4;
+  options.system_id = system;
+  auto vault = Vault::Open(options);
+  if (!vault.ok()) abort();
+  (void)(*vault)->RegisterPrincipal("boot",
+                                    {"admin", Role::kAdmin, "Admin"});
+  (void)(*vault)->RegisterPrincipal("admin",
+                                    {"dr-a", Role::kPhysician, "Dr"});
+  (void)(*vault)->RegisterPrincipal("admin",
+                                    {"pat-p", Role::kPatient, "P"});
+  (void)(*vault)->AssignCare("admin", "dr-a", "pat-p");
+  return std::move(*vault);
+}
+
+}  // namespace
+}  // namespace medvault::bench
+
+int main() {
+  using namespace medvault;
+  using namespace medvault::bench;
+  printf("E7: verifiable migration — throughput and verification "
+         "overhead (512B records)\n");
+  printf("%10s %14s %14s %16s %14s\n", "records", "migrate_ms",
+         "records/s", "verify_receipt_ms", "receipt_bytes");
+
+  for (int n : {10, 50, 200}) {
+    ManualClock clock(1000000);
+    storage::MemEnv env_a, env_b;
+    auto source = OpenVault(&env_a, &clock, "gen1", "entropy-a");
+    auto target = OpenVault(&env_b, &clock, "gen2", "entropy-b");
+
+    sim::EhrGenerator gen(n, {});
+    for (int i = 0; i < n; i++) {
+      sim::EhrRecord r = gen.Next();
+      auto id = source->CreateRecord("dr-a", "pat-p", "text/plain", r.text,
+                                     r.keywords, "osha-30y");
+      if (!id.ok()) abort();
+    }
+
+    core::MigrationReceipt receipt;
+    double migrate_us = TimeUs([&] {
+      auto result = Migrator::Migrate(source.get(), target.get(), "admin");
+      if (!result.ok()) {
+        fprintf(stderr, "migrate failed: %s\n",
+                result.status().ToString().c_str());
+        abort();
+      }
+      receipt = *result;
+    });
+    double verify_us = TimeUs([&] {
+      Status s = Migrator::VerifyReceipt(receipt, source.get(),
+                                         target.get());
+      if (!s.ok()) abort();
+    });
+
+    printf("%10d %14.2f %14.0f %16.2f %14zu\n", n, migrate_us / 1000.0,
+           n / (migrate_us / 1e6), verify_us / 1000.0,
+           receipt.Encode().size());
+  }
+  printf("\nshape check: receipt size is constant; migration is linear in "
+         "data; both ends hold a dual-signed, independently recomputed "
+         "content root.\n");
+  return 0;
+}

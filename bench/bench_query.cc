@@ -1,0 +1,70 @@
+// E2 — read-path latency across the five models (paper §3: "the
+// health-care records must be accessible in a timely manner"): point
+// reads of individual records and keyword queries over the index.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+
+namespace medvault::bench {
+namespace {
+
+constexpr int kRecords = 300;
+
+void RunPointRead(benchmark::State& state, const std::string& model) {
+  StoreInstance si = MakeStore(model);
+  std::vector<std::string> ids = Populate(si.store.get(), kRecords);
+  Random rng(55);
+  int64_t reads = 0;
+  for (auto _ : state) {
+    const std::string& id = ids[rng.Uniform(ids.size())];
+    auto content = si.store->Get(id);
+    if (!content.ok()) state.SkipWithError(content.status().ToString().c_str());
+    benchmark::DoNotOptimize(content);
+    reads++;
+  }
+  state.SetItemsProcessed(reads);
+}
+
+void RunSearch(benchmark::State& state, const std::string& model) {
+  StoreInstance si = MakeStore(model);
+  Populate(si.store.get(), kRecords);
+  sim::EhrGenerator gen(55, {});
+  int64_t queries = 0;
+  for (auto _ : state) {
+    auto hits = si.store->Search(gen.QueryTerm());
+    if (!hits.ok()) state.SkipWithError(hits.status().ToString().c_str());
+    benchmark::DoNotOptimize(hits);
+    queries++;
+  }
+  state.SetItemsProcessed(queries);
+}
+
+void BM_PointRead_Relational(benchmark::State& s) { RunPointRead(s, "relational"); }
+void BM_PointRead_EncryptedDb(benchmark::State& s) { RunPointRead(s, "encrypted-db"); }
+void BM_PointRead_ObjectStore(benchmark::State& s) { RunPointRead(s, "object-store"); }
+void BM_PointRead_Worm(benchmark::State& s) { RunPointRead(s, "worm"); }
+void BM_PointRead_MedVault(benchmark::State& s) { RunPointRead(s, "medvault"); }
+
+BENCHMARK(BM_PointRead_Relational);
+BENCHMARK(BM_PointRead_EncryptedDb);
+BENCHMARK(BM_PointRead_ObjectStore);
+BENCHMARK(BM_PointRead_Worm);
+BENCHMARK(BM_PointRead_MedVault);
+
+void BM_Search_Relational(benchmark::State& s) { RunSearch(s, "relational"); }
+void BM_Search_EncryptedDb(benchmark::State& s) { RunSearch(s, "encrypted-db"); }
+void BM_Search_ObjectStore(benchmark::State& s) { RunSearch(s, "object-store"); }
+void BM_Search_Worm(benchmark::State& s) { RunSearch(s, "worm"); }
+void BM_Search_MedVault(benchmark::State& s) { RunSearch(s, "medvault"); }
+
+BENCHMARK(BM_Search_Relational);
+BENCHMARK(BM_Search_EncryptedDb);
+BENCHMARK(BM_Search_ObjectStore);
+BENCHMARK(BM_Search_Worm);
+BENCHMARK(BM_Search_MedVault);
+
+}  // namespace
+}  // namespace medvault::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// E4 — tamper-detection rate vs attack size (paper §3: integrity "even
+// in the case of malicious insiders"). For each model and each number
+// of flipped bytes, an insider with raw disk access corrupts the data
+// files of a populated store; we record whether the store notices
+// (failed verification OR loud read errors).
+//
+// Expected shape: relational/encrypted-db ~0% (silent corruption);
+// object/worm/medvault ~100% even for a single flipped byte.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/adversary.h"
+
+namespace medvault::bench {
+namespace {
+
+constexpr int kTrials = 10;
+constexpr int kRecords = 12;
+
+bool DetectsTamper(const std::string& model, int flips, uint64_t seed) {
+  StoreInstance si = MakeStore(model);
+  std::vector<std::string> ids = Populate(si.store.get(), kRecords, 256,
+                                          seed);
+  sim::InsiderAdversary insider(si.env.get(), seed);
+  auto applied = insider.TamperRandomBytes(si.store->DataFiles(), flips);
+  if (!applied.ok() || *applied == 0) return false;
+
+  if (!si.store->VerifyIntegrity().ok()) return true;
+  for (const std::string& id : ids) {
+    auto content = si.store->Get(id);
+    if (!content.ok() && (content.status().IsTamperDetected() ||
+                          content.status().IsCorruption())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+}  // namespace medvault::bench
+
+int main() {
+  using namespace medvault::bench;
+  const std::vector<int> attack_sizes = {1, 4, 16, 64};
+
+  printf("E4: tamper-detection rate (%% of %d trials) vs flipped bytes\n",
+         kTrials);
+  printf("%-14s", "model");
+  for (int flips : attack_sizes) printf(" %5d-byte", flips);
+  printf("\n");
+
+  for (const std::string& model : ModelNames()) {
+    printf("%-14s", model.c_str());
+    for (int flips : attack_sizes) {
+      int detected = 0;
+      for (int trial = 0; trial < kTrials; trial++) {
+        if (DetectsTamper(model, flips, 1000 + trial)) detected++;
+      }
+      printf(" %8d%%", detected * 100 / kTrials);
+    }
+    printf("\n");
+  }
+  printf("\nshape check: medvault detects 100%% at every attack size; "
+         "relational/encrypted-db mostly miss (silent corruption, §4).\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+#ifndef MEDVAULT_BENCH_BENCH_UTIL_H_
+#define MEDVAULT_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the experiment harnesses: store factory over all
+// five models, population with the synthetic EHR workload, wall-clock
+// timing.
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/encrypted_db_store.h"
+#include "baselines/object_store.h"
+#include "baselines/record_store.h"
+#include "baselines/relational_store.h"
+#include "baselines/vault_store.h"
+#include "baselines/worm_store.h"
+#include "common/clock.h"
+#include "sim/workload.h"
+#include "storage/mem_env.h"
+
+namespace medvault::bench {
+
+/// The five storage models compared throughout the evaluation
+/// (paper §4 + MedVault).
+inline const std::vector<std::string>& ModelNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "relational", "encrypted-db", "object-store", "worm", "medvault"};
+  return *names;
+}
+
+/// A store bundled with the Env/clock it lives on.
+struct StoreInstance {
+  std::unique_ptr<storage::MemEnv> env;
+  std::unique_ptr<ManualClock> clock;
+  std::unique_ptr<baselines::RecordStore> store;
+};
+
+inline StoreInstance MakeStore(const std::string& model) {
+  StoreInstance instance;
+  instance.env = std::make_unique<storage::MemEnv>();
+  instance.clock = std::make_unique<ManualClock>(1000000);
+  if (model == "relational") {
+    instance.store = std::make_unique<baselines::RelationalStore>(
+        instance.env.get(), "store");
+  } else if (model == "encrypted-db") {
+    instance.store = std::make_unique<baselines::EncryptedDbStore>(
+        instance.env.get(), "store", std::string(32, 'D'));
+  } else if (model == "object-store") {
+    instance.store = std::make_unique<baselines::ObjectStore>(
+        instance.env.get(), "store");
+  } else if (model == "worm") {
+    instance.store = std::make_unique<baselines::WormStore>(
+        instance.env.get(), "store");
+  } else if (model == "medvault") {
+    instance.store = std::make_unique<baselines::VaultStore>(
+        instance.env.get(), "store", instance.clock.get());
+  }
+  Status s = instance.store->Open();
+  if (!s.ok()) {
+    fprintf(stderr, "open %s failed: %s\n", model.c_str(),
+            s.ToString().c_str());
+    abort();
+  }
+  return instance;
+}
+
+/// Inserts `n` synthetic EHR notes; returns the assigned ids.
+inline std::vector<std::string> Populate(baselines::RecordStore* store,
+                                         int n, size_t note_bytes = 512,
+                                         uint64_t seed = 42) {
+  sim::EhrGenerator::Options options;
+  options.note_bytes = note_bytes;
+  sim::EhrGenerator gen(seed, options);
+  std::vector<std::string> ids;
+  ids.reserve(n);
+  for (int i = 0; i < n; i++) {
+    sim::EhrRecord r = gen.Next();
+    auto id = store->Put(r.text, r.keywords);
+    if (!id.ok()) {
+      fprintf(stderr, "populate failed: %s\n", id.status().ToString().c_str());
+      abort();
+    }
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+/// Wall-clock of fn() in microseconds.
+inline double TimeUs(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+             .count() /
+         1000.0;
+}
+
+}  // namespace medvault::bench
+
+#endif  // MEDVAULT_BENCH_BENCH_UTIL_H_

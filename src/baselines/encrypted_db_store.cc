@@ -1,0 +1,103 @@
+#include "baselines/encrypted_db_store.h"
+
+#include "common/coding.h"
+#include "crypto/hmac.h"
+
+namespace medvault::baselines {
+
+EncryptedDbStore::EncryptedDbStore(storage::Env* env, std::string dir,
+                                   const Slice& db_key)
+    : inner_(env, std::move(dir)), db_key_(db_key.ToString()) {}
+
+Status EncryptedDbStore::Open() {
+  MEDVAULT_RETURN_IF_ERROR(ctr_.Init(db_key_));
+  return inner_.Open();
+}
+
+Result<std::string> EncryptedDbStore::Encrypt(const std::string& id,
+                                              const Slice& content,
+                                              uint32_t generation) const {
+  // Nonce bound to (row id, update generation).
+  std::string nonce_input = "row-nonce:" + id + ":";
+  PutFixed32(&nonce_input, generation);
+  std::string nonce_full = crypto::HmacSha256(db_key_, nonce_input);
+  Slice nonce(nonce_full.data(), crypto::kCtrNonceSize);
+  MEDVAULT_ASSIGN_OR_RETURN(std::string ciphertext,
+                            ctr_.Crypt(nonce, content));
+  std::string row;
+  PutFixed32(&row, generation);
+  row.append(ciphertext);
+  return row;
+}
+
+Result<std::string> EncryptedDbStore::Put(
+    const Slice& content, const std::vector<std::string>& keywords) {
+  // The id the inner store will assign is deterministic; encrypt for it.
+  std::string id;
+  {
+    char buf[24];
+    snprintf(buf, sizeof(buf), "%010llu",
+             static_cast<unsigned long long>(inner_.next_id_));
+    id = buf;
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(std::string row, Encrypt(id, content, 0));
+  // Keywords stay in plaintext so search keeps working — the commercial
+  // shortcut the paper criticizes.
+  MEDVAULT_ASSIGN_OR_RETURN(std::string assigned,
+                            inner_.Put(row, keywords));
+  if (assigned != id) {
+    return Status::Corruption("id assignment out of sync");
+  }
+  generations_[id] = 0;
+  return id;
+}
+
+Result<std::string> EncryptedDbStore::Get(const std::string& id) {
+  MEDVAULT_ASSIGN_OR_RETURN(std::string row, inner_.Get(id));
+  Slice in = row;
+  uint32_t generation = 0;
+  if (!GetFixed32(&in, &generation)) {
+    return Status::Corruption("row too short for generation");
+  }
+  std::string nonce_input = "row-nonce:" + id + ":";
+  PutFixed32(&nonce_input, generation);
+  std::string nonce_full = crypto::HmacSha256(db_key_, nonce_input);
+  Slice nonce(nonce_full.data(), crypto::kCtrNonceSize);
+  // CTR without a MAC: tampered ciphertext decrypts to garbage with no
+  // error — deliberately faithful to the encryption-only model.
+  return ctr_.Crypt(nonce, in);
+}
+
+Status EncryptedDbStore::Update(const std::string& id,
+                                const Slice& new_content,
+                                const std::string& reason) {
+  MEDVAULT_ASSIGN_OR_RETURN(std::string row, inner_.Get(id));
+  Slice in = row;
+  uint32_t generation = 0;
+  if (!GetFixed32(&in, &generation)) {
+    return Status::Corruption("row too short for generation");
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(std::string new_row,
+                            Encrypt(id, new_content, generation + 1));
+  return inner_.Update(id, new_row, reason);
+}
+
+Status EncryptedDbStore::SecureDelete(const std::string& id) {
+  // One shared database key: destroying *this record's* key is
+  // impossible, so deletion degenerates to the inner overwrite-and-
+  // unlink (stale relocated copies survive).
+  return inner_.SecureDelete(id);
+}
+
+Result<std::vector<std::string>> EncryptedDbStore::Search(
+    const std::string& term) {
+  return inner_.Search(term);
+}
+
+Status EncryptedDbStore::VerifyIntegrity() { return inner_.VerifyIntegrity(); }
+
+std::vector<std::string> EncryptedDbStore::DataFiles() {
+  return inner_.DataFiles();
+}
+
+}  // namespace medvault::baselines

@@ -1,0 +1,61 @@
+#ifndef MEDVAULT_BASELINES_ENCRYPTED_DB_STORE_H_
+#define MEDVAULT_BASELINES_ENCRYPTED_DB_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/relational_store.h"
+#include "crypto/ctr.h"
+
+namespace medvault::baselines {
+
+/// The "commercial encryption-only" model of paper §4: a relational
+/// store whose rows are encrypted at rest with a single database key.
+///
+/// What it fixes: confidentiality of bytes on disk.
+/// What it does not fix (the paper's critique, reproduced here):
+///  - no integrity: AES-CTR without a MAC — an insider flips ciphertext
+///    bits and reads come back silently garbled, never flagged
+///  - the keyword index stays in *plaintext* so that search still works
+///    (the standard commercial shortcut), leaking terms
+///  - no history, provenance, or audit trail
+class EncryptedDbStore : public RecordStore {
+ public:
+  /// `db_key` is 32 bytes (one key for the whole database — the
+  /// coarse-grained design that makes per-record secure deletion
+  /// impossible).
+  EncryptedDbStore(storage::Env* env, std::string dir, const Slice& db_key);
+
+  std::string Name() const override { return "encrypted-db"; }
+  Status Open() override;
+  Result<std::string> Put(const Slice& content,
+                          const std::vector<std::string>& keywords) override;
+  Result<std::string> Get(const std::string& id) override;
+  Status Update(const std::string& id, const Slice& new_content,
+                const std::string& reason) override;
+  Status SecureDelete(const std::string& id) override;
+  Result<std::vector<std::string>> Search(const std::string& term) override;
+  Status VerifyIntegrity() override;
+  std::vector<std::string> DataFiles() override;
+
+  bool EncryptsAtRest() const override { return true; }
+  bool IndexLeaksKeywords() const override { return true; }
+  bool KeepsHistory() const override { return false; }
+  bool HasProvenance() const override { return false; }
+  bool HasAuditTrail() const override { return false; }
+
+ private:
+  Result<std::string> Encrypt(const std::string& id, const Slice& content,
+                              uint32_t generation) const;
+
+  RelationalStore inner_;
+  crypto::AesCtr ctr_;
+  std::string db_key_;
+  std::map<std::string, uint32_t> generations_;  // id -> update count
+};
+
+}  // namespace medvault::baselines
+
+#endif  // MEDVAULT_BASELINES_ENCRYPTED_DB_STORE_H_

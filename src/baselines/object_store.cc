@@ -1,0 +1,153 @@
+#include "baselines/object_store.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/hex.h"
+#include "crypto/sha256.h"
+#include "storage/log_reader.h"
+
+namespace medvault::baselines {
+
+ObjectStore::ObjectStore(storage::Env* env, std::string dir)
+    : env_(env), dir_(std::move(dir)) {}
+
+std::string ObjectStore::ObjectPath(const std::string& id) const {
+  return dir_ + "/obj-" + id;
+}
+
+Status ObjectStore::Open() {
+  MEDVAULT_RETURN_IF_ERROR(env_->CreateDirIfMissing(dir_));
+  const std::string index_path = dir_ + "/keywords.log";
+  uint64_t existing_size = 0;
+  if (env_->FileExists(index_path)) {
+    MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(index_path, &existing_size));
+    std::unique_ptr<storage::SequentialFile> src;
+    MEDVAULT_RETURN_IF_ERROR(env_->NewSequentialFile(index_path, &src));
+    storage::log::Reader reader(std::move(src));
+    std::string record;
+    while (reader.ReadRecord(&record)) {
+      Slice in = record;
+      std::string term, id;
+      if (!GetLengthPrefixedString(&in, &term) ||
+          !GetLengthPrefixedString(&in, &id) || !in.empty()) {
+        return Status::Corruption("malformed keyword entry");
+      }
+      keyword_map_[term].push_back(id);
+    }
+    MEDVAULT_RETURN_IF_ERROR(reader.status());
+  }
+  std::vector<std::string> children;
+  MEDVAULT_RETURN_IF_ERROR(env_->GetChildren(dir_, &children));
+  for (const std::string& name : children) {
+    if (name.rfind("obj-", 0) == 0) object_ids_.push_back(name.substr(4));
+  }
+  std::sort(object_ids_.begin(), object_ids_.end());
+
+  std::unique_ptr<storage::WritableFile> dest;
+  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(index_path, &dest));
+  index_writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
+                                                         existing_size);
+  open_ = true;
+  return Status::OK();
+}
+
+Result<std::string> ObjectStore::Put(
+    const Slice& content, const std::vector<std::string>& keywords) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  // Content addressing: the id IS the hash.
+  std::string id = HexEncode(crypto::Sha256Digest(content));
+  if (!env_->FileExists(ObjectPath(id))) {
+    MEDVAULT_RETURN_IF_ERROR(
+        storage::WriteStringToFile(env_, content, ObjectPath(id), false));
+    object_ids_.push_back(id);
+  }
+  for (const std::string& term : keywords) {
+    std::string entry;
+    PutLengthPrefixed(&entry, term);
+    PutLengthPrefixed(&entry, id);
+    MEDVAULT_RETURN_IF_ERROR(index_writer_->AddRecord(entry));
+    keyword_map_[term].push_back(id);
+  }
+  return id;
+}
+
+Result<std::string> ObjectStore::Get(const std::string& id) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  std::string content;
+  MEDVAULT_RETURN_IF_ERROR(
+      storage::ReadFileToString(env_, ObjectPath(id), &content));
+  return content;
+}
+
+Status ObjectStore::Update(const std::string& id, const Slice& new_content,
+                           const std::string& reason) {
+  // Changing content changes the address; every existing reference to
+  // `id` would dangle. The model cannot express in-place correction.
+  return Status::NotSupported(
+      "content-addressed objects are immutable; corrections unsupported");
+}
+
+Status ObjectStore::SecureDelete(const std::string& id) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  MEDVAULT_RETURN_IF_ERROR(env_->RemoveFile(ObjectPath(id)));
+  object_ids_.erase(
+      std::remove(object_ids_.begin(), object_ids_.end(), id),
+      object_ids_.end());
+  // No retention gate, no disposal proof, keyword entries linger.
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ObjectStore::Search(
+    const std::string& term) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  std::vector<std::string> out;
+  auto it = keyword_map_.find(term);
+  if (it == keyword_map_.end()) return out;
+  for (const std::string& id : it->second) {
+    if (env_->FileExists(ObjectPath(id)) &&
+        std::find(out.begin(), out.end(), id) == out.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+Status ObjectStore::VerifyIntegrity() {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  // The keyword log carries frame CRCs; re-read it from disk.
+  {
+    std::unique_ptr<storage::SequentialFile> src;
+    MEDVAULT_RETURN_IF_ERROR(
+        env_->NewSequentialFile(dir_ + "/keywords.log", &src));
+    storage::log::Reader reader(std::move(src));
+    std::string record;
+    while (reader.ReadRecord(&record)) {
+    }
+    if (!reader.status().ok()) {
+      return Status::TamperDetected("keyword log corrupted: " +
+                                    reader.status().message());
+    }
+  }
+  for (const std::string& id : object_ids_) {
+    if (!env_->FileExists(ObjectPath(id))) continue;  // deleted
+    std::string content;
+    MEDVAULT_RETURN_IF_ERROR(
+        storage::ReadFileToString(env_, ObjectPath(id), &content));
+    if (HexEncode(crypto::Sha256Digest(content)) != id) {
+      return Status::TamperDetected("object content does not match its id");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> ObjectStore::DataFiles() {
+  std::vector<std::string> files;
+  for (const std::string& id : object_ids_) {
+    if (env_->FileExists(ObjectPath(id))) files.push_back(ObjectPath(id));
+  }
+  files.push_back(dir_ + "/keywords.log");
+  return files;
+}
+
+}  // namespace medvault::baselines

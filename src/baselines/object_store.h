@@ -1,0 +1,58 @@
+#ifndef MEDVAULT_BASELINES_OBJECT_STORE_H_
+#define MEDVAULT_BASELINES_OBJECT_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/record_store.h"
+#include "storage/log_writer.h"
+
+namespace medvault::baselines {
+
+/// The object/content-addressed storage model of paper §4 (Mesnier et
+/// al.): object id = SHA-256 of content, stored in per-object files.
+///
+/// Faithful strengths: "information integrity can be easily assured" —
+/// VerifyIntegrity re-hashes every object, so tampering is detected.
+/// Faithful weaknesses: "appends and writes ... are difficult" —
+/// Update() is kNotSupported (changing content changes the address,
+/// breaking every reference); no history semantics; plaintext content
+/// and keyword map; deletion is just file removal.
+class ObjectStore : public RecordStore {
+ public:
+  ObjectStore(storage::Env* env, std::string dir);
+
+  std::string Name() const override { return "object-store"; }
+  Status Open() override;
+  Result<std::string> Put(const Slice& content,
+                          const std::vector<std::string>& keywords) override;
+  Result<std::string> Get(const std::string& id) override;
+  Status Update(const std::string& id, const Slice& new_content,
+                const std::string& reason) override;
+  Status SecureDelete(const std::string& id) override;
+  Result<std::vector<std::string>> Search(const std::string& term) override;
+  Status VerifyIntegrity() override;
+  std::vector<std::string> DataFiles() override;
+
+  bool EncryptsAtRest() const override { return false; }
+  bool IndexLeaksKeywords() const override { return true; }
+  bool KeepsHistory() const override { return false; }
+  bool HasProvenance() const override { return false; }
+  bool HasAuditTrail() const override { return false; }
+
+ private:
+  std::string ObjectPath(const std::string& id) const;
+
+  storage::Env* env_;
+  std::string dir_;
+  std::map<std::string, std::vector<std::string>> keyword_map_;
+  std::vector<std::string> object_ids_;
+  std::unique_ptr<storage::log::Writer> index_writer_;
+  bool open_ = false;
+};
+
+}  // namespace medvault::baselines
+
+#endif  // MEDVAULT_BASELINES_OBJECT_STORE_H_

@@ -1,0 +1,26 @@
+#include "baselines/record_store.h"
+
+#include <cctype>
+
+namespace medvault::baselines {
+
+std::vector<std::string> TokenizeKeywords(const Slice& text,
+                                          size_t max_terms) {
+  std::vector<std::string> terms;
+  std::string current;
+  for (size_t i = 0; i < text.size() && terms.size() < max_terms; i++) {
+    auto c = static_cast<unsigned char>(text[i]);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      if (current.size() >= 3) terms.push_back(current);
+      current.clear();
+    }
+  }
+  if (!current.empty() && current.size() >= 3 && terms.size() < max_terms) {
+    terms.push_back(current);
+  }
+  return terms;
+}
+
+}  // namespace medvault::baselines

@@ -1,0 +1,80 @@
+#ifndef MEDVAULT_BASELINES_RECORD_STORE_H_
+#define MEDVAULT_BASELINES_RECORD_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "storage/env.h"
+
+namespace medvault::baselines {
+
+/// Uniform driver interface over the storage models the paper analyzes
+/// in §4 — relational DB, encryption-only store, object storage,
+/// compliance WORM — plus MedVault itself. The compliance-matrix harness
+/// and the performance benches exercise every model through this one
+/// API; a model that cannot support an operation returns the honest
+/// Status (kNotSupported / kWormViolation), which is exactly the
+/// paper's point.
+class RecordStore {
+ public:
+  virtual ~RecordStore() = default;
+
+  virtual std::string Name() const = 0;
+  virtual Status Open() = 0;
+
+  /// Stores a new record; returns its id.
+  virtual Result<std::string> Put(const Slice& content,
+                                  const std::vector<std::string>& keywords)
+      = 0;
+
+  /// Reads the current content of a record.
+  virtual Result<std::string> Get(const std::string& id) = 0;
+
+  /// Applies a correction. Stores without correction support return
+  /// kNotSupported/kWormViolation.
+  virtual Status Update(const std::string& id, const Slice& new_content,
+                        const std::string& reason) = 0;
+
+  /// Reads a historical version (1-based). Stores without history
+  /// return kNotSupported.
+  virtual Result<std::string> GetVersion(const std::string& id,
+                                         uint32_t version) {
+    return Status::NotSupported(Name() + " keeps no version history");
+  }
+
+  /// Disposes of a record such that its content is unrecoverable.
+  virtual Status SecureDelete(const std::string& id) = 0;
+
+  /// Keyword search.
+  virtual Result<std::vector<std::string>> Search(const std::string& term)
+      = 0;
+
+  /// Checks whether stored data still matches what was written
+  /// (kTamperDetected if not, OK if intact, OK-but-blind stores simply
+  /// always return OK — that *is* their failure mode).
+  virtual Status VerifyIntegrity() = 0;
+
+  /// Files that hold record content/index data — the attack surface the
+  /// insider adversary tampers with. Implementations flush any caches
+  /// first so the returned files are the *complete* on-disk state.
+  virtual std::vector<std::string> DataFiles() = 0;
+
+  /// Capability flags used by the compliance matrix.
+  virtual bool EncryptsAtRest() const = 0;
+  virtual bool IndexLeaksKeywords() const = 0;
+  virtual bool KeepsHistory() const = 0;
+  virtual bool HasProvenance() const = 0;
+  virtual bool HasAuditTrail() const = 0;
+};
+
+/// Splits free text into lowercase keywords (benches index record bodies
+/// the same way across stores).
+std::vector<std::string> TokenizeKeywords(const Slice& text,
+                                          size_t max_terms = 16);
+
+}  // namespace medvault::baselines
+
+#endif  // MEDVAULT_BASELINES_RECORD_STORE_H_

@@ -1,0 +1,186 @@
+#include "baselines/relational_store.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/coding.h"
+
+namespace medvault::baselines {
+
+namespace {
+
+std::string FormatId(uint64_t n) {
+  char buf[24];
+  snprintf(buf, sizeof(buf), "%010" PRIu64, n);
+  return buf;
+}
+
+std::string KeywordKey(const std::string& term, const std::string& id) {
+  std::string key = term;
+  key.push_back('\0');
+  key += id;
+  return key;
+}
+
+}  // namespace
+
+RelationalStore::RelationalStore(storage::Env* env, std::string dir)
+    : env_(env), dir_(std::move(dir)) {}
+
+Status RelationalStore::Open() {
+  MEDVAULT_RETURN_IF_ERROR(env_->CreateDirIfMissing(dir_));
+  primary_ = std::make_unique<storage::BpTree>(env_, dir_ + "/primary.idx");
+  MEDVAULT_RETURN_IF_ERROR(primary_->Open());
+  keyword_ = std::make_unique<storage::BpTree>(env_, dir_ + "/keyword.idx");
+  MEDVAULT_RETURN_IF_ERROR(keyword_->Open());
+  MEDVAULT_RETURN_IF_ERROR(env_->NewRandomRWFile(dir_ + "/heap.dat", &heap_));
+  Status s = env_->GetFileSize(dir_ + "/heap.dat", &heap_end_);
+  if (!s.ok()) heap_end_ = 0;
+
+  // Recover the id counter from the highest existing key.
+  std::string max_key;
+  MEDVAULT_RETURN_IF_ERROR(
+      primary_->Scan("", [&](const Slice& key, const Slice& value) {
+        max_key = key.ToString();
+        return true;
+      }));
+  if (!max_key.empty()) {
+    next_id_ = strtoull(max_key.c_str(), nullptr, 10) + 1;
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Result<std::string> RelationalStore::Put(
+    const Slice& content, const std::vector<std::string>& keywords) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  std::string id = FormatId(next_id_++);
+
+  // Row: length-prefixed content appended to the heap.
+  uint64_t offset = heap_end_;
+  std::string row;
+  PutFixed32(&row, static_cast<uint32_t>(content.size()));
+  row.append(content.data(), content.size());
+  MEDVAULT_RETURN_IF_ERROR(heap_->WriteAt(offset, row));
+  heap_end_ += row.size();
+
+  std::string locator;
+  PutFixed64(&locator, offset);
+  PutFixed32(&locator, static_cast<uint32_t>(content.size()));
+  MEDVAULT_RETURN_IF_ERROR(primary_->Put(id, locator));
+
+  for (const std::string& term : keywords) {
+    MEDVAULT_RETURN_IF_ERROR(keyword_->Put(KeywordKey(term, id), ""));
+  }
+  return id;
+}
+
+Result<std::pair<uint64_t, uint32_t>> RelationalStore::LookupRow(
+    const std::string& id) {
+  MEDVAULT_ASSIGN_OR_RETURN(std::string locator, primary_->Get(id));
+  Slice in = locator;
+  uint64_t offset = 0;
+  uint32_t length = 0;
+  if (!GetFixed64(&in, &offset) || !GetFixed32(&in, &length)) {
+    return Status::Corruption("malformed row locator");
+  }
+  return std::make_pair(offset, length);
+}
+
+Result<std::string> RelationalStore::Get(const std::string& id) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  MEDVAULT_ASSIGN_OR_RETURN(auto row, LookupRow(id));
+  std::string frame;
+  MEDVAULT_RETURN_IF_ERROR(heap_->ReadAt(row.first, 4 + row.second, &frame));
+  if (frame.size() != 4u + row.second) {
+    return Status::Corruption("row truncated");
+  }
+  // Note: no checksum — the content is returned as-is (the §4 critique).
+  return frame.substr(4);
+}
+
+Status RelationalStore::Update(const std::string& id,
+                               const Slice& new_content,
+                               const std::string& reason) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  MEDVAULT_ASSIGN_OR_RETURN(auto row, LookupRow(id));
+
+  if (new_content.size() <= row.second) {
+    // Update in place; the old bytes are overwritten (no history).
+    std::string frame;
+    PutFixed32(&frame, static_cast<uint32_t>(new_content.size()));
+    frame.append(new_content.data(), new_content.size());
+    MEDVAULT_RETURN_IF_ERROR(heap_->WriteAt(row.first, frame));
+  } else {
+    // Relocate to the end of the heap; old row bytes linger unreferenced
+    // (exactly the media-sanitization problem §3 worries about).
+    uint64_t offset = heap_end_;
+    std::string frame;
+    PutFixed32(&frame, static_cast<uint32_t>(new_content.size()));
+    frame.append(new_content.data(), new_content.size());
+    MEDVAULT_RETURN_IF_ERROR(heap_->WriteAt(offset, frame));
+    heap_end_ += frame.size();
+    row.first = offset;
+  }
+  std::string locator;
+  PutFixed64(&locator, row.first);
+  PutFixed32(&locator, static_cast<uint32_t>(new_content.size()));
+  return primary_->Put(id, locator);
+}
+
+Status RelationalStore::SecureDelete(const std::string& id) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  MEDVAULT_ASSIGN_OR_RETURN(auto row, LookupRow(id));
+  // Best-effort overwrite of the row, then unlink. (Still weaker than
+  // crypto-shredding: relocated old row copies are not tracked.)
+  std::string zeros(4 + row.second, '\0');
+  MEDVAULT_RETURN_IF_ERROR(heap_->WriteAt(row.first, zeros));
+  return primary_->Delete(id);
+}
+
+Result<std::vector<std::string>> RelationalStore::Search(
+    const std::string& term) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  std::vector<std::string> ids;
+  std::string prefix = term;
+  prefix.push_back('\0');
+  MEDVAULT_RETURN_IF_ERROR(
+      keyword_->Scan(prefix, [&](const Slice& key, const Slice& value) {
+        if (!key.starts_with(prefix)) return false;
+        std::string id(key.data() + prefix.size(),
+                       key.size() - prefix.size());
+        // Deleted rows keep index entries; filter on the primary.
+        if (primary_->Get(id).ok()) ids.push_back(std::move(id));
+        return true;
+      }));
+  return ids;
+}
+
+Status RelationalStore::VerifyIntegrity() {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  // Structural checks only: every locator must point inside the heap.
+  // Content tampering is invisible — there is nothing to check against.
+  Status result = Status::OK();
+  MEDVAULT_RETURN_IF_ERROR(
+      primary_->Scan("", [&](const Slice& key, const Slice& value) {
+        Slice in = value;
+        uint64_t offset = 0;
+        uint32_t length = 0;
+        if (!GetFixed64(&in, &offset) || !GetFixed32(&in, &length) ||
+            offset + 4 + length > heap_end_) {
+          result = Status::Corruption("dangling row locator");
+          return false;
+        }
+        return true;
+      }));
+  return result;
+}
+
+std::vector<std::string> RelationalStore::DataFiles() {
+  // Flush cached B+tree pages so the on-disk state is complete.
+  (void)primary_->Flush();
+  (void)keyword_->Flush();
+  return {dir_ + "/heap.dat", dir_ + "/primary.idx", dir_ + "/keyword.idx"};
+}
+
+}  // namespace medvault::baselines

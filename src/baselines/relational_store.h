@@ -1,0 +1,64 @@
+#ifndef MEDVAULT_BASELINES_RELATIONAL_STORE_H_
+#define MEDVAULT_BASELINES_RELATIONAL_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/record_store.h"
+#include "storage/bptree.h"
+#include "storage/env.h"
+
+namespace medvault::baselines {
+
+/// The relational-database model of paper §4: a heap file with
+/// update-in-place rows and a B+tree primary index, plus a plaintext
+/// inverted keyword index ("geared more towards performance rather than
+/// security").
+///
+/// Deliberate (faithful) limitations:
+///  - rows are plaintext, rewritten in place; no history
+///  - no cryptographic integrity: VerifyIntegrity() checks only
+///    structural invariants, so a malicious insider edit passes unseen
+///  - keyword index stores terms in the clear (privacy leak of §3)
+///  - deletion unlinks the row; bytes may linger in the heap file
+class RelationalStore : public RecordStore {
+ public:
+  RelationalStore(storage::Env* env, std::string dir);
+
+  std::string Name() const override { return "relational"; }
+  Status Open() override;
+  Result<std::string> Put(const Slice& content,
+                          const std::vector<std::string>& keywords) override;
+  Result<std::string> Get(const std::string& id) override;
+  Status Update(const std::string& id, const Slice& new_content,
+                const std::string& reason) override;
+  Status SecureDelete(const std::string& id) override;
+  Result<std::vector<std::string>> Search(const std::string& term) override;
+  Status VerifyIntegrity() override;
+  std::vector<std::string> DataFiles() override;
+
+  bool EncryptsAtRest() const override { return false; }
+  bool IndexLeaksKeywords() const override { return true; }
+  bool KeepsHistory() const override { return false; }
+  bool HasProvenance() const override { return false; }
+  bool HasAuditTrail() const override { return false; }
+
+ private:
+  friend class EncryptedDbStore;
+
+  Result<std::pair<uint64_t, uint32_t>> LookupRow(const std::string& id);
+
+  storage::Env* env_;
+  std::string dir_;
+  std::unique_ptr<storage::BpTree> primary_;  // id -> row locator
+  std::unique_ptr<storage::BpTree> keyword_;  // "term\0id" -> ""
+  std::unique_ptr<storage::RandomRWFile> heap_;
+  uint64_t heap_end_ = 0;
+  uint64_t next_id_ = 1;
+  bool open_ = false;
+};
+
+}  // namespace medvault::baselines
+
+#endif  // MEDVAULT_BASELINES_RELATIONAL_STORE_H_

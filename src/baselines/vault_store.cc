@@ -1,0 +1,86 @@
+#include "baselines/vault_store.h"
+
+namespace medvault::baselines {
+
+VaultStore::VaultStore(storage::Env* env, std::string dir, const Clock* clock,
+                       std::string retention_policy, int signer_height)
+    : env_(env),
+      dir_(std::move(dir)),
+      clock_(clock),
+      retention_policy_(std::move(retention_policy)),
+      signer_height_(signer_height) {}
+
+Status VaultStore::Open() {
+  core::VaultOptions options;
+  options.env = env_;
+  options.dir = dir_;
+  options.clock = clock_;
+  options.master_key = std::string(32, 'K');
+  options.entropy = "vault-store-entropy:" + dir_;
+  options.signer_height = signer_height_;
+  MEDVAULT_ASSIGN_OR_RETURN(vault_, core::Vault::Open(options));
+
+  // Fresh vault: install the standard cast. Reopened vault: they exist.
+  if (!vault_->access()->GetPrincipal(kAdmin).ok()) {
+    MEDVAULT_RETURN_IF_ERROR(vault_->RegisterPrincipal(
+        kAdmin, {kAdmin, core::Role::kAdmin, "Root Admin"}));
+    MEDVAULT_RETURN_IF_ERROR(vault_->RegisterPrincipal(
+        kAdmin, {kClinician, core::Role::kPhysician, "Dr. Alice"}));
+    MEDVAULT_RETURN_IF_ERROR(vault_->RegisterPrincipal(
+        kAdmin, {kPatient, core::Role::kPatient, "Bob"}));
+    MEDVAULT_RETURN_IF_ERROR(
+        vault_->AssignCare(kAdmin, kClinician, kPatient));
+  }
+  return Status::OK();
+}
+
+Result<std::string> VaultStore::Put(const Slice& content,
+                                    const std::vector<std::string>& keywords) {
+  return vault_->CreateRecord(kClinician, kPatient, "text/plain", content,
+                              keywords, retention_policy_);
+}
+
+Result<std::string> VaultStore::Get(const std::string& id) {
+  MEDVAULT_ASSIGN_OR_RETURN(core::RecordVersion version,
+                            vault_->ReadRecord(kClinician, id));
+  return version.plaintext;
+}
+
+Status VaultStore::Update(const std::string& id, const Slice& new_content,
+                          const std::string& reason) {
+  return vault_
+      ->CorrectRecord(kClinician, id, new_content, reason,
+                      std::vector<std::string>())
+      .status();
+}
+
+Result<std::string> VaultStore::GetVersion(const std::string& id,
+                                           uint32_t version) {
+  MEDVAULT_ASSIGN_OR_RETURN(core::RecordVersion v,
+                            vault_->ReadRecordVersion(kClinician, id,
+                                                      version));
+  return v.plaintext;
+}
+
+Status VaultStore::SecureDelete(const std::string& id) {
+  return vault_->DisposeRecord(kAdmin, id).status();
+}
+
+Result<std::vector<std::string>> VaultStore::Search(const std::string& term) {
+  return vault_->SearchKeyword(kClinician, term);
+}
+
+Status VaultStore::VerifyIntegrity() { return vault_->VerifyEverything(); }
+
+std::vector<std::string> VaultStore::DataFiles() {
+  std::vector<std::string> files;
+  for (uint64_t id : vault_->versions()->segments()->SegmentIds()) {
+    std::string name = vault_->versions()->segments()->SegmentFileName(id);
+    if (env_->FileExists(name)) files.push_back(name);
+  }
+  files.push_back(dir_ + "/index.log");
+  files.push_back(dir_ + "/audit.log");
+  return files;
+}
+
+}  // namespace medvault::baselines

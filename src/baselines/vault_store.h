@@ -1,0 +1,61 @@
+#ifndef MEDVAULT_BASELINES_VAULT_STORE_H_
+#define MEDVAULT_BASELINES_VAULT_STORE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/record_store.h"
+#include "core/vault.h"
+
+namespace medvault::baselines {
+
+/// Drives a core::Vault through the uniform RecordStore interface so the
+/// compliance matrix and benches compare MedVault head-to-head with the
+/// §4 baselines. Sets up a minimal cast (one clinician, one patient, one
+/// admin) and performs operations as the clinician (disposal as admin).
+class VaultStore : public RecordStore {
+ public:
+  /// `clock` must outlive the store. Retention defaults to "short-1y" so
+  /// disposal tests can advance a ManualClock past expiry.
+  VaultStore(storage::Env* env, std::string dir, const Clock* clock,
+             std::string retention_policy = "short-1y", int signer_height = 4);
+
+  std::string Name() const override { return "medvault"; }
+  Status Open() override;
+  Result<std::string> Put(const Slice& content,
+                          const std::vector<std::string>& keywords) override;
+  Result<std::string> Get(const std::string& id) override;
+  Status Update(const std::string& id, const Slice& new_content,
+                const std::string& reason) override;
+  Result<std::string> GetVersion(const std::string& id,
+                                 uint32_t version) override;
+  Status SecureDelete(const std::string& id) override;
+  Result<std::vector<std::string>> Search(const std::string& term) override;
+  Status VerifyIntegrity() override;
+  std::vector<std::string> DataFiles() override;
+
+  bool EncryptsAtRest() const override { return true; }
+  bool IndexLeaksKeywords() const override { return false; }
+  bool KeepsHistory() const override { return true; }
+  bool HasProvenance() const override { return true; }
+  bool HasAuditTrail() const override { return true; }
+
+  core::Vault* vault() { return vault_.get(); }
+
+  static constexpr const char* kClinician = "dr-alice";
+  static constexpr const char* kPatient = "patient-bob";
+  static constexpr const char* kAdmin = "admin-root";
+
+ private:
+  storage::Env* env_;
+  std::string dir_;
+  const Clock* clock_;
+  std::string retention_policy_;
+  int signer_height_;
+  std::unique_ptr<core::Vault> vault_;
+};
+
+}  // namespace medvault::baselines
+
+#endif  // MEDVAULT_BASELINES_VAULT_STORE_H_

@@ -1,0 +1,167 @@
+#include "baselines/worm_store.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "crypto/sha256.h"
+#include "storage/log_reader.h"
+
+namespace medvault::baselines {
+
+WormStore::WormStore(storage::Env* env, std::string dir)
+    : env_(env), dir_(std::move(dir)) {
+  storage::SegmentStore::Options options;
+  segments_ = std::make_unique<storage::SegmentStore>(
+      env, dir_ + "/segments", options);
+}
+
+Status WormStore::Open() {
+  MEDVAULT_RETURN_IF_ERROR(env_->CreateDirIfMissing(dir_));
+  MEDVAULT_RETURN_IF_ERROR(segments_->Open());
+
+  const std::string catalog_path = dir_ + "/catalog.log";
+  uint64_t existing_size = 0;
+  if (env_->FileExists(catalog_path)) {
+    MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(catalog_path, &existing_size));
+    std::unique_ptr<storage::SequentialFile> src;
+    MEDVAULT_RETURN_IF_ERROR(env_->NewSequentialFile(catalog_path, &src));
+    storage::log::Reader reader(std::move(src));
+    std::string record;
+    while (reader.ReadRecord(&record)) {
+      Slice in = record;
+      std::string id, handle_bytes, hash, term;
+      uint32_t term_count = 0;
+      if (!GetLengthPrefixedString(&in, &id) ||
+          !GetLengthPrefixedString(&in, &handle_bytes) ||
+          !GetLengthPrefixedString(&in, &hash) ||
+          !GetVarint32(&in, &term_count)) {
+        return Status::Corruption("malformed WORM catalog entry");
+      }
+      MEDVAULT_ASSIGN_OR_RETURN(storage::EntryHandle handle,
+                                storage::EntryHandle::Decode(handle_bytes));
+      for (uint32_t i = 0; i < term_count; i++) {
+        if (!GetLengthPrefixedString(&in, &term)) {
+          return Status::Corruption("malformed WORM keyword");
+        }
+        keyword_map_[term].push_back(id);
+      }
+      catalog_[id] = Entry{handle, hash};
+      next_id_ = std::max<uint64_t>(
+          next_id_, strtoull(id.c_str(), nullptr, 10) + 1);
+    }
+    MEDVAULT_RETURN_IF_ERROR(reader.status());
+  }
+  std::unique_ptr<storage::WritableFile> dest;
+  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(catalog_path, &dest));
+  catalog_writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
+                                                           existing_size);
+  open_ = true;
+  return Status::OK();
+}
+
+Result<std::string> WormStore::Put(const Slice& content,
+                                   const std::vector<std::string>& keywords) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  std::string id = std::to_string(next_id_++);
+  MEDVAULT_ASSIGN_OR_RETURN(storage::EntryHandle handle,
+                            segments_->Append(content));
+  std::string hash = crypto::Sha256Digest(content);
+
+  std::string record;
+  PutLengthPrefixed(&record, id);
+  PutLengthPrefixed(&record, handle.Encode());
+  PutLengthPrefixed(&record, hash);
+  PutVarint32(&record, static_cast<uint32_t>(keywords.size()));
+  for (const std::string& term : keywords) {
+    PutLengthPrefixed(&record, term);
+    keyword_map_[term].push_back(id);
+  }
+  MEDVAULT_RETURN_IF_ERROR(catalog_writer_->AddRecord(record));
+  catalog_[id] = Entry{handle, hash};
+  return id;
+}
+
+Result<std::string> WormStore::Get(const std::string& id) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  auto it = catalog_.find(id);
+  if (it == catalog_.end()) return Status::NotFound("unknown record");
+  auto content = segments_->Read(it->second.handle);
+  if (!content.ok()) {
+    if (content.status().IsCorruption()) {
+      return Status::TamperDetected("WORM entry bytes corrupted");
+    }
+    return content.status();
+  }
+  if (crypto::Sha256Digest(*content) != it->second.content_hash) {
+    return Status::TamperDetected("WORM entry hash mismatch");
+  }
+  return content;
+}
+
+Status WormStore::Update(const std::string& id, const Slice& new_content,
+                         const std::string& reason) {
+  // The paper's core critique of this model: "trustworthy WORM storage
+  // systems do not support such corrections."
+  return Status::WormViolation(
+      "WORM media is write-once; corrections are not supported");
+}
+
+Status WormStore::SecureDelete(const std::string& id) {
+  // Plain WORM cannot erase; without per-record keys there is nothing
+  // to shred either.
+  return Status::WormViolation(
+      "WORM media cannot be erased; secure deletion unsupported");
+}
+
+Result<std::vector<std::string>> WormStore::Search(const std::string& term) {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  std::vector<std::string> out;
+  auto it = keyword_map_.find(term);
+  if (it == keyword_map_.end()) return out;
+  for (const std::string& id : it->second) {
+    if (std::find(out.begin(), out.end(), id) == out.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+Status WormStore::VerifyIntegrity() {
+  if (!open_) return Status::FailedPrecondition("store not open");
+  // Catalog bytes on disk must still parse (frame CRCs catch flips).
+  {
+    std::unique_ptr<storage::SequentialFile> src;
+    MEDVAULT_RETURN_IF_ERROR(
+        env_->NewSequentialFile(dir_ + "/catalog.log", &src));
+    storage::log::Reader reader(std::move(src));
+    std::string record;
+    while (reader.ReadRecord(&record)) {
+    }
+    if (!reader.status().ok()) {
+      return Status::TamperDetected("WORM catalog corrupted: " +
+                                    reader.status().message());
+    }
+  }
+  for (const auto& [id, entry] : catalog_) {
+    auto content = segments_->Read(entry.handle);
+    if (!content.ok()) {
+      return Status::TamperDetected("WORM entry unreadable: " + id);
+    }
+    if (crypto::Sha256Digest(*content) != entry.content_hash) {
+      return Status::TamperDetected("WORM entry hash mismatch: " + id);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> WormStore::DataFiles() {
+  std::vector<std::string> files;
+  for (uint64_t id : segments_->SegmentIds()) {
+    std::string name = segments_->SegmentFileName(id);
+    if (env_->FileExists(name)) files.push_back(name);
+  }
+  files.push_back(dir_ + "/catalog.log");
+  return files;
+}
+
+}  // namespace medvault::baselines

@@ -1,0 +1,65 @@
+#ifndef MEDVAULT_BASELINES_WORM_STORE_H_
+#define MEDVAULT_BASELINES_WORM_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/record_store.h"
+#include "storage/log_writer.h"
+#include "storage/segment.h"
+
+namespace medvault::baselines {
+
+/// The compliance-WORM model of paper §4 (Hsu & Ong): records written
+/// once onto append-only media, catalogued with their content hashes.
+///
+/// Faithful strengths: strong integrity (hash catalog over immutable
+/// media) and guaranteed retention.
+/// Faithful weaknesses the paper calls out: "compliance WORM storage is
+/// mainly suitable for records that do not require corrections" —
+/// Update() returns kWormViolation; and plain WORM cannot erase, so
+/// SecureDelete() returns kWormViolation too (no crypto-shredding in
+/// this model). The keyword index is plaintext.
+class WormStore : public RecordStore {
+ public:
+  WormStore(storage::Env* env, std::string dir);
+
+  std::string Name() const override { return "worm"; }
+  Status Open() override;
+  Result<std::string> Put(const Slice& content,
+                          const std::vector<std::string>& keywords) override;
+  Result<std::string> Get(const std::string& id) override;
+  Status Update(const std::string& id, const Slice& new_content,
+                const std::string& reason) override;
+  Status SecureDelete(const std::string& id) override;
+  Result<std::vector<std::string>> Search(const std::string& term) override;
+  Status VerifyIntegrity() override;
+  std::vector<std::string> DataFiles() override;
+
+  bool EncryptsAtRest() const override { return false; }
+  bool IndexLeaksKeywords() const override { return true; }
+  bool KeepsHistory() const override { return false; }
+  bool HasProvenance() const override { return false; }
+  bool HasAuditTrail() const override { return false; }
+
+ private:
+  struct Entry {
+    storage::EntryHandle handle;
+    std::string content_hash;
+  };
+
+  storage::Env* env_;
+  std::string dir_;
+  std::unique_ptr<storage::SegmentStore> segments_;
+  std::unique_ptr<storage::log::Writer> catalog_writer_;
+  std::map<std::string, Entry> catalog_;
+  std::map<std::string, std::vector<std::string>> keyword_map_;
+  uint64_t next_id_ = 1;
+  bool open_ = false;
+};
+
+}  // namespace medvault::baselines
+
+#endif  // MEDVAULT_BASELINES_WORM_STORE_H_

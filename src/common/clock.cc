@@ -1,0 +1,13 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace medvault {
+
+Timestamp SystemClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace medvault

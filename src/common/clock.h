@@ -1,0 +1,55 @@
+#ifndef MEDVAULT_COMMON_CLOCK_H_
+#define MEDVAULT_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace medvault {
+
+/// Microseconds since the Unix epoch.
+using Timestamp = int64_t;
+
+constexpr Timestamp kMicrosPerSecond = 1000000;
+constexpr Timestamp kMicrosPerDay = 86400LL * kMicrosPerSecond;
+/// 365.25-day years; precise calendar math is irrelevant for retention
+/// comparisons spanning decades.
+constexpr Timestamp kMicrosPerYear = 365LL * kMicrosPerDay + kMicrosPerDay / 4;
+
+/// Source of time. Retention spans 30 years, so everything in MedVault
+/// reads time through this interface and tests/benches inject a
+/// ManualClock they can advance by decades.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Timestamp Now() const = 0;
+};
+
+/// Wall-clock time.
+class SystemClock : public Clock {
+ public:
+  Timestamp Now() const override;
+};
+
+/// Test clock: starts at `start` and moves only when told to. Atomic so
+/// concurrency tests can share one instance across worker threads.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() const override { return now_.load(std::memory_order_relaxed); }
+  void Advance(Timestamp delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void AdvanceYears(int years) {
+    now_.fetch_add(years * kMicrosPerYear, std::memory_order_relaxed);
+  }
+  void Set(Timestamp t) { now_.store(t, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<Timestamp> now_;
+};
+
+}  // namespace medvault
+
+#endif  // MEDVAULT_COMMON_CLOCK_H_

@@ -1,0 +1,33 @@
+#ifndef MEDVAULT_COMMON_CRC32C_H_
+#define MEDVAULT_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace medvault::crc32c {
+
+/// CRC-32C (Castagnoli) over [data, data+n), extending `init_crc` (which
+/// must be the return value of a previous Value/Extend call, or 0).
+uint32_t Extend(uint32_t init_crc, const char* data, size_t n);
+
+inline uint32_t Value(const char* data, size_t n) {
+  return Extend(0, data, n);
+}
+inline uint32_t Value(const Slice& s) { return Value(s.data(), s.size()); }
+
+/// CRCs stored next to the data they guard are "masked" so that the CRC
+/// of a buffer that itself contains CRCs stays well-distributed
+/// (LevelDB/RocksDB trick).
+inline uint32_t Mask(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t Unmask(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return ((rot >> 17) | (rot << 15));
+}
+
+}  // namespace medvault::crc32c
+
+#endif  // MEDVAULT_COMMON_CRC32C_H_

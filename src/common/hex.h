@@ -1,0 +1,19 @@
+#ifndef MEDVAULT_COMMON_HEX_H_
+#define MEDVAULT_COMMON_HEX_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace medvault {
+
+/// Lowercase hex encoding of arbitrary bytes.
+std::string HexEncode(const Slice& data);
+
+/// Inverse of HexEncode; rejects odd-length or non-hex input.
+Result<std::string> HexDecode(const Slice& hex);
+
+}  // namespace medvault
+
+#endif  // MEDVAULT_COMMON_HEX_H_

@@ -1,0 +1,50 @@
+#ifndef MEDVAULT_COMMON_RANDOM_H_
+#define MEDVAULT_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace medvault {
+
+/// Deterministic non-cryptographic PRNG (xorshift64*), used by workload
+/// generators and tests for reproducibility. Key material must come from
+/// crypto::HmacDrbg, never from this.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed == 0 ? 0x9e3779b97f4a7c15ULL
+                                                    : seed) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) {
+    if (p <= 0) return false;
+    if (p >= 1) return true;
+    return static_cast<double>(Next() >> 11) *
+               (1.0 / 9007199254740992.0) < p;  // 2^53
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace medvault
+
+#endif  // MEDVAULT_COMMON_RANDOM_H_

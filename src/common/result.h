@@ -1,0 +1,87 @@
+#ifndef MEDVAULT_COMMON_RESULT_H_
+#define MEDVAULT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace medvault {
+
+/// A value-or-Status, in the style of arrow::Result / absl::StatusOr.
+///
+/// Invariant: exactly one of {value, non-OK status} is present. Accessing
+/// value() on an error Result asserts in debug builds and is undefined in
+/// release builds — always check ok() (or use MEDVAULT_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error Status. A kOk status is a bug;
+  /// it is converted to an InvalidArgument error to keep the invariant.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : status_;
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// MEDVAULT_ASSIGN_OR_RETURN(auto v, expr): evaluates expr (a Result<T>),
+/// returns its Status on error, otherwise binds the value.
+#define MEDVAULT_ASSIGN_OR_RETURN(decl, expr)                     \
+  MEDVAULT_ASSIGN_OR_RETURN_IMPL_(                                \
+      MEDVAULT_CONCAT_(_result_tmp_, __LINE__), decl, expr)
+
+#define MEDVAULT_ASSIGN_OR_RETURN_IMPL_(tmp, decl, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  decl = std::move(tmp).value()
+
+#define MEDVAULT_CONCAT_(a, b) MEDVAULT_CONCAT_IMPL_(a, b)
+#define MEDVAULT_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace medvault
+
+#endif  // MEDVAULT_COMMON_RESULT_H_

@@ -1,0 +1,160 @@
+#include "core/access.h"
+
+namespace medvault::core {
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kPhysician: return "physician";
+    case Role::kNurse: return "nurse";
+    case Role::kClerk: return "clerk";
+    case Role::kAuditor: return "auditor";
+    case Role::kPatient: return "patient";
+    case Role::kAdmin: return "admin";
+  }
+  return "unknown";
+}
+
+const char* OperationName(Operation op) {
+  switch (op) {
+    case Operation::kCreateRecord: return "create-record";
+    case Operation::kReadRecord: return "read-record";
+    case Operation::kCorrectRecord: return "correct-record";
+    case Operation::kSearch: return "search";
+    case Operation::kDispose: return "dispose";
+    case Operation::kMigrate: return "migrate";
+    case Operation::kBackup: return "backup";
+    case Operation::kReadAudit: return "read-audit";
+    case Operation::kManagePrincipals: return "manage-principals";
+  }
+  return "unknown";
+}
+
+Status AccessController::RegisterPrincipal(const Principal& principal) {
+  if (principal.id.empty()) {
+    return Status::InvalidArgument("principal id must not be empty");
+  }
+  if (principals_.count(principal.id) > 0) {
+    return Status::AlreadyExists("principal already registered");
+  }
+  principals_[principal.id] = principal;
+  return Status::OK();
+}
+
+Result<Principal> AccessController::GetPrincipal(const PrincipalId& id) const {
+  auto it = principals_.find(id);
+  if (it == principals_.end()) return Status::NotFound("unknown principal");
+  return it->second;
+}
+
+Status AccessController::AssignCare(const PrincipalId& clinician,
+                                    const PrincipalId& patient) {
+  MEDVAULT_ASSIGN_OR_RETURN(Principal p, GetPrincipal(clinician));
+  if (p.role != Role::kPhysician && p.role != Role::kNurse) {
+    return Status::InvalidArgument("care relations require a clinician");
+  }
+  care_.insert({clinician, patient});
+  return Status::OK();
+}
+
+Status AccessController::RevokeCare(const PrincipalId& clinician,
+                                    const PrincipalId& patient) {
+  if (care_.erase({clinician, patient}) == 0) {
+    return Status::NotFound("no such care relation");
+  }
+  return Status::OK();
+}
+
+bool AccessController::InCare(const PrincipalId& clinician,
+                              const PrincipalId& patient) const {
+  return care_.count({clinician, patient}) > 0;
+}
+
+bool AccessController::HasActiveGrant(const PrincipalId& clinician,
+                                      const PrincipalId& patient,
+                                      Timestamp now) const {
+  for (const auto& [id, grant] : grants_) {
+    if (grant.clinician == clinician && grant.patient == patient &&
+        grant.expires_at > now) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status AccessController::CheckAccess(const PrincipalId& actor, Operation op,
+                                     const PrincipalId& patient_id,
+                                     Timestamp now) const {
+  auto it = principals_.find(actor);
+  if (it == principals_.end()) return Status::NotFound("unknown principal");
+  const Role role = it->second.role;
+
+  auto deny = [&](const char* why) {
+    return Status::PermissionDenied(std::string(RoleName(role)) + " may not " +
+                                    OperationName(op) + ": " + why);
+  };
+
+  const bool clinician = (role == Role::kPhysician || role == Role::kNurse);
+  const bool scoped_ok =
+      clinician && (InCare(actor, patient_id) ||
+                    HasActiveGrant(actor, patient_id, now));
+
+  switch (op) {
+    case Operation::kCreateRecord:
+      if (role == Role::kClerk) return Status::OK();
+      if (scoped_ok) return Status::OK();
+      return deny("requires clerk, or clinician with a care relation");
+    case Operation::kReadRecord:
+      if (role == Role::kPatient && actor == patient_id) return Status::OK();
+      if (scoped_ok) return Status::OK();
+      return deny("requires care relation, break-glass, or record owner");
+    case Operation::kCorrectRecord:
+      if (role == Role::kPhysician && scoped_ok) return Status::OK();
+      if (role == Role::kPatient && actor == patient_id) {
+        return Status::OK();  // HIPAA right to request amendment
+      }
+      return deny("requires treating physician or the patient");
+    case Operation::kSearch:
+      if (scoped_ok || clinician) return Status::OK();
+      return deny("requires a clinician");
+    case Operation::kDispose:
+    case Operation::kMigrate:
+    case Operation::kBackup:
+    case Operation::kManagePrincipals:
+      if (role == Role::kAdmin) return Status::OK();
+      return deny("requires admin");
+    case Operation::kReadAudit:
+      if (role == Role::kAuditor || role == Role::kAdmin) {
+        return Status::OK();
+      }
+      return deny("requires auditor");
+  }
+  return deny("unmapped operation");
+}
+
+Result<std::string> AccessController::BreakGlass(
+    const PrincipalId& clinician, const PrincipalId& patient,
+    const std::string& justification, Timestamp now, Timestamp expires_at) {
+  MEDVAULT_ASSIGN_OR_RETURN(Principal p, GetPrincipal(clinician));
+  if (p.role != Role::kPhysician && p.role != Role::kNurse) {
+    return Status::PermissionDenied("break-glass requires a clinician");
+  }
+  if (justification.empty()) {
+    return Status::InvalidArgument("break-glass requires a justification");
+  }
+  if (expires_at <= now) {
+    return Status::InvalidArgument("break-glass grant must expire in future");
+  }
+  std::string grant_id = "bg-" + std::to_string(next_grant_++);
+  grants_[grant_id] = Grant{clinician, patient, justification, expires_at};
+  return grant_id;
+}
+
+size_t AccessController::ActiveGrantCount(Timestamp now) const {
+  size_t n = 0;
+  for (const auto& [id, grant] : grants_) {
+    if (grant.expires_at > now) n++;
+  }
+  return n;
+}
+
+}  // namespace medvault::core

@@ -1,0 +1,118 @@
+#ifndef MEDVAULT_CORE_ACCESS_H_
+#define MEDVAULT_CORE_ACCESS_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/record.h"
+
+namespace medvault::core {
+
+/// Clinical/administrative roles. The policy encodes HIPAA's "minimum
+/// necessary" standard: administrators operate the system but cannot
+/// read clinical content; auditors read trails but not records.
+enum class Role : uint8_t {
+  kPhysician = 1,
+  kNurse = 2,
+  kClerk = 3,
+  kAuditor = 4,
+  kPatient = 5,
+  kAdmin = 6,
+};
+
+const char* RoleName(Role role);
+
+struct Principal {
+  PrincipalId id;
+  Role role = Role::kClerk;
+  std::string display_name;
+};
+
+/// Operations subject to access control.
+enum class Operation : uint8_t {
+  kCreateRecord = 1,
+  kReadRecord = 2,
+  kCorrectRecord = 3,
+  kSearch = 4,
+  kDispose = 5,
+  kMigrate = 6,
+  kBackup = 7,
+  kReadAudit = 8,
+  kManagePrincipals = 9,
+};
+
+const char* OperationName(Operation op);
+
+/// Role-based access control with treating-relationship scoping and
+/// emergency break-glass (paper §3: "only authorized personnel should
+/// have access"; availability requires an override that never blocks
+/// care, provided it is irrevocably audited — the Vault logs every
+/// break-glass grant).
+///
+/// Policy summary:
+///  - Physician: create/read/correct/search for patients under their
+///    care (or via break-glass).
+///  - Nurse: create/read for patients under care (or break-glass).
+///  - Clerk: create only (registration; cannot read clinical content).
+///  - Patient: read their own records; request corrections to them.
+///  - Auditor: read audit trails only.
+///  - Admin: dispose/migrate/backup/manage; *no* clinical reads.
+class AccessController {
+ public:
+  AccessController() = default;
+
+  AccessController(const AccessController&) = delete;
+  AccessController& operator=(const AccessController&) = delete;
+
+  Status RegisterPrincipal(const Principal& principal);
+  Result<Principal> GetPrincipal(const PrincipalId& id) const;
+
+  /// Declares `clinician` as treating `patient` (admission/assignment).
+  Status AssignCare(const PrincipalId& clinician,
+                    const PrincipalId& patient);
+  Status RevokeCare(const PrincipalId& clinician,
+                    const PrincipalId& patient);
+  bool InCare(const PrincipalId& clinician, const PrincipalId& patient) const;
+
+  /// Decides whether `actor` may perform `op` on a record belonging to
+  /// `patient_id` (empty for non-record operations). OK or
+  /// kPermissionDenied (kNotFound for unknown actors).
+  Status CheckAccess(const PrincipalId& actor, Operation op,
+                     const PrincipalId& patient_id, Timestamp now) const;
+
+  /// Emergency override: grants `clinician` read access to `patient`'s
+  /// records until `expires_at`. Returns the grant id. The caller MUST
+  /// audit this (Vault does).
+  Result<std::string> BreakGlass(const PrincipalId& clinician,
+                                 const PrincipalId& patient,
+                                 const std::string& justification,
+                                 Timestamp now, Timestamp expires_at);
+
+  /// Active break-glass grants for introspection/tests.
+  size_t ActiveGrantCount(Timestamp now) const;
+
+ private:
+  struct Grant {
+    PrincipalId clinician;
+    PrincipalId patient;
+    std::string justification;
+    Timestamp expires_at = 0;
+  };
+
+  bool HasActiveGrant(const PrincipalId& clinician,
+                      const PrincipalId& patient, Timestamp now) const;
+
+  std::map<PrincipalId, Principal> principals_;
+  std::set<std::pair<PrincipalId, PrincipalId>> care_;  // (clinician, patient)
+  std::map<std::string, Grant> grants_;
+  uint64_t next_grant_ = 1;
+};
+
+}  // namespace medvault::core
+
+#endif  // MEDVAULT_CORE_ACCESS_H_

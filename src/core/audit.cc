@@ -1,0 +1,279 @@
+#include "core/audit.h"
+
+#include "common/coding.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "storage/log_reader.h"
+
+namespace medvault::core {
+
+namespace {
+
+constexpr uint8_t kRecordEvent = 1;
+constexpr uint8_t kRecordCheckpoint = 2;
+
+}  // namespace
+
+const char* AuditActionName(AuditAction action) {
+  switch (action) {
+    case AuditAction::kCreate: return "create";
+    case AuditAction::kRead: return "read";
+    case AuditAction::kCorrect: return "correct";
+    case AuditAction::kSearch: return "search";
+    case AuditAction::kDispose: return "dispose";
+    case AuditAction::kBreakGlass: return "break-glass";
+    case AuditAction::kAccessDenied: return "access-denied";
+    case AuditAction::kMigrateOut: return "migrate-out";
+    case AuditAction::kMigrateIn: return "migrate-in";
+    case AuditAction::kBackup: return "backup";
+    case AuditAction::kRestore: return "restore";
+    case AuditAction::kKeyRotation: return "key-rotation";
+    case AuditAction::kCustodyTransfer: return "custody-transfer";
+    case AuditAction::kPolicyChange: return "policy-change";
+  }
+  return "unknown";
+}
+
+std::string AuditEvent::Encode() const {
+  std::string out;
+  PutVarint64(&out, seq);
+  PutFixed64(&out, static_cast<uint64_t>(timestamp));
+  PutLengthPrefixed(&out, actor);
+  out.push_back(static_cast<char>(action));
+  PutLengthPrefixed(&out, record_id);
+  PutLengthPrefixed(&out, details);
+  PutLengthPrefixed(&out, prev_hash);
+  return out;
+}
+
+Result<AuditEvent> AuditEvent::Decode(const Slice& data) {
+  Slice in = data;
+  AuditEvent e;
+  uint64_t ts = 0;
+  if (!GetVarint64(&in, &e.seq) || !GetFixed64(&in, &ts) ||
+      !GetLengthPrefixedString(&in, &e.actor) || in.empty()) {
+    return Status::Corruption("malformed audit event");
+  }
+  e.timestamp = static_cast<Timestamp>(ts);
+  e.action = static_cast<AuditAction>(in[0]);
+  in.RemovePrefix(1);
+  if (!GetLengthPrefixedString(&in, &e.record_id) ||
+      !GetLengthPrefixedString(&in, &e.details) ||
+      !GetLengthPrefixedString(&in, &e.prev_hash) || !in.empty()) {
+    return Status::Corruption("malformed audit event");
+  }
+  return e;
+}
+
+std::string SignedCheckpoint::SignedPayload() const {
+  std::string out = "medvault-checkpoint-v1";
+  PutVarint64(&out, tree_size);
+  PutLengthPrefixed(&out, root);
+  PutFixed64(&out, static_cast<uint64_t>(timestamp));
+  return out;
+}
+
+std::string SignedCheckpoint::Encode() const {
+  std::string out;
+  PutVarint64(&out, tree_size);
+  PutLengthPrefixed(&out, root);
+  PutFixed64(&out, static_cast<uint64_t>(timestamp));
+  PutLengthPrefixed(&out, signature);
+  return out;
+}
+
+Result<SignedCheckpoint> SignedCheckpoint::Decode(const Slice& data) {
+  Slice in = data;
+  SignedCheckpoint c;
+  uint64_t ts = 0;
+  if (!GetVarint64(&in, &c.tree_size) ||
+      !GetLengthPrefixedString(&in, &c.root) || !GetFixed64(&in, &ts) ||
+      !GetLengthPrefixedString(&in, &c.signature) || !in.empty()) {
+    return Status::Corruption("malformed checkpoint");
+  }
+  c.timestamp = static_cast<Timestamp>(ts);
+  return c;
+}
+
+AuditLog::AuditLog(storage::Env* env, std::string path)
+    : env_(env), path_(std::move(path)) {}
+
+Status AuditLog::Open() {
+  uint64_t existing_size = 0;
+  if (env_->FileExists(path_)) {
+    MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(path_, &existing_size));
+    std::unique_ptr<storage::SequentialFile> src;
+    MEDVAULT_RETURN_IF_ERROR(env_->NewSequentialFile(path_, &src));
+    storage::log::Reader reader(std::move(src));
+    std::string record;
+    while (reader.ReadRecord(&record)) {
+      if (record.empty()) return Status::Corruption("empty audit record");
+      uint8_t kind = static_cast<uint8_t>(record[0]);
+      Slice payload(record.data() + 1, record.size() - 1);
+      if (kind == kRecordEvent) {
+        MEDVAULT_ASSIGN_OR_RETURN(AuditEvent e, AuditEvent::Decode(payload));
+        if (e.seq != events_.size()) {
+          return Status::TamperDetected("audit sequence discontinuity");
+        }
+        if (e.prev_hash != last_hash_) {
+          return Status::TamperDetected("audit hash chain broken");
+        }
+        last_hash_ = crypto::Sha256Digest(payload);
+        tree_.AppendLeafHash(crypto::MerkleTree::HashLeaf(payload));
+        events_.push_back(std::move(e));
+      } else if (kind == kRecordCheckpoint) {
+        MEDVAULT_ASSIGN_OR_RETURN(SignedCheckpoint c,
+                                  SignedCheckpoint::Decode(payload));
+        checkpoints_.push_back(std::move(c));
+      } else {
+        return Status::Corruption("unknown audit record kind");
+      }
+    }
+    MEDVAULT_RETURN_IF_ERROR(reader.status());
+  }
+
+  std::unique_ptr<storage::WritableFile> dest;
+  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &dest));
+  writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
+                                                   existing_size);
+  open_ = true;
+  return Status::OK();
+}
+
+Result<uint64_t> AuditLog::AppendEvent(AuditEvent event) {
+  event.seq = events_.size();
+  event.prev_hash = last_hash_;
+  std::string payload = event.Encode();
+
+  std::string record;
+  record.push_back(static_cast<char>(kRecordEvent));
+  record.append(payload);
+  MEDVAULT_RETURN_IF_ERROR(writer_->AddRecord(record));
+
+  last_hash_ = crypto::Sha256Digest(payload);
+  tree_.AppendLeafHash(crypto::MerkleTree::HashLeaf(payload));
+  events_.push_back(std::move(event));
+  return events_.size() - 1;
+}
+
+Result<uint64_t> AuditLog::Append(const PrincipalId& actor,
+                                  AuditAction action,
+                                  const RecordId& record_id,
+                                  const std::string& details, Timestamp now) {
+  if (!open_) return Status::FailedPrecondition("audit log not open");
+  AuditEvent e;
+  e.timestamp = now;
+  e.actor = actor;
+  e.action = action;
+  e.record_id = record_id;
+  e.details = details;
+  return AppendEvent(std::move(e));
+}
+
+Result<SignedCheckpoint> AuditLog::Checkpoint(crypto::XmssSigner* signer,
+                                              Timestamp now) {
+  if (!open_) return Status::FailedPrecondition("audit log not open");
+  SignedCheckpoint c;
+  c.tree_size = tree_.size();
+  c.root = tree_.Root();
+  c.timestamp = now;
+  MEDVAULT_ASSIGN_OR_RETURN(crypto::XmssSignature sig,
+                            signer->Sign(c.SignedPayload()));
+  c.signature = sig.Encode();
+
+  std::string record;
+  record.push_back(static_cast<char>(kRecordCheckpoint));
+  record.append(c.Encode());
+  MEDVAULT_RETURN_IF_ERROR(writer_->AddRecord(record));
+  MEDVAULT_RETURN_IF_ERROR(writer_->Sync());
+  checkpoints_.push_back(c);
+  return c;
+}
+
+Status AuditLog::VerifyAll(const Slice& signer_public_key,
+                           const Slice& signer_public_seed,
+                           int signer_height) const {
+  // Re-read everything from disk; trust nothing in memory.
+  std::unique_ptr<storage::SequentialFile> src;
+  MEDVAULT_RETURN_IF_ERROR(env_->NewSequentialFile(path_, &src));
+  storage::log::Reader reader(std::move(src));
+
+  crypto::MerkleTree tree;
+  std::string last_hash;
+  uint64_t expected_seq = 0;
+  std::string record;
+  while (reader.ReadRecord(&record)) {
+    if (record.empty()) return Status::TamperDetected("empty audit record");
+    uint8_t kind = static_cast<uint8_t>(record[0]);
+    Slice payload(record.data() + 1, record.size() - 1);
+    if (kind == kRecordEvent) {
+      MEDVAULT_ASSIGN_OR_RETURN(AuditEvent e, AuditEvent::Decode(payload));
+      if (e.seq != expected_seq) {
+        return Status::TamperDetected("audit sequence discontinuity");
+      }
+      if (e.prev_hash != last_hash) {
+        return Status::TamperDetected("audit hash chain broken");
+      }
+      last_hash = crypto::Sha256Digest(payload);
+      tree.AppendLeafHash(crypto::MerkleTree::HashLeaf(payload));
+      expected_seq++;
+    } else if (kind == kRecordCheckpoint) {
+      MEDVAULT_ASSIGN_OR_RETURN(SignedCheckpoint c,
+                                SignedCheckpoint::Decode(payload));
+      MEDVAULT_ASSIGN_OR_RETURN(crypto::XmssSignature sig,
+                                crypto::XmssSignature::Decode(c.signature));
+      MEDVAULT_RETURN_IF_ERROR(crypto::XmssSigner::Verify(
+          c.SignedPayload(), sig, signer_public_key, signer_public_seed,
+          signer_height));
+      if (c.tree_size > tree.size()) {
+        return Status::TamperDetected(
+            "checkpoint covers more events than present (truncation)");
+      }
+      MEDVAULT_ASSIGN_OR_RETURN(std::string root_then,
+                                tree.RootAt(c.tree_size));
+      if (!crypto::ConstantTimeEqual(root_then, c.root)) {
+        return Status::TamperDetected("checkpoint root mismatch");
+      }
+    } else {
+      return Status::TamperDetected("unknown audit record kind");
+    }
+  }
+  if (reader.status().IsCorruption()) {
+    return Status::TamperDetected("audit log bytes corrupted: " +
+                                  reader.status().message());
+  }
+  MEDVAULT_RETURN_IF_ERROR(reader.status());
+  return Status::OK();
+}
+
+Status AuditLog::VerifyAgainstTrusted(const SignedCheckpoint& trusted) const {
+  if (trusted.tree_size > tree_.size()) {
+    return Status::TamperDetected(
+        "log shorter than trusted checkpoint (truncation)");
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(std::vector<std::string> proof,
+                            tree_.ConsistencyProof(trusted.tree_size,
+                                                   tree_.size()));
+  return crypto::MerkleTree::VerifyConsistency(
+      trusted.tree_size, trusted.root, tree_.size(), tree_.Root(), proof);
+}
+
+Result<EventProof> AuditLog::ProveEvent(uint64_t seq) const {
+  if (seq >= events_.size()) return Status::NotFound("no such audit event");
+  EventProof proof;
+  proof.event = events_[seq];
+  proof.tree_size = tree_.size();
+  MEDVAULT_ASSIGN_OR_RETURN(proof.path,
+                            tree_.InclusionProof(seq, proof.tree_size));
+  return proof;
+}
+
+Status AuditLog::VerifyEventProof(const EventProof& proof,
+                                  const Slice& root) {
+  std::string leaf_hash =
+      crypto::MerkleTree::HashLeaf(proof.event.Encode());
+  return crypto::MerkleTree::VerifyInclusion(
+      leaf_hash, proof.event.seq, proof.tree_size, proof.path, root);
+}
+
+}  // namespace medvault::core

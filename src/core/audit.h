@@ -1,0 +1,148 @@
+#ifndef MEDVAULT_CORE_AUDIT_H_
+#define MEDVAULT_CORE_AUDIT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/slice.h"
+#include "core/record.h"
+#include "crypto/merkle.h"
+#include "crypto/xmss.h"
+#include "storage/env.h"
+#include "storage/log_writer.h"
+
+namespace medvault::core {
+
+/// What happened. HIPAA §164.312(b) requires recording all EPHI access;
+/// §164.310(d)(2)(iii) requires recording media/record movements.
+enum class AuditAction : uint8_t {
+  kCreate = 1,
+  kRead = 2,
+  kCorrect = 3,
+  kSearch = 4,
+  kDispose = 5,
+  kBreakGlass = 6,
+  kAccessDenied = 7,
+  kMigrateOut = 8,
+  kMigrateIn = 9,
+  kBackup = 10,
+  kRestore = 11,
+  kKeyRotation = 12,
+  kCustodyTransfer = 13,
+  kPolicyChange = 14,
+};
+
+const char* AuditActionName(AuditAction action);
+
+/// One tamper-evident audit entry. Entries are hash-chained
+/// (prev_hash = SHA-256 of the previous entry's encoding) *and* committed
+/// as Merkle leaves, so both streaming verification and O(log n) proofs
+/// are available.
+struct AuditEvent {
+  uint64_t seq = 0;
+  Timestamp timestamp = 0;
+  PrincipalId actor;
+  AuditAction action = AuditAction::kRead;
+  RecordId record_id;  ///< may be empty for system-wide events
+  std::string details;
+  std::string prev_hash;  ///< "" for seq 0
+
+  std::string Encode() const;
+  static Result<AuditEvent> Decode(const Slice& data);
+};
+
+/// A signed statement "the first `tree_size` audit entries have Merkle
+/// root `root`". An auditor who retains any past checkpoint can later
+/// prove append-only growth (or catch truncation/rewriting) via a
+/// consistency proof — this is the paper's "verifiable audit trail".
+struct SignedCheckpoint {
+  uint64_t tree_size = 0;
+  std::string root;
+  Timestamp timestamp = 0;
+  std::string signature;  ///< XmssSignature::Encode()
+
+  /// The byte string that is signed.
+  std::string SignedPayload() const;
+  std::string Encode() const;
+  static Result<SignedCheckpoint> Decode(const Slice& data);
+};
+
+/// Proof that one audit event is committed under a checkpoint.
+struct EventProof {
+  AuditEvent event;
+  uint64_t tree_size = 0;
+  std::vector<std::string> path;
+};
+
+/// Append-only audit log on an Env file, with hash chaining, Merkle
+/// commitments, and XMSS-signed checkpoints.
+class AuditLog {
+ public:
+  AuditLog(storage::Env* env, std::string path);
+
+  AuditLog(const AuditLog&) = delete;
+  AuditLog& operator=(const AuditLog&) = delete;
+
+  /// Replays an existing log (verifying the chain) or starts fresh.
+  Status Open();
+
+  /// Appends an event; fills seq/prev_hash. Returns the sequence number.
+  Result<uint64_t> Append(const PrincipalId& actor, AuditAction action,
+                          const RecordId& record_id,
+                          const std::string& details, Timestamp now);
+
+  /// Signs the current tree head. The caller (auditor) should retain the
+  /// returned checkpoint out-of-band; it is also appended to the log.
+  Result<SignedCheckpoint> Checkpoint(crypto::XmssSigner* signer,
+                                      Timestamp now);
+
+  uint64_t size() const { return events_.size(); }
+  const std::vector<AuditEvent>& events() const { return events_; }
+  const std::vector<SignedCheckpoint>& checkpoints() const {
+    return checkpoints_;
+  }
+
+  /// Full verification from on-disk bytes: re-reads the file, checks
+  /// frame CRCs, the hash chain, sequence continuity, and that every
+  /// embedded checkpoint's root matches the recomputed tree and carries
+  /// a valid signature. Returns kTamperDetected / kCorruption on failure.
+  Status VerifyAll(const Slice& signer_public_key,
+                   const Slice& signer_public_seed, int signer_height) const;
+
+  /// Proves the log is an append-only extension of `trusted` (a
+  /// checkpoint the auditor saved earlier). Catches truncation and
+  /// history rewrites that VerifyAll alone cannot (an insider who
+  /// rewrites the *whole* file consistently is only caught against
+  /// externally retained heads).
+  Status VerifyAgainstTrusted(const SignedCheckpoint& trusted) const;
+
+  /// Inclusion proof for event `seq` under the current tree head.
+  Result<EventProof> ProveEvent(uint64_t seq) const;
+
+  /// Stateless verification of an event proof against a (checkpointed)
+  /// root.
+  static Status VerifyEventProof(const EventProof& proof, const Slice& root);
+
+  /// Current tree head (root over all events).
+  std::string Root() const { return tree_.Root(); }
+
+ private:
+  Result<uint64_t> AppendEvent(AuditEvent event);
+
+  storage::Env* env_;
+  std::string path_;
+  std::unique_ptr<storage::log::Writer> writer_;
+  crypto::MerkleTree tree_;
+  std::vector<AuditEvent> events_;
+  std::vector<SignedCheckpoint> checkpoints_;
+  std::string last_hash_;
+  bool open_ = false;
+};
+
+}  // namespace medvault::core
+
+#endif  // MEDVAULT_CORE_AUDIT_H_

@@ -1,0 +1,90 @@
+#ifndef MEDVAULT_CORE_BACKUP_H_
+#define MEDVAULT_CORE_BACKUP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/vault.h"
+#include "storage/env.h"
+
+namespace medvault::core {
+
+/// Signed inventory of a backup: every vault file with its SHA-256.
+/// HIPAA §164.310(d)(2)(iv): "create a retrievable, exact copy of
+/// electronic protected health information"; paper §3: off-site backup.
+struct BackupManifest {
+  std::string backup_id;
+  std::string system_id;
+  Timestamp created_at = 0;
+  /// Empty for a full backup; for an incremental backup, the id of the
+  /// backup this one builds on. `files` then lists only changed/new
+  /// files and `deleted` the files that vanished since the base (e.g.
+  /// reclaimed segments).
+  std::string base_backup_id;
+  std::vector<std::pair<std::string, std::string>> files;  // path -> sha256
+  std::vector<std::string> deleted;
+  std::string signature;  ///< vault XMSS signature over SignedPayload()
+
+  std::string SignedPayload() const;
+  std::string Encode() const;
+  static Result<BackupManifest> Decode(const Slice& data);
+};
+
+/// Copies a vault to an off-site Env (a second MemEnv in tests, a
+/// different mount in production) and verifies/restores it.
+class BackupManager {
+ public:
+  /// Full backup of `vault` into `offsite_env:offsite_dir`. Writes the
+  /// manifest alongside the data as "<offsite_dir>/MANIFEST" and audits
+  /// the operation. `actor` needs kBackup.
+  static Result<BackupManifest> Backup(Vault* vault,
+                                       const PrincipalId& actor,
+                                       storage::Env* offsite_env,
+                                       const std::string& offsite_dir);
+
+  /// Incremental backup: copies only files that are new or changed
+  /// relative to `base` (which may itself be incremental) and records
+  /// files deleted since. Restore needs the full chain.
+  static Result<BackupManifest> BackupIncremental(
+      Vault* vault, const PrincipalId& actor, storage::Env* offsite_env,
+      const std::string& offsite_dir, const BackupManifest& base);
+
+  /// Re-hashes every off-site file against the manifest.
+  static Status Verify(storage::Env* offsite_env,
+                       const std::string& offsite_dir,
+                       const BackupManifest& manifest);
+
+  /// Restores a full-then-incrementals chain, oldest first. Each element
+  /// is (offsite_dir, manifest); every step is verified, later files
+  /// overwrite earlier ones, and `deleted` lists are honored.
+  static Status RestoreChain(
+      storage::Env* offsite_env,
+      const std::vector<std::pair<std::string, BackupManifest>>& chain,
+      storage::Env* dest_env, const std::string& dest_dir);
+
+  /// Copies the backup into `dest_env:dest_dir` after verifying it.
+  /// The restored directory can then be opened as a Vault.
+  static Status Restore(storage::Env* offsite_env,
+                        const std::string& offsite_dir,
+                        const BackupManifest& manifest,
+                        storage::Env* dest_env, const std::string& dest_dir);
+
+  /// Loads the manifest stored with a backup.
+  static Result<BackupManifest> LoadManifest(storage::Env* offsite_env,
+                                             const std::string& offsite_dir);
+
+  /// Verifies the manifest signature against a vault's signer identity.
+  static Status VerifyManifestSignature(const BackupManifest& manifest,
+                                        const Slice& public_key,
+                                        const Slice& public_seed, int height);
+
+ private:
+  /// Relative paths of all files that constitute a vault.
+  static Result<std::vector<std::string>> VaultFiles(storage::Env* env,
+                                                     const std::string& dir);
+};
+
+}  // namespace medvault::core
+
+#endif  // MEDVAULT_CORE_BACKUP_H_

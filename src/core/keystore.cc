@@ -1,0 +1,238 @@
+#include "core/keystore.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "crypto/ctr.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace medvault::core {
+
+namespace {
+
+/// Key-log entry kinds.
+constexpr uint8_t kEntryLive = 1;
+constexpr uint8_t kEntryDestroyed = 2;
+
+/// Deterministic public wrap nonce, unique per record id. Reopening the
+/// keystore (which reseeds the DRBG) must never reuse a (key, nonce)
+/// pair with *different* plaintext; binding the nonce to the record id
+/// guarantees the only reuse is re-wrapping the identical data key,
+/// which leaks nothing.
+std::string WrapNonce(const std::string& record_id) {
+  std::string digest =
+      crypto::Sha256Digest("medvault-wrap-nonce:" + record_id);
+  return digest.substr(0, crypto::kCtrNonceSize);
+}
+
+void WipeString(std::string* s) {
+  // Best-effort in-memory shredding; volatile prevents dead-store
+  // elimination of the overwrite.
+  volatile char* p = s->data();
+  for (size_t i = 0; i < s->size(); i++) p[i] = 0;
+  s->clear();
+}
+
+}  // namespace
+
+KeyStore::KeyStore(storage::Env* env, std::string path,
+                   const Slice& master_key, const Slice& drbg_seed)
+    : env_(env), path_(std::move(path)) {
+  // Errors surface on Open(); Init failure leaves master_aead_ unusable.
+  InitAead(master_key);
+  drbg_ = std::make_unique<crypto::HmacDrbg>(drbg_seed);
+}
+
+Status KeyStore::InitAead(const Slice& master_key) {
+  return master_aead_.Init(master_key);
+}
+
+Status KeyStore::Open() {
+  if (env_->FileExists(path_)) {
+    std::string contents;
+    MEDVAULT_RETURN_IF_ERROR(
+        storage::ReadFileToString(env_, path_, &contents));
+    Slice in = contents;
+    while (!in.empty()) {
+      uint8_t kind = static_cast<uint8_t>(in[0]);
+      in.RemovePrefix(1);
+      std::string record_id, blob;
+      if (!GetLengthPrefixedString(&in, &record_id)) {
+        return Status::Corruption("malformed key log");
+      }
+      if (kind == kEntryLive) {
+        if (!GetLengthPrefixedString(&in, &blob)) {
+          return Status::Corruption("malformed key log blob");
+        }
+        MEDVAULT_ASSIGN_OR_RETURN(std::string key,
+                                  master_aead_.Open(blob, record_id));
+        KeyState state;
+        state.data_key = std::move(key);
+        std::string ref =
+            crypto::HmacSha256(state.data_key, "medvault-key-ref");
+        key_refs_[ref] = record_id;
+        keys_[record_id] = std::move(state);
+      } else if (kind == kEntryDestroyed) {
+        // Later entries win: erase any live key replayed earlier.
+        auto it = keys_.find(record_id);
+        if (it != keys_.end() && !it->second.destroyed) {
+          key_refs_.erase(crypto::HmacSha256(it->second.data_key,
+                                             "medvault-key-ref"));
+          WipeString(&it->second.data_key);
+        }
+        KeyState state;
+        state.destroyed = true;
+        keys_[record_id] = std::move(state);
+      } else {
+        return Status::Corruption("unknown key log entry kind");
+      }
+    }
+  }
+  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &appender_));
+  open_ = true;
+  return Status::OK();
+}
+
+Status KeyStore::AppendLiveEntry(const RecordId& record_id,
+                                 const std::string& data_key) {
+  std::string entry;
+  entry.push_back(static_cast<char>(kEntryLive));
+  PutLengthPrefixed(&entry, record_id);
+  MEDVAULT_ASSIGN_OR_RETURN(
+      std::string blob,
+      master_aead_.Seal(WrapNonce(record_id), data_key, record_id));
+  PutLengthPrefixed(&entry, blob);
+  MEDVAULT_RETURN_IF_ERROR(appender_->Append(entry));
+  return appender_->Sync();
+}
+
+Status KeyStore::CreateKey(const RecordId& record_id) {
+  if (!open_) return Status::FailedPrecondition("keystore not open");
+  if (keys_.count(record_id) > 0) {
+    return Status::AlreadyExists("key already exists for record");
+  }
+  KeyState state;
+  // Mixing the record id in keeps keys unique even if the DRBG stream
+  // repeats across reopens (the seed is deterministic by design).
+  state.data_key = crypto::HmacSha256(
+      drbg_->Generate(crypto::kAes256KeySize), "medvault-key:" + record_id);
+  std::string ref = crypto::HmacSha256(state.data_key, "medvault-key-ref");
+  MEDVAULT_RETURN_IF_ERROR(AppendLiveEntry(record_id, state.data_key));
+  key_refs_[ref] = record_id;
+  keys_[record_id] = std::move(state);
+  return Status::OK();
+}
+
+Status KeyStore::ImportKey(const RecordId& record_id, const Slice& key,
+                           bool destroyed) {
+  if (!open_) return Status::FailedPrecondition("keystore not open");
+  if (keys_.count(record_id) > 0) {
+    return Status::AlreadyExists("key already exists for record");
+  }
+  KeyState state;
+  if (destroyed) {
+    state.destroyed = true;
+    std::string entry;
+    entry.push_back(static_cast<char>(kEntryDestroyed));
+    PutLengthPrefixed(&entry, record_id);
+    MEDVAULT_RETURN_IF_ERROR(appender_->Append(entry));
+    MEDVAULT_RETURN_IF_ERROR(appender_->Sync());
+  } else {
+    if (key.size() != crypto::kAes256KeySize) {
+      return Status::InvalidArgument("imported key must be 32 bytes");
+    }
+    state.data_key = key.ToString();
+    MEDVAULT_RETURN_IF_ERROR(AppendLiveEntry(record_id, state.data_key));
+    std::string ref = crypto::HmacSha256(state.data_key, "medvault-key-ref");
+    key_refs_[ref] = record_id;
+  }
+  keys_[record_id] = std::move(state);
+  return Status::OK();
+}
+
+Result<std::string> KeyStore::GetKey(const RecordId& record_id) const {
+  auto it = keys_.find(record_id);
+  if (it == keys_.end()) return Status::NotFound("no key for record");
+  if (it->second.destroyed) {
+    return Status::KeyDestroyed("record was crypto-shredded");
+  }
+  return it->second.data_key;
+}
+
+Result<std::string> KeyStore::GetIndexKey(const RecordId& record_id) const {
+  MEDVAULT_ASSIGN_OR_RETURN(std::string data_key, GetKey(record_id));
+  return crypto::HkdfSha256(data_key, Slice(), "medvault-index-key", 32);
+}
+
+Result<std::string> KeyStore::GetKeyRef(const RecordId& record_id) const {
+  MEDVAULT_ASSIGN_OR_RETURN(std::string data_key, GetKey(record_id));
+  return crypto::HmacSha256(data_key, "medvault-key-ref");
+}
+
+Result<RecordId> KeyStore::ResolveKeyRef(const Slice& key_ref) const {
+  auto it = key_refs_.find(key_ref.ToString());
+  if (it == key_refs_.end()) {
+    return Status::NotFound("key ref unknown or destroyed");
+  }
+  return it->second;
+}
+
+Status KeyStore::DestroyKey(const RecordId& record_id) {
+  auto it = keys_.find(record_id);
+  if (it == keys_.end()) return Status::NotFound("no key for record");
+  if (it->second.destroyed) {
+    return Status::KeyDestroyed("key already destroyed");
+  }
+  std::string ref = crypto::HmacSha256(it->second.data_key,
+                                       "medvault-key-ref");
+  key_refs_.erase(ref);
+  WipeString(&it->second.data_key);
+  it->second.destroyed = true;
+  // Rewrite the key log immediately: the wrapped blob must not survive
+  // on disk (media re-use requirement, HIPAA §164.310(d)(2)(ii)).
+  return Persist();
+}
+
+bool KeyStore::IsDestroyed(const RecordId& record_id) const {
+  auto it = keys_.find(record_id);
+  return it != keys_.end() && it->second.destroyed;
+}
+
+size_t KeyStore::LiveKeyCount() const {
+  return key_refs_.size();
+}
+
+Status KeyStore::RotateMasterKey(const Slice& new_master_key) {
+  MEDVAULT_RETURN_IF_ERROR(master_aead_.Init(new_master_key));
+  return Persist();
+}
+
+Status KeyStore::Persist() {
+  if (!open_) return Status::FailedPrecondition("keystore not open");
+  std::string out;
+  for (const auto& [record_id, state] : keys_) {
+    if (state.destroyed) {
+      out.push_back(static_cast<char>(kEntryDestroyed));
+      PutLengthPrefixed(&out, record_id);
+    } else {
+      out.push_back(static_cast<char>(kEntryLive));
+      PutLengthPrefixed(&out, record_id);
+      MEDVAULT_ASSIGN_OR_RETURN(
+          std::string blob,
+          master_aead_.Seal(WrapNonce(record_id), state.data_key,
+                            record_id));
+      PutLengthPrefixed(&out, blob);
+    }
+  }
+  // Write-new-then-rename so a crash never leaves a half-written log,
+  // then re-point the appender at the new file.
+  appender_.reset();
+  std::string tmp = path_ + ".tmp";
+  MEDVAULT_RETURN_IF_ERROR(storage::WriteStringToFile(env_, out, tmp, true));
+  MEDVAULT_RETURN_IF_ERROR(env_->RenameFile(tmp, path_));
+  return env_->NewAppendableFile(path_, &appender_);
+}
+
+}  // namespace medvault::core

@@ -1,0 +1,110 @@
+#ifndef MEDVAULT_CORE_KEYSTORE_H_
+#define MEDVAULT_CORE_KEYSTORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "core/record.h"
+#include "crypto/aead.h"
+#include "crypto/drbg.h"
+#include "storage/env.h"
+
+namespace medvault::core {
+
+/// Key hierarchy and crypto-shredding (paper §2.1 Disposal / §3 secure
+/// deletion, media re-use).
+///
+///   master key  ──wraps──►  per-record data key (32B, random)
+///                           per-record index key (derived via HKDF)
+///
+/// Every record's ciphertext lives forever on WORM segments; what makes
+/// "secure deletion" possible on un-erasable media is destroying the
+/// record's wrapped key: after DestroyKey() the plaintext is
+/// information-theoretically gone from the store (only the master-key
+/// holder could ever have unwrapped it, and the wrapped blob is erased
+/// and overwritten in the key log rewrite).
+///
+/// The key log is itself an append-only file of wrap/destroy events,
+/// re-written compacted on Persist(); destroyed keys never reappear.
+class KeyStore {
+ public:
+  /// `master_key` is 32 bytes; `path` is the key-log file.
+  KeyStore(storage::Env* env, std::string path, const Slice& master_key,
+           const Slice& drbg_seed);
+
+  KeyStore(const KeyStore&) = delete;
+  KeyStore& operator=(const KeyStore&) = delete;
+
+  /// Loads existing key log if present.
+  Status Open();
+
+  /// Generates and wraps a fresh 32-byte data key for `record_id`.
+  /// AlreadyExists if the record has a live or destroyed key.
+  Status CreateKey(const RecordId& record_id);
+
+  /// Installs an existing key (migration: the source vault hands over
+  /// custody of the record key; the target re-wraps it under its own
+  /// master key). Pass an empty key with `destroyed=true` to carry over
+  /// a shredded record's tombstone.
+  Status ImportKey(const RecordId& record_id, const Slice& key,
+                   bool destroyed);
+
+  /// Returns the record's data key, or kKeyDestroyed / kNotFound.
+  Result<std::string> GetKey(const RecordId& record_id) const;
+
+  /// Index key for the record (HKDF from the data key, so it dies with
+  /// it).
+  Result<std::string> GetIndexKey(const RecordId& record_id) const;
+
+  /// An opaque public reference for the record's key, safe to embed in
+  /// index postings. Unlinkable to the record id without the key.
+  Result<std::string> GetKeyRef(const RecordId& record_id) const;
+
+  /// Looks up which record a key-ref belongs to — only possible while
+  /// the key is alive (the mapping is erased on destruction).
+  Result<RecordId> ResolveKeyRef(const Slice& key_ref) const;
+
+  /// Crypto-shreds the record: erases and overwrites key material in
+  /// memory and rewrites the key log without the wrapped blob.
+  /// Idempotent-hostile by design: destroying twice returns kKeyDestroyed.
+  Status DestroyKey(const RecordId& record_id);
+
+  bool IsDestroyed(const RecordId& record_id) const;
+  size_t LiveKeyCount() const;
+
+  /// Re-wraps every live key under a new master key and rewrites the key
+  /// log (master key rotation, needed across a 30-year horizon).
+  Status RotateMasterKey(const Slice& new_master_key);
+
+  /// Writes the compacted key log.
+  Status Persist();
+
+ private:
+  struct KeyState {
+    std::string data_key;  // empty if destroyed
+    bool destroyed = false;
+  };
+
+  Status InitAead(const Slice& master_key);
+
+  /// Appends one wrapped-key entry to the key log (create/import path).
+  Status AppendLiveEntry(const RecordId& record_id,
+                         const std::string& data_key);
+
+  storage::Env* env_;
+  std::string path_;
+  crypto::Aead master_aead_;
+  std::unique_ptr<crypto::HmacDrbg> drbg_;
+  std::unique_ptr<storage::WritableFile> appender_;
+  std::map<RecordId, KeyState> keys_;
+  std::map<std::string, RecordId> key_refs_;  // key-ref -> record
+  bool open_ = false;
+};
+
+}  // namespace medvault::core
+
+#endif  // MEDVAULT_CORE_KEYSTORE_H_

@@ -1,0 +1,67 @@
+#include "core/record.h"
+
+#include "common/coding.h"
+
+namespace medvault::core {
+
+std::string VersionHeader::Encode() const {
+  std::string out;
+  PutLengthPrefixed(&out, record_id);
+  PutVarint32(&out, version);
+  PutLengthPrefixed(&out, author);
+  PutFixed64(&out, static_cast<uint64_t>(created_at));
+  PutLengthPrefixed(&out, content_type);
+  PutLengthPrefixed(&out, reason);
+  PutLengthPrefixed(&out, prev_version_hash);
+  return out;
+}
+
+Result<VersionHeader> VersionHeader::Decode(const Slice& data) {
+  Slice in = data;
+  VersionHeader h;
+  uint64_t created = 0;
+  if (!GetLengthPrefixedString(&in, &h.record_id) ||
+      !GetVarint32(&in, &h.version) ||
+      !GetLengthPrefixedString(&in, &h.author) ||
+      !GetFixed64(&in, &created) ||
+      !GetLengthPrefixedString(&in, &h.content_type) ||
+      !GetLengthPrefixedString(&in, &h.reason) ||
+      !GetLengthPrefixedString(&in, &h.prev_version_hash) || !in.empty()) {
+    return Status::Corruption("malformed version header");
+  }
+  h.created_at = static_cast<Timestamp>(created);
+  return h;
+}
+
+std::string RecordMeta::Encode() const {
+  std::string out;
+  PutLengthPrefixed(&out, record_id);
+  PutLengthPrefixed(&out, patient_id);
+  PutFixed64(&out, static_cast<uint64_t>(created_at));
+  PutFixed64(&out, static_cast<uint64_t>(retention_until));
+  PutLengthPrefixed(&out, retention_policy);
+  PutVarint32(&out, latest_version);
+  out.push_back(disposed ? 1 : 0);
+  out.push_back(legal_hold ? 1 : 0);
+  return out;
+}
+
+Result<RecordMeta> RecordMeta::Decode(const Slice& data) {
+  Slice in = data;
+  RecordMeta m;
+  uint64_t created = 0, retain = 0;
+  if (!GetLengthPrefixedString(&in, &m.record_id) ||
+      !GetLengthPrefixedString(&in, &m.patient_id) ||
+      !GetFixed64(&in, &created) || !GetFixed64(&in, &retain) ||
+      !GetLengthPrefixedString(&in, &m.retention_policy) ||
+      !GetVarint32(&in, &m.latest_version) || in.size() != 2) {
+    return Status::Corruption("malformed record meta");
+  }
+  m.created_at = static_cast<Timestamp>(created);
+  m.retention_until = static_cast<Timestamp>(retain);
+  m.disposed = (in[0] != 0);
+  m.legal_hold = (in[1] != 0);
+  return m;
+}
+
+}  // namespace medvault::core

@@ -1,0 +1,67 @@
+#ifndef MEDVAULT_CORE_RECORD_H_
+#define MEDVAULT_CORE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace medvault::core {
+
+/// Identifies a health record (all of its versions). Opaque string,
+/// assigned by the Vault ("r-<n>").
+using RecordId = std::string;
+
+/// Identifies an actor (clinician, patient, auditor, system).
+using PrincipalId = std::string;
+
+/// Immutable header of one record version. This struct is the AEAD
+/// *associated data* for the version's payload, so every field is
+/// tamper-evident: flipping any header byte voids the payload's tag.
+struct VersionHeader {
+  RecordId record_id;
+  uint32_t version = 1;  ///< 1-based; version>1 are corrections
+  PrincipalId author;
+  Timestamp created_at = 0;
+  std::string content_type;  ///< e.g. "text/plain", "hl7/orux"
+  std::string reason;        ///< correction rationale; empty for version 1
+  /// SHA-256 of the previous version's full entry ("" for version 1):
+  /// versions of a record form a hash chain, so history cannot be
+  /// silently rewritten even by an insider who can append.
+  std::string prev_version_hash;
+
+  std::string Encode() const;
+  static Result<VersionHeader> Decode(const Slice& data);
+};
+
+/// A decrypted record version as returned to an authorized reader.
+struct RecordVersion {
+  VersionHeader header;
+  std::string plaintext;
+};
+
+/// Patient-facing metadata kept *outside* the ciphertext (needed before
+/// decryption: routing, retention, custody). Contains no clinical data.
+struct RecordMeta {
+  RecordId record_id;
+  PrincipalId patient_id;
+  Timestamp created_at = 0;
+  Timestamp retention_until = 0;
+  std::string retention_policy;  ///< e.g. "osha-30y"
+  uint32_t latest_version = 0;
+  bool disposed = false;
+  /// Litigation hold: while set, disposal is blocked even after the
+  /// retention period expires (records under legal discovery must not
+  /// be destroyed regardless of schedule).
+  bool legal_hold = false;
+
+  std::string Encode() const;
+  static Result<RecordMeta> Decode(const Slice& data);
+};
+
+}  // namespace medvault::core
+
+#endif  // MEDVAULT_CORE_RECORD_H_

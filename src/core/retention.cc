@@ -1,0 +1,114 @@
+#include "core/retention.h"
+
+#include "common/coding.h"
+
+namespace medvault::core {
+
+std::string DisposalCertificate::SignedPayload() const {
+  std::string out = "medvault-disposal-v1";
+  PutLengthPrefixed(&out, record_id);
+  PutLengthPrefixed(&out, authorizer);
+  PutLengthPrefixed(&out, policy);
+  PutFixed64(&out, static_cast<uint64_t>(disposed_at));
+  PutLengthPrefixed(&out, custody_head);
+  return out;
+}
+
+std::string DisposalCertificate::Encode() const {
+  std::string out;
+  PutLengthPrefixed(&out, record_id);
+  PutLengthPrefixed(&out, authorizer);
+  PutLengthPrefixed(&out, policy);
+  PutFixed64(&out, static_cast<uint64_t>(disposed_at));
+  PutLengthPrefixed(&out, custody_head);
+  PutLengthPrefixed(&out, signature);
+  return out;
+}
+
+Result<DisposalCertificate> DisposalCertificate::Decode(const Slice& data) {
+  Slice in = data;
+  DisposalCertificate c;
+  uint64_t ts = 0;
+  if (!GetLengthPrefixedString(&in, &c.record_id) ||
+      !GetLengthPrefixedString(&in, &c.authorizer) ||
+      !GetLengthPrefixedString(&in, &c.policy) || !GetFixed64(&in, &ts) ||
+      !GetLengthPrefixedString(&in, &c.custody_head) ||
+      !GetLengthPrefixedString(&in, &c.signature) || !in.empty()) {
+    return Status::Corruption("malformed disposal certificate");
+  }
+  c.disposed_at = static_cast<Timestamp>(ts);
+  return c;
+}
+
+RetentionManager::RetentionManager() {
+  policies_["osha-30y"] = 30 * kMicrosPerYear;
+  policies_["hipaa-6y"] = 6 * kMicrosPerYear;
+  policies_["short-1y"] = 1 * kMicrosPerYear;
+}
+
+Status RetentionManager::RegisterPolicy(const std::string& name,
+                                        Timestamp duration) {
+  if (name.empty() || duration <= 0) {
+    return Status::InvalidArgument("policy needs a name and duration");
+  }
+  policies_[name] = duration;
+  return Status::OK();
+}
+
+bool RetentionManager::HasPolicy(const std::string& name) const {
+  return policies_.count(name) > 0;
+}
+
+Result<Timestamp> RetentionManager::RetentionUntil(
+    const std::string& policy, Timestamp created_at) const {
+  auto it = policies_.find(policy);
+  if (it == policies_.end()) {
+    return Status::NotFound("unknown retention policy: " + policy);
+  }
+  return created_at + it->second;
+}
+
+Status RetentionManager::CheckDisposalAllowed(const RecordMeta& meta,
+                                              Timestamp now) const {
+  if (meta.disposed) {
+    return Status::FailedPrecondition("record already disposed");
+  }
+  if (meta.legal_hold) {
+    return Status::RetentionViolation(
+        "record " + meta.record_id + " is under legal hold");
+  }
+  if (now < meta.retention_until) {
+    return Status::RetentionViolation(
+        "retention period (" + meta.retention_policy +
+        ") has not expired for record " + meta.record_id);
+  }
+  return Status::OK();
+}
+
+Result<DisposalCertificate> RetentionManager::IssueCertificate(
+    const RecordMeta& meta, const PrincipalId& authorizer,
+    const std::string& custody_head, Timestamp now,
+    crypto::XmssSigner* signer) const {
+  DisposalCertificate cert;
+  cert.record_id = meta.record_id;
+  cert.authorizer = authorizer;
+  cert.policy = meta.retention_policy;
+  cert.disposed_at = now;
+  cert.custody_head = custody_head;
+  MEDVAULT_ASSIGN_OR_RETURN(crypto::XmssSignature sig,
+                            signer->Sign(cert.SignedPayload()));
+  cert.signature = sig.Encode();
+  return cert;
+}
+
+Status RetentionManager::VerifyCertificate(const DisposalCertificate& cert,
+                                           const Slice& public_key,
+                                           const Slice& public_seed,
+                                           int height) {
+  MEDVAULT_ASSIGN_OR_RETURN(crypto::XmssSignature sig,
+                            crypto::XmssSignature::Decode(cert.signature));
+  return crypto::XmssSigner::Verify(cert.SignedPayload(), sig, public_key,
+                                    public_seed, height);
+}
+
+}  // namespace medvault::core

@@ -1,0 +1,71 @@
+#ifndef MEDVAULT_CORE_RETENTION_H_
+#define MEDVAULT_CORE_RETENTION_H_
+
+#include <map>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/record.h"
+#include "crypto/xmss.h"
+
+namespace medvault::core {
+
+/// A verifiable statement that a record was disposed of: when, by whom,
+/// under which policy, and the custody chain head at disposal time.
+/// Signed with the vault's XMSS key so it stays checkable for decades
+/// (regulators may ask "prove you disposed of this properly" years
+/// later — HIPAA §164.310(d)(2)(i)).
+struct DisposalCertificate {
+  RecordId record_id;
+  PrincipalId authorizer;
+  std::string policy;
+  Timestamp disposed_at = 0;
+  std::string custody_head;  ///< provenance chain head at disposal
+
+  std::string signature;  ///< XmssSignature::Encode()
+
+  std::string SignedPayload() const;
+  std::string Encode() const;
+  static Result<DisposalCertificate> Decode(const Slice& data);
+};
+
+/// Retention policies (paper §2: OSHA 30-year exposure/medical records,
+/// EU Directive 95/46/EC guaranteed disposal after retention) and the
+/// gate that makes early disposal impossible and late disposal provable.
+class RetentionManager {
+ public:
+  /// Registers the standard policies (osha-30y, hipaa-6y, short-1y).
+  RetentionManager();
+
+  RetentionManager(const RetentionManager&) = delete;
+  RetentionManager& operator=(const RetentionManager&) = delete;
+
+  Status RegisterPolicy(const std::string& name, Timestamp duration);
+  bool HasPolicy(const std::string& name) const;
+
+  /// created_at + policy duration.
+  Result<Timestamp> RetentionUntil(const std::string& policy,
+                                   Timestamp created_at) const;
+
+  /// OK if `meta`'s retention has expired at `now`; kRetentionViolation
+  /// otherwise; kFailedPrecondition if already disposed.
+  Status CheckDisposalAllowed(const RecordMeta& meta, Timestamp now) const;
+
+  /// Builds and signs a disposal certificate.
+  Result<DisposalCertificate> IssueCertificate(
+      const RecordMeta& meta, const PrincipalId& authorizer,
+      const std::string& custody_head, Timestamp now,
+      crypto::XmssSigner* signer) const;
+
+  static Status VerifyCertificate(const DisposalCertificate& cert,
+                                  const Slice& public_key,
+                                  const Slice& public_seed, int height);
+
+ private:
+  std::map<std::string, Timestamp> policies_;
+};
+
+}  // namespace medvault::core
+
+#endif  // MEDVAULT_CORE_RETENTION_H_

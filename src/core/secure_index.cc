@@ -1,0 +1,224 @@
+#include "core/secure_index.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/coding.h"
+#include "crypto/aead.h"
+#include "crypto/ctr.h"
+#include "crypto/hmac.h"
+#include "storage/log_reader.h"
+
+namespace medvault::core {
+
+SecureIndex::SecureIndex(storage::Env* env, std::string path,
+                         const Slice& master_key, KeyStore* keystore)
+    : env_(env),
+      path_(std::move(path)),
+      master_key_(master_key.ToString()),
+      keystore_(keystore) {}
+
+std::string SecureIndex::NormalizeTerm(const std::string& term) {
+  std::string out;
+  out.reserve(term.size());
+  for (char c : term) {
+    out.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::string SecureIndex::BlindTerm(const std::string& term) const {
+  return crypto::HmacSha256(master_key_, "term:" + NormalizeTerm(term));
+}
+
+Status SecureIndex::Open() {
+  uint64_t existing_size = 0;
+  if (env_->FileExists(path_)) {
+    MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(path_, &existing_size));
+    std::unique_ptr<storage::SequentialFile> src;
+    MEDVAULT_RETURN_IF_ERROR(env_->NewSequentialFile(path_, &src));
+    storage::log::Reader reader(std::move(src));
+    std::string record;
+    while (reader.ReadRecord(&record)) {
+      Slice in = record;
+      std::string blind, key_ref, sealed;
+      if (!GetLengthPrefixedString(&in, &blind) ||
+          !GetLengthPrefixedString(&in, &key_ref) ||
+          !GetLengthPrefixedString(&in, &sealed) || !in.empty()) {
+        return Status::Corruption("malformed index posting");
+      }
+      postings_[blind].push_back(Posting{std::move(key_ref),
+                                         std::move(sealed)});
+    }
+    MEDVAULT_RETURN_IF_ERROR(reader.status());
+  }
+  std::unique_ptr<storage::WritableFile> dest;
+  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &dest));
+  writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
+                                                   existing_size);
+  open_ = true;
+  return Status::OK();
+}
+
+Status SecureIndex::AddPostings(const RecordId& record_id,
+                                const std::vector<std::string>& terms) {
+  if (!open_) return Status::FailedPrecondition("index not open");
+  MEDVAULT_ASSIGN_OR_RETURN(std::string index_key,
+                            keystore_->GetIndexKey(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(std::string key_ref,
+                            keystore_->GetKeyRef(record_id));
+  crypto::Aead aead;
+  MEDVAULT_RETURN_IF_ERROR(aead.Init(index_key));
+
+  for (const std::string& term : terms) {
+    std::string blind = BlindTerm(term);
+    // Deterministic nonce: per (record key, term). Re-indexing the same
+    // term for the same record reuses nonce AND plaintext, which leaks
+    // only equality of identical postings — safe for CTR.
+    std::string nonce_full =
+        crypto::HmacSha256(index_key, "medvault-posting-nonce" + blind);
+    Slice nonce(nonce_full.data(), crypto::kCtrNonceSize);
+    MEDVAULT_ASSIGN_OR_RETURN(std::string sealed,
+                              aead.Seal(nonce, record_id, blind));
+    std::string entry;
+    PutLengthPrefixed(&entry, blind);
+    PutLengthPrefixed(&entry, key_ref);
+    PutLengthPrefixed(&entry, sealed);
+    MEDVAULT_RETURN_IF_ERROR(writer_->AddRecord(entry));
+    postings_[blind].push_back(Posting{key_ref, std::move(sealed)});
+  }
+  return Status::OK();
+}
+
+Result<std::vector<RecordId>> SecureIndex::Search(
+    const std::string& term) const {
+  if (!open_) return Status::FailedPrecondition("index not open");
+  std::vector<RecordId> results;
+  auto it = postings_.find(BlindTerm(term));
+  if (it == postings_.end()) return results;
+
+  for (const Posting& posting : it->second) {
+    auto record = keystore_->ResolveKeyRef(posting.key_ref);
+    if (!record.ok()) continue;  // crypto-shredded: dead posting
+    auto index_key = keystore_->GetIndexKey(*record);
+    if (!index_key.ok()) continue;
+    crypto::Aead aead;
+    MEDVAULT_RETURN_IF_ERROR(aead.Init(*index_key));
+    auto opened = aead.Open(posting.sealed_record_id, it->first);
+    if (!opened.ok()) {
+      // A posting that resolves but fails authentication is tampering,
+      // not deletion.
+      return Status::TamperDetected("index posting failed authentication");
+    }
+    if (*opened != *record) {
+      return Status::TamperDetected("index posting names wrong record");
+    }
+    if (std::find(results.begin(), results.end(), *opened) ==
+        results.end()) {
+      results.push_back(*opened);
+    }
+  }
+  return results;
+}
+
+Status SecureIndex::VerifyIntegrity() const {
+  if (!open_) return Status::FailedPrecondition("index not open");
+  std::unique_ptr<storage::SequentialFile> src;
+  Status open_status = env_->NewSequentialFile(path_, &src);
+  if (open_status.IsNotFound()) {
+    return TotalPostingCount() == 0
+               ? Status::OK()
+               : Status::TamperDetected("index file missing");
+  }
+  MEDVAULT_RETURN_IF_ERROR(open_status);
+  storage::log::Reader reader(std::move(src));
+  std::string record;
+  size_t on_disk = 0;
+  while (reader.ReadRecord(&record)) {
+    Slice in = record;
+    std::string blind, key_ref, sealed;
+    if (!GetLengthPrefixedString(&in, &blind) ||
+        !GetLengthPrefixedString(&in, &key_ref) ||
+        !GetLengthPrefixedString(&in, &sealed) || !in.empty()) {
+      return Status::TamperDetected("malformed index posting on disk");
+    }
+    auto record_id = keystore_->ResolveKeyRef(key_ref);
+    if (record_id.ok()) {
+      auto index_key = keystore_->GetIndexKey(*record_id);
+      if (!index_key.ok()) {
+        return Status::TamperDetected("index posting key inconsistent");
+      }
+      crypto::Aead aead;
+      MEDVAULT_RETURN_IF_ERROR(aead.Init(*index_key));
+      auto opened = aead.Open(sealed, blind);
+      if (!opened.ok() || *opened != *record_id) {
+        return Status::TamperDetected("index posting fails authentication");
+      }
+    }
+    on_disk++;
+  }
+  if (reader.status().IsCorruption()) {
+    return Status::TamperDetected("index log bytes corrupted: " +
+                                  reader.status().message());
+  }
+  MEDVAULT_RETURN_IF_ERROR(reader.status());
+  if (on_disk != TotalPostingCount()) {
+    return Status::TamperDetected("index posting count mismatch");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<RecordId>> SecureIndex::SearchAll(
+    const std::vector<std::string>& terms) const {
+  if (!open_) return Status::FailedPrecondition("index not open");
+  if (terms.empty()) return std::vector<RecordId>();
+
+  // Evaluate the rarest term first to keep the working set small.
+  std::vector<std::pair<size_t, std::string>> by_selectivity;
+  by_selectivity.reserve(terms.size());
+  for (const std::string& term : terms) {
+    auto it = postings_.find(BlindTerm(term));
+    size_t count = (it == postings_.end()) ? 0 : it->second.size();
+    if (count == 0) return std::vector<RecordId>();  // empty intersection
+    by_selectivity.emplace_back(count, term);
+  }
+  std::sort(by_selectivity.begin(), by_selectivity.end());
+
+  MEDVAULT_ASSIGN_OR_RETURN(std::vector<RecordId> result,
+                            Search(by_selectivity[0].second));
+  for (size_t i = 1; i < by_selectivity.size() && !result.empty(); i++) {
+    MEDVAULT_ASSIGN_OR_RETURN(std::vector<RecordId> next,
+                              Search(by_selectivity[i].second));
+    std::vector<RecordId> merged;
+    for (const RecordId& id : result) {
+      if (std::find(next.begin(), next.end(), id) != next.end()) {
+        merged.push_back(id);
+      }
+    }
+    result = std::move(merged);
+  }
+  return result;
+}
+
+size_t SecureIndex::LivePostingCount() const {
+  size_t live = 0;
+  for (const auto& [blind, list] : postings_) {
+    for (const Posting& p : list) {
+      if (keystore_->ResolveKeyRef(p.key_ref).ok()) live++;
+    }
+  }
+  return live;
+}
+
+size_t SecureIndex::DeadPostingCount() const {
+  return TotalPostingCount() - LivePostingCount();
+}
+
+size_t SecureIndex::TotalPostingCount() const {
+  size_t total = 0;
+  for (const auto& [blind, list] : postings_) total += list.size();
+  return total;
+}
+
+}  // namespace medvault::core

@@ -1,0 +1,93 @@
+#ifndef MEDVAULT_CORE_SECURE_INDEX_H_
+#define MEDVAULT_CORE_SECURE_INDEX_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/keystore.h"
+#include "core/record.h"
+#include "storage/env.h"
+#include "storage/log_writer.h"
+
+namespace medvault::core {
+
+/// Trustworthy keyword index (paper §3: "regular indexing schemes such as
+/// keyword index can breach privacy as the mere existence of a word in a
+/// document can leak information"; cf. Mitra et al., VLDB'06, and Mitra &
+/// Winslett, StorageSS'06 on secure deletion from inverted indexes).
+///
+/// Design:
+///  - Terms are *blinded*: the on-disk posting key is
+///    HMAC(index_master_key, term), so raw index bytes reveal no keyword.
+///  - Each posting's record id is AEAD-sealed under the *record's* index
+///    key (derived from its data key) and tagged with the record's opaque
+///    key-ref. Crypto-shredding the record therefore simultaneously kills
+///    its index postings: the key-ref no longer resolves and the sealed
+///    id can never be opened — secure deletion from an index that lives
+///    on un-erasable WORM media.
+///  - The posting log itself is append-only.
+class SecureIndex {
+ public:
+  SecureIndex(storage::Env* env, std::string path, const Slice& master_key,
+              KeyStore* keystore);
+
+  SecureIndex(const SecureIndex&) = delete;
+  SecureIndex& operator=(const SecureIndex&) = delete;
+
+  Status Open();
+
+  /// Indexes `record_id` under each term (normalizes to lowercase).
+  Status AddPostings(const RecordId& record_id,
+                     const std::vector<std::string>& terms);
+
+  /// Returns the ids of live records containing `term`. Postings whose
+  /// record was crypto-shredded are skipped (and counted as dead).
+  Result<std::vector<RecordId>> Search(const std::string& term) const;
+
+  /// Conjunctive query: records containing *every* term (cf. Mitra et
+  /// al.'s multi-keyword queries). Starts from the rarest term's
+  /// postings and intersects.
+  Result<std::vector<RecordId>> SearchAll(
+      const std::vector<std::string>& terms) const;
+
+  /// Re-reads the posting log from disk and verifies it: frame CRCs
+  /// catch raw byte flips; live postings must AEAD-authenticate under
+  /// their record's index key; the on-disk posting count must match the
+  /// session state. (A rewritten key-ref degrades a posting to "dead",
+  /// indistinguishable from crypto-shredding — an availability attack,
+  /// documented in DESIGN.md as out of scope for stealth detection.)
+  Status VerifyIntegrity() const;
+
+  /// Number of postings whose record key still resolves / no longer
+  /// resolves (observability for the secure-deletion experiments).
+  size_t LivePostingCount() const;
+  size_t DeadPostingCount() const;
+  size_t TotalPostingCount() const;
+
+  /// Distinct blinded terms (structure leakage is term cardinality only).
+  size_t TermCount() const { return postings_.size(); }
+
+ private:
+  struct Posting {
+    std::string key_ref;
+    std::string sealed_record_id;
+  };
+
+  std::string BlindTerm(const std::string& term) const;
+  static std::string NormalizeTerm(const std::string& term);
+
+  storage::Env* env_;
+  std::string path_;
+  std::string master_key_;
+  KeyStore* keystore_;
+  std::unique_ptr<storage::log::Writer> writer_;
+  std::map<std::string, std::vector<Posting>> postings_;  // blind -> postings
+  bool open_ = false;
+};
+
+}  // namespace medvault::core
+
+#endif  // MEDVAULT_CORE_SECURE_INDEX_H_

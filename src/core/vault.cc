@@ -1,0 +1,795 @@
+#include "core/vault.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/hex.h"
+#include "crypto/aes.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "storage/log_reader.h"
+
+namespace medvault::core {
+
+namespace {
+
+/// State-log entry kinds.
+constexpr uint8_t kStateMeta = 1;
+constexpr uint8_t kStateSigner = 2;
+constexpr uint8_t kStatePrincipal = 3;
+constexpr uint8_t kStateCareAssign = 4;
+constexpr uint8_t kStateCareRevoke = 5;
+
+std::string EncodePrincipal(const Principal& p) {
+  std::string out;
+  PutLengthPrefixed(&out, p.id);
+  out.push_back(static_cast<char>(p.role));
+  PutLengthPrefixed(&out, p.display_name);
+  return out;
+}
+
+Result<Principal> DecodePrincipal(const Slice& data) {
+  Slice in = data;
+  Principal p;
+  if (!GetLengthPrefixedString(&in, &p.id) || in.empty()) {
+    return Status::Corruption("malformed principal entry");
+  }
+  p.role = static_cast<Role>(in[0]);
+  in.RemovePrefix(1);
+  if (!GetLengthPrefixedString(&in, &p.display_name) || !in.empty()) {
+    return Status::Corruption("malformed principal entry");
+  }
+  return p;
+}
+
+std::string EncodeCare(const PrincipalId& clinician,
+                       const PrincipalId& patient) {
+  std::string out;
+  PutLengthPrefixed(&out, clinician);
+  PutLengthPrefixed(&out, patient);
+  return out;
+}
+
+/// Keyword terms never enter the audit log in cleartext; we log a short
+/// blinded tag instead (the index already leaks only this much).
+std::string SearchAuditDetail(const Slice& master_key,
+                              const std::string& term) {
+  std::string blind = crypto::HmacSha256(master_key, "audit-term:" + term);
+  return "term-blind:" + HexEncode(Slice(blind.data(), 8));
+}
+
+}  // namespace
+
+Vault::Vault(VaultOptions options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<Vault>> Vault::Open(const VaultOptions& options) {
+  if (options.env == nullptr || options.clock == nullptr) {
+    return Status::InvalidArgument("Vault needs an Env and a Clock");
+  }
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("Vault needs a directory");
+  }
+  if (options.master_key.size() != crypto::kAes256KeySize) {
+    return Status::InvalidArgument("master key must be 32 bytes");
+  }
+  if (options.entropy.empty()) {
+    return Status::InvalidArgument("Vault needs an entropy seed");
+  }
+  if (options.signer_height < 2 || options.signer_height > 16) {
+    return Status::InvalidArgument("signer height must be in [2,16]");
+  }
+  std::unique_ptr<Vault> vault(new Vault(options));
+  MEDVAULT_RETURN_IF_ERROR(vault->Init());
+  return vault;
+}
+
+Status Vault::Init() {
+  storage::Env* env = options_.env;
+  const std::string& dir = options_.dir;
+  MEDVAULT_RETURN_IF_ERROR(env->CreateDirIfMissing(dir));
+
+  // Key derivation fan-out from master key / entropy.
+  MEDVAULT_ASSIGN_OR_RETURN(
+      std::string keystore_seed,
+      crypto::HkdfSha256(options_.entropy, Slice(), "keystore-drbg", 32));
+  // Derived from the long-term entropy seed (not the rotatable master
+  // key) so existing postings stay searchable across key rotation.
+  MEDVAULT_ASSIGN_OR_RETURN(
+      std::string index_master,
+      crypto::HkdfSha256(options_.entropy, Slice(), "index-master", 32));
+  // Signer identity derives from the long-term entropy seed so that it
+  // survives master-key rotation.
+  MEDVAULT_ASSIGN_OR_RETURN(
+      std::string signer_secret,
+      crypto::HkdfSha256(options_.entropy, Slice(), "signer-secret", 32));
+  MEDVAULT_ASSIGN_OR_RETURN(
+      signer_public_seed_,
+      crypto::HkdfSha256(options_.entropy, Slice(), "signer-public", 32));
+
+  keystore_ = std::make_unique<KeyStore>(env, dir + "/keys.db",
+                                         options_.master_key, keystore_seed);
+  MEDVAULT_RETURN_IF_ERROR(keystore_->Open());
+
+  versions_ = std::make_unique<VersionStore>(env, dir, keystore_.get());
+  MEDVAULT_RETURN_IF_ERROR(versions_->Open());
+
+  index_ = std::make_unique<SecureIndex>(env, dir + "/index.log",
+                                         index_master, keystore_.get());
+  MEDVAULT_RETURN_IF_ERROR(index_->Open());
+
+  audit_ = std::make_unique<AuditLog>(env, dir + "/audit.log");
+  MEDVAULT_RETURN_IF_ERROR(audit_->Open());
+
+  provenance_ = std::make_unique<ProvenanceTracker>(
+      env, dir + "/provenance.log", options_.system_id);
+  MEDVAULT_RETURN_IF_ERROR(provenance_->Open());
+
+  signer_ = std::make_unique<crypto::XmssSigner>(
+      signer_secret, signer_public_seed_, options_.signer_height);
+
+  MEDVAULT_RETURN_IF_ERROR(LoadState());
+  return Status::OK();
+}
+
+Status Vault::LoadState() {
+  storage::Env* env = options_.env;
+  const std::string state_path = options_.dir + "/state.log";
+  uint64_t existing_size = 0;
+  uint64_t signer_used = 0;
+  if (env->FileExists(state_path)) {
+    MEDVAULT_RETURN_IF_ERROR(env->GetFileSize(state_path, &existing_size));
+    std::unique_ptr<storage::SequentialFile> src;
+    MEDVAULT_RETURN_IF_ERROR(env->NewSequentialFile(state_path, &src));
+    storage::log::Reader reader(std::move(src));
+    std::string record;
+    while (reader.ReadRecord(&record)) {
+      if (record.empty()) return Status::Corruption("empty state entry");
+      uint8_t kind = static_cast<uint8_t>(record[0]);
+      Slice payload(record.data() + 1, record.size() - 1);
+      switch (kind) {
+        case kStateMeta: {
+          MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                                    RecordMeta::Decode(payload));
+          metas_[meta.record_id] = meta;
+          // Record ids are "r-<n>"; keep the counter ahead of them.
+          if (meta.record_id.size() > 2 &&
+              meta.record_id.compare(0, 2, "r-") == 0) {
+            uint64_t n = strtoull(meta.record_id.c_str() + 2, nullptr, 10);
+            next_record_num_ = std::max(next_record_num_, n + 1);
+          }
+          break;
+        }
+        case kStateSigner: {
+          Slice in = payload;
+          if (!GetVarint64(&in, &signer_used)) {
+            return Status::Corruption("malformed signer state");
+          }
+          break;
+        }
+        case kStatePrincipal: {
+          MEDVAULT_ASSIGN_OR_RETURN(Principal p, DecodePrincipal(payload));
+          if (p.role == Role::kAdmin) has_admin_ = true;
+          MEDVAULT_RETURN_IF_ERROR(access_.RegisterPrincipal(p));
+          break;
+        }
+        case kStateCareAssign:
+        case kStateCareRevoke: {
+          Slice in = payload;
+          std::string clinician, patient;
+          if (!GetLengthPrefixedString(&in, &clinician) ||
+              !GetLengthPrefixedString(&in, &patient) || !in.empty()) {
+            return Status::Corruption("malformed care entry");
+          }
+          if (kind == kStateCareAssign) {
+            MEDVAULT_RETURN_IF_ERROR(access_.AssignCare(clinician, patient));
+          } else {
+            MEDVAULT_RETURN_IF_ERROR(access_.RevokeCare(clinician, patient));
+          }
+          break;
+        }
+        default:
+          return Status::Corruption("unknown state entry kind");
+      }
+    }
+    MEDVAULT_RETURN_IF_ERROR(reader.status());
+  }
+  std::unique_ptr<storage::WritableFile> dest;
+  MEDVAULT_RETURN_IF_ERROR(env->NewAppendableFile(state_path, &dest));
+  state_writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
+                                                         existing_size);
+  return signer_->RestoreState(signer_used);
+}
+
+Status Vault::AppendStateEntry(uint8_t kind, const Slice& payload) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::string record;
+  record.push_back(static_cast<char>(kind));
+  record.append(payload.data(), payload.size());
+  return state_writer_->AddRecord(record);
+}
+
+Status Vault::PersistSignerState() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::string payload;
+  PutVarint64(&payload, signer_->SignaturesUsed());
+  return AppendStateEntry(kStateSigner, payload);
+}
+
+const std::string& Vault::SignerPublicKey() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return signer_->public_key();
+}
+
+const std::string& Vault::SignerPublicSeed() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return signer_public_seed_;
+}
+
+Status Vault::Audit(const PrincipalId& actor, AuditAction action,
+                    const RecordId& record_id, const std::string& details) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return audit_->Append(actor, action, record_id, details, Now()).status();
+}
+
+Result<std::string> Vault::SignStatement(const Slice& payload) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(crypto::XmssSignature sig,
+                            signer_->Sign(payload));
+  MEDVAULT_RETURN_IF_ERROR(PersistSignerState());
+  return sig.Encode();
+}
+
+Result<RecordMeta> Vault::RequireLiveMeta(const RecordId& record_id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = metas_.find(record_id);
+  if (it == metas_.end()) return Status::NotFound("unknown record");
+  return it->second;
+}
+
+Status Vault::CheckAndAudit(const PrincipalId& actor, Operation op,
+                            const RecordId& record_id,
+                            const PrincipalId& patient_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  Status s = access_.CheckAccess(actor, op, patient_id, Now());
+  if (!s.ok()) {
+    // Denials are themselves auditable events (HIPAA audit controls).
+    (void)Audit(actor, AuditAction::kAccessDenied, record_id,
+                std::string(OperationName(op)) + ": " + s.message());
+  }
+  return s;
+}
+
+// ---- Administration ----------------------------------------------------
+
+Status Vault::RegisterPrincipal(const PrincipalId& actor,
+                                const Principal& principal) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (has_admin_) {
+    MEDVAULT_RETURN_IF_ERROR(
+        CheckAndAudit(actor, Operation::kManagePrincipals, "", ""));
+  }
+  MEDVAULT_RETURN_IF_ERROR(access_.RegisterPrincipal(principal));
+  if (principal.role == Role::kAdmin) has_admin_ = true;
+  MEDVAULT_RETURN_IF_ERROR(
+      AppendStateEntry(kStatePrincipal, EncodePrincipal(principal)));
+  return Audit(actor, AuditAction::kPolicyChange, "",
+               "register-principal " + principal.id + " role=" +
+                   RoleName(principal.role));
+}
+
+Status Vault::AssignCare(const PrincipalId& actor,
+                         const PrincipalId& clinician,
+                         const PrincipalId& patient) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kManagePrincipals, "", ""));
+  MEDVAULT_RETURN_IF_ERROR(access_.AssignCare(clinician, patient));
+  MEDVAULT_RETURN_IF_ERROR(
+      AppendStateEntry(kStateCareAssign, EncodeCare(clinician, patient)));
+  return Audit(actor, AuditAction::kPolicyChange, "",
+               "assign-care " + clinician + " -> " + patient);
+}
+
+Result<std::string> Vault::BreakGlass(const PrincipalId& clinician,
+                                      const PrincipalId& patient,
+                                      const std::string& justification,
+                                      Timestamp duration) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  Timestamp now = Now();
+  MEDVAULT_ASSIGN_OR_RETURN(
+      std::string grant_id,
+      access_.BreakGlass(clinician, patient, justification, now,
+                         now + duration));
+  // Break-glass is the one path that must never be silent.
+  MEDVAULT_RETURN_IF_ERROR(Audit(clinician, AuditAction::kBreakGlass, "",
+                                 "patient=" + patient + " grant=" + grant_id +
+                                     " justification=" + justification));
+  return grant_id;
+}
+
+// ---- Record lifecycle ----------------------------------------------------
+
+Result<RecordId> Vault::CreateRecord(
+    const PrincipalId& actor, const PrincipalId& patient_id,
+    const std::string& content_type, const Slice& plaintext,
+    const std::vector<std::string>& keywords,
+    const std::string& retention_policy) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kCreateRecord, "", patient_id));
+  Timestamp now = Now();
+  MEDVAULT_ASSIGN_OR_RETURN(Timestamp retention_until,
+                            retention_.RetentionUntil(retention_policy, now));
+
+  RecordId record_id = "r-" + std::to_string(next_record_num_++);
+  MEDVAULT_RETURN_IF_ERROR(keystore_->CreateKey(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(
+      VersionHeader header,
+      versions_->AppendVersion(record_id, actor, content_type, "", plaintext,
+                               now));
+  (void)header;
+  MEDVAULT_RETURN_IF_ERROR(index_->AddPostings(record_id, keywords));
+
+  RecordMeta meta;
+  meta.record_id = record_id;
+  meta.patient_id = patient_id;
+  meta.created_at = now;
+  meta.retention_until = retention_until;
+  meta.retention_policy = retention_policy;
+  meta.latest_version = 1;
+  MEDVAULT_RETURN_IF_ERROR(PutRecordMeta(meta));
+
+  MEDVAULT_RETURN_IF_ERROR(Audit(actor, AuditAction::kCreate, record_id,
+                                 "patient=" + patient_id +
+                                     " policy=" + retention_policy));
+  MEDVAULT_RETURN_IF_ERROR(
+      provenance_
+          ->RecordEvent(record_id, CustodyEventType::kCreated, actor,
+                        "patient=" + patient_id, now)
+          .status());
+  return record_id;
+}
+
+Status Vault::PutRecordMeta(const RecordMeta& meta) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  metas_[meta.record_id] = meta;
+  if (meta.record_id.size() > 2 && meta.record_id.compare(0, 2, "r-") == 0) {
+    uint64_t n = strtoull(meta.record_id.c_str() + 2, nullptr, 10);
+    next_record_num_ = std::max(next_record_num_, n + 1);
+  }
+  return AppendStateEntry(kStateMeta, meta.Encode());
+}
+
+Result<RecordVersion> Vault::ReadRecord(const PrincipalId& actor,
+                                        const RecordId& record_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kReadRecord,
+                                         record_id, meta.patient_id));
+  if (meta.disposed) {
+    MEDVAULT_RETURN_IF_ERROR(
+        Audit(actor, AuditAction::kRead, record_id, "disposed"));
+    return Status::KeyDestroyed("record was disposed of");
+  }
+  auto version = versions_->ReadLatest(record_id);
+  MEDVAULT_RETURN_IF_ERROR(Audit(
+      actor, AuditAction::kRead, record_id,
+      version.ok() ? "ok" : version.status().ToString()));
+  return version;
+}
+
+Result<RecordVersion> Vault::ReadRecordVersion(const PrincipalId& actor,
+                                               const RecordId& record_id,
+                                               uint32_t version) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kReadRecord,
+                                         record_id, meta.patient_id));
+  if (meta.disposed) {
+    MEDVAULT_RETURN_IF_ERROR(
+        Audit(actor, AuditAction::kRead, record_id, "disposed"));
+    return Status::KeyDestroyed("record was disposed of");
+  }
+  auto result = versions_->ReadVersion(record_id, version);
+  MEDVAULT_RETURN_IF_ERROR(Audit(
+      actor, AuditAction::kRead, record_id,
+      "v" + std::to_string(version) +
+          (result.ok() ? " ok" : " " + result.status().ToString())));
+  return result;
+}
+
+Result<VersionHeader> Vault::CorrectRecord(
+    const PrincipalId& actor, const RecordId& record_id,
+    const Slice& new_plaintext, const std::string& reason,
+    const std::vector<std::string>& keywords) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (reason.empty()) {
+    return Status::InvalidArgument("corrections require a reason");
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
+  if (meta.disposed) {
+    return Status::KeyDestroyed("record was disposed; cannot correct");
+  }
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kCorrectRecord,
+                                         record_id, meta.patient_id));
+  Timestamp now = Now();
+  MEDVAULT_ASSIGN_OR_RETURN(
+      VersionHeader header,
+      versions_->AppendVersion(record_id, actor, "text/plain", reason,
+                               new_plaintext, now));
+  MEDVAULT_RETURN_IF_ERROR(index_->AddPostings(record_id, keywords));
+  meta.latest_version = header.version;
+  MEDVAULT_RETURN_IF_ERROR(PutRecordMeta(meta));
+  MEDVAULT_RETURN_IF_ERROR(Audit(actor, AuditAction::kCorrect, record_id,
+                                 "v" + std::to_string(header.version) +
+                                     " reason=" + reason));
+  MEDVAULT_RETURN_IF_ERROR(
+      provenance_
+          ->RecordEvent(record_id, CustodyEventType::kCorrected, actor,
+                        "v" + std::to_string(header.version), now)
+          .status());
+  return header;
+}
+
+Result<std::vector<RecordId>> Vault::SearchKeyword(const PrincipalId& actor,
+                                                   const std::string& term) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kSearch, "", ""));
+  MEDVAULT_ASSIGN_OR_RETURN(std::vector<RecordId> hits, index_->Search(term));
+
+  // Minimum necessary: only return records the actor could read.
+  std::vector<RecordId> visible;
+  Timestamp now = Now();
+  for (const RecordId& id : hits) {
+    auto meta = RequireLiveMeta(id);
+    if (!meta.ok()) continue;
+    if (access_.CheckAccess(actor, Operation::kReadRecord,
+                            meta->patient_id, now)
+            .ok()) {
+      visible.push_back(id);
+    }
+  }
+  MEDVAULT_RETURN_IF_ERROR(
+      Audit(actor, AuditAction::kSearch, "",
+            SearchAuditDetail(options_.entropy, term) + " hits=" +
+                std::to_string(visible.size())));
+  return visible;
+}
+
+Result<std::vector<RecordId>> Vault::SearchKeywordsAll(
+    const PrincipalId& actor, const std::vector<std::string>& terms) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kSearch, "", ""));
+  MEDVAULT_ASSIGN_OR_RETURN(std::vector<RecordId> hits,
+                            index_->SearchAll(terms));
+  std::vector<RecordId> visible;
+  Timestamp now = Now();
+  for (const RecordId& id : hits) {
+    auto meta = RequireLiveMeta(id);
+    if (!meta.ok()) continue;
+    if (access_.CheckAccess(actor, Operation::kReadRecord,
+                            meta->patient_id, now)
+            .ok()) {
+      visible.push_back(id);
+    }
+  }
+  std::string blinds;
+  for (const std::string& term : terms) {
+    if (!blinds.empty()) blinds += ",";
+    blinds += SearchAuditDetail(options_.entropy, term);
+  }
+  MEDVAULT_RETURN_IF_ERROR(
+      Audit(actor, AuditAction::kSearch, "",
+            blinds + " hits=" + std::to_string(visible.size())));
+  return visible;
+}
+
+Result<std::vector<VersionHeader>> Vault::RecordHistory(
+    const PrincipalId& actor, const RecordId& record_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kReadRecord,
+                                         record_id, meta.patient_id));
+  MEDVAULT_RETURN_IF_ERROR(
+      Audit(actor, AuditAction::kRead, record_id, "history"));
+  return versions_->History(record_id);
+}
+
+Result<DisposalCertificate> Vault::ExecuteDisposal(
+    const PrincipalId& actor, RecordMeta meta,
+    const std::string& authorizers) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  const RecordId& record_id = meta.record_id;
+  Timestamp now = Now();
+  // Custody first: the disposal event becomes part of the chain the
+  // certificate commits to.
+  MEDVAULT_ASSIGN_OR_RETURN(
+      std::string custody_head,
+      provenance_->RecordEvent(record_id, CustodyEventType::kDisposed,
+                               authorizers,
+                               "policy=" + meta.retention_policy, now));
+  MEDVAULT_ASSIGN_OR_RETURN(
+      DisposalCertificate cert,
+      retention_.IssueCertificate(meta, authorizers, custody_head, now,
+                                  signer_.get()));
+  MEDVAULT_RETURN_IF_ERROR(PersistSignerState());
+
+  MEDVAULT_RETURN_IF_ERROR(keystore_->DestroyKey(record_id));
+  meta.disposed = true;
+  MEDVAULT_RETURN_IF_ERROR(PutRecordMeta(meta));
+
+  MEDVAULT_RETURN_IF_ERROR(
+      Audit(actor, AuditAction::kDispose, record_id,
+            "by=" + authorizers + " cert=" +
+                HexEncode(Slice(
+                    crypto::Sha256Digest(cert.Encode()).data(), 8))));
+  return cert;
+}
+
+Result<DisposalCertificate> Vault::DisposeRecord(const PrincipalId& actor,
+                                                 const RecordId& record_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (options_.require_dual_disposal) {
+    return Status::FailedPrecondition(
+        "this vault requires two-person disposal: use RequestDisposal + "
+        "ApproveDisposal");
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kDispose, record_id, meta.patient_id));
+  MEDVAULT_RETURN_IF_ERROR(retention_.CheckDisposalAllowed(meta, Now()));
+  return ExecuteDisposal(actor, std::move(meta), actor);
+}
+
+Result<std::vector<RecordMeta>> Vault::ListExpiredRecords(
+    const PrincipalId& actor) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kReadAudit, "", ""));
+  std::vector<RecordMeta> expired;
+  Timestamp now = Now();
+  for (const auto& [id, meta] : metas_) {
+    if (retention_.CheckDisposalAllowed(meta, now).ok()) {
+      expired.push_back(meta);
+    }
+  }
+  return expired;
+}
+
+Result<int> Vault::ReclaimDisposedMedia(const PrincipalId& actor) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kDispose, "", ""));
+  std::vector<uint64_t> segments = versions_->FullyDisposedSegments();
+  MEDVAULT_ASSIGN_OR_RETURN(int dropped,
+                            versions_->ReclaimSegments(segments));
+  MEDVAULT_RETURN_IF_ERROR(Audit(actor, AuditAction::kDispose, "",
+                                 "media-reclaim segments=" +
+                                     std::to_string(dropped)));
+  return dropped;
+}
+
+Status Vault::PlaceLegalHold(const PrincipalId& actor,
+                             const RecordId& record_id,
+                             const std::string& reason) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (reason.empty()) {
+    return Status::InvalidArgument("legal holds require a reason");
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kDispose, record_id, meta.patient_id));
+  if (meta.disposed) {
+    return Status::FailedPrecondition("record already disposed");
+  }
+  if (meta.legal_hold) {
+    return Status::AlreadyExists("record already under legal hold");
+  }
+  meta.legal_hold = true;
+  MEDVAULT_RETURN_IF_ERROR(PutRecordMeta(meta));
+  return Audit(actor, AuditAction::kPolicyChange, record_id,
+               "legal-hold placed: " + reason);
+}
+
+Status Vault::ReleaseLegalHold(const PrincipalId& actor,
+                               const RecordId& record_id,
+                               const std::string& reason) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (reason.empty()) {
+    return Status::InvalidArgument("hold releases require a reason");
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kDispose, record_id, meta.patient_id));
+  if (!meta.legal_hold) {
+    return Status::FailedPrecondition("record is not under legal hold");
+  }
+  meta.legal_hold = false;
+  MEDVAULT_RETURN_IF_ERROR(PutRecordMeta(meta));
+  return Audit(actor, AuditAction::kPolicyChange, record_id,
+               "legal-hold released: " + reason);
+}
+
+Result<std::string> Vault::RequestDisposal(const PrincipalId& actor,
+                                           const RecordId& record_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kDispose, record_id, meta.patient_id));
+  MEDVAULT_RETURN_IF_ERROR(retention_.CheckDisposalAllowed(meta, Now()));
+
+  std::string request_id = "dr-" + std::to_string(next_disposal_request_++);
+  disposal_requests_[request_id] = DisposalRequest{record_id, actor};
+  MEDVAULT_RETURN_IF_ERROR(Audit(actor, AuditAction::kDispose, record_id,
+                                 "requested " + request_id));
+  return request_id;
+}
+
+Result<DisposalCertificate> Vault::ApproveDisposal(
+    const PrincipalId& actor, const std::string& request_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto it = disposal_requests_.find(request_id);
+  if (it == disposal_requests_.end()) {
+    return Status::NotFound("no such disposal request");
+  }
+  const DisposalRequest request = it->second;
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                            RequireLiveMeta(request.record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kDispose,
+                                         request.record_id,
+                                         meta.patient_id));
+  if (actor == request.requester) {
+    (void)Audit(actor, AuditAction::kAccessDenied, request.record_id,
+                "self-approval of " + request_id + " refused");
+    return Status::PermissionDenied(
+        "two-person disposal requires a different approving admin");
+  }
+  // Retention is re-checked at approval time: a request made in error
+  // cannot be approved into an early disposal.
+  MEDVAULT_RETURN_IF_ERROR(retention_.CheckDisposalAllowed(meta, Now()));
+  disposal_requests_.erase(it);
+  return ExecuteDisposal(actor, std::move(meta),
+                         request.requester + "+" + actor);
+}
+
+// ---- Audit & custody -----------------------------------------------------
+
+Result<SignedCheckpoint> Vault::CheckpointAudit() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(SignedCheckpoint c,
+                            audit_->Checkpoint(signer_.get(), Now()));
+  MEDVAULT_RETURN_IF_ERROR(PersistSignerState());
+  return c;
+}
+
+Status Vault::VerifyAudit() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return audit_->VerifyAll(signer_->public_key(), signer_public_seed_,
+                           options_.signer_height);
+}
+
+Status Vault::VerifyAuditAgainstTrusted(
+    const SignedCheckpoint& trusted) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return audit_->VerifyAgainstTrusted(trusted);
+}
+
+Result<std::vector<AuditEvent>> Vault::ReadAuditTrail(
+    const PrincipalId& actor, const RecordId& record_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kReadAudit, record_id, ""));
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : audit_->events()) {
+    if (record_id.empty() || e.record_id == record_id) out.push_back(e);
+  }
+  return out;
+}
+
+Result<std::vector<CustodyEvent>> Vault::GetCustodyChain(
+    const PrincipalId& actor, const RecordId& record_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kReadAudit, record_id, ""));
+  return provenance_->GetChain(record_id);
+}
+
+Result<std::vector<AuditEvent>> Vault::AccountingOfDisclosures(
+    const PrincipalId& actor, const PrincipalId& patient_id) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Patients are entitled to their own accounting; otherwise this is an
+  // audit-read operation.
+  if (actor != patient_id) {
+    MEDVAULT_RETURN_IF_ERROR(
+        CheckAndAudit(actor, Operation::kReadAudit, "", ""));
+  }
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : audit_->events()) {
+    switch (e.action) {
+      case AuditAction::kRead: {
+        auto it = metas_.find(e.record_id);
+        if (it != metas_.end() && it->second.patient_id == patient_id) {
+          out.push_back(e);
+        }
+        break;
+      }
+      case AuditAction::kBreakGlass:
+        if (e.details.rfind("patient=" + patient_id + " ", 0) == 0) {
+          out.push_back(e);
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  MEDVAULT_RETURN_IF_ERROR(Audit(actor, AuditAction::kSearch, "",
+                                 "accounting-of-disclosures events=" +
+                                     std::to_string(out.size())));
+  return out;
+}
+
+Result<std::vector<AuditEvent>> Vault::ListBreakGlassEvents(
+    const PrincipalId& actor) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kReadAudit, "", ""));
+  std::vector<AuditEvent> out;
+  for (const AuditEvent& e : audit_->events()) {
+    if (e.action == AuditAction::kBreakGlass) out.push_back(e);
+  }
+  return out;
+}
+
+// ---- Verification ---------------------------------------------------------
+
+Status Vault::VerifyRecord(const RecordId& record_id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return versions_->VerifyRecord(record_id);
+}
+
+Status Vault::VerifyEverything() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(versions_->VerifyAllRecords());
+  MEDVAULT_RETURN_IF_ERROR(VerifyAudit());
+  MEDVAULT_RETURN_IF_ERROR(index_->VerifyIntegrity());
+  return provenance_->VerifyAllChains();
+}
+
+std::string Vault::ContentRoot() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  crypto::MerkleTree tree;
+  for (const std::string& hash : versions_->AllVersionHashes()) {
+    tree.Append(hash);
+  }
+  return tree.Root();
+}
+
+Result<RecordMeta> Vault::GetRecordMeta(const RecordId& record_id) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return RequireLiveMeta(record_id);
+}
+
+std::vector<RecordId> Vault::ListRecordIds() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::vector<RecordId> ids;
+  ids.reserve(metas_.size());
+  for (const auto& [id, meta] : metas_) ids.push_back(id);
+  return ids;
+}
+
+Status Vault::RotateMasterKey(const PrincipalId& actor,
+                              const Slice& new_master_key) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAudit(actor, Operation::kManagePrincipals, "", ""));
+  if (new_master_key.size() != crypto::kAes256KeySize) {
+    return Status::InvalidArgument("master key must be 32 bytes");
+  }
+  MEDVAULT_RETURN_IF_ERROR(keystore_->RotateMasterKey(new_master_key));
+  options_.master_key = new_master_key.ToString();
+  return Audit(actor, AuditAction::kKeyRotation, "", "master-key rotated");
+}
+
+}  // namespace medvault::core

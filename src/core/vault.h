@@ -1,0 +1,289 @@
+#ifndef MEDVAULT_CORE_VAULT_H_
+#define MEDVAULT_CORE_VAULT_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/access.h"
+#include "core/audit.h"
+#include "core/keystore.h"
+#include "core/provenance.h"
+#include "core/record.h"
+#include "core/retention.h"
+#include "core/secure_index.h"
+#include "core/version_store.h"
+#include "crypto/xmss.h"
+#include "storage/env.h"
+
+namespace medvault::core {
+
+/// Configuration for opening a Vault.
+struct VaultOptions {
+  storage::Env* env = nullptr;  ///< required
+  std::string dir;              ///< required; vault root directory
+  const Clock* clock = nullptr; ///< required (tests pass ManualClock)
+  std::string master_key;       ///< 32 bytes; wraps all record keys
+  std::string entropy;          ///< DRBG seed for keys and nonces
+  /// XMSS tree height: 2^height signatures available for checkpoints and
+  /// disposal certificates across the vault's life.
+  int signer_height = 8;
+  std::string system_id = "medvault-primary";
+  /// Two-person integrity for disposal: when true, DisposeRecord is
+  /// disabled and destruction requires RequestDisposal by one admin
+  /// plus ApproveDisposal by a *different* admin.
+  bool require_dual_disposal = false;
+};
+
+/// MedVault: trustworthy regulatory-compliant health-record storage —
+/// the "hybrid model" the paper's conclusion calls for. Composes:
+///
+///   VersionStore      WORM versions + correction chains   (integrity,
+///                                                          mutability)
+///   KeyStore          envelope keys + crypto-shredding    (confidential,
+///                                                          secure delete)
+///   SecureIndex       blinded encrypted keyword index     (private search)
+///   AuditLog          hash chain + Merkle + signed heads  (audit trails)
+///   ProvenanceTracker per-record custody chains           (accountability)
+///   AccessController  RBAC + care scoping + break-glass   (access control)
+///   RetentionManager  policy gate + disposal certificates (retention)
+///
+/// Every public operation is access-checked first and audited always —
+/// including denials.
+///
+/// Thread safety: all public Vault methods are serialized by one
+/// coarse recursive lock — safe for concurrent callers, not a
+/// scalability feature. Migrator and BackupManager coordinate two
+/// vaults and additionally touch components directly; run them without
+/// concurrent mutations on the involved vaults.
+class Vault {
+ public:
+  static Result<std::unique_ptr<Vault>> Open(const VaultOptions& options);
+
+  Vault(const Vault&) = delete;
+  Vault& operator=(const Vault&) = delete;
+
+  // ---- Administration ------------------------------------------------
+
+  /// Registers a principal. Bootstrap: while no admin exists, anyone may
+  /// register; afterwards only admins.
+  Status RegisterPrincipal(const PrincipalId& actor,
+                           const Principal& principal);
+
+  /// Declares a treating relationship.
+  Status AssignCare(const PrincipalId& actor, const PrincipalId& clinician,
+                    const PrincipalId& patient);
+
+  /// Emergency access override; always audited, time-limited.
+  Result<std::string> BreakGlass(const PrincipalId& clinician,
+                                 const PrincipalId& patient,
+                                 const std::string& justification,
+                                 Timestamp duration);
+
+  // ---- Record lifecycle ----------------------------------------------
+
+  /// Creates a record (version 1) for `patient_id`, indexes `keywords`,
+  /// applies `retention_policy` (e.g. "osha-30y").
+  Result<RecordId> CreateRecord(const PrincipalId& actor,
+                                const PrincipalId& patient_id,
+                                const std::string& content_type,
+                                const Slice& plaintext,
+                                const std::vector<std::string>& keywords,
+                                const std::string& retention_policy);
+
+  /// Reads the latest version (or a specific one).
+  Result<RecordVersion> ReadRecord(const PrincipalId& actor,
+                                   const RecordId& record_id);
+  Result<RecordVersion> ReadRecordVersion(const PrincipalId& actor,
+                                          const RecordId& record_id,
+                                          uint32_t version);
+
+  /// Appends a correction (new version); prior versions remain readable
+  /// and verifiable.
+  Result<VersionHeader> CorrectRecord(
+      const PrincipalId& actor, const RecordId& record_id,
+      const Slice& new_plaintext, const std::string& reason,
+      const std::vector<std::string>& keywords);
+
+  /// Blinded keyword search; results are scoped to records the actor may
+  /// read ("minimum necessary").
+  Result<std::vector<RecordId>> SearchKeyword(const PrincipalId& actor,
+                                              const std::string& term);
+
+  /// Conjunctive blinded search: records matching *all* terms, scoped
+  /// the same way.
+  Result<std::vector<RecordId>> SearchKeywordsAll(
+      const PrincipalId& actor, const std::vector<std::string>& terms);
+
+  /// Version headers of a record, oldest first.
+  Result<std::vector<VersionHeader>> RecordHistory(const PrincipalId& actor,
+                                                   const RecordId& record_id);
+
+  /// Crypto-shreds the record after its retention expired. Admin only;
+  /// returns a signed disposal certificate. Disabled when the vault was
+  /// opened with require_dual_disposal (use the request/approve flow).
+  Result<DisposalCertificate> DisposeRecord(const PrincipalId& actor,
+                                            const RecordId& record_id);
+
+  /// Records whose retention has expired and that are not under legal
+  /// hold — the disposal work-list for records managers. Admin/auditor.
+  Result<std::vector<RecordMeta>> ListExpiredRecords(
+      const PrincipalId& actor);
+
+  /// Physically reclaims WORM segments in which every record has been
+  /// crypto-shredded (media re-use, HIPAA §164.310(d)(2)(ii)). Returns
+  /// the number of segments dropped. Admin only; audited. Reclaimed
+  /// records keep their catalog tombstones and custody chains but can
+  /// no longer be byte-migrated (their bytes are gone — by design).
+  Result<int> ReclaimDisposedMedia(const PrincipalId& actor);
+
+  /// Places a litigation hold: the record cannot be disposed of (even
+  /// past retention) until the hold is released. Admin only; audited.
+  Status PlaceLegalHold(const PrincipalId& actor, const RecordId& record_id,
+                        const std::string& reason);
+  Status ReleaseLegalHold(const PrincipalId& actor,
+                          const RecordId& record_id,
+                          const std::string& reason);
+
+  /// Two-person disposal, step 1: an admin requests destruction of an
+  /// expired record. Retention is checked here AND at approval. Returns
+  /// the request id; the request is audited.
+  Result<std::string> RequestDisposal(const PrincipalId& actor,
+                                      const RecordId& record_id);
+
+  /// Two-person disposal, step 2: a *different* admin approves, which
+  /// executes the disposal. Pending requests are session-scoped (they
+  /// do not survive reopen — re-request after a restart).
+  Result<DisposalCertificate> ApproveDisposal(const PrincipalId& actor,
+                                              const std::string& request_id);
+
+  // ---- Audit & custody -----------------------------------------------
+
+  /// Signs the current audit tree head. The auditor should keep the
+  /// returned checkpoint off-site; it also goes into the log.
+  Result<SignedCheckpoint> CheckpointAudit();
+
+  /// Full audit-trail verification from on-disk bytes.
+  Status VerifyAudit() const;
+
+  /// Proves the log extends a previously retained checkpoint.
+  Status VerifyAuditAgainstTrusted(const SignedCheckpoint& trusted) const;
+
+  /// Audit events (auditor/admin only), optionally filtered by record.
+  Result<std::vector<AuditEvent>> ReadAuditTrail(const PrincipalId& actor,
+                                                 const RecordId& record_id);
+
+  /// A record's chain of custody (auditor/admin only).
+  Result<std::vector<CustodyEvent>> GetCustodyChain(const PrincipalId& actor,
+                                                    const RecordId& record_id);
+
+  /// HIPAA §164.528 "accounting of disclosures": every audit event that
+  /// disclosed content of one of `patient_id`'s records — reads
+  /// (including historical versions) and break-glass grants. Patients
+  /// may request their own accounting; auditors/admins anyone's.
+  Result<std::vector<AuditEvent>> AccountingOfDisclosures(
+      const PrincipalId& actor, const PrincipalId& patient_id);
+
+  /// All break-glass events, for the mandatory periodic review that
+  /// makes an emergency override acceptable (auditor/admin only).
+  Result<std::vector<AuditEvent>> ListBreakGlassEvents(
+      const PrincipalId& actor);
+
+  // ---- Verification & introspection ----------------------------------
+
+  Status VerifyRecord(const RecordId& record_id) const;
+  /// Records + audit + provenance, end to end.
+  Status VerifyEverything() const;
+
+  /// Merkle root over all version-entry hashes: two vaults holding
+  /// byte-identical content have equal roots (basis of verifiable
+  /// migration).
+  std::string ContentRoot() const;
+
+  Result<RecordMeta> GetRecordMeta(const RecordId& record_id) const;
+  std::vector<RecordId> ListRecordIds() const;
+
+  /// Rotates the key-wrapping master key (30-year horizon hygiene).
+  Status RotateMasterKey(const PrincipalId& actor,
+                         const Slice& new_master_key);
+
+  // ---- Component access (migration/backup modules, tests) -------------
+
+  KeyStore* keystore() { return keystore_.get(); }
+  VersionStore* versions() { return versions_.get(); }
+  ProvenanceTracker* provenance() { return provenance_.get(); }
+  AuditLog* audit() { return audit_.get(); }
+  AccessController* access() { return &access_; }
+  RetentionManager* retention() { return &retention_; }
+  crypto::XmssSigner* signer() { return signer_.get(); }
+  SecureIndex* index() { return index_.get(); }
+  const VaultOptions& options() const { return options_; }
+  Timestamp Now() const { return options_.clock->Now(); }
+
+  /// The vault's signature-verification parameters.
+  const std::string& SignerPublicKey() const;
+  const std::string& SignerPublicSeed() const;
+  int SignerHeight() const { return options_.signer_height; }
+
+  /// Appends an audit event on behalf of internal modules (migration,
+  /// backup).
+  Status Audit(const PrincipalId& actor, AuditAction action,
+               const RecordId& record_id, const std::string& details);
+
+  /// Signs an arbitrary statement with the vault's XMSS key (migration
+  /// receipts, backup manifests) and persists the signer state. Returns
+  /// the encoded signature.
+  Result<std::string> SignStatement(const Slice& payload);
+
+  /// Persists an updated record meta (migration import path).
+  Status PutRecordMeta(const RecordMeta& meta);
+
+ private:
+  explicit Vault(VaultOptions options);
+
+  Status Init();
+  Status LoadState();
+  Status AppendStateEntry(uint8_t kind, const Slice& payload);
+  Status PersistSignerState();
+  Result<RecordMeta> RequireLiveMeta(const RecordId& record_id) const;
+  Status CheckAndAudit(const PrincipalId& actor, Operation op,
+                       const RecordId& record_id,
+                       const PrincipalId& patient_id);
+  /// Shared disposal tail: custody event, certificate, key destruction,
+  /// meta flip, audit entry. `authorizers` is "a" or "a+b".
+  Result<DisposalCertificate> ExecuteDisposal(const PrincipalId& actor,
+                                              RecordMeta meta,
+                                              const std::string& authorizers);
+
+  VaultOptions options_;
+  std::string signer_public_seed_;
+  mutable std::recursive_mutex mu_;
+
+  AccessController access_;
+  RetentionManager retention_;
+  std::unique_ptr<KeyStore> keystore_;
+  std::unique_ptr<VersionStore> versions_;
+  std::unique_ptr<SecureIndex> index_;
+  std::unique_ptr<AuditLog> audit_;
+  std::unique_ptr<ProvenanceTracker> provenance_;
+  std::unique_ptr<crypto::XmssSigner> signer_;
+  std::unique_ptr<storage::log::Writer> state_writer_;
+
+  struct DisposalRequest {
+    RecordId record_id;
+    PrincipalId requester;
+  };
+
+  std::map<RecordId, RecordMeta> metas_;
+  std::map<std::string, DisposalRequest> disposal_requests_;
+  uint64_t next_disposal_request_ = 1;
+  uint64_t next_record_num_ = 1;
+  bool has_admin_ = false;
+};
+
+}  // namespace medvault::core
+
+#endif  // MEDVAULT_CORE_VAULT_H_

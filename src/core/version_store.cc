@@ -1,0 +1,356 @@
+#include "core/version_store.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "crypto/aead.h"
+#include "crypto/ctr.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "storage/log_reader.h"
+
+namespace medvault::core {
+
+Result<std::pair<VersionHeader, Slice>> ParseVersionEntry(
+    const Slice& entry) {
+  Slice in = entry;
+  Slice header_bytes;
+  if (!GetLengthPrefixed(&in, &header_bytes)) {
+    return Status::Corruption("malformed version entry");
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(VersionHeader header,
+                            VersionHeader::Decode(header_bytes));
+  return std::make_pair(std::move(header), in);
+}
+
+VersionStore::VersionStore(storage::Env* env, const std::string& dir,
+                           KeyStore* keystore)
+    : env_(env), dir_(dir), keystore_(keystore) {
+  storage::SegmentStore::Options options;
+  segments_ = std::make_unique<storage::SegmentStore>(env, dir + "/segments",
+                                                      options);
+}
+
+Status VersionStore::Open() {
+  MEDVAULT_RETURN_IF_ERROR(env_->CreateDirIfMissing(dir_));
+  MEDVAULT_RETURN_IF_ERROR(segments_->Open());
+
+  const std::string catalog_path = dir_ + "/catalog.log";
+  uint64_t existing_size = 0;
+  if (env_->FileExists(catalog_path)) {
+    MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(catalog_path, &existing_size));
+    std::unique_ptr<storage::SequentialFile> src;
+    MEDVAULT_RETURN_IF_ERROR(env_->NewSequentialFile(catalog_path, &src));
+    storage::log::Reader reader(std::move(src));
+    std::string record;
+    while (reader.ReadRecord(&record)) {
+      Slice in = record;
+      std::string record_id, handle_bytes, entry_hash;
+      uint32_t version = 0;
+      if (!GetLengthPrefixedString(&in, &record_id) ||
+          !GetVarint32(&in, &version) ||
+          !GetLengthPrefixedString(&in, &handle_bytes) ||
+          !GetLengthPrefixedString(&in, &entry_hash) || !in.empty()) {
+        return Status::Corruption("malformed catalog entry");
+      }
+      MEDVAULT_ASSIGN_OR_RETURN(storage::EntryHandle handle,
+                                storage::EntryHandle::Decode(handle_bytes));
+      auto& refs = catalog_[record_id];
+      if (version != refs.size() + 1) {
+        return Status::Corruption("catalog version discontinuity");
+      }
+      refs.push_back(VersionRef{handle, entry_hash});
+    }
+    MEDVAULT_RETURN_IF_ERROR(reader.status());
+  }
+  std::unique_ptr<storage::WritableFile> dest;
+  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(catalog_path, &dest));
+  catalog_writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
+                                                           existing_size);
+  open_ = true;
+  return Status::OK();
+}
+
+Status VersionStore::LogCatalogEntry(const RecordId& record_id,
+                                     uint32_t version,
+                                     const storage::EntryHandle& handle,
+                                     const std::string& entry_hash) {
+  std::string record;
+  PutLengthPrefixed(&record, record_id);
+  PutVarint32(&record, version);
+  PutLengthPrefixed(&record, handle.Encode());
+  PutLengthPrefixed(&record, entry_hash);
+  return catalog_writer_->AddRecord(record);
+}
+
+Result<VersionHeader> VersionStore::AppendVersion(
+    const RecordId& record_id, const PrincipalId& author,
+    const std::string& content_type, const std::string& reason,
+    const Slice& plaintext, Timestamp now) {
+  if (!open_) return Status::FailedPrecondition("version store not open");
+  MEDVAULT_ASSIGN_OR_RETURN(std::string data_key,
+                            keystore_->GetKey(record_id));
+
+  auto& refs = catalog_[record_id];
+  VersionHeader header;
+  header.record_id = record_id;
+  header.version = static_cast<uint32_t>(refs.size() + 1);
+  header.author = author;
+  header.created_at = now;
+  header.content_type = content_type;
+  header.reason = reason;
+  header.prev_version_hash =
+      refs.empty() ? std::string() : refs.back().entry_hash;
+
+  std::string header_bytes = header.Encode();
+  crypto::Aead aead;
+  MEDVAULT_RETURN_IF_ERROR(aead.Init(data_key));
+  // Deterministic nonce: unique per (key, version) because versions are
+  // monotonic and append-only — immune to the reopen-replay hazard a
+  // counter/DRBG nonce would have.
+  std::string nonce_full =
+      crypto::HmacSha256(data_key, "medvault-version-nonce" + header_bytes);
+  Slice nonce(nonce_full.data(), crypto::kCtrNonceSize);
+  MEDVAULT_ASSIGN_OR_RETURN(std::string sealed,
+                            aead.Seal(nonce, plaintext, header_bytes));
+
+  std::string entry;
+  PutLengthPrefixed(&entry, header_bytes);
+  entry.append(sealed);
+
+  MEDVAULT_ASSIGN_OR_RETURN(storage::EntryHandle handle,
+                            segments_->Append(entry));
+  std::string entry_hash = crypto::Sha256Digest(entry);
+  MEDVAULT_RETURN_IF_ERROR(
+      LogCatalogEntry(record_id, header.version, handle, entry_hash));
+  refs.push_back(VersionRef{handle, entry_hash});
+  return header;
+}
+
+Result<std::string> VersionStore::ReadRawEntry(const RecordId& record_id,
+                                               uint32_t version) const {
+  auto it = catalog_.find(record_id);
+  if (it == catalog_.end()) return Status::NotFound("unknown record");
+  if (version == 0 || version > it->second.size()) {
+    return Status::NotFound("no such version");
+  }
+  return segments_->Read(it->second[version - 1].handle);
+}
+
+Result<RecordVersion> VersionStore::ReadVersion(const RecordId& record_id,
+                                                uint32_t version) const {
+  if (!open_) return Status::FailedPrecondition("version store not open");
+  // Key state first: a disposed record answers kKeyDestroyed whether or
+  // not its (unreadable) media has been physically reclaimed.
+  MEDVAULT_ASSIGN_OR_RETURN(std::string data_key,
+                            keystore_->GetKey(record_id));
+  auto raw = ReadRawEntry(record_id, version);
+  if (!raw.ok()) {
+    if (raw.status().IsCorruption()) {
+      return Status::TamperDetected("version entry bytes corrupted");
+    }
+    return raw.status();
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(auto parsed, ParseVersionEntry(*raw));
+  const VersionHeader& header = parsed.first;
+  if (header.record_id != record_id || header.version != version) {
+    return Status::TamperDetected("version entry header mismatch");
+  }
+  crypto::Aead aead;
+  MEDVAULT_RETURN_IF_ERROR(aead.Init(data_key));
+  MEDVAULT_ASSIGN_OR_RETURN(std::string plaintext,
+                            aead.Open(parsed.second, header.Encode()));
+  RecordVersion out;
+  out.header = header;
+  out.plaintext = std::move(plaintext);
+  return out;
+}
+
+Result<RecordVersion> VersionStore::ReadLatest(
+    const RecordId& record_id) const {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t latest, LatestVersion(record_id));
+  return ReadVersion(record_id, latest);
+}
+
+Result<uint32_t> VersionStore::LatestVersion(const RecordId& record_id) const {
+  auto it = catalog_.find(record_id);
+  if (it == catalog_.end() || it->second.empty()) {
+    return Status::NotFound("unknown record");
+  }
+  return static_cast<uint32_t>(it->second.size());
+}
+
+Result<std::vector<VersionHeader>> VersionStore::History(
+    const RecordId& record_id) const {
+  auto it = catalog_.find(record_id);
+  if (it == catalog_.end()) return Status::NotFound("unknown record");
+  std::vector<VersionHeader> history;
+  history.reserve(it->second.size());
+  for (uint32_t v = 1; v <= it->second.size(); v++) {
+    MEDVAULT_ASSIGN_OR_RETURN(std::string raw, ReadRawEntry(record_id, v));
+    MEDVAULT_ASSIGN_OR_RETURN(auto parsed, ParseVersionEntry(raw));
+    history.push_back(std::move(parsed.first));
+  }
+  return history;
+}
+
+std::vector<RecordId> VersionStore::RecordIds() const {
+  std::vector<RecordId> ids;
+  ids.reserve(catalog_.size());
+  for (const auto& [id, refs] : catalog_) ids.push_back(id);
+  return ids;
+}
+
+uint64_t VersionStore::TotalVersionCount() const {
+  uint64_t total = 0;
+  for (const auto& [id, refs] : catalog_) total += refs.size();
+  return total;
+}
+
+Status VersionStore::VerifyRecord(const RecordId& record_id) const {
+  auto it = catalog_.find(record_id);
+  if (it == catalog_.end()) return Status::NotFound("unknown record");
+
+  const bool key_alive = keystore_->GetKey(record_id).ok();
+  std::string prev_hash;
+  for (uint32_t v = 1; v <= it->second.size(); v++) {
+    auto raw = ReadRawEntry(record_id, v);
+    if (!raw.ok()) {
+      if (!key_alive && raw.status().IsNotFound()) {
+        // Crypto-shredded AND media reclaimed: the catalog tombstone is
+        // all that legitimately remains.
+        prev_hash = it->second[v - 1].entry_hash;
+        continue;
+      }
+      return Status::TamperDetected("version bytes unreadable: " +
+                                    raw.status().ToString());
+    }
+    // Catalog commitment.
+    std::string actual_hash = crypto::Sha256Digest(*raw);
+    if (actual_hash != it->second[v - 1].entry_hash) {
+      return Status::TamperDetected("version entry hash mismatch");
+    }
+    MEDVAULT_ASSIGN_OR_RETURN(auto parsed, ParseVersionEntry(*raw));
+    const VersionHeader& header = parsed.first;
+    if (header.record_id != record_id || header.version != v) {
+      return Status::TamperDetected("version header identity mismatch");
+    }
+    if (header.prev_version_hash != prev_hash) {
+      return Status::TamperDetected("version hash chain broken");
+    }
+    prev_hash = actual_hash;
+
+    if (key_alive) {
+      MEDVAULT_ASSIGN_OR_RETURN(std::string data_key,
+                                keystore_->GetKey(record_id));
+      crypto::Aead aead;
+      MEDVAULT_RETURN_IF_ERROR(aead.Init(data_key));
+      auto opened = aead.Open(parsed.second, header.Encode());
+      if (!opened.ok()) {
+        return Status::TamperDetected("version payload fails authentication");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status VersionStore::VerifyAllRecords() const {
+  for (const auto& [record_id, refs] : catalog_) {
+    MEDVAULT_RETURN_IF_ERROR(VerifyRecord(record_id));
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> VersionStore::AllVersionHashes() const {
+  std::vector<std::string> hashes;
+  hashes.reserve(TotalVersionCount());
+  for (const auto& [record_id, refs] : catalog_) {
+    for (const VersionRef& ref : refs) hashes.push_back(ref.entry_hash);
+  }
+  return hashes;
+}
+
+Status VersionStore::ForEachRawVersion(
+    const RecordId& record_id,
+    const std::function<Status(uint32_t, const Slice&, const std::string&)>&
+        fn) const {
+  auto it = catalog_.find(record_id);
+  if (it == catalog_.end()) return Status::NotFound("unknown record");
+  for (uint32_t v = 1; v <= it->second.size(); v++) {
+    MEDVAULT_ASSIGN_OR_RETURN(std::string raw, ReadRawEntry(record_id, v));
+    MEDVAULT_RETURN_IF_ERROR(fn(v, raw, it->second[v - 1].entry_hash));
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> VersionStore::FullyDisposedSegments() const {
+  // segment id -> does any entry belong to a record with a live key?
+  std::map<uint64_t, bool> has_live_entry;
+  for (const auto& [record_id, refs] : catalog_) {
+    const bool destroyed = keystore_->IsDestroyed(record_id);
+    for (const VersionRef& ref : refs) {
+      auto [it, inserted] =
+          has_live_entry.try_emplace(ref.handle.segment_id, false);
+      if (!destroyed) it->second = true;
+    }
+  }
+  std::vector<uint64_t> reclaimable;
+  for (const auto& [segment_id, live] : has_live_entry) {
+    if (!live && segments_->IsSealed(segment_id)) {
+      reclaimable.push_back(segment_id);
+    }
+  }
+  return reclaimable;
+}
+
+Result<int> VersionStore::ReclaimSegments(
+    const std::vector<uint64_t>& segment_ids) {
+  if (!open_) return Status::FailedPrecondition("version store not open");
+  // Refuse anything that still carries a live record.
+  std::vector<uint64_t> eligible = FullyDisposedSegments();
+  int dropped = 0;
+  for (uint64_t segment_id : segment_ids) {
+    if (std::find(eligible.begin(), eligible.end(), segment_id) ==
+        eligible.end()) {
+      return Status::FailedPrecondition(
+          "segment holds live records or is active; refusing to reclaim");
+    }
+    MEDVAULT_RETURN_IF_ERROR(segments_->DropSegment(segment_id));
+    dropped++;
+  }
+  return dropped;
+}
+
+bool VersionStore::IsReclaimed(const RecordId& record_id) const {
+  auto it = catalog_.find(record_id);
+  if (it == catalog_.end() || it->second.empty()) return false;
+  return segments_->Read(it->second.front().handle).status().IsNotFound();
+}
+
+Status VersionStore::ImportRawVersion(const RecordId& record_id,
+                                      const Slice& raw_entry) {
+  if (!open_) return Status::FailedPrecondition("version store not open");
+  MEDVAULT_ASSIGN_OR_RETURN(auto parsed, ParseVersionEntry(raw_entry));
+  const VersionHeader& header = parsed.first;
+  if (header.record_id != record_id) {
+    return Status::InvalidArgument("raw entry names a different record");
+  }
+  auto& refs = catalog_[record_id];
+  if (header.version != refs.size() + 1) {
+    return Status::InvalidArgument("raw entries must arrive in order");
+  }
+  std::string expected_prev =
+      refs.empty() ? std::string() : refs.back().entry_hash;
+  if (header.prev_version_hash != expected_prev) {
+    return Status::TamperDetected("imported version breaks the hash chain");
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(storage::EntryHandle handle,
+                            segments_->Append(raw_entry));
+  std::string entry_hash = crypto::Sha256Digest(raw_entry);
+  MEDVAULT_RETURN_IF_ERROR(
+      LogCatalogEntry(record_id, header.version, handle, entry_hash));
+  refs.push_back(VersionRef{handle, entry_hash});
+  return Status::OK();
+}
+
+}  // namespace medvault::core

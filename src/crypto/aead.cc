@@ -1,0 +1,71 @@
+#include "crypto/aead.h"
+
+#include "common/coding.h"
+#include "crypto/ctr.h"
+#include "crypto/hkdf.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace medvault::crypto {
+
+Status Aead::Init(const Slice& key) {
+  if (key.size() != kAes256KeySize) {
+    return Status::InvalidArgument("AEAD key must be 32 bytes");
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(std::string okm,
+                            HkdfSha256(key, Slice(), "medvault-aead-v1", 64));
+  cipher_key_ = okm.substr(0, 32);
+  mac_key_ = okm.substr(32, 32);
+  initialized_ = true;
+  return Status::OK();
+}
+
+std::string Aead::ComputeTag(const Slice& nonce, const Slice& ciphertext,
+                             const Slice& aad) const {
+  std::string mac_input;
+  PutFixed64(&mac_input, aad.size());
+  mac_input.append(aad.data(), aad.size());
+  mac_input.append(nonce.data(), nonce.size());
+  mac_input.append(ciphertext.data(), ciphertext.size());
+  return HmacSha256(mac_key_, mac_input);
+}
+
+Result<std::string> Aead::Seal(const Slice& nonce, const Slice& plaintext,
+                               const Slice& aad) const {
+  if (!initialized_) return Status::FailedPrecondition("Aead not initialized");
+  if (nonce.size() != kCtrNonceSize) {
+    return Status::InvalidArgument("AEAD nonce must be 16 bytes");
+  }
+  AesCtr ctr;
+  MEDVAULT_RETURN_IF_ERROR(ctr.Init(cipher_key_));
+  MEDVAULT_ASSIGN_OR_RETURN(std::string ciphertext,
+                            ctr.Crypt(nonce, plaintext));
+
+  std::string out;
+  out.reserve(nonce.size() + ciphertext.size() + kDigestSize);
+  out.append(nonce.data(), nonce.size());
+  out.append(ciphertext);
+  out.append(ComputeTag(nonce, ciphertext, aad));
+  return out;
+}
+
+Result<std::string> Aead::Open(const Slice& sealed, const Slice& aad) const {
+  if (!initialized_) return Status::FailedPrecondition("Aead not initialized");
+  if (sealed.size() < kOverhead) {
+    return Status::TamperDetected("sealed blob shorter than AEAD overhead");
+  }
+  Slice nonce(sealed.data(), kCtrNonceSize);
+  Slice ciphertext(sealed.data() + kCtrNonceSize,
+                   sealed.size() - kOverhead);
+  Slice tag(sealed.data() + sealed.size() - kDigestSize, kDigestSize);
+
+  std::string expected = ComputeTag(nonce, ciphertext, aad);
+  if (!ConstantTimeEqual(expected, tag)) {
+    return Status::TamperDetected("AEAD tag mismatch");
+  }
+  AesCtr ctr;
+  MEDVAULT_RETURN_IF_ERROR(ctr.Init(cipher_key_));
+  return ctr.Crypt(nonce, ciphertext);
+}
+
+}  // namespace medvault::crypto

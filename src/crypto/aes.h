@@ -1,0 +1,47 @@
+#ifndef MEDVAULT_CRYPTO_AES_H_
+#define MEDVAULT_CRYPTO_AES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace medvault::crypto {
+
+/// AES block size in bytes.
+constexpr size_t kAesBlockSize = 16;
+/// Key sizes supported.
+constexpr size_t kAes128KeySize = 16;
+constexpr size_t kAes256KeySize = 32;
+
+/// AES-128/256 block cipher (FIPS 197), table-free byte-oriented
+/// implementation built from scratch. This class is the raw primitive;
+/// use AesCtr / Aead for actual data, never ECB-style direct block calls.
+class Aes {
+ public:
+  Aes() = default;
+
+  Aes(const Aes&) = default;
+  Aes& operator=(const Aes&) = default;
+
+  /// Expands a 16- or 32-byte key. Any other length is rejected.
+  Status Init(const Slice& key);
+
+  bool initialized() const { return rounds_ != 0; }
+
+  /// Encrypts exactly one 16-byte block, in != out allowed to alias.
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  /// Decrypts exactly one 16-byte block.
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+ private:
+  // Round keys: up to 15 rounds (AES-256) * 16 bytes each, plus initial.
+  uint8_t round_keys_[15 + 1][16] = {};
+  int rounds_ = 0;  // 10 for AES-128, 14 for AES-256; 0 = uninitialized
+};
+
+}  // namespace medvault::crypto
+
+#endif  // MEDVAULT_CRYPTO_AES_H_

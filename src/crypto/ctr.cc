@@ -1,0 +1,37 @@
+#include "crypto/ctr.h"
+
+#include <cstring>
+
+namespace medvault::crypto {
+
+Status AesCtr::Init(const Slice& key) { return aes_.Init(key); }
+
+Result<std::string> AesCtr::Crypt(const Slice& nonce,
+                                  const Slice& input) const {
+  if (!aes_.initialized()) {
+    return Status::FailedPrecondition("AesCtr not initialized");
+  }
+  if (nonce.size() != kCtrNonceSize) {
+    return Status::InvalidArgument("CTR nonce must be 16 bytes");
+  }
+
+  uint8_t counter[16];
+  memcpy(counter, nonce.data(), 16);
+
+  std::string out(input.size(), '\0');
+  uint8_t keystream[16];
+  for (size_t off = 0; off < input.size(); off += 16) {
+    aes_.EncryptBlock(counter, keystream);
+    size_t n = std::min<size_t>(16, input.size() - off);
+    for (size_t i = 0; i < n; i++) {
+      out[off + i] = static_cast<char>(input[off + i] ^ keystream[i]);
+    }
+    // Increment low 64 bits big-endian.
+    for (int i = 15; i >= 8; i--) {
+      if (++counter[i] != 0) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace medvault::crypto

@@ -1,0 +1,43 @@
+#include "crypto/drbg.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace medvault::crypto {
+
+HmacDrbg::HmacDrbg(const Slice& seed)
+    : key_(kDigestSize, '\0'), v_(kDigestSize, '\x01') {
+  Update(seed);
+}
+
+void HmacDrbg::Update(const Slice& provided) {
+  // K = HMAC(K, V || 0x00 || provided); V = HMAC(K, V)
+  std::string msg = v_;
+  msg.push_back('\0');
+  msg.append(provided.data(), provided.size());
+  key_ = HmacSha256(key_, msg);
+  v_ = HmacSha256(key_, v_);
+  if (!provided.empty()) {
+    msg = v_;
+    msg.push_back('\x01');
+    msg.append(provided.data(), provided.size());
+    key_ = HmacSha256(key_, msg);
+    v_ = HmacSha256(key_, v_);
+  }
+}
+
+std::string HmacDrbg::Generate(size_t n) {
+  std::string out;
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = HmacSha256(key_, v_);
+    size_t take = std::min(v_.size(), n - out.size());
+    out.append(v_.data(), take);
+  }
+  Update(Slice());
+  return out;
+}
+
+void HmacDrbg::Reseed(const Slice& entropy) { Update(entropy); }
+
+}  // namespace medvault::crypto

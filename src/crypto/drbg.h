@@ -1,0 +1,37 @@
+#ifndef MEDVAULT_CRYPTO_DRBG_H_
+#define MEDVAULT_CRYPTO_DRBG_H_
+
+#include <string>
+
+#include "common/slice.h"
+
+namespace medvault::crypto {
+
+/// HMAC-DRBG over SHA-256 (NIST SP 800-90A, simplified: no personalization
+/// security-strength bookkeeping). This is the *only* sanctioned source of
+/// key material in MedVault. Deterministic given the seed, which lets the
+/// test suite reproduce key schedules exactly.
+class HmacDrbg {
+ public:
+  /// Seeds from entropy (any length; tests pass fixed strings).
+  explicit HmacDrbg(const Slice& seed);
+
+  HmacDrbg(const HmacDrbg&) = delete;
+  HmacDrbg& operator=(const HmacDrbg&) = delete;
+
+  /// Generates `n` pseudorandom bytes and advances the state.
+  std::string Generate(size_t n);
+
+  /// Mixes fresh entropy into the state.
+  void Reseed(const Slice& entropy);
+
+ private:
+  void Update(const Slice& provided);
+
+  std::string key_;  // K, 32 bytes
+  std::string v_;    // V, 32 bytes
+};
+
+}  // namespace medvault::crypto
+
+#endif  // MEDVAULT_CRYPTO_DRBG_H_

@@ -1,0 +1,44 @@
+#include "crypto/hkdf.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace medvault::crypto {
+
+std::string HkdfExtract(const Slice& salt, const Slice& ikm) {
+  // RFC 5869: an absent salt is a string of HashLen zeros.
+  if (salt.empty()) {
+    std::string zeros(kDigestSize, '\0');
+    return HmacSha256(zeros, ikm);
+  }
+  return HmacSha256(salt, ikm);
+}
+
+Result<std::string> HkdfExpand(const Slice& prk, const Slice& info,
+                               size_t length) {
+  if (length > 255 * kDigestSize) {
+    return Status::InvalidArgument("HKDF output length too large");
+  }
+  std::string okm;
+  okm.reserve(length);
+  std::string t;
+  uint8_t counter = 1;
+  while (okm.size() < length) {
+    std::string block = t;
+    block.append(info.data(), info.size());
+    block.push_back(static_cast<char>(counter));
+    t = HmacSha256(prk, block);
+    size_t take = std::min(t.size(), length - okm.size());
+    okm.append(t.data(), take);
+    counter++;
+  }
+  return okm;
+}
+
+Result<std::string> HkdfSha256(const Slice& ikm, const Slice& salt,
+                               const Slice& info, size_t length) {
+  std::string prk = HkdfExtract(salt, ikm);
+  return HkdfExpand(prk, info, length);
+}
+
+}  // namespace medvault::crypto

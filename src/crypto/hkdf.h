@@ -1,0 +1,29 @@
+#ifndef MEDVAULT_CRYPTO_HKDF_H_
+#define MEDVAULT_CRYPTO_HKDF_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+#include "common/slice.h"
+
+namespace medvault::crypto {
+
+/// HKDF-SHA256 (RFC 5869). Used by the key hierarchy to derive
+/// purpose-separated keys (encryption vs MAC vs index blinding) from one
+/// secret.
+///
+/// `length` must be <= 255 * 32.
+Result<std::string> HkdfSha256(const Slice& ikm, const Slice& salt,
+                               const Slice& info, size_t length);
+
+/// Extract step only: PRK = HMAC(salt, ikm).
+std::string HkdfExtract(const Slice& salt, const Slice& ikm);
+
+/// Expand step only.
+Result<std::string> HkdfExpand(const Slice& prk, const Slice& info,
+                               size_t length);
+
+}  // namespace medvault::crypto
+
+#endif  // MEDVAULT_CRYPTO_HKDF_H_

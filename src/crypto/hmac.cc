@@ -1,0 +1,48 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace medvault::crypto {
+
+std::string HmacSha256(const Slice& key, const Slice& message) {
+  constexpr size_t kBlockSize = 64;
+
+  // Keys longer than the block size are hashed first.
+  std::string key_block;
+  if (key.size() > kBlockSize) {
+    key_block = Sha256Digest(key);
+  } else {
+    key_block = key.ToString();
+  }
+  key_block.resize(kBlockSize, '\0');
+
+  std::string ipad(kBlockSize, '\0');
+  std::string opad(kBlockSize, '\0');
+  for (size_t i = 0; i < kBlockSize; i++) {
+    ipad[i] = static_cast<char>(key_block[i] ^ 0x36);
+    opad[i] = static_cast<char>(key_block[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.Update(ipad);
+  inner.Update(message);
+  std::string inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad);
+  outer.Update(inner_digest);
+  return outer.Finish();
+}
+
+bool ConstantTimeEqual(const Slice& a, const Slice& b) {
+  if (a.size() != b.size()) return false;
+  unsigned char diff = 0;
+  for (size_t i = 0; i < a.size(); i++) {
+    diff |= static_cast<unsigned char>(a[i]) ^ static_cast<unsigned char>(b[i]);
+  }
+  return diff == 0;
+}
+
+}  // namespace medvault::crypto

@@ -1,0 +1,19 @@
+#ifndef MEDVAULT_CRYPTO_HMAC_H_
+#define MEDVAULT_CRYPTO_HMAC_H_
+
+#include <string>
+
+#include "common/slice.h"
+
+namespace medvault::crypto {
+
+/// HMAC-SHA256 (RFC 2104). Returns a 32-byte tag.
+std::string HmacSha256(const Slice& key, const Slice& message);
+
+/// Constant-time equality of two byte strings (length leak only).
+/// Use for all MAC/tag comparisons.
+bool ConstantTimeEqual(const Slice& a, const Slice& b);
+
+}  // namespace medvault::crypto
+
+#endif  // MEDVAULT_CRYPTO_HMAC_H_

@@ -1,0 +1,263 @@
+#include "crypto/merkle.h"
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace medvault::crypto {
+
+namespace {
+
+/// Largest power of two strictly less than n (n >= 2).
+uint64_t SplitPoint(uint64_t n) {
+  uint64_t k = 1;
+  while (k * 2 < n) k *= 2;
+  return k;
+}
+
+}  // namespace
+
+std::string MerkleTree::HashLeaf(const Slice& data) {
+  Sha256 h;
+  h.Update(Slice("\x00", 1));
+  h.Update(data);
+  return h.Finish();
+}
+
+std::string MerkleTree::HashNode(const Slice& left, const Slice& right) {
+  Sha256 h;
+  h.Update(Slice("\x01", 1));
+  h.Update(left);
+  h.Update(right);
+  return h.Finish();
+}
+
+std::string MerkleTree::EmptyRoot() { return Sha256Digest(Slice()); }
+
+uint64_t MerkleTree::Append(const Slice& leaf_data) {
+  return AppendLeafHash(HashLeaf(leaf_data));
+}
+
+uint64_t MerkleTree::AppendLeafHash(std::string leaf_hash) {
+  leaf_hashes_.push_back(std::move(leaf_hash));
+  if (memoize_) {
+    // Complete any power-of-two blocks the new leaf closes: level k
+    // gains a node whenever 2^(k+1) consecutive entries are complete.
+    uint64_t n = leaf_hashes_.size();
+    if (n % 2 == 0) {
+      if (memo_.empty()) memo_.emplace_back();
+      memo_[0].push_back(
+          HashNode(leaf_hashes_[n - 2], leaf_hashes_[n - 1]));
+      size_t level = 0;
+      while (memo_[level].size() % 2 == 0 &&
+             (memo_[level].size() / 2) >
+                 (memo_.size() > level + 1 ? memo_[level + 1].size() : 0)) {
+        if (memo_.size() == level + 1) memo_.emplace_back();
+        size_t m = memo_[level].size();
+        memo_[level + 1].push_back(
+            HashNode(memo_[level][m - 2], memo_[level][m - 1]));
+        level++;
+      }
+    }
+  }
+  return leaf_hashes_.size() - 1;
+}
+
+std::string MerkleTree::SubtreeRoot(uint64_t begin, uint64_t n) const {
+  if (n == 0) return EmptyRoot();
+  if (n == 1) return leaf_hashes_[begin];
+  if (memoize_ && (n & (n - 1)) == 0 && begin % n == 0) {
+    // Complete aligned block: O(1) from the memo if present.
+    size_t level = 0;
+    uint64_t width = 2;
+    while (width < n) {
+      width <<= 1;
+      level++;
+    }
+    if (level < memo_.size() && begin / n < memo_[level].size()) {
+      return memo_[level][begin / n];
+    }
+  }
+  uint64_t k = SplitPoint(n);
+  return HashNode(SubtreeRoot(begin, k), SubtreeRoot(begin + k, n - k));
+}
+
+std::string MerkleTree::Root() const { return SubtreeRoot(0, size()); }
+
+Result<std::string> MerkleTree::RootAt(uint64_t n) const {
+  if (n > size()) return Status::InvalidArgument("RootAt beyond tree size");
+  return SubtreeRoot(0, n);
+}
+
+Result<std::string> MerkleTree::LeafHash(uint64_t index) const {
+  if (index >= size()) return Status::InvalidArgument("leaf index OOB");
+  return leaf_hashes_[index];
+}
+
+Result<std::vector<std::string>> MerkleTree::InclusionProof(
+    uint64_t index, uint64_t tree_size) const {
+  if (tree_size > size() || index >= tree_size) {
+    return Status::InvalidArgument("inclusion proof parameters out of range");
+  }
+  std::vector<std::string> proof;
+  // Iterative descent over the subtree [begin, begin+n).
+  uint64_t begin = 0, n = tree_size, m = index;
+  std::vector<std::string> reversed;
+  while (n > 1) {
+    uint64_t k = SplitPoint(n);
+    if (m < k) {
+      reversed.push_back(SubtreeRoot(begin + k, n - k));
+      n = k;
+    } else {
+      reversed.push_back(SubtreeRoot(begin, k));
+      begin += k;
+      m -= k;
+      n -= k;
+    }
+  }
+  proof.assign(reversed.rbegin(), reversed.rend());
+  return proof;
+}
+
+Result<std::vector<std::string>> MerkleTree::ConsistencyProof(
+    uint64_t old_size, uint64_t new_size) const {
+  if (new_size > size() || old_size > new_size) {
+    return Status::InvalidArgument("consistency proof parameters invalid");
+  }
+  std::vector<std::string> proof;
+  if (old_size == 0 || old_size == new_size) return proof;
+
+  // SUBPROOF(m, D[begin:begin+n], complete_subtree) per RFC 6962 §2.1.2,
+  // iterative form collecting entries in reverse.
+  std::vector<std::string> reversed;
+  uint64_t begin = 0, n = new_size, m = old_size;
+  bool complete = true;
+  while (true) {
+    if (m == n) {
+      if (!complete) reversed.push_back(SubtreeRoot(begin, m));
+      break;
+    }
+    uint64_t k = SplitPoint(n);
+    if (m <= k) {
+      reversed.push_back(SubtreeRoot(begin + k, n - k));
+      n = k;
+    } else {
+      reversed.push_back(SubtreeRoot(begin, k));
+      begin += k;
+      m -= k;
+      n -= k;
+      complete = false;
+    }
+  }
+  proof.assign(reversed.rbegin(), reversed.rend());
+  return proof;
+}
+
+Status MerkleTree::VerifyInclusion(const Slice& leaf_hash, uint64_t index,
+                                   uint64_t tree_size,
+                                   const std::vector<std::string>& proof,
+                                   const Slice& root) {
+  if (index >= tree_size) {
+    return Status::InvalidArgument("leaf index not below tree size");
+  }
+  // RFC 9162 §2.1.3.2.
+  uint64_t fn = index;
+  uint64_t sn = tree_size - 1;
+  std::string r = leaf_hash.ToString();
+  for (const std::string& p : proof) {
+    if (sn == 0) return Status::TamperDetected("inclusion proof too long");
+    if ((fn & 1) == 1 || fn == sn) {
+      r = HashNode(p, r);
+      if ((fn & 1) == 0) {
+        while ((fn & 1) == 0 && fn != 0) {
+          fn >>= 1;
+          sn >>= 1;
+        }
+      }
+    } else {
+      r = HashNode(r, p);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+  if (sn != 0) return Status::TamperDetected("inclusion proof too short");
+  if (!ConstantTimeEqual(r, root)) {
+    return Status::TamperDetected("inclusion proof root mismatch");
+  }
+  return Status::OK();
+}
+
+Status MerkleTree::VerifyConsistency(uint64_t old_size, const Slice& old_root,
+                                     uint64_t new_size, const Slice& new_root,
+                                     const std::vector<std::string>& proof) {
+  // RFC 9162 §2.1.4.2.
+  if (old_size > new_size) {
+    return Status::InvalidArgument("old size exceeds new size");
+  }
+  if (old_size == new_size) {
+    if (!proof.empty()) {
+      return Status::TamperDetected("nonempty proof for equal sizes");
+    }
+    if (!ConstantTimeEqual(old_root, new_root)) {
+      return Status::TamperDetected("equal-size roots differ");
+    }
+    return Status::OK();
+  }
+  if (old_size == 0) {
+    // Any tree is consistent with the empty tree.
+    if (!proof.empty()) {
+      return Status::TamperDetected("nonempty proof for empty old tree");
+    }
+    return Status::OK();
+  }
+
+  uint64_t fn = old_size - 1;
+  uint64_t sn = new_size - 1;
+  while ((fn & 1) == 1) {
+    fn >>= 1;
+    sn >>= 1;
+  }
+
+  size_t i = 0;
+  std::string fr, sr;
+  if (fn == 0) {
+    fr = old_root.ToString();
+    sr = old_root.ToString();
+  } else {
+    if (proof.empty()) {
+      return Status::TamperDetected("consistency proof too short");
+    }
+    fr = proof[0];
+    sr = proof[0];
+    i = 1;
+  }
+
+  for (; i < proof.size(); i++) {
+    if (sn == 0) return Status::TamperDetected("consistency proof too long");
+    const std::string& p = proof[i];
+    if ((fn & 1) == 1 || fn == sn) {
+      fr = HashNode(p, fr);
+      sr = HashNode(p, sr);
+      if ((fn & 1) == 0) {
+        while ((fn & 1) == 0 && fn != 0) {
+          fn >>= 1;
+          sn >>= 1;
+        }
+      }
+    } else {
+      sr = HashNode(sr, p);
+    }
+    fn >>= 1;
+    sn >>= 1;
+  }
+
+  if (sn != 0) return Status::TamperDetected("consistency proof too short");
+  if (!ConstantTimeEqual(fr, old_root)) {
+    return Status::TamperDetected("consistency proof old-root mismatch");
+  }
+  if (!ConstantTimeEqual(sr, new_root)) {
+    return Status::TamperDetected("consistency proof new-root mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace medvault::crypto

@@ -1,0 +1,55 @@
+#ifndef MEDVAULT_CRYPTO_SHA256_H_
+#define MEDVAULT_CRYPTO_SHA256_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+
+namespace medvault::crypto {
+
+/// Size in bytes of a SHA-256 digest.
+constexpr size_t kDigestSize = 32;
+
+/// Incremental SHA-256 (FIPS 180-4), implemented from scratch.
+///
+///   Sha256 h;
+///   h.Update("abc");
+///   std::string digest = h.Finish();   // 32 raw bytes
+///
+/// Finish() may be called once; the object is then exhausted.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  Sha256(const Sha256&) = default;
+  Sha256& operator=(const Sha256&) = default;
+
+  /// Re-initializes to the empty-message state.
+  void Reset();
+
+  /// Absorbs `data`.
+  void Update(const Slice& data);
+
+  /// Returns the 32-byte digest of everything absorbed so far.
+  std::string Finish();
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  uint32_t state_[8];
+  uint64_t total_len_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+/// One-shot convenience: SHA-256(data).
+std::string Sha256Digest(const Slice& data);
+
+/// SHA-256(a || b) — common in Merkle/hash-chain code.
+std::string Sha256Concat(const Slice& a, const Slice& b);
+
+}  // namespace medvault::crypto
+
+#endif  // MEDVAULT_CRYPTO_SHA256_H_

@@ -1,0 +1,142 @@
+#include "crypto/wots.h"
+
+#include "common/coding.h"
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace medvault::crypto {
+
+namespace {
+
+/// PRF for secret chain derivation: HMAC(secret_seed, leaf || chain).
+std::string DeriveChainSecret(const Slice& secret_seed, uint32_t leaf_index,
+                              int chain_index) {
+  std::string msg = "wots-sk";
+  PutFixed32(&msg, leaf_index);
+  PutFixed32(&msg, static_cast<uint32_t>(chain_index));
+  return HmacSha256(secret_seed, msg);
+}
+
+}  // namespace
+
+Wots::Wots(const Slice& secret_seed, const Slice& public_seed,
+           uint32_t leaf_index)
+    : public_seed_(public_seed.ToString()), leaf_index_(leaf_index) {
+  secret_chains_.reserve(kLen);
+  for (int i = 0; i < kLen; i++) {
+    secret_chains_.push_back(DeriveChainSecret(secret_seed, leaf_index, i));
+  }
+}
+
+std::string Wots::Chain(const Slice& public_seed, uint32_t leaf_index,
+                        int chain_index, int start, int steps,
+                        std::string value) {
+  for (int j = start; j < start + steps; j++) {
+    Sha256 h;
+    h.Update("wots-chain");
+    h.Update(public_seed);
+    std::string addr;
+    PutFixed32(&addr, leaf_index);
+    PutFixed32(&addr, static_cast<uint32_t>(chain_index));
+    PutFixed32(&addr, static_cast<uint32_t>(j));
+    h.Update(addr);
+    h.Update(value);
+    value = h.Finish();
+  }
+  return value;
+}
+
+Result<std::vector<int>> Wots::Digits(const Slice& digest) {
+  if (digest.size() != kN) {
+    return Status::InvalidArgument("WOTS signs 32-byte digests only");
+  }
+  std::vector<int> digits;
+  digits.reserve(kLen);
+  // Message digits: two base-16 digits per byte.
+  for (int i = 0; i < kN; i++) {
+    auto byte = static_cast<unsigned char>(digest[i]);
+    digits.push_back(byte >> 4);
+    digits.push_back(byte & 0xf);
+  }
+  // Checksum: sum of (w-1 - digit), encoded base-w in kLen2 digits.
+  int checksum = 0;
+  for (int d : digits) checksum += (kW - 1) - d;
+  for (int i = kLen2 - 1; i >= 0; i--) {
+    digits.push_back((checksum >> (4 * i)) & 0xf);
+  }
+  return digits;
+}
+
+std::string Wots::PublicKey() const {
+  Sha256 h;
+  h.Update("wots-pk");
+  for (int i = 0; i < kLen; i++) {
+    h.Update(Chain(public_seed_, leaf_index_, i, 0, kW - 1,
+                   secret_chains_[i]));
+  }
+  return h.Finish();
+}
+
+Result<Wots::Signature> Wots::Sign(const Slice& digest) const {
+  MEDVAULT_ASSIGN_OR_RETURN(std::vector<int> digits, Digits(digest));
+  Signature sig;
+  sig.reserve(kLen);
+  for (int i = 0; i < kLen; i++) {
+    sig.push_back(Chain(public_seed_, leaf_index_, i, 0, digits[i],
+                        secret_chains_[i]));
+  }
+  return sig;
+}
+
+Result<std::string> Wots::PublicKeyFromSignature(const Slice& digest,
+                                                 const Signature& sig,
+                                                 const Slice& public_seed,
+                                                 uint32_t leaf_index) {
+  if (static_cast<int>(sig.size()) != kLen) {
+    return Status::InvalidArgument("WOTS signature has wrong chain count");
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(std::vector<int> digits, Digits(digest));
+  Sha256 h;
+  h.Update("wots-pk");
+  for (int i = 0; i < kLen; i++) {
+    if (sig[i].size() != kN) {
+      return Status::InvalidArgument("WOTS signature chain has wrong size");
+    }
+    h.Update(Chain(public_seed, leaf_index, i, digits[i],
+                   (kW - 1) - digits[i], sig[i]));
+  }
+  return h.Finish();
+}
+
+Status Wots::Verify(const Slice& digest, const Signature& sig,
+                    const Slice& public_key, const Slice& public_seed,
+                    uint32_t leaf_index) {
+  MEDVAULT_ASSIGN_OR_RETURN(
+      std::string pk,
+      PublicKeyFromSignature(digest, sig, public_seed, leaf_index));
+  if (!ConstantTimeEqual(pk, public_key)) {
+    return Status::TamperDetected("WOTS signature does not verify");
+  }
+  return Status::OK();
+}
+
+std::string Wots::EncodeSignature(const Signature& sig) {
+  std::string out;
+  out.reserve(sig.size() * kN);
+  for (const std::string& chain : sig) out.append(chain);
+  return out;
+}
+
+Result<Wots::Signature> Wots::DecodeSignature(const Slice& data) {
+  if (data.size() != static_cast<size_t>(kLen) * kN) {
+    return Status::InvalidArgument("encoded WOTS signature has wrong size");
+  }
+  Signature sig;
+  sig.reserve(kLen);
+  for (int i = 0; i < kLen; i++) {
+    sig.emplace_back(data.data() + i * kN, kN);
+  }
+  return sig;
+}
+
+}  // namespace medvault::crypto

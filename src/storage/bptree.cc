@@ -1,0 +1,383 @@
+#include "storage/bptree.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace medvault::storage {
+
+namespace {
+
+constexpr uint32_t kMetaMagic = 0x4d564254;  // "MVBT"
+
+}  // namespace
+
+BpTree::BpTree(Env* env, std::string path)
+    : env_(env), path_(std::move(path)) {}
+
+BpTree::~BpTree() {
+  if (open_) Flush();
+}
+
+Status BpTree::Open() {
+  MEDVAULT_RETURN_IF_ERROR(env_->NewRandomRWFile(path_, &file_));
+  uint64_t size = 0;
+  Status s = env_->GetFileSize(path_, &size);
+  if (!s.ok()) size = 0;
+
+  if (size >= kPageSize) {
+    std::string meta;
+    MEDVAULT_RETURN_IF_ERROR(file_->ReadAt(0, kPageSize, &meta));
+    if (meta.size() < 32) return Status::Corruption("meta page truncated");
+    Slice in(meta.data(), 32);
+    uint32_t magic = 0;
+    if (!GetFixed32(&in, &magic) || magic != kMetaMagic) {
+      return Status::Corruption("bad B+tree magic");
+    }
+    uint32_t unused = 0;
+    GetFixed32(&in, &unused);
+    GetFixed64(&in, &root_);
+    GetFixed64(&in, &page_count_);
+    GetFixed64(&in, &key_count_);
+  } else {
+    root_ = 0;
+    page_count_ = 1;
+    key_count_ = 0;
+    MEDVAULT_RETURN_IF_ERROR(WriteMeta());
+  }
+  open_ = true;
+  return Status::OK();
+}
+
+Status BpTree::WriteMeta() {
+  std::string meta;
+  PutFixed32(&meta, kMetaMagic);
+  PutFixed32(&meta, 0);
+  PutFixed64(&meta, root_);
+  PutFixed64(&meta, page_count_);
+  PutFixed64(&meta, key_count_);
+  meta.resize(kPageSize, '\0');
+  return file_->WriteAt(0, meta);
+}
+
+std::string BpTree::SerializeNode(const Node& node) {
+  std::string payload;
+  payload.push_back(node.leaf ? 1 : 2);
+  PutVarint32(&payload, static_cast<uint32_t>(node.keys.size()));
+  if (node.leaf) {
+    PutFixed64(&payload, node.next_leaf);
+    for (size_t i = 0; i < node.keys.size(); i++) {
+      PutLengthPrefixed(&payload, node.keys[i]);
+      PutLengthPrefixed(&payload, node.values[i]);
+    }
+  } else {
+    for (const std::string& key : node.keys) {
+      PutLengthPrefixed(&payload, key);
+    }
+    for (uint64_t child : node.children) {
+      PutVarint64(&payload, child);
+    }
+  }
+  std::string page;
+  PutFixed32(&page, crc32c::Mask(crc32c::Value(payload)));
+  PutFixed32(&page, static_cast<uint32_t>(payload.size()));
+  page.append(payload);
+  return page;
+}
+
+size_t BpTree::NodeSerializedSize(const Node& node) {
+  size_t size = 1 + 5 + 8;  // type + count varint + next_leaf/slack
+  if (node.leaf) {
+    for (size_t i = 0; i < node.keys.size(); i++) {
+      size += VarintLength(node.keys[i].size()) + node.keys[i].size();
+      size += VarintLength(node.values[i].size()) + node.values[i].size();
+    }
+  } else {
+    for (const std::string& key : node.keys) {
+      size += VarintLength(key.size()) + key.size();
+    }
+    size += node.children.size() * 10;
+  }
+  return size + 8;  // frame header
+}
+
+Result<BpTree::Node> BpTree::DeserializeNode(const Slice& data) {
+  Slice in = data;
+  uint32_t expected_crc = 0, payload_len = 0;
+  if (!GetFixed32(&in, &expected_crc) || !GetFixed32(&in, &payload_len) ||
+      in.size() < payload_len) {
+    return Status::Corruption("B+tree page frame malformed");
+  }
+  Slice payload(in.data(), payload_len);
+  if (crc32c::Unmask(expected_crc) != crc32c::Value(payload)) {
+    return Status::Corruption("B+tree page checksum mismatch");
+  }
+  Node node;
+  if (payload.empty()) return Status::Corruption("empty B+tree page");
+  uint8_t type = static_cast<uint8_t>(payload[0]);
+  payload.RemovePrefix(1);
+  uint32_t count = 0;
+  if (!GetVarint32(&payload, &count)) {
+    return Status::Corruption("B+tree page count malformed");
+  }
+  if (type == 1) {
+    node.leaf = true;
+    if (!GetFixed64(&payload, &node.next_leaf)) {
+      return Status::Corruption("B+tree leaf link malformed");
+    }
+    node.keys.reserve(count);
+    node.values.reserve(count);
+    for (uint32_t i = 0; i < count; i++) {
+      std::string key, value;
+      if (!GetLengthPrefixedString(&payload, &key) ||
+          !GetLengthPrefixedString(&payload, &value)) {
+        return Status::Corruption("B+tree leaf cell malformed");
+      }
+      node.keys.push_back(std::move(key));
+      node.values.push_back(std::move(value));
+    }
+  } else if (type == 2) {
+    node.leaf = false;
+    node.keys.reserve(count);
+    for (uint32_t i = 0; i < count; i++) {
+      std::string key;
+      if (!GetLengthPrefixedString(&payload, &key)) {
+        return Status::Corruption("B+tree interior key malformed");
+      }
+      node.keys.push_back(std::move(key));
+    }
+    node.children.reserve(count + 1);
+    for (uint32_t i = 0; i < count + 1; i++) {
+      uint64_t child = 0;
+      if (!GetVarint64(&payload, &child)) {
+        return Status::Corruption("B+tree interior child malformed");
+      }
+      node.children.push_back(child);
+    }
+  } else {
+    return Status::Corruption("unknown B+tree page type");
+  }
+  return node;
+}
+
+Result<BpTree::Node*> BpTree::LoadNode(uint64_t page_id) const {
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) return &it->second;
+  std::string page;
+  MEDVAULT_RETURN_IF_ERROR(file_->ReadAt(page_id * kPageSize, kPageSize,
+                                         &page));
+  if (page.empty()) return Status::Corruption("missing B+tree page");
+  MEDVAULT_ASSIGN_OR_RETURN(Node node, DeserializeNode(page));
+  auto [pos, ok] = cache_.emplace(page_id, std::move(node));
+  return &pos->second;
+}
+
+uint64_t BpTree::AllocPage() { return page_count_++; }
+
+void BpTree::MarkDirty(uint64_t page_id) { dirty_.insert(page_id); }
+
+Status BpTree::WriteNode(uint64_t page_id, const Node& node) {
+  std::string page = SerializeNode(node);
+  if (page.size() > kPageSize) {
+    return Status::Corruption("B+tree node overflows page");
+  }
+  page.resize(kPageSize, '\0');
+  return file_->WriteAt(page_id * kPageSize, page);
+}
+
+Status BpTree::Flush() {
+  if (!open_) return Status::OK();
+  for (uint64_t page_id : dirty_) {
+    auto it = cache_.find(page_id);
+    if (it == cache_.end()) continue;
+    MEDVAULT_RETURN_IF_ERROR(WriteNode(page_id, it->second));
+  }
+  dirty_.clear();
+  MEDVAULT_RETURN_IF_ERROR(WriteMeta());
+  return file_->Sync();
+}
+
+Result<BpTree::SplitResult> BpTree::InsertInto(uint64_t page_id,
+                                               const Slice& key,
+                                               const Slice& value,
+                                               bool* inserted) {
+  MEDVAULT_ASSIGN_OR_RETURN(Node* node, LoadNode(page_id));
+
+  if (node->leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(),
+                               key.ToStringView());
+    size_t idx = it - node->keys.begin();
+    if (it != node->keys.end() && *it == key.ToStringView()) {
+      node->values[idx] = value.ToString();
+      *inserted = false;
+    } else {
+      node->keys.insert(it, key.ToString());
+      node->values.insert(node->values.begin() + idx, value.ToString());
+      *inserted = true;
+    }
+    MarkDirty(page_id);
+
+    if (NodeSerializedSize(*node) > kPageSize && node->keys.size() >= 2) {
+      // Split leaf: right half moves to a new page.
+      uint64_t right_id = AllocPage();
+      size_t mid = node->keys.size() / 2;
+      Node right;
+      right.leaf = true;
+      right.keys.assign(node->keys.begin() + mid, node->keys.end());
+      right.values.assign(node->values.begin() + mid, node->values.end());
+      right.next_leaf = node->next_leaf;
+      node->keys.resize(mid);
+      node->values.resize(mid);
+      node->next_leaf = right_id;
+      std::string separator = right.keys.front();
+      cache_[right_id] = std::move(right);
+      MarkDirty(right_id);
+      // cache_ may have rehashed; node pointer could be stale. Re-load.
+      MEDVAULT_ASSIGN_OR_RETURN(node, LoadNode(page_id));
+      (void)node;
+      return SplitResult{true, std::move(separator), right_id};
+    }
+    return SplitResult{};
+  }
+
+  // Interior node: find child to descend into.
+  auto it = std::upper_bound(node->keys.begin(), node->keys.end(),
+                             key.ToStringView());
+  size_t child_idx = it - node->keys.begin();
+  uint64_t child_id = node->children[child_idx];
+  MEDVAULT_ASSIGN_OR_RETURN(SplitResult child_split,
+                            InsertInto(child_id, key, value, inserted));
+  if (!child_split.split) return SplitResult{};
+
+  // Child split: reload (recursion may have invalidated the pointer).
+  MEDVAULT_ASSIGN_OR_RETURN(node, LoadNode(page_id));
+  node->keys.insert(node->keys.begin() + child_idx, child_split.separator);
+  node->children.insert(node->children.begin() + child_idx + 1,
+                        child_split.right_id);
+  MarkDirty(page_id);
+
+  if (NodeSerializedSize(*node) > kPageSize && node->keys.size() >= 3) {
+    uint64_t right_id = AllocPage();
+    size_t mid = node->keys.size() / 2;
+    std::string separator = node->keys[mid];
+    Node right;
+    right.leaf = false;
+    right.keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+    right.children.assign(node->children.begin() + mid + 1,
+                          node->children.end());
+    node->keys.resize(mid);
+    node->children.resize(mid + 1);
+    cache_[right_id] = std::move(right);
+    MarkDirty(right_id);
+    MEDVAULT_ASSIGN_OR_RETURN(node, LoadNode(page_id));
+    (void)node;
+    return SplitResult{true, std::move(separator), right_id};
+  }
+  return SplitResult{};
+}
+
+Status BpTree::Put(const Slice& key, const Slice& value) {
+  if (!open_) return Status::FailedPrecondition("B+tree not open");
+  if (key.size() + value.size() > kMaxCellSize) {
+    return Status::InvalidArgument("B+tree cell too large");
+  }
+  if (root_ == 0) {
+    root_ = AllocPage();
+    Node leaf;
+    leaf.leaf = true;
+    cache_[root_] = std::move(leaf);
+    MarkDirty(root_);
+  }
+  bool inserted = false;
+  MEDVAULT_ASSIGN_OR_RETURN(SplitResult split,
+                            InsertInto(root_, key, value, &inserted));
+  if (split.split) {
+    uint64_t new_root = AllocPage();
+    Node root_node;
+    root_node.leaf = false;
+    root_node.keys.push_back(split.separator);
+    root_node.children.push_back(root_);
+    root_node.children.push_back(split.right_id);
+    cache_[new_root] = std::move(root_node);
+    MarkDirty(new_root);
+    root_ = new_root;
+  }
+  if (inserted) key_count_++;
+  return Status::OK();
+}
+
+Result<std::string> BpTree::Get(const Slice& key) const {
+  if (!open_) return Status::FailedPrecondition("B+tree not open");
+  if (root_ == 0) return Status::NotFound("empty tree");
+  uint64_t page_id = root_;
+  while (true) {
+    MEDVAULT_ASSIGN_OR_RETURN(Node* node, LoadNode(page_id));
+    if (node->leaf) {
+      auto it = std::lower_bound(node->keys.begin(), node->keys.end(),
+                                 key.ToStringView());
+      if (it != node->keys.end() && *it == key.ToStringView()) {
+        return node->values[it - node->keys.begin()];
+      }
+      return Status::NotFound("key not in tree");
+    }
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(),
+                               key.ToStringView());
+    page_id = node->children[it - node->keys.begin()];
+  }
+}
+
+Status BpTree::Delete(const Slice& key) {
+  if (!open_) return Status::FailedPrecondition("B+tree not open");
+  if (root_ == 0) return Status::NotFound("empty tree");
+  uint64_t page_id = root_;
+  while (true) {
+    MEDVAULT_ASSIGN_OR_RETURN(Node* node, LoadNode(page_id));
+    if (node->leaf) {
+      auto it = std::lower_bound(node->keys.begin(), node->keys.end(),
+                                 key.ToStringView());
+      if (it == node->keys.end() || *it != key.ToStringView()) {
+        return Status::NotFound("key not in tree");
+      }
+      size_t idx = it - node->keys.begin();
+      node->keys.erase(it);
+      node->values.erase(node->values.begin() + idx);
+      MarkDirty(page_id);
+      key_count_--;
+      return Status::OK();
+    }
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(),
+                               key.ToStringView());
+    page_id = node->children[it - node->keys.begin()];
+  }
+}
+
+Status BpTree::Scan(
+    const Slice& start,
+    const std::function<bool(const Slice&, const Slice&)>& fn) const {
+  if (!open_) return Status::FailedPrecondition("B+tree not open");
+  if (root_ == 0) return Status::OK();
+
+  // Descend to the leaf containing `start`.
+  uint64_t page_id = root_;
+  while (true) {
+    MEDVAULT_ASSIGN_OR_RETURN(Node* node, LoadNode(page_id));
+    if (node->leaf) break;
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(),
+                               start.ToStringView());
+    page_id = node->children[it - node->keys.begin()];
+  }
+
+  while (page_id != 0) {
+    MEDVAULT_ASSIGN_OR_RETURN(Node* node, LoadNode(page_id));
+    uint64_t next = node->next_leaf;
+    for (size_t i = 0; i < node->keys.size(); i++) {
+      if (Slice(node->keys[i]).compare(start) < 0) continue;
+      if (!fn(node->keys[i], node->values[i])) return Status::OK();
+    }
+    page_id = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace medvault::storage

@@ -1,0 +1,110 @@
+#ifndef MEDVAULT_STORAGE_BPTREE_H_
+#define MEDVAULT_STORAGE_BPTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "common/slice.h"
+#include "storage/env.h"
+
+namespace medvault::storage {
+
+/// A paged, disk-backed B+tree mapping byte-string keys to byte-string
+/// values. This is the storage substrate of the *relational baseline*
+/// (paper §4: "relational databases are geared more towards performance
+/// rather than security"): update-in-place, no tamper evidence beyond a
+/// per-page checksum, no history.
+///
+/// Layout: 4096-byte pages on a RandomRWFile. Page 0 is the meta page
+/// (magic, root id, page count). Interior pages hold separator keys and
+/// child ids; leaf pages hold key/value cells and a next-leaf link for
+/// range scans. Nodes are (de)serialized whole — simple and crash-honest
+/// for a baseline, not a production OLTP engine.
+///
+/// Limits: key.size() + value.size() <= kMaxCellSize. Deletes remove the
+/// cell without rebalancing (pages may become sparse; fine for the
+/// workloads here).
+class BpTree {
+ public:
+  static constexpr size_t kPageSize = 4096;
+  static constexpr size_t kMaxCellSize = 1024;
+
+  BpTree(Env* env, std::string path);
+  ~BpTree();
+
+  BpTree(const BpTree&) = delete;
+  BpTree& operator=(const BpTree&) = delete;
+
+  /// Opens or creates the tree file.
+  Status Open();
+
+  /// Inserts or overwrites.
+  Status Put(const Slice& key, const Slice& value);
+
+  Result<std::string> Get(const Slice& key) const;
+
+  /// Removes a key. NotFound if absent.
+  Status Delete(const Slice& key);
+
+  /// In-order scan from `start` (inclusive); `fn` returns false to stop.
+  Status Scan(const Slice& start,
+              const std::function<bool(const Slice&, const Slice&)>& fn) const;
+
+  /// Writes all dirty pages (and the meta page) to the file.
+  Status Flush();
+
+  uint64_t KeyCount() const { return key_count_; }
+
+ private:
+  struct Node {
+    bool leaf = true;
+    std::vector<std::string> keys;
+    // leaf: values[i] pairs with keys[i]; next_leaf links the chain.
+    std::vector<std::string> values;
+    uint64_t next_leaf = 0;
+    // interior: children.size() == keys.size() + 1
+    std::vector<uint64_t> children;
+  };
+
+  Result<Node*> LoadNode(uint64_t page_id) const;
+  uint64_t AllocPage();
+  void MarkDirty(uint64_t page_id);
+  Status WriteNode(uint64_t page_id, const Node& node);
+  Status WriteMeta();
+
+  static std::string SerializeNode(const Node& node);
+  static Result<Node> DeserializeNode(const Slice& data);
+
+  /// Splits child `child_idx` of interior node `parent_id` if oversized.
+  struct SplitResult {
+    bool split = false;
+    std::string separator;
+    uint64_t right_id = 0;
+  };
+  Result<SplitResult> InsertInto(uint64_t page_id, const Slice& key,
+                                 const Slice& value, bool* inserted);
+
+  static size_t NodeSerializedSize(const Node& node);
+
+  Env* env_;
+  std::string path_;
+  std::unique_ptr<RandomRWFile> file_;
+  bool open_ = false;
+
+  uint64_t root_ = 0;
+  uint64_t page_count_ = 1;  // page 0 = meta
+  uint64_t key_count_ = 0;
+
+  mutable std::unordered_map<uint64_t, Node> cache_;
+  std::unordered_set<uint64_t> dirty_;
+};
+
+}  // namespace medvault::storage
+
+#endif  // MEDVAULT_STORAGE_BPTREE_H_

@@ -1,0 +1,142 @@
+#include "storage/fault_env.h"
+
+namespace medvault::storage {
+
+namespace {
+
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(std::unique_ptr<WritableFile> base,
+                    FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(const Slice& data) override {
+    MEDVAULT_RETURN_IF_ERROR(env_->ConsumeWriteCredit());
+    return base_->Append(data);
+  }
+  Status Flush() override { return base_->Flush(); }
+  Status Sync() override {
+    env_->CountSync();
+    return base_->Sync();
+  }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+class FaultRandomRWFile : public RandomRWFile {
+ public:
+  FaultRandomRWFile(std::unique_ptr<RandomRWFile> base, FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status WriteAt(uint64_t offset, const Slice& data) override {
+    MEDVAULT_RETURN_IF_ERROR(env_->ConsumeWriteCredit());
+    return base_->WriteAt(offset, data);
+  }
+  Status ReadAt(uint64_t offset, size_t n,
+                std::string* result) const override {
+    env_->CountRead();
+    return base_->ReadAt(offset, n, result);
+  }
+  Status Sync() override {
+    env_->CountSync();
+    return base_->Sync();
+  }
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<RandomRWFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+class FaultSequentialFile : public SequentialFile {
+ public:
+  FaultSequentialFile(std::unique_ptr<SequentialFile> base,
+                      FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(size_t n, std::string* result) override {
+    env_->CountRead();
+    return base_->Read(n, result);
+  }
+  Status Skip(uint64_t n) override { return base_->Skip(n); }
+
+ private:
+  std::unique_ptr<SequentialFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+class FaultRandomAccessFile : public RandomAccessFile {
+ public:
+  FaultRandomAccessFile(std::unique_ptr<RandomAccessFile> base,
+                        FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* result) const override {
+    env_->CountRead();
+    return base_->Read(offset, n, result);
+  }
+
+ private:
+  std::unique_ptr<RandomAccessFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+}  // namespace
+
+Status FaultInjectionEnv::ConsumeWriteCredit() {
+  writes_++;
+  if (fail_writes_.load()) {
+    return Status::IoError("injected write failure");
+  }
+  if (limited_) {
+    uint64_t remaining = writes_allowed_.load();
+    if (remaining == 0) return Status::IoError("injected write failure");
+    writes_allowed_.store(remaining - 1);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewSequentialFile(
+    const std::string& fname, std::unique_ptr<SequentialFile>* file) {
+  std::unique_ptr<SequentialFile> base;
+  MEDVAULT_RETURN_IF_ERROR(base_->NewSequentialFile(fname, &base));
+  *file = std::make_unique<FaultSequentialFile>(std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomAccessFile(
+    const std::string& fname, std::unique_ptr<RandomAccessFile>* file) {
+  std::unique_ptr<RandomAccessFile> base;
+  MEDVAULT_RETURN_IF_ERROR(base_->NewRandomAccessFile(fname, &base));
+  *file = std::make_unique<FaultRandomAccessFile>(std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewWritableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* file) {
+  std::unique_ptr<WritableFile> base;
+  MEDVAULT_RETURN_IF_ERROR(base_->NewWritableFile(fname, &base));
+  *file = std::make_unique<FaultWritableFile>(std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewAppendableFile(
+    const std::string& fname, std::unique_ptr<WritableFile>* file) {
+  std::unique_ptr<WritableFile> base;
+  MEDVAULT_RETURN_IF_ERROR(base_->NewAppendableFile(fname, &base));
+  *file = std::make_unique<FaultWritableFile>(std::move(base), this);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::NewRandomRWFile(
+    const std::string& fname, std::unique_ptr<RandomRWFile>* file) {
+  std::unique_ptr<RandomRWFile> base;
+  MEDVAULT_RETURN_IF_ERROR(base_->NewRandomRWFile(fname, &base));
+  *file = std::make_unique<FaultRandomRWFile>(std::move(base), this);
+  return Status::OK();
+}
+
+}  // namespace medvault::storage

@@ -1,0 +1,102 @@
+#ifndef MEDVAULT_STORAGE_FAULT_ENV_H_
+#define MEDVAULT_STORAGE_FAULT_ENV_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/env.h"
+
+namespace medvault::storage {
+
+/// An Env decorator that injects I/O failures, for crash/fault testing.
+///
+/// Modes:
+///  - FailAfterWrites(n): the n+1-th and later Append/WriteAt calls fail
+///    with kIoError (models a full or dying disk mid-operation).
+///  - FailWrites(bool): hard on/off switch.
+///
+/// Counters (writes, syncs, reads) let tests assert I/O behaviour, e.g.
+/// "backup verification reads every byte".
+class FaultInjectionEnv : public Env {
+ public:
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  FaultInjectionEnv(const FaultInjectionEnv&) = delete;
+  FaultInjectionEnv& operator=(const FaultInjectionEnv&) = delete;
+
+  /// Writes beyond the next `n` fail. Resets the write counter.
+  void FailAfterWrites(uint64_t n) {
+    writes_allowed_.store(n);
+    limited_ = true;
+  }
+  void FailWrites(bool fail) { fail_writes_.store(fail); }
+  void Reset() {
+    fail_writes_ = false;
+    limited_ = false;
+    writes_ = syncs_ = reads_ = 0;
+  }
+
+  uint64_t writes() const { return writes_.load(); }
+  uint64_t syncs() const { return syncs_.load(); }
+  uint64_t reads() const { return reads_.load(); }
+
+  /// Returns kIoError if the next write should fail; otherwise consumes
+  /// one write credit. Called by the wrapped file objects.
+  Status ConsumeWriteCredit();
+  void CountSync() { syncs_++; }
+  void CountRead() { reads_++; }
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* file) override;
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* file) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomRWFile(const std::string& fname,
+                         std::unique_ptr<RandomRWFile>* file) override;
+
+  bool FileExists(const std::string& fname) override {
+    return base_->FileExists(fname);
+  }
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override {
+    return base_->GetChildren(dir, result);
+  }
+  Status RemoveFile(const std::string& fname) override {
+    return base_->RemoveFile(fname);
+  }
+  Status CreateDirIfMissing(const std::string& dirname) override {
+    return base_->CreateDirIfMissing(dirname);
+  }
+  Status GetFileSize(const std::string& fname, uint64_t* size) override {
+    return base_->GetFileSize(fname, size);
+  }
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override {
+    return base_->RenameFile(src, target);
+  }
+  Status UnsafeOverwrite(const std::string& fname, uint64_t offset,
+                         const Slice& data) override {
+    return base_->UnsafeOverwrite(fname, offset, data);
+  }
+  Status UnsafeTruncate(const std::string& fname, uint64_t size) override {
+    return base_->UnsafeTruncate(fname, size);
+  }
+
+ private:
+  Env* base_;
+  std::atomic<bool> fail_writes_{false};
+  bool limited_ = false;
+  std::atomic<uint64_t> writes_allowed_{0};
+  std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> syncs_{0};
+  std::atomic<uint64_t> reads_{0};
+};
+
+}  // namespace medvault::storage
+
+#endif  // MEDVAULT_STORAGE_FAULT_ENV_H_

@@ -1,0 +1,28 @@
+#ifndef MEDVAULT_STORAGE_LOG_FORMAT_H_
+#define MEDVAULT_STORAGE_LOG_FORMAT_H_
+
+namespace medvault::storage::log {
+
+/// Record-oriented log format (LevelDB WAL discipline): the file is a
+/// sequence of 32KB blocks; each block holds physical records
+///
+///   checksum (4, masked CRC32C of type+payload) | length (2) | type (1)
+///
+/// and a logical record larger than a block is split into
+/// kFirst/kMiddle/kLast fragments. A zero-length trailer pads block ends
+/// smaller than the header.
+enum class RecordType : unsigned char {
+  kZero = 0,  // preallocated/trailer filler
+  kFull = 1,
+  kFirst = 2,
+  kMiddle = 3,
+  kLast = 4,
+};
+
+constexpr int kBlockSize = 32768;
+constexpr int kHeaderSize = 4 + 2 + 1;
+constexpr int kMaxRecordType = static_cast<int>(RecordType::kLast);
+
+}  // namespace medvault::storage::log
+
+#endif  // MEDVAULT_STORAGE_LOG_FORMAT_H_

@@ -1,0 +1,140 @@
+#include "storage/log_reader.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace medvault::storage::log {
+
+Reader::Reader(std::unique_ptr<SequentialFile> src) : src_(std::move(src)) {}
+
+bool Reader::MaybeRefill() {
+  if (buffer_.size() >= kHeaderSize || eof_) return !buffer_.empty();
+  // Drop any block trailer smaller than a header and read the next block.
+  backing_.clear();
+  Status s = src_->Read(kBlockSize, &backing_);
+  if (!s.ok()) {
+    status_ = s;
+    eof_ = true;
+    buffer_ = Slice();
+    return false;
+  }
+  if (backing_.empty()) {
+    eof_ = true;
+    buffer_ = Slice();
+    return false;
+  }
+  if (backing_.size() < kBlockSize) eof_ = true;
+  buffer_ = Slice(backing_);
+  return true;
+}
+
+int Reader::ReadPhysicalRecord(Slice* fragment) {
+  while (true) {
+    if (buffer_.size() < kHeaderSize) {
+      if (eof_) {
+        // A partial header at EOF means a torn final write, treated as a
+        // clean end (standard WAL recovery semantics).
+        buffer_ = Slice();
+        return kEof;
+      }
+      buffer_ = Slice();
+      if (!MaybeRefill()) return kEof;
+      continue;
+    }
+
+    const char* header = buffer_.data();
+    const uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(header));
+    const uint32_t length = static_cast<unsigned char>(header[4]) |
+                            (static_cast<unsigned char>(header[5]) << 8);
+    const int type = static_cast<unsigned char>(header[6]);
+
+    if (type == static_cast<int>(RecordType::kZero) && length == 0) {
+      // Block trailer; skip the rest of this block.
+      buffer_ = Slice();
+      if (!MaybeRefill()) return kEof;
+      continue;
+    }
+
+    if (kHeaderSize + length > buffer_.size()) {
+      if (eof_) {
+        // Torn final record.
+        buffer_ = Slice();
+        return kEof;
+      }
+      return kBadRecord;
+    }
+
+    uint32_t actual_crc = crc32c::Value(header + 6, 1);
+    actual_crc = crc32c::Extend(actual_crc, header + kHeaderSize, length);
+    if (actual_crc != expected_crc) {
+      buffer_ = Slice();
+      return kBadRecord;
+    }
+
+    *fragment = Slice(header + kHeaderSize, length);
+    buffer_.RemovePrefix(kHeaderSize + length);
+
+    if (type < 1 || type > kMaxRecordType) return kBadRecord;
+    return type;
+  }
+}
+
+bool Reader::ReadRecord(std::string* record) {
+  record->clear();
+  if (!status_.ok()) return false;
+
+  std::string assembled;
+  bool in_fragmented = false;
+
+  while (true) {
+    Slice fragment;
+    int type = ReadPhysicalRecord(&fragment);
+    switch (type) {
+      case static_cast<int>(RecordType::kFull):
+        if (in_fragmented) {
+          status_ = Status::Corruption("full record amid fragments");
+          return false;
+        }
+        record->assign(fragment.data(), fragment.size());
+        return true;
+      case static_cast<int>(RecordType::kFirst):
+        if (in_fragmented) {
+          status_ = Status::Corruption("two first fragments in a row");
+          return false;
+        }
+        in_fragmented = true;
+        assembled.assign(fragment.data(), fragment.size());
+        break;
+      case static_cast<int>(RecordType::kMiddle):
+        if (!in_fragmented) {
+          status_ = Status::Corruption("middle fragment without first");
+          return false;
+        }
+        assembled.append(fragment.data(), fragment.size());
+        break;
+      case static_cast<int>(RecordType::kLast):
+        if (!in_fragmented) {
+          status_ = Status::Corruption("last fragment without first");
+          return false;
+        }
+        assembled.append(fragment.data(), fragment.size());
+        *record = std::move(assembled);
+        return true;
+      case kEof:
+        if (in_fragmented) {
+          // Torn multi-fragment record at EOF: drop it silently,
+          // consistent with torn-single-record handling.
+          record->clear();
+        }
+        return false;
+      case kBadRecord:
+        status_ = Status::Corruption("checksum mismatch or malformed record");
+        return false;
+      default:
+        status_ = Status::Corruption("unknown record type");
+        return false;
+    }
+  }
+}
+
+}  // namespace medvault::storage::log

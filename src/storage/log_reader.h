@@ -1,0 +1,52 @@
+#ifndef MEDVAULT_STORAGE_LOG_READER_H_
+#define MEDVAULT_STORAGE_LOG_READER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/log_format.h"
+
+namespace medvault::storage::log {
+
+/// Sequentially reads logical records written by log::Writer.
+///
+/// Corruption handling: a bad checksum or malformed fragment sequence
+/// stops iteration and is reported via status() as kCorruption (callers
+/// in the audit path escalate that to tamper evidence).
+class Reader {
+ public:
+  explicit Reader(std::unique_ptr<SequentialFile> src);
+
+  Reader(const Reader&) = delete;
+  Reader& operator=(const Reader&) = delete;
+
+  /// Reads the next logical record into *record. Returns false at EOF or
+  /// on corruption; check status() to distinguish.
+  bool ReadRecord(std::string* record);
+
+  /// OK at clean EOF; kCorruption if the log was damaged.
+  const Status& status() const { return status_; }
+
+ private:
+  /// Reads the next physical record; returns the type or an eof/bad marker.
+  int ReadPhysicalRecord(Slice* fragment);
+
+  /// Refills buffer_ from the file if it holds less than a header.
+  bool MaybeRefill();
+
+  std::unique_ptr<SequentialFile> src_;
+  std::string backing_;
+  Slice buffer_;
+  bool eof_ = false;
+  Status status_;
+
+  static constexpr int kEof = kMaxRecordType + 1;
+  static constexpr int kBadRecord = kMaxRecordType + 2;
+};
+
+}  // namespace medvault::storage::log
+
+#endif  // MEDVAULT_STORAGE_LOG_READER_H_

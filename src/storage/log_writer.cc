@@ -1,0 +1,72 @@
+#include "storage/log_writer.h"
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+
+namespace medvault::storage::log {
+
+Writer::Writer(std::unique_ptr<WritableFile> dest, uint64_t initial_offset)
+    : dest_(std::move(dest)),
+      block_offset_(static_cast<int>(initial_offset % kBlockSize)),
+      file_offset_(initial_offset) {}
+
+Status Writer::AddRecord(const Slice& payload) {
+  const char* ptr = payload.data();
+  size_t left = payload.size();
+
+  bool begin = true;
+  do {
+    const int leftover = kBlockSize - block_offset_;
+    if (leftover < kHeaderSize) {
+      if (leftover > 0) {
+        // Fill trailer with zeros.
+        static const char kZeros[kHeaderSize] = {0};
+        MEDVAULT_RETURN_IF_ERROR(dest_->Append(Slice(kZeros, leftover)));
+        file_offset_ += leftover;
+      }
+      block_offset_ = 0;
+    }
+
+    const size_t avail = kBlockSize - block_offset_ - kHeaderSize;
+    const size_t fragment_length = (left < avail) ? left : avail;
+
+    RecordType type;
+    const bool end = (left == fragment_length);
+    if (begin && end) {
+      type = RecordType::kFull;
+    } else if (begin) {
+      type = RecordType::kFirst;
+    } else if (end) {
+      type = RecordType::kLast;
+    } else {
+      type = RecordType::kMiddle;
+    }
+
+    MEDVAULT_RETURN_IF_ERROR(EmitPhysicalRecord(type, ptr, fragment_length));
+    ptr += fragment_length;
+    left -= fragment_length;
+    begin = false;
+  } while (left > 0);
+  return Status::OK();
+}
+
+Status Writer::EmitPhysicalRecord(RecordType type, const char* ptr,
+                                  size_t length) {
+  char header[kHeaderSize];
+  header[4] = static_cast<char>(length & 0xff);
+  header[5] = static_cast<char>(length >> 8);
+  header[6] = static_cast<char>(type);
+
+  // CRC over type byte + payload.
+  uint32_t crc = crc32c::Value(&header[6], 1);
+  crc = crc32c::Extend(crc, ptr, length);
+  EncodeFixed32(header, crc32c::Mask(crc));
+
+  MEDVAULT_RETURN_IF_ERROR(dest_->Append(Slice(header, kHeaderSize)));
+  MEDVAULT_RETURN_IF_ERROR(dest_->Append(Slice(ptr, length)));
+  block_offset_ += kHeaderSize + static_cast<int>(length);
+  file_offset_ += kHeaderSize + length;
+  return Status::OK();
+}
+
+}  // namespace medvault::storage::log

@@ -1,0 +1,44 @@
+#ifndef MEDVAULT_STORAGE_LOG_WRITER_H_
+#define MEDVAULT_STORAGE_LOG_WRITER_H_
+
+#include <memory>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "storage/env.h"
+#include "storage/log_format.h"
+
+namespace medvault::storage::log {
+
+/// Appends logical records to a log file (see log_format.h). Not
+/// thread-safe; callers serialize.
+class Writer {
+ public:
+  /// `dest` must be positioned at the start of a file or at a block
+  /// boundary continuation; `initial_offset` is the current file size.
+  explicit Writer(std::unique_ptr<WritableFile> dest,
+                  uint64_t initial_offset = 0);
+
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Status AddRecord(const Slice& payload);
+
+  Status Flush() { return dest_->Flush(); }
+  Status Sync() { return dest_->Sync(); }
+  Status Close() { return dest_->Close(); }
+
+  /// Bytes written through this writer plus the initial offset.
+  uint64_t FileOffset() const { return file_offset_; }
+
+ private:
+  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+
+  std::unique_ptr<WritableFile> dest_;
+  int block_offset_;  // current offset within the block
+  uint64_t file_offset_;
+};
+
+}  // namespace medvault::storage::log
+
+#endif  // MEDVAULT_STORAGE_LOG_WRITER_H_

@@ -1,0 +1,259 @@
+#include "storage/mem_env.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace medvault::storage {
+
+namespace {
+
+class MemSequentialFile : public SequentialFile {
+ public:
+  MemSequentialFile(std::shared_ptr<std::string> contents, std::mutex* mu)
+      : contents_(std::move(contents)), mu_(mu) {}
+
+  Status Read(size_t n, std::string* result) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    result->clear();
+    if (pos_ >= contents_->size()) return Status::OK();  // EOF
+    size_t take = std::min(n, contents_->size() - pos_);
+    result->assign(contents_->data() + pos_, take);
+    pos_ += take;
+    return Status::OK();
+  }
+
+  Status Skip(uint64_t n) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    pos_ = std::min<uint64_t>(contents_->size(), pos_ + n);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<std::string> contents_;
+  std::mutex* mu_;
+  uint64_t pos_ = 0;
+};
+
+}  // namespace
+
+std::shared_ptr<MemEnv::FileState> MemEnv::Find(const std::string& fname) {
+  auto it = files_.find(fname);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+Status MemEnv::NewSequentialFile(const std::string& fname,
+                                 std::unique_ptr<SequentialFile>* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = Find(fname);
+  if (!state) return Status::NotFound(fname);
+  *file = std::make_unique<MemSequentialFile>(
+      std::shared_ptr<std::string>(state, &state->contents), &mu_);
+  return Status::OK();
+}
+
+namespace {
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  MemRandomAccessFile(std::shared_ptr<std::string> contents, std::mutex* mu)
+      : contents_(std::move(contents)), mu_(mu) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* result) const override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    result->clear();
+    if (offset >= contents_->size()) return Status::OK();
+    size_t take = std::min<uint64_t>(n, contents_->size() - offset);
+    result->assign(contents_->data() + offset, take);
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<std::string> contents_;
+  std::mutex* mu_;
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  MemWritableFile(std::shared_ptr<std::string> target, std::mutex* mu)
+      : target_(std::move(target)), mu_(mu) {}
+
+  Status Append(const Slice& data) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    target_->append(data.data(), data.size());
+    return Status::OK();
+  }
+  Status Flush() override { return Status::OK(); }
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<std::string> target_;
+  std::mutex* mu_;
+};
+
+class MemRandomRWFile : public RandomRWFile {
+ public:
+  MemRandomRWFile(std::shared_ptr<std::string> target, std::mutex* mu)
+      : target_(std::move(target)), mu_(mu) {}
+
+  Status WriteAt(uint64_t offset, const Slice& data) override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    if (offset + data.size() > target_->size()) {
+      target_->resize(offset + data.size(), '\0');
+    }
+    memcpy(target_->data() + offset, data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status ReadAt(uint64_t offset, size_t n,
+                std::string* result) const override {
+    std::lock_guard<std::mutex> lock(*mu_);
+    result->clear();
+    if (offset >= target_->size()) return Status::OK();
+    size_t take = std::min<uint64_t>(n, target_->size() - offset);
+    result->assign(target_->data() + offset, take);
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+  Status Close() override { return Status::OK(); }
+
+ private:
+  std::shared_ptr<std::string> target_;
+  std::mutex* mu_;
+};
+
+}  // namespace
+
+Status MemEnv::NewRandomAccessFile(const std::string& fname,
+                                   std::unique_ptr<RandomAccessFile>* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = Find(fname);
+  if (!state) return Status::NotFound(fname);
+  *file = std::make_unique<MemRandomAccessFile>(
+      std::shared_ptr<std::string>(state, &state->contents), &mu_);
+  return Status::OK();
+}
+
+Status MemEnv::NewWritableFile(const std::string& fname,
+                               std::unique_ptr<WritableFile>* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = std::make_shared<FileState>();
+  files_[fname] = state;
+  *file = std::make_unique<MemWritableFile>(
+      std::shared_ptr<std::string>(state, &state->contents), &mu_);
+  return Status::OK();
+}
+
+Status MemEnv::NewAppendableFile(const std::string& fname,
+                                 std::unique_ptr<WritableFile>* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = Find(fname);
+  if (!state) {
+    state = std::make_shared<FileState>();
+    files_[fname] = state;
+  }
+  *file = std::make_unique<MemWritableFile>(
+      std::shared_ptr<std::string>(state, &state->contents), &mu_);
+  return Status::OK();
+}
+
+Status MemEnv::NewRandomRWFile(const std::string& fname,
+                               std::unique_ptr<RandomRWFile>* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = Find(fname);
+  if (!state) {
+    state = std::make_shared<FileState>();
+    files_[fname] = state;
+  }
+  *file = std::make_unique<MemRandomRWFile>(
+      std::shared_ptr<std::string>(state, &state->contents), &mu_);
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(fname) > 0;
+}
+
+Status MemEnv::GetChildren(const std::string& dir,
+                           std::vector<std::string>* result) {
+  std::lock_guard<std::mutex> lock(mu_);
+  result->clear();
+  std::string prefix = dir;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  for (const auto& [name, state] : files_) {
+    if (name.size() > prefix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0) {
+      std::string rest = name.substr(prefix.size());
+      // Direct files verbatim; deeper paths contribute their first
+      // component (an implicit subdirectory), deduplicated.
+      auto slash = rest.find('/');
+      if (slash != std::string::npos) rest.resize(slash);
+      if (std::find(result->begin(), result->end(), rest) ==
+          result->end()) {
+        result->push_back(rest);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RemoveFile(const std::string& fname) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(fname) == 0) return Status::NotFound(fname);
+  return Status::OK();
+}
+
+Status MemEnv::CreateDirIfMissing(const std::string& dirname) {
+  return Status::OK();  // directories are implicit
+}
+
+Status MemEnv::GetFileSize(const std::string& fname, uint64_t* size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = Find(fname);
+  if (!state) return Status::NotFound(fname);
+  *size = state->contents.size();
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(src);
+  if (it == files_.end()) return Status::NotFound(src);
+  files_[target] = it->second;
+  files_.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::UnsafeOverwrite(const std::string& fname, uint64_t offset,
+                               const Slice& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = Find(fname);
+  if (!state) return Status::NotFound(fname);
+  if (offset + data.size() > state->contents.size()) {
+    return Status::InvalidArgument("UnsafeOverwrite beyond EOF");
+  }
+  memcpy(state->contents.data() + offset, data.data(), data.size());
+  return Status::OK();
+}
+
+Status MemEnv::UnsafeTruncate(const std::string& fname, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = Find(fname);
+  if (!state) return Status::NotFound(fname);
+  if (size > state->contents.size()) {
+    return Status::InvalidArgument("UnsafeTruncate would extend file");
+  }
+  state->contents.resize(size);
+  return Status::OK();
+}
+
+uint64_t MemEnv::TotalBytes() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, state] : files_) total += state->contents.size();
+  return total;
+}
+
+}  // namespace medvault::storage

@@ -1,0 +1,63 @@
+#ifndef MEDVAULT_STORAGE_MEM_ENV_H_
+#define MEDVAULT_STORAGE_MEM_ENV_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "storage/env.h"
+
+namespace medvault::storage {
+
+/// In-memory Env. Used by tests, benchmarks, and as the "off-site
+/// facility" in backup experiments. Supports UnsafeOverwrite/UnsafeTruncate
+/// so the adversary simulator can tamper with raw bytes.
+class MemEnv : public Env {
+ public:
+  MemEnv() = default;
+
+  MemEnv(const MemEnv&) = delete;
+  MemEnv& operator=(const MemEnv&) = delete;
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* file) override;
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* file) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomRWFile(const std::string& fname,
+                         std::unique_ptr<RandomRWFile>* file) override;
+
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDirIfMissing(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+
+  Status UnsafeOverwrite(const std::string& fname, uint64_t offset,
+                         const Slice& data) override;
+  Status UnsafeTruncate(const std::string& fname, uint64_t size) override;
+
+  /// Total bytes across all files (used by cost experiments).
+  uint64_t TotalBytes();
+
+ private:
+  struct FileState {
+    std::string contents;
+  };
+
+  std::shared_ptr<FileState> Find(const std::string& fname);
+
+  std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileState>> files_;
+};
+
+}  // namespace medvault::storage
+
+#endif  // MEDVAULT_STORAGE_MEM_ENV_H_

@@ -1,0 +1,47 @@
+#ifndef MEDVAULT_STORAGE_POSIX_ENV_H_
+#define MEDVAULT_STORAGE_POSIX_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/env.h"
+
+namespace medvault::storage {
+
+/// Env backed by the local POSIX filesystem. One process-wide instance.
+///
+/// UnsafeOverwrite/UnsafeTruncate are implemented (pwrite/truncate) so the
+/// insider-adversary experiments can also run against real disks.
+class PosixEnv : public Env {
+ public:
+  /// Shared process-wide instance (never deleted).
+  static PosixEnv* Default();
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* file) override;
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* file) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomRWFile(const std::string& fname,
+                         std::unique_ptr<RandomRWFile>* file) override;
+
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDirIfMissing(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src,
+                    const std::string& target) override;
+
+  Status UnsafeOverwrite(const std::string& fname, uint64_t offset,
+                         const Slice& data) override;
+  Status UnsafeTruncate(const std::string& fname, uint64_t size) override;
+};
+
+}  // namespace medvault::storage
+
+#endif  // MEDVAULT_STORAGE_POSIX_ENV_H_

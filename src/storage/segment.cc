@@ -1,0 +1,211 @@
+#include "storage/segment.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "crypto/sha256.h"
+
+namespace medvault::storage {
+
+namespace {
+constexpr size_t kFrameHeaderSize = 8;  // crc32c(4) + length(4)
+}  // namespace
+
+std::string EntryHandle::Encode() const {
+  std::string out;
+  PutVarint64(&out, segment_id);
+  PutVarint64(&out, offset);
+  PutVarint32(&out, length);
+  return out;
+}
+
+Result<EntryHandle> EntryHandle::Decode(const Slice& data) {
+  Slice in = data;
+  EntryHandle h;
+  if (!GetVarint64(&in, &h.segment_id) || !GetVarint64(&in, &h.offset) ||
+      !GetVarint32(&in, &h.length) || !in.empty()) {
+    return Status::Corruption("malformed entry handle");
+  }
+  return h;
+}
+
+SegmentStore::SegmentStore(Env* env, std::string dir, Options options)
+    : env_(env), dir_(std::move(dir)), options_(options) {}
+
+std::string SegmentStore::SegmentFileName(uint64_t segment_id) const {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "seg-%08" PRIu64, segment_id);
+  return dir_ + "/" + buf;
+}
+
+Status SegmentStore::Open() {
+  MEDVAULT_RETURN_IF_ERROR(env_->CreateDirIfMissing(dir_));
+  std::vector<std::string> children;
+  MEDVAULT_RETURN_IF_ERROR(env_->GetChildren(dir_, &children));
+
+  uint64_t max_id = 0;
+  for (const std::string& name : children) {
+    uint64_t id = 0;
+    if (sscanf(name.c_str(), "seg-%08" PRIu64, &id) == 1) {
+      uint64_t size = 0;
+      MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(dir_ + "/" + name, &size));
+      segments_[id] = SegmentInfo{size, true};  // re-opened => sealed
+      if (id > max_id) max_id = id;
+    }
+  }
+
+  // Start a fresh active segment after the highest existing one.
+  active_id_ = max_id + 1;
+  segments_[active_id_] = SegmentInfo{0, false};
+  MEDVAULT_RETURN_IF_ERROR(
+      env_->NewWritableFile(SegmentFileName(active_id_), &active_file_));
+  active_offset_ = 0;
+  open_ = true;
+  return Status::OK();
+}
+
+Status SegmentStore::RollSegment() {
+  MEDVAULT_RETURN_IF_ERROR(SealActive());
+  return Status::OK();
+}
+
+Status SegmentStore::SealActive() {
+  if (!open_) return Status::FailedPrecondition("segment store not open");
+  if (active_file_) {
+    MEDVAULT_RETURN_IF_ERROR(active_file_->Sync());
+    MEDVAULT_RETURN_IF_ERROR(active_file_->Close());
+    active_file_.reset();
+  }
+  segments_[active_id_].sealed = true;
+
+  active_id_++;
+  segments_[active_id_] = SegmentInfo{0, false};
+  MEDVAULT_RETURN_IF_ERROR(
+      env_->NewWritableFile(SegmentFileName(active_id_), &active_file_));
+  active_offset_ = 0;
+  return Status::OK();
+}
+
+Result<EntryHandle> SegmentStore::Append(const Slice& payload) {
+  if (!open_) return Status::FailedPrecondition("segment store not open");
+  if (active_offset_ + kFrameHeaderSize + payload.size() >
+          options_.max_segment_bytes &&
+      active_offset_ > 0) {
+    MEDVAULT_RETURN_IF_ERROR(RollSegment());
+  }
+
+  char header[kFrameHeaderSize];
+  EncodeFixed32(header, crc32c::Mask(crc32c::Value(payload)));
+  EncodeFixed32(header + 4, static_cast<uint32_t>(payload.size()));
+
+  EntryHandle handle;
+  handle.segment_id = active_id_;
+  handle.offset = active_offset_;
+  handle.length = static_cast<uint32_t>(payload.size());
+
+  MEDVAULT_RETURN_IF_ERROR(active_file_->Append(Slice(header, sizeof(header))));
+  MEDVAULT_RETURN_IF_ERROR(active_file_->Append(payload));
+  if (options_.sync_on_append) {
+    MEDVAULT_RETURN_IF_ERROR(active_file_->Sync());
+  }
+  active_offset_ += kFrameHeaderSize + payload.size();
+  segments_[active_id_].bytes = active_offset_;
+  return handle;
+}
+
+Result<std::string> SegmentStore::Read(const EntryHandle& handle) const {
+  if (!open_) return Status::FailedPrecondition("segment store not open");
+  auto it = segments_.find(handle.segment_id);
+  if (it == segments_.end()) {
+    return Status::NotFound("no such segment");
+  }
+  std::unique_ptr<RandomAccessFile> file;
+  MEDVAULT_RETURN_IF_ERROR(
+      env_->NewRandomAccessFile(SegmentFileName(handle.segment_id), &file));
+  std::string frame;
+  MEDVAULT_RETURN_IF_ERROR(
+      file->Read(handle.offset, kFrameHeaderSize + handle.length, &frame));
+  if (frame.size() != kFrameHeaderSize + handle.length) {
+    return Status::Corruption("segment entry truncated");
+  }
+  uint32_t expected_crc = crc32c::Unmask(DecodeFixed32(frame.data()));
+  uint32_t stored_length = DecodeFixed32(frame.data() + 4);
+  if (stored_length != handle.length) {
+    return Status::Corruption("segment entry length mismatch");
+  }
+  Slice payload(frame.data() + kFrameHeaderSize, handle.length);
+  if (crc32c::Value(payload) != expected_crc) {
+    return Status::Corruption("segment entry checksum mismatch");
+  }
+  return payload.ToString();
+}
+
+Status SegmentStore::ForEachEntry(
+    const std::function<bool(const EntryHandle&, const Slice&)>& fn) const {
+  for (const auto& [id, info] : segments_) {
+    if (info.bytes == 0 && !env_->FileExists(SegmentFileName(id))) continue;
+    std::string contents;
+    MEDVAULT_RETURN_IF_ERROR(
+        ReadFileToString(env_, SegmentFileName(id), &contents));
+    uint64_t offset = 0;
+    while (offset + kFrameHeaderSize <= contents.size()) {
+      uint32_t expected_crc =
+          crc32c::Unmask(DecodeFixed32(contents.data() + offset));
+      uint32_t length = DecodeFixed32(contents.data() + offset + 4);
+      if (offset + kFrameHeaderSize + length > contents.size()) {
+        return Status::Corruption("segment ends mid-entry");
+      }
+      Slice payload(contents.data() + offset + kFrameHeaderSize, length);
+      if (crc32c::Value(payload) != expected_crc) {
+        return Status::Corruption("segment entry checksum mismatch");
+      }
+      EntryHandle handle{id, offset, length};
+      if (!fn(handle, payload)) return Status::OK();
+      offset += kFrameHeaderSize + length;
+    }
+    if (offset != contents.size()) {
+      return Status::Corruption("trailing garbage in segment");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::string> SegmentStore::SegmentHash(uint64_t segment_id) const {
+  std::string contents;
+  MEDVAULT_RETURN_IF_ERROR(
+      ReadFileToString(env_, SegmentFileName(segment_id), &contents));
+  return crypto::Sha256Digest(contents);
+}
+
+std::vector<uint64_t> SegmentStore::SegmentIds() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(segments_.size());
+  for (const auto& [id, info] : segments_) ids.push_back(id);
+  return ids;
+}
+
+bool SegmentStore::IsSealed(uint64_t segment_id) const {
+  auto it = segments_.find(segment_id);
+  return it != segments_.end() && it->second.sealed;
+}
+
+Status SegmentStore::DropSegment(uint64_t segment_id) {
+  auto it = segments_.find(segment_id);
+  if (it == segments_.end()) return Status::NotFound("no such segment");
+  if (!it->second.sealed) {
+    return Status::WormViolation("cannot drop the active segment");
+  }
+  MEDVAULT_RETURN_IF_ERROR(env_->RemoveFile(SegmentFileName(segment_id)));
+  segments_.erase(it);
+  return Status::OK();
+}
+
+uint64_t SegmentStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& [id, info] : segments_) total += info.bytes;
+  return total;
+}
+
+}  // namespace medvault::storage

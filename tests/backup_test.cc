@@ -1,0 +1,294 @@
+// Backup/restore tests: off-site copies, signed manifests, verification,
+// restore-and-reopen, disaster and tamper scenarios.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/backup.h"
+#include "core/vault.h"
+#include "storage/mem_env.h"
+
+namespace medvault::core {
+namespace {
+
+class BackupTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    vault_ = OpenVault(&env_, "vault");
+    ASSERT_TRUE(
+        vault_->RegisterPrincipal("boot", {"admin-r", Role::kAdmin, "Root"})
+            .ok());
+    ASSERT_TRUE(vault_
+                    ->RegisterPrincipal("admin-r",
+                                        {"dr-a", Role::kPhysician, "Dr A"})
+                    .ok());
+    ASSERT_TRUE(vault_
+                    ->RegisterPrincipal("admin-r",
+                                        {"pat-p", Role::kPatient, "P"})
+                    .ok());
+    ASSERT_TRUE(vault_->AssignCare("admin-r", "dr-a", "pat-p").ok());
+  }
+
+  std::unique_ptr<Vault> OpenVault(storage::Env* env,
+                                   const std::string& dir) {
+    VaultOptions options;
+    options.env = env;
+    options.dir = dir;
+    options.clock = &clock_;
+    options.master_key = std::string(32, 'M');
+    options.entropy = "backup-test-entropy";
+    options.signer_height = 4;
+    auto vault = Vault::Open(options);
+    EXPECT_TRUE(vault.ok()) << vault.status().ToString();
+    return std::move(vault).value();
+  }
+
+  RecordId CreateSample(const std::string& content) {
+    auto id = vault_->CreateRecord("dr-a", "pat-p", "text/plain", content,
+                                   {"backup"}, "osha-30y");
+    EXPECT_TRUE(id.ok());
+    return id.ValueOr("");
+  }
+
+  storage::MemEnv env_;      // primary site
+  storage::MemEnv offsite_;  // off-site facility
+  ManualClock clock_{1000000};
+  std::unique_ptr<Vault> vault_;
+};
+
+TEST_F(BackupTest, BackupProducesSignedManifest) {
+  CreateSample("important record");
+  auto manifest =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "offsite");
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  EXPECT_GT(manifest->files.size(), 3u);
+  EXPECT_TRUE(BackupManager::VerifyManifestSignature(
+                  *manifest, vault_->SignerPublicKey(),
+                  vault_->SignerPublicSeed(), vault_->SignerHeight())
+                  .ok());
+  EXPECT_TRUE(
+      BackupManager::Verify(&offsite_, "offsite", *manifest).ok());
+}
+
+TEST_F(BackupTest, BackupRequiresPermission) {
+  EXPECT_TRUE(
+      BackupManager::Backup(vault_.get(), "dr-a", &offsite_, "offsite")
+          .status()
+          .IsPermissionDenied());
+}
+
+TEST_F(BackupTest, ManifestPersistsOffsiteAndReloads) {
+  CreateSample("x");
+  auto manifest =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "offsite");
+  ASSERT_TRUE(manifest.ok());
+  auto loaded = BackupManager::LoadManifest(&offsite_, "offsite");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->backup_id, manifest->backup_id);
+  EXPECT_EQ(loaded->files, manifest->files);
+  EXPECT_TRUE(BackupManager::VerifyManifestSignature(
+                  *loaded, vault_->SignerPublicKey(),
+                  vault_->SignerPublicSeed(), vault_->SignerHeight())
+                  .ok());
+}
+
+TEST_F(BackupTest, VerifyDetectsOffsiteTamper) {
+  CreateSample("y");
+  auto manifest =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "offsite");
+  ASSERT_TRUE(manifest.ok());
+  // Tamper with one backed-up file.
+  const std::string victim = "offsite/" + manifest->files[1].first;
+  uint64_t size = 0;
+  ASSERT_TRUE(offsite_.GetFileSize(victim, &size).ok());
+  ASSERT_TRUE(offsite_.UnsafeOverwrite(victim, size / 2, "X").ok());
+  EXPECT_TRUE(BackupManager::Verify(&offsite_, "offsite", *manifest)
+                  .IsTamperDetected());
+}
+
+TEST_F(BackupTest, VerifyDetectsMissingFile) {
+  CreateSample("z");
+  auto manifest =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "offsite");
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_TRUE(
+      offsite_.RemoveFile("offsite/" + manifest->files[0].first).ok());
+  EXPECT_TRUE(BackupManager::Verify(&offsite_, "offsite", *manifest)
+                  .IsTamperDetected());
+}
+
+TEST_F(BackupTest, DisasterRecoveryRestoresWorkingVault) {
+  RecordId r1 = CreateSample("survives the fire");
+  ASSERT_TRUE(
+      vault_->CorrectRecord("dr-a", r1, "v2 content", "fix", {}).ok());
+  auto manifest =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "offsite");
+  ASSERT_TRUE(manifest.ok());
+  vault_.reset();
+
+  // "Fire": the primary site is lost entirely. Restore to a new site.
+  storage::MemEnv new_site;
+  ASSERT_TRUE(BackupManager::Restore(&offsite_, "offsite", *manifest,
+                                     &new_site, "vault")
+                  .ok());
+  auto restored = OpenVault(&new_site, "vault");
+  EXPECT_EQ(restored->ReadRecord("dr-a", r1)->plaintext, "v2 content");
+  EXPECT_TRUE(restored->VerifyEverything().ok());
+  // Search works after restore too.
+  auto hits = restored->SearchKeyword("dr-a", "backup");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST_F(BackupTest, RestoreRefusesTamperedBackup) {
+  CreateSample("w");
+  auto manifest =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "offsite");
+  ASSERT_TRUE(manifest.ok());
+  const std::string victim = "offsite/" + manifest->files[1].first;
+  uint64_t size = 0;
+  ASSERT_TRUE(offsite_.GetFileSize(victim, &size).ok());
+  ASSERT_TRUE(offsite_.UnsafeOverwrite(victim, size / 2, "X").ok());
+
+  storage::MemEnv new_site;
+  EXPECT_TRUE(BackupManager::Restore(&offsite_, "offsite", *manifest,
+                                     &new_site, "vault")
+                  .IsTamperDetected());
+}
+
+TEST_F(BackupTest, BackupIsAudited) {
+  CreateSample("v");
+  ASSERT_TRUE(
+      vault_->RegisterPrincipal("admin-r", {"aud-x", Role::kAuditor, "X"})
+          .ok());
+  auto manifest =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "offsite");
+  ASSERT_TRUE(manifest.ok());
+  auto trail = vault_->ReadAuditTrail("aud-x", "");
+  ASSERT_TRUE(trail.ok());
+  bool found = false;
+  for (const AuditEvent& e : *trail) {
+    if (e.action == AuditAction::kBackup &&
+        e.details.find(manifest->backup_id) != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(BackupTest, IncrementalStyleSecondBackupSupersedes) {
+  RecordId r1 = CreateSample("first state");
+  auto m1 =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "offsite");
+  ASSERT_TRUE(m1.ok());
+  clock_.Advance(kMicrosPerDay);
+  ASSERT_TRUE(
+      vault_->CorrectRecord("dr-a", r1, "second state", "update", {}).ok());
+  auto m2 = BackupManager::Backup(vault_.get(), "admin-r", &offsite_,
+                                  "offsite2");
+  ASSERT_TRUE(m2.ok());
+  EXPECT_NE(m1->backup_id, m2->backup_id);
+
+  storage::MemEnv new_site;
+  ASSERT_TRUE(BackupManager::Restore(&offsite_, "offsite2", *m2, &new_site,
+                                     "vault")
+                  .ok());
+  auto restored = OpenVault(&new_site, "vault");
+  EXPECT_EQ(restored->ReadRecord("dr-a", r1)->plaintext, "second state");
+}
+
+TEST_F(BackupTest, IncrementalBackupCopiesOnlyChanges) {
+  RecordId r1 = CreateSample("base content");
+  auto full =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "full");
+  ASSERT_TRUE(full.ok());
+
+  clock_.Advance(kMicrosPerDay);
+  ASSERT_TRUE(
+      vault_->CorrectRecord("dr-a", r1, "changed content", "fix", {}).ok());
+  auto incr = BackupManager::BackupIncremental(vault_.get(), "admin-r",
+                                               &offsite_, "incr", *full);
+  ASSERT_TRUE(incr.ok()) << incr.status().ToString();
+  EXPECT_EQ(incr->base_backup_id, full->backup_id);
+  // Strictly fewer files than the full backup (unchanged ones skipped).
+  EXPECT_LT(incr->files.size(), full->files.size());
+  EXPECT_GT(incr->files.size(), 0u);
+  EXPECT_TRUE(BackupManager::Verify(&offsite_, "incr", *incr).ok());
+
+  // Restore the chain on fresh hardware.
+  storage::MemEnv new_site;
+  ASSERT_TRUE(BackupManager::RestoreChain(
+                  &offsite_, {{"full", *full}, {"incr", *incr}}, &new_site,
+                  "vault")
+                  .ok());
+  auto restored = OpenVault(&new_site, "vault");
+  EXPECT_EQ(restored->ReadRecord("dr-a", r1)->plaintext,
+            "changed content");
+  EXPECT_TRUE(restored->VerifyEverything().ok());
+}
+
+TEST_F(BackupTest, RestoreChainValidatesLinkage) {
+  CreateSample("x");
+  auto full1 =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "f1");
+  clock_.Advance(kMicrosPerDay);
+  auto full2 =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "f2");
+  ASSERT_TRUE(full1.ok());
+  ASSERT_TRUE(full2.ok());
+
+  storage::MemEnv new_site;
+  // Chain must start with a full backup...
+  BackupManifest fake_incr = *full2;
+  fake_incr.base_backup_id = "bk-nonexistent";
+  EXPECT_TRUE(BackupManager::RestoreChain(&offsite_, {{"f2", fake_incr}},
+                                          &new_site, "vault")
+                  .IsInvalidArgument());
+  // ...and each link must name its predecessor.
+  EXPECT_TRUE(BackupManager::RestoreChain(
+                  &offsite_, {{"f1", *full1}, {"f2", fake_incr}}, &new_site,
+                  "vault")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(BackupManager::RestoreChain(&offsite_, {}, &new_site, "vault")
+                  .IsInvalidArgument());
+}
+
+TEST_F(BackupTest, IncrementalChainHonorsDeletedFiles) {
+  // Create enough disposed records to reclaim a sealed segment between
+  // the full and the incremental backup: the restored vault must NOT
+  // resurrect the reclaimed segment file.
+  RecordId doomed = CreateSample(std::string(256, 'd'));
+  RecordId keeper = CreateSample(std::string(256, 'k'));
+  ASSERT_TRUE(vault_->versions()->segments()->SealActive().ok());
+  auto full =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "full");
+  ASSERT_TRUE(full.ok());
+
+  clock_.AdvanceYears(31);
+  ASSERT_TRUE(vault_->DisposeRecord("admin-r", doomed).ok());
+  ASSERT_TRUE(vault_->DisposeRecord("admin-r", keeper).ok());
+  ASSERT_GT(*vault_->ReclaimDisposedMedia("admin-r"), 0);
+
+  auto incr = BackupManager::BackupIncremental(vault_.get(), "admin-r",
+                                               &offsite_, "incr", *full);
+  ASSERT_TRUE(incr.ok());
+  EXPECT_FALSE(incr->deleted.empty());
+
+  storage::MemEnv new_site;
+  ASSERT_TRUE(BackupManager::RestoreChain(
+                  &offsite_, {{"full", *full}, {"incr", *incr}}, &new_site,
+                  "vault")
+                  .ok());
+  for (const std::string& rel : incr->deleted) {
+    EXPECT_FALSE(new_site.FileExists("vault/" + rel)) << rel;
+  }
+  auto restored = OpenVault(&new_site, "vault");
+  EXPECT_TRUE(
+      restored->ReadRecord("dr-a", doomed).status().IsKeyDestroyed());
+  EXPECT_TRUE(restored->VerifyEverything().ok());
+}
+
+}  // namespace
+}  // namespace medvault::core

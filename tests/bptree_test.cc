@@ -1,0 +1,233 @@
+// B+tree tests: CRUD, ordering, splits across many keys, scans,
+// persistence across reopen, and corruption detection.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/bptree.h"
+#include "storage/mem_env.h"
+
+namespace medvault::storage {
+namespace {
+
+class BpTreeTest : public ::testing::Test {
+ protected:
+  void OpenTree() {
+    tree_ = std::make_unique<BpTree>(&env_, "tree.db");
+    ASSERT_TRUE(tree_->Open().ok());
+  }
+
+  MemEnv env_;
+  std::unique_ptr<BpTree> tree_;
+};
+
+TEST_F(BpTreeTest, EmptyTreeBehaviour) {
+  OpenTree();
+  EXPECT_TRUE(tree_->Get("missing").status().IsNotFound());
+  EXPECT_TRUE(tree_->Delete("missing").IsNotFound());
+  EXPECT_EQ(tree_->KeyCount(), 0u);
+  int visits = 0;
+  ASSERT_TRUE(tree_->Scan("", [&](const Slice&, const Slice&) {
+    visits++;
+    return true;
+  }).ok());
+  EXPECT_EQ(visits, 0);
+}
+
+TEST_F(BpTreeTest, PutGetDelete) {
+  OpenTree();
+  ASSERT_TRUE(tree_->Put("key1", "value1").ok());
+  ASSERT_TRUE(tree_->Put("key2", "value2").ok());
+  EXPECT_EQ(*tree_->Get("key1"), "value1");
+  EXPECT_EQ(*tree_->Get("key2"), "value2");
+  EXPECT_EQ(tree_->KeyCount(), 2u);
+  ASSERT_TRUE(tree_->Delete("key1").ok());
+  EXPECT_TRUE(tree_->Get("key1").status().IsNotFound());
+  EXPECT_EQ(tree_->KeyCount(), 1u);
+}
+
+TEST_F(BpTreeTest, OverwriteKeepsSingleEntry) {
+  OpenTree();
+  ASSERT_TRUE(tree_->Put("key", "old").ok());
+  ASSERT_TRUE(tree_->Put("key", "new").ok());
+  EXPECT_EQ(*tree_->Get("key"), "new");
+  EXPECT_EQ(tree_->KeyCount(), 1u);
+}
+
+TEST_F(BpTreeTest, RejectsOversizedCells) {
+  OpenTree();
+  std::string big(BpTree::kMaxCellSize + 1, 'x');
+  EXPECT_TRUE(tree_->Put("k", big).IsInvalidArgument());
+}
+
+TEST_F(BpTreeTest, ManySequentialInsertsSplitPages) {
+  OpenTree();
+  const int n = 5000;
+  for (int i = 0; i < n; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%08d", i);
+    ASSERT_TRUE(tree_->Put(key, "v" + std::to_string(i)).ok()) << i;
+  }
+  EXPECT_EQ(tree_->KeyCount(), static_cast<uint64_t>(n));
+  for (int i = 0; i < n; i += 37) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%08d", i);
+    auto v = tree_->Get(key);
+    ASSERT_TRUE(v.ok()) << key;
+    EXPECT_EQ(*v, "v" + std::to_string(i));
+  }
+}
+
+TEST_F(BpTreeTest, RandomInsertsMatchReferenceMap) {
+  OpenTree();
+  Random rng(99);
+  std::map<std::string, std::string> reference;
+  for (int i = 0; i < 3000; i++) {
+    std::string key = "key-" + std::to_string(rng.Uniform(1000));
+    std::string value = "val-" + std::to_string(rng.Next() % 100000);
+    reference[key] = value;
+    ASSERT_TRUE(tree_->Put(key, value).ok());
+  }
+  EXPECT_EQ(tree_->KeyCount(), reference.size());
+  for (const auto& [key, value] : reference) {
+    auto v = tree_->Get(key);
+    ASSERT_TRUE(v.ok()) << key;
+    EXPECT_EQ(*v, value);
+  }
+}
+
+TEST_F(BpTreeTest, ScanIsSortedAndComplete) {
+  OpenTree();
+  Random rng(7);
+  std::map<std::string, std::string> reference;
+  for (int i = 0; i < 2000; i++) {
+    std::string key = "key-" + std::to_string(rng.Next() % 100000);
+    reference[key] = "v";
+    ASSERT_TRUE(tree_->Put(key, "v").ok());
+  }
+  std::vector<std::string> scanned;
+  ASSERT_TRUE(tree_->Scan("", [&](const Slice& key, const Slice&) {
+    scanned.push_back(key.ToString());
+    return true;
+  }).ok());
+  ASSERT_EQ(scanned.size(), reference.size());
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+  auto it = reference.begin();
+  for (const std::string& key : scanned) {
+    EXPECT_EQ(key, it->first);
+    ++it;
+  }
+}
+
+TEST_F(BpTreeTest, ScanFromStartKey) {
+  OpenTree();
+  for (char c = 'a'; c <= 'z'; c++) {
+    ASSERT_TRUE(tree_->Put(std::string(1, c), "v").ok());
+  }
+  std::vector<std::string> scanned;
+  ASSERT_TRUE(tree_->Scan("m", [&](const Slice& key, const Slice&) {
+    scanned.push_back(key.ToString());
+    return true;
+  }).ok());
+  ASSERT_EQ(scanned.size(), 14u);  // m..z
+  EXPECT_EQ(scanned.front(), "m");
+  EXPECT_EQ(scanned.back(), "z");
+}
+
+TEST_F(BpTreeTest, ScanEarlyStop) {
+  OpenTree();
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(tree_->Put("k" + std::to_string(i), "v").ok());
+  }
+  int visits = 0;
+  ASSERT_TRUE(tree_->Scan("", [&](const Slice&, const Slice&) {
+    return ++visits < 10;
+  }).ok());
+  EXPECT_EQ(visits, 10);
+}
+
+TEST_F(BpTreeTest, DeletesAcrossSplitPages) {
+  OpenTree();
+  const int n = 2000;
+  for (int i = 0; i < n; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%08d", i);
+    ASSERT_TRUE(tree_->Put(key, std::string(64, 'v')).ok());
+  }
+  for (int i = 0; i < n; i += 2) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%08d", i);
+    ASSERT_TRUE(tree_->Delete(key).ok()) << key;
+  }
+  EXPECT_EQ(tree_->KeyCount(), static_cast<uint64_t>(n / 2));
+  for (int i = 0; i < n; i++) {
+    char key[16];
+    snprintf(key, sizeof(key), "k%08d", i);
+    if (i % 2 == 0) {
+      EXPECT_TRUE(tree_->Get(key).status().IsNotFound()) << key;
+    } else {
+      EXPECT_TRUE(tree_->Get(key).ok()) << key;
+    }
+  }
+}
+
+TEST_F(BpTreeTest, PersistsAcrossReopen) {
+  OpenTree();
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(
+        tree_->Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(tree_->Flush().ok());
+  tree_.reset();
+
+  OpenTree();
+  EXPECT_EQ(tree_->KeyCount(), 1000u);
+  for (int i = 0; i < 1000; i += 111) {
+    auto v = tree_->Get("k" + std::to_string(i));
+    ASSERT_TRUE(v.ok()) << i;
+    EXPECT_EQ(*v, "v" + std::to_string(i));
+  }
+  // And stays writable.
+  ASSERT_TRUE(tree_->Put("new-key", "new-value").ok());
+  EXPECT_EQ(*tree_->Get("new-key"), "new-value");
+}
+
+TEST_F(BpTreeTest, DetectsCorruptedPage) {
+  OpenTree();
+  for (int i = 0; i < 1000; i++) {
+    ASSERT_TRUE(tree_->Put("k" + std::to_string(i), std::string(50, 'v'))
+                    .ok());
+  }
+  ASSERT_TRUE(tree_->Flush().ok());
+  tree_.reset();
+
+  // Flip a byte inside the second page (the first node page).
+  ASSERT_TRUE(
+      env_.UnsafeOverwrite("tree.db", BpTree::kPageSize + 100, "X").ok());
+  OpenTree();
+  // Some lookup that touches the corrupted page must fail loudly.
+  int corrupt = 0;
+  for (int i = 0; i < 1000; i++) {
+    auto v = tree_->Get("k" + std::to_string(i));
+    if (!v.ok() && v.status().IsCorruption()) corrupt++;
+  }
+  EXPECT_GT(corrupt, 0);
+}
+
+TEST_F(BpTreeTest, BinaryKeysAndValues) {
+  OpenTree();
+  std::string key("\x00\x01\xff\x7f", 4);
+  std::string value("\xde\xad\x00\xbe\xef", 5);
+  ASSERT_TRUE(tree_->Put(key, value).ok());
+  auto v = tree_->Get(key);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, value);
+}
+
+}  // namespace
+}  // namespace medvault::storage

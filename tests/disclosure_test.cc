@@ -1,0 +1,168 @@
+// Accounting-of-disclosures (HIPAA §164.528) and break-glass review
+// tests.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/vault.h"
+#include "storage/mem_env.h"
+
+namespace medvault::core {
+namespace {
+
+class DisclosureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    VaultOptions options;
+    options.env = &env_;
+    options.dir = "vault";
+    options.clock = &clock_;
+    options.master_key = std::string(32, 'M');
+    options.entropy = "disclosure-entropy";
+    options.signer_height = 4;
+    auto vault = Vault::Open(options);
+    ASSERT_TRUE(vault.ok());
+    vault_ = std::move(vault).value();
+
+    ASSERT_TRUE(
+        vault_->RegisterPrincipal("boot", {"admin-r", Role::kAdmin, "Root"})
+            .ok());
+    ASSERT_TRUE(vault_
+                    ->RegisterPrincipal("admin-r",
+                                        {"dr-a", Role::kPhysician, "Dr A"})
+                    .ok());
+    ASSERT_TRUE(vault_
+                    ->RegisterPrincipal("admin-r",
+                                        {"dr-b", Role::kPhysician, "Dr B"})
+                    .ok());
+    ASSERT_TRUE(
+        vault_
+            ->RegisterPrincipal("admin-r",
+                                {"aud-x", Role::kAuditor, "Auditor"})
+            .ok());
+    ASSERT_TRUE(vault_
+                    ->RegisterPrincipal("admin-r",
+                                        {"pat-p", Role::kPatient, "P"})
+                    .ok());
+    ASSERT_TRUE(vault_
+                    ->RegisterPrincipal("admin-r",
+                                        {"pat-q", Role::kPatient, "Q"})
+                    .ok());
+    ASSERT_TRUE(vault_->AssignCare("admin-r", "dr-a", "pat-p").ok());
+    ASSERT_TRUE(vault_->AssignCare("admin-r", "dr-b", "pat-q").ok());
+  }
+
+  storage::MemEnv env_;
+  ManualClock clock_{1000000};
+  std::unique_ptr<Vault> vault_;
+};
+
+TEST_F(DisclosureTest, AccountingListsReadsOfPatientRecordsOnly) {
+  auto rp = vault_->CreateRecord("dr-a", "pat-p", "text/plain", "p note",
+                                 {}, "hipaa-6y");
+  auto rq = vault_->CreateRecord("dr-b", "pat-q", "text/plain", "q note",
+                                 {}, "hipaa-6y");
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rq.ok());
+
+  // Three disclosures of p's record, two of q's.
+  ASSERT_TRUE(vault_->ReadRecord("dr-a", *rp).ok());
+  ASSERT_TRUE(vault_->ReadRecord("dr-a", *rp).ok());
+  ASSERT_TRUE(vault_->ReadRecordVersion("dr-a", *rp, 1).ok());
+  ASSERT_TRUE(vault_->ReadRecord("dr-b", *rq).ok());
+  ASSERT_TRUE(vault_->ReadRecord("dr-b", *rq).ok());
+
+  auto accounting = vault_->AccountingOfDisclosures("aud-x", "pat-p");
+  ASSERT_TRUE(accounting.ok());
+  EXPECT_EQ(accounting->size(), 3u);
+  for (const AuditEvent& e : *accounting) {
+    EXPECT_EQ(e.action, AuditAction::kRead);
+    EXPECT_EQ(e.record_id, *rp);
+    EXPECT_EQ(e.actor, "dr-a");
+  }
+}
+
+TEST_F(DisclosureTest, PatientMayRequestTheirOwnAccounting) {
+  auto rp = vault_->CreateRecord("dr-a", "pat-p", "text/plain", "p note",
+                                 {}, "hipaa-6y");
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(vault_->ReadRecord("dr-a", *rp).ok());
+
+  auto own = vault_->AccountingOfDisclosures("pat-p", "pat-p");
+  ASSERT_TRUE(own.ok());
+  EXPECT_EQ(own->size(), 1u);
+
+  // But not someone else's.
+  EXPECT_TRUE(vault_->AccountingOfDisclosures("pat-p", "pat-q")
+                  .status()
+                  .IsPermissionDenied());
+  // And clinicians aren't entitled either.
+  EXPECT_TRUE(vault_->AccountingOfDisclosures("dr-a", "pat-p")
+                  .status()
+                  .IsPermissionDenied());
+}
+
+TEST_F(DisclosureTest, BreakGlassAppearsInPatientAccounting) {
+  auto rq = vault_->CreateRecord("dr-b", "pat-q", "text/plain", "q note",
+                                 {}, "hipaa-6y");
+  ASSERT_TRUE(rq.ok());
+  ASSERT_TRUE(vault_
+                  ->BreakGlass("dr-a", "pat-q", "ER coverage",
+                               3600 * kMicrosPerSecond)
+                  .ok());
+  ASSERT_TRUE(vault_->ReadRecord("dr-a", *rq).ok());
+
+  auto accounting = vault_->AccountingOfDisclosures("aud-x", "pat-q");
+  ASSERT_TRUE(accounting.ok());
+  ASSERT_EQ(accounting->size(), 2u);  // the grant + the read
+  EXPECT_EQ((*accounting)[0].action, AuditAction::kBreakGlass);
+  EXPECT_EQ((*accounting)[1].action, AuditAction::kRead);
+}
+
+TEST_F(DisclosureTest, AccountingRequestItselfIsAudited) {
+  ASSERT_TRUE(vault_->AccountingOfDisclosures("aud-x", "pat-p").ok());
+  auto trail = vault_->ReadAuditTrail("aud-x", "");
+  ASSERT_TRUE(trail.ok());
+  bool found = false;
+  for (const AuditEvent& e : *trail) {
+    if (e.details.rfind("accounting-of-disclosures", 0) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DisclosureTest, DeniedAccessDoesNotCountAsDisclosure) {
+  auto rp = vault_->CreateRecord("dr-a", "pat-p", "text/plain", "p note",
+                                 {}, "hipaa-6y");
+  ASSERT_TRUE(rp.ok());
+  // dr-b has no relation to pat-p: denied, so nothing was disclosed.
+  ASSERT_FALSE(vault_->ReadRecord("dr-b", *rp).ok());
+  auto accounting = vault_->AccountingOfDisclosures("aud-x", "pat-p");
+  ASSERT_TRUE(accounting.ok());
+  EXPECT_TRUE(accounting->empty());
+}
+
+TEST_F(DisclosureTest, BreakGlassReviewListsAllGrants) {
+  ASSERT_TRUE(vault_
+                  ->BreakGlass("dr-a", "pat-q", "night shift",
+                               kMicrosPerSecond)
+                  .ok());
+  ASSERT_TRUE(vault_
+                  ->BreakGlass("dr-b", "pat-p", "code blue",
+                               kMicrosPerSecond)
+                  .ok());
+  auto review = vault_->ListBreakGlassEvents("aud-x");
+  ASSERT_TRUE(review.ok());
+  ASSERT_EQ(review->size(), 2u);
+  EXPECT_NE((*review)[0].details.find("night shift"), std::string::npos);
+  EXPECT_NE((*review)[1].details.find("code blue"), std::string::npos);
+
+  // Only auditors/admins review.
+  EXPECT_TRUE(
+      vault_->ListBreakGlassEvents("dr-a").status().IsPermissionDenied());
+  EXPECT_TRUE(vault_->ListBreakGlassEvents("admin-r").ok());
+}
+
+}  // namespace
+}  // namespace medvault::core

@@ -1,0 +1,291 @@
+// Env tests run the same suite against MemEnv and PosixEnv (typed via a
+// parameterized fixture), plus MemEnv/Fault-specific cases.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "storage/env.h"
+#include "storage/fault_env.h"
+#include "storage/mem_env.h"
+#include "storage/posix_env.h"
+
+namespace medvault::storage {
+namespace {
+
+/// Provides an Env and a scratch directory for either backend.
+class EnvProvider {
+ public:
+  virtual ~EnvProvider() = default;
+  virtual Env* env() = 0;
+  virtual std::string dir() = 0;
+};
+
+class MemEnvProvider : public EnvProvider {
+ public:
+  Env* env() override { return &env_; }
+  std::string dir() override { return "scratch"; }
+
+ private:
+  MemEnv env_;
+};
+
+class PosixEnvProvider : public EnvProvider {
+ public:
+  PosixEnvProvider() {
+    char tmpl[] = "/tmp/medvault-env-test-XXXXXX";
+    dir_ = mkdtemp(tmpl);
+  }
+  ~PosixEnvProvider() override {
+    std::string cmd = "rm -rf " + dir_;
+    [[maybe_unused]] int rc = system(cmd.c_str());
+  }
+  Env* env() override { return PosixEnv::Default(); }
+  std::string dir() override { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+enum class Backend { kMem, kPosix };
+
+class EnvTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == Backend::kMem) {
+      provider_ = std::make_unique<MemEnvProvider>();
+    } else {
+      provider_ = std::make_unique<PosixEnvProvider>();
+    }
+    env_ = provider_->env();
+    dir_ = provider_->dir();
+    ASSERT_TRUE(env_->CreateDirIfMissing(dir_).ok());
+  }
+
+  std::string Path(const std::string& name) { return dir_ + "/" + name; }
+
+  std::unique_ptr<EnvProvider> provider_;
+  Env* env_ = nullptr;
+  std::string dir_;
+};
+
+TEST_P(EnvTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(WriteStringToFile(env_, "hello", Path("f"), true).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, Path("f"), &data).ok());
+  EXPECT_EQ(data, "hello");
+}
+
+TEST_P(EnvTest, MissingFileIsNotFound) {
+  std::string data;
+  EXPECT_TRUE(ReadFileToString(env_, Path("nope"), &data).IsNotFound());
+  std::unique_ptr<SequentialFile> f;
+  EXPECT_TRUE(env_->NewSequentialFile(Path("nope"), &f).IsNotFound());
+}
+
+TEST_P(EnvTest, FileExists) {
+  EXPECT_FALSE(env_->FileExists(Path("f")));
+  ASSERT_TRUE(WriteStringToFile(env_, "x", Path("f"), false).ok());
+  EXPECT_TRUE(env_->FileExists(Path("f")));
+}
+
+TEST_P(EnvTest, AppendableFileAppends) {
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_->NewAppendableFile(Path("log"), &f).ok());
+  ASSERT_TRUE(f->Append("one").ok());
+  ASSERT_TRUE(f->Close().ok());
+  ASSERT_TRUE(env_->NewAppendableFile(Path("log"), &f).ok());
+  ASSERT_TRUE(f->Append("two").ok());
+  ASSERT_TRUE(f->Close().ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, Path("log"), &data).ok());
+  EXPECT_EQ(data, "onetwo");
+}
+
+TEST_P(EnvTest, WritableFileTruncates) {
+  ASSERT_TRUE(WriteStringToFile(env_, "long old contents", Path("f"),
+                                false)
+                  .ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "new", Path("f"), false).ok());
+  std::string data;
+  ASSERT_TRUE(ReadFileToString(env_, Path("f"), &data).ok());
+  EXPECT_EQ(data, "new");
+}
+
+TEST_P(EnvTest, RandomAccessReads) {
+  ASSERT_TRUE(
+      WriteStringToFile(env_, "0123456789", Path("f"), false).ok());
+  std::unique_ptr<RandomAccessFile> f;
+  ASSERT_TRUE(env_->NewRandomAccessFile(Path("f"), &f).ok());
+  std::string out;
+  ASSERT_TRUE(f->Read(3, 4, &out).ok());
+  EXPECT_EQ(out, "3456");
+  ASSERT_TRUE(f->Read(8, 10, &out).ok());
+  EXPECT_EQ(out, "89");  // short read at EOF
+  ASSERT_TRUE(f->Read(100, 5, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_P(EnvTest, SequentialReadAndSkip) {
+  ASSERT_TRUE(
+      WriteStringToFile(env_, "abcdefghij", Path("f"), false).ok());
+  std::unique_ptr<SequentialFile> f;
+  ASSERT_TRUE(env_->NewSequentialFile(Path("f"), &f).ok());
+  std::string out;
+  ASSERT_TRUE(f->Read(3, &out).ok());
+  EXPECT_EQ(out, "abc");
+  ASSERT_TRUE(f->Skip(2).ok());
+  ASSERT_TRUE(f->Read(3, &out).ok());
+  EXPECT_EQ(out, "fgh");
+}
+
+TEST_P(EnvTest, RandomRWFile) {
+  std::unique_ptr<RandomRWFile> f;
+  ASSERT_TRUE(env_->NewRandomRWFile(Path("pages"), &f).ok());
+  ASSERT_TRUE(f->WriteAt(0, "AAAA").ok());
+  ASSERT_TRUE(f->WriteAt(8, "BBBB").ok());  // gap is zero-filled
+  ASSERT_TRUE(f->WriteAt(2, "xy").ok());    // overwrite
+  std::string out;
+  ASSERT_TRUE(f->ReadAt(0, 12, &out).ok());
+  ASSERT_EQ(out.size(), 12u);
+  EXPECT_EQ(out.substr(0, 4), "AAxy");
+  EXPECT_EQ(out.substr(8, 4), "BBBB");
+}
+
+TEST_P(EnvTest, GetFileSize) {
+  ASSERT_TRUE(WriteStringToFile(env_, "12345", Path("f"), false).ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_->GetFileSize(Path("f"), &size).ok());
+  EXPECT_EQ(size, 5u);
+  EXPECT_TRUE(env_->GetFileSize(Path("nope"), &size).IsNotFound());
+}
+
+TEST_P(EnvTest, RenameFile) {
+  ASSERT_TRUE(WriteStringToFile(env_, "data", Path("a"), false).ok());
+  ASSERT_TRUE(env_->RenameFile(Path("a"), Path("b")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("a")));
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(env_, Path("b"), &out).ok());
+  EXPECT_EQ(out, "data");
+  EXPECT_TRUE(env_->RenameFile(Path("nope"), Path("c")).IsNotFound());
+}
+
+TEST_P(EnvTest, RemoveFile) {
+  ASSERT_TRUE(WriteStringToFile(env_, "x", Path("f"), false).ok());
+  ASSERT_TRUE(env_->RemoveFile(Path("f")).ok());
+  EXPECT_FALSE(env_->FileExists(Path("f")));
+  EXPECT_TRUE(env_->RemoveFile(Path("f")).IsNotFound());
+}
+
+TEST_P(EnvTest, GetChildrenListsDirectFiles) {
+  ASSERT_TRUE(WriteStringToFile(env_, "1", Path("one"), false).ok());
+  ASSERT_TRUE(WriteStringToFile(env_, "2", Path("two"), false).ok());
+  std::vector<std::string> children;
+  ASSERT_TRUE(env_->GetChildren(dir_, &children).ok());
+  EXPECT_NE(std::find(children.begin(), children.end(), "one"),
+            children.end());
+  EXPECT_NE(std::find(children.begin(), children.end(), "two"),
+            children.end());
+}
+
+TEST_P(EnvTest, UnsafeOverwriteMutatesBytes) {
+  ASSERT_TRUE(WriteStringToFile(env_, "immutable?", Path("f"), false).ok());
+  ASSERT_TRUE(env_->UnsafeOverwrite(Path("f"), 0, "IMMUTABLE!").ok());
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(env_, Path("f"), &out).ok());
+  EXPECT_EQ(out, "IMMUTABLE!");
+}
+
+TEST_P(EnvTest, UnsafeOverwriteCannotExtend) {
+  ASSERT_TRUE(WriteStringToFile(env_, "short", Path("f"), false).ok());
+  EXPECT_TRUE(
+      env_->UnsafeOverwrite(Path("f"), 3, "too long").IsInvalidArgument());
+}
+
+TEST_P(EnvTest, UnsafeTruncateShrinks) {
+  ASSERT_TRUE(WriteStringToFile(env_, "0123456789", Path("f"), false).ok());
+  ASSERT_TRUE(env_->UnsafeTruncate(Path("f"), 4).ok());
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(env_, Path("f"), &out).ok());
+  EXPECT_EQ(out, "0123");
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, EnvTest,
+                         ::testing::Values(Backend::kMem, Backend::kPosix),
+                         [](const auto& info) {
+                           return info.param == Backend::kMem ? "Mem"
+                                                              : "Posix";
+                         });
+
+// ---- MemEnv-specific ---------------------------------------------------------
+
+TEST(MemEnvTest, TotalBytesTracksContents) {
+  MemEnv env;
+  EXPECT_EQ(env.TotalBytes(), 0u);
+  ASSERT_TRUE(WriteStringToFile(&env, "12345", "a", false).ok());
+  ASSERT_TRUE(WriteStringToFile(&env, "123", "b", false).ok());
+  EXPECT_EQ(env.TotalBytes(), 8u);
+}
+
+TEST(MemEnvTest, ReadersSeeLiveAppends) {
+  MemEnv env;
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env.NewAppendableFile("f", &w).ok());
+  ASSERT_TRUE(w->Append("first").ok());
+  std::unique_ptr<RandomAccessFile> r;
+  ASSERT_TRUE(env.NewRandomAccessFile("f", &r).ok());
+  ASSERT_TRUE(w->Append("second").ok());
+  std::string out;
+  ASSERT_TRUE(r->Read(0, 100, &out).ok());
+  EXPECT_EQ(out, "firstsecond");
+}
+
+// ---- FaultInjectionEnv ---------------------------------------------------------
+
+TEST(FaultEnvTest, PassesThroughWhenHealthy) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  ASSERT_TRUE(WriteStringToFile(&env, "data", "f", true).ok());
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(&env, "f", &out).ok());
+  EXPECT_EQ(out, "data");
+  EXPECT_GT(env.writes(), 0u);
+  EXPECT_GT(env.reads(), 0u);
+  EXPECT_GT(env.syncs(), 0u);
+}
+
+TEST(FaultEnvTest, FailWritesInjectsIoError) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  env.FailWrites(true);
+  EXPECT_TRUE(WriteStringToFile(&env, "data", "f", false).IsIoError());
+  env.FailWrites(false);
+  EXPECT_TRUE(WriteStringToFile(&env, "data", "f", false).ok());
+}
+
+TEST(FaultEnvTest, FailAfterNWrites) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  env.FailAfterWrites(2);
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env.NewWritableFile("f", &f).ok());
+  EXPECT_TRUE(f->Append("1").ok());
+  EXPECT_TRUE(f->Append("2").ok());
+  EXPECT_TRUE(f->Append("3").IsIoError());
+  EXPECT_TRUE(f->Append("4").IsIoError());
+}
+
+TEST(FaultEnvTest, RandomRWWritesAlsoFail) {
+  MemEnv base;
+  FaultInjectionEnv env(&base);
+  std::unique_ptr<RandomRWFile> f;
+  ASSERT_TRUE(env.NewRandomRWFile("f", &f).ok());
+  ASSERT_TRUE(f->WriteAt(0, "ok").ok());
+  env.FailWrites(true);
+  EXPECT_TRUE(f->WriteAt(0, "no").IsIoError());
+}
+
+}  // namespace
+}  // namespace medvault::storage

@@ -1,0 +1,226 @@
+// Tests for litigation holds (disposal blocked regardless of retention)
+// and conjunctive blinded keyword search.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/vault.h"
+#include "storage/mem_env.h"
+
+namespace medvault::core {
+namespace {
+
+class HoldSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override { OpenVault(); }
+
+  void OpenVault() {
+    VaultOptions options;
+    options.env = &env_;
+    options.dir = "vault";
+    options.clock = &clock_;
+    options.master_key = std::string(32, 'M');
+    options.entropy = "hold-search-entropy";
+    options.signer_height = 4;
+    auto vault = Vault::Open(options);
+    ASSERT_TRUE(vault.ok());
+    vault_ = std::move(vault).value();
+    if (!vault_->access()->GetPrincipal("admin-r").ok()) {
+      ASSERT_TRUE(vault_
+                      ->RegisterPrincipal("boot",
+                                          {"admin-r", Role::kAdmin, "Root"})
+                      .ok());
+      ASSERT_TRUE(
+          vault_
+              ->RegisterPrincipal("admin-r",
+                                  {"dr-a", Role::kPhysician, "Dr A"})
+              .ok());
+      ASSERT_TRUE(vault_
+                      ->RegisterPrincipal("admin-r",
+                                          {"pat-p", Role::kPatient, "P"})
+                      .ok());
+      ASSERT_TRUE(vault_->AssignCare("admin-r", "dr-a", "pat-p").ok());
+    }
+  }
+
+  Result<RecordId> Create(const std::vector<std::string>& keywords) {
+    return vault_->CreateRecord("dr-a", "pat-p", "text/plain", "note",
+                                keywords, "short-1y");
+  }
+
+  storage::MemEnv env_;
+  ManualClock clock_{1000000};
+  std::unique_ptr<Vault> vault_;
+};
+
+// ---- Legal holds ------------------------------------------------------------
+
+TEST_F(HoldSearchTest, HoldBlocksDisposalPastRetention) {
+  auto id = Create({"kw"});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(
+      vault_->PlaceLegalHold("admin-r", *id, "Doe v. Hospital").ok());
+  clock_.AdvanceYears(5);  // far past short-1y
+  Status s = vault_->DisposeRecord("admin-r", *id).status();
+  EXPECT_TRUE(s.IsRetentionViolation());
+  EXPECT_NE(s.message().find("legal hold"), std::string::npos);
+
+  ASSERT_TRUE(
+      vault_->ReleaseLegalHold("admin-r", *id, "case settled").ok());
+  EXPECT_TRUE(vault_->DisposeRecord("admin-r", *id).ok());
+}
+
+TEST_F(HoldSearchTest, HoldRequiresAdminAndReason) {
+  auto id = Create({"kw"});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(vault_->PlaceLegalHold("dr-a", *id, "reason")
+                  .IsPermissionDenied());
+  EXPECT_TRUE(
+      vault_->PlaceLegalHold("admin-r", *id, "").IsInvalidArgument());
+  ASSERT_TRUE(vault_->PlaceLegalHold("admin-r", *id, "case").ok());
+  EXPECT_TRUE(
+      vault_->PlaceLegalHold("admin-r", *id, "case").IsAlreadyExists());
+  EXPECT_TRUE(vault_->ReleaseLegalHold("dr-a", *id, "r")
+                  .IsPermissionDenied());
+}
+
+TEST_F(HoldSearchTest, ReleaseWithoutHoldFails) {
+  auto id = Create({"kw"});
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(vault_->ReleaseLegalHold("admin-r", *id, "r")
+                  .IsFailedPrecondition());
+}
+
+TEST_F(HoldSearchTest, HoldSurvivesReopen) {
+  auto id = Create({"kw"});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(vault_->PlaceLegalHold("admin-r", *id, "case").ok());
+  vault_.reset();
+  OpenVault();
+  clock_.AdvanceYears(5);
+  EXPECT_TRUE(vault_->DisposeRecord("admin-r", *id)
+                  .status()
+                  .IsRetentionViolation());
+}
+
+TEST_F(HoldSearchTest, HoldEventsAreAudited) {
+  auto id = Create({"kw"});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(
+      vault_->RegisterPrincipal("admin-r", {"aud-x", Role::kAuditor, "X"})
+          .ok());
+  ASSERT_TRUE(vault_->PlaceLegalHold("admin-r", *id, "Doe v. H").ok());
+  ASSERT_TRUE(vault_->ReleaseLegalHold("admin-r", *id, "settled").ok());
+  auto trail = vault_->ReadAuditTrail("aud-x", *id);
+  ASSERT_TRUE(trail.ok());
+  int hold_events = 0;
+  for (const AuditEvent& e : *trail) {
+    if (e.details.find("legal-hold") != std::string::npos) hold_events++;
+  }
+  EXPECT_EQ(hold_events, 2);
+}
+
+// ---- Conjunctive search -------------------------------------------------------
+
+TEST_F(HoldSearchTest, ConjunctiveSearchIntersects) {
+  auto r1 = Create({"cancer", "chemo"});
+  auto r2 = Create({"cancer"});
+  auto r3 = Create({"chemo"});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+
+  auto both = vault_->SearchKeywordsAll("dr-a", {"cancer", "chemo"});
+  ASSERT_TRUE(both.ok());
+  ASSERT_EQ(both->size(), 1u);
+  EXPECT_EQ((*both)[0], *r1);
+
+  auto single = vault_->SearchKeywordsAll("dr-a", {"cancer"});
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->size(), 2u);
+}
+
+TEST_F(HoldSearchTest, ConjunctiveSearchEmptyCases) {
+  auto r1 = Create({"cancer"});
+  ASSERT_TRUE(r1.ok());
+  auto none = vault_->SearchKeywordsAll("dr-a", {"cancer", "nonexistent"});
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  auto empty_query = vault_->SearchKeywordsAll("dr-a", {});
+  ASSERT_TRUE(empty_query.ok());
+  EXPECT_TRUE(empty_query->empty());
+}
+
+TEST_F(HoldSearchTest, ConjunctiveSearchRespectsShredding) {
+  auto r1 = Create({"cancer", "chemo"});
+  auto r2 = Create({"cancer", "chemo"});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  clock_.AdvanceYears(2);
+  ASSERT_TRUE(vault_->DisposeRecord("admin-r", *r1).ok());
+  auto hits = vault_->SearchKeywordsAll("dr-a", {"cancer", "chemo"});
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], *r2);
+}
+
+TEST_F(HoldSearchTest, ConjunctiveSearchLeaksNoTermsIntoAudit) {
+  ASSERT_TRUE(Create({"oncology", "biopsy"}).ok());
+  ASSERT_TRUE(
+      vault_->SearchKeywordsAll("dr-a", {"oncology", "biopsy"}).ok());
+  std::string raw;
+  ASSERT_TRUE(
+      storage::ReadFileToString(&env_, "vault/audit.log", &raw).ok());
+  EXPECT_EQ(raw.find("oncology"), std::string::npos);
+  EXPECT_EQ(raw.find("biopsy"), std::string::npos);
+}
+
+TEST_F(HoldSearchTest, ConjunctiveSearchScopedByAccess) {
+  ASSERT_TRUE(vault_
+                  ->RegisterPrincipal("admin-r",
+                                      {"dr-b", Role::kPhysician, "B"})
+                  .ok());
+  ASSERT_TRUE(Create({"cancer", "chemo"}).ok());
+  // dr-b treats nobody: sees nothing.
+  auto hits = vault_->SearchKeywordsAll("dr-b", {"cancer", "chemo"});
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+// ---- Retention sweep ----------------------------------------------------------
+
+TEST_F(HoldSearchTest, ExpiredRecordSweepHonorsHoldsAndDisposal) {
+  ASSERT_TRUE(
+      vault_->RegisterPrincipal("admin-r", {"aud-x", Role::kAuditor, "X"})
+          .ok());
+  auto r1 = Create({"kw"});
+  auto r2 = Create({"kw"});
+  auto r3 = Create({"kw"});
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(r3.ok());
+
+  // Nothing expired yet.
+  auto none = vault_->ListExpiredRecords("aud-x");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+
+  clock_.AdvanceYears(2);
+  ASSERT_TRUE(vault_->PlaceLegalHold("admin-r", *r2, "case").ok());
+  ASSERT_TRUE(vault_->DisposeRecord("admin-r", *r3).ok());
+
+  auto expired = vault_->ListExpiredRecords("admin-r");
+  ASSERT_TRUE(expired.ok());
+  // r1 expired+free; r2 held; r3 already disposed.
+  ASSERT_EQ(expired->size(), 1u);
+  EXPECT_EQ((*expired)[0].record_id, *r1);
+
+  // Non-privileged actors cannot sweep.
+  EXPECT_TRUE(
+      vault_->ListExpiredRecords("dr-a").status().IsPermissionDenied());
+}
+
+}  // namespace
+}  // namespace medvault::core

@@ -1,0 +1,291 @@
+// Cross-module integration tests: the full 30-year compliance lifecycle
+// (E10), hospital workflows under realistic workloads, disaster
+// recovery combined with migration, and end-to-end adversarial runs.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/backup.h"
+#include "core/migration.h"
+#include "core/vault.h"
+#include "sim/adversary.h"
+#include "sim/workload.h"
+#include "storage/mem_env.h"
+
+namespace medvault {
+namespace {
+
+using core::AuditAction;
+using core::AuditEvent;
+using core::CustodyEventType;
+using core::RecordId;
+using core::Role;
+using core::Vault;
+using core::VaultOptions;
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Vault> OpenVault(storage::Env* env, const std::string& dir,
+                                   const std::string& system,
+                                   const std::string& entropy,
+                                   const std::string& master = "") {
+    VaultOptions options;
+    options.env = env;
+    options.dir = dir;
+    options.clock = &clock_;
+    options.master_key = master.empty() ? std::string(32, 'M') : master;
+    options.entropy = entropy;
+    options.signer_height = 5;  // 32 signatures for long scenarios
+    options.system_id = system;
+    auto vault = Vault::Open(options);
+    EXPECT_TRUE(vault.ok()) << vault.status().ToString();
+    return std::move(vault).value();
+  }
+
+  void RegisterCast(Vault* vault) {
+    ASSERT_TRUE(
+        vault->RegisterPrincipal("boot", {"admin-r", Role::kAdmin, "Root"})
+            .ok());
+    ASSERT_TRUE(vault
+                    ->RegisterPrincipal("admin-r",
+                                        {"dr-a", Role::kPhysician, "Dr A"})
+                    .ok());
+    ASSERT_TRUE(vault
+                    ->RegisterPrincipal(
+                        "admin-r", {"aud-x", Role::kAuditor, "Auditor"})
+                    .ok());
+  }
+
+  ManualClock clock_{1000000};
+};
+
+TEST_F(IntegrationTest, ThirtyYearLifecycle) {
+  // The E10 scenario: create -> correct -> checkpoint -> backup ->
+  // migrate (hardware refresh) -> key rotation -> retention expiry ->
+  // disposal; verifiability holds at every step.
+  storage::MemEnv site_a, site_b, offsite;
+  auto vault = OpenVault(&site_a, "vault", "hospital-a", "entropy-life");
+  RegisterCast(vault.get());
+  ASSERT_TRUE(vault
+                  ->RegisterPrincipal("admin-r",
+                                      {"pat-p", Role::kPatient, "P"})
+                  .ok());
+  ASSERT_TRUE(vault->AssignCare("admin-r", "dr-a", "pat-p").ok());
+
+  // Year 0: occupational exposure record, 30-year retention (OSHA).
+  auto id = vault->CreateRecord("dr-a", "pat-p", "text/plain",
+                                "benzene exposure incident, 2 ppm, 4h",
+                                {"benzene", "exposure"}, "osha-30y");
+  ASSERT_TRUE(id.ok());
+  auto cp0 = vault->CheckpointAudit();
+  ASSERT_TRUE(cp0.ok());
+
+  // Year 1: correction.
+  clock_.AdvanceYears(1);
+  ASSERT_TRUE(vault
+                  ->CorrectRecord("dr-a", *id,
+                                  "benzene exposure incident, 3 ppm, 4h",
+                                  "lab re-analysis", {"benzene"})
+                  .ok());
+
+  // Year 5: off-site backup.
+  clock_.AdvanceYears(4);
+  auto manifest = core::BackupManager::Backup(vault.get(), "admin-r",
+                                              &offsite, "offsite");
+  ASSERT_TRUE(manifest.ok());
+
+  // Year 12: hardware refresh -> verifiable migration to a new system.
+  clock_.AdvanceYears(7);
+  auto target = OpenVault(&site_b, "vault", "hospital-a-gen2",
+                          "entropy-life-2");
+  RegisterCast(target.get());
+  ASSERT_TRUE(target
+                  ->RegisterPrincipal("admin-r",
+                                      {"pat-p", Role::kPatient, "P"})
+                  .ok());
+  ASSERT_TRUE(target->AssignCare("admin-r", "dr-a", "pat-p").ok());
+  auto receipt = core::Migrator::Migrate(vault.get(), target.get(),
+                                         "admin-r");
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_TRUE(core::Migrator::VerifyReceipt(*receipt, vault.get(),
+                                            target.get())
+                  .ok());
+
+  // Year 20: master key rotation on the new system.
+  clock_.AdvanceYears(8);
+  ASSERT_TRUE(
+      target->RotateMasterKey("admin-r", std::string(32, 'R')).ok());
+  EXPECT_EQ(target->ReadRecord("dr-a", *id)->plaintext,
+            "benzene exposure incident, 3 ppm, 4h");
+
+  // Year 29: disposal still blocked.
+  clock_.AdvanceYears(9);
+  EXPECT_TRUE(target->DisposeRecord("admin-r", *id)
+                  .status()
+                  .IsRetentionViolation());
+
+  // Year 31: retention expired; disposal succeeds with certificate.
+  clock_.AdvanceYears(2);
+  auto cert = target->DisposeRecord("admin-r", *id);
+  ASSERT_TRUE(cert.ok()) << cert.status().ToString();
+  EXPECT_TRUE(core::RetentionManager::VerifyCertificate(
+                  *cert, target->SignerPublicKey(),
+                  target->SignerPublicSeed(), target->SignerHeight())
+                  .ok());
+  EXPECT_TRUE(target->ReadRecord("dr-a", *id).status().IsKeyDestroyed());
+
+  // End-to-end verifiability still holds on both systems.
+  EXPECT_TRUE(vault->VerifyEverything().ok());
+  EXPECT_TRUE(target->VerifyEverything().ok());
+
+  // The custody chain tells the whole story.
+  auto chain = target->GetCustodyChain("aud-x", *id);
+  ASSERT_TRUE(chain.ok());
+  std::vector<CustodyEventType> expected = {
+      CustodyEventType::kCreated,     CustodyEventType::kCorrected,
+      CustodyEventType::kMigratedOut, CustodyEventType::kMigratedIn,
+      CustodyEventType::kDisposed};
+  ASSERT_EQ(chain->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); i++) {
+    EXPECT_EQ((*chain)[i].type, expected[i]) << "event " << i;
+  }
+}
+
+TEST_F(IntegrationTest, RealisticWorkloadRemainsVerifiable) {
+  storage::MemEnv env;
+  auto vault = OpenVault(&env, "vault", "hospital", "entropy-load");
+  RegisterCast(vault.get());
+
+  sim::EhrGenerator::Options gen_options;
+  gen_options.num_patients = 20;
+  gen_options.note_bytes = 300;
+  sim::EhrGenerator gen(77, gen_options);
+
+  // Register the patient population; dr-a treats everyone.
+  for (int p = 0; p < 20; p++) {
+    std::string pid = "patient-" + std::to_string(p);
+    ASSERT_TRUE(
+        vault->RegisterPrincipal("admin-r", {pid, Role::kPatient, pid})
+            .ok());
+    ASSERT_TRUE(vault->AssignCare("admin-r", "dr-a", pid).ok());
+  }
+
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 60; i++) {
+    sim::EhrRecord r = gen.Next();
+    auto id = vault->CreateRecord("dr-a", r.patient_id, "text/plain",
+                                  r.text, r.keywords, "hipaa-6y");
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    ids.push_back(*id);
+    clock_.Advance(kMicrosPerDay);
+  }
+  // Mixed reads/corrections/searches.
+  for (int i = 0; i < 30; i++) {
+    ASSERT_TRUE(vault->ReadRecord("dr-a", ids[i % ids.size()]).ok());
+  }
+  for (int i = 0; i < 10; i++) {
+    ASSERT_TRUE(vault
+                    ->CorrectRecord("dr-a", ids[i], "corrected note body",
+                                    "routine amendment", {"corrected"})
+                    .ok());
+  }
+  auto hits = vault->SearchKeyword("dr-a", "corrected");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 10u);
+
+  // Everything verifies; the audit log covers all operations.
+  EXPECT_TRUE(vault->VerifyEverything().ok());
+  auto trail = vault->ReadAuditTrail("aud-x", "");
+  ASSERT_TRUE(trail.ok());
+  EXPECT_GT(trail->size(), 100u);
+}
+
+TEST_F(IntegrationTest, AdversarialEndToEnd) {
+  storage::MemEnv env;
+  auto vault = OpenVault(&env, "vault", "hospital", "entropy-adv");
+  RegisterCast(vault.get());
+  ASSERT_TRUE(vault
+                  ->RegisterPrincipal("admin-r",
+                                      {"pat-p", Role::kPatient, "P"})
+                  .ok());
+  ASSERT_TRUE(vault->AssignCare("admin-r", "dr-a", "pat-p").ok());
+
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 10; i++) {
+    auto id = vault->CreateRecord("dr-a", "pat-p", "text/plain",
+                                  "note " + std::to_string(i) +
+                                      std::string(200, 'x'),
+                                  {"cancer"}, "hipaa-6y");
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  ASSERT_TRUE(vault->CheckpointAudit().ok());
+  ASSERT_TRUE(vault->VerifyEverything().ok());
+
+  // Insider tampers broadly: record segments, audit log, index.
+  sim::InsiderAdversary insider(&env, 1337);
+  std::vector<std::string> targets;
+  for (uint64_t sid : vault->versions()->segments()->SegmentIds()) {
+    std::string name = vault->versions()->segments()->SegmentFileName(sid);
+    if (env.FileExists(name)) targets.push_back(name);
+  }
+  targets.push_back("vault/audit.log");
+  auto applied = insider.TamperRandomBytes(targets, 25);
+  ASSERT_TRUE(applied.ok());
+
+  // MedVault must detect the intrusion somewhere.
+  EXPECT_TRUE(vault->VerifyEverything().IsTamperDetected());
+
+  // And the insider learns nothing from raw bytes: no keyword, no
+  // plaintext.
+  EXPECT_FALSE(*insider.ScanForKeyword(targets, "cancer"));
+  EXPECT_FALSE(*insider.ScanForKeyword({"vault/index.log"}, "cancer"));
+}
+
+TEST_F(IntegrationTest, BackupThenMigrateRestoredVault) {
+  // Disaster recovery into new hardware, then migration onward — the
+  // combination regulators actually care about.
+  storage::MemEnv site_a, offsite, site_b, site_c;
+  auto vault = OpenVault(&site_a, "vault", "gen1", "entropy-dr");
+  RegisterCast(vault.get());
+  ASSERT_TRUE(vault
+                  ->RegisterPrincipal("admin-r",
+                                      {"pat-p", Role::kPatient, "P"})
+                  .ok());
+  ASSERT_TRUE(vault->AssignCare("admin-r", "dr-a", "pat-p").ok());
+  auto id = vault->CreateRecord("dr-a", "pat-p", "text/plain",
+                                "survives everything", {"resilient"},
+                                "osha-30y");
+  ASSERT_TRUE(id.ok());
+
+  auto manifest = core::BackupManager::Backup(vault.get(), "admin-r",
+                                              &offsite, "offsite");
+  ASSERT_TRUE(manifest.ok());
+  vault.reset();  // disaster
+
+  ASSERT_TRUE(core::BackupManager::Restore(&offsite, "offsite", *manifest,
+                                           &site_b, "vault")
+                  .ok());
+  auto restored = OpenVault(&site_b, "vault", "gen1", "entropy-dr");
+  EXPECT_EQ(restored->ReadRecord("dr-a", *id)->plaintext,
+            "survives everything");
+
+  auto gen2 = OpenVault(&site_c, "vault", "gen2", "entropy-dr-2");
+  RegisterCast(gen2.get());
+  auto receipt =
+      core::Migrator::Migrate(restored.get(), gen2.get(), "admin-r");
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  ASSERT_TRUE(gen2
+                  ->RegisterPrincipal("admin-r",
+                                      {"pat-p", Role::kPatient, "P"})
+                  .ok());
+  ASSERT_TRUE(gen2->AssignCare("admin-r", "dr-a", "pat-p").ok());
+  EXPECT_EQ(gen2->ReadRecord("dr-a", *id)->plaintext,
+            "survives everything");
+  EXPECT_TRUE(gen2->VerifyEverything().ok());
+}
+
+}  // namespace
+}  // namespace medvault

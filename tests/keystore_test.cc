@@ -1,0 +1,193 @@
+// KeyStore tests: key hierarchy, crypto-shredding, persistence, master
+// key rotation, and the guarantee that destroyed keys never resurface.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/keystore.h"
+#include "storage/mem_env.h"
+
+namespace medvault::core {
+namespace {
+
+class KeyStoreTest : public ::testing::Test {
+ protected:
+  void OpenStore(const std::string& master = std::string(32, 'M')) {
+    store_ = std::make_unique<KeyStore>(&env_, "keys.db", master,
+                                        "drbg-seed");
+    ASSERT_TRUE(store_->Open().ok());
+  }
+
+  storage::MemEnv env_;
+  std::unique_ptr<KeyStore> store_;
+};
+
+TEST_F(KeyStoreTest, CreateAndGet) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  auto key = store_->GetKey("r-1");
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key->size(), 32u);
+  EXPECT_EQ(store_->LiveKeyCount(), 1u);
+}
+
+TEST_F(KeyStoreTest, KeysAreUniquePerRecord) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  ASSERT_TRUE(store_->CreateKey("r-2").ok());
+  EXPECT_NE(*store_->GetKey("r-1"), *store_->GetKey("r-2"));
+}
+
+TEST_F(KeyStoreTest, DuplicateCreateRejected) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  EXPECT_TRUE(store_->CreateKey("r-1").IsAlreadyExists());
+}
+
+TEST_F(KeyStoreTest, UnknownRecordIsNotFound) {
+  OpenStore();
+  EXPECT_TRUE(store_->GetKey("nope").status().IsNotFound());
+  EXPECT_TRUE(store_->DestroyKey("nope").IsNotFound());
+}
+
+TEST_F(KeyStoreTest, IndexKeyDiffersFromDataKey) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  auto data_key = store_->GetKey("r-1");
+  auto index_key = store_->GetIndexKey("r-1");
+  ASSERT_TRUE(data_key.ok());
+  ASSERT_TRUE(index_key.ok());
+  EXPECT_NE(*data_key, *index_key);
+  EXPECT_EQ(index_key->size(), 32u);
+}
+
+TEST_F(KeyStoreTest, KeyRefResolvesWhileAlive) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  auto ref = store_->GetKeyRef("r-1");
+  ASSERT_TRUE(ref.ok());
+  auto resolved = store_->ResolveKeyRef(*ref);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, "r-1");
+}
+
+TEST_F(KeyStoreTest, DestroyShredsEverything) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  auto ref = store_->GetKeyRef("r-1");
+  ASSERT_TRUE(ref.ok());
+
+  ASSERT_TRUE(store_->DestroyKey("r-1").ok());
+  EXPECT_TRUE(store_->IsDestroyed("r-1"));
+  EXPECT_TRUE(store_->GetKey("r-1").status().IsKeyDestroyed());
+  EXPECT_TRUE(store_->GetIndexKey("r-1").status().IsKeyDestroyed());
+  EXPECT_TRUE(store_->GetKeyRef("r-1").status().IsKeyDestroyed());
+  EXPECT_TRUE(store_->ResolveKeyRef(*ref).status().IsNotFound());
+  EXPECT_EQ(store_->LiveKeyCount(), 0u);
+  // Double destruction is flagged, not silently absorbed.
+  EXPECT_TRUE(store_->DestroyKey("r-1").IsKeyDestroyed());
+}
+
+TEST_F(KeyStoreTest, DestroyedKeyCannotBeRecreated) {
+  // A destroyed record id must never silently get a fresh key (which
+  // would hide the shredding from later readers).
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  ASSERT_TRUE(store_->DestroyKey("r-1").ok());
+  EXPECT_TRUE(store_->CreateKey("r-1").IsAlreadyExists());
+}
+
+TEST_F(KeyStoreTest, PersistsAcrossReopen) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  ASSERT_TRUE(store_->CreateKey("r-2").ok());
+  std::string key1 = *store_->GetKey("r-1");
+  ASSERT_TRUE(store_->Persist().ok());
+  store_.reset();
+
+  OpenStore();
+  EXPECT_EQ(*store_->GetKey("r-1"), key1);
+  EXPECT_EQ(store_->LiveKeyCount(), 2u);
+}
+
+TEST_F(KeyStoreTest, DestructionSurvivesReopen) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  ASSERT_TRUE(store_->CreateKey("r-2").ok());
+  ASSERT_TRUE(store_->DestroyKey("r-1").ok());  // persists immediately
+  ASSERT_TRUE(store_->Persist().ok());
+  store_.reset();
+
+  OpenStore();
+  EXPECT_TRUE(store_->GetKey("r-1").status().IsKeyDestroyed());
+  EXPECT_TRUE(store_->GetKey("r-2").ok());
+}
+
+TEST_F(KeyStoreTest, ShreddedKeyBytesAbsentFromDisk) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  std::string key = *store_->GetKey("r-1");
+  ASSERT_TRUE(store_->Persist().ok());
+  ASSERT_TRUE(store_->DestroyKey("r-1").ok());
+
+  // Neither the raw key nor any trace of its wrapped blob may remain.
+  std::string contents;
+  ASSERT_TRUE(storage::ReadFileToString(&env_, "keys.db", &contents).ok());
+  EXPECT_EQ(contents.find(key), std::string::npos);
+}
+
+TEST_F(KeyStoreTest, WrongMasterKeyFailsOpen) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  ASSERT_TRUE(store_->Persist().ok());
+  store_.reset();
+
+  auto bad = std::make_unique<KeyStore>(&env_, "keys.db",
+                                        std::string(32, 'X'), "drbg-seed");
+  EXPECT_TRUE(bad->Open().IsTamperDetected());
+}
+
+TEST_F(KeyStoreTest, MasterKeyRotationPreservesDataKeys) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  std::string key = *store_->GetKey("r-1");
+  std::string new_master(32, 'N');
+  ASSERT_TRUE(store_->RotateMasterKey(new_master).ok());
+  EXPECT_EQ(*store_->GetKey("r-1"), key);
+  store_.reset();
+
+  // Old master no longer opens; new one does and finds the same key.
+  auto old_store = std::make_unique<KeyStore>(
+      &env_, "keys.db", std::string(32, 'M'), "drbg-seed");
+  EXPECT_FALSE(old_store->Open().ok());
+
+  OpenStore(new_master);
+  EXPECT_EQ(*store_->GetKey("r-1"), key);
+}
+
+TEST_F(KeyStoreTest, TamperedKeyLogDetected) {
+  OpenStore();
+  ASSERT_TRUE(store_->CreateKey("r-1").ok());
+  ASSERT_TRUE(store_->Persist().ok());
+  store_.reset();
+
+  uint64_t size = 0;
+  ASSERT_TRUE(env_.GetFileSize("keys.db", &size).ok());
+  ASSERT_TRUE(env_.UnsafeOverwrite("keys.db", size / 2, "Z").ok());
+
+  auto tampered = std::make_unique<KeyStore>(
+      &env_, "keys.db", std::string(32, 'M'), "drbg-seed");
+  EXPECT_FALSE(tampered->Open().ok());
+}
+
+TEST_F(KeyStoreTest, RequiresOpenBeforeUse) {
+  store_ = std::make_unique<KeyStore>(&env_, "keys.db",
+                                      std::string(32, 'M'), "seed");
+  EXPECT_TRUE(store_->CreateKey("r-1").IsFailedPrecondition());
+  EXPECT_TRUE(store_->Persist().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace medvault::core

@@ -1,0 +1,219 @@
+// Record-oriented log tests: round trips, block-spanning records,
+// corruption and truncation handling.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/log_format.h"
+#include "storage/log_reader.h"
+#include "storage/log_writer.h"
+#include "storage/mem_env.h"
+
+namespace medvault::storage::log {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Writer> NewWriter(const std::string& name = "log") {
+    std::unique_ptr<WritableFile> file;
+    EXPECT_TRUE(env_.NewWritableFile(name, &file).ok());
+    return std::make_unique<Writer>(std::move(file));
+  }
+
+  std::unique_ptr<Reader> NewReader(const std::string& name = "log") {
+    std::unique_ptr<SequentialFile> file;
+    EXPECT_TRUE(env_.NewSequentialFile(name, &file).ok());
+    return std::make_unique<Reader>(std::move(file));
+  }
+
+  std::vector<std::string> ReadAll(const std::string& name = "log") {
+    auto reader = NewReader(name);
+    std::vector<std::string> records;
+    std::string record;
+    while (reader->ReadRecord(&record)) records.push_back(record);
+    last_status_ = reader->status();
+    return records;
+  }
+
+  MemEnv env_;
+  Status last_status_;
+};
+
+TEST_F(LogTest, EmptyLogReadsNothing) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->Close().ok());
+  EXPECT_TRUE(ReadAll().empty());
+  EXPECT_TRUE(last_status_.ok());
+}
+
+TEST_F(LogTest, SimpleRoundTrip) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("alpha").ok());
+  ASSERT_TRUE(writer->AddRecord("beta").ok());
+  ASSERT_TRUE(writer->AddRecord("").ok());  // empty records are legal
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], "alpha");
+  EXPECT_EQ(records[1], "beta");
+  EXPECT_TRUE(records[2].empty());
+  EXPECT_TRUE(last_status_.ok());
+}
+
+TEST_F(LogTest, RecordLargerThanBlockFragments) {
+  std::string big(3 * kBlockSize, 'x');
+  for (size_t i = 0; i < big.size(); i++) big[i] = static_cast<char>(i % 251);
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("before").ok());
+  ASSERT_TRUE(writer->AddRecord(big).ok());
+  ASSERT_TRUE(writer->AddRecord("after").ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0], "before");
+  EXPECT_EQ(records[1], big);
+  EXPECT_EQ(records[2], "after");
+}
+
+TEST_F(LogTest, RecordExactlyFillingBlockBoundary) {
+  // Payload sized so header+payload lands exactly at the block edge.
+  std::string payload(kBlockSize - kHeaderSize, 'q');
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord(payload).ok());
+  ASSERT_TRUE(writer->AddRecord("next").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], payload);
+  EXPECT_EQ(records[1], "next");
+}
+
+TEST_F(LogTest, TrailerSmallerThanHeaderIsSkipped) {
+  // Leave 1..6 bytes at the end of the first block.
+  for (int leftover = 1; leftover < kHeaderSize; leftover++) {
+    std::string name = "log-" + std::to_string(leftover);
+    std::unique_ptr<WritableFile> file;
+    ASSERT_TRUE(env_.NewWritableFile(name, &file).ok());
+    Writer writer(std::move(file));
+    std::string first(kBlockSize - kHeaderSize - leftover, 'a');
+    ASSERT_TRUE(writer.AddRecord(first).ok());
+    ASSERT_TRUE(writer.AddRecord("tail").ok());
+
+    auto records = ReadAll(name);
+    ASSERT_EQ(records.size(), 2u) << "leftover=" << leftover;
+    EXPECT_EQ(records[1], "tail");
+  }
+}
+
+TEST_F(LogTest, ManyRandomSizedRecords) {
+  Random rng(1234);
+  std::vector<std::string> expected;
+  auto writer = NewWriter();
+  for (int i = 0; i < 500; i++) {
+    size_t len = rng.Uniform(2000);
+    std::string record(len, '\0');
+    for (size_t j = 0; j < len; j++) {
+      record[j] = static_cast<char>(rng.Uniform(256));
+    }
+    expected.push_back(record);
+    ASSERT_TRUE(writer->AddRecord(record).ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); i++) {
+    EXPECT_EQ(records[i], expected[i]) << "record " << i;
+  }
+}
+
+TEST_F(LogTest, ReopenAndAppendContinues) {
+  {
+    auto writer = NewWriter();
+    ASSERT_TRUE(writer->AddRecord("first").ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  uint64_t size = 0;
+  ASSERT_TRUE(env_.GetFileSize("log", &size).ok());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_.NewAppendableFile("log", &file).ok());
+  Writer writer(std::move(file), size);
+  ASSERT_TRUE(writer.AddRecord("second").ok());
+
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0], "first");
+  EXPECT_EQ(records[1], "second");
+}
+
+TEST_F(LogTest, CorruptedPayloadStopsWithCorruption) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("record one is long enough").ok());
+  ASSERT_TRUE(writer->AddRecord("record two").ok());
+  ASSERT_TRUE(writer->Close().ok());
+
+  // Flip a payload byte in the first record.
+  ASSERT_TRUE(env_.UnsafeOverwrite("log", kHeaderSize + 3, "X").ok());
+  auto records = ReadAll();
+  EXPECT_TRUE(records.empty());
+  EXPECT_TRUE(last_status_.IsCorruption());
+}
+
+TEST_F(LogTest, CorruptedChecksumDetected) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("payload").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  ASSERT_TRUE(env_.UnsafeOverwrite("log", 0, "\xde\xad\xbe\xef").ok());
+  ReadAll();
+  EXPECT_TRUE(last_status_.IsCorruption());
+}
+
+TEST_F(LogTest, TornFinalRecordIsCleanEof) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("complete").ok());
+  ASSERT_TRUE(writer->AddRecord("torn-record-payload").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_.GetFileSize("log", &size).ok());
+  // Cut into the middle of the second record: WAL recovery semantics
+  // treat a torn tail as clean EOF, not corruption.
+  ASSERT_TRUE(env_.UnsafeTruncate("log", size - 5).ok());
+
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "complete");
+  EXPECT_TRUE(last_status_.ok());
+}
+
+TEST_F(LogTest, TornHeaderIsCleanEof) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("complete").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_.GetFileSize("log", &size).ok());
+  // Append 3 bytes of a new header then "crash".
+  std::unique_ptr<WritableFile> f;
+  ASSERT_TRUE(env_.NewAppendableFile("log", &f).ok());
+  ASSERT_TRUE(f->Append("\x01\x02\x03").ok());
+
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(last_status_.ok());
+}
+
+TEST_F(LogTest, FileOffsetTracksBytes) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("12345").ok());
+  EXPECT_EQ(writer->FileOffset(), static_cast<uint64_t>(kHeaderSize) + 5);
+  uint64_t size = 0;
+  ASSERT_TRUE(env_.GetFileSize("log", &size).ok());
+  EXPECT_EQ(writer->FileOffset(), size);
+}
+
+}  // namespace
+}  // namespace medvault::storage::log

@@ -1,0 +1,222 @@
+// Verifiable migration tests: exact copies, dual-signed receipts,
+// custody continuity, disposed-record carry-over, failure modes.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/migration.h"
+#include "core/vault.h"
+#include "storage/mem_env.h"
+
+namespace medvault::core {
+namespace {
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    source_ = OpenVault(&env_a_, "vault-a", "hospital-a", "entropy-a");
+    target_ = OpenVault(&env_b_, "vault-b", "hospital-b", "entropy-b");
+    RegisterCast(source_.get());
+    RegisterCast(target_.get());
+  }
+
+  std::unique_ptr<Vault> OpenVault(storage::Env* env, const std::string& dir,
+                                   const std::string& system,
+                                   const std::string& entropy) {
+    VaultOptions options;
+    options.env = env;
+    options.dir = dir;
+    options.clock = &clock_;
+    options.master_key = std::string(32, 'M');
+    options.entropy = entropy;
+    options.signer_height = 4;
+    options.system_id = system;
+    auto vault = Vault::Open(options);
+    EXPECT_TRUE(vault.ok()) << vault.status().ToString();
+    return std::move(vault).value();
+  }
+
+  void RegisterCast(Vault* vault) {
+    ASSERT_TRUE(
+        vault->RegisterPrincipal("boot", {"admin-r", Role::kAdmin, "Root"})
+            .ok());
+    ASSERT_TRUE(vault
+                    ->RegisterPrincipal("admin-r",
+                                        {"dr-a", Role::kPhysician, "Dr A"})
+                    .ok());
+    ASSERT_TRUE(vault
+                    ->RegisterPrincipal(
+                        "admin-r", {"aud-x", Role::kAuditor, "Auditor"})
+                    .ok());
+    ASSERT_TRUE(vault
+                    ->RegisterPrincipal("admin-r",
+                                        {"pat-p", Role::kPatient, "P"})
+                    .ok());
+    ASSERT_TRUE(vault->AssignCare("admin-r", "dr-a", "pat-p").ok());
+  }
+
+  RecordId CreateSample(const std::string& content) {
+    auto id = source_->CreateRecord("dr-a", "pat-p", "text/plain", content,
+                                    {"cardiology"}, "osha-30y");
+    EXPECT_TRUE(id.ok());
+    return id.ValueOr("");
+  }
+
+  storage::MemEnv env_a_, env_b_;
+  ManualClock clock_{1000000};
+  std::unique_ptr<Vault> source_, target_;
+};
+
+TEST_F(MigrationTest, MigratesRecordsWithContentAndHistory) {
+  RecordId r1 = CreateSample("record one");
+  RecordId r2 = CreateSample("record two");
+  ASSERT_TRUE(
+      source_->CorrectRecord("dr-a", r1, "record one v2", "fix", {}).ok());
+
+  auto receipt = Migrator::Migrate(source_.get(), target_.get(), "admin-r");
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_EQ(receipt->record_count, 2u);
+  EXPECT_EQ(receipt->version_count, 3u);
+  EXPECT_EQ(receipt->source_system, "hospital-a");
+  EXPECT_EQ(receipt->target_system, "hospital-b");
+
+  // Target serves the records with full history.
+  EXPECT_EQ(target_->ReadRecord("dr-a", r1)->plaintext, "record one v2");
+  EXPECT_EQ(target_->ReadRecordVersion("dr-a", r1, 1)->plaintext,
+            "record one");
+  EXPECT_EQ(target_->ReadRecord("dr-a", r2)->plaintext, "record two");
+  EXPECT_TRUE(target_->VerifyEverything().ok());
+}
+
+TEST_F(MigrationTest, ReceiptVerifiesAndBindsContent) {
+  CreateSample("content");
+  auto receipt = Migrator::Migrate(source_.get(), target_.get(), "admin-r");
+  ASSERT_TRUE(receipt.ok());
+  EXPECT_TRUE(
+      Migrator::VerifyReceipt(*receipt, source_.get(), target_.get()).ok());
+
+  // Round-trip the receipt through its encoding.
+  auto decoded = MigrationReceipt::Decode(receipt->Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(
+      Migrator::VerifyReceipt(*decoded, source_.get(), target_.get()).ok());
+
+  // Forged receipts fail.
+  MigrationReceipt forged = *receipt;
+  forged.record_count++;
+  EXPECT_FALSE(
+      Migrator::VerifyReceipt(forged, source_.get(), target_.get()).ok());
+}
+
+TEST_F(MigrationTest, ReceiptDetectsPostMigrationTamper) {
+  CreateSample(std::string(300, 'm'));
+  auto receipt = Migrator::Migrate(source_.get(), target_.get(), "admin-r");
+  ASSERT_TRUE(receipt.ok());
+
+  // Insider corrupts the migrated bytes at the target.
+  auto ids = target_->versions()->segments()->SegmentIds();
+  std::string file =
+      target_->versions()->segments()->SegmentFileName(ids.front());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_b_.GetFileSize(file, &size).ok());
+  ASSERT_TRUE(env_b_.UnsafeOverwrite(file, size / 2, "X").ok());
+
+  EXPECT_FALSE(
+      Migrator::VerifyReceipt(*receipt, source_.get(), target_.get()).ok());
+}
+
+TEST_F(MigrationTest, CustodyChainContinuesAcrossSystems) {
+  RecordId r1 = CreateSample("with custody");
+  ASSERT_TRUE(
+      Migrator::Migrate(source_.get(), target_.get(), "admin-r").ok());
+
+  auto chain = target_->GetCustodyChain("aud-x", r1);
+  ASSERT_TRUE(chain.ok());
+  ASSERT_GE(chain->size(), 3u);
+  EXPECT_EQ(chain->front().type, CustodyEventType::kCreated);
+  EXPECT_EQ(chain->front().system_id, "hospital-a");
+  EXPECT_EQ(chain->back().type, CustodyEventType::kMigratedIn);
+  EXPECT_EQ(chain->back().system_id, "hospital-b");
+  EXPECT_TRUE(target_->provenance()->VerifyChain(r1).ok());
+
+  // Source records the hand-off too.
+  auto source_chain = source_->GetCustodyChain("aud-x", r1);
+  ASSERT_TRUE(source_chain.ok());
+  EXPECT_EQ(source_chain->back().type, CustodyEventType::kMigratedOut);
+}
+
+TEST_F(MigrationTest, DisposedRecordsCarryTombstones) {
+  RecordId r1 = CreateSample("to be disposed");
+  RecordId r2 = CreateSample("to survive");
+  clock_.AdvanceYears(31);
+  ASSERT_TRUE(source_->DisposeRecord("admin-r", r1).ok());
+
+  auto receipt = Migrator::Migrate(source_.get(), target_.get(), "admin-r");
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  EXPECT_EQ(receipt->record_count, 2u);
+
+  // The disposed record stays disposed at the target; the live one reads.
+  EXPECT_TRUE(target_->ReadRecord("dr-a", r1).status().IsKeyDestroyed());
+  EXPECT_EQ(target_->ReadRecord("dr-a", r2)->plaintext, "to survive");
+  EXPECT_TRUE(target_->VerifyEverything().ok());
+}
+
+TEST_F(MigrationTest, RequiresMigratePermissionOnBothSides) {
+  CreateSample("x");
+  EXPECT_TRUE(Migrator::Migrate(source_.get(), target_.get(), "dr-a")
+                  .status()
+                  .IsPermissionDenied());
+  // An admin known only to the source is rejected by the target.
+  ASSERT_TRUE(source_
+                  ->RegisterPrincipal("admin-r",
+                                      {"admin-only-a", Role::kAdmin, "A"})
+                  .ok());
+  EXPECT_TRUE(Migrator::Migrate(source_.get(), target_.get(), "admin-only-a")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(MigrationTest, RetentionClockUnchangedByMigration) {
+  RecordId r1 = CreateSample("keep retention");
+  auto before = source_->GetRecordMeta(r1);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(
+      Migrator::Migrate(source_.get(), target_.get(), "admin-r").ok());
+  auto after = target_->GetRecordMeta(r1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->retention_until, before->retention_until);
+  EXPECT_EQ(after->retention_policy, before->retention_policy);
+
+  // Disposal at the target still blocked until the original expiry.
+  EXPECT_TRUE(target_->DisposeRecord("admin-r", r1)
+                  .status()
+                  .IsRetentionViolation());
+  clock_.AdvanceYears(31);
+  EXPECT_TRUE(target_->DisposeRecord("admin-r", r1).ok());
+}
+
+TEST_F(MigrationTest, SecondMigrationChainsOnward) {
+  // 30-year horizon: records outlive systems; migrate A -> B -> C.
+  RecordId r1 = CreateSample("long liver");
+  ASSERT_TRUE(
+      Migrator::Migrate(source_.get(), target_.get(), "admin-r").ok());
+
+  storage::MemEnv env_c;
+  auto third = OpenVault(&env_c, "vault-c", "hospital-c", "entropy-c");
+  RegisterCast(third.get());
+  auto receipt = Migrator::Migrate(target_.get(), third.get(), "admin-r");
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+
+  EXPECT_EQ(third->ReadRecord("dr-a", r1)->plaintext, "long liver");
+  auto chain = third->GetCustodyChain("aud-x", r1);
+  ASSERT_TRUE(chain.ok());
+  // created @A, migrated-out @A, migrated-in @B, migrated-out @B,
+  // migrated-in @C.
+  EXPECT_GE(chain->size(), 5u);
+  EXPECT_TRUE(third->provenance()->VerifyChain(r1).ok());
+}
+
+}  // namespace
+}  // namespace medvault::core

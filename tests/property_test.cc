@@ -1,0 +1,281 @@
+// Property-based tests (parameterized sweeps): invariants that must hold
+// across randomized inputs, sizes, and adversarial perturbations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "core/keystore.h"
+#include "core/secure_index.h"
+#include "core/version_store.h"
+#include "crypto/aead.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "storage/mem_env.h"
+
+namespace medvault {
+namespace {
+
+std::string RandomBytes(Random* rng, size_t max_len) {
+  size_t len = rng->Uniform(max_len + 1);
+  std::string out(len, '\0');
+  for (size_t i = 0; i < len; i++) {
+    out[i] = static_cast<char>(rng->Uniform(256));
+  }
+  return out;
+}
+
+// ---- AEAD properties over random inputs ---------------------------------------
+
+class AeadProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AeadProperty, RoundTripAndTamperDetection) {
+  Random rng(GetParam());
+  crypto::Aead aead;
+  ASSERT_TRUE(aead.Init(RandomBytes(&rng, 0) + std::string(32, 'k')).ok());
+
+  for (int iter = 0; iter < 20; iter++) {
+    std::string plaintext = RandomBytes(&rng, 2048);
+    std::string aad = RandomBytes(&rng, 128);
+    std::string nonce(16, '\0');
+    for (auto& c : nonce) c = static_cast<char>(rng.Uniform(256));
+
+    auto sealed = aead.Seal(nonce, plaintext, aad);
+    ASSERT_TRUE(sealed.ok());
+    // Property 1: round trip.
+    auto opened = aead.Open(*sealed, aad);
+    ASSERT_TRUE(opened.ok());
+    EXPECT_EQ(*opened, plaintext);
+    // Property 2: any single byte flip is detected.
+    std::string tampered = *sealed;
+    size_t pos = rng.Uniform(tampered.size());
+    tampered[pos] ^= static_cast<char>(1 + rng.Uniform(255));
+    EXPECT_TRUE(aead.Open(tampered, aad).status().IsTamperDetected())
+        << "iter " << iter << " pos " << pos;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AeadProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---- Merkle properties over random shapes ---------------------------------------
+
+class MerkleProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MerkleProperty, RandomTreesProveAndExtend) {
+  Random rng(GetParam());
+  crypto::MerkleTree tree;
+  uint64_t n = 1 + rng.Uniform(200);
+  for (uint64_t i = 0; i < n; i++) {
+    tree.Append(RandomBytes(&rng, 64));
+  }
+
+  // Property: random (index, size) inclusion proofs verify; perturbed
+  // ones do not.
+  for (int iter = 0; iter < 10; iter++) {
+    uint64_t size = 1 + rng.Uniform(n);
+    uint64_t index = rng.Uniform(size);
+    auto proof = tree.InclusionProof(index, size);
+    ASSERT_TRUE(proof.ok());
+    auto root = tree.RootAt(size);
+    ASSERT_TRUE(root.ok());
+    auto leaf = tree.LeafHash(index);
+    ASSERT_TRUE(leaf.ok());
+    EXPECT_TRUE(crypto::MerkleTree::VerifyInclusion(*leaf, index, size,
+                                                    *proof, *root)
+                    .ok());
+    if (!proof->empty()) {
+      auto bad = *proof;
+      bad[rng.Uniform(bad.size())][rng.Uniform(32)] ^= 0x10;
+      EXPECT_FALSE(crypto::MerkleTree::VerifyInclusion(*leaf, index, size,
+                                                       bad, *root)
+                       .ok());
+    }
+  }
+
+  // Property: random prefix pairs are consistent.
+  for (int iter = 0; iter < 10; iter++) {
+    uint64_t old_size = rng.Uniform(n + 1);
+    uint64_t new_size = old_size + rng.Uniform(n - old_size + 1);
+    auto proof = tree.ConsistencyProof(old_size, new_size);
+    ASSERT_TRUE(proof.ok());
+    EXPECT_TRUE(crypto::MerkleTree::VerifyConsistency(
+                    old_size, *tree.RootAt(old_size), new_size,
+                    *tree.RootAt(new_size), *proof)
+                    .ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MerkleProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---- Version chain properties ------------------------------------------------------
+
+class VersionChainProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(VersionChainProperty, ChainsVerifyAtEveryLength) {
+  const int versions = GetParam();
+  storage::MemEnv env;
+  core::KeyStore keystore(&env, "keys.db", std::string(32, 'M'), "seed");
+  ASSERT_TRUE(keystore.Open().ok());
+  core::VersionStore store(&env, "vault", &keystore);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(keystore.CreateKey("r-1").ok());
+
+  Random rng(versions);
+  std::vector<std::string> contents;
+  for (int v = 0; v < versions; v++) {
+    std::string content = RandomBytes(&rng, 500);
+    contents.push_back(content);
+    ASSERT_TRUE(store
+                    .AppendVersion("r-1", "dr", "bin",
+                                   v == 0 ? "" : "fix", content, 1000 + v)
+                    .ok());
+    // Invariant: the whole chain verifies after every append.
+    ASSERT_TRUE(store.VerifyRecord("r-1").ok()) << "after version " << v;
+  }
+  // Invariant: every historical version reads back exactly.
+  for (int v = 0; v < versions; v++) {
+    auto rv = store.ReadVersion("r-1", v + 1);
+    ASSERT_TRUE(rv.ok());
+    EXPECT_EQ(rv->plaintext, contents[v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, VersionChainProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21));
+
+// ---- Secure deletion property -----------------------------------------------------
+
+class ShredProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShredProperty, ShreddedRecordsVanishEverywhereOthersUnaffected) {
+  Random rng(GetParam());
+  storage::MemEnv env;
+  core::KeyStore keystore(&env, "keys.db", std::string(32, 'M'), "seed");
+  ASSERT_TRUE(keystore.Open().ok());
+  core::VersionStore store(&env, "vault", &keystore);
+  ASSERT_TRUE(store.Open().ok());
+  core::SecureIndex index(&env, "index.log", std::string(32, 'I'),
+                          &keystore);
+  ASSERT_TRUE(index.Open().ok());
+
+  const int n = 12;
+  std::vector<std::string> ids;
+  for (int i = 0; i < n; i++) {
+    std::string id = "r-" + std::to_string(i);
+    ids.push_back(id);
+    ASSERT_TRUE(keystore.CreateKey(id).ok());
+    ASSERT_TRUE(store.AppendVersion(id, "dr", "txt", "",
+                                    "content-" + id, 1000 + i)
+                    .ok());
+    ASSERT_TRUE(index.AddPostings(id, {"shared", "unique-" + id}).ok());
+  }
+
+  // Shred a random subset.
+  std::set<std::string> shredded;
+  for (const std::string& id : ids) {
+    if (rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(keystore.DestroyKey(id).ok());
+      shredded.insert(id);
+    }
+  }
+
+  // Invariants: shredded -> unreadable + unsearchable; live -> intact.
+  auto hits = index.Search("shared");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), ids.size() - shredded.size());
+  for (const std::string& id : ids) {
+    auto read = store.ReadVersion(id, 1);
+    auto unique_hits = index.Search("unique-" + id);
+    ASSERT_TRUE(unique_hits.ok());
+    if (shredded.count(id)) {
+      EXPECT_TRUE(read.status().IsKeyDestroyed()) << id;
+      EXPECT_TRUE(unique_hits->empty()) << id;
+    } else {
+      ASSERT_TRUE(read.ok()) << id;
+      EXPECT_EQ(read->plaintext, "content-" + id);
+      ASSERT_EQ(unique_hits->size(), 1u) << id;
+    }
+    // Integrity verification works either way.
+    EXPECT_TRUE(store.VerifyRecord(id).ok()) << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShredProperty,
+                         ::testing::Values(100, 200, 300, 400));
+
+// ---- Hash-chain tamper property ---------------------------------------------------
+
+class TamperProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TamperProperty, AnySegmentByteFlipIsDetected) {
+  Random rng(GetParam());
+  storage::MemEnv env;
+  core::KeyStore keystore(&env, "keys.db", std::string(32, 'M'), "seed");
+  ASSERT_TRUE(keystore.Open().ok());
+  core::VersionStore store(&env, "vault", &keystore);
+  ASSERT_TRUE(store.Open().ok());
+  ASSERT_TRUE(keystore.CreateKey("r-1").ok());
+  for (int v = 0; v < 5; v++) {
+    ASSERT_TRUE(store
+                    .AppendVersion("r-1", "dr", "txt", v ? "fix" : "",
+                                   RandomBytes(&rng, 300), 1000 + v)
+                    .ok());
+  }
+  ASSERT_TRUE(store.VerifyRecord("r-1").ok());
+
+  auto ids = store.segments()->SegmentIds();
+  std::string file = store.segments()->SegmentFileName(ids.front());
+  uint64_t size = 0;
+  ASSERT_TRUE(env.GetFileSize(file, &size).ok());
+
+  // Flip one random byte; verification must fail. Repeat several times
+  // on fresh copies (restore the byte after each check).
+  for (int iter = 0; iter < 25; iter++) {
+    uint64_t pos = rng.Uniform(size);
+    std::unique_ptr<storage::RandomAccessFile> reader;
+    ASSERT_TRUE(env.NewRandomAccessFile(file, &reader).ok());
+    std::string original;
+    ASSERT_TRUE(reader->Read(pos, 1, &original).ok());
+    char flipped = static_cast<char>(original[0] ^
+                                     (1 + rng.Uniform(255)));
+    ASSERT_TRUE(env.UnsafeOverwrite(file, pos, Slice(&flipped, 1)).ok());
+    EXPECT_FALSE(store.VerifyRecord("r-1").ok())
+        << "flip at " << pos << " went undetected";
+    ASSERT_TRUE(env.UnsafeOverwrite(file, pos, original).ok());
+  }
+  EXPECT_TRUE(store.VerifyRecord("r-1").ok());  // restored state is clean
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TamperProperty,
+                         ::testing::Values(7, 17, 27));
+
+// ---- SHA-256 structural properties ---------------------------------------------------
+
+class ShaProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShaProperty, SplitInvariance) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 20; iter++) {
+    std::string msg = RandomBytes(&rng, 500);
+    std::string oneshot = crypto::Sha256Digest(msg);
+    crypto::Sha256 h;
+    size_t pos = 0;
+    while (pos < msg.size()) {
+      size_t chunk = 1 + rng.Uniform(64);
+      chunk = std::min(chunk, msg.size() - pos);
+      h.Update(Slice(msg.data() + pos, chunk));
+      pos += chunk;
+    }
+    EXPECT_EQ(h.Finish(), oneshot);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShaProperty, ::testing::Values(3, 6, 9));
+
+}  // namespace
+}  // namespace medvault

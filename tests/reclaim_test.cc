@@ -1,0 +1,201 @@
+// Media reclamation tests (HIPAA §164.310(d)(2)(ii) media re-use):
+// fully-shredded WORM segments can be physically dropped while every
+// guarantee that still applies (tombstones, custody, verification,
+// migration of the remainder) keeps holding.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/migration.h"
+#include "core/vault.h"
+#include "storage/mem_env.h"
+
+namespace medvault::core {
+namespace {
+
+class ReclaimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    VaultOptions options;
+    options.env = &env_;
+    options.dir = "vault";
+    options.clock = &clock_;
+    options.master_key = std::string(32, 'M');
+    options.entropy = "reclaim-entropy";
+    options.signer_height = 5;
+    auto vault = Vault::Open(options);
+    ASSERT_TRUE(vault.ok());
+    vault_ = std::move(vault).value();
+    ASSERT_TRUE(
+        vault_->RegisterPrincipal("boot", {"admin-r", Role::kAdmin, "Root"})
+            .ok());
+    ASSERT_TRUE(vault_
+                    ->RegisterPrincipal("admin-r",
+                                        {"dr-a", Role::kPhysician, "Dr"})
+                    .ok());
+    ASSERT_TRUE(vault_
+                    ->RegisterPrincipal("admin-r",
+                                        {"pat-p", Role::kPatient, "P"})
+                    .ok());
+    ASSERT_TRUE(vault_->AssignCare("admin-r", "dr-a", "pat-p").ok());
+  }
+
+  Result<RecordId> Create() {
+    return vault_->CreateRecord("dr-a", "pat-p", "text/plain",
+                                std::string(300, 'x'), {"kw"}, "short-1y");
+  }
+
+  /// Seals the active segment so previous entries become reclaimable.
+  void SealActive() {
+    ASSERT_TRUE(vault_->versions()->segments()->SealActive().ok());
+  }
+
+  storage::MemEnv env_;
+  ManualClock clock_{1000000};
+  std::unique_ptr<Vault> vault_;
+};
+
+TEST_F(ReclaimTest, NothingToReclaimWhileRecordsLive) {
+  ASSERT_TRUE(Create().ok());
+  SealActive();
+  auto dropped = vault_->ReclaimDisposedMedia("admin-r");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 0);
+}
+
+TEST_F(ReclaimTest, FullyShreddedSegmentIsReclaimed) {
+  auto r1 = Create();
+  auto r2 = Create();
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  SealActive();
+  clock_.AdvanceYears(2);
+  ASSERT_TRUE(vault_->DisposeRecord("admin-r", *r1).ok());
+  // Segment still holds r2 -> not reclaimable.
+  EXPECT_EQ(*vault_->ReclaimDisposedMedia("admin-r"), 0);
+
+  ASSERT_TRUE(vault_->DisposeRecord("admin-r", *r2).ok());
+  auto dropped = vault_->ReclaimDisposedMedia("admin-r");
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(*dropped, 1);
+  EXPECT_TRUE(vault_->versions()->IsReclaimed(*r1));
+
+  // Reads still answer correctly, verification still passes.
+  EXPECT_TRUE(vault_->ReadRecord("dr-a", *r1).status().IsKeyDestroyed());
+  EXPECT_TRUE(vault_->VerifyEverything().ok());
+  // Custody chain intact, ends with disposal.
+  ASSERT_TRUE(
+      vault_->RegisterPrincipal("admin-r", {"aud-x", Role::kAuditor, "X"})
+          .ok());
+  auto chain = vault_->GetCustodyChain("aud-x", *r1);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->back().type, CustodyEventType::kDisposed);
+}
+
+TEST_F(ReclaimTest, ReclaimFreesBytes) {
+  std::vector<RecordId> ids;
+  for (int i = 0; i < 8; i++) {
+    auto id = Create();
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  SealActive();
+  clock_.AdvanceYears(2);
+  for (const RecordId& id : ids) {
+    ASSERT_TRUE(vault_->DisposeRecord("admin-r", id).ok());
+  }
+  uint64_t before = env_.TotalBytes();
+  ASSERT_GT(*vault_->ReclaimDisposedMedia("admin-r"), 0);
+  uint64_t after = env_.TotalBytes();
+  EXPECT_LT(after, before);
+}
+
+TEST_F(ReclaimTest, ActiveSegmentNeverReclaimed) {
+  auto r1 = Create();
+  ASSERT_TRUE(r1.ok());
+  clock_.AdvanceYears(2);
+  ASSERT_TRUE(vault_->DisposeRecord("admin-r", *r1).ok());
+  // Not sealed: must not be touched even though fully disposed.
+  EXPECT_EQ(*vault_->ReclaimDisposedMedia("admin-r"), 0);
+}
+
+TEST_F(ReclaimTest, ReclaimRequiresAdminAndIsAudited) {
+  EXPECT_TRUE(
+      vault_->ReclaimDisposedMedia("dr-a").status().IsPermissionDenied());
+  ASSERT_TRUE(vault_->ReclaimDisposedMedia("admin-r").ok());
+  ASSERT_TRUE(
+      vault_->RegisterPrincipal("admin-r", {"aud-x", Role::kAuditor, "X"})
+          .ok());
+  auto trail = vault_->ReadAuditTrail("aud-x", "");
+  ASSERT_TRUE(trail.ok());
+  bool found = false;
+  for (const AuditEvent& e : *trail) {
+    if (e.details.rfind("media-reclaim", 0) == 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ReclaimTest, DirectReclaimOfLiveSegmentRefused) {
+  auto r1 = Create();
+  ASSERT_TRUE(r1.ok());
+  SealActive();
+  auto ids = vault_->versions()->segments()->SegmentIds();
+  EXPECT_TRUE(vault_->versions()
+                  ->ReclaimSegments({ids.front()})
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST_F(ReclaimTest, MigrationSkipsReclaimedRecordsButMovesTheRest) {
+  auto gone = Create();
+  auto kept = Create();
+  ASSERT_TRUE(gone.ok());
+  ASSERT_TRUE(kept.ok());
+  SealActive();
+  auto survivor = Create();  // lives in the next segment
+  ASSERT_TRUE(survivor.ok());
+  clock_.AdvanceYears(2);
+  ASSERT_TRUE(vault_->DisposeRecord("admin-r", *gone).ok());
+  ASSERT_TRUE(vault_->DisposeRecord("admin-r", *kept).ok());
+  ASSERT_GT(*vault_->ReclaimDisposedMedia("admin-r"), 0);
+
+  storage::MemEnv env_b;
+  VaultOptions options;
+  options.env = &env_b;
+  options.dir = "vault";
+  options.clock = &clock_;
+  options.master_key = std::string(32, 'M');
+  options.entropy = "reclaim-entropy-b";
+  options.signer_height = 5;
+  options.system_id = "gen2";
+  auto target = std::move(Vault::Open(options)).value();
+  ASSERT_TRUE(
+      target->RegisterPrincipal("boot", {"admin-r", Role::kAdmin, "Root"})
+          .ok());
+  ASSERT_TRUE(target
+                  ->RegisterPrincipal("admin-r",
+                                      {"dr-a", Role::kPhysician, "Dr"})
+                  .ok());
+  ASSERT_TRUE(target
+                  ->RegisterPrincipal("admin-r",
+                                      {"pat-p", Role::kPatient, "P"})
+                  .ok());
+  ASSERT_TRUE(target->AssignCare("admin-r", "dr-a", "pat-p").ok());
+
+  auto receipt = Migrator::Migrate(vault_.get(), target.get(), "admin-r");
+  ASSERT_TRUE(receipt.ok()) << receipt.status().ToString();
+  // The live record migrated with bytes; the reclaimed ones with
+  // tombstones only.
+  EXPECT_EQ(receipt->record_count, 3u);
+  EXPECT_EQ(receipt->version_count, 1u);
+  EXPECT_EQ(target->ReadRecord("dr-a", *survivor)->plaintext,
+            std::string(300, 'x'));
+  EXPECT_TRUE(target->ReadRecord("dr-a", *gone).status().IsKeyDestroyed());
+  EXPECT_TRUE(
+      Migrator::VerifyReceipt(*receipt, vault_.get(), target.get()).ok());
+}
+
+}  // namespace
+}  // namespace medvault::core

@@ -1,0 +1,143 @@
+// Retention manager tests: policies, disposal gating across simulated
+// decades, disposal certificate issuance and verification.
+
+#include <gtest/gtest.h>
+
+#include "core/retention.h"
+
+namespace medvault::core {
+namespace {
+
+class RetentionTest : public ::testing::Test {
+ protected:
+  RecordMeta MakeMeta(const std::string& policy, Timestamp created) {
+    RecordMeta meta;
+    meta.record_id = "r-1";
+    meta.patient_id = "pat-p";
+    meta.created_at = created;
+    meta.retention_policy = policy;
+    meta.retention_until = *retention_.RetentionUntil(policy, created);
+    meta.latest_version = 1;
+    return meta;
+  }
+
+  RetentionManager retention_;
+};
+
+TEST_F(RetentionTest, StandardPoliciesExist) {
+  EXPECT_TRUE(retention_.HasPolicy("osha-30y"));
+  EXPECT_TRUE(retention_.HasPolicy("hipaa-6y"));
+  EXPECT_TRUE(retention_.HasPolicy("short-1y"));
+  EXPECT_FALSE(retention_.HasPolicy("nonexistent"));
+}
+
+TEST_F(RetentionTest, RetentionUntilAddsDuration) {
+  auto until = retention_.RetentionUntil("osha-30y", 1000);
+  ASSERT_TRUE(until.ok());
+  EXPECT_EQ(*until, 1000 + 30 * kMicrosPerYear);
+  EXPECT_TRUE(
+      retention_.RetentionUntil("ghost", 0).status().IsNotFound());
+}
+
+TEST_F(RetentionTest, CustomPolicyRegistration) {
+  ASSERT_TRUE(retention_.RegisterPolicy("uk-dpa-8y", 8 * kMicrosPerYear)
+                  .ok());
+  EXPECT_TRUE(retention_.HasPolicy("uk-dpa-8y"));
+  EXPECT_TRUE(
+      retention_.RegisterPolicy("", kMicrosPerYear).IsInvalidArgument());
+  EXPECT_TRUE(retention_.RegisterPolicy("bad", 0).IsInvalidArgument());
+  EXPECT_TRUE(retention_.RegisterPolicy("bad", -5).IsInvalidArgument());
+}
+
+TEST_F(RetentionTest, EarlyDisposalBlockedFor30Years) {
+  RecordMeta meta = MakeMeta("osha-30y", 0);
+  // At creation, after 1 year, after 29 years: all blocked.
+  EXPECT_TRUE(retention_.CheckDisposalAllowed(meta, 0).IsRetentionViolation());
+  EXPECT_TRUE(retention_.CheckDisposalAllowed(meta, 1 * kMicrosPerYear)
+                  .IsRetentionViolation());
+  EXPECT_TRUE(retention_.CheckDisposalAllowed(meta, 29 * kMicrosPerYear)
+                  .IsRetentionViolation());
+  // One microsecond before expiry: still blocked.
+  EXPECT_TRUE(
+      retention_.CheckDisposalAllowed(meta, meta.retention_until - 1)
+          .IsRetentionViolation());
+  // At and after expiry: allowed.
+  EXPECT_TRUE(
+      retention_.CheckDisposalAllowed(meta, meta.retention_until).ok());
+  EXPECT_TRUE(retention_.CheckDisposalAllowed(meta, 31 * kMicrosPerYear)
+                  .ok());
+}
+
+TEST_F(RetentionTest, DisposedRecordsCannotBeDisposedAgain) {
+  RecordMeta meta = MakeMeta("short-1y", 0);
+  meta.disposed = true;
+  EXPECT_TRUE(retention_.CheckDisposalAllowed(meta, 10 * kMicrosPerYear)
+                  .IsFailedPrecondition());
+}
+
+TEST_F(RetentionTest, ViolationMessageNamesPolicyAndRecord) {
+  RecordMeta meta = MakeMeta("osha-30y", 0);
+  Status s = retention_.CheckDisposalAllowed(meta, 0);
+  EXPECT_NE(s.message().find("osha-30y"), std::string::npos);
+  EXPECT_NE(s.message().find("r-1"), std::string::npos);
+}
+
+TEST_F(RetentionTest, CertificateIssueAndVerify) {
+  crypto::XmssSigner signer("ret-secret", "ret-public", 3);
+  RecordMeta meta = MakeMeta("short-1y", 0);
+  auto cert = retention_.IssueCertificate(meta, "admin-r", "custody-head",
+                                          2 * kMicrosPerYear, &signer);
+  ASSERT_TRUE(cert.ok());
+  EXPECT_EQ(cert->record_id, "r-1");
+  EXPECT_EQ(cert->authorizer, "admin-r");
+  EXPECT_EQ(cert->policy, "short-1y");
+  EXPECT_TRUE(RetentionManager::VerifyCertificate(
+                  *cert, signer.public_key(), "ret-public", 3)
+                  .ok());
+}
+
+TEST_F(RetentionTest, ForgedCertificateFieldsFailVerification) {
+  crypto::XmssSigner signer("ret-secret", "ret-public", 3);
+  RecordMeta meta = MakeMeta("short-1y", 0);
+  auto cert = retention_.IssueCertificate(meta, "admin-r", "head",
+                                          2 * kMicrosPerYear, &signer);
+  ASSERT_TRUE(cert.ok());
+
+  DisposalCertificate forged = *cert;
+  forged.record_id = "r-2";  // claim a different record was disposed
+  EXPECT_TRUE(RetentionManager::VerifyCertificate(
+                  forged, signer.public_key(), "ret-public", 3)
+                  .IsTamperDetected());
+
+  forged = *cert;
+  forged.disposed_at += 1;  // backdate/postdate
+  EXPECT_FALSE(RetentionManager::VerifyCertificate(
+                   forged, signer.public_key(), "ret-public", 3)
+                   .ok());
+
+  forged = *cert;
+  forged.custody_head = "other";
+  EXPECT_FALSE(RetentionManager::VerifyCertificate(
+                   forged, signer.public_key(), "ret-public", 3)
+                   .ok());
+}
+
+TEST_F(RetentionTest, CertificateEncodingRoundTrip) {
+  crypto::XmssSigner signer("ret-secret", "ret-public", 3);
+  RecordMeta meta = MakeMeta("hipaa-6y", 123);
+  auto cert = retention_.IssueCertificate(meta, "admin", "head",
+                                          7 * kMicrosPerYear, &signer);
+  ASSERT_TRUE(cert.ok());
+  auto decoded = DisposalCertificate::Decode(cert->Encode());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->record_id, cert->record_id);
+  EXPECT_EQ(decoded->policy, cert->policy);
+  EXPECT_EQ(decoded->signature, cert->signature);
+  EXPECT_TRUE(RetentionManager::VerifyCertificate(
+                  *decoded, signer.public_key(), "ret-public", 3)
+                  .ok());
+  EXPECT_FALSE(DisposalCertificate::Decode("garbage").ok());
+}
+
+}  // namespace
+}  // namespace medvault::core

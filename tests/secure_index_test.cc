@@ -1,0 +1,155 @@
+// Secure index tests: blinded search, privacy of on-disk bytes, secure
+// deletion of postings via crypto-shredding, persistence.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/keystore.h"
+#include "core/secure_index.h"
+#include "storage/mem_env.h"
+
+namespace medvault::core {
+namespace {
+
+class SecureIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    keystore_ = std::make_unique<KeyStore>(&env_, "keys.db",
+                                           std::string(32, 'M'), "seed");
+    ASSERT_TRUE(keystore_->Open().ok());
+    OpenIndex();
+  }
+
+  void OpenIndex() {
+    index_ = std::make_unique<SecureIndex>(&env_, "index.log",
+                                           std::string(32, 'I'),
+                                           keystore_.get());
+    ASSERT_TRUE(index_->Open().ok());
+  }
+
+  void AddRecord(const std::string& id,
+                 const std::vector<std::string>& terms) {
+    ASSERT_TRUE(keystore_->CreateKey(id).ok());
+    ASSERT_TRUE(index_->AddPostings(id, terms).ok());
+  }
+
+  storage::MemEnv env_;
+  std::unique_ptr<KeyStore> keystore_;
+  std::unique_ptr<SecureIndex> index_;
+};
+
+TEST_F(SecureIndexTest, SearchFindsIndexedRecords) {
+  AddRecord("r-1", {"cancer", "chemo"});
+  AddRecord("r-2", {"diabetes"});
+  AddRecord("r-3", {"cancer"});
+
+  auto hits = index_->Search("cancer");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+  EXPECT_NE(std::find(hits->begin(), hits->end(), "r-1"), hits->end());
+  EXPECT_NE(std::find(hits->begin(), hits->end(), "r-3"), hits->end());
+
+  hits = index_->Search("diabetes");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], "r-2");
+}
+
+TEST_F(SecureIndexTest, SearchIsCaseInsensitive) {
+  AddRecord("r-1", {"Cancer"});
+  auto hits = index_->Search("CANCER");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST_F(SecureIndexTest, UnknownTermReturnsEmpty) {
+  AddRecord("r-1", {"cancer"});
+  auto hits = index_->Search("nonexistent");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+TEST_F(SecureIndexTest, DuplicatePostingsDeduplicatedInResults) {
+  AddRecord("r-1", {"cancer", "cancer"});
+  ASSERT_TRUE(index_->AddPostings("r-1", {"cancer"}).ok());  // re-index
+  auto hits = index_->Search("cancer");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+  EXPECT_EQ(index_->TotalPostingCount(), 3u);
+}
+
+TEST_F(SecureIndexTest, RawIndexBytesLeakNoKeywordsOrIds) {
+  AddRecord("r-1", {"cancer", "hiv", "oncology"});
+  std::string raw;
+  ASSERT_TRUE(storage::ReadFileToString(&env_, "index.log", &raw).ok());
+  EXPECT_EQ(raw.find("cancer"), std::string::npos);
+  EXPECT_EQ(raw.find("hiv"), std::string::npos);
+  EXPECT_EQ(raw.find("oncology"), std::string::npos);
+  EXPECT_EQ(raw.find("r-1"), std::string::npos);
+}
+
+TEST_F(SecureIndexTest, CryptoShreddingKillsPostings) {
+  AddRecord("r-1", {"cancer"});
+  AddRecord("r-2", {"cancer"});
+  EXPECT_EQ(index_->LivePostingCount(), 2u);
+
+  ASSERT_TRUE(keystore_->DestroyKey("r-1").ok());
+  auto hits = index_->Search("cancer");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], "r-2");
+  EXPECT_EQ(index_->LivePostingCount(), 1u);
+  EXPECT_EQ(index_->DeadPostingCount(), 1u);
+}
+
+TEST_F(SecureIndexTest, AddPostingsRequiresLiveKey) {
+  ASSERT_TRUE(keystore_->CreateKey("r-1").ok());
+  ASSERT_TRUE(keystore_->DestroyKey("r-1").ok());
+  EXPECT_TRUE(
+      index_->AddPostings("r-1", {"term"}).IsKeyDestroyed());
+  EXPECT_TRUE(index_->AddPostings("ghost", {"term"}).IsNotFound());
+}
+
+TEST_F(SecureIndexTest, PersistsAcrossReopen) {
+  AddRecord("r-1", {"cancer", "chemo"});
+  index_.reset();
+  OpenIndex();
+  auto hits = index_->Search("chemo");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0], "r-1");
+}
+
+TEST_F(SecureIndexTest, ShreddingBeforeReopenStillKillsPostings) {
+  AddRecord("r-1", {"cancer"});
+  ASSERT_TRUE(keystore_->DestroyKey("r-1").ok());
+  index_.reset();
+  OpenIndex();
+  auto hits = index_->Search("cancer");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+  EXPECT_EQ(index_->DeadPostingCount(), 1u);
+}
+
+TEST_F(SecureIndexTest, TermCountLeaksOnlyCardinality) {
+  AddRecord("r-1", {"a1", "b2", "c3"});
+  AddRecord("r-2", {"a1"});
+  EXPECT_EQ(index_->TermCount(), 3u);
+  EXPECT_EQ(index_->TotalPostingCount(), 4u);
+}
+
+TEST_F(SecureIndexTest, DifferentIndexMasterKeysAreDisjoint) {
+  AddRecord("r-1", {"cancer"});
+  // An index with a different blinding key cannot find the postings.
+  SecureIndex other(&env_, "index.log", std::string(32, 'Z'),
+                    keystore_.get());
+  ASSERT_TRUE(other.Open().ok());
+  auto hits = other.Search("cancer");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+}
+
+}  // namespace
+}  // namespace medvault::core

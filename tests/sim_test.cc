@@ -1,0 +1,143 @@
+// Simulation substrate tests: EHR workload generator statistics, Zipf
+// skew, adversary operations.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "sim/adversary.h"
+#include "sim/workload.h"
+#include "storage/mem_env.h"
+
+namespace medvault::sim {
+namespace {
+
+TEST(ZipfTest, StaysInRange) {
+  Zipf zipf(100, 1.0, 7);
+  for (int i = 0; i < 1000; i++) {
+    EXPECT_LT(zipf.Next(), 100u);
+  }
+}
+
+TEST(ZipfTest, IsSkewedTowardLowRanks) {
+  Zipf zipf(1000, 1.0, 7);
+  int low = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; i++) {
+    if (zipf.Next() < 10) low++;
+  }
+  // Under Zipf(1.0) over 1000 ranks, the top 10 ranks carry ~39% of
+  // mass; uniform would give 1%.
+  EXPECT_GT(low, n / 5);
+}
+
+TEST(ZipfTest, DeterministicPerSeed) {
+  Zipf a(100, 1.0, 42), b(100, 1.0, 42);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(EhrGeneratorTest, ProducesRequestedShape) {
+  EhrGenerator::Options options;
+  options.num_patients = 50;
+  options.note_bytes = 400;
+  EhrGenerator gen(1, options);
+  for (int i = 0; i < 100; i++) {
+    EhrRecord r = gen.Next();
+    EXPECT_EQ(r.text.size(), 400u);
+    EXPECT_FALSE(r.patient_id.empty());
+    EXPECT_GE(r.keywords.size(), 1u);
+    EXPECT_LE(r.keywords.size(), 3u);
+    // Keywords appear inside the note text (so content-derived indexes
+    // across stores behave the same).
+    for (const std::string& kw : r.keywords) {
+      EXPECT_NE(r.text.find(kw), std::string::npos) << kw;
+    }
+  }
+}
+
+TEST(EhrGeneratorTest, PatientsAreBounded) {
+  EhrGenerator::Options options;
+  options.num_patients = 10;
+  EhrGenerator gen(2, options);
+  std::set<std::string> patients;
+  for (int i = 0; i < 300; i++) patients.insert(gen.Next().patient_id);
+  EXPECT_LE(patients.size(), 10u);
+  EXPECT_GE(patients.size(), 5u);  // most appear under skew
+}
+
+TEST(EhrGeneratorTest, QueryTermsComeFromConditionList) {
+  EhrGenerator gen(3, {});
+  const auto& conditions = EhrGenerator::Conditions();
+  for (int i = 0; i < 50; i++) {
+    std::string term = gen.QueryTerm();
+    EXPECT_NE(std::find(conditions.begin(), conditions.end(), term),
+              conditions.end())
+        << term;
+  }
+}
+
+TEST(EhrGeneratorTest, DeterministicPerSeed) {
+  EhrGenerator a(9, {}), b(9, {});
+  for (int i = 0; i < 20; i++) {
+    EhrRecord ra = a.Next();
+    EhrRecord rb = b.Next();
+    EXPECT_EQ(ra.patient_id, rb.patient_id);
+    EXPECT_EQ(ra.text, rb.text);
+  }
+}
+
+TEST(AdversaryTest, TamperChangesBytes) {
+  storage::MemEnv env;
+  ASSERT_TRUE(
+      storage::WriteStringToFile(&env, std::string(1000, 'a'), "f", false)
+          .ok());
+  InsiderAdversary insider(&env, 5);
+  auto applied = insider.TamperRandomBytes({"f"}, 10);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, 10);
+  std::string contents;
+  ASSERT_TRUE(storage::ReadFileToString(&env, "f", &contents).ok());
+  int changed = 0;
+  for (char c : contents) {
+    if (c != 'a') changed++;
+  }
+  EXPECT_GT(changed, 0);
+  EXPECT_LE(changed, 10);
+}
+
+TEST(AdversaryTest, NothingToTamperIsFlagged) {
+  storage::MemEnv env;
+  InsiderAdversary insider(&env, 5);
+  EXPECT_TRUE(insider.TamperRandomBytes({"missing"}, 5)
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+TEST(AdversaryTest, TruncateCutsTail) {
+  storage::MemEnv env;
+  ASSERT_TRUE(
+      storage::WriteStringToFile(&env, "0123456789", "f", false).ok());
+  InsiderAdversary insider(&env, 5);
+  ASSERT_TRUE(insider.Truncate("f", 4).ok());
+  std::string contents;
+  ASSERT_TRUE(storage::ReadFileToString(&env, "f", &contents).ok());
+  EXPECT_EQ(contents, "012345");
+}
+
+TEST(AdversaryTest, KeywordScan) {
+  storage::MemEnv env;
+  ASSERT_TRUE(storage::WriteStringToFile(
+                  &env, "header cancer footer", "a", false)
+                  .ok());
+  ASSERT_TRUE(
+      storage::WriteStringToFile(&env, "nothing here", "b", false).ok());
+  InsiderAdversary insider(&env, 5);
+  EXPECT_TRUE(*insider.ScanForKeyword({"a", "b"}, "cancer"));
+  EXPECT_FALSE(*insider.ScanForKeyword({"b"}, "cancer"));
+  EXPECT_FALSE(*insider.ScanForKeyword({"a", "b"}, "diabetes"));
+}
+
+}  // namespace
+}  // namespace medvault::sim
