@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compliance_matrix.dir/bench_compliance_matrix.cc.o"
+  "CMakeFiles/bench_compliance_matrix.dir/bench_compliance_matrix.cc.o.d"
+  "bench_compliance_matrix"
+  "bench_compliance_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compliance_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

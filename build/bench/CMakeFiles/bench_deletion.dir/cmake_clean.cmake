@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deletion.dir/bench_deletion.cc.o"
+  "CMakeFiles/bench_deletion.dir/bench_deletion.cc.o.d"
+  "bench_deletion"
+  "bench_deletion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deletion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

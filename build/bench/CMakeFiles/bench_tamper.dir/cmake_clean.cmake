@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tamper.dir/bench_tamper.cc.o"
+  "CMakeFiles/bench_tamper.dir/bench_tamper.cc.o.d"
+  "bench_tamper"
+  "bench_tamper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tamper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

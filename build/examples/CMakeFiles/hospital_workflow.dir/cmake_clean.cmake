@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hospital_workflow.dir/hospital_workflow.cpp.o"
+  "CMakeFiles/hospital_workflow.dir/hospital_workflow.cpp.o.d"
+  "hospital_workflow"
+  "hospital_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hospital_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/medvault_cli.dir/medvault_cli.cpp.o"
+  "CMakeFiles/medvault_cli.dir/medvault_cli.cpp.o.d"
+  "medvault_cli"
+  "medvault_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/medvault_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

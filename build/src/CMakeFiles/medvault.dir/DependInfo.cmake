@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/encrypted_db_store.cc" "src/CMakeFiles/medvault.dir/baselines/encrypted_db_store.cc.o" "gcc" "src/CMakeFiles/medvault.dir/baselines/encrypted_db_store.cc.o.d"
+  "/root/repo/src/baselines/object_store.cc" "src/CMakeFiles/medvault.dir/baselines/object_store.cc.o" "gcc" "src/CMakeFiles/medvault.dir/baselines/object_store.cc.o.d"
+  "/root/repo/src/baselines/record_store.cc" "src/CMakeFiles/medvault.dir/baselines/record_store.cc.o" "gcc" "src/CMakeFiles/medvault.dir/baselines/record_store.cc.o.d"
+  "/root/repo/src/baselines/relational_store.cc" "src/CMakeFiles/medvault.dir/baselines/relational_store.cc.o" "gcc" "src/CMakeFiles/medvault.dir/baselines/relational_store.cc.o.d"
+  "/root/repo/src/baselines/vault_store.cc" "src/CMakeFiles/medvault.dir/baselines/vault_store.cc.o" "gcc" "src/CMakeFiles/medvault.dir/baselines/vault_store.cc.o.d"
+  "/root/repo/src/baselines/worm_store.cc" "src/CMakeFiles/medvault.dir/baselines/worm_store.cc.o" "gcc" "src/CMakeFiles/medvault.dir/baselines/worm_store.cc.o.d"
+  "/root/repo/src/common/clock.cc" "src/CMakeFiles/medvault.dir/common/clock.cc.o" "gcc" "src/CMakeFiles/medvault.dir/common/clock.cc.o.d"
+  "/root/repo/src/common/coding.cc" "src/CMakeFiles/medvault.dir/common/coding.cc.o" "gcc" "src/CMakeFiles/medvault.dir/common/coding.cc.o.d"
+  "/root/repo/src/common/crc32c.cc" "src/CMakeFiles/medvault.dir/common/crc32c.cc.o" "gcc" "src/CMakeFiles/medvault.dir/common/crc32c.cc.o.d"
+  "/root/repo/src/common/hex.cc" "src/CMakeFiles/medvault.dir/common/hex.cc.o" "gcc" "src/CMakeFiles/medvault.dir/common/hex.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/medvault.dir/common/status.cc.o" "gcc" "src/CMakeFiles/medvault.dir/common/status.cc.o.d"
+  "/root/repo/src/core/access.cc" "src/CMakeFiles/medvault.dir/core/access.cc.o" "gcc" "src/CMakeFiles/medvault.dir/core/access.cc.o.d"
+  "/root/repo/src/core/audit.cc" "src/CMakeFiles/medvault.dir/core/audit.cc.o" "gcc" "src/CMakeFiles/medvault.dir/core/audit.cc.o.d"
+  "/root/repo/src/core/backup.cc" "src/CMakeFiles/medvault.dir/core/backup.cc.o" "gcc" "src/CMakeFiles/medvault.dir/core/backup.cc.o.d"
+  "/root/repo/src/core/keystore.cc" "src/CMakeFiles/medvault.dir/core/keystore.cc.o" "gcc" "src/CMakeFiles/medvault.dir/core/keystore.cc.o.d"
+  "/root/repo/src/core/migration.cc" "src/CMakeFiles/medvault.dir/core/migration.cc.o" "gcc" "src/CMakeFiles/medvault.dir/core/migration.cc.o.d"
+  "/root/repo/src/core/provenance.cc" "src/CMakeFiles/medvault.dir/core/provenance.cc.o" "gcc" "src/CMakeFiles/medvault.dir/core/provenance.cc.o.d"
+  "/root/repo/src/core/record.cc" "src/CMakeFiles/medvault.dir/core/record.cc.o" "gcc" "src/CMakeFiles/medvault.dir/core/record.cc.o.d"
+  "/root/repo/src/core/retention.cc" "src/CMakeFiles/medvault.dir/core/retention.cc.o" "gcc" "src/CMakeFiles/medvault.dir/core/retention.cc.o.d"
+  "/root/repo/src/core/secure_index.cc" "src/CMakeFiles/medvault.dir/core/secure_index.cc.o" "gcc" "src/CMakeFiles/medvault.dir/core/secure_index.cc.o.d"
+  "/root/repo/src/core/vault.cc" "src/CMakeFiles/medvault.dir/core/vault.cc.o" "gcc" "src/CMakeFiles/medvault.dir/core/vault.cc.o.d"
+  "/root/repo/src/core/version_store.cc" "src/CMakeFiles/medvault.dir/core/version_store.cc.o" "gcc" "src/CMakeFiles/medvault.dir/core/version_store.cc.o.d"
+  "/root/repo/src/crypto/aead.cc" "src/CMakeFiles/medvault.dir/crypto/aead.cc.o" "gcc" "src/CMakeFiles/medvault.dir/crypto/aead.cc.o.d"
+  "/root/repo/src/crypto/aes.cc" "src/CMakeFiles/medvault.dir/crypto/aes.cc.o" "gcc" "src/CMakeFiles/medvault.dir/crypto/aes.cc.o.d"
+  "/root/repo/src/crypto/ctr.cc" "src/CMakeFiles/medvault.dir/crypto/ctr.cc.o" "gcc" "src/CMakeFiles/medvault.dir/crypto/ctr.cc.o.d"
+  "/root/repo/src/crypto/drbg.cc" "src/CMakeFiles/medvault.dir/crypto/drbg.cc.o" "gcc" "src/CMakeFiles/medvault.dir/crypto/drbg.cc.o.d"
+  "/root/repo/src/crypto/hkdf.cc" "src/CMakeFiles/medvault.dir/crypto/hkdf.cc.o" "gcc" "src/CMakeFiles/medvault.dir/crypto/hkdf.cc.o.d"
+  "/root/repo/src/crypto/hmac.cc" "src/CMakeFiles/medvault.dir/crypto/hmac.cc.o" "gcc" "src/CMakeFiles/medvault.dir/crypto/hmac.cc.o.d"
+  "/root/repo/src/crypto/merkle.cc" "src/CMakeFiles/medvault.dir/crypto/merkle.cc.o" "gcc" "src/CMakeFiles/medvault.dir/crypto/merkle.cc.o.d"
+  "/root/repo/src/crypto/sha256.cc" "src/CMakeFiles/medvault.dir/crypto/sha256.cc.o" "gcc" "src/CMakeFiles/medvault.dir/crypto/sha256.cc.o.d"
+  "/root/repo/src/crypto/wots.cc" "src/CMakeFiles/medvault.dir/crypto/wots.cc.o" "gcc" "src/CMakeFiles/medvault.dir/crypto/wots.cc.o.d"
+  "/root/repo/src/crypto/xmss.cc" "src/CMakeFiles/medvault.dir/crypto/xmss.cc.o" "gcc" "src/CMakeFiles/medvault.dir/crypto/xmss.cc.o.d"
+  "/root/repo/src/sim/adversary.cc" "src/CMakeFiles/medvault.dir/sim/adversary.cc.o" "gcc" "src/CMakeFiles/medvault.dir/sim/adversary.cc.o.d"
+  "/root/repo/src/sim/workload.cc" "src/CMakeFiles/medvault.dir/sim/workload.cc.o" "gcc" "src/CMakeFiles/medvault.dir/sim/workload.cc.o.d"
+  "/root/repo/src/storage/bptree.cc" "src/CMakeFiles/medvault.dir/storage/bptree.cc.o" "gcc" "src/CMakeFiles/medvault.dir/storage/bptree.cc.o.d"
+  "/root/repo/src/storage/env.cc" "src/CMakeFiles/medvault.dir/storage/env.cc.o" "gcc" "src/CMakeFiles/medvault.dir/storage/env.cc.o.d"
+  "/root/repo/src/storage/fault_env.cc" "src/CMakeFiles/medvault.dir/storage/fault_env.cc.o" "gcc" "src/CMakeFiles/medvault.dir/storage/fault_env.cc.o.d"
+  "/root/repo/src/storage/log_reader.cc" "src/CMakeFiles/medvault.dir/storage/log_reader.cc.o" "gcc" "src/CMakeFiles/medvault.dir/storage/log_reader.cc.o.d"
+  "/root/repo/src/storage/log_writer.cc" "src/CMakeFiles/medvault.dir/storage/log_writer.cc.o" "gcc" "src/CMakeFiles/medvault.dir/storage/log_writer.cc.o.d"
+  "/root/repo/src/storage/mem_env.cc" "src/CMakeFiles/medvault.dir/storage/mem_env.cc.o" "gcc" "src/CMakeFiles/medvault.dir/storage/mem_env.cc.o.d"
+  "/root/repo/src/storage/posix_env.cc" "src/CMakeFiles/medvault.dir/storage/posix_env.cc.o" "gcc" "src/CMakeFiles/medvault.dir/storage/posix_env.cc.o.d"
+  "/root/repo/src/storage/segment.cc" "src/CMakeFiles/medvault.dir/storage/segment.cc.o" "gcc" "src/CMakeFiles/medvault.dir/storage/segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

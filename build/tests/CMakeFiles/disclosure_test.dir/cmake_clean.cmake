@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disclosure_test.dir/disclosure_test.cc.o"
+  "CMakeFiles/disclosure_test.dir/disclosure_test.cc.o.d"
+  "disclosure_test"
+  "disclosure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disclosure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

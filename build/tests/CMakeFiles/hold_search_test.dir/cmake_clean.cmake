@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hold_search_test.dir/hold_search_test.cc.o"
+  "CMakeFiles/hold_search_test.dir/hold_search_test.cc.o.d"
+  "hold_search_test"
+  "hold_search_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hold_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_index_test.dir/secure_index_test.cc.o"
+  "CMakeFiles/secure_index_test.dir/secure_index_test.cc.o.d"
+  "secure_index_test"
+  "secure_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vault_test.dir/vault_test.cc.o"
+  "CMakeFiles/vault_test.dir/vault_test.cc.o.d"
+  "vault_test"
+  "vault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

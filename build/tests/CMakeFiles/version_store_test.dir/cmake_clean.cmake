@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/version_store_test.dir/version_store_test.cc.o"
+  "CMakeFiles/version_store_test.dir/version_store_test.cc.o.d"
+  "version_store_test"
+  "version_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/version_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
