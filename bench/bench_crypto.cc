@@ -2,15 +2,21 @@
 // other experiment. SHA-256, HMAC, AES-CTR, AEAD, Merkle operations,
 // WOTS/XMSS signing & verification, and XMSS key generation vs height.
 
+// Run with MEDVAULT_FORCE_SCALAR=1 to measure the portable fallback
+// kernels; the default run uses whatever the CPU dispatch selected
+// (SHA-NI / AES-NI where available).
+
 #include <benchmark/benchmark.h>
 
 #include <string>
 
+#include "bench_util.h"
 #include "crypto/aead.h"
 #include "crypto/ctr.h"
 #include "crypto/hmac.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
+#include "crypto/sha256_kernels.h"
 #include "crypto/wots.h"
 #include "crypto/xmss.h"
 
@@ -18,6 +24,7 @@ namespace medvault::bench {
 namespace {
 
 using namespace medvault::crypto;
+using namespace medvault::crypto::internal;  // raw SHA-256 block kernels
 
 void BM_Sha256(benchmark::State& state) {
   std::string data(state.range(0), 'x');
@@ -27,6 +34,30 @@ void BM_Sha256(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+// Raw block-kernel comparison: the runtime-dispatched kernel against the
+// scalar fallback, in the same process (the E9 accelerated-vs-scalar
+// row without needing a MEDVAULT_FORCE_SCALAR rerun).
+void RunSha256Kernel(benchmark::State& state, Sha256BlockFn fn) {
+  const size_t nblocks = static_cast<size_t>(state.range(0));
+  std::string blocks(nblocks * 64, 'x');
+  uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                   0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  for (auto _ : state) {
+    fn(h, reinterpret_cast<const uint8_t*>(blocks.data()), nblocks);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(nblocks * 64));
+}
+void BM_Sha256KernelActive(benchmark::State& state) {
+  RunSha256Kernel(state, ActiveSha256Kernel());
+}
+void BM_Sha256KernelScalar(benchmark::State& state) {
+  RunSha256Kernel(state, &Sha256BlocksScalar);
+}
+BENCHMARK(BM_Sha256KernelActive)->Arg(1024);
+BENCHMARK(BM_Sha256KernelScalar)->Arg(1024);
 
 void BM_HmacSha256(benchmark::State& state) {
   std::string key(32, 'k');
@@ -159,4 +190,6 @@ BENCHMARK(BM_XmssVerify);
 }  // namespace
 }  // namespace medvault::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return medvault::bench::RunBenchmarkMain("crypto", argc, argv);
+}

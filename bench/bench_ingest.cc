@@ -43,13 +43,53 @@ void BM_Ingest_MedVault(benchmark::State& state) {
   RunIngest(state, "medvault");
 }
 
+// Batched ingest: Vault::CreateRecordsBatch coalesces the state-log
+// flush, index posting appends, and audit entries for the whole batch.
+// Compare records/s against BM_Ingest_MedVault (one-at-a-time) at the
+// same note size.
+void BM_Ingest_MedVaultBatch(benchmark::State& state) {
+  const size_t note_bytes = static_cast<size_t>(state.range(0));
+  const size_t batch_size = static_cast<size_t>(state.range(1));
+  StoreInstance si = MakeStore("medvault");
+  auto* vault =
+      static_cast<baselines::VaultStore*>(si.store.get())->vault();
+  sim::EhrGenerator::Options options;
+  options.note_bytes = note_bytes;
+  sim::EhrGenerator gen(7, options);
+
+  int64_t records = 0;
+  for (auto _ : state) {
+    std::vector<core::Vault::NewRecord> batch(batch_size);
+    for (core::Vault::NewRecord& r : batch) {
+      sim::EhrRecord e = gen.Next();
+      r.patient_id = baselines::VaultStore::kPatient;
+      r.content_type = "text/plain";
+      r.plaintext = std::move(e.text);
+      r.keywords = std::move(e.keywords);
+      r.retention_policy = "short-1y";
+    }
+    auto ids = vault->CreateRecordsBatch(baselines::VaultStore::kClinician,
+                                         batch);
+    if (!ids.ok()) state.SkipWithError(ids.status().ToString().c_str());
+    records += static_cast<int64_t>(batch_size);
+  }
+  state.SetItemsProcessed(records);
+  state.SetBytesProcessed(records * static_cast<int64_t>(note_bytes));
+}
+
 BENCHMARK(BM_Ingest_Relational)->Arg(256)->Arg(1024)->Arg(4096);
 BENCHMARK(BM_Ingest_EncryptedDb)->Arg(256)->Arg(1024)->Arg(4096);
 BENCHMARK(BM_Ingest_ObjectStore)->Arg(256)->Arg(1024)->Arg(4096);
 BENCHMARK(BM_Ingest_Worm)->Arg(256)->Arg(1024)->Arg(4096);
 BENCHMARK(BM_Ingest_MedVault)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_Ingest_MedVaultBatch)
+    ->Args({1024, 16})
+    ->Args({1024, 64})
+    ->Args({1024, 256});
 
 }  // namespace
 }  // namespace medvault::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return medvault::bench::RunBenchmarkMain("ingest", argc, argv);
+}

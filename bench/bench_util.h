@@ -5,6 +5,8 @@
 // five models, population with the synthetic EHR workload, wall-clock
 // timing.
 
+#include <benchmark/benchmark.h>
+
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -86,6 +88,32 @@ inline std::vector<std::string> Populate(baselines::RecordStore* store,
     ids.push_back(*id);
   }
   return ids;
+}
+
+/// Drop-in replacement for BENCHMARK_MAIN() that persists results: unless
+/// the caller already passed --benchmark_out, the JSON reporter writes to
+/// BENCH_<name>.json in the working directory, so perf trajectories can
+/// be tracked across commits. Console output is unchanged.
+inline int RunBenchmarkMain(const std::string& name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_" + name + ".json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int argc_final = static_cast<int>(args.size());
+  benchmark::Initialize(&argc_final, args.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_final, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
 }
 
 /// Wall-clock of fn() in microseconds.

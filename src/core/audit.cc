@@ -140,7 +140,7 @@ Status AuditLog::Open() {
   return Status::OK();
 }
 
-Result<uint64_t> AuditLog::AppendEvent(AuditEvent event) {
+Result<uint64_t> AuditLog::AppendEventLocked(AuditEvent event) {
   event.seq = events_.size();
   event.prev_hash = last_hash_;
   std::string payload = event.Encode();
@@ -160,6 +160,7 @@ Result<uint64_t> AuditLog::Append(const PrincipalId& actor,
                                   AuditAction action,
                                   const RecordId& record_id,
                                   const std::string& details, Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("audit log not open");
   AuditEvent e;
   e.timestamp = now;
@@ -167,11 +168,57 @@ Result<uint64_t> AuditLog::Append(const PrincipalId& actor,
   e.action = action;
   e.record_id = record_id;
   e.details = details;
-  return AppendEvent(std::move(e));
+  return AppendEventLocked(std::move(e));
+}
+
+Result<uint64_t> AuditLog::AppendBatch(
+    const std::vector<PendingAuditEvent>& batch, Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("audit log not open");
+  if (batch.empty()) return events_.size();
+
+  // Encode all events first: the chain links each payload to the hash of
+  // the previous one, so the encodings must be fixed before the write.
+  std::vector<AuditEvent> events;
+  std::vector<std::string> payloads;
+  std::vector<std::string> records;
+  events.reserve(batch.size());
+  payloads.reserve(batch.size());
+  records.reserve(batch.size());
+  const uint64_t first_seq = events_.size();
+  std::string chain = last_hash_;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    AuditEvent e;
+    e.seq = first_seq + i;
+    e.timestamp = now;
+    e.actor = batch[i].actor;
+    e.action = batch[i].action;
+    e.record_id = batch[i].record_id;
+    e.details = batch[i].details;
+    e.prev_hash = chain;
+    payloads.push_back(e.Encode());
+    chain = crypto::Sha256Digest(payloads.back());
+    std::string record;
+    record.push_back(static_cast<char>(kRecordEvent));
+    record.append(payloads.back());
+    records.push_back(std::move(record));
+    events.push_back(std::move(e));
+  }
+  std::vector<Slice> slices(records.begin(), records.end());
+  MEDVAULT_RETURN_IF_ERROR(writer_->AddRecords(slices.data(), slices.size()));
+
+  // The write either landed whole or failed whole; mirror it in memory.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    tree_.AppendLeafHash(crypto::MerkleTree::HashLeaf(payloads[i]));
+    events_.push_back(std::move(events[i]));
+  }
+  last_hash_ = chain;
+  return first_seq;
 }
 
 Result<SignedCheckpoint> AuditLog::Checkpoint(crypto::XmssSigner* signer,
                                               Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (!open_) return Status::FailedPrecondition("audit log not open");
   SignedCheckpoint c;
   c.tree_size = tree_.size();
@@ -247,6 +294,7 @@ Status AuditLog::VerifyAll(const Slice& signer_public_key,
 }
 
 Status AuditLog::VerifyAgainstTrusted(const SignedCheckpoint& trusted) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (trusted.tree_size > tree_.size()) {
     return Status::TamperDetected(
         "log shorter than trusted checkpoint (truncation)");
@@ -259,6 +307,7 @@ Status AuditLog::VerifyAgainstTrusted(const SignedCheckpoint& trusted) const {
 }
 
 Result<EventProof> AuditLog::ProveEvent(uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
   if (seq >= events_.size()) return Status::NotFound("no such audit event");
   EventProof proof;
   proof.event = events_[seq];

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -78,8 +79,27 @@ struct EventProof {
   std::vector<std::string> path;
 };
 
+/// An event waiting to be appended as part of a batch; seq, prev_hash
+/// and timestamp are assigned by AuditLog::AppendBatch.
+struct PendingAuditEvent {
+  PrincipalId actor;
+  AuditAction action = AuditAction::kRead;
+  RecordId record_id;
+  std::string details;
+};
+
 /// Append-only audit log on an Env file, with hash chaining, Merkle
 /// commitments, and XMSS-signed checkpoints.
+///
+/// Thread safety: all mutating and in-memory-reading operations are
+/// serialized on an internal mutex, so concurrent Vault readers can
+/// append their mandatory access-audit entries without holding the
+/// vault's exclusive lock. The internal mutex is a leaf in the lock
+/// order (vault lock, if held, is always acquired first; no AuditLog
+/// method calls back into Vault). Exceptions: events()/checkpoints()
+/// return references into live storage and require external quiescence
+/// (use SnapshotEvents() under concurrency), and VerifyAll re-reads the
+/// on-disk file, so callers must exclude concurrent appends.
 class AuditLog {
  public:
   AuditLog(storage::Env* env, std::string path);
@@ -95,12 +115,31 @@ class AuditLog {
                           const RecordId& record_id,
                           const std::string& details, Timestamp now);
 
+  /// Appends a batch of events under one lock acquisition with the
+  /// framing for all of them coalesced into a single buffered file
+  /// write. Returns the sequence number of the first event. The hash
+  /// chain and Merkle tree advance exactly as if Append had been called
+  /// once per event.
+  Result<uint64_t> AppendBatch(const std::vector<PendingAuditEvent>& batch,
+                               Timestamp now);
+
   /// Signs the current tree head. The caller (auditor) should retain the
   /// returned checkpoint out-of-band; it is also appended to the log.
   Result<SignedCheckpoint> Checkpoint(crypto::XmssSigner* signer,
                                       Timestamp now);
 
-  uint64_t size() const { return events_.size(); }
+  uint64_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+  }
+
+  /// Consistent copy of the event list; safe under concurrent appends.
+  std::vector<AuditEvent> SnapshotEvents() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return events_;
+  }
+
+  /// Borrowed views — only valid while no concurrent appends run.
   const std::vector<AuditEvent>& events() const { return events_; }
   const std::vector<SignedCheckpoint>& checkpoints() const {
     return checkpoints_;
@@ -128,11 +167,16 @@ class AuditLog {
   static Status VerifyEventProof(const EventProof& proof, const Slice& root);
 
   /// Current tree head (root over all events).
-  std::string Root() const { return tree_.Root(); }
+  std::string Root() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_.Root();
+  }
 
  private:
-  Result<uint64_t> AppendEvent(AuditEvent event);
+  /// Requires mu_ held.
+  Result<uint64_t> AppendEventLocked(AuditEvent event);
 
+  mutable std::mutex mu_;
   storage::Env* env_;
   std::string path_;
   std::unique_ptr<storage::log::Writer> writer_;

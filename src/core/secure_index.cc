@@ -63,30 +63,53 @@ Status SecureIndex::Open() {
 
 Status SecureIndex::AddPostings(const RecordId& record_id,
                                 const std::vector<std::string>& terms) {
-  if (!open_) return Status::FailedPrecondition("index not open");
-  MEDVAULT_ASSIGN_OR_RETURN(std::string index_key,
-                            keystore_->GetIndexKey(record_id));
-  MEDVAULT_ASSIGN_OR_RETURN(std::string key_ref,
-                            keystore_->GetKeyRef(record_id));
-  crypto::Aead aead;
-  MEDVAULT_RETURN_IF_ERROR(aead.Init(index_key));
+  return AddPostingsBatch({PostingBatch{record_id, terms}});
+}
 
-  for (const std::string& term : terms) {
-    std::string blind = BlindTerm(term);
-    // Deterministic nonce: per (record key, term). Re-indexing the same
-    // term for the same record reuses nonce AND plaintext, which leaks
-    // only equality of identical postings — safe for CTR.
-    std::string nonce_full =
-        crypto::HmacSha256(index_key, "medvault-posting-nonce" + blind);
-    Slice nonce(nonce_full.data(), crypto::kCtrNonceSize);
-    MEDVAULT_ASSIGN_OR_RETURN(std::string sealed,
-                              aead.Seal(nonce, record_id, blind));
-    std::string entry;
-    PutLengthPrefixed(&entry, blind);
-    PutLengthPrefixed(&entry, key_ref);
-    PutLengthPrefixed(&entry, sealed);
-    MEDVAULT_RETURN_IF_ERROR(writer_->AddRecord(entry));
-    postings_[blind].push_back(Posting{key_ref, std::move(sealed)});
+Status SecureIndex::AddPostingsBatch(const std::vector<PostingBatch>& batch) {
+  if (!open_) return Status::FailedPrecondition("index not open");
+
+  // Seal everything first, then commit with one coalesced log write; the
+  // in-memory map is only updated once the bytes are down.
+  struct PendingPosting {
+    std::string blind;
+    Posting posting;
+  };
+  std::vector<std::string> entries;
+  std::vector<PendingPosting> pending;
+  for (const PostingBatch& item : batch) {
+    MEDVAULT_ASSIGN_OR_RETURN(std::string index_key,
+                              keystore_->GetIndexKey(item.record_id));
+    MEDVAULT_ASSIGN_OR_RETURN(std::string key_ref,
+                              keystore_->GetKeyRef(item.record_id));
+    crypto::Aead aead;
+    MEDVAULT_RETURN_IF_ERROR(aead.Init(index_key));
+
+    for (const std::string& term : item.terms) {
+      std::string blind = BlindTerm(term);
+      // Deterministic nonce: per (record key, term). Re-indexing the same
+      // term for the same record reuses nonce AND plaintext, which leaks
+      // only equality of identical postings — safe for CTR.
+      std::string nonce_full =
+          crypto::HmacSha256(index_key, "medvault-posting-nonce" + blind);
+      Slice nonce(nonce_full.data(), crypto::kCtrNonceSize);
+      MEDVAULT_ASSIGN_OR_RETURN(std::string sealed,
+                                aead.Seal(nonce, item.record_id, blind));
+      std::string entry;
+      PutLengthPrefixed(&entry, blind);
+      PutLengthPrefixed(&entry, key_ref);
+      PutLengthPrefixed(&entry, sealed);
+      entries.push_back(std::move(entry));
+      pending.push_back(
+          PendingPosting{std::move(blind), Posting{key_ref,
+                                                   std::move(sealed)}});
+    }
+  }
+  if (entries.empty()) return Status::OK();
+  std::vector<Slice> slices(entries.begin(), entries.end());
+  MEDVAULT_RETURN_IF_ERROR(writer_->AddRecords(slices.data(), slices.size()));
+  for (PendingPosting& p : pending) {
+    postings_[p.blind].push_back(std::move(p.posting));
   }
   return Status::OK();
 }

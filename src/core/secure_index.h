@@ -43,6 +43,17 @@ class SecureIndex {
   Status AddPostings(const RecordId& record_id,
                      const std::vector<std::string>& terms);
 
+  /// One record's postings within an AddPostingsBatch call.
+  struct PostingBatch {
+    RecordId record_id;
+    std::vector<std::string> terms;
+  };
+
+  /// Batched ingest fast path: identical semantics to calling
+  /// AddPostings once per item, but all sealed entries are framed into a
+  /// single buffered log write instead of one write per term.
+  Status AddPostingsBatch(const std::vector<PostingBatch>& batch);
+
   /// Returns the ids of live records containing `term`. Postings whose
   /// record was crypto-shredded are skipped (and counted as dead).
   Result<std::vector<RecordId>> Search(const std::string& term) const;

@@ -1,6 +1,7 @@
 #include "core/vault.h"
 
 #include <algorithm>
+#include <charconv>
 
 #include "common/coding.h"
 #include "common/hex.h"
@@ -58,6 +59,24 @@ std::string SearchAuditDetail(const Slice& master_key,
                               const std::string& term) {
   std::string blind = crypto::HmacSha256(master_key, "audit-term:" + term);
   return "term-blind:" + HexEncode(Slice(blind.data(), 8));
+}
+
+/// True iff `id` looks like a vault-assigned id, i.e. starts with "r-".
+bool HasRecordNumberPrefix(const RecordId& id) {
+  return id.size() >= 2 && id.compare(0, 2, "r-") == 0;
+}
+
+/// Strict parse of the numeric suffix of an "r-<n>" id: every character
+/// after the prefix must be a decimal digit and the value must fit in
+/// uint64_t. (strtoull silently accepted trailing garbage like "r-7x"
+/// and saturated on overflow, which could stall or collide the id
+/// counter.)
+bool ParseRecordNumber(const RecordId& id, uint64_t* n) {
+  if (id.size() < 3 || !HasRecordNumberPrefix(id)) return false;
+  const char* first = id.data() + 2;
+  const char* last = id.data() + id.size();
+  auto [ptr, ec] = std::from_chars(first, last, *n, 10);
+  return ec == std::errc() && ptr == last;
 }
 
 }  // namespace
@@ -152,13 +171,17 @@ Status Vault::LoadState() {
         case kStateMeta: {
           MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
                                     RecordMeta::Decode(payload));
-          metas_[meta.record_id] = meta;
-          // Record ids are "r-<n>"; keep the counter ahead of them.
-          if (meta.record_id.size() > 2 &&
-              meta.record_id.compare(0, 2, "r-") == 0) {
-            uint64_t n = strtoull(meta.record_id.c_str() + 2, nullptr, 10);
+          // Record ids are "r-<n>"; keep the counter ahead of them. An
+          // unparsable "r-" suffix means the state log is damaged.
+          if (HasRecordNumberPrefix(meta.record_id)) {
+            uint64_t n = 0;
+            if (!ParseRecordNumber(meta.record_id, &n)) {
+              return Status::Corruption("malformed record id in state log: " +
+                                        meta.record_id);
+            }
             next_record_num_ = std::max(next_record_num_, n + 1);
           }
+          metas_[meta.record_id] = meta;
           break;
         }
         case kStateSigner: {
@@ -202,61 +225,71 @@ Status Vault::LoadState() {
   return signer_->RestoreState(signer_used);
 }
 
-Status Vault::AppendStateEntry(uint8_t kind, const Slice& payload) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+Status Vault::AppendStateEntryLocked(uint8_t kind, const Slice& payload) {
   std::string record;
   record.push_back(static_cast<char>(kind));
   record.append(payload.data(), payload.size());
   return state_writer_->AddRecord(record);
 }
 
-Status Vault::PersistSignerState() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+Status Vault::AppendStateEntriesLocked(
+    const std::vector<std::string>& records) {
+  std::vector<Slice> slices(records.begin(), records.end());
+  return state_writer_->AddRecords(slices.data(), slices.size());
+}
+
+Status Vault::PersistSignerStateLocked() {
   std::string payload;
   PutVarint64(&payload, signer_->SignaturesUsed());
-  return AppendStateEntry(kStateSigner, payload);
+  return AppendStateEntryLocked(kStateSigner, payload);
 }
 
 const std::string& Vault::SignerPublicKey() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Immutable after Init; safe to hand out by reference.
   return signer_->public_key();
 }
 
 const std::string& Vault::SignerPublicSeed() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   return signer_public_seed_;
+}
+
+Status Vault::AuditLocked(const PrincipalId& actor, AuditAction action,
+                          const RecordId& record_id,
+                          const std::string& details) const {
+  // AuditLog serializes internally; mu_ (shared or exclusive) only
+  // guards the vault state consulted before getting here.
+  return audit_->Append(actor, action, record_id, details, Now()).status();
 }
 
 Status Vault::Audit(const PrincipalId& actor, AuditAction action,
                     const RecordId& record_id, const std::string& details) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return audit_->Append(actor, action, record_id, details, Now()).status();
+  std::shared_lock lock(mu_);
+  return AuditLocked(actor, action, record_id, details);
 }
 
 Result<std::string> Vault::SignStatement(const Slice& payload) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   MEDVAULT_ASSIGN_OR_RETURN(crypto::XmssSignature sig,
                             signer_->Sign(payload));
-  MEDVAULT_RETURN_IF_ERROR(PersistSignerState());
+  MEDVAULT_RETURN_IF_ERROR(PersistSignerStateLocked());
   return sig.Encode();
 }
 
-Result<RecordMeta> Vault::RequireLiveMeta(const RecordId& record_id) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+Result<RecordMeta> Vault::RequireLiveMetaLocked(
+    const RecordId& record_id) const {
   auto it = metas_.find(record_id);
   if (it == metas_.end()) return Status::NotFound("unknown record");
   return it->second;
 }
 
-Status Vault::CheckAndAudit(const PrincipalId& actor, Operation op,
-                            const RecordId& record_id,
-                            const PrincipalId& patient_id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+Status Vault::CheckAndAuditLocked(const PrincipalId& actor, Operation op,
+                                  const RecordId& record_id,
+                                  const PrincipalId& patient_id) const {
   Status s = access_.CheckAccess(actor, op, patient_id, Now());
   if (!s.ok()) {
     // Denials are themselves auditable events (HIPAA audit controls).
-    (void)Audit(actor, AuditAction::kAccessDenied, record_id,
-                std::string(OperationName(op)) + ": " + s.message());
+    (void)AuditLocked(actor, AuditAction::kAccessDenied, record_id,
+                      std::string(OperationName(op)) + ": " + s.message());
   }
   return s;
 }
@@ -265,47 +298,48 @@ Status Vault::CheckAndAudit(const PrincipalId& actor, Operation op,
 
 Status Vault::RegisterPrincipal(const PrincipalId& actor,
                                 const Principal& principal) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   if (has_admin_) {
     MEDVAULT_RETURN_IF_ERROR(
-        CheckAndAudit(actor, Operation::kManagePrincipals, "", ""));
+        CheckAndAuditLocked(actor, Operation::kManagePrincipals, "", ""));
   }
   MEDVAULT_RETURN_IF_ERROR(access_.RegisterPrincipal(principal));
   if (principal.role == Role::kAdmin) has_admin_ = true;
   MEDVAULT_RETURN_IF_ERROR(
-      AppendStateEntry(kStatePrincipal, EncodePrincipal(principal)));
-  return Audit(actor, AuditAction::kPolicyChange, "",
-               "register-principal " + principal.id + " role=" +
-                   RoleName(principal.role));
+      AppendStateEntryLocked(kStatePrincipal, EncodePrincipal(principal)));
+  return AuditLocked(actor, AuditAction::kPolicyChange, "",
+                     "register-principal " + principal.id + " role=" +
+                         RoleName(principal.role));
 }
 
 Status Vault::AssignCare(const PrincipalId& actor,
                          const PrincipalId& clinician,
                          const PrincipalId& patient) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kManagePrincipals, "", ""));
+      CheckAndAuditLocked(actor, Operation::kManagePrincipals, "", ""));
   MEDVAULT_RETURN_IF_ERROR(access_.AssignCare(clinician, patient));
-  MEDVAULT_RETURN_IF_ERROR(
-      AppendStateEntry(kStateCareAssign, EncodeCare(clinician, patient)));
-  return Audit(actor, AuditAction::kPolicyChange, "",
-               "assign-care " + clinician + " -> " + patient);
+  MEDVAULT_RETURN_IF_ERROR(AppendStateEntryLocked(
+      kStateCareAssign, EncodeCare(clinician, patient)));
+  return AuditLocked(actor, AuditAction::kPolicyChange, "",
+                     "assign-care " + clinician + " -> " + patient);
 }
 
 Result<std::string> Vault::BreakGlass(const PrincipalId& clinician,
                                       const PrincipalId& patient,
                                       const std::string& justification,
                                       Timestamp duration) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   Timestamp now = Now();
   MEDVAULT_ASSIGN_OR_RETURN(
       std::string grant_id,
       access_.BreakGlass(clinician, patient, justification, now,
                          now + duration));
   // Break-glass is the one path that must never be silent.
-  MEDVAULT_RETURN_IF_ERROR(Audit(clinician, AuditAction::kBreakGlass, "",
-                                 "patient=" + patient + " grant=" + grant_id +
-                                     " justification=" + justification));
+  MEDVAULT_RETURN_IF_ERROR(
+      AuditLocked(clinician, AuditAction::kBreakGlass, "",
+                  "patient=" + patient + " grant=" + grant_id +
+                      " justification=" + justification));
   return grant_id;
 }
 
@@ -316,9 +350,9 @@ Result<RecordId> Vault::CreateRecord(
     const std::string& content_type, const Slice& plaintext,
     const std::vector<std::string>& keywords,
     const std::string& retention_policy) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kCreateRecord, "", patient_id));
+      CheckAndAuditLocked(actor, Operation::kCreateRecord, "", patient_id));
   Timestamp now = Now();
   MEDVAULT_ASSIGN_OR_RETURN(Timestamp retention_until,
                             retention_.RetentionUntil(retention_policy, now));
@@ -339,11 +373,11 @@ Result<RecordId> Vault::CreateRecord(
   meta.retention_until = retention_until;
   meta.retention_policy = retention_policy;
   meta.latest_version = 1;
-  MEDVAULT_RETURN_IF_ERROR(PutRecordMeta(meta));
+  MEDVAULT_RETURN_IF_ERROR(PutRecordMetaLocked(meta));
 
-  MEDVAULT_RETURN_IF_ERROR(Audit(actor, AuditAction::kCreate, record_id,
-                                 "patient=" + patient_id +
-                                     " policy=" + retention_policy));
+  MEDVAULT_RETURN_IF_ERROR(
+      AuditLocked(actor, AuditAction::kCreate, record_id,
+                  "patient=" + patient_id + " policy=" + retention_policy));
   MEDVAULT_RETURN_IF_ERROR(
       provenance_
           ->RecordEvent(record_id, CustodyEventType::kCreated, actor,
@@ -352,29 +386,110 @@ Result<RecordId> Vault::CreateRecord(
   return record_id;
 }
 
-Status Vault::PutRecordMeta(const RecordMeta& meta) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  metas_[meta.record_id] = meta;
-  if (meta.record_id.size() > 2 && meta.record_id.compare(0, 2, "r-") == 0) {
-    uint64_t n = strtoull(meta.record_id.c_str() + 2, nullptr, 10);
+Result<std::vector<RecordId>> Vault::CreateRecordsBatch(
+    const PrincipalId& actor, const std::vector<NewRecord>& batch) {
+  std::unique_lock lock(mu_);
+  std::vector<RecordId> ids;
+  if (batch.empty()) return ids;
+
+  // Validate the whole batch before creating anything: access for every
+  // patient and every retention policy.
+  Timestamp now = Now();
+  std::vector<Timestamp> retention_until(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(
+        actor, Operation::kCreateRecord, "", batch[i].patient_id));
+    MEDVAULT_ASSIGN_OR_RETURN(
+        retention_until[i],
+        retention_.RetentionUntil(batch[i].retention_policy, now));
+  }
+
+  ids.reserve(batch.size());
+  std::vector<SecureIndex::PostingBatch> postings;
+  std::vector<std::string> state_records;
+  std::vector<PendingAuditEvent> audit_events;
+  postings.reserve(batch.size());
+  state_records.reserve(batch.size());
+  audit_events.reserve(batch.size());
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const NewRecord& r = batch[i];
+    RecordId record_id = "r-" + std::to_string(next_record_num_++);
+    MEDVAULT_RETURN_IF_ERROR(keystore_->CreateKey(record_id));
+    MEDVAULT_ASSIGN_OR_RETURN(
+        VersionHeader header,
+        versions_->AppendVersion(record_id, actor, r.content_type, "",
+                                 r.plaintext, now));
+    (void)header;
+
+    RecordMeta meta;
+    meta.record_id = record_id;
+    meta.patient_id = r.patient_id;
+    meta.created_at = now;
+    meta.retention_until = retention_until[i];
+    meta.retention_policy = r.retention_policy;
+    meta.latest_version = 1;
+    metas_[record_id] = meta;
+
+    std::string state_record;
+    state_record.push_back(static_cast<char>(kStateMeta));
+    state_record.append(meta.Encode());
+    state_records.push_back(std::move(state_record));
+
+    postings.push_back(SecureIndex::PostingBatch{record_id, r.keywords});
+    audit_events.push_back(PendingAuditEvent{
+        actor, AuditAction::kCreate, record_id,
+        "patient=" + r.patient_id + " policy=" + r.retention_policy});
+    ids.push_back(std::move(record_id));
+  }
+
+  // Coalesced bookkeeping: one index append, one state-log flush, and
+  // one audit append for the whole batch.
+  MEDVAULT_RETURN_IF_ERROR(index_->AddPostingsBatch(postings));
+  MEDVAULT_RETURN_IF_ERROR(AppendStateEntriesLocked(state_records));
+  MEDVAULT_RETURN_IF_ERROR(audit_->AppendBatch(audit_events, now).status());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    MEDVAULT_RETURN_IF_ERROR(
+        provenance_
+            ->RecordEvent(ids[i], CustodyEventType::kCreated, actor,
+                          "patient=" + batch[i].patient_id, now)
+            .status());
+  }
+  return ids;
+}
+
+Status Vault::PutRecordMetaLocked(const RecordMeta& meta) {
+  if (HasRecordNumberPrefix(meta.record_id)) {
+    uint64_t n = 0;
+    if (!ParseRecordNumber(meta.record_id, &n)) {
+      return Status::InvalidArgument("malformed record id: " +
+                                     meta.record_id);
+    }
     next_record_num_ = std::max(next_record_num_, n + 1);
   }
-  return AppendStateEntry(kStateMeta, meta.Encode());
+  metas_[meta.record_id] = meta;
+  return AppendStateEntryLocked(kStateMeta, meta.Encode());
+}
+
+Status Vault::PutRecordMeta(const RecordMeta& meta) {
+  std::unique_lock lock(mu_);
+  return PutRecordMetaLocked(meta);
 }
 
 Result<RecordVersion> Vault::ReadRecord(const PrincipalId& actor,
                                         const RecordId& record_id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
-  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kReadRecord,
-                                         record_id, meta.patient_id));
+  std::shared_lock lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                            RequireLiveMetaLocked(record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(actor, Operation::kReadRecord,
+                                               record_id, meta.patient_id));
   if (meta.disposed) {
     MEDVAULT_RETURN_IF_ERROR(
-        Audit(actor, AuditAction::kRead, record_id, "disposed"));
+        AuditLocked(actor, AuditAction::kRead, record_id, "disposed"));
     return Status::KeyDestroyed("record was disposed of");
   }
   auto version = versions_->ReadLatest(record_id);
-  MEDVAULT_RETURN_IF_ERROR(Audit(
+  MEDVAULT_RETURN_IF_ERROR(AuditLocked(
       actor, AuditAction::kRead, record_id,
       version.ok() ? "ok" : version.status().ToString()));
   return version;
@@ -383,17 +498,18 @@ Result<RecordVersion> Vault::ReadRecord(const PrincipalId& actor,
 Result<RecordVersion> Vault::ReadRecordVersion(const PrincipalId& actor,
                                                const RecordId& record_id,
                                                uint32_t version) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
-  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kReadRecord,
-                                         record_id, meta.patient_id));
+  std::shared_lock lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                            RequireLiveMetaLocked(record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(actor, Operation::kReadRecord,
+                                               record_id, meta.patient_id));
   if (meta.disposed) {
     MEDVAULT_RETURN_IF_ERROR(
-        Audit(actor, AuditAction::kRead, record_id, "disposed"));
+        AuditLocked(actor, AuditAction::kRead, record_id, "disposed"));
     return Status::KeyDestroyed("record was disposed of");
   }
   auto result = versions_->ReadVersion(record_id, version);
-  MEDVAULT_RETURN_IF_ERROR(Audit(
+  MEDVAULT_RETURN_IF_ERROR(AuditLocked(
       actor, AuditAction::kRead, record_id,
       "v" + std::to_string(version) +
           (result.ok() ? " ok" : " " + result.status().ToString())));
@@ -404,16 +520,17 @@ Result<VersionHeader> Vault::CorrectRecord(
     const PrincipalId& actor, const RecordId& record_id,
     const Slice& new_plaintext, const std::string& reason,
     const std::vector<std::string>& keywords) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   if (reason.empty()) {
     return Status::InvalidArgument("corrections require a reason");
   }
-  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                            RequireLiveMetaLocked(record_id));
   if (meta.disposed) {
     return Status::KeyDestroyed("record was disposed; cannot correct");
   }
-  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kCorrectRecord,
-                                         record_id, meta.patient_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(
+      actor, Operation::kCorrectRecord, record_id, meta.patient_id));
   Timestamp now = Now();
   MEDVAULT_ASSIGN_OR_RETURN(
       VersionHeader header,
@@ -421,10 +538,11 @@ Result<VersionHeader> Vault::CorrectRecord(
                                new_plaintext, now));
   MEDVAULT_RETURN_IF_ERROR(index_->AddPostings(record_id, keywords));
   meta.latest_version = header.version;
-  MEDVAULT_RETURN_IF_ERROR(PutRecordMeta(meta));
-  MEDVAULT_RETURN_IF_ERROR(Audit(actor, AuditAction::kCorrect, record_id,
-                                 "v" + std::to_string(header.version) +
-                                     " reason=" + reason));
+  MEDVAULT_RETURN_IF_ERROR(PutRecordMetaLocked(meta));
+  MEDVAULT_RETURN_IF_ERROR(
+      AuditLocked(actor, AuditAction::kCorrect, record_id,
+                  "v" + std::to_string(header.version) +
+                      " reason=" + reason));
   MEDVAULT_RETURN_IF_ERROR(
       provenance_
           ->RecordEvent(record_id, CustodyEventType::kCorrected, actor,
@@ -435,15 +553,16 @@ Result<VersionHeader> Vault::CorrectRecord(
 
 Result<std::vector<RecordId>> Vault::SearchKeyword(const PrincipalId& actor,
                                                    const std::string& term) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kSearch, "", ""));
+  std::shared_lock lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAuditLocked(actor, Operation::kSearch, "", ""));
   MEDVAULT_ASSIGN_OR_RETURN(std::vector<RecordId> hits, index_->Search(term));
 
   // Minimum necessary: only return records the actor could read.
   std::vector<RecordId> visible;
   Timestamp now = Now();
   for (const RecordId& id : hits) {
-    auto meta = RequireLiveMeta(id);
+    auto meta = RequireLiveMetaLocked(id);
     if (!meta.ok()) continue;
     if (access_.CheckAccess(actor, Operation::kReadRecord,
                             meta->patient_id, now)
@@ -452,22 +571,23 @@ Result<std::vector<RecordId>> Vault::SearchKeyword(const PrincipalId& actor,
     }
   }
   MEDVAULT_RETURN_IF_ERROR(
-      Audit(actor, AuditAction::kSearch, "",
-            SearchAuditDetail(options_.entropy, term) + " hits=" +
-                std::to_string(visible.size())));
+      AuditLocked(actor, AuditAction::kSearch, "",
+                  SearchAuditDetail(options_.entropy, term) + " hits=" +
+                      std::to_string(visible.size())));
   return visible;
 }
 
 Result<std::vector<RecordId>> Vault::SearchKeywordsAll(
     const PrincipalId& actor, const std::vector<std::string>& terms) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kSearch, "", ""));
+  std::shared_lock lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(
+      CheckAndAuditLocked(actor, Operation::kSearch, "", ""));
   MEDVAULT_ASSIGN_OR_RETURN(std::vector<RecordId> hits,
                             index_->SearchAll(terms));
   std::vector<RecordId> visible;
   Timestamp now = Now();
   for (const RecordId& id : hits) {
-    auto meta = RequireLiveMeta(id);
+    auto meta = RequireLiveMetaLocked(id);
     if (!meta.ok()) continue;
     if (access_.CheckAccess(actor, Operation::kReadRecord,
                             meta->patient_id, now)
@@ -481,26 +601,26 @@ Result<std::vector<RecordId>> Vault::SearchKeywordsAll(
     blinds += SearchAuditDetail(options_.entropy, term);
   }
   MEDVAULT_RETURN_IF_ERROR(
-      Audit(actor, AuditAction::kSearch, "",
-            blinds + " hits=" + std::to_string(visible.size())));
+      AuditLocked(actor, AuditAction::kSearch, "",
+                  blinds + " hits=" + std::to_string(visible.size())));
   return visible;
 }
 
 Result<std::vector<VersionHeader>> Vault::RecordHistory(
     const PrincipalId& actor, const RecordId& record_id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
-  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kReadRecord,
-                                         record_id, meta.patient_id));
+  std::shared_lock lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                            RequireLiveMetaLocked(record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(actor, Operation::kReadRecord,
+                                               record_id, meta.patient_id));
   MEDVAULT_RETURN_IF_ERROR(
-      Audit(actor, AuditAction::kRead, record_id, "history"));
+      AuditLocked(actor, AuditAction::kRead, record_id, "history"));
   return versions_->History(record_id);
 }
 
-Result<DisposalCertificate> Vault::ExecuteDisposal(
+Result<DisposalCertificate> Vault::ExecuteDisposalLocked(
     const PrincipalId& actor, RecordMeta meta,
     const std::string& authorizers) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   const RecordId& record_id = meta.record_id;
   Timestamp now = Now();
   // Custody first: the disposal event becomes part of the chain the
@@ -514,40 +634,41 @@ Result<DisposalCertificate> Vault::ExecuteDisposal(
       DisposalCertificate cert,
       retention_.IssueCertificate(meta, authorizers, custody_head, now,
                                   signer_.get()));
-  MEDVAULT_RETURN_IF_ERROR(PersistSignerState());
+  MEDVAULT_RETURN_IF_ERROR(PersistSignerStateLocked());
 
   MEDVAULT_RETURN_IF_ERROR(keystore_->DestroyKey(record_id));
   meta.disposed = true;
-  MEDVAULT_RETURN_IF_ERROR(PutRecordMeta(meta));
+  MEDVAULT_RETURN_IF_ERROR(PutRecordMetaLocked(meta));
 
   MEDVAULT_RETURN_IF_ERROR(
-      Audit(actor, AuditAction::kDispose, record_id,
-            "by=" + authorizers + " cert=" +
-                HexEncode(Slice(
-                    crypto::Sha256Digest(cert.Encode()).data(), 8))));
+      AuditLocked(actor, AuditAction::kDispose, record_id,
+                  "by=" + authorizers + " cert=" +
+                      HexEncode(Slice(
+                          crypto::Sha256Digest(cert.Encode()).data(), 8))));
   return cert;
 }
 
 Result<DisposalCertificate> Vault::DisposeRecord(const PrincipalId& actor,
                                                  const RecordId& record_id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   if (options_.require_dual_disposal) {
     return Status::FailedPrecondition(
         "this vault requires two-person disposal: use RequestDisposal + "
         "ApproveDisposal");
   }
-  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
-  MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kDispose, record_id, meta.patient_id));
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                            RequireLiveMetaLocked(record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(actor, Operation::kDispose,
+                                               record_id, meta.patient_id));
   MEDVAULT_RETURN_IF_ERROR(retention_.CheckDisposalAllowed(meta, Now()));
-  return ExecuteDisposal(actor, std::move(meta), actor);
+  return ExecuteDisposalLocked(actor, std::move(meta), actor);
 }
 
 Result<std::vector<RecordMeta>> Vault::ListExpiredRecords(
     const PrincipalId& actor) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kReadAudit, "", ""));
+      CheckAndAuditLocked(actor, Operation::kReadAudit, "", ""));
   std::vector<RecordMeta> expired;
   Timestamp now = Now();
   for (const auto& [id, meta] : metas_) {
@@ -559,28 +680,29 @@ Result<std::vector<RecordMeta>> Vault::ListExpiredRecords(
 }
 
 Result<int> Vault::ReclaimDisposedMedia(const PrincipalId& actor) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kDispose, "", ""));
+      CheckAndAuditLocked(actor, Operation::kDispose, "", ""));
   std::vector<uint64_t> segments = versions_->FullyDisposedSegments();
   MEDVAULT_ASSIGN_OR_RETURN(int dropped,
                             versions_->ReclaimSegments(segments));
-  MEDVAULT_RETURN_IF_ERROR(Audit(actor, AuditAction::kDispose, "",
-                                 "media-reclaim segments=" +
-                                     std::to_string(dropped)));
+  MEDVAULT_RETURN_IF_ERROR(AuditLocked(actor, AuditAction::kDispose, "",
+                                       "media-reclaim segments=" +
+                                           std::to_string(dropped)));
   return dropped;
 }
 
 Status Vault::PlaceLegalHold(const PrincipalId& actor,
                              const RecordId& record_id,
                              const std::string& reason) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   if (reason.empty()) {
     return Status::InvalidArgument("legal holds require a reason");
   }
-  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
-  MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kDispose, record_id, meta.patient_id));
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                            RequireLiveMetaLocked(record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(actor, Operation::kDispose,
+                                               record_id, meta.patient_id));
   if (meta.disposed) {
     return Status::FailedPrecondition("record already disposed");
   }
@@ -588,61 +710,64 @@ Status Vault::PlaceLegalHold(const PrincipalId& actor,
     return Status::AlreadyExists("record already under legal hold");
   }
   meta.legal_hold = true;
-  MEDVAULT_RETURN_IF_ERROR(PutRecordMeta(meta));
-  return Audit(actor, AuditAction::kPolicyChange, record_id,
-               "legal-hold placed: " + reason);
+  MEDVAULT_RETURN_IF_ERROR(PutRecordMetaLocked(meta));
+  return AuditLocked(actor, AuditAction::kPolicyChange, record_id,
+                     "legal-hold placed: " + reason);
 }
 
 Status Vault::ReleaseLegalHold(const PrincipalId& actor,
                                const RecordId& record_id,
                                const std::string& reason) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   if (reason.empty()) {
     return Status::InvalidArgument("hold releases require a reason");
   }
-  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
-  MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kDispose, record_id, meta.patient_id));
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                            RequireLiveMetaLocked(record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(actor, Operation::kDispose,
+                                               record_id, meta.patient_id));
   if (!meta.legal_hold) {
     return Status::FailedPrecondition("record is not under legal hold");
   }
   meta.legal_hold = false;
-  MEDVAULT_RETURN_IF_ERROR(PutRecordMeta(meta));
-  return Audit(actor, AuditAction::kPolicyChange, record_id,
-               "legal-hold released: " + reason);
+  MEDVAULT_RETURN_IF_ERROR(PutRecordMetaLocked(meta));
+  return AuditLocked(actor, AuditAction::kPolicyChange, record_id,
+                     "legal-hold released: " + reason);
 }
 
 Result<std::string> Vault::RequestDisposal(const PrincipalId& actor,
                                            const RecordId& record_id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta, RequireLiveMeta(record_id));
-  MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kDispose, record_id, meta.patient_id));
+  std::unique_lock lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                            RequireLiveMetaLocked(record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(actor, Operation::kDispose,
+                                               record_id, meta.patient_id));
   MEDVAULT_RETURN_IF_ERROR(retention_.CheckDisposalAllowed(meta, Now()));
 
   std::string request_id = "dr-" + std::to_string(next_disposal_request_++);
   disposal_requests_[request_id] = DisposalRequest{record_id, actor};
-  MEDVAULT_RETURN_IF_ERROR(Audit(actor, AuditAction::kDispose, record_id,
-                                 "requested " + request_id));
+  MEDVAULT_RETURN_IF_ERROR(AuditLocked(actor, AuditAction::kDispose,
+                                       record_id,
+                                       "requested " + request_id));
   return request_id;
 }
 
 Result<DisposalCertificate> Vault::ApproveDisposal(
     const PrincipalId& actor, const std::string& request_id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   auto it = disposal_requests_.find(request_id);
   if (it == disposal_requests_.end()) {
     return Status::NotFound("no such disposal request");
   }
   const DisposalRequest request = it->second;
   MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
-                            RequireLiveMeta(request.record_id));
-  MEDVAULT_RETURN_IF_ERROR(CheckAndAudit(actor, Operation::kDispose,
-                                         request.record_id,
-                                         meta.patient_id));
+                            RequireLiveMetaLocked(request.record_id));
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(actor, Operation::kDispose,
+                                               request.record_id,
+                                               meta.patient_id));
   if (actor == request.requester) {
-    (void)Audit(actor, AuditAction::kAccessDenied, request.record_id,
-                "self-approval of " + request_id + " refused");
+    (void)AuditLocked(actor, AuditAction::kAccessDenied, request.record_id,
+                      "self-approval of " + request_id + " refused");
     return Status::PermissionDenied(
         "two-person disposal requires a different approving admin");
   }
@@ -650,39 +775,41 @@ Result<DisposalCertificate> Vault::ApproveDisposal(
   // cannot be approved into an early disposal.
   MEDVAULT_RETURN_IF_ERROR(retention_.CheckDisposalAllowed(meta, Now()));
   disposal_requests_.erase(it);
-  return ExecuteDisposal(actor, std::move(meta),
-                         request.requester + "+" + actor);
+  return ExecuteDisposalLocked(actor, std::move(meta),
+                               request.requester + "+" + actor);
 }
 
 // ---- Audit & custody -----------------------------------------------------
 
 Result<SignedCheckpoint> Vault::CheckpointAudit() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   MEDVAULT_ASSIGN_OR_RETURN(SignedCheckpoint c,
                             audit_->Checkpoint(signer_.get(), Now()));
-  MEDVAULT_RETURN_IF_ERROR(PersistSignerState());
+  MEDVAULT_RETURN_IF_ERROR(PersistSignerStateLocked());
   return c;
 }
 
 Status Vault::VerifyAudit() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Exclusive: VerifyAll re-reads the log file from disk, so in-flight
+  // appends (even from shared-lock read paths) must be excluded.
+  std::unique_lock lock(mu_);
   return audit_->VerifyAll(signer_->public_key(), signer_public_seed_,
                            options_.signer_height);
 }
 
 Status Vault::VerifyAuditAgainstTrusted(
     const SignedCheckpoint& trusted) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   return audit_->VerifyAgainstTrusted(trusted);
 }
 
 Result<std::vector<AuditEvent>> Vault::ReadAuditTrail(
     const PrincipalId& actor, const RecordId& record_id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kReadAudit, record_id, ""));
+      CheckAndAuditLocked(actor, Operation::kReadAudit, record_id, ""));
   std::vector<AuditEvent> out;
-  for (const AuditEvent& e : audit_->events()) {
+  for (const AuditEvent& e : audit_->SnapshotEvents()) {
     if (record_id.empty() || e.record_id == record_id) out.push_back(e);
   }
   return out;
@@ -690,23 +817,23 @@ Result<std::vector<AuditEvent>> Vault::ReadAuditTrail(
 
 Result<std::vector<CustodyEvent>> Vault::GetCustodyChain(
     const PrincipalId& actor, const RecordId& record_id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kReadAudit, record_id, ""));
+      CheckAndAuditLocked(actor, Operation::kReadAudit, record_id, ""));
   return provenance_->GetChain(record_id);
 }
 
 Result<std::vector<AuditEvent>> Vault::AccountingOfDisclosures(
     const PrincipalId& actor, const PrincipalId& patient_id) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   // Patients are entitled to their own accounting; otherwise this is an
   // audit-read operation.
   if (actor != patient_id) {
     MEDVAULT_RETURN_IF_ERROR(
-        CheckAndAudit(actor, Operation::kReadAudit, "", ""));
+        CheckAndAuditLocked(actor, Operation::kReadAudit, "", ""));
   }
   std::vector<AuditEvent> out;
-  for (const AuditEvent& e : audit_->events()) {
+  for (const AuditEvent& e : audit_->SnapshotEvents()) {
     switch (e.action) {
       case AuditAction::kRead: {
         auto it = metas_.find(e.record_id);
@@ -724,19 +851,19 @@ Result<std::vector<AuditEvent>> Vault::AccountingOfDisclosures(
         break;
     }
   }
-  MEDVAULT_RETURN_IF_ERROR(Audit(actor, AuditAction::kSearch, "",
-                                 "accounting-of-disclosures events=" +
-                                     std::to_string(out.size())));
+  MEDVAULT_RETURN_IF_ERROR(AuditLocked(actor, AuditAction::kSearch, "",
+                                       "accounting-of-disclosures events=" +
+                                           std::to_string(out.size())));
   return out;
 }
 
 Result<std::vector<AuditEvent>> Vault::ListBreakGlassEvents(
     const PrincipalId& actor) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kReadAudit, "", ""));
+      CheckAndAuditLocked(actor, Operation::kReadAudit, "", ""));
   std::vector<AuditEvent> out;
-  for (const AuditEvent& e : audit_->events()) {
+  for (const AuditEvent& e : audit_->SnapshotEvents()) {
     if (e.action == AuditAction::kBreakGlass) out.push_back(e);
   }
   return out;
@@ -745,20 +872,21 @@ Result<std::vector<AuditEvent>> Vault::ListBreakGlassEvents(
 // ---- Verification ---------------------------------------------------------
 
 Status Vault::VerifyRecord(const RecordId& record_id) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   return versions_->VerifyRecord(record_id);
 }
 
 Status Vault::VerifyEverything() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(versions_->VerifyAllRecords());
-  MEDVAULT_RETURN_IF_ERROR(VerifyAudit());
+  MEDVAULT_RETURN_IF_ERROR(audit_->VerifyAll(
+      signer_->public_key(), signer_public_seed_, options_.signer_height));
   MEDVAULT_RETURN_IF_ERROR(index_->VerifyIntegrity());
   return provenance_->VerifyAllChains();
 }
 
 std::string Vault::ContentRoot() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   crypto::MerkleTree tree;
   for (const std::string& hash : versions_->AllVersionHashes()) {
     tree.Append(hash);
@@ -767,12 +895,12 @@ std::string Vault::ContentRoot() const {
 }
 
 Result<RecordMeta> Vault::GetRecordMeta(const RecordId& record_id) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  return RequireLiveMeta(record_id);
+  std::shared_lock lock(mu_);
+  return RequireLiveMetaLocked(record_id);
 }
 
 std::vector<RecordId> Vault::ListRecordIds() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::shared_lock lock(mu_);
   std::vector<RecordId> ids;
   ids.reserve(metas_.size());
   for (const auto& [id, meta] : metas_) ids.push_back(id);
@@ -781,15 +909,16 @@ std::vector<RecordId> Vault::ListRecordIds() const {
 
 Status Vault::RotateMasterKey(const PrincipalId& actor,
                               const Slice& new_master_key) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::unique_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(
-      CheckAndAudit(actor, Operation::kManagePrincipals, "", ""));
+      CheckAndAuditLocked(actor, Operation::kManagePrincipals, "", ""));
   if (new_master_key.size() != crypto::kAes256KeySize) {
     return Status::InvalidArgument("master key must be 32 bytes");
   }
   MEDVAULT_RETURN_IF_ERROR(keystore_->RotateMasterKey(new_master_key));
   options_.master_key = new_master_key.ToString();
-  return Audit(actor, AuditAction::kKeyRotation, "", "master-key rotated");
+  return AuditLocked(actor, AuditAction::kKeyRotation, "",
+                     "master-key rotated");
 }
 
 }  // namespace medvault::core

@@ -1,8 +1,9 @@
 #ifndef MEDVAULT_CORE_VAULT_H_
 #define MEDVAULT_CORE_VAULT_H_
 
+#include <map>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -54,11 +55,26 @@ struct VaultOptions {
 /// Every public operation is access-checked first and audited always —
 /// including denials.
 ///
-/// Thread safety: all public Vault methods are serialized by one
-/// coarse recursive lock — safe for concurrent callers, not a
-/// scalability feature. Migrator and BackupManager coordinate two
-/// vaults and additionally touch components directly; run them without
-/// concurrent mutations on the involved vaults.
+/// Thread safety: public Vault methods are guarded by one
+/// `std::shared_mutex`. Read-only operations (ReadRecord, Search*,
+/// RecordHistory, audit-trail reads, Verify* of in-memory state, meta
+/// introspection) take a shared lock and run in parallel; mutations
+/// (record creation/correction, disposal, principal/care changes,
+/// break-glass, key rotation, checkpointing, VerifyAudit — which
+/// re-reads the log file and must exclude in-flight appends) take an
+/// exclusive lock. Read paths still append their mandatory audit
+/// entries: AuditLog serializes those on its own internal mutex, so
+/// audited reads do not force exclusive vault locking.
+///
+/// Lock order: vault lock (shared or exclusive) first, then the
+/// AuditLog internal mutex. No AuditLog method calls back into Vault,
+/// so the order cannot invert. The lock is NOT recursive: private
+/// *Locked helpers assume the vault lock is already held and never
+/// re-acquire it.
+///
+/// Migrator and BackupManager coordinate two vaults and additionally
+/// touch components directly; run them without concurrent mutations on
+/// the involved vaults.
 class Vault {
  public:
   static Result<std::unique_ptr<Vault>> Open(const VaultOptions& options);
@@ -93,6 +109,26 @@ class Vault {
                                 const Slice& plaintext,
                                 const std::vector<std::string>& keywords,
                                 const std::string& retention_policy);
+
+  /// One record of a batched ingest (see CreateRecordsBatch).
+  struct NewRecord {
+    PrincipalId patient_id;
+    std::string content_type;
+    std::string plaintext;
+    std::vector<std::string> keywords;
+    std::string retention_policy;
+  };
+
+  /// Bulk ingest fast path: creates all records under one exclusive
+  /// lock with the per-record bookkeeping coalesced — one state-log
+  /// flush for all metas, grouped index-posting appends, and a single
+  /// batched audit append — instead of one of each per record.
+  /// Validation (access, retention policies) runs for the whole batch
+  /// before any record is created; afterwards a failure mid-batch
+  /// returns the error and earlier records of the batch remain created
+  /// (same durability model as calling CreateRecord in a loop).
+  Result<std::vector<RecordId>> CreateRecordsBatch(
+      const PrincipalId& actor, const std::vector<NewRecord>& batch);
 
   /// Reads the latest version (or a specific one).
   Result<RecordVersion> ReadRecord(const PrincipalId& actor,
@@ -246,21 +282,35 @@ class Vault {
 
   Status Init();
   Status LoadState();
-  Status AppendStateEntry(uint8_t kind, const Slice& payload);
-  Status PersistSignerState();
-  Result<RecordMeta> RequireLiveMeta(const RecordId& record_id) const;
-  Status CheckAndAudit(const PrincipalId& actor, Operation op,
-                       const RecordId& record_id,
-                       const PrincipalId& patient_id);
+
+  // *Locked helpers require mu_ held by the caller: exclusive for
+  // anything that writes vault state, shared-or-exclusive for the
+  // audit/check helpers (AuditLog has its own internal mutex).
+  Status AppendStateEntryLocked(uint8_t kind, const Slice& payload);
+  /// Appends several pre-framed state records (kind byte already
+  /// prepended) as one buffered log write. Requires exclusive mu_.
+  Status AppendStateEntriesLocked(const std::vector<std::string>& records);
+  Status PersistSignerStateLocked();
+  Result<RecordMeta> RequireLiveMetaLocked(const RecordId& record_id) const;
+  Status AuditLocked(const PrincipalId& actor, AuditAction action,
+                     const RecordId& record_id,
+                     const std::string& details) const;
+  Status CheckAndAuditLocked(const PrincipalId& actor, Operation op,
+                             const RecordId& record_id,
+                             const PrincipalId& patient_id) const;
+  /// Registers `meta` in memory and appends it to the state log.
+  /// Requires exclusive mu_.
+  Status PutRecordMetaLocked(const RecordMeta& meta);
   /// Shared disposal tail: custody event, certificate, key destruction,
-  /// meta flip, audit entry. `authorizers` is "a" or "a+b".
-  Result<DisposalCertificate> ExecuteDisposal(const PrincipalId& actor,
-                                              RecordMeta meta,
-                                              const std::string& authorizers);
+  /// meta flip, audit entry. `authorizers` is "a" or "a+b". Requires
+  /// exclusive mu_.
+  Result<DisposalCertificate> ExecuteDisposalLocked(
+      const PrincipalId& actor, RecordMeta meta,
+      const std::string& authorizers);
 
   VaultOptions options_;
   std::string signer_public_seed_;
-  mutable std::recursive_mutex mu_;
+  mutable std::shared_mutex mu_;
 
   AccessController access_;
   RetentionManager retention_;

@@ -15,9 +15,12 @@ constexpr size_t kAesBlockSize = 16;
 constexpr size_t kAes128KeySize = 16;
 constexpr size_t kAes256KeySize = 32;
 
-/// AES-128/256 block cipher (FIPS 197), table-free byte-oriented
-/// implementation built from scratch. This class is the raw primitive;
-/// use AesCtr / Aead for actual data, never ECB-style direct block calls.
+/// AES-128/256 block cipher (FIPS 197) built from scratch. The round
+/// transform is dispatched once per process: AES-NI kernels on x86-64
+/// CPUs that support them, otherwise the table-free byte-oriented
+/// scalar implementation (MEDVAULT_FORCE_SCALAR pins the fallback).
+/// This class is the raw primitive; use AesCtr / Aead for actual data,
+/// never ECB-style direct block calls.
 class Aes {
  public:
   Aes() = default;
@@ -32,6 +35,12 @@ class Aes {
 
   /// Encrypts exactly one 16-byte block, in != out allowed to alias.
   void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  /// Encrypts `nblocks` consecutive 16-byte blocks (ECB over the span;
+  /// callers supply unique blocks, e.g. CTR counter runs). The AES-NI
+  /// kernel pipelines four blocks at a time, which is where the CTR /
+  /// AEAD throughput comes from.
+  void EncryptBlocks(const uint8_t* in, uint8_t* out, size_t nblocks) const;
 
   /// Decrypts exactly one 16-byte block.
   void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;

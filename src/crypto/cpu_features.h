@@ -1,0 +1,25 @@
+#ifndef MEDVAULT_CRYPTO_CPU_FEATURES_H_
+#define MEDVAULT_CRYPTO_CPU_FEATURES_H_
+
+namespace medvault::crypto {
+
+/// Instruction-set extensions relevant to the crypto hot path, probed
+/// once at startup (CPUID on x86-64, getauxval on ARM/AArch64).
+struct CpuFeatures {
+  bool ssse3 = false;
+  bool sse41 = false;
+  bool aes_ni = false;   ///< x86 AES-NI or ARMv8 AES
+  bool sha_ni = false;   ///< x86 SHA extensions or ARMv8 SHA-2
+};
+
+/// Cached runtime detection result.
+const CpuFeatures& GetCpuFeatures();
+
+/// True when the MEDVAULT_FORCE_SCALAR environment variable is set to a
+/// non-empty value other than "0" — pins every primitive to the scalar
+/// fallback for differential testing. Read once at first use.
+bool ForceScalarCrypto();
+
+}  // namespace medvault::crypto
+
+#endif  // MEDVAULT_CRYPTO_CPU_FEATURES_H_

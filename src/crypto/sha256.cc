@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "crypto/cpu_features.h"
+#include "crypto/sha256_kernels.h"
+
 namespace medvault::crypto {
 
 namespace {
@@ -21,7 +24,101 @@ constexpr uint32_t kK[64] = {
 
 inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+inline uint32_t LoadBe32(const uint8_t* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  return v;
+#else
+  return __builtin_bswap32(v);
+#endif
+}
+
 }  // namespace
+
+namespace internal {
+
+void Sha256BlocksScalar(uint32_t state[8], const uint8_t* blocks,
+                        size_t nblocks) {
+  uint32_t w[64];
+  while (nblocks > 0) {
+    // Message schedule: whole-word loads + byte swap instead of four
+    // per-byte shifts per word.
+    for (int i = 0; i < 16; i++) w[i] = LoadBe32(blocks + i * 4);
+    for (int i = 16; i < 64; i++) {
+      uint32_t s0 =
+          Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      uint32_t s1 =
+          Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    // One round, written so eight rounds unroll without the h..a
+    // register rotation (each invocation permutes the names instead).
+#define MEDVAULT_SHA256_ROUND(a, b, c, d, e, f, g, h, i)                 \
+  do {                                                                   \
+    uint32_t t1 = (h) + (Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25)) +       \
+                  (((e) & (f)) ^ (~(e) & (g))) + kK[i] + w[i];           \
+    uint32_t t2 = (Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22)) +             \
+                  (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));             \
+    (d) += t1;                                                           \
+    (h) = t1 + t2;                                                       \
+  } while (0)
+
+    for (int i = 0; i < 64; i += 8) {
+      MEDVAULT_SHA256_ROUND(a, b, c, d, e, f, g, h, i + 0);
+      MEDVAULT_SHA256_ROUND(h, a, b, c, d, e, f, g, i + 1);
+      MEDVAULT_SHA256_ROUND(g, h, a, b, c, d, e, f, i + 2);
+      MEDVAULT_SHA256_ROUND(f, g, h, a, b, c, d, e, i + 3);
+      MEDVAULT_SHA256_ROUND(e, f, g, h, a, b, c, d, i + 4);
+      MEDVAULT_SHA256_ROUND(d, e, f, g, h, a, b, c, i + 5);
+      MEDVAULT_SHA256_ROUND(c, d, e, f, g, h, a, b, i + 6);
+      MEDVAULT_SHA256_ROUND(b, c, d, e, f, g, h, a, i + 7);
+    }
+#undef MEDVAULT_SHA256_ROUND
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+    blocks += 64;
+    nblocks--;
+  }
+}
+
+namespace {
+
+Sha256BlockFn ResolveSha256Kernel() {
+  if (!ForceScalarCrypto()) {
+#if defined(__x86_64__) && defined(MEDVAULT_HAVE_SHA_NI)
+    const CpuFeatures& f = GetCpuFeatures();
+    if (f.sha_ni && f.ssse3 && f.sse41) return &Sha256BlocksShaNi;
+#endif
+  }
+  return &Sha256BlocksScalar;
+}
+
+}  // namespace
+
+Sha256BlockFn ActiveSha256Kernel() {
+  // Function-local static: resolved once, safe across translation-unit
+  // initialization order and threads.
+  static const Sha256BlockFn fn = ResolveSha256Kernel();
+  return fn;
+}
+
+bool Sha256Accelerated() {
+  return ActiveSha256Kernel() != &Sha256BlocksScalar;
+}
+
+}  // namespace internal
 
 void Sha256::Reset() {
   state_[0] = 0x6a09e667;
@@ -36,54 +133,12 @@ void Sha256::Reset() {
   buffer_len_ = 0;
 }
 
-void Sha256::ProcessBlock(const uint8_t* block) {
-  uint32_t w[64];
-  for (int i = 0; i < 16; i++) {
-    w[i] = (static_cast<uint32_t>(block[i * 4]) << 24) |
-           (static_cast<uint32_t>(block[i * 4 + 1]) << 16) |
-           (static_cast<uint32_t>(block[i * 4 + 2]) << 8) |
-           (static_cast<uint32_t>(block[i * 4 + 3]));
-  }
-  for (int i = 16; i < 64; i++) {
-    uint32_t s0 = Rotr(w[i - 15], 7) ^ Rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    uint32_t s1 = Rotr(w[i - 2], 17) ^ Rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; i++) {
-    uint32_t s1 = Rotr(e, 6) ^ Rotr(e, 11) ^ Rotr(e, 25);
-    uint32_t ch = (e & f) ^ (~e & g);
-    uint32_t temp1 = h + s1 + ch + kK[i] + w[i];
-    uint32_t s0 = Rotr(a, 2) ^ Rotr(a, 13) ^ Rotr(a, 22);
-    uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    uint32_t temp2 = s0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
-}
-
 void Sha256::Update(const Slice& data) {
   const auto* p = reinterpret_cast<const uint8_t*>(data.data());
   size_t n = data.size();
+  if (n == 0) return;
   total_len_ += n;
+  const internal::Sha256BlockFn process = internal::ActiveSha256Kernel();
 
   if (buffer_len_ > 0) {
     size_t take = 64 - buffer_len_;
@@ -93,14 +148,17 @@ void Sha256::Update(const Slice& data) {
     p += take;
     n -= take;
     if (buffer_len_ == 64) {
-      ProcessBlock(buffer_);
+      process(state_, buffer_, 1);
       buffer_len_ = 0;
     }
   }
-  while (n >= 64) {
-    ProcessBlock(p);
-    p += 64;
-    n -= 64;
+  if (n >= 64) {
+    // All whole blocks in one kernel call: hardware kernels amortize
+    // their state load/store across the run.
+    const size_t whole = n / 64;
+    process(state_, p, whole);
+    p += whole * 64;
+    n -= whole * 64;
   }
   if (n > 0) {
     memcpy(buffer_, p, n);

@@ -19,6 +19,11 @@ constexpr size_t kDigestSize = 32;
 ///   std::string digest = h.Finish();   // 32 raw bytes
 ///
 /// Finish() may be called once; the object is then exhausted.
+///
+/// The block compression is dispatched once per process: a SHA-NI
+/// kernel on x86-64 CPUs that support it, otherwise a word-aligned
+/// scalar fallback (see crypto/sha256_kernels.h). Set the
+/// MEDVAULT_FORCE_SCALAR environment variable to pin the fallback.
 class Sha256 {
  public:
   Sha256() { Reset(); }
@@ -36,8 +41,6 @@ class Sha256 {
   std::string Finish();
 
  private:
-  void ProcessBlock(const uint8_t* block);
-
   uint32_t state_[8];
   uint64_t total_len_;
   uint8_t buffer_[64];

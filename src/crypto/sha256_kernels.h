@@ -1,0 +1,37 @@
+#ifndef MEDVAULT_CRYPTO_SHA256_KERNELS_H_
+#define MEDVAULT_CRYPTO_SHA256_KERNELS_H_
+
+// Internal SHA-256 compression kernels behind the dispatched public
+// Sha256 class. Exposed so the differential tests and benches can pin a
+// specific implementation; application code should use crypto/sha256.h.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace medvault::crypto::internal {
+
+/// Compresses `nblocks` consecutive 64-byte blocks into `state`.
+using Sha256BlockFn = void (*)(uint32_t state[8], const uint8_t* blocks,
+                               size_t nblocks);
+
+/// Portable fallback: word-aligned loads (memcpy + bswap), unrolled
+/// rounds. Correct on every target.
+void Sha256BlocksScalar(uint32_t state[8], const uint8_t* blocks,
+                        size_t nblocks);
+
+#if defined(__x86_64__) && defined(MEDVAULT_HAVE_SHA_NI)
+/// SHA-NI kernel (requires SHA + SSSE3 + SSE4.1 at runtime).
+void Sha256BlocksShaNi(uint32_t state[8], const uint8_t* blocks,
+                       size_t nblocks);
+#endif
+
+/// The kernel the process-wide dispatch selected (honors
+/// MEDVAULT_FORCE_SCALAR and CPU detection).
+Sha256BlockFn ActiveSha256Kernel();
+
+/// True when ActiveSha256Kernel() is a hardware-accelerated kernel.
+bool Sha256Accelerated();
+
+}  // namespace medvault::crypto::internal
+
+#endif  // MEDVAULT_CRYPTO_SHA256_KERNELS_H_

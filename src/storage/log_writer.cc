@@ -10,24 +10,23 @@ Writer::Writer(std::unique_ptr<WritableFile> dest, uint64_t initial_offset)
       block_offset_(static_cast<int>(initial_offset % kBlockSize)),
       file_offset_(initial_offset) {}
 
-Status Writer::AddRecord(const Slice& payload) {
+void Writer::FrameRecord(const Slice& payload, std::string* out,
+                         int* block_offset) {
   const char* ptr = payload.data();
   size_t left = payload.size();
 
   bool begin = true;
   do {
-    const int leftover = kBlockSize - block_offset_;
+    const int leftover = kBlockSize - *block_offset;
     if (leftover < kHeaderSize) {
       if (leftover > 0) {
         // Fill trailer with zeros.
-        static const char kZeros[kHeaderSize] = {0};
-        MEDVAULT_RETURN_IF_ERROR(dest_->Append(Slice(kZeros, leftover)));
-        file_offset_ += leftover;
+        out->append(static_cast<size_t>(leftover), '\0');
       }
-      block_offset_ = 0;
+      *block_offset = 0;
     }
 
-    const size_t avail = kBlockSize - block_offset_ - kHeaderSize;
+    const size_t avail = kBlockSize - *block_offset - kHeaderSize;
     const size_t fragment_length = (left < avail) ? left : avail;
 
     RecordType type;
@@ -42,30 +41,48 @@ Status Writer::AddRecord(const Slice& payload) {
       type = RecordType::kMiddle;
     }
 
-    MEDVAULT_RETURN_IF_ERROR(EmitPhysicalRecord(type, ptr, fragment_length));
+    char header[kHeaderSize];
+    header[4] = static_cast<char>(fragment_length & 0xff);
+    header[5] = static_cast<char>(fragment_length >> 8);
+    header[6] = static_cast<char>(type);
+
+    // CRC over type byte + payload.
+    uint32_t crc = crc32c::Value(&header[6], 1);
+    crc = crc32c::Extend(crc, ptr, fragment_length);
+    EncodeFixed32(header, crc32c::Mask(crc));
+
+    out->append(header, kHeaderSize);
+    out->append(ptr, fragment_length);
+    *block_offset += kHeaderSize + static_cast<int>(fragment_length);
+
     ptr += fragment_length;
     left -= fragment_length;
     begin = false;
   } while (left > 0);
-  return Status::OK();
 }
 
-Status Writer::EmitPhysicalRecord(RecordType type, const char* ptr,
-                                  size_t length) {
-  char header[kHeaderSize];
-  header[4] = static_cast<char>(length & 0xff);
-  header[5] = static_cast<char>(length >> 8);
-  header[6] = static_cast<char>(type);
+Status Writer::AddRecord(const Slice& payload) {
+  return AddRecords(&payload, 1);
+}
 
-  // CRC over type byte + payload.
-  uint32_t crc = crc32c::Value(&header[6], 1);
-  crc = crc32c::Extend(crc, ptr, length);
-  EncodeFixed32(header, crc32c::Mask(crc));
+Status Writer::AddRecords(const Slice* payloads, size_t n) {
+  std::string buf;
+  // Typical case: everything fits in the current block, so framing adds
+  // exactly one header per record.
+  size_t expect = 0;
+  for (size_t i = 0; i < n; ++i) expect += payloads[i].size() + kHeaderSize;
+  buf.reserve(expect);
 
-  MEDVAULT_RETURN_IF_ERROR(dest_->Append(Slice(header, kHeaderSize)));
-  MEDVAULT_RETURN_IF_ERROR(dest_->Append(Slice(ptr, length)));
-  block_offset_ += kHeaderSize + static_cast<int>(length);
-  file_offset_ += kHeaderSize + length;
+  int block_offset = block_offset_;
+  for (size_t i = 0; i < n; ++i) {
+    FrameRecord(payloads[i], &buf, &block_offset);
+  }
+
+  // Single buffered write: offsets only advance if the append succeeds,
+  // matching the old per-fragment failure behavior at record granularity.
+  MEDVAULT_RETURN_IF_ERROR(dest_->Append(Slice(buf)));
+  block_offset_ = block_offset;
+  file_offset_ += buf.size();
   return Status::OK();
 }
 

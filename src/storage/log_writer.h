@@ -2,6 +2,7 @@
 #define MEDVAULT_STORAGE_LOG_WRITER_H_
 
 #include <memory>
+#include <string>
 
 #include "common/slice.h"
 #include "common/status.h"
@@ -24,6 +25,11 @@ class Writer {
 
   Status AddRecord(const Slice& payload);
 
+  /// Appends `n` logical records with their framing coalesced into a
+  /// single buffered file Append — the batched-ingest fast path (one
+  /// syscall/copy per batch instead of two per fragment).
+  Status AddRecords(const Slice* payloads, size_t n);
+
   Status Flush() { return dest_->Flush(); }
   Status Sync() { return dest_->Sync(); }
   Status Close() { return dest_->Close(); }
@@ -32,7 +38,10 @@ class Writer {
   uint64_t FileOffset() const { return file_offset_; }
 
  private:
-  Status EmitPhysicalRecord(RecordType type, const char* ptr, size_t length);
+  /// Frames one logical record into `out`, tracking the block position
+  /// in `block_offset` (same fragmenting rules as the incremental path).
+  static void FrameRecord(const Slice& payload, std::string* out,
+                          int* block_offset);
 
   std::unique_ptr<WritableFile> dest_;
   int block_offset_;  // current offset within the block

@@ -105,8 +105,14 @@ Result<EntryHandle> SegmentStore::Append(const Slice& payload) {
   handle.offset = active_offset_;
   handle.length = static_cast<uint32_t>(payload.size());
 
-  MEDVAULT_RETURN_IF_ERROR(active_file_->Append(Slice(header, sizeof(header))));
-  MEDVAULT_RETURN_IF_ERROR(active_file_->Append(payload));
+  // One Append for header + payload: a failed write must not leave a
+  // partial frame behind, or active_offset_ desyncs from the file and
+  // every later handle in this segment points at the wrong bytes.
+  std::string frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  frame.append(header, sizeof(header));
+  frame.append(payload.data(), payload.size());
+  MEDVAULT_RETURN_IF_ERROR(active_file_->Append(Slice(frame)));
   if (options_.sync_on_append) {
     MEDVAULT_RETURN_IF_ERROR(active_file_->Sync());
   }

@@ -562,5 +562,58 @@ TEST_F(VaultTest, PlaintextNeverOnDisk) {
   }
 }
 
+TEST_F(VaultTest, CreateRecordsBatchBehavesLikeLoopedCreates) {
+  RegisterCast();
+  std::vector<Vault::NewRecord> batch;
+  for (int i = 0; i < 5; i++) {
+    Vault::NewRecord r;
+    r.patient_id = "pat-p";
+    r.content_type = "text/plain";
+    r.plaintext = "batch note " + std::to_string(i);
+    r.keywords = {"batched", "note-" + std::to_string(i)};
+    r.retention_policy = "short-1y";
+    batch.push_back(std::move(r));
+  }
+  auto ids = vault_->CreateRecordsBatch("dr-a", batch);
+  ASSERT_TRUE(ids.ok()) << ids.status().ToString();
+  ASSERT_EQ(ids->size(), 5u);
+
+  // Each record readable with its own plaintext, searchable, audited.
+  for (int i = 0; i < 5; i++) {
+    auto read = vault_->ReadRecord("dr-a", (*ids)[i]);
+    ASSERT_TRUE(read.ok()) << read.status().ToString();
+    EXPECT_EQ(read->plaintext, "batch note " + std::to_string(i));
+  }
+  auto hits = vault_->SearchKeyword("dr-a", "batched");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 5u);
+  auto trail = vault_->ReadAuditTrail("aud-x", "");
+  ASSERT_TRUE(trail.ok());
+  int creates = 0;
+  for (const AuditEvent& e : *trail) {
+    if (e.action == AuditAction::kCreate) creates++;
+  }
+  EXPECT_EQ(creates, 5);
+  EXPECT_TRUE(vault_->VerifyEverything().ok());
+}
+
+TEST_F(VaultTest, CreateRecordsBatchValidatesWholeBatchFirst) {
+  RegisterCast();
+  Vault::NewRecord good;
+  good.patient_id = "pat-p";
+  good.content_type = "text/plain";
+  good.plaintext = "fine";
+  good.retention_policy = "short-1y";
+  Vault::NewRecord bad = good;
+  bad.retention_policy = "no-such-policy";
+
+  // The bad entry is last, but nothing from the batch may be created.
+  size_t before = vault_->ListRecordIds().size();
+  auto rejected = vault_->CreateRecordsBatch("dr-a", {good, good, bad});
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(vault_->ListRecordIds().size(), before);
+  EXPECT_TRUE(vault_->VerifyEverything().ok());
+}
+
 }  // namespace
 }  // namespace medvault::core
