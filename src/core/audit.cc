@@ -4,6 +4,7 @@
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "storage/log_reader.h"
+#include "storage/log_recover.h"
 
 namespace medvault::core {
 
@@ -30,6 +31,7 @@ const char* AuditActionName(AuditAction action) {
     case AuditAction::kKeyRotation: return "key-rotation";
     case AuditAction::kCustodyTransfer: return "custody-transfer";
     case AuditAction::kPolicyChange: return "policy-change";
+    case AuditAction::kRecovery: return "recovery";
   }
   return "unknown";
 }
@@ -99,45 +101,44 @@ AuditLog::AuditLog(storage::Env* env, std::string path)
     : env_(env), path_(std::move(path)) {}
 
 Status AuditLog::Open() {
-  uint64_t existing_size = 0;
-  if (env_->FileExists(path_)) {
-    MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(path_, &existing_size));
-    std::unique_ptr<storage::SequentialFile> src;
-    MEDVAULT_RETURN_IF_ERROR(env_->NewSequentialFile(path_, &src));
-    storage::log::Reader reader(std::move(src));
-    std::string record;
-    while (reader.ReadRecord(&record)) {
-      if (record.empty()) return Status::Corruption("empty audit record");
-      uint8_t kind = static_cast<uint8_t>(record[0]);
-      Slice payload(record.data() + 1, record.size() - 1);
-      if (kind == kRecordEvent) {
-        MEDVAULT_ASSIGN_OR_RETURN(AuditEvent e, AuditEvent::Decode(payload));
-        if (e.seq != events_.size()) {
-          return Status::TamperDetected("audit sequence discontinuity");
+  storage::log::LogOpenResult res;
+  MEDVAULT_RETURN_IF_ERROR(storage::log::OpenLogForAppend(
+      env_, path_,
+      [this](const Slice& rec) -> Status {
+        if (rec.empty()) return Status::Corruption("empty audit record");
+        uint8_t kind = static_cast<uint8_t>(rec[0]);
+        Slice payload(rec.data() + 1, rec.size() - 1);
+        if (kind == kRecordEvent) {
+          MEDVAULT_ASSIGN_OR_RETURN(AuditEvent e,
+                                    AuditEvent::Decode(payload));
+          if (e.seq != events_.size()) {
+            return Status::TamperDetected("audit sequence discontinuity");
+          }
+          if (e.prev_hash != last_hash_) {
+            return Status::TamperDetected("audit hash chain broken");
+          }
+          last_hash_ = crypto::Sha256Digest(payload);
+          tree_.AppendLeafHash(crypto::MerkleTree::HashLeaf(payload));
+          events_.push_back(std::move(e));
+        } else if (kind == kRecordCheckpoint) {
+          MEDVAULT_ASSIGN_OR_RETURN(SignedCheckpoint c,
+                                    SignedCheckpoint::Decode(payload));
+          checkpoints_.push_back(std::move(c));
+        } else {
+          return Status::Corruption("unknown audit record kind");
         }
-        if (e.prev_hash != last_hash_) {
-          return Status::TamperDetected("audit hash chain broken");
-        }
-        last_hash_ = crypto::Sha256Digest(payload);
-        tree_.AppendLeafHash(crypto::MerkleTree::HashLeaf(payload));
-        events_.push_back(std::move(e));
-      } else if (kind == kRecordCheckpoint) {
-        MEDVAULT_ASSIGN_OR_RETURN(SignedCheckpoint c,
-                                  SignedCheckpoint::Decode(payload));
-        checkpoints_.push_back(std::move(c));
-      } else {
-        return Status::Corruption("unknown audit record kind");
-      }
-    }
-    MEDVAULT_RETURN_IF_ERROR(reader.status());
-  }
-
-  std::unique_ptr<storage::WritableFile> dest;
-  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &dest));
-  writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
-                                                   existing_size);
+        return Status::OK();
+      },
+      &res));
+  writer_ = std::move(res.writer);
   open_ = true;
   return Status::OK();
+}
+
+Status AuditLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return Status::FailedPrecondition("audit log not open");
+  return writer_->Sync();
 }
 
 Result<uint64_t> AuditLog::AppendEventLocked(AuditEvent event) {

@@ -35,6 +35,7 @@ enum class AuditAction : uint8_t {
   kKeyRotation = 12,
   kCustodyTransfer = 13,
   kPolicyChange = 14,
+  kRecovery = 15,  ///< crash recovery reconciled partial state
 };
 
 const char* AuditActionName(AuditAction action);
@@ -108,7 +109,12 @@ class AuditLog {
   AuditLog& operator=(const AuditLog&) = delete;
 
   /// Replays an existing log (verifying the chain) or starts fresh.
+  /// After an unclean shutdown a torn final record is cut off; damage
+  /// anywhere else in the file still fails the open (tamper evidence).
   Status Open();
+
+  /// Durability barrier on the audit log.
+  Status Sync();
 
   /// Appends an event; fills seq/prev_hash. Returns the sequence number.
   Result<uint64_t> Append(const PrincipalId& actor, AuditAction action,

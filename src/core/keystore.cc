@@ -3,10 +3,13 @@
 #include <algorithm>
 
 #include "common/coding.h"
+#include "common/crc32c.h"
 #include "crypto/ctr.h"
 #include "crypto/hkdf.h"
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "storage/log_format.h"
+#include "storage/log_recover.h"
 
 namespace medvault::core {
 
@@ -15,6 +18,35 @@ namespace {
 /// Key-log entry kinds.
 constexpr uint8_t kEntryLive = 1;
 constexpr uint8_t kEntryDestroyed = 2;
+
+/// First logical record of a v2 (CRC-framed) key log.
+constexpr char kKeyLogMagicV2[] = "medvault-keylog-v2";
+
+/// The exact on-disk bytes of the magic record: a kFull physical record
+/// at block offset 0. Version detection compares the file's prefix
+/// against this, so even a file holding only a torn fragment of the
+/// magic record is recognized as v2 (and recovered to an empty log)
+/// instead of being misparsed as v1.
+std::string CanonicalMagicRecord() {
+  const Slice payload(kKeyLogMagicV2);
+  std::string rec(storage::log::kHeaderSize, '\0');
+  const char type =
+      static_cast<char>(storage::log::RecordType::kFull);
+  uint32_t crc = crc32c::Value(Slice(&type, 1));
+  crc = crc32c::Extend(crc, payload.data(), payload.size());
+  EncodeFixed32(rec.data(), crc32c::Mask(crc));
+  rec[4] = static_cast<char>(payload.size() & 0xff);
+  rec[5] = static_cast<char>((payload.size() >> 8) & 0xff);
+  rec[6] = type;
+  rec.append(payload.data(), payload.size());
+  return rec;
+}
+
+bool LooksLikeV2(const std::string& contents) {
+  const std::string magic = CanonicalMagicRecord();
+  const size_t n = std::min(contents.size(), magic.size());
+  return contents.compare(0, n, magic, 0, n) == 0;
+}
 
 /// Deterministic public wrap nonce, unique per record id. Reopening the
 /// keystore (which reseeds the DRBG) must never reuse a (key, nonce)
@@ -49,54 +81,122 @@ Status KeyStore::InitAead(const Slice& master_key) {
   return master_aead_.Init(master_key);
 }
 
+Status KeyStore::ApplyParsedEntry(uint8_t kind, const std::string& record_id,
+                                  const std::string& blob) {
+  if (kind == kEntryLive) {
+    MEDVAULT_ASSIGN_OR_RETURN(std::string key,
+                              master_aead_.Open(blob, record_id));
+    KeyState state;
+    state.data_key = std::move(key);
+    std::string ref =
+        crypto::HmacSha256(state.data_key, "medvault-key-ref");
+    key_refs_[ref] = record_id;
+    keys_[record_id] = std::move(state);
+  } else if (kind == kEntryDestroyed) {
+    // Later entries win: erase any live key replayed earlier.
+    auto it = keys_.find(record_id);
+    if (it != keys_.end() && !it->second.destroyed) {
+      key_refs_.erase(crypto::HmacSha256(it->second.data_key,
+                                         "medvault-key-ref"));
+      WipeString(&it->second.data_key);
+    }
+    KeyState state;
+    state.destroyed = true;
+    keys_[record_id] = std::move(state);
+  } else {
+    return Status::Corruption("unknown key log entry kind");
+  }
+  return Status::OK();
+}
+
+Status KeyStore::ApplyLogRecord(const Slice& record) {
+  Slice in = record;
+  if (in.empty()) return Status::Corruption("empty key log record");
+  uint8_t kind = static_cast<uint8_t>(in[0]);
+  in.RemovePrefix(1);
+  std::string record_id, blob;
+  if (!GetLengthPrefixedString(&in, &record_id)) {
+    return Status::Corruption("malformed key log record");
+  }
+  if (kind == kEntryLive && !GetLengthPrefixedString(&in, &blob)) {
+    return Status::Corruption("malformed key log blob");
+  }
+  if (!in.empty()) {
+    return Status::Corruption("trailing bytes in key log record");
+  }
+  return ApplyParsedEntry(kind, record_id, blob);
+}
+
+Status KeyStore::ParseV1(const std::string& contents) {
+  Slice in = contents;
+  while (!in.empty()) {
+    uint8_t kind = static_cast<uint8_t>(in[0]);
+    if (kind != kEntryLive && kind != kEntryDestroyed) {
+      // v1 entries start with a valid kind byte even when torn (the
+      // tail is a prefix of an honest append), so garbage here is
+      // corruption, not a crash artifact.
+      return Status::Corruption("unknown key log entry kind");
+    }
+    in.RemovePrefix(1);
+    std::string record_id, blob;
+    if (!GetLengthPrefixedString(&in, &record_id)) break;  // torn tail
+    if (kind == kEntryLive && !GetLengthPrefixedString(&in, &blob)) {
+      break;  // torn tail
+    }
+    MEDVAULT_RETURN_IF_ERROR(ApplyParsedEntry(kind, record_id, blob));
+  }
+  return Status::OK();
+}
+
 Status KeyStore::Open() {
+  bool needs_upgrade = false;
   if (env_->FileExists(path_)) {
     std::string contents;
     MEDVAULT_RETURN_IF_ERROR(
         storage::ReadFileToString(env_, path_, &contents));
-    Slice in = contents;
-    while (!in.empty()) {
-      uint8_t kind = static_cast<uint8_t>(in[0]);
-      in.RemovePrefix(1);
-      std::string record_id, blob;
-      if (!GetLengthPrefixedString(&in, &record_id)) {
-        return Status::Corruption("malformed key log");
+    if (LooksLikeV2(contents)) {
+      storage::log::LogOpenResult res;
+      bool saw_magic = false;
+      MEDVAULT_RETURN_IF_ERROR(storage::log::OpenLogForAppend(
+          env_, path_,
+          [this, &saw_magic](const Slice& record) -> Status {
+            if (!saw_magic) {
+              saw_magic = true;
+              if (record.ToString() != kKeyLogMagicV2) {
+                return Status::Corruption("bad key log magic");
+              }
+              return Status::OK();
+            }
+            return ApplyLogRecord(record);
+          },
+          &res));
+      writer_ = std::move(res.writer);
+      if (!saw_magic) {
+        // Only a torn fragment of the magic record survived the crash
+        // (now cut off); rewrite it.
+        MEDVAULT_RETURN_IF_ERROR(writer_->AddRecord(kKeyLogMagicV2));
+        MEDVAULT_RETURN_IF_ERROR(writer_->Sync());
       }
-      if (kind == kEntryLive) {
-        if (!GetLengthPrefixedString(&in, &blob)) {
-          return Status::Corruption("malformed key log blob");
-        }
-        MEDVAULT_ASSIGN_OR_RETURN(std::string key,
-                                  master_aead_.Open(blob, record_id));
-        KeyState state;
-        state.data_key = std::move(key);
-        std::string ref =
-            crypto::HmacSha256(state.data_key, "medvault-key-ref");
-        key_refs_[ref] = record_id;
-        keys_[record_id] = std::move(state);
-      } else if (kind == kEntryDestroyed) {
-        // Later entries win: erase any live key replayed earlier.
-        auto it = keys_.find(record_id);
-        if (it != keys_.end() && !it->second.destroyed) {
-          key_refs_.erase(crypto::HmacSha256(it->second.data_key,
-                                             "medvault-key-ref"));
-          WipeString(&it->second.data_key);
-        }
-        KeyState state;
-        state.destroyed = true;
-        keys_[record_id] = std::move(state);
-      } else {
-        return Status::Corruption("unknown key log entry kind");
-      }
+    } else {
+      MEDVAULT_RETURN_IF_ERROR(ParseV1(contents));
+      needs_upgrade = true;
     }
+  } else {
+    std::unique_ptr<storage::WritableFile> dest;
+    MEDVAULT_RETURN_IF_ERROR(env_->NewWritableFile(path_, &dest));
+    writer_ = std::make_unique<storage::log::Writer>(std::move(dest));
+    MEDVAULT_RETURN_IF_ERROR(writer_->AddRecord(kKeyLogMagicV2));
+    MEDVAULT_RETURN_IF_ERROR(writer_->Sync());
   }
-  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &appender_));
   open_ = true;
+  // v1 -> v2 upgrade: Persist rewrites the whole log framed.
+  if (needs_upgrade) MEDVAULT_RETURN_IF_ERROR(Persist());
   return Status::OK();
 }
 
 Status KeyStore::AppendLiveEntry(const RecordId& record_id,
                                  const std::string& data_key) {
+  if (!writer_) return Status::IoError("key log writer unavailable");
   std::string entry;
   entry.push_back(static_cast<char>(kEntryLive));
   PutLengthPrefixed(&entry, record_id);
@@ -104,8 +204,8 @@ Status KeyStore::AppendLiveEntry(const RecordId& record_id,
       std::string blob,
       master_aead_.Seal(WrapNonce(record_id), data_key, record_id));
   PutLengthPrefixed(&entry, blob);
-  MEDVAULT_RETURN_IF_ERROR(appender_->Append(entry));
-  return appender_->Sync();
+  MEDVAULT_RETURN_IF_ERROR(writer_->AddRecord(entry));
+  return writer_->Sync();
 }
 
 Status KeyStore::CreateKey(const RecordId& record_id) {
@@ -119,7 +219,18 @@ Status KeyStore::CreateKey(const RecordId& record_id) {
   state.data_key = crypto::HmacSha256(
       drbg_->Generate(crypto::kAes256KeySize), "medvault-key:" + record_id);
   std::string ref = crypto::HmacSha256(state.data_key, "medvault-key-ref");
-  MEDVAULT_RETURN_IF_ERROR(AppendLiveEntry(record_id, state.data_key));
+  Status append_status = AppendLiveEntry(record_id, state.data_key);
+  if (!append_status.ok()) {
+    // The entry (or part of it) may still have reached the file even
+    // though the caller is told the create failed. Rewrite the log
+    // without it — keys_ was not updated — so the id is not burned:
+    // after a reopen, retrying this record id must see NotFound, not
+    // AlreadyExists. Best effort; if the rewrite also fails (e.g. the
+    // whole device is gone), vault crash recovery removes the orphan.
+    (void)Persist();
+    WipeString(&state.data_key);
+    return append_status;
+  }
   key_refs_[ref] = record_id;
   keys_[record_id] = std::move(state);
   return Status::OK();
@@ -133,18 +244,27 @@ Status KeyStore::ImportKey(const RecordId& record_id, const Slice& key,
   }
   KeyState state;
   if (destroyed) {
+    if (!writer_) return Status::IoError("key log writer unavailable");
     state.destroyed = true;
     std::string entry;
     entry.push_back(static_cast<char>(kEntryDestroyed));
     PutLengthPrefixed(&entry, record_id);
-    MEDVAULT_RETURN_IF_ERROR(appender_->Append(entry));
-    MEDVAULT_RETURN_IF_ERROR(appender_->Sync());
+    Status s = writer_->AddRecord(entry);
+    if (s.ok()) s = writer_->Sync();
+    if (!s.ok()) {
+      (void)Persist();  // roll back the half-written entry, as above
+      return s;
+    }
   } else {
     if (key.size() != crypto::kAes256KeySize) {
       return Status::InvalidArgument("imported key must be 32 bytes");
     }
     state.data_key = key.ToString();
-    MEDVAULT_RETURN_IF_ERROR(AppendLiveEntry(record_id, state.data_key));
+    Status s = AppendLiveEntry(record_id, state.data_key);
+    if (!s.ok()) {
+      (void)Persist();
+      return s;
+    }
     std::string ref = crypto::HmacSha256(state.data_key, "medvault-key-ref");
     key_refs_[ref] = record_id;
   }
@@ -204,6 +324,32 @@ size_t KeyStore::LiveKeyCount() const {
   return key_refs_.size();
 }
 
+std::vector<RecordId> KeyStore::AllRecordIds() const {
+  std::vector<RecordId> ids;
+  ids.reserve(keys_.size());
+  for (const auto& [record_id, state] : keys_) ids.push_back(record_id);
+  return ids;
+}
+
+Status KeyStore::RemoveKeysForRecovery(
+    const std::vector<RecordId>& record_ids) {
+  if (!open_) return Status::FailedPrecondition("keystore not open");
+  bool changed = false;
+  for (const RecordId& record_id : record_ids) {
+    auto it = keys_.find(record_id);
+    if (it == keys_.end()) continue;
+    if (!it->second.destroyed) {
+      key_refs_.erase(crypto::HmacSha256(it->second.data_key,
+                                         "medvault-key-ref"));
+      WipeString(&it->second.data_key);
+    }
+    keys_.erase(it);
+    changed = true;
+  }
+  if (!changed) return Status::OK();
+  return Persist();
+}
+
 Status KeyStore::RotateMasterKey(const Slice& new_master_key) {
   MEDVAULT_RETURN_IF_ERROR(master_aead_.Init(new_master_key));
   return Persist();
@@ -211,28 +357,40 @@ Status KeyStore::RotateMasterKey(const Slice& new_master_key) {
 
 Status KeyStore::Persist() {
   if (!open_) return Status::FailedPrecondition("keystore not open");
-  std::string out;
+  // Write-new-then-rename so a crash never leaves a half-written log,
+  // then re-point the writer at the new file.
+  writer_.reset();
+  std::string tmp = path_ + ".tmp";
+  std::unique_ptr<storage::WritableFile> dest;
+  MEDVAULT_RETURN_IF_ERROR(env_->NewWritableFile(tmp, &dest));
+  storage::log::Writer tmp_writer(std::move(dest));
+  MEDVAULT_RETURN_IF_ERROR(tmp_writer.AddRecord(kKeyLogMagicV2));
   for (const auto& [record_id, state] : keys_) {
+    std::string entry;
     if (state.destroyed) {
-      out.push_back(static_cast<char>(kEntryDestroyed));
-      PutLengthPrefixed(&out, record_id);
+      entry.push_back(static_cast<char>(kEntryDestroyed));
+      PutLengthPrefixed(&entry, record_id);
     } else {
-      out.push_back(static_cast<char>(kEntryLive));
-      PutLengthPrefixed(&out, record_id);
+      entry.push_back(static_cast<char>(kEntryLive));
+      PutLengthPrefixed(&entry, record_id);
       MEDVAULT_ASSIGN_OR_RETURN(
           std::string blob,
           master_aead_.Seal(WrapNonce(record_id), state.data_key,
                             record_id));
-      PutLengthPrefixed(&out, blob);
+      PutLengthPrefixed(&entry, blob);
     }
+    MEDVAULT_RETURN_IF_ERROR(tmp_writer.AddRecord(entry));
   }
-  // Write-new-then-rename so a crash never leaves a half-written log,
-  // then re-point the appender at the new file.
-  appender_.reset();
-  std::string tmp = path_ + ".tmp";
-  MEDVAULT_RETURN_IF_ERROR(storage::WriteStringToFile(env_, out, tmp, true));
+  MEDVAULT_RETURN_IF_ERROR(tmp_writer.Sync());
+  MEDVAULT_RETURN_IF_ERROR(tmp_writer.Close());
   MEDVAULT_RETURN_IF_ERROR(env_->RenameFile(tmp, path_));
-  return env_->NewAppendableFile(path_, &appender_);
+
+  uint64_t size = 0;
+  MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(path_, &size));
+  std::unique_ptr<storage::WritableFile> app;
+  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &app));
+  writer_ = std::make_unique<storage::log::Writer>(std::move(app), size);
+  return Status::OK();
 }
 
 }  // namespace medvault::core

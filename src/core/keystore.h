@@ -12,6 +12,7 @@
 #include "crypto/aead.h"
 #include "crypto/drbg.h"
 #include "storage/env.h"
+#include "storage/log_writer.h"
 
 namespace medvault::core {
 
@@ -28,8 +29,13 @@ namespace medvault::core {
 /// holder could ever have unwrapped it, and the wrapped blob is erased
 /// and overwritten in the key log rewrite).
 ///
-/// The key log is itself an append-only file of wrap/destroy events,
-/// re-written compacted on Persist(); destroyed keys never reappear.
+/// The key log is an append-only file of wrap/destroy events, re-written
+/// compacted on Persist(); destroyed keys never reappear. Format v2
+/// frames every entry as a CRC-checked log record (log::Writer
+/// discipline) behind a magic first record, so a torn final entry after
+/// a power cut is recognized and cut off instead of poisoning the parse.
+/// Unframed v1 files are still read (tolerating a torn tail) and are
+/// upgraded in place on Open.
 class KeyStore {
  public:
   /// `master_key` is 32 bytes; `path` is the key-log file.
@@ -44,6 +50,9 @@ class KeyStore {
 
   /// Generates and wraps a fresh 32-byte data key for `record_id`.
   /// AlreadyExists if the record has a live or destroyed key.
+  /// On a write/sync failure the partially-written entry is rolled back
+  /// (log rewritten without it), so the id is not burned: a retry after
+  /// reopen sees no key rather than AlreadyExists.
   Status CreateKey(const RecordId& record_id);
 
   /// Installs an existing key (migration: the source vault hands over
@@ -76,6 +85,17 @@ class KeyStore {
   bool IsDestroyed(const RecordId& record_id) const;
   size_t LiveKeyCount() const;
 
+  /// Every record id with a live or destroyed key, in id order.
+  /// Crash recovery diffs this against the record catalog.
+  std::vector<RecordId> AllRecordIds() const;
+
+  /// Removes entries (live keys wiped, tombstones dropped) for ids that
+  /// crash recovery found to have no committed record — keys written
+  /// durably by CreateRecord before the commit point that never got
+  /// one. Rewrites the log once. NOT for disposal: that is DestroyKey,
+  /// which keeps the tombstone.
+  Status RemoveKeysForRecovery(const std::vector<RecordId>& record_ids);
+
   /// Re-wraps every live key under a new master key and rewrites the key
   /// log (master key rotation, needed across a 30-year horizon).
   Status RotateMasterKey(const Slice& new_master_key);
@@ -91,6 +111,14 @@ class KeyStore {
 
   Status InitAead(const Slice& master_key);
 
+  /// Applies a parsed entry to the in-memory maps (replay path).
+  Status ApplyParsedEntry(uint8_t kind, const std::string& record_id,
+                          const std::string& blob);
+  /// Parses and applies one framed v2 log record.
+  Status ApplyLogRecord(const Slice& record);
+  /// Parses an unframed v1 key log, tolerating a torn final entry.
+  Status ParseV1(const std::string& contents);
+
   /// Appends one wrapped-key entry to the key log (create/import path).
   Status AppendLiveEntry(const RecordId& record_id,
                          const std::string& data_key);
@@ -99,7 +127,7 @@ class KeyStore {
   std::string path_;
   crypto::Aead master_aead_;
   std::unique_ptr<crypto::HmacDrbg> drbg_;
-  std::unique_ptr<storage::WritableFile> appender_;
+  std::unique_ptr<storage::log::Writer> writer_;
   std::map<RecordId, KeyState> keys_;
   std::map<std::string, RecordId> key_refs_;  // key-ref -> record
   bool open_ = false;

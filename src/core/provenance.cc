@@ -3,6 +3,7 @@
 #include "common/coding.h"
 #include "crypto/sha256.h"
 #include "storage/log_reader.h"
+#include "storage/log_recover.h"
 
 namespace medvault::core {
 
@@ -58,26 +59,25 @@ ProvenanceTracker::ProvenanceTracker(storage::Env* env, std::string path,
     : env_(env), path_(std::move(path)), system_id_(std::move(system_id)) {}
 
 Status ProvenanceTracker::Open() {
-  uint64_t existing_size = 0;
-  if (env_->FileExists(path_)) {
-    MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(path_, &existing_size));
-    std::unique_ptr<storage::SequentialFile> src;
-    MEDVAULT_RETURN_IF_ERROR(env_->NewSequentialFile(path_, &src));
-    storage::log::Reader reader(std::move(src));
-    std::string record;
-    while (reader.ReadRecord(&record)) {
-      MEDVAULT_ASSIGN_OR_RETURN(CustodyEvent e, CustodyEvent::Decode(record));
-      heads_[e.record_id] = crypto::Sha256Digest(record);
-      chains_[e.record_id].push_back(std::move(e));
-    }
-    MEDVAULT_RETURN_IF_ERROR(reader.status());
-  }
-  std::unique_ptr<storage::WritableFile> dest;
-  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &dest));
-  writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
-                                                   existing_size);
+  storage::log::LogOpenResult res;
+  MEDVAULT_RETURN_IF_ERROR(storage::log::OpenLogForAppend(
+      env_, path_,
+      [this](const Slice& record) -> Status {
+        MEDVAULT_ASSIGN_OR_RETURN(CustodyEvent e,
+                                  CustodyEvent::Decode(record));
+        heads_[e.record_id] = crypto::Sha256Digest(record.ToString());
+        chains_[e.record_id].push_back(std::move(e));
+        return Status::OK();
+      },
+      &res));
+  writer_ = std::move(res.writer);
   open_ = true;
   return Status::OK();
+}
+
+Status ProvenanceTracker::Sync() {
+  if (!open_) return Status::FailedPrecondition("provenance not open");
+  return writer_->Sync();
 }
 
 Result<std::string> ProvenanceTracker::RecordEvent(

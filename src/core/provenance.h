@@ -59,7 +59,12 @@ class ProvenanceTracker {
   ProvenanceTracker(const ProvenanceTracker&) = delete;
   ProvenanceTracker& operator=(const ProvenanceTracker&) = delete;
 
+  /// Replays the custody log; a torn final event after an unclean
+  /// shutdown is cut off.
   Status Open();
+
+  /// Durability barrier on the custody log.
+  Status Sync();
 
   /// Appends an event to `record_id`'s chain; returns the event's hash
   /// (the new chain head).

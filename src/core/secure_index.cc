@@ -8,6 +8,7 @@
 #include "crypto/ctr.h"
 #include "crypto/hmac.h"
 #include "storage/log_reader.h"
+#include "storage/log_recover.h"
 
 namespace medvault::core {
 
@@ -33,32 +34,30 @@ std::string SecureIndex::BlindTerm(const std::string& term) const {
 }
 
 Status SecureIndex::Open() {
-  uint64_t existing_size = 0;
-  if (env_->FileExists(path_)) {
-    MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(path_, &existing_size));
-    std::unique_ptr<storage::SequentialFile> src;
-    MEDVAULT_RETURN_IF_ERROR(env_->NewSequentialFile(path_, &src));
-    storage::log::Reader reader(std::move(src));
-    std::string record;
-    while (reader.ReadRecord(&record)) {
-      Slice in = record;
-      std::string blind, key_ref, sealed;
-      if (!GetLengthPrefixedString(&in, &blind) ||
-          !GetLengthPrefixedString(&in, &key_ref) ||
-          !GetLengthPrefixedString(&in, &sealed) || !in.empty()) {
-        return Status::Corruption("malformed index posting");
-      }
-      postings_[blind].push_back(Posting{std::move(key_ref),
-                                         std::move(sealed)});
-    }
-    MEDVAULT_RETURN_IF_ERROR(reader.status());
-  }
-  std::unique_ptr<storage::WritableFile> dest;
-  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &dest));
-  writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
-                                                   existing_size);
+  storage::log::LogOpenResult res;
+  MEDVAULT_RETURN_IF_ERROR(storage::log::OpenLogForAppend(
+      env_, path_,
+      [this](const Slice& record) -> Status {
+        Slice in = record;
+        std::string blind, key_ref, sealed;
+        if (!GetLengthPrefixedString(&in, &blind) ||
+            !GetLengthPrefixedString(&in, &key_ref) ||
+            !GetLengthPrefixedString(&in, &sealed) || !in.empty()) {
+          return Status::Corruption("malformed index posting");
+        }
+        postings_[blind].push_back(Posting{std::move(key_ref),
+                                           std::move(sealed)});
+        return Status::OK();
+      },
+      &res));
+  writer_ = std::move(res.writer);
   open_ = true;
   return Status::OK();
+}
+
+Status SecureIndex::Sync() {
+  if (!open_) return Status::FailedPrecondition("index not open");
+  return writer_->Sync();
 }
 
 Status SecureIndex::AddPostings(const RecordId& record_id,

@@ -37,7 +37,13 @@ class SecureIndex {
   SecureIndex(const SecureIndex&) = delete;
   SecureIndex& operator=(const SecureIndex&) = delete;
 
+  /// Replays the posting log. After an unclean shutdown a torn final
+  /// posting is cut off (nothing acknowledged is lost; the Vault syncs
+  /// this log before the state-log commit point).
   Status Open();
+
+  /// Durability barrier on the posting log.
+  Status Sync();
 
   /// Indexes `record_id` under each term (normalizes to lowercase).
   Status AddPostings(const RecordId& record_id,

@@ -11,6 +11,7 @@
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
 #include "storage/log_reader.h"
+#include "storage/log_recover.h"
 
 namespace medvault::core {
 
@@ -149,80 +150,164 @@ Status Vault::Init() {
       signer_secret, signer_public_seed_, options_.signer_height);
 
   MEDVAULT_RETURN_IF_ERROR(LoadState());
-  return Status::OK();
+  return RecoverAfterUncleanShutdown();
 }
 
 Status Vault::LoadState() {
   storage::Env* env = options_.env;
   const std::string state_path = options_.dir + "/state.log";
-  uint64_t existing_size = 0;
   uint64_t signer_used = 0;
-  if (env->FileExists(state_path)) {
-    MEDVAULT_RETURN_IF_ERROR(env->GetFileSize(state_path, &existing_size));
-    std::unique_ptr<storage::SequentialFile> src;
-    MEDVAULT_RETURN_IF_ERROR(env->NewSequentialFile(state_path, &src));
-    storage::log::Reader reader(std::move(src));
-    std::string record;
-    while (reader.ReadRecord(&record)) {
-      if (record.empty()) return Status::Corruption("empty state entry");
-      uint8_t kind = static_cast<uint8_t>(record[0]);
-      Slice payload(record.data() + 1, record.size() - 1);
-      switch (kind) {
-        case kStateMeta: {
-          MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
-                                    RecordMeta::Decode(payload));
-          // Record ids are "r-<n>"; keep the counter ahead of them. An
-          // unparsable "r-" suffix means the state log is damaged.
-          if (HasRecordNumberPrefix(meta.record_id)) {
-            uint64_t n = 0;
-            if (!ParseRecordNumber(meta.record_id, &n)) {
-              return Status::Corruption("malformed record id in state log: " +
-                                        meta.record_id);
+  storage::log::LogOpenResult res;
+  MEDVAULT_RETURN_IF_ERROR(storage::log::OpenLogForAppend(
+      env, state_path,
+      [this, &signer_used](const Slice& rec) -> Status {
+        if (rec.empty()) return Status::Corruption("empty state entry");
+        uint8_t kind = static_cast<uint8_t>(rec[0]);
+        Slice payload(rec.data() + 1, rec.size() - 1);
+        switch (kind) {
+          case kStateMeta: {
+            MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                                      RecordMeta::Decode(payload));
+            // Record ids are "r-<n>"; keep the counter ahead of them. An
+            // unparsable "r-" suffix means the state log is damaged.
+            if (HasRecordNumberPrefix(meta.record_id)) {
+              uint64_t n = 0;
+              if (!ParseRecordNumber(meta.record_id, &n)) {
+                return Status::Corruption(
+                    "malformed record id in state log: " + meta.record_id);
+              }
+              next_record_num_ = std::max(next_record_num_, n + 1);
             }
-            next_record_num_ = std::max(next_record_num_, n + 1);
+            metas_[meta.record_id] = meta;
+            break;
           }
-          metas_[meta.record_id] = meta;
-          break;
-        }
-        case kStateSigner: {
-          Slice in = payload;
-          if (!GetVarint64(&in, &signer_used)) {
-            return Status::Corruption("malformed signer state");
+          case kStateSigner: {
+            Slice in = payload;
+            if (!GetVarint64(&in, &signer_used)) {
+              return Status::Corruption("malformed signer state");
+            }
+            break;
           }
-          break;
-        }
-        case kStatePrincipal: {
-          MEDVAULT_ASSIGN_OR_RETURN(Principal p, DecodePrincipal(payload));
-          if (p.role == Role::kAdmin) has_admin_ = true;
-          MEDVAULT_RETURN_IF_ERROR(access_.RegisterPrincipal(p));
-          break;
-        }
-        case kStateCareAssign:
-        case kStateCareRevoke: {
-          Slice in = payload;
-          std::string clinician, patient;
-          if (!GetLengthPrefixedString(&in, &clinician) ||
-              !GetLengthPrefixedString(&in, &patient) || !in.empty()) {
-            return Status::Corruption("malformed care entry");
+          case kStatePrincipal: {
+            MEDVAULT_ASSIGN_OR_RETURN(Principal p, DecodePrincipal(payload));
+            if (p.role == Role::kAdmin) has_admin_ = true;
+            MEDVAULT_RETURN_IF_ERROR(access_.RegisterPrincipal(p));
+            break;
           }
-          if (kind == kStateCareAssign) {
-            MEDVAULT_RETURN_IF_ERROR(access_.AssignCare(clinician, patient));
-          } else {
-            MEDVAULT_RETURN_IF_ERROR(access_.RevokeCare(clinician, patient));
+          case kStateCareAssign:
+          case kStateCareRevoke: {
+            Slice in = payload;
+            std::string clinician, patient;
+            if (!GetLengthPrefixedString(&in, &clinician) ||
+                !GetLengthPrefixedString(&in, &patient) || !in.empty()) {
+              return Status::Corruption("malformed care entry");
+            }
+            if (kind == kStateCareAssign) {
+              MEDVAULT_RETURN_IF_ERROR(access_.AssignCare(clinician, patient));
+            } else {
+              MEDVAULT_RETURN_IF_ERROR(access_.RevokeCare(clinician, patient));
+            }
+            break;
           }
-          break;
+          default:
+            return Status::Corruption("unknown state entry kind");
         }
-        default:
-          return Status::Corruption("unknown state entry kind");
-      }
-    }
-    MEDVAULT_RETURN_IF_ERROR(reader.status());
-  }
-  std::unique_ptr<storage::WritableFile> dest;
-  MEDVAULT_RETURN_IF_ERROR(env->NewAppendableFile(state_path, &dest));
-  state_writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
-                                                         existing_size);
+        return Status::OK();
+      },
+      &res));
+  state_writer_ = std::move(res.writer);
   return signer_->RestoreState(signer_used);
+}
+
+Status Vault::RecoverAfterUncleanShutdown() {
+  // Init runs single-threaded, so the *Locked helpers are safe to call.
+  // The state log is the commit point: everything else is reconciled
+  // to agree with it.
+  std::map<RecordId, uint32_t> committed_latest;
+  for (const auto& [id, meta] : metas_) {
+    committed_latest[id] = meta.latest_version;
+  }
+  uint64_t dropped_refs = 0;
+  MEDVAULT_RETURN_IF_ERROR(
+      versions_->ReconcileCatalog(committed_latest, &dropped_refs));
+
+  std::vector<std::string> actions;
+  if (dropped_refs > 0) {
+    actions.push_back("catalog-refs-dropped=" + std::to_string(dropped_refs));
+  }
+
+  for (auto& [id, meta] : metas_) {
+    auto latest = versions_->LatestVersion(id);
+    const uint32_t actual = latest.ok() ? *latest : 0;
+    RecordMeta updated = meta;
+    bool changed = false;
+    if (!updated.disposed && keystore_->IsDestroyed(id)) {
+      // Crash between DestroyKey and the meta flip: finish the disposal.
+      updated.disposed = true;
+      changed = true;
+      actions.push_back(id + ":disposal-completed");
+    }
+    if (!updated.disposed && actual == 0) {
+      // A committed meta whose version bytes did not survive (possible
+      // only when partial media kept the state tail but not the catalog
+      // tail). The content is unrecoverable — burn the key and mark the
+      // record disposed rather than serve a record with no data.
+      if (keystore_->GetKey(id).ok()) {
+        MEDVAULT_RETURN_IF_ERROR(keystore_->DestroyKey(id));
+      }
+      updated.disposed = true;
+      changed = true;
+      actions.push_back(id + ":versions-lost");
+    } else if (actual < updated.latest_version) {
+      updated.latest_version = actual;
+      changed = true;
+      actions.push_back(id + ":latest-lowered-to-" + std::to_string(actual));
+    }
+    if (changed) {
+      MEDVAULT_RETURN_IF_ERROR(PutRecordMetaLocked(updated));
+      meta = updated;
+    }
+  }
+
+  // Keys created for records that never committed (crash mid-create).
+  // Removing them also kills any orphan index postings and audit-log
+  // references: their key-refs become unresolvable, exactly as after a
+  // crypto-shred.
+  std::vector<RecordId> orphan_keys;
+  for (const RecordId& id : keystore_->AllRecordIds()) {
+    if (metas_.count(id) == 0) orphan_keys.push_back(id);
+  }
+  if (!orphan_keys.empty()) {
+    MEDVAULT_RETURN_IF_ERROR(keystore_->RemoveKeysForRecovery(orphan_keys));
+    actions.push_back("orphan-keys-removed=" +
+                      std::to_string(orphan_keys.size()));
+  }
+
+  if (actions.empty()) return Status::OK();
+  std::string details = "crash-recovery:";
+  for (const std::string& a : actions) details += " " + a;
+  MEDVAULT_RETURN_IF_ERROR(
+      audit_->Append("system", AuditAction::kRecovery, "", details, Now())
+          .status());
+  // Make the reconciled state durable so a crash during/after recovery
+  // replays to the same result.
+  return SyncAllLocked();
+}
+
+Status Vault::SyncAll() {
+  std::unique_lock lock(mu_);
+  return SyncAllLocked();
+}
+
+Status Vault::SyncAllLocked() {
+  // Commit-point ordering: every side log becomes durable BEFORE the
+  // state log. A durable meta therefore implies durable version bytes,
+  // catalog entry, key, postings, and audit/custody events.
+  MEDVAULT_RETURN_IF_ERROR(versions_->Sync());
+  MEDVAULT_RETURN_IF_ERROR(index_->Sync());
+  MEDVAULT_RETURN_IF_ERROR(audit_->Sync());
+  MEDVAULT_RETURN_IF_ERROR(provenance_->Sync());
+  return state_writer_->Sync();
 }
 
 Status Vault::AppendStateEntryLocked(uint8_t kind, const Slice& payload) {
@@ -238,10 +323,16 @@ Status Vault::AppendStateEntriesLocked(
   return state_writer_->AddRecords(slices.data(), slices.size());
 }
 
-Status Vault::PersistSignerStateLocked() {
+Status Vault::ReserveSignerLeafLocked() {
+  // Reserve-then-sign: the spent-leaf count is durable BEFORE the
+  // signature exists, so a crash can waste the reserved leaf but never
+  // let the next open re-sign with it (XMSS leaves are one-time; reuse
+  // forfeits the scheme's security). On a clean run the signature that
+  // follows makes the reservation exact.
   std::string payload;
-  PutVarint64(&payload, signer_->SignaturesUsed());
-  return AppendStateEntryLocked(kStateSigner, payload);
+  PutVarint64(&payload, signer_->SignaturesUsed() + 1);
+  MEDVAULT_RETURN_IF_ERROR(AppendStateEntryLocked(kStateSigner, payload));
+  return state_writer_->Sync();
 }
 
 const std::string& Vault::SignerPublicKey() const {
@@ -269,9 +360,9 @@ Status Vault::Audit(const PrincipalId& actor, AuditAction action,
 
 Result<std::string> Vault::SignStatement(const Slice& payload) {
   std::unique_lock lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(ReserveSignerLeafLocked());
   MEDVAULT_ASSIGN_OR_RETURN(crypto::XmssSignature sig,
                             signer_->Sign(payload));
-  MEDVAULT_RETURN_IF_ERROR(PersistSignerStateLocked());
   return sig.Encode();
 }
 
@@ -630,11 +721,11 @@ Result<DisposalCertificate> Vault::ExecuteDisposalLocked(
       provenance_->RecordEvent(record_id, CustodyEventType::kDisposed,
                                authorizers,
                                "policy=" + meta.retention_policy, now));
+  MEDVAULT_RETURN_IF_ERROR(ReserveSignerLeafLocked());
   MEDVAULT_ASSIGN_OR_RETURN(
       DisposalCertificate cert,
       retention_.IssueCertificate(meta, authorizers, custody_head, now,
                                   signer_.get()));
-  MEDVAULT_RETURN_IF_ERROR(PersistSignerStateLocked());
 
   MEDVAULT_RETURN_IF_ERROR(keystore_->DestroyKey(record_id));
   meta.disposed = true;
@@ -783,9 +874,9 @@ Result<DisposalCertificate> Vault::ApproveDisposal(
 
 Result<SignedCheckpoint> Vault::CheckpointAudit() {
   std::unique_lock lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(ReserveSignerLeafLocked());
   MEDVAULT_ASSIGN_OR_RETURN(SignedCheckpoint c,
                             audit_->Checkpoint(signer_.get(), Now()));
-  MEDVAULT_RETURN_IF_ERROR(PersistSignerStateLocked());
   return c;
 }
 

@@ -196,6 +196,15 @@ class Vault {
   Result<DisposalCertificate> ApproveDisposal(const PrincipalId& actor,
                                               const std::string& request_id);
 
+  /// Durability barrier over the whole vault, in commit-point order:
+  /// every side log (versions, index, audit, provenance) is synced
+  /// BEFORE the state log. A record counts as committed exactly when
+  /// its meta is durable in state.log — so at that instant all of the
+  /// record's bytes already are, and a crash can never leave a durable
+  /// meta pointing at lost data. Callers that need an ingest to survive
+  /// power failure call this after CreateRecord/CreateRecordsBatch.
+  Status SyncAll();
+
   // ---- Audit & custody -----------------------------------------------
 
   /// Signs the current audit tree head. The auditor should keep the
@@ -282,6 +291,14 @@ class Vault {
 
   Status Init();
   Status LoadState();
+  /// Cross-log reconciliation after a possible crash (runs on every
+  /// open; idempotent). The state log is the commit point: catalog refs
+  /// beyond a record's committed latest version (or pointing at frames
+  /// lost with the active segment's tail) are dropped, keys without a
+  /// committed meta are removed, half-finished disposals are completed,
+  /// and metas whose surviving version count shrank are lowered. Any
+  /// action is recorded as one kRecovery audit event and made durable.
+  Status RecoverAfterUncleanShutdown();
 
   // *Locked helpers require mu_ held by the caller: exclusive for
   // anything that writes vault state, shared-or-exclusive for the
@@ -290,7 +307,13 @@ class Vault {
   /// Appends several pre-framed state records (kind byte already
   /// prepended) as one buffered log write. Requires exclusive mu_.
   Status AppendStateEntriesLocked(const std::vector<std::string>& records);
-  Status PersistSignerStateLocked();
+  Status SyncAllLocked();
+  /// Durably records that the signer's NEXT one-time leaf is spent —
+  /// appended and synced to the state log BEFORE the signature is
+  /// produced. XMSS leaves must never sign twice; reserving first means
+  /// a crash right after a signature escapes (audit checkpoint,
+  /// disposal certificate) can at worst waste the leaf, never reuse it.
+  Status ReserveSignerLeafLocked();
   Result<RecordMeta> RequireLiveMetaLocked(const RecordId& record_id) const;
   Status AuditLocked(const PrincipalId& actor, AuditAction action,
                      const RecordId& record_id,

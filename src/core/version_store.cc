@@ -8,6 +8,7 @@
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
 #include "storage/log_reader.h"
+#include "storage/log_recover.h"
 
 namespace medvault::core {
 
@@ -36,51 +37,124 @@ Status VersionStore::Open() {
   MEDVAULT_RETURN_IF_ERROR(segments_->Open());
 
   const std::string catalog_path = dir_ + "/catalog.log";
-  uint64_t existing_size = 0;
-  if (env_->FileExists(catalog_path)) {
-    MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(catalog_path, &existing_size));
-    std::unique_ptr<storage::SequentialFile> src;
-    MEDVAULT_RETURN_IF_ERROR(env_->NewSequentialFile(catalog_path, &src));
-    storage::log::Reader reader(std::move(src));
-    std::string record;
-    while (reader.ReadRecord(&record)) {
-      Slice in = record;
-      std::string record_id, handle_bytes, entry_hash;
-      uint32_t version = 0;
-      if (!GetLengthPrefixedString(&in, &record_id) ||
-          !GetVarint32(&in, &version) ||
-          !GetLengthPrefixedString(&in, &handle_bytes) ||
-          !GetLengthPrefixedString(&in, &entry_hash) || !in.empty()) {
-        return Status::Corruption("malformed catalog entry");
-      }
-      MEDVAULT_ASSIGN_OR_RETURN(storage::EntryHandle handle,
-                                storage::EntryHandle::Decode(handle_bytes));
-      auto& refs = catalog_[record_id];
-      if (version != refs.size() + 1) {
-        return Status::Corruption("catalog version discontinuity");
-      }
-      refs.push_back(VersionRef{handle, entry_hash});
-    }
-    MEDVAULT_RETURN_IF_ERROR(reader.status());
-  }
-  std::unique_ptr<storage::WritableFile> dest;
-  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(catalog_path, &dest));
-  catalog_writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
-                                                           existing_size);
+  storage::log::LogOpenResult res;
+  MEDVAULT_RETURN_IF_ERROR(storage::log::OpenLogForAppend(
+      env_, catalog_path,
+      [this](const Slice& rec) -> Status {
+        Slice in = rec;
+        std::string record_id, handle_bytes, entry_hash;
+        uint32_t version = 0;
+        if (!GetLengthPrefixedString(&in, &record_id) ||
+            !GetVarint32(&in, &version) ||
+            !GetLengthPrefixedString(&in, &handle_bytes) ||
+            !GetLengthPrefixedString(&in, &entry_hash) || !in.empty()) {
+          return Status::Corruption("malformed catalog entry");
+        }
+        MEDVAULT_ASSIGN_OR_RETURN(storage::EntryHandle handle,
+                                  storage::EntryHandle::Decode(handle_bytes));
+        auto& refs = catalog_[record_id];
+        if (version != refs.size() + 1) {
+          return Status::Corruption("catalog version discontinuity");
+        }
+        refs.push_back(VersionRef{handle, entry_hash});
+        return Status::OK();
+      },
+      &res));
+  catalog_writer_ = std::move(res.writer);
   open_ = true;
   return Status::OK();
+}
+
+std::string VersionStore::EncodeCatalogEntry(
+    const RecordId& record_id, uint32_t version,
+    const storage::EntryHandle& handle, const std::string& entry_hash) {
+  std::string record;
+  PutLengthPrefixed(&record, record_id);
+  PutVarint32(&record, version);
+  PutLengthPrefixed(&record, handle.Encode());
+  PutLengthPrefixed(&record, entry_hash);
+  return record;
 }
 
 Status VersionStore::LogCatalogEntry(const RecordId& record_id,
                                      uint32_t version,
                                      const storage::EntryHandle& handle,
                                      const std::string& entry_hash) {
-  std::string record;
-  PutLengthPrefixed(&record, record_id);
-  PutVarint32(&record, version);
-  PutLengthPrefixed(&record, handle.Encode());
-  PutLengthPrefixed(&record, entry_hash);
-  return catalog_writer_->AddRecord(record);
+  return catalog_writer_->AddRecord(
+      EncodeCatalogEntry(record_id, version, handle, entry_hash));
+}
+
+Status VersionStore::Sync() {
+  if (!open_) return Status::FailedPrecondition("version store not open");
+  // Entry bytes before the catalog pointer: a durable catalog reference
+  // must never outlive the frame it points at.
+  MEDVAULT_RETURN_IF_ERROR(segments_->SyncActive());
+  return catalog_writer_->Sync();
+}
+
+Status VersionStore::RewriteCatalog() {
+  const std::string catalog_path = dir_ + "/catalog.log";
+  const std::string tmp_path = catalog_path + ".tmp";
+  catalog_writer_.reset();
+  {
+    std::unique_ptr<storage::WritableFile> tmp_file;
+    MEDVAULT_RETURN_IF_ERROR(env_->NewWritableFile(tmp_path, &tmp_file));
+    storage::log::Writer tmp_writer(std::move(tmp_file));
+    for (const auto& [record_id, refs] : catalog_) {
+      for (uint32_t v = 1; v <= refs.size(); v++) {
+        MEDVAULT_RETURN_IF_ERROR(tmp_writer.AddRecord(EncodeCatalogEntry(
+            record_id, v, refs[v - 1].handle, refs[v - 1].entry_hash)));
+      }
+    }
+    MEDVAULT_RETURN_IF_ERROR(tmp_writer.Sync());
+    MEDVAULT_RETURN_IF_ERROR(tmp_writer.Close());
+  }
+  MEDVAULT_RETURN_IF_ERROR(env_->RenameFile(tmp_path, catalog_path));
+  uint64_t size = 0;
+  MEDVAULT_RETURN_IF_ERROR(env_->GetFileSize(catalog_path, &size));
+  std::unique_ptr<storage::WritableFile> dest;
+  MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(catalog_path, &dest));
+  catalog_writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
+                                                           size);
+  return Status::OK();
+}
+
+Status VersionStore::ReconcileCatalog(
+    const std::map<RecordId, uint32_t>& committed_latest,
+    uint64_t* dropped_refs) {
+  if (!open_) return Status::FailedPrecondition("version store not open");
+  *dropped_refs = 0;
+  for (auto it = catalog_.begin(); it != catalog_.end();) {
+    auto& refs = it->second;
+    auto committed = committed_latest.find(it->first);
+    size_t keep = committed == committed_latest.end()
+                      ? 0
+                      : std::min<size_t>(refs.size(), committed->second);
+    // A crash can lose the tail of the active segment after its catalog
+    // entry was written. Never keep a reference whose frame is gone —
+    // and since versions chain, cut everything after it too. Disposed
+    // records are exempt: their media may have been legitimately
+    // reclaimed, and the catalog entries are tombstones.
+    if (!keystore_->IsDestroyed(it->first)) {
+      for (size_t v = 0; v < keep; v++) {
+        if (!segments_->Contains(refs[v].handle)) {
+          keep = v;
+          break;
+        }
+      }
+    }
+    if (keep < refs.size()) {
+      *dropped_refs += refs.size() - keep;
+      refs.resize(keep);
+    }
+    if (refs.empty()) {
+      it = catalog_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (*dropped_refs == 0) return Status::OK();
+  return RewriteCatalog();
 }
 
 Result<VersionHeader> VersionStore::AppendVersion(
@@ -285,7 +359,19 @@ Status VersionStore::ForEachRawVersion(
 
 std::vector<uint64_t> VersionStore::FullyDisposedSegments() const {
   // segment id -> does any entry belong to a record with a live key?
+  // Sealed segments with data but no catalog references at all hold only
+  // frames orphaned by a crash (appended, never committed): seed them as
+  // lifeless so their media can be reclaimed too.
   std::map<uint64_t, bool> has_live_entry;
+  for (uint64_t segment_id : segments_->SegmentIds()) {
+    if (!segments_->IsSealed(segment_id)) continue;
+    uint64_t size = 0;
+    if (env_->GetFileSize(segments_->SegmentFileName(segment_id), &size)
+            .ok() &&
+        size > 0) {
+      has_live_entry.try_emplace(segment_id, false);
+    }
+  }
   for (const auto& [record_id, refs] : catalog_) {
     const bool destroyed = keystore_->IsDestroyed(record_id);
     for (const VersionRef& ref : refs) {

@@ -42,7 +42,25 @@ class VersionStore {
   VersionStore(const VersionStore&) = delete;
   VersionStore& operator=(const VersionStore&) = delete;
 
+  /// Opens segments and replays the catalog. After an unclean shutdown
+  /// both the active segment's torn frame and a torn catalog tail are
+  /// cut off (see SegmentStore::Open / log::OpenLogForAppend).
   Status Open();
+
+  /// Durability barrier: syncs the active segment, then the catalog —
+  /// in that order, so a durable catalog entry implies its bytes.
+  Status Sync();
+
+  /// Crash-recovery reconciliation. `committed_latest` maps record id →
+  /// latest version the commit point (state log) vouches for. Drops
+  /// catalog references that (a) belong to no committed record,
+  /// (b) exceed the committed latest version, or (c) point at segment
+  /// frames lost with the crash — then durably rewrites the catalog if
+  /// anything was dropped. The orphaned segment frames themselves stay
+  /// behind (WORM media) until segment reclamation collects them.
+  /// Returns the number of dropped references in `*dropped_refs`.
+  Status ReconcileCatalog(const std::map<RecordId, uint32_t>& committed_latest,
+                          uint64_t* dropped_refs);
 
   /// Appends a new version of `record_id` (version 1 creates the chain).
   /// The record's key must already exist in the KeyStore.
@@ -111,9 +129,16 @@ class VersionStore {
 
   Result<std::string> ReadRawEntry(const RecordId& record_id,
                                    uint32_t version) const;
+  static std::string EncodeCatalogEntry(const RecordId& record_id,
+                                        uint32_t version,
+                                        const storage::EntryHandle& handle,
+                                        const std::string& entry_hash);
   Status LogCatalogEntry(const RecordId& record_id, uint32_t version,
                          const storage::EntryHandle& handle,
                          const std::string& entry_hash);
+  /// Durably rewrites catalog.log from the in-memory catalog
+  /// (write-new-then-rename) and re-points the writer.
+  Status RewriteCatalog();
 
   storage::Env* env_;
   std::string dir_;

@@ -89,6 +89,18 @@ class Env {
   virtual Status RenameFile(const std::string& src,
                             const std::string& target) = 0;
 
+  /// Sanctioned truncation, used exclusively by crash recovery to cut a
+  /// torn tail off a log after an unclean shutdown. Unlike
+  /// UnsafeTruncate (the adversary's tool, which leaves the durability
+  /// snapshot alone so tampering stays detectable), this is an honest
+  /// durable operation. May not shrink-to-extend; `size` must be at most
+  /// the current file size.
+  virtual Status Truncate(const std::string& fname, uint64_t size) {
+    (void)fname;
+    (void)size;
+    return Status::NotSupported("Truncate not supported by this Env");
+  }
+
   /// Overwrites `data.size()` bytes at `offset` in an existing file,
   /// bypassing every append-only / WORM discipline in the layers above.
   ///

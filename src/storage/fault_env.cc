@@ -11,12 +11,19 @@ class FaultWritableFile : public WritableFile {
       : base_(std::move(base)), env_(env) {}
 
   Status Append(const Slice& data) override {
-    MEDVAULT_RETURN_IF_ERROR(env_->ConsumeWriteCredit());
+    size_t torn = 0;
+    Status s = env_->BeforeWrite(data.size(), &torn);
+    if (!s.ok()) {
+      // A crash mid-write leaves a prefix of the payload on disk; the
+      // caller still sees the error and must not count the write.
+      if (torn > 0) (void)base_->Append(Slice(data.data(), torn));
+      return s;
+    }
     return base_->Append(data);
   }
   Status Flush() override { return base_->Flush(); }
   Status Sync() override {
-    env_->CountSync();
+    MEDVAULT_RETURN_IF_ERROR(env_->BeforeSync());
     return base_->Sync();
   }
   Status Close() override { return base_->Close(); }
@@ -32,7 +39,12 @@ class FaultRandomRWFile : public RandomRWFile {
       : base_(std::move(base)), env_(env) {}
 
   Status WriteAt(uint64_t offset, const Slice& data) override {
-    MEDVAULT_RETURN_IF_ERROR(env_->ConsumeWriteCredit());
+    size_t torn = 0;
+    Status s = env_->BeforeWrite(data.size(), &torn);
+    if (!s.ok()) {
+      if (torn > 0) (void)base_->WriteAt(offset, Slice(data.data(), torn));
+      return s;
+    }
     return base_->WriteAt(offset, data);
   }
   Status ReadAt(uint64_t offset, size_t n,
@@ -41,7 +53,7 @@ class FaultRandomRWFile : public RandomRWFile {
     return base_->ReadAt(offset, n, result);
   }
   Status Sync() override {
-    env_->CountSync();
+    MEDVAULT_RETURN_IF_ERROR(env_->BeforeSync());
     return base_->Sync();
   }
   Status Close() override { return base_->Close(); }
@@ -86,15 +98,58 @@ class FaultRandomAccessFile : public RandomAccessFile {
 
 }  // namespace
 
-Status FaultInjectionEnv::ConsumeWriteCredit() {
+Status FaultInjectionEnv::BeforeWrite(size_t size, size_t* torn_prefix) {
+  *torn_prefix = 0;
+  const uint64_t op = ops_.fetch_add(1);
   writes_++;
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Status::IoError("simulated power failure: env is crashed");
+  }
+  if (crash_armed_.load(std::memory_order_acquire) && op >= crash_at_.load()) {
+    crashed_.store(true, std::memory_order_release);
+    // Deterministic torn length: some prefix of the payload made it out
+    // of the drive's write buffer before the power died.
+    *torn_prefix = static_cast<size_t>((op * 2654435761ull) % (size + 1));
+    return Status::IoError("simulated power failure: torn write");
+  }
   if (fail_writes_.load()) {
     return Status::IoError("injected write failure");
   }
-  if (limited_) {
+  if (limited_.load(std::memory_order_acquire)) {
     uint64_t remaining = writes_allowed_.load();
-    if (remaining == 0) return Status::IoError("injected write failure");
-    writes_allowed_.store(remaining - 1);
+    while (true) {
+      if (remaining == 0) return Status::IoError("injected write failure");
+      // CAS so concurrent writers cannot both spend the last credit.
+      if (writes_allowed_.compare_exchange_weak(remaining, remaining - 1)) {
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::BeforeSync() {
+  const uint64_t op = ops_.fetch_add(1);
+  syncs_++;
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Status::IoError("simulated power failure: env is crashed");
+  }
+  if (crash_armed_.load(std::memory_order_acquire) && op >= crash_at_.load()) {
+    crashed_.store(true, std::memory_order_release);
+    return Status::IoError("simulated power failure: sync did not complete");
+  }
+  uint64_t k = syncs_to_fail_.load();
+  while (k > 0) {
+    if (syncs_to_fail_.compare_exchange_weak(k, k - 1)) {
+      return Status::IoError("injected sync failure");
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CheckMutationAllowed() {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return Status::IoError("simulated power failure: env is crashed");
   }
   return Status::OK();
 }
@@ -117,6 +172,10 @@ Status FaultInjectionEnv::NewRandomAccessFile(
 
 Status FaultInjectionEnv::NewWritableFile(
     const std::string& fname, std::unique_ptr<WritableFile>* file) {
+  MEDVAULT_RETURN_IF_ERROR(CheckMutationAllowed());
+  if (fail_file_creation_.load()) {
+    return Status::IoError("injected file creation failure");
+  }
   std::unique_ptr<WritableFile> base;
   MEDVAULT_RETURN_IF_ERROR(base_->NewWritableFile(fname, &base));
   *file = std::make_unique<FaultWritableFile>(std::move(base), this);
@@ -125,6 +184,10 @@ Status FaultInjectionEnv::NewWritableFile(
 
 Status FaultInjectionEnv::NewAppendableFile(
     const std::string& fname, std::unique_ptr<WritableFile>* file) {
+  MEDVAULT_RETURN_IF_ERROR(CheckMutationAllowed());
+  if (fail_file_creation_.load() && !base_->FileExists(fname)) {
+    return Status::IoError("injected file creation failure");
+  }
   std::unique_ptr<WritableFile> base;
   MEDVAULT_RETURN_IF_ERROR(base_->NewAppendableFile(fname, &base));
   *file = std::make_unique<FaultWritableFile>(std::move(base), this);
@@ -133,6 +196,10 @@ Status FaultInjectionEnv::NewAppendableFile(
 
 Status FaultInjectionEnv::NewRandomRWFile(
     const std::string& fname, std::unique_ptr<RandomRWFile>* file) {
+  MEDVAULT_RETURN_IF_ERROR(CheckMutationAllowed());
+  if (fail_file_creation_.load() && !base_->FileExists(fname)) {
+    return Status::IoError("injected file creation failure");
+  }
   std::unique_ptr<RandomRWFile> base;
   MEDVAULT_RETURN_IF_ERROR(base_->NewRandomRWFile(fname, &base));
   *file = std::make_unique<FaultRandomRWFile>(std::move(base), this);

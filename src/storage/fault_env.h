@@ -16,9 +16,24 @@ namespace medvault::storage {
 ///  - FailAfterWrites(n): the n+1-th and later Append/WriteAt calls fail
 ///    with kIoError (models a full or dying disk mid-operation).
 ///  - FailWrites(bool): hard on/off switch.
+///  - FailNextSyncs(k): the next k Sync() calls fail (data reached the
+///    page cache but the durability barrier broke).
+///  - FailFileCreation(bool): creating new files fails (ENOSPC-style).
+///  - PlanCrash(k): power cut at I/O boundary k — see below.
 ///
-/// Counters (writes, syncs, reads) let tests assert I/O behaviour, e.g.
-/// "backup verification reads every byte".
+/// Counters (writes, syncs, reads, unsafe_writes) let tests assert I/O
+/// behaviour, e.g. "backup verification reads every byte". All knobs and
+/// counters are atomics, safe to poke while worker threads do I/O.
+///
+/// Crash simulation: every Append/WriteAt/Sync across all files is one
+/// I/O boundary, numbered from 0 in call order. After PlanCrash(k), the
+/// op at boundary k fails — an Append lands a deterministic prefix of
+/// its payload first (torn write), a Sync fails without persisting — and
+/// every later mutating operation (writes, syncs, file creation, rename,
+/// remove, truncate) fails until Reset(), as if the machine lost power.
+/// Run the workload once fault-free and read ops() to size a crash
+/// matrix. Pair with MemEnv::CrashAndRecover to discard unsynced bytes
+/// before "rebooting".
 class FaultInjectionEnv : public Env {
  public:
   explicit FaultInjectionEnv(Env* base) : base_(base) {}
@@ -29,23 +44,53 @@ class FaultInjectionEnv : public Env {
   /// Writes beyond the next `n` fail. Resets the write counter.
   void FailAfterWrites(uint64_t n) {
     writes_allowed_.store(n);
-    limited_ = true;
+    limited_.store(true);
   }
   void FailWrites(bool fail) { fail_writes_.store(fail); }
+  /// The next `k` Sync() calls fail with kIoError.
+  void FailNextSyncs(uint64_t k) { syncs_to_fail_.store(k); }
+  /// While set, NewWritableFile/NewAppendableFile/NewRandomRWFile fail.
+  /// Opening existing files for read is unaffected.
+  void FailFileCreation(bool fail) { fail_file_creation_.store(fail); }
+
+  /// Arms a power cut at I/O boundary `k` (0-based; every Append,
+  /// WriteAt, and Sync counts as one boundary).
+  void PlanCrash(uint64_t k) {
+    crash_at_.store(k);
+    crash_armed_.store(true);
+  }
+  /// True once an armed crash has fired.
+  bool crashed() const { return crashed_.load(); }
+  /// Total I/O boundaries seen since the last Reset().
+  uint64_t ops() const { return ops_.load(); }
+
   void Reset() {
-    fail_writes_ = false;
-    limited_ = false;
-    writes_ = syncs_ = reads_ = 0;
+    fail_writes_.store(false);
+    limited_.store(false);
+    writes_allowed_.store(0);
+    syncs_to_fail_.store(0);
+    fail_file_creation_.store(false);
+    crash_armed_.store(false);
+    crashed_.store(false);
+    crash_at_.store(0);
+    writes_ = syncs_ = reads_ = unsafe_writes_ = ops_ = 0;
   }
 
   uint64_t writes() const { return writes_.load(); }
   uint64_t syncs() const { return syncs_.load(); }
   uint64_t reads() const { return reads_.load(); }
+  /// UnsafeOverwrite/UnsafeTruncate calls (adversary channel). Counted
+  /// separately from writes(): unsafe ops bypass the sanctioned write
+  /// path, so they never consume fault credits or trip a planned crash.
+  uint64_t unsafe_writes() const { return unsafe_writes_.load(); }
 
-  /// Returns kIoError if the next write should fail; otherwise consumes
-  /// one write credit. Called by the wrapped file objects.
-  Status ConsumeWriteCredit();
-  void CountSync() { syncs_++; }
+  /// Gate for a sanctioned write of `size` bytes. On kIoError,
+  /// *torn_prefix says how many leading bytes still reach the file
+  /// (non-zero only when a planned crash fires mid-write). Called by
+  /// the wrapped file objects.
+  Status BeforeWrite(size_t size, size_t* torn_prefix);
+  /// Gate for a Sync. On kIoError the barrier must not be forwarded.
+  Status BeforeSync();
   void CountRead() { reads_++; }
 
   Status NewSequentialFile(const std::string& fname,
@@ -67,6 +112,7 @@ class FaultInjectionEnv : public Env {
     return base_->GetChildren(dir, result);
   }
   Status RemoveFile(const std::string& fname) override {
+    MEDVAULT_RETURN_IF_ERROR(CheckMutationAllowed());
     return base_->RemoveFile(fname);
   }
   Status CreateDirIfMissing(const std::string& dirname) override {
@@ -77,24 +123,41 @@ class FaultInjectionEnv : public Env {
   }
   Status RenameFile(const std::string& src,
                     const std::string& target) override {
+    MEDVAULT_RETURN_IF_ERROR(CheckMutationAllowed());
     return base_->RenameFile(src, target);
+  }
+  Status Truncate(const std::string& fname, uint64_t size) override {
+    MEDVAULT_RETURN_IF_ERROR(CheckMutationAllowed());
+    return base_->Truncate(fname, size);
   }
   Status UnsafeOverwrite(const std::string& fname, uint64_t offset,
                          const Slice& data) override {
+    unsafe_writes_++;
     return base_->UnsafeOverwrite(fname, offset, data);
   }
   Status UnsafeTruncate(const std::string& fname, uint64_t size) override {
+    unsafe_writes_++;
     return base_->UnsafeTruncate(fname, size);
   }
 
  private:
+  /// Refuses metadata mutations once a planned crash has fired.
+  Status CheckMutationAllowed();
+
   Env* base_;
   std::atomic<bool> fail_writes_{false};
-  bool limited_ = false;
+  std::atomic<bool> limited_{false};
   std::atomic<uint64_t> writes_allowed_{0};
+  std::atomic<uint64_t> syncs_to_fail_{0};
+  std::atomic<bool> fail_file_creation_{false};
+  std::atomic<bool> crash_armed_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<uint64_t> crash_at_{0};
+  std::atomic<uint64_t> ops_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> syncs_{0};
   std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> unsafe_writes_{0};
 };
 
 }  // namespace medvault::storage

@@ -24,6 +24,7 @@ bool Reader::MaybeRefill() {
     return false;
   }
   if (backing_.size() < kBlockSize) eof_ = true;
+  bytes_consumed_ += backing_.size();
   buffer_ = Slice(backing_);
   return true;
 }
@@ -96,6 +97,7 @@ bool Reader::ReadRecord(std::string* record) {
           return false;
         }
         record->assign(fragment.data(), fragment.size());
+        last_record_end_ = bytes_consumed_ - buffer_.size();
         return true;
       case static_cast<int>(RecordType::kFirst):
         if (in_fragmented) {
@@ -119,6 +121,7 @@ bool Reader::ReadRecord(std::string* record) {
         }
         assembled.append(fragment.data(), fragment.size());
         *record = std::move(assembled);
+        last_record_end_ = bytes_consumed_ - buffer_.size();
         return true;
       case kEof:
         if (in_fragmented) {

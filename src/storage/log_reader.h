@@ -30,6 +30,15 @@ class Reader {
   /// OK at clean EOF; kCorruption if the log was damaged.
   const Status& status() const { return status_; }
 
+  /// File offset just past the last complete logical record returned by
+  /// ReadRecord (0 if none yet). After draining the log, recovery
+  /// truncates a torn tail down to this offset — but only while
+  /// status() is OK; a kCorruption mid-file is tamper evidence, never
+  /// cut away. May land before a block trailer the reader skipped;
+  /// that is fine, log::Writer re-derives its block phase from the
+  /// resulting size.
+  uint64_t ValidEnd() const { return last_record_end_; }
+
  private:
   /// Reads the next physical record; returns the type or an eof/bad marker.
   int ReadPhysicalRecord(Slice* fragment);
@@ -42,6 +51,8 @@ class Reader {
   Slice buffer_;
   bool eof_ = false;
   Status status_;
+  uint64_t bytes_consumed_ = 0;   ///< total bytes read from src_
+  uint64_t last_record_end_ = 0;  ///< see ValidEnd()
 
   static constexpr int kEof = kMaxRecordType + 1;
   static constexpr int kBadRecord = kMaxRecordType + 2;

@@ -34,25 +34,6 @@ class MemSequentialFile : public SequentialFile {
   uint64_t pos_ = 0;
 };
 
-}  // namespace
-
-std::shared_ptr<MemEnv::FileState> MemEnv::Find(const std::string& fname) {
-  auto it = files_.find(fname);
-  return it == files_.end() ? nullptr : it->second;
-}
-
-Status MemEnv::NewSequentialFile(const std::string& fname,
-                                 std::unique_ptr<SequentialFile>* file) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto state = Find(fname);
-  if (!state) return Status::NotFound(fname);
-  *file = std::make_unique<MemSequentialFile>(
-      std::shared_ptr<std::string>(state, &state->contents), &mu_);
-  return Status::OK();
-}
-
-namespace {
-
 class MemRandomAccessFile : public RandomAccessFile {
  public:
   MemRandomAccessFile(std::shared_ptr<std::string> contents, std::mutex* mu)
@@ -72,58 +53,83 @@ class MemRandomAccessFile : public RandomAccessFile {
   std::mutex* mu_;
 };
 
-class MemWritableFile : public WritableFile {
+}  // namespace
+
+class MemEnv::MemWritableFile : public WritableFile {
  public:
-  MemWritableFile(std::shared_ptr<std::string> target, std::mutex* mu)
-      : target_(std::move(target)), mu_(mu) {}
+  MemWritableFile(std::shared_ptr<FileState> state, MemEnv* env)
+      : state_(std::move(state)), env_(env) {}
 
   Status Append(const Slice& data) override {
-    std::lock_guard<std::mutex> lock(*mu_);
-    target_->append(data.data(), data.size());
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    state_->contents.append(data.data(), data.size());
     return Status::OK();
   }
   Status Flush() override { return Status::OK(); }
-  Status Sync() override { return Status::OK(); }
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->crash_tracking_) state_->persisted = state_->contents;
+    return Status::OK();
+  }
   Status Close() override { return Status::OK(); }
 
  private:
-  std::shared_ptr<std::string> target_;
-  std::mutex* mu_;
+  std::shared_ptr<FileState> state_;
+  MemEnv* env_;
 };
 
-class MemRandomRWFile : public RandomRWFile {
+class MemEnv::MemRandomRWFile : public RandomRWFile {
  public:
-  MemRandomRWFile(std::shared_ptr<std::string> target, std::mutex* mu)
-      : target_(std::move(target)), mu_(mu) {}
+  MemRandomRWFile(std::shared_ptr<FileState> state, MemEnv* env)
+      : state_(std::move(state)), env_(env) {}
 
   Status WriteAt(uint64_t offset, const Slice& data) override {
-    std::lock_guard<std::mutex> lock(*mu_);
-    if (offset + data.size() > target_->size()) {
-      target_->resize(offset + data.size(), '\0');
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    std::string* target = &state_->contents;
+    if (offset + data.size() > target->size()) {
+      target->resize(offset + data.size(), '\0');
     }
-    memcpy(target_->data() + offset, data.data(), data.size());
+    memcpy(target->data() + offset, data.data(), data.size());
     return Status::OK();
   }
 
   Status ReadAt(uint64_t offset, size_t n,
                 std::string* result) const override {
-    std::lock_guard<std::mutex> lock(*mu_);
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    const std::string* target = &state_->contents;
     result->clear();
-    if (offset >= target_->size()) return Status::OK();
-    size_t take = std::min<uint64_t>(n, target_->size() - offset);
-    result->assign(target_->data() + offset, take);
+    if (offset >= target->size()) return Status::OK();
+    size_t take = std::min<uint64_t>(n, target->size() - offset);
+    result->assign(target->data() + offset, take);
     return Status::OK();
   }
 
-  Status Sync() override { return Status::OK(); }
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(env_->mu_);
+    if (env_->crash_tracking_) state_->persisted = state_->contents;
+    return Status::OK();
+  }
   Status Close() override { return Status::OK(); }
 
  private:
-  std::shared_ptr<std::string> target_;
-  std::mutex* mu_;
+  std::shared_ptr<FileState> state_;
+  MemEnv* env_;
 };
 
-}  // namespace
+std::shared_ptr<MemEnv::FileState> MemEnv::Find(const std::string& fname) {
+  auto it = files_.find(fname);
+  return it == files_.end() ? nullptr : it->second;
+}
+
+Status MemEnv::NewSequentialFile(const std::string& fname,
+                                 std::unique_ptr<SequentialFile>* file) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = Find(fname);
+  if (!state) return Status::NotFound(fname);
+  *file = std::make_unique<MemSequentialFile>(
+      std::shared_ptr<std::string>(state, &state->contents), &mu_);
+  return Status::OK();
+}
 
 Status MemEnv::NewRandomAccessFile(const std::string& fname,
                                    std::unique_ptr<RandomAccessFile>* file) {
@@ -140,8 +146,7 @@ Status MemEnv::NewWritableFile(const std::string& fname,
   std::lock_guard<std::mutex> lock(mu_);
   auto state = std::make_shared<FileState>();
   files_[fname] = state;
-  *file = std::make_unique<MemWritableFile>(
-      std::shared_ptr<std::string>(state, &state->contents), &mu_);
+  *file = std::make_unique<MemWritableFile>(std::move(state), this);
   return Status::OK();
 }
 
@@ -153,8 +158,7 @@ Status MemEnv::NewAppendableFile(const std::string& fname,
     state = std::make_shared<FileState>();
     files_[fname] = state;
   }
-  *file = std::make_unique<MemWritableFile>(
-      std::shared_ptr<std::string>(state, &state->contents), &mu_);
+  *file = std::make_unique<MemWritableFile>(std::move(state), this);
   return Status::OK();
 }
 
@@ -166,8 +170,7 @@ Status MemEnv::NewRandomRWFile(const std::string& fname,
     state = std::make_shared<FileState>();
     files_[fname] = state;
   }
-  *file = std::make_unique<MemRandomRWFile>(
-      std::shared_ptr<std::string>(state, &state->contents), &mu_);
+  *file = std::make_unique<MemRandomRWFile>(std::move(state), this);
   return Status::OK();
 }
 
@@ -226,6 +229,20 @@ Status MemEnv::RenameFile(const std::string& src, const std::string& target) {
   return Status::OK();
 }
 
+Status MemEnv::Truncate(const std::string& fname, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto state = Find(fname);
+  if (!state) return Status::NotFound(fname);
+  if (size > state->contents.size()) {
+    return Status::InvalidArgument("Truncate would extend file");
+  }
+  state->contents.resize(size);
+  // A sanctioned (recovery) truncation is durable like other metadata
+  // operations: the cut tail must not resurrect after the next crash.
+  if (state->persisted.size() > size) state->persisted.resize(size);
+  return Status::OK();
+}
+
 Status MemEnv::UnsafeOverwrite(const std::string& fname, uint64_t offset,
                                const Slice& data) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -235,6 +252,13 @@ Status MemEnv::UnsafeOverwrite(const std::string& fname, uint64_t offset,
     return Status::InvalidArgument("UnsafeOverwrite beyond EOF");
   }
   memcpy(state->contents.data() + offset, data.data(), data.size());
+  // The adversary writes to the platters directly; mirror into the
+  // persisted region it touches so a later crash cannot undo tampering.
+  if (offset < state->persisted.size()) {
+    size_t n = std::min<uint64_t>(data.size(),
+                                  state->persisted.size() - offset);
+    memcpy(state->persisted.data() + offset, data.data(), n);
+  }
   return Status::OK();
 }
 
@@ -246,7 +270,51 @@ Status MemEnv::UnsafeTruncate(const std::string& fname, uint64_t size) {
     return Status::InvalidArgument("UnsafeTruncate would extend file");
   }
   state->contents.resize(size);
+  if (state->persisted.size() > size) state->persisted.resize(size);
   return Status::OK();
+}
+
+void MemEnv::SetCrashTrackingEnabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (enabled && !crash_tracking_) {
+    // Everything written so far counts as already on stable media.
+    for (auto& [name, state] : files_) state->persisted = state->contents;
+  }
+  crash_tracking_ = enabled;
+}
+
+void MemEnv::CrashAndRecover(CrashMode mode, uint32_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, state] : files_) {
+    std::string& contents = state->contents;
+    std::string& persisted = state->persisted;
+    switch (mode) {
+      case CrashMode::kKeepAll:
+        break;
+      case CrashMode::kDropUnsynced:
+        contents = persisted;
+        break;
+      case CrashMode::kKeepPartial: {
+        const bool append_only =
+            contents.size() >= persisted.size() &&
+            contents.compare(0, persisted.size(), persisted) == 0;
+        if (!append_only) {
+          // In-place rewrites (RW files) can't keep a meaningful
+          // partial tail; fall back to the synced snapshot.
+          contents = persisted;
+          break;
+        }
+        uint64_t extra = contents.size() - persisted.size();
+        uint64_t keep =
+            extra == 0
+                ? 0
+                : (std::hash<std::string>{}(name) ^ seed) % (extra + 1);
+        contents.resize(persisted.size() + keep);
+        break;
+      }
+    }
+    persisted = contents;
+  }
 }
 
 uint64_t MemEnv::TotalBytes() {

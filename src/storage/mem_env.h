@@ -10,9 +10,26 @@
 
 namespace medvault::storage {
 
+/// How much of the unsynced write-back data a simulated power cut keeps
+/// (the synced prefix always survives — that is what Sync promises).
+enum class CrashMode {
+  kDropUnsynced,  ///< everything after the last Sync is lost
+  kKeepAll,       ///< the kernel happened to flush everything anyway
+  kKeepPartial,   ///< a seeded per-file prefix of the unsynced tail lands
+};
+
 /// In-memory Env. Used by tests, benchmarks, and as the "off-site
 /// facility" in backup experiments. Supports UnsafeOverwrite/UnsafeTruncate
 /// so the adversary simulator can tamper with raw bytes.
+///
+/// Power-fail simulation: with SetCrashTrackingEnabled(true), every file
+/// carries a `persisted` snapshot updated on Sync (the bytes that made it
+/// to stable media). CrashAndRecover() then models pulling the plug:
+/// unsynced data is dropped (or partially kept, per CrashMode) and the
+/// snapshot becomes the new file contents. Metadata operations (create,
+/// rename, remove) are treated as immediately durable, like a journaled
+/// filesystem. Tracking is opt-in because the per-Sync snapshot copy is
+/// O(file size) and would distort benchmarks.
 class MemEnv : public Env {
  public:
   MemEnv() = default;
@@ -39,10 +56,23 @@ class MemEnv : public Env {
   Status GetFileSize(const std::string& fname, uint64_t* size) override;
   Status RenameFile(const std::string& src,
                     const std::string& target) override;
+  Status Truncate(const std::string& fname, uint64_t size) override;
 
   Status UnsafeOverwrite(const std::string& fname, uint64_t offset,
                          const Slice& data) override;
   Status UnsafeTruncate(const std::string& fname, uint64_t size) override;
+
+  /// Turns power-fail tracking on or off. Enabling snapshots the current
+  /// contents of every file as persisted (everything so far is treated
+  /// as on stable media).
+  void SetCrashTrackingEnabled(bool enabled);
+
+  /// Simulates a power cut followed by a reboot: every file reverts to
+  /// its persisted snapshot plus, depending on `mode`, some prefix of
+  /// the unsynced tail (`seed` makes kKeepPartial deterministic).
+  /// Requires crash tracking to be enabled. Outstanding file handles
+  /// from "before the crash" must not be used afterwards.
+  void CrashAndRecover(CrashMode mode, uint32_t seed = 0);
 
   /// Total bytes across all files (used by cost experiments).
   uint64_t TotalBytes();
@@ -50,12 +80,19 @@ class MemEnv : public Env {
  private:
   struct FileState {
     std::string contents;
+    std::string persisted;  ///< bytes on "stable media"; tracking only
   };
+
+  class MemWritableFile;
+  class MemRandomRWFile;
+  friend class MemWritableFile;
+  friend class MemRandomRWFile;
 
   std::shared_ptr<FileState> Find(const std::string& fname);
 
   std::mutex mu_;
   std::map<std::string, std::shared_ptr<FileState>> files_;
+  bool crash_tracking_ = false;  // guarded by mu_
 };
 
 }  // namespace medvault::storage

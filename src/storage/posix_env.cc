@@ -245,6 +245,18 @@ Status PosixEnv::RenameFile(const std::string& src,
   return Status::OK();
 }
 
+Status PosixEnv::Truncate(const std::string& fname, uint64_t size) {
+  uint64_t current = 0;
+  MEDVAULT_RETURN_IF_ERROR(GetFileSize(fname, &current));
+  if (size > current) {
+    return Status::InvalidArgument("Truncate would extend file");
+  }
+  if (::truncate(fname.c_str(), static_cast<off_t>(size)) < 0) {
+    return PosixError(fname, errno);
+  }
+  return Status::OK();
+}
+
 Status PosixEnv::UnsafeOverwrite(const std::string& fname, uint64_t offset,
                                  const Slice& data) {
   uint64_t size = 0;

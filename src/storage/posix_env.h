@@ -36,6 +36,7 @@ class PosixEnv : public Env {
   Status GetFileSize(const std::string& fname, uint64_t* size) override;
   Status RenameFile(const std::string& src,
                     const std::string& target) override;
+  Status Truncate(const std::string& fname, uint64_t size) override;
 
   Status UnsafeOverwrite(const std::string& fname, uint64_t offset,
                          const Slice& data) override;

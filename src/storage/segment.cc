@@ -56,6 +56,28 @@ Status SegmentStore::Open() {
     }
   }
 
+  // The highest-numbered segment was the active one at shutdown; an
+  // unclean shutdown can leave a torn frame at its tail. Cut the tail
+  // back to the last whole frame (complete frames with bad CRCs are
+  // tamper evidence and are left in place for the read path to catch).
+  // Lower-numbered segments were sealed with a durability barrier and
+  // cannot be torn.
+  if (max_id > 0) {
+    const std::string name = SegmentFileName(max_id);
+    std::string contents;
+    MEDVAULT_RETURN_IF_ERROR(ReadFileToString(env_, name, &contents));
+    uint64_t offset = 0;
+    while (offset + kFrameHeaderSize <= contents.size()) {
+      uint32_t length = DecodeFixed32(contents.data() + offset + 4);
+      if (offset + kFrameHeaderSize + length > contents.size()) break;
+      offset += kFrameHeaderSize + length;
+    }
+    if (offset < contents.size()) {
+      MEDVAULT_RETURN_IF_ERROR(env_->Truncate(name, offset));
+      segments_[max_id].bytes = offset;
+    }
+  }
+
   // Start a fresh active segment after the highest existing one.
   active_id_ = max_id + 1;
   segments_[active_id_] = SegmentInfo{0, false};
@@ -73,19 +95,44 @@ Status SegmentStore::RollSegment() {
 
 Status SegmentStore::SealActive() {
   if (!open_) return Status::FailedPrecondition("segment store not open");
+  // Create the successor file before touching any state: if creation
+  // fails (disk full, injected fault) the store is exactly as it was
+  // and the seal can be retried. The old order flipped `sealed` and
+  // bumped `active_id_` first, leaving the store wedged — no active
+  // file, ids desynced — after a failed creation.
+  const uint64_t next_id = active_id_ + 1;
+  std::unique_ptr<WritableFile> next_file;
+  MEDVAULT_RETURN_IF_ERROR(
+      env_->NewWritableFile(SegmentFileName(next_id), &next_file));
   if (active_file_) {
-    MEDVAULT_RETURN_IF_ERROR(active_file_->Sync());
-    MEDVAULT_RETURN_IF_ERROR(active_file_->Close());
+    Status s = active_file_->Sync();
+    if (s.ok()) s = active_file_->Close();
+    if (!s.ok()) {
+      (void)next_file->Close();
+      (void)env_->RemoveFile(SegmentFileName(next_id));
+      return s;
+    }
     active_file_.reset();
   }
   segments_[active_id_].sealed = true;
-
-  active_id_++;
+  active_id_ = next_id;
   segments_[active_id_] = SegmentInfo{0, false};
-  MEDVAULT_RETURN_IF_ERROR(
-      env_->NewWritableFile(SegmentFileName(active_id_), &active_file_));
+  active_file_ = std::move(next_file);
   active_offset_ = 0;
   return Status::OK();
+}
+
+Status SegmentStore::SyncActive() {
+  if (!open_) return Status::FailedPrecondition("segment store not open");
+  if (active_file_) return active_file_->Sync();
+  return Status::OK();
+}
+
+bool SegmentStore::Contains(const EntryHandle& handle) const {
+  auto it = segments_.find(handle.segment_id);
+  if (it == segments_.end()) return false;
+  return handle.offset + kFrameHeaderSize + handle.length <=
+         it->second.bytes;
 }
 
 Result<EntryHandle> SegmentStore::Append(const Slice& payload) {

@@ -59,7 +59,17 @@ class SegmentStore {
   Result<std::string> Read(const EntryHandle& handle) const;
 
   /// Seals the active segment regardless of size (e.g. at checkpoint).
+  /// On failure nothing has changed and the call may simply be retried.
   Status SealActive();
+
+  /// Durability barrier on the active segment (no-op if it has none).
+  Status SyncActive();
+
+  /// True if `handle` points at bytes structurally present in the store
+  /// (segment exists and the frame lies within its recovered size).
+  /// Recovery uses this to spot catalog entries whose segment frame was
+  /// lost to a torn tail; it does not verify the frame CRC.
+  bool Contains(const EntryHandle& handle) const;
 
   /// Iterates every entry in segment order. `fn` returns false to stop.
   /// Corrupt frames surface as kCorruption.

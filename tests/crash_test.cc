@@ -1,0 +1,300 @@
+// Crash matrix: a full record lifecycle (bootstrap → ingest → batch
+// ingest → correction → checkpoint → crypto-shred) is killed by a
+// simulated power cut at EVERY sanctioned I/O boundary, the unsynced
+// bytes are dropped (or partially kept), and the vault is reopened.
+//
+// After every crash point the reopened vault must satisfy the recovery
+// contract:
+//   - Open succeeds (never a wedged store),
+//   - the audit chain verifies end to end,
+//   - every record acknowledged by a successful SyncAll is readable at
+//     (at least) its acknowledged version — or crypto-shredded, but
+//     only if its disposal had been started,
+//   - NO partial record is visible: everything the catalog lists is
+//     either fully readable or a disposed tombstone,
+//   - blinded search still finds every acknowledged record,
+//   - the vault accepts fresh ingest after recovery.
+//
+// The boundary count is discovered by one fault-free dry run; the
+// matrix then replays the deterministic workload once per boundary per
+// crash mode. See FaultInjectionEnv::PlanCrash and
+// MemEnv::CrashAndRecover for the power-fail model.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/vault.h"
+#include "storage/fault_env.h"
+#include "storage/mem_env.h"
+
+namespace medvault {
+namespace {
+
+using core::Role;
+using core::Vault;
+using core::VaultOptions;
+
+/// What the workload got durably acknowledged before the power cut.
+/// Only SyncAll-acked state carries guarantees across a crash.
+struct WorkloadTrace {
+  /// record id -> minimum latest version the reopened vault must serve.
+  std::map<std::string, uint32_t> acked;
+  /// Acked records indexed under the "shared" keyword (search probe).
+  std::vector<std::string> acked_shared;
+  std::string disposal_id;         ///< the record the workload shreds
+  bool disposal_started = false;   ///< DisposeRecord was entered
+  bool disposal_acked = false;     ///< ...and a later SyncAll succeeded
+};
+
+VaultOptions Options(storage::Env* env, const Clock* clock) {
+  VaultOptions options;
+  options.env = env;
+  options.dir = "vault";
+  options.clock = clock;
+  options.master_key = std::string(32, 'M');
+  options.entropy = "crash-entropy";
+  options.signer_height = 4;
+  return options;
+}
+
+/// Runs the lifecycle workload until it completes or the planned crash
+/// makes an operation fail. Every step bails on the first error — after
+/// a power cut the process is gone, so nothing after the failing call
+/// may execute. Records what a client would consider durable in
+/// `trace`.
+void RunWorkload(storage::Env* env, ManualClock* clock,
+                 WorkloadTrace* trace) {
+  auto opened = Vault::Open(Options(env, clock));
+  if (!opened.ok()) return;
+  Vault* vault = opened->get();
+
+  if (!vault->RegisterPrincipal("boot", {"admin", Role::kAdmin, "A"}).ok())
+    return;
+  if (!vault->RegisterPrincipal("admin", {"dr", Role::kPhysician, "D"}).ok())
+    return;
+  if (!vault->RegisterPrincipal("admin", {"p", Role::kPatient, "P"}).ok())
+    return;
+  if (!vault->AssignCare("admin", "dr", "p").ok()) return;
+  if (!vault->SyncAll().ok()) return;
+
+  // Ingest: one single create plus a batched pair.
+  auto r1 = vault->CreateRecord("dr", "p", "text/plain",
+                                "alpha clinical note", {"alpha", "shared"},
+                                "hipaa-6y");
+  if (!r1.ok()) return;
+  auto batch = vault->CreateRecordsBatch(
+      "dr", {{"p", "text/plain", "beta result", {"beta", "shared"},
+              "hipaa-6y"},
+             {"p", "text/plain", "gamma scan", {"gamma", "shared"},
+              "hipaa-6y"}});
+  if (!batch.ok()) return;
+  if (vault->SyncAll().ok()) {
+    trace->acked[*r1] = 1;
+    for (const auto& id : *batch) trace->acked[id] = 1;
+    trace->acked_shared = {*r1, (*batch)[0], (*batch)[1]};
+  }
+
+  // Correction: r1 gains version 2.
+  if (!vault
+           ->CorrectRecord("dr", *r1, "alpha clinical note, corrected",
+                           "transcription error", {"alpha", "shared"})
+           .ok())
+    return;
+  if (vault->SyncAll().ok()) trace->acked[*r1] = 2;
+
+  if (!vault->CheckpointAudit().ok()) return;
+
+  // Disposal: a short-retention record, aged out, then crypto-shredded.
+  auto doomed = vault->CreateRecord("dr", "p", "text/plain",
+                                    "delta short-lived", {"delta"},
+                                    "short-1y");
+  if (!doomed.ok()) return;
+  if (vault->SyncAll().ok()) trace->acked[*doomed] = 1;
+  trace->disposal_id = *doomed;
+  clock->AdvanceYears(2);
+
+  trace->disposal_started = true;
+  if (!vault->DisposeRecord("admin", *doomed).ok()) return;
+  if (vault->SyncAll().ok()) trace->disposal_acked = true;
+}
+
+/// Re-registers whatever part of the cast the crash erased. Individual
+/// registrations may fail because the principal already exists — that
+/// is fine; the probe that follows is what asserts.
+void EnsureCast(Vault* vault) {
+  (void)vault->RegisterPrincipal("boot", {"admin", Role::kAdmin, "A"});
+  (void)vault->RegisterPrincipal("admin", {"dr", Role::kPhysician, "D"});
+  (void)vault->RegisterPrincipal("admin", {"p", Role::kPatient, "P"});
+  (void)vault->AssignCare("admin", "dr", "p");
+}
+
+/// Asserts the full recovery contract on a post-crash env.
+void CheckRecovered(storage::Env* env, ManualClock* clock,
+                    const WorkloadTrace& trace, const std::string& label) {
+  SCOPED_TRACE(label);
+  auto reopened = Vault::Open(Options(env, clock));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  Vault* vault = reopened->get();
+
+  EXPECT_TRUE(vault->VerifyAudit().ok());
+
+  // Every SyncAll-acked record must still be served at (at least) its
+  // acked version; the shredded one must read as destroyed once the
+  // disposal was acked, and may read either way while it was in flight.
+  for (const auto& [id, version] : trace.acked) {
+    auto read = vault->ReadRecord("dr", id);
+    if (id == trace.disposal_id && trace.disposal_started) {
+      if (trace.disposal_acked) {
+        EXPECT_TRUE(read.status().IsKeyDestroyed())
+            << id << ": " << read.status().ToString();
+      } else {
+        EXPECT_TRUE(read.ok() || read.status().IsKeyDestroyed())
+            << id << ": " << read.status().ToString();
+      }
+      continue;
+    }
+    ASSERT_TRUE(read.ok()) << id << ": " << read.status().ToString();
+    EXPECT_GE(read->header.version, version) << id;
+  }
+
+  // No partial record: whatever the catalog lists is fully usable —
+  // meta present, history walkable, latest version readable (or a
+  // disposed tombstone).
+  for (const auto& id : vault->ListRecordIds()) {
+    auto meta = vault->GetRecordMeta(id);
+    ASSERT_TRUE(meta.ok()) << id;
+    auto read = vault->ReadRecord("dr", id);
+    if (meta->disposed) {
+      EXPECT_TRUE(read.status().IsKeyDestroyed())
+          << id << ": " << read.status().ToString();
+      continue;
+    }
+    ASSERT_TRUE(read.ok()) << id << ": " << read.status().ToString();
+    auto history = vault->RecordHistory("dr", id);
+    ASSERT_TRUE(history.ok()) << id << ": " << history.status().ToString();
+    EXPECT_EQ(history->size(), meta->latest_version) << id;
+  }
+
+  // Blinded search still finds every acked live record.
+  if (!trace.acked_shared.empty()) {
+    auto hits = vault->SearchKeyword("dr", "shared");
+    ASSERT_TRUE(hits.ok()) << hits.status().ToString();
+    for (const auto& id : trace.acked_shared) {
+      EXPECT_NE(std::find(hits->begin(), hits->end(), id), hits->end())
+          << "acked record " << id << " missing from search";
+    }
+  }
+
+  // The recovered vault accepts fresh ingest end to end.
+  EnsureCast(vault);
+  auto fresh = vault->CreateRecord("dr", "p", "text/plain",
+                                   "post-recovery note", {"fresh"},
+                                   "hipaa-6y");
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  ASSERT_TRUE(vault->SyncAll().ok());
+  EXPECT_TRUE(vault->ReadRecord("dr", *fresh).ok());
+}
+
+/// One fault-free pass to discover the boundary count; the workload is
+/// deterministic, so every matrix run replays the same op sequence.
+uint64_t CountBoundaries() {
+  storage::MemEnv env;
+  env.SetCrashTrackingEnabled(true);
+  storage::FaultInjectionEnv fault(&env);
+  ManualClock clock(1000000);
+  WorkloadTrace trace;
+  RunWorkload(&fault, &clock, &trace);
+  // Sanity: the dry run must complete and ack everything, or the
+  // matrix below would silently test a truncated workload.
+  EXPECT_EQ(trace.acked.size(), 4u);
+  EXPECT_TRUE(trace.disposal_acked);
+  return fault.ops();
+}
+
+void RunMatrix(storage::CrashMode mode) {
+  const uint64_t boundaries = CountBoundaries();
+  ASSERT_GT(boundaries, 0u);
+  for (uint64_t k = 0; k < boundaries; k++) {
+    storage::MemEnv env;
+    env.SetCrashTrackingEnabled(true);
+    storage::FaultInjectionEnv fault(&env);
+    ManualClock clock(1000000);
+    fault.PlanCrash(k);
+
+    WorkloadTrace trace;
+    RunWorkload(&fault, &clock, &trace);
+    ASSERT_TRUE(fault.crashed()) << "boundary " << k << " never reached";
+
+    env.CrashAndRecover(mode, /*seed=*/static_cast<uint32_t>(k));
+    CheckRecovered(&env, &clock,
+                   trace, "crash at boundary " + std::to_string(k));
+  }
+}
+
+TEST(CrashMatrixTest, EveryBoundaryDropUnsynced) {
+  RunMatrix(storage::CrashMode::kDropUnsynced);
+}
+
+TEST(CrashMatrixTest, EveryBoundaryKeepPartial) {
+  RunMatrix(storage::CrashMode::kKeepPartial);
+}
+
+// A crash can also strike while recovery itself is writing (the
+// reconciliation rewrite, the kRecovery audit entry, the final sync).
+// Recovery must be idempotent: crash it at every boundary of a
+// recovering open, recover again, and the contract must still hold.
+TEST(CrashMatrixTest, CrashDuringRecoveryIsIdempotent) {
+  // First crash: mid-lifecycle, somewhere that leaves real work for
+  // recovery (two thirds through the workload).
+  const uint64_t boundaries = CountBoundaries();
+  const uint64_t first_crash = boundaries * 2 / 3;
+
+  // Discover how many ops a recovering open performs after that crash.
+  uint64_t recovery_ops = 0;
+  {
+    storage::MemEnv env;
+    env.SetCrashTrackingEnabled(true);
+    storage::FaultInjectionEnv fault(&env);
+    ManualClock clock(1000000);
+    fault.PlanCrash(first_crash);
+    WorkloadTrace trace;
+    RunWorkload(&fault, &clock, &trace);
+    ASSERT_TRUE(fault.crashed());
+    env.CrashAndRecover(storage::CrashMode::kDropUnsynced, 0);
+    fault.Reset();
+    auto reopened = Vault::Open(Options(&fault, &clock));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    recovery_ops = fault.ops();
+  }
+
+  for (uint64_t k = 0; k < recovery_ops; k++) {
+    storage::MemEnv env;
+    env.SetCrashTrackingEnabled(true);
+    storage::FaultInjectionEnv fault(&env);
+    ManualClock clock(1000000);
+    fault.PlanCrash(first_crash);
+    WorkloadTrace trace;
+    RunWorkload(&fault, &clock, &trace);
+    ASSERT_TRUE(fault.crashed());
+    env.CrashAndRecover(storage::CrashMode::kDropUnsynced, 0);
+    fault.Reset();
+
+    // Second power cut: during the recovering open.
+    fault.PlanCrash(k);
+    (void)Vault::Open(Options(&fault, &clock));
+    ASSERT_TRUE(fault.crashed())
+        << "recovery boundary " << k << " never reached";
+    env.CrashAndRecover(storage::CrashMode::kDropUnsynced,
+                        static_cast<uint32_t>(k) + 7919);
+    CheckRecovered(&env, &clock, trace,
+                   "re-crash at recovery boundary " + std::to_string(k));
+  }
+}
+
+}  // namespace
+}  // namespace medvault

@@ -242,6 +242,79 @@ TEST(MemEnvTest, ReadersSeeLiveAppends) {
   EXPECT_EQ(out, "firstsecond");
 }
 
+TEST(MemEnvTest, CrashDropsUnsyncedTail) {
+  MemEnv env;
+  env.SetCrashTrackingEnabled(true);
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env.NewWritableFile("f", &w).ok());
+  ASSERT_TRUE(w->Append("durable").ok());
+  ASSERT_TRUE(w->Sync().ok());
+  ASSERT_TRUE(w->Append("volatile").ok());
+
+  env.CrashAndRecover(CrashMode::kDropUnsynced);
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(&env, "f", &out).ok());
+  EXPECT_EQ(out, "durable");
+}
+
+TEST(MemEnvTest, CrashKeepPartialKeepsPrefixOfUnsyncedTail) {
+  MemEnv env;
+  env.SetCrashTrackingEnabled(true);
+  std::unique_ptr<WritableFile> w;
+  ASSERT_TRUE(env.NewWritableFile("f", &w).ok());
+  ASSERT_TRUE(w->Append("durable-").ok());
+  ASSERT_TRUE(w->Sync().ok());
+  ASSERT_TRUE(w->Append("unsynced-tail").ok());
+
+  env.CrashAndRecover(CrashMode::kKeepPartial, /*seed=*/7);
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(&env, "f", &out).ok());
+  // The synced prefix always survives; some seed-determined prefix of
+  // the unsynced tail may.
+  ASSERT_GE(out.size(), std::string("durable-").size());
+  EXPECT_EQ(out.substr(0, 8), "durable-");
+  EXPECT_LE(out.size(), std::string("durable-unsynced-tail").size());
+  EXPECT_EQ(out, std::string("durable-unsynced-tail").substr(0, out.size()));
+}
+
+TEST(MemEnvTest, CrashTrackingEnableTreatsExistingBytesAsDurable) {
+  MemEnv env;
+  ASSERT_TRUE(WriteStringToFile(&env, "already-there", "f", false).ok());
+  env.SetCrashTrackingEnabled(true);
+  env.CrashAndRecover(CrashMode::kDropUnsynced);
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(&env, "f", &out).ok());
+  EXPECT_EQ(out, "already-there");
+}
+
+TEST(MemEnvTest, SanctionedTruncateIsDurable) {
+  // Env::Truncate models recovery cutting a torn tail; the cut must not
+  // resurrect after a crash.
+  MemEnv env;
+  env.SetCrashTrackingEnabled(true);
+  ASSERT_TRUE(WriteStringToFile(&env, "0123456789", "f", true).ok());
+  ASSERT_TRUE(env.Truncate("f", 4).ok());
+  env.CrashAndRecover(CrashMode::kDropUnsynced);
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(&env, "f", &out).ok());
+  EXPECT_EQ(out, "0123");
+  // Refuses to extend (that would fabricate bytes).
+  EXPECT_FALSE(env.Truncate("f", 100).ok());
+}
+
+TEST(MemEnvTest, UnsafeTamperingSurvivesCrash) {
+  // Adversary writes go to the platters: tampered bytes must still be
+  // there (detectable!) after power loss, not be undone by it.
+  MemEnv env;
+  env.SetCrashTrackingEnabled(true);
+  ASSERT_TRUE(WriteStringToFile(&env, "authentic-bytes", "f", true).ok());
+  ASSERT_TRUE(env.UnsafeOverwrite("f", 0, "TAMPERED!").ok());
+  env.CrashAndRecover(CrashMode::kDropUnsynced);
+  std::string out;
+  ASSERT_TRUE(ReadFileToString(&env, "f", &out).ok());
+  EXPECT_EQ(out, "TAMPERED!-bytes");
+}
+
 // ---- FaultInjectionEnv ---------------------------------------------------------
 
 TEST(FaultEnvTest, PassesThroughWhenHealthy) {

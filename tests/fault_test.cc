@@ -4,8 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "core/backup.h"
 #include "core/vault.h"
@@ -138,6 +141,110 @@ TEST_F(FaultTest, SegmentAppendFailurePropagates) {
   auto h = store.Append("after recovery");
   ASSERT_TRUE(h.ok());
   EXPECT_EQ(*store.Read(*h), "after recovery");
+}
+
+TEST_F(FaultTest, SealActiveRetryableAfterFailedFileCreation) {
+  // Regression: SealActive used to flip `sealed` and bump the active id
+  // BEFORE creating the successor file, so a failed creation left the
+  // store wedged (no active file, ids desynced). A failed seal must
+  // leave the store exactly as it was, and the seal must be retryable.
+  storage::SegmentStore store(&fault_env_, "seg", {});
+  ASSERT_TRUE(store.Open().ok());
+  auto h = store.Append("entry before seal");
+  ASSERT_TRUE(h.ok());
+
+  fault_env_.FailFileCreation(true);
+  EXPECT_FALSE(store.SealActive().ok());
+  fault_env_.FailFileCreation(false);
+
+  // Store still fully usable: the old active segment accepts appends...
+  auto h2 = store.Append("still writable");
+  ASSERT_TRUE(h2.ok()) << h2.status().ToString();
+  EXPECT_EQ(h2->segment_id, h->segment_id);
+  // ...and the retried seal succeeds.
+  ASSERT_TRUE(store.SealActive().ok());
+  EXPECT_TRUE(store.IsSealed(h->segment_id));
+  EXPECT_EQ(*store.Read(*h), "entry before seal");
+  EXPECT_EQ(*store.Read(*h2), "still writable");
+}
+
+TEST_F(FaultTest, UnsafeWritesBypassBudgetAndCrashPlans) {
+  // UnsafeOverwrite/UnsafeTruncate model an adversary with platter
+  // access — they are not I/O the fault layer should meter. They must
+  // neither consume FailAfterWrites credits nor trigger planned
+  // crashes, and they are tallied separately.
+  ASSERT_TRUE(storage::WriteStringToFile(&fault_env_, "0123456789", "f",
+                                         false)
+                  .ok());
+  uint64_t writes_before = fault_env_.writes();
+  fault_env_.FailAfterWrites(1);
+  ASSERT_TRUE(fault_env_.UnsafeOverwrite("f", 0, "XX").ok());
+  ASSERT_TRUE(fault_env_.UnsafeTruncate("f", 5).ok());
+  EXPECT_EQ(fault_env_.unsafe_writes(), 2u);
+  EXPECT_EQ(fault_env_.writes(), writes_before);
+
+  // The single write credit is still available after the unsafe ops.
+  std::unique_ptr<storage::WritableFile> file;
+  ASSERT_TRUE(fault_env_.NewWritableFile("g", &file).ok());
+  EXPECT_TRUE(file->Append("uses-the-credit").ok());
+  EXPECT_TRUE(file->Append("now-exhausted").IsIoError());
+}
+
+TEST_F(FaultTest, WriteBudgetDecrementsAtomically) {
+  // The budget knobs are read from whatever thread performs I/O; the
+  // exact count must hold under concurrent appends (TSan-visible race
+  // on the old plain-bool/plain-counter implementation).
+  constexpr int kThreads = 8;
+  constexpr int kAppendsPerThread = 50;
+  constexpr uint64_t kBudget = 100;
+
+  std::vector<std::unique_ptr<storage::WritableFile>> files(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    ASSERT_TRUE(
+        fault_env_.NewWritableFile("f-" + std::to_string(t), &files[t]).ok());
+  }
+  fault_env_.FailAfterWrites(kBudget);
+  std::atomic<int> successes{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; t++) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kAppendsPerThread; i++) {
+        if (files[t]->Append("x").ok()) successes++;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(successes.load(), static_cast<int>(kBudget));
+}
+
+TEST_F(FaultTest, PlannedCrashTearsWriteAndFreezesEnv) {
+  std::unique_ptr<storage::WritableFile> file;
+  ASSERT_TRUE(fault_env_.NewWritableFile("wal", &file).ok());
+  ASSERT_TRUE(file->Append("first-write-lands").ok());
+
+  const uint64_t boundary = fault_env_.ops();
+  fault_env_.PlanCrash(boundary);
+  Status s = file->Append("this-one-dies-midway");
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_TRUE(fault_env_.crashed());
+
+  // Every later mutation fails until the harness resets the env.
+  EXPECT_TRUE(file->Append("after crash").IsIoError());
+  EXPECT_TRUE(file->Sync().IsIoError());
+  std::unique_ptr<storage::WritableFile> other;
+  EXPECT_FALSE(fault_env_.NewWritableFile("other", &other).ok());
+
+  // The torn write left at most a prefix of the payload in the file.
+  uint64_t size = 0;
+  ASSERT_TRUE(base_env_.GetFileSize("wal", &size).ok());
+  uint64_t first = std::string("first-write-lands").size();
+  EXPECT_GE(size, first);
+  EXPECT_LT(size, first + std::string("this-one-dies-midway").size());
+
+  fault_env_.Reset();
+  EXPECT_FALSE(fault_env_.crashed());
+  EXPECT_TRUE(fault_env_.NewWritableFile("other", &other).ok());
 }
 
 TEST_F(FaultTest, BackupReadsEveryByte) {

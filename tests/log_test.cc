@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "storage/log_format.h"
 #include "storage/log_reader.h"
+#include "storage/log_recover.h"
 #include "storage/log_writer.h"
 #include "storage/mem_env.h"
 
@@ -204,6 +205,127 @@ TEST_F(LogTest, TornHeaderIsCleanEof) {
   auto records = ReadAll();
   ASSERT_EQ(records.size(), 1u);
   EXPECT_TRUE(last_status_.ok());
+}
+
+TEST_F(LogTest, CorruptionMidFileIsNotTreatedAsTornTail) {
+  // Damage in the middle of the log — with intact records after it —
+  // must surface as corruption (tamper evidence), never be "recovered"
+  // like a torn tail.
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("first-record-payload").ok());
+  ASSERT_TRUE(writer->AddRecord("second-record-payload").ok());
+  ASSERT_TRUE(writer->AddRecord("third-record-payload").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  // Flip a payload byte inside the SECOND record.
+  uint64_t second_offset = 2 * kHeaderSize + 20 + 3;
+  ASSERT_TRUE(env_.UnsafeOverwrite("log", second_offset, "X").ok());
+
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "first-record-payload");
+  EXPECT_TRUE(last_status_.IsCorruption());
+}
+
+TEST_F(LogTest, ValidEndTracksLastCompleteRecord) {
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("one").ok());
+  ASSERT_TRUE(writer->AddRecord("two").ok());
+  uint64_t complete_size = writer->FileOffset();
+  ASSERT_TRUE(writer->AddRecord("torn-away-payload").ok());
+  ASSERT_TRUE(writer->Close().ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_.GetFileSize("log", &size).ok());
+  ASSERT_TRUE(env_.UnsafeTruncate("log", size - 4).ok());
+
+  auto reader = NewReader();
+  std::string record;
+  while (reader->ReadRecord(&record)) {
+  }
+  ASSERT_TRUE(reader->status().ok());
+  EXPECT_EQ(reader->ValidEnd(), complete_size);
+}
+
+TEST_F(LogTest, ValidEndExcludesWholeTornFragmentedRecord) {
+  // A record spanning several blocks torn in a LATER fragment must be
+  // cut as a whole — its earlier (individually valid) fragments carry
+  // no complete record.
+  auto writer = NewWriter();
+  ASSERT_TRUE(writer->AddRecord("intact").ok());
+  uint64_t intact_size = writer->FileOffset();
+  std::string big(2 * kBlockSize + 100, 'z');
+  ASSERT_TRUE(writer->AddRecord(big).ok());
+  ASSERT_TRUE(writer->Close().ok());
+  uint64_t size = 0;
+  ASSERT_TRUE(env_.GetFileSize("log", &size).ok());
+  // Cut inside the big record's final fragment.
+  ASSERT_TRUE(env_.UnsafeTruncate("log", size - 50).ok());
+
+  auto reader = NewReader();
+  std::string record;
+  std::vector<std::string> records;
+  while (reader->ReadRecord(&record)) records.push_back(record);
+  ASSERT_TRUE(reader->status().ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "intact");
+  EXPECT_EQ(reader->ValidEnd(), intact_size);
+}
+
+TEST_F(LogTest, OpenLogForAppendTruncatesTornTailAndContinues) {
+  {
+    auto writer = NewWriter();
+    ASSERT_TRUE(writer->AddRecord("kept-1").ok());
+    ASSERT_TRUE(writer->AddRecord("kept-2").ok());
+    ASSERT_TRUE(writer->AddRecord("torn-record-payload").ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  uint64_t size = 0;
+  ASSERT_TRUE(env_.GetFileSize("log", &size).ok());
+  ASSERT_TRUE(env_.UnsafeTruncate("log", size - 6).ok());
+
+  std::vector<std::string> replayed;
+  LogOpenResult res;
+  ASSERT_TRUE(OpenLogForAppend(&env_, "log",
+                               [&](const Slice& rec) {
+                                 replayed.push_back(rec.ToString());
+                                 return Status::OK();
+                               },
+                               &res)
+                  .ok());
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0], "kept-1");
+  EXPECT_EQ(replayed[1], "kept-2");
+  EXPECT_GT(res.dropped_bytes, 0u);
+  uint64_t after = 0;
+  ASSERT_TRUE(env_.GetFileSize("log", &after).ok());
+  EXPECT_EQ(after, res.valid_size);
+
+  // The returned writer appends seamlessly past the cut.
+  ASSERT_TRUE(res.writer->AddRecord("after-recovery").ok());
+  auto records = ReadAll();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[2], "after-recovery");
+  EXPECT_TRUE(last_status_.ok());
+}
+
+TEST_F(LogTest, OpenLogForAppendPropagatesMidFileCorruption) {
+  {
+    auto writer = NewWriter();
+    ASSERT_TRUE(writer->AddRecord("first-record-payload").ok());
+    ASSERT_TRUE(writer->AddRecord("second-record-payload").ok());
+    ASSERT_TRUE(writer->Close().ok());
+  }
+  ASSERT_TRUE(env_.UnsafeOverwrite("log", kHeaderSize + 2, "X").ok());
+  uint64_t before = 0;
+  ASSERT_TRUE(env_.GetFileSize("log", &before).ok());
+
+  LogOpenResult res;
+  Status s = OpenLogForAppend(
+      &env_, "log", [](const Slice&) { return Status::OK(); }, &res);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  // Corruption is tamper evidence: the file must NOT have been cut.
+  uint64_t after = 0;
+  ASSERT_TRUE(env_.GetFileSize("log", &after).ok());
+  EXPECT_EQ(after, before);
 }
 
 TEST_F(LogTest, FileOffsetTracksBytes) {

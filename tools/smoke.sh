@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Smoke suite: the tier-1 test battery in the default configuration,
+# then the crash/fault matrix (`ctest -L crash`) rebuilt under
+# AddressSanitizer and UndefinedBehaviorSanitizer so the recovery paths
+# run instrumented. Usage: tools/smoke.sh [build-dir-prefix]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+prefix="${1:-build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local dir="$1" sanitize="$2" label="$3"
+  local flags=()
+  [ -n "$sanitize" ] && flags+=("-DMEDVAULT_SANITIZE=${sanitize}")
+  echo "=== ${dir} (sanitize='${sanitize:-none}', tests: ${label:-all}) ==="
+  cmake -B "$dir" -S . "${flags[@]}" >/dev/null
+  cmake --build "$dir" -j "$jobs" >/dev/null
+  if [ -n "$label" ]; then
+    ctest --test-dir "$dir" -L "$label" --output-on-failure -j "$jobs"
+  else
+    ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  fi
+}
+
+run_config "$prefix" "" ""
+run_config "${prefix}-asan" address crash
+run_config "${prefix}-ubsan" undefined crash
+
+echo "smoke suite passed"
