@@ -7,6 +7,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "core/sharded_vault.h"
 
 namespace medvault::bench {
 namespace {
@@ -87,9 +88,95 @@ BENCHMARK(BM_Ingest_MedVaultBatch)
     ->Args({1024, 64})
     ->Args({1024, 256});
 
+// E12 — shard scaling: the same batched ingest fanned out across 1/2/4/8
+// Vault shards by the ShardedVault worker pool. Each shard has its own
+// lock and log domain, so on a multi-core host records/s should rise
+// with the shard count until cores run out (on a single-core box the
+// curve is flat and the delta is pure fan-out overhead — see
+// EXPERIMENTS.md E12 for the interpretation rules). Wall-clock
+// (UseRealTime) is the honest metric: the work happens on pool threads.
+void BM_Ingest_ShardedBatch(benchmark::State& state) {
+  const uint32_t shards = static_cast<uint32_t>(state.range(0));
+  constexpr size_t kBatchSize = 64;
+  constexpr int kPatients = 64;
+
+  storage::MemEnv env;
+  ManualClock clock(1000000);
+  core::ShardedVaultOptions options;
+  options.env = &env;
+  options.dir = "sharded";
+  options.clock = &clock;
+  options.master_key = std::string(32, 'M');
+  options.entropy = "bench-ingest-entropy";
+  options.num_shards = shards;
+  options.signer_height = 8;
+  auto opened = core::ShardedVault::Open(options);
+  if (!opened.ok()) {
+    state.SkipWithError(opened.status().ToString().c_str());
+    return;
+  }
+  core::ShardedVault* vault = opened->get();
+  (void)vault->RegisterPrincipal("boot", {"admin", core::Role::kAdmin, "A"});
+  (void)vault->RegisterPrincipal("admin", {"dr", core::Role::kPhysician, "D"});
+  std::vector<std::string> patients;
+  for (int p = 0; p < kPatients; ++p) {
+    std::string patient = "pat-" + std::to_string(p);
+    (void)vault->RegisterPrincipal(
+        "admin", {patient, core::Role::kPatient, patient});
+    (void)vault->AssignCare("admin", "dr", patient);
+    patients.push_back(std::move(patient));
+  }
+
+  sim::EhrGenerator::Options gen_options;
+  gen_options.note_bytes = 1024;
+  sim::EhrGenerator gen(7, gen_options);
+  int64_t records = 0;
+  size_t next_patient = 0;
+  for (auto _ : state) {
+    std::vector<core::Vault::NewRecord> batch(kBatchSize);
+    for (core::Vault::NewRecord& r : batch) {
+      sim::EhrRecord e = gen.Next();
+      r.patient_id = patients[next_patient++ % patients.size()];
+      r.content_type = "text/plain";
+      r.plaintext = std::move(e.text);
+      r.keywords = std::move(e.keywords);
+      r.retention_policy = "short-1y";
+    }
+    auto ids = vault->CreateRecordsBatch("dr", batch);
+    if (!ids.ok()) state.SkipWithError(ids.status().ToString().c_str());
+    records += static_cast<int64_t>(kBatchSize);
+  }
+  state.SetItemsProcessed(records);
+  state.SetBytesProcessed(records * 1024);
+}
+
+BENCHMARK(BM_Ingest_ShardedBatch)
+    ->ArgName("shards")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace medvault::bench
 
+// Accepts `--shards=N` as a convenience axis selector: it is rewritten
+// into a --benchmark_filter that runs only the sharded-ingest curve at
+// that shard count (all other flags pass through untouched).
 int main(int argc, char** argv) {
-  return medvault::bench::RunBenchmarkMain("ingest", argc, argv);
+  std::vector<char*> args;
+  std::string filter;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--shards=", 0) == 0) {
+      filter = "--benchmark_filter=ShardedBatch/shards:" + arg.substr(9) +
+               "/real_time$";
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!filter.empty()) args.push_back(filter.data());
+  return medvault::bench::RunBenchmarkMain(
+      "ingest", static_cast<int>(args.size()), args.data());
 }

@@ -200,4 +200,24 @@ Status Migrator::VerifyReceipt(const MigrationReceipt& receipt,
   return Status::OK();
 }
 
+Result<std::vector<MigrationReceipt>> Migrator::MigrateSharded(
+    ShardedVault* source, ShardedVault* target, const PrincipalId& actor) {
+  if (source->num_shards() != target->num_shards()) {
+    return Status::InvalidArgument(
+        "sharded migration requires equal shard counts (source has " +
+        std::to_string(source->num_shards()) + ", target has " +
+        std::to_string(target->num_shards()) +
+        "); reshard via a dedicated re-placement migration instead");
+  }
+  std::vector<MigrationReceipt> receipts;
+  receipts.reserve(source->num_shards());
+  for (uint32_t k = 0; k < source->num_shards(); ++k) {
+    MEDVAULT_ASSIGN_OR_RETURN(
+        MigrationReceipt receipt,
+        Migrate(source->shard(k), target->shard(k), actor));
+    receipts.push_back(std::move(receipt));
+  }
+  return receipts;
+}
+
 }  // namespace medvault::core

@@ -2,8 +2,10 @@
 #define MEDVAULT_CORE_MIGRATION_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
+#include "core/sharded_vault.h"
 #include "core/vault.h"
 
 namespace medvault::core {
@@ -48,6 +50,17 @@ class Migrator {
   /// signatures.
   static Status VerifyReceipt(const MigrationReceipt& receipt, Vault* source,
                               Vault* target);
+
+  /// Sharded migration: moves every shard of `source` into the matching
+  /// shard of `target` (the counts must be equal — placement hashes bake
+  /// the count in, so resharding-while-migrating would scatter ids away
+  /// from where the router expects them). Each shard pair produces its
+  /// own dual-signed receipt, returned in shard order; on a mid-way
+  /// failure the receipts of already-migrated shards are lost but their
+  /// shards remain verifiably migrated (re-running fails AlreadyExists
+  /// on those, by Migrate's own guard).
+  static Result<std::vector<MigrationReceipt>> MigrateSharded(
+      ShardedVault* source, ShardedVault* target, const PrincipalId& actor);
 };
 
 }  // namespace medvault::core

@@ -1,0 +1,94 @@
+#include "core/shard_router.h"
+
+#include <charconv>
+
+namespace medvault::core {
+
+namespace {
+
+constexpr char kManifestName[] = "/shards.meta";
+constexpr char kManifestMagic[] = "medvault-shards v1\n";
+
+}  // namespace
+
+uint64_t ShardRouter::Fingerprint(const std::string& id) {
+  // FNV-1a, 64-bit: offset basis / prime per the published spec.
+  uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : id) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string ShardRouter::ShardDir(const std::string& root, uint32_t shard) {
+  return root + "/shard-" + std::to_string(shard);
+}
+
+std::string ShardRouter::RecordIdPrefix(uint32_t shard) {
+  std::string prefix = "s";
+  prefix += std::to_string(shard);
+  prefix += "-r";
+  return prefix;
+}
+
+bool ShardRouter::ShardOfRecordId(const RecordId& record_id,
+                                  uint32_t* shard) {
+  // "s<digits>-r-<n>": parse the digits, then demand the "-r-" spine so
+  // arbitrary "s..." strings are not misrouted.
+  if (record_id.size() < 5 || record_id[0] != 's') return false;
+  const char* first = record_id.data() + 1;
+  const char* last = record_id.data() + record_id.size();
+  uint32_t k = 0;
+  auto [ptr, ec] = std::from_chars(first, last, k, 10);
+  if (ec != std::errc() || ptr == first) return false;
+  if (last - ptr < 3 || ptr[0] != '-' || ptr[1] != 'r' || ptr[2] != '-') {
+    return false;
+  }
+  *shard = k;
+  return true;
+}
+
+Status ShardRouter::WriteManifest(storage::Env* env, const std::string& root,
+                                  uint32_t num_shards) {
+  std::string contents = kManifestMagic;
+  contents += "count=" + std::to_string(num_shards) + "\n";
+  // Write-new-then-rename: a power cut during the write leaves at worst
+  // a torn .tmp that no reader ever opens — the manifest itself is
+  // either absent (rewritten on next open) or complete. A torn manifest
+  // must never wedge the vault.
+  const std::string path = root + kManifestName;
+  const std::string tmp = path + ".tmp";
+  MEDVAULT_RETURN_IF_ERROR(
+      storage::WriteStringToFile(env, contents, tmp, /*sync=*/true));
+  return env->RenameFile(tmp, path);
+}
+
+Result<uint32_t> ShardRouter::ReadManifest(storage::Env* env,
+                                           const std::string& root) {
+  const std::string path = root + kManifestName;
+  if (!env->FileExists(path)) {
+    return Status::NotFound("no shard manifest at " + path);
+  }
+  std::string contents;
+  MEDVAULT_RETURN_IF_ERROR(storage::ReadFileToString(env, path, &contents));
+  const std::string magic = kManifestMagic;
+  if (contents.compare(0, magic.size(), magic) != 0) {
+    return Status::Corruption("bad shard manifest magic in " + path);
+  }
+  const std::string key = "count=";
+  size_t pos = contents.find(key, magic.size());
+  if (pos == std::string::npos) {
+    return Status::Corruption("shard manifest missing count in " + path);
+  }
+  const char* first = contents.data() + pos + key.size();
+  const char* last = contents.data() + contents.size();
+  uint32_t count = 0;
+  auto [ptr, ec] = std::from_chars(first, last, count, 10);
+  if (ec != std::errc() || ptr == first || count == 0) {
+    return Status::Corruption("malformed shard count in " + path);
+  }
+  return count;
+}
+
+}  // namespace medvault::core

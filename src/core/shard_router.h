@@ -1,0 +1,72 @@
+#ifndef MEDVAULT_CORE_SHARD_ROUTER_H_
+#define MEDVAULT_CORE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/record.h"
+#include "storage/env.h"
+
+namespace medvault::core {
+
+/// Deterministic id -> shard placement for the sharded vault.
+///
+/// Placement must be a pure function of the id bytes: the same patient
+/// must land on the same shard across process restarts, machines, and
+/// compiler versions, or records written yesterday become unreachable
+/// today. The router therefore uses FNV-1a (a fixed, well-specified
+/// 64-bit hash) rather than std::hash, whose value is unspecified and
+/// may change between standard-library releases.
+///
+/// The shard *count* is part of the vault's on-disk identity: hashing
+/// mod N is only stable while N is fixed, so the count is persisted in
+/// a manifest at the vault root and every open cross-checks it.
+/// Re-sharding is a migration, never a reinterpretation.
+class ShardRouter {
+ public:
+  explicit ShardRouter(uint32_t num_shards) : num_shards_(num_shards) {}
+
+  uint32_t num_shards() const { return num_shards_; }
+
+  /// Shard owning `id` (a patient id on the create path). Pure and
+  /// stable: depends only on the id bytes and the shard count.
+  uint32_t ShardOf(const std::string& id) const {
+    return static_cast<uint32_t>(Fingerprint(id) % num_shards_);
+  }
+
+  /// The fixed 64-bit FNV-1a fingerprint ShardOf() reduces mod N.
+  /// Exposed so tests can pin golden values against re-implementation.
+  static uint64_t Fingerprint(const std::string& id);
+
+  /// Directory of shard `k` under the sharded-vault root.
+  static std::string ShardDir(const std::string& root, uint32_t shard);
+
+  /// Record-id prefix shard `k`'s inner vault assigns ids under
+  /// ("s<k>-r", so ids read "s<k>-r-<n>"). The embedded shard index is
+  /// what lets record-id-keyed operations route in O(1) without
+  /// consulting any shard.
+  static std::string RecordIdPrefix(uint32_t shard);
+
+  /// Parses the shard index out of a sharded record id ("s<k>-r-<n>").
+  /// Returns false for ids that do not name a shard (e.g. a plain
+  /// unsharded "r-<n>").
+  static bool ShardOfRecordId(const RecordId& record_id, uint32_t* shard);
+
+  // ---- Shard-count manifest -------------------------------------------
+
+  /// Durably records `num_shards` in `<root>/shards.meta`.
+  static Status WriteManifest(storage::Env* env, const std::string& root,
+                              uint32_t num_shards);
+
+  /// Reads the persisted shard count; NotFound if no manifest exists.
+  static Result<uint32_t> ReadManifest(storage::Env* env,
+                                       const std::string& root);
+
+ private:
+  uint32_t num_shards_;
+};
+
+}  // namespace medvault::core
+
+#endif  // MEDVAULT_CORE_SHARD_ROUTER_H_

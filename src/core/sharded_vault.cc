@@ -1,0 +1,548 @@
+#include "core/sharded_vault.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <charconv>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "crypto/hkdf.h"
+#include "crypto/merkle.h"
+
+namespace medvault::core {
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+/// A small persistent pool for cross-shard fan-out. Tasks submitted by
+/// one RunAll call complete before it returns; concurrent RunAll calls
+/// from different threads interleave safely (each call tracks its own
+/// completion state). With zero threads, RunAll executes inline in
+/// submission order — the deterministic mode the crash matrix uses.
+class ShardedVault::WorkerPool {
+ public:
+  explicit WorkerPool(unsigned threads) {
+    for (unsigned i = 0; i < threads; ++i) {
+      threads_.emplace_back([this] { Loop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void RunAll(std::vector<std::function<void()>> tasks) {
+    if (threads_.empty() || tasks.size() <= 1) {
+      for (auto& task : tasks) task();
+      return;
+    }
+    struct BatchState {
+      std::mutex mu;
+      std::condition_variable done;
+      size_t remaining;
+    };
+    auto state = std::make_shared<BatchState>();
+    state->remaining = tasks.size();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& task : tasks) {
+        queue_.emplace_back([task = std::move(task), state] {
+          task();
+          std::lock_guard<std::mutex> done_lock(state->mu);
+          if (--state->remaining == 0) state->done.notify_all();
+        });
+      }
+    }
+    cv_.notify_all();
+    std::unique_lock<std::mutex> wait_lock(state->mu);
+    state->done.wait(wait_lock, [&] { return state->remaining == 0; });
+  }
+
+ private:
+  void Loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Open / Init
+// ---------------------------------------------------------------------------
+
+ShardedVault::ShardedVault(ShardedVaultOptions options)
+    : options_(std::move(options)), router_(options_.num_shards) {}
+
+ShardedVault::~ShardedVault() = default;
+
+Result<std::unique_ptr<ShardedVault>> ShardedVault::Open(
+    const ShardedVaultOptions& options) {
+  if (options.env == nullptr || options.clock == nullptr) {
+    return Status::InvalidArgument("env and clock are required");
+  }
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("dir is required");
+  }
+  if (options.master_key.size() != 32) {
+    return Status::InvalidArgument("master_key must be 32 bytes");
+  }
+  if (options.entropy.empty()) {
+    return Status::InvalidArgument("entropy is required");
+  }
+  if (options.num_shards < 1 || options.num_shards > 1024) {
+    return Status::InvalidArgument("num_shards must be in [1, 1024]");
+  }
+  auto vault =
+      std::unique_ptr<ShardedVault>(new ShardedVault(options));
+  MEDVAULT_RETURN_IF_ERROR(vault->Init());
+  return vault;
+}
+
+Status ShardedVault::Init() {
+  storage::Env* env = options_.env;
+  MEDVAULT_RETURN_IF_ERROR(env->CreateDirIfMissing(options_.dir));
+
+  // The shard count is part of the vault's identity: it is persisted at
+  // first open and any later open must present the same count, because
+  // both the placement hash and the id prefixes bake it in.
+  auto persisted = ShardRouter::ReadManifest(env, options_.dir);
+  if (persisted.ok()) {
+    if (*persisted != options_.num_shards) {
+      return Status::InvalidArgument(
+          "shard-count mismatch: vault at '" + options_.dir +
+          "' was created with " + std::to_string(*persisted) +
+          " shards but open requested " +
+          std::to_string(options_.num_shards) +
+          "; resharding requires migration, not reopening");
+    }
+  } else if (persisted.status().IsNotFound()) {
+    MEDVAULT_RETURN_IF_ERROR(
+        ShardRouter::WriteManifest(env, options_.dir, options_.num_shards));
+  } else {
+    return persisted.status();
+  }
+
+  if (options_.cache_bytes > 0) {
+    cache_ = std::make_unique<RecordCache>(options_.cache_bytes);
+  }
+
+  shards_.reserve(options_.num_shards);
+  for (uint32_t k = 0; k < options_.num_shards; ++k) {
+    // Independent key domains per shard: both the key-wrapping master
+    // and the entropy pool (DRBG, signer seed, index blinding) are
+    // HKDF-derived with the shard index in the info string.
+    MEDVAULT_ASSIGN_OR_RETURN(
+        std::string shard_master,
+        crypto::HkdfSha256(options_.master_key, Slice(),
+                           "medvault-shard-master-" + std::to_string(k), 32));
+    MEDVAULT_ASSIGN_OR_RETURN(
+        std::string shard_entropy,
+        crypto::HkdfSha256(options_.entropy, Slice(),
+                           "medvault-shard-entropy-" + std::to_string(k), 64));
+
+    VaultOptions shard_options;
+    shard_options.env = env;
+    shard_options.dir = ShardRouter::ShardDir(options_.dir, k);
+    shard_options.clock = options_.clock;
+    shard_options.master_key = std::move(shard_master);
+    shard_options.entropy = std::move(shard_entropy);
+    shard_options.signer_height = options_.signer_height;
+    shard_options.system_id =
+        options_.system_id + "/shard-" + std::to_string(k);
+    shard_options.require_dual_disposal = options_.require_dual_disposal;
+    shard_options.record_id_prefix = ShardRouter::RecordIdPrefix(k);
+    shard_options.cache = cache_.get();
+    MEDVAULT_ASSIGN_OR_RETURN(auto shard, Vault::Open(shard_options));
+    shards_.push_back(std::move(shard));
+  }
+
+  unsigned threads = options_.ingest_threads;
+  if (threads == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    threads = std::min<unsigned>(options_.num_shards, hw);
+  }
+  // One thread means "sequential": no pool workers, RunAll runs inline.
+  pool_ = std::make_unique<WorkerPool>(threads > 1 ? threads : 0);
+  return Status::OK();
+}
+
+Result<uint32_t> ShardedVault::RouteRecordId(const RecordId& record_id) const {
+  uint32_t shard = 0;
+  if (!ShardRouter::ShardOfRecordId(record_id, &shard) ||
+      shard >= num_shards()) {
+    return Status::NotFound("record not found: '" + record_id +
+                            "' does not name a shard of this vault");
+  }
+  return shard;
+}
+
+// ---------------------------------------------------------------------------
+// Administration
+// ---------------------------------------------------------------------------
+
+Status ShardedVault::RegisterPrincipal(const PrincipalId& actor,
+                                       const Principal& principal) {
+  // Replication must CONVERGE, not merely fan out: after a crash some
+  // shards may already hold the principal while others lost it, so a
+  // shard's AlreadyExists is success for that shard and the loop keeps
+  // going — otherwise the divergent shards could never be repaired.
+  for (auto& shard : shards_) {
+    Status status = shard->RegisterPrincipal(actor, principal);
+    if (!status.ok() && !status.IsAlreadyExists()) return status;
+  }
+  return Status::OK();
+}
+
+Status ShardedVault::AssignCare(const PrincipalId& actor,
+                                const PrincipalId& clinician,
+                                const PrincipalId& patient) {
+  for (auto& shard : shards_) {
+    MEDVAULT_RETURN_IF_ERROR(shard->AssignCare(actor, clinician, patient));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ShardedVault::BreakGlass(const PrincipalId& clinician,
+                                             const PrincipalId& patient,
+                                             const std::string& justification,
+                                             Timestamp duration) {
+  return shards_[router_.ShardOf(patient)]->BreakGlass(clinician, patient,
+                                                       justification,
+                                                       duration);
+}
+
+// ---------------------------------------------------------------------------
+// Record lifecycle
+// ---------------------------------------------------------------------------
+
+Result<RecordId> ShardedVault::CreateRecord(
+    const PrincipalId& actor, const PrincipalId& patient_id,
+    const std::string& content_type, const Slice& plaintext,
+    const std::vector<std::string>& keywords,
+    const std::string& retention_policy) {
+  return shards_[router_.ShardOf(patient_id)]->CreateRecord(
+      actor, patient_id, content_type, plaintext, keywords, retention_policy);
+}
+
+Result<std::vector<RecordId>> ShardedVault::CreateRecordsBatch(
+    const PrincipalId& actor, const std::vector<Vault::NewRecord>& batch) {
+  if (batch.empty()) {
+    return Status::InvalidArgument("batch is empty");
+  }
+  const uint32_t n = num_shards();
+  if (n == 1) {
+    return shards_[0]->CreateRecordsBatch(actor, batch);
+  }
+
+  // Partition by patient shard, remembering each item's original index
+  // so the merged id vector lines up with the input order.
+  std::vector<std::vector<size_t>> indices(n);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    indices[router_.ShardOf(batch[i].patient_id)].push_back(i);
+  }
+
+  std::vector<Status> statuses(n, Status::OK());
+  std::vector<std::vector<RecordId>> ids(n);
+  std::vector<std::function<void()>> tasks;
+  for (uint32_t k = 0; k < n; ++k) {
+    if (indices[k].empty()) continue;
+    tasks.emplace_back([this, &actor, &batch, &indices, &statuses, &ids, k] {
+      std::vector<Vault::NewRecord> sub;
+      sub.reserve(indices[k].size());
+      for (size_t i : indices[k]) sub.push_back(batch[i]);
+      auto result = shards_[k]->CreateRecordsBatch(actor, sub);
+      if (result.ok()) {
+        ids[k] = std::move(*result);
+      } else {
+        statuses[k] = result.status();
+      }
+    });
+  }
+  pool_->RunAll(std::move(tasks));
+
+  for (uint32_t k = 0; k < n; ++k) {
+    if (!statuses[k].ok()) return statuses[k];
+  }
+  std::vector<RecordId> merged(batch.size());
+  for (uint32_t k = 0; k < n; ++k) {
+    for (size_t j = 0; j < indices[k].size(); ++j) {
+      merged[indices[k][j]] = std::move(ids[k][j]);
+    }
+  }
+  return merged;
+}
+
+Result<RecordVersion> ShardedVault::ReadRecord(const PrincipalId& actor,
+                                               const RecordId& record_id) {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  return shards_[shard]->ReadRecord(actor, record_id);
+}
+
+Result<RecordVersion> ShardedVault::ReadRecordVersion(
+    const PrincipalId& actor, const RecordId& record_id, uint32_t version) {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  return shards_[shard]->ReadRecordVersion(actor, record_id, version);
+}
+
+Result<VersionHeader> ShardedVault::CorrectRecord(
+    const PrincipalId& actor, const RecordId& record_id,
+    const Slice& new_plaintext, const std::string& reason,
+    const std::vector<std::string>& keywords) {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  return shards_[shard]->CorrectRecord(actor, record_id, new_plaintext,
+                                       reason, keywords);
+}
+
+Result<std::vector<RecordId>> ShardedVault::SearchKeyword(
+    const PrincipalId& actor, const std::string& term) {
+  std::vector<RecordId> merged;
+  for (auto& shard : shards_) {
+    MEDVAULT_ASSIGN_OR_RETURN(auto hits, shard->SearchKeyword(actor, term));
+    merged.insert(merged.end(), hits.begin(), hits.end());
+  }
+  return merged;
+}
+
+Result<std::vector<RecordId>> ShardedVault::SearchKeywordsAll(
+    const PrincipalId& actor, const std::vector<std::string>& terms) {
+  std::vector<RecordId> merged;
+  for (auto& shard : shards_) {
+    MEDVAULT_ASSIGN_OR_RETURN(auto hits,
+                              shard->SearchKeywordsAll(actor, terms));
+    merged.insert(merged.end(), hits.begin(), hits.end());
+  }
+  return merged;
+}
+
+Result<std::vector<VersionHeader>> ShardedVault::RecordHistory(
+    const PrincipalId& actor, const RecordId& record_id) {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  return shards_[shard]->RecordHistory(actor, record_id);
+}
+
+Result<DisposalCertificate> ShardedVault::DisposeRecord(
+    const PrincipalId& actor, const RecordId& record_id) {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  return shards_[shard]->DisposeRecord(actor, record_id);
+}
+
+Result<std::vector<RecordMeta>> ShardedVault::ListExpiredRecords(
+    const PrincipalId& actor) {
+  std::vector<RecordMeta> merged;
+  for (auto& shard : shards_) {
+    MEDVAULT_ASSIGN_OR_RETURN(auto expired, shard->ListExpiredRecords(actor));
+    merged.insert(merged.end(), std::make_move_iterator(expired.begin()),
+                  std::make_move_iterator(expired.end()));
+  }
+  return merged;
+}
+
+Result<int> ShardedVault::ReclaimDisposedMedia(const PrincipalId& actor) {
+  int total = 0;
+  for (auto& shard : shards_) {
+    MEDVAULT_ASSIGN_OR_RETURN(int reclaimed,
+                              shard->ReclaimDisposedMedia(actor));
+    total += reclaimed;
+  }
+  return total;
+}
+
+Status ShardedVault::PlaceLegalHold(const PrincipalId& actor,
+                                    const RecordId& record_id,
+                                    const std::string& reason) {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  return shards_[shard]->PlaceLegalHold(actor, record_id, reason);
+}
+
+Status ShardedVault::ReleaseLegalHold(const PrincipalId& actor,
+                                      const RecordId& record_id,
+                                      const std::string& reason) {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  return shards_[shard]->ReleaseLegalHold(actor, record_id, reason);
+}
+
+Result<std::string> ShardedVault::RequestDisposal(const PrincipalId& actor,
+                                                  const RecordId& record_id) {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(std::string request_id,
+                            shards_[shard]->RequestDisposal(actor, record_id));
+  std::string qualified = "s";
+  qualified += std::to_string(shard);
+  qualified += ":";
+  qualified += request_id;
+  return qualified;
+}
+
+Result<DisposalCertificate> ShardedVault::ApproveDisposal(
+    const PrincipalId& actor, const std::string& request_id) {
+  if (request_id.empty() || request_id[0] != 's') {
+    return Status::NotFound("unknown disposal request: " + request_id);
+  }
+  size_t colon = request_id.find(':');
+  if (colon == std::string::npos) {
+    return Status::NotFound("unknown disposal request: " + request_id);
+  }
+  uint32_t shard = 0;
+  const char* begin = request_id.data() + 1;
+  const char* end = request_id.data() + colon;
+  auto [ptr, ec] = std::from_chars(begin, end, shard);
+  if (ec != std::errc() || ptr != end || shard >= num_shards()) {
+    return Status::NotFound("unknown disposal request: " + request_id);
+  }
+  return shards_[shard]->ApproveDisposal(actor, request_id.substr(colon + 1));
+}
+
+Status ShardedVault::SyncAll() {
+  for (auto& shard : shards_) {
+    MEDVAULT_RETURN_IF_ERROR(shard->SyncAll());
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Audit & custody
+// ---------------------------------------------------------------------------
+
+Result<std::vector<SignedCheckpoint>> ShardedVault::CheckpointAudit() {
+  std::vector<SignedCheckpoint> checkpoints;
+  checkpoints.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    MEDVAULT_ASSIGN_OR_RETURN(auto checkpoint, shard->CheckpointAudit());
+    checkpoints.push_back(std::move(checkpoint));
+  }
+  return checkpoints;
+}
+
+Status ShardedVault::VerifyAudit() const {
+  for (const auto& shard : shards_) {
+    MEDVAULT_RETURN_IF_ERROR(shard->VerifyAudit());
+  }
+  return Status::OK();
+}
+
+Result<std::vector<AuditEvent>> ShardedVault::ReadAuditTrail(
+    const PrincipalId& actor, const RecordId& record_id) {
+  if (!record_id.empty()) {
+    MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+    return shards_[shard]->ReadAuditTrail(actor, record_id);
+  }
+  std::vector<AuditEvent> merged;
+  for (auto& shard : shards_) {
+    MEDVAULT_ASSIGN_OR_RETURN(auto events,
+                              shard->ReadAuditTrail(actor, record_id));
+    merged.insert(merged.end(), std::make_move_iterator(events.begin()),
+                  std::make_move_iterator(events.end()));
+  }
+  return merged;
+}
+
+Result<std::vector<CustodyEvent>> ShardedVault::GetCustodyChain(
+    const PrincipalId& actor, const RecordId& record_id) {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  return shards_[shard]->GetCustodyChain(actor, record_id);
+}
+
+Result<std::vector<AuditEvent>> ShardedVault::AccountingOfDisclosures(
+    const PrincipalId& actor, const PrincipalId& patient_id) {
+  return shards_[router_.ShardOf(patient_id)]->AccountingOfDisclosures(
+      actor, patient_id);
+}
+
+Result<std::vector<AuditEvent>> ShardedVault::ListBreakGlassEvents(
+    const PrincipalId& actor) {
+  std::vector<AuditEvent> merged;
+  for (auto& shard : shards_) {
+    MEDVAULT_ASSIGN_OR_RETURN(auto events,
+                              shard->ListBreakGlassEvents(actor));
+    merged.insert(merged.end(), std::make_move_iterator(events.begin()),
+                  std::make_move_iterator(events.end()));
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// Verification & introspection
+// ---------------------------------------------------------------------------
+
+Status ShardedVault::VerifyRecord(const RecordId& record_id) const {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  return shards_[shard]->VerifyRecord(record_id);
+}
+
+Status ShardedVault::VerifyEverything() const {
+  for (const auto& shard : shards_) {
+    MEDVAULT_RETURN_IF_ERROR(shard->VerifyEverything());
+  }
+  return Status::OK();
+}
+
+std::string ShardedVault::ContentRoot() const {
+  crypto::MerkleTree tree(/*memoize=*/false);
+  for (const auto& shard : shards_) {
+    tree.Append(shard->ContentRoot());
+  }
+  return tree.Root();
+}
+
+Result<RecordMeta> ShardedVault::GetRecordMeta(
+    const RecordId& record_id) const {
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  return shards_[shard]->GetRecordMeta(record_id);
+}
+
+std::vector<RecordId> ShardedVault::ListRecordIds() const {
+  std::vector<RecordId> merged;
+  for (const auto& shard : shards_) {
+    auto ids = shard->ListRecordIds();
+    merged.insert(merged.end(), std::make_move_iterator(ids.begin()),
+                  std::make_move_iterator(ids.end()));
+  }
+  return merged;
+}
+
+Status ShardedVault::RotateMasterKey(const PrincipalId& actor,
+                                     const Slice& new_master_key) {
+  if (new_master_key.size() != 32) {
+    return Status::InvalidArgument("master key must be 32 bytes");
+  }
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    MEDVAULT_ASSIGN_OR_RETURN(
+        std::string shard_master,
+        crypto::HkdfSha256(new_master_key, Slice(),
+                           "medvault-shard-master-" + std::to_string(k), 32));
+    MEDVAULT_RETURN_IF_ERROR(
+        shards_[k]->RotateMasterKey(actor, shard_master));
+  }
+  return Status::OK();
+}
+
+RecordCache::Stats ShardedVault::CacheStats() const {
+  if (cache_ == nullptr) return RecordCache::Stats{};
+  return cache_->stats();
+}
+
+}  // namespace medvault::core

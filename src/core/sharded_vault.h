@@ -1,0 +1,220 @@
+#ifndef MEDVAULT_CORE_SHARDED_VAULT_H_
+#define MEDVAULT_CORE_SHARDED_VAULT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/record_cache.h"
+#include "core/shard_router.h"
+#include "core/vault.h"
+#include "storage/env.h"
+
+namespace medvault::core {
+
+/// Configuration for opening a ShardedVault.
+struct ShardedVaultOptions {
+  storage::Env* env = nullptr;  ///< required
+  std::string dir;              ///< required; sharded-vault root directory
+  const Clock* clock = nullptr; ///< required
+  /// 32 bytes. Each shard's key-wrapping master key is derived from it
+  /// via HKDF("shard-master-<k>"), so shards form independent key
+  /// domains: compromising one shard's wrapped-key log does not expose
+  /// a sibling's.
+  std::string master_key;
+  /// Root entropy; per-shard DRBG/signer/index secrets derive from it
+  /// via HKDF("shard-entropy-<k>"), so every shard has its own signer
+  /// identity and blinding keys.
+  std::string entropy;
+  /// Fixed at first open and persisted in `<dir>/shards.meta`; a later
+  /// open with a different count is refused (see ShardRouter).
+  uint32_t num_shards = 1;
+  int signer_height = 8;  ///< per shard
+  std::string system_id = "medvault-sharded";
+  bool require_dual_disposal = false;
+  /// Byte budget of the shared authenticated read cache (0 disables).
+  /// One RecordCache serves all shards: record ids are globally unique
+  /// ("s<k>-r-<n>"), and a single LRU budget adapts to skewed traffic.
+  size_t cache_bytes = 4u << 20;
+  /// Worker threads for cross-shard ingest fan-out. 0 picks
+  /// min(num_shards, hardware_concurrency); 1 forces inline sequential
+  /// execution in shard order — fully deterministic, which the crash
+  /// matrix requires to replay identical I/O boundary sequences.
+  unsigned ingest_threads = 0;
+};
+
+/// Horizontal scale-out of the Vault: records are partitioned across N
+/// fully independent Vault shards, each with its own segment store,
+/// catalog, keystore, index, audit and provenance logs under
+/// `<dir>/shard-<k>/`, so writes to different shards proceed in
+/// parallel — per-shard lock and log domains instead of the single
+/// global ones that classically bottleneck secure stores.
+///
+/// Placement: a record lives on the shard of its *patient*
+/// (`ShardRouter::ShardOf(patient_id)`), so one patient's records —
+/// the unit of clinical access — are colocated. Record ids embed the
+/// shard ("s<k>-r-<n>"), making every record-id-keyed operation O(1)
+/// routable without a directory service.
+///
+/// Cross-shard semantics:
+///   * Principals and care relationships are replicated to every shard
+///     (they are tiny and read-hot); searches, audit verification, and
+///     work-list queries fan out and merge per-shard results.
+///   * Each shard keeps its own audit chain, signer, and commit point;
+///     crash recovery runs per shard, independently (a crash between
+///     two shards' sync points recovers each shard to its own
+///     acknowledged state — there are no cross-shard references to
+///     orphan by construction).
+///   * SyncAll syncs shards in index order; a batch spanning shards is
+///     acknowledged only by a SyncAll that covered every shard.
+///
+/// Thread safety: the ShardedVault itself is immutable after Open
+/// (router, shard set, pool); all mutable state lives behind each
+/// shard's own lock, the shared cache's mutex, and the pool's queue
+/// mutex — so concurrent callers enjoy true cross-shard parallelism.
+class ShardedVault {
+ public:
+  static Result<std::unique_ptr<ShardedVault>> Open(
+      const ShardedVaultOptions& options);
+  ~ShardedVault();
+
+  ShardedVault(const ShardedVault&) = delete;
+  ShardedVault& operator=(const ShardedVault&) = delete;
+
+  // ---- Administration (replicated to every shard) ---------------------
+
+  Status RegisterPrincipal(const PrincipalId& actor,
+                           const Principal& principal);
+  Status AssignCare(const PrincipalId& actor, const PrincipalId& clinician,
+                    const PrincipalId& patient);
+  /// Routed to the patient's shard (that is where their records live).
+  Result<std::string> BreakGlass(const PrincipalId& clinician,
+                                 const PrincipalId& patient,
+                                 const std::string& justification,
+                                 Timestamp duration);
+
+  // ---- Record lifecycle ----------------------------------------------
+
+  Result<RecordId> CreateRecord(const PrincipalId& actor,
+                                const PrincipalId& patient_id,
+                                const std::string& content_type,
+                                const Slice& plaintext,
+                                const std::vector<std::string>& keywords,
+                                const std::string& retention_policy);
+
+  /// Cross-shard batched ingest: the batch is partitioned by patient
+  /// shard and the per-shard sub-batches run as parallel
+  /// Vault::CreateRecordsBatch calls on the worker pool (each shard's
+  /// coalesced state/index/audit bookkeeping stays intact). Returned
+  /// ids line up with the input order. On error the first failing
+  /// shard's status is returned; sub-batches on other shards may have
+  /// been created (same durability model as the single-vault batch —
+  /// nothing is acknowledged until SyncAll).
+  Result<std::vector<RecordId>> CreateRecordsBatch(
+      const PrincipalId& actor, const std::vector<Vault::NewRecord>& batch);
+
+  Result<RecordVersion> ReadRecord(const PrincipalId& actor,
+                                   const RecordId& record_id);
+  Result<RecordVersion> ReadRecordVersion(const PrincipalId& actor,
+                                          const RecordId& record_id,
+                                          uint32_t version);
+  Result<VersionHeader> CorrectRecord(
+      const PrincipalId& actor, const RecordId& record_id,
+      const Slice& new_plaintext, const std::string& reason,
+      const std::vector<std::string>& keywords);
+
+  /// Fan-out search, merged across shards (shard order, per-shard order
+  /// preserved).
+  Result<std::vector<RecordId>> SearchKeyword(const PrincipalId& actor,
+                                              const std::string& term);
+  Result<std::vector<RecordId>> SearchKeywordsAll(
+      const PrincipalId& actor, const std::vector<std::string>& terms);
+
+  Result<std::vector<VersionHeader>> RecordHistory(const PrincipalId& actor,
+                                                   const RecordId& record_id);
+
+  Result<DisposalCertificate> DisposeRecord(const PrincipalId& actor,
+                                            const RecordId& record_id);
+  Result<std::vector<RecordMeta>> ListExpiredRecords(
+      const PrincipalId& actor);
+  Result<int> ReclaimDisposedMedia(const PrincipalId& actor);
+  Status PlaceLegalHold(const PrincipalId& actor, const RecordId& record_id,
+                        const std::string& reason);
+  Status ReleaseLegalHold(const PrincipalId& actor,
+                          const RecordId& record_id,
+                          const std::string& reason);
+  /// Two-person disposal across shards: request ids are
+  /// shard-qualified ("s<k>:dr-<n>") so approval routes back.
+  Result<std::string> RequestDisposal(const PrincipalId& actor,
+                                      const RecordId& record_id);
+  Result<DisposalCertificate> ApproveDisposal(const PrincipalId& actor,
+                                              const std::string& request_id);
+
+  /// Durability barrier over every shard, in shard-index order. A
+  /// cross-shard batch is fully acknowledged only once this returns OK.
+  Status SyncAll();
+
+  // ---- Audit & custody ------------------------------------------------
+
+  /// One signed checkpoint per shard (each shard has its own audit
+  /// chain and signer), in shard order.
+  Result<std::vector<SignedCheckpoint>> CheckpointAudit();
+  /// Every shard's audit chain must verify.
+  Status VerifyAudit() const;
+  /// Record-scoped trails route to the record's shard; an empty record
+  /// id merges every shard's trail (shard order).
+  Result<std::vector<AuditEvent>> ReadAuditTrail(const PrincipalId& actor,
+                                                 const RecordId& record_id);
+  Result<std::vector<CustodyEvent>> GetCustodyChain(const PrincipalId& actor,
+                                                    const RecordId& record_id);
+  /// Routed to the patient's shard — all disclosures of a patient's
+  /// records happen there.
+  Result<std::vector<AuditEvent>> AccountingOfDisclosures(
+      const PrincipalId& actor, const PrincipalId& patient_id);
+  Result<std::vector<AuditEvent>> ListBreakGlassEvents(
+      const PrincipalId& actor);
+
+  // ---- Verification & introspection -----------------------------------
+
+  Status VerifyRecord(const RecordId& record_id) const;
+  Status VerifyEverything() const;
+  /// Merkle root over the per-shard content roots (shard order): two
+  /// sharded vaults with byte-identical shard contents have equal
+  /// roots.
+  std::string ContentRoot() const;
+  Result<RecordMeta> GetRecordMeta(const RecordId& record_id) const;
+  std::vector<RecordId> ListRecordIds() const;
+  Status RotateMasterKey(const PrincipalId& actor,
+                         const Slice& new_master_key);
+
+  uint32_t num_shards() const { return router_.num_shards(); }
+  const ShardRouter& router() const { return router_; }
+  /// Direct shard access (tests, migration, per-shard audit checks).
+  Vault* shard(uint32_t k) { return shards_[k].get(); }
+  const Vault* shard(uint32_t k) const { return shards_[k].get(); }
+  /// The shared authenticated read cache (null when cache_bytes == 0).
+  RecordCache* cache() { return cache_.get(); }
+  RecordCache::Stats CacheStats() const;
+
+ private:
+  class WorkerPool;
+
+  explicit ShardedVault(ShardedVaultOptions options);
+
+  Status Init();
+  /// Shard owning `record_id`, or NotFound for ids that do not name a
+  /// valid shard of this vault.
+  Result<uint32_t> RouteRecordId(const RecordId& record_id) const;
+
+  ShardedVaultOptions options_;
+  ShardRouter router_;
+  std::unique_ptr<RecordCache> cache_;
+  std::vector<std::unique_ptr<Vault>> shards_;
+  std::unique_ptr<WorkerPool> pool_;
+};
+
+}  // namespace medvault::core
+
+#endif  // MEDVAULT_CORE_SHARDED_VAULT_H_

@@ -62,19 +62,23 @@ std::string SearchAuditDetail(const Slice& master_key,
   return "term-blind:" + HexEncode(Slice(blind.data(), 8));
 }
 
-/// True iff `id` looks like a vault-assigned id, i.e. starts with "r-".
-bool HasRecordNumberPrefix(const RecordId& id) {
-  return id.size() >= 2 && id.compare(0, 2, "r-") == 0;
+/// True iff `id` looks like a vault-assigned id, i.e. starts with
+/// "<prefix>-" (the default prefix "r" gives the classic "r-<n>").
+bool HasRecordNumberPrefix(const RecordId& id, const std::string& prefix) {
+  return id.size() > prefix.size() + 1 &&
+         id.compare(0, prefix.size(), prefix) == 0 &&
+         id[prefix.size()] == '-';
 }
 
-/// Strict parse of the numeric suffix of an "r-<n>" id: every character
-/// after the prefix must be a decimal digit and the value must fit in
-/// uint64_t. (strtoull silently accepted trailing garbage like "r-7x"
-/// and saturated on overflow, which could stall or collide the id
-/// counter.)
-bool ParseRecordNumber(const RecordId& id, uint64_t* n) {
-  if (id.size() < 3 || !HasRecordNumberPrefix(id)) return false;
-  const char* first = id.data() + 2;
+/// Strict parse of the numeric suffix of a "<prefix>-<n>" id: every
+/// character after the prefix must be a decimal digit and the value
+/// must fit in uint64_t. (strtoull silently accepted trailing garbage
+/// like "r-7x" and saturated on overflow, which could stall or collide
+/// the id counter.)
+bool ParseRecordNumber(const RecordId& id, const std::string& prefix,
+                       uint64_t* n) {
+  if (!HasRecordNumberPrefix(id, prefix)) return false;
+  const char* first = id.data() + prefix.size() + 1;
   const char* last = id.data() + id.size();
   auto [ptr, ec] = std::from_chars(first, last, *n, 10);
   return ec == std::errc() && ptr == last;
@@ -99,6 +103,9 @@ Result<std::unique_ptr<Vault>> Vault::Open(const VaultOptions& options) {
   }
   if (options.signer_height < 2 || options.signer_height > 16) {
     return Status::InvalidArgument("signer height must be in [2,16]");
+  }
+  if (options.record_id_prefix.empty()) {
+    return Status::InvalidArgument("record id prefix must not be empty");
   }
   std::unique_ptr<Vault> vault(new Vault(options));
   MEDVAULT_RETURN_IF_ERROR(vault->Init());
@@ -168,11 +175,13 @@ Status Vault::LoadState() {
           case kStateMeta: {
             MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
                                       RecordMeta::Decode(payload));
-            // Record ids are "r-<n>"; keep the counter ahead of them. An
-            // unparsable "r-" suffix means the state log is damaged.
-            if (HasRecordNumberPrefix(meta.record_id)) {
+            // Record ids are "<prefix>-<n>"; keep the counter ahead of
+            // them. An unparsable suffix means the state log is damaged.
+            if (HasRecordNumberPrefix(meta.record_id,
+                                      options_.record_id_prefix)) {
               uint64_t n = 0;
-              if (!ParseRecordNumber(meta.record_id, &n)) {
+              if (!ParseRecordNumber(meta.record_id,
+                                     options_.record_id_prefix, &n)) {
                 return Status::Corruption(
                     "malformed record id in state log: " + meta.record_id);
               }
@@ -246,6 +255,7 @@ Status Vault::RecoverAfterUncleanShutdown() {
       updated.disposed = true;
       changed = true;
       actions.push_back(id + ":disposal-completed");
+      if (options_.cache != nullptr) options_.cache->PurgeRecord(id);
     }
     if (!updated.disposed && actual == 0) {
       // A committed meta whose version bytes did not survive (possible
@@ -258,6 +268,7 @@ Status Vault::RecoverAfterUncleanShutdown() {
       updated.disposed = true;
       changed = true;
       actions.push_back(id + ":versions-lost");
+      if (options_.cache != nullptr) options_.cache->PurgeRecord(id);
     } else if (actual < updated.latest_version) {
       updated.latest_version = actual;
       changed = true;
@@ -279,6 +290,9 @@ Status Vault::RecoverAfterUncleanShutdown() {
   }
   if (!orphan_keys.empty()) {
     MEDVAULT_RETURN_IF_ERROR(keystore_->RemoveKeysForRecovery(orphan_keys));
+    if (options_.cache != nullptr) {
+      for (const RecordId& id : orphan_keys) options_.cache->PurgeRecord(id);
+    }
     actions.push_back("orphan-keys-removed=" +
                       std::to_string(orphan_keys.size()));
   }
@@ -448,7 +462,8 @@ Result<RecordId> Vault::CreateRecord(
   MEDVAULT_ASSIGN_OR_RETURN(Timestamp retention_until,
                             retention_.RetentionUntil(retention_policy, now));
 
-  RecordId record_id = "r-" + std::to_string(next_record_num_++);
+  RecordId record_id =
+      options_.record_id_prefix + "-" + std::to_string(next_record_num_++);
   MEDVAULT_RETURN_IF_ERROR(keystore_->CreateKey(record_id));
   MEDVAULT_ASSIGN_OR_RETURN(
       VersionHeader header,
@@ -505,7 +520,8 @@ Result<std::vector<RecordId>> Vault::CreateRecordsBatch(
 
   for (size_t i = 0; i < batch.size(); ++i) {
     const NewRecord& r = batch[i];
-    RecordId record_id = "r-" + std::to_string(next_record_num_++);
+    RecordId record_id =
+        options_.record_id_prefix + "-" + std::to_string(next_record_num_++);
     MEDVAULT_RETURN_IF_ERROR(keystore_->CreateKey(record_id));
     MEDVAULT_ASSIGN_OR_RETURN(
         VersionHeader header,
@@ -550,9 +566,9 @@ Result<std::vector<RecordId>> Vault::CreateRecordsBatch(
 }
 
 Status Vault::PutRecordMetaLocked(const RecordMeta& meta) {
-  if (HasRecordNumberPrefix(meta.record_id)) {
+  if (HasRecordNumberPrefix(meta.record_id, options_.record_id_prefix)) {
     uint64_t n = 0;
-    if (!ParseRecordNumber(meta.record_id, &n)) {
+    if (!ParseRecordNumber(meta.record_id, options_.record_id_prefix, &n)) {
       return Status::InvalidArgument("malformed record id: " +
                                      meta.record_id);
     }
@@ -579,7 +595,7 @@ Result<RecordVersion> Vault::ReadRecord(const PrincipalId& actor,
         AuditLocked(actor, AuditAction::kRead, record_id, "disposed"));
     return Status::KeyDestroyed("record was disposed of");
   }
-  auto version = versions_->ReadLatest(record_id);
+  auto version = ReadVersionCachedLocked(record_id, meta.latest_version);
   MEDVAULT_RETURN_IF_ERROR(AuditLocked(
       actor, AuditAction::kRead, record_id,
       version.ok() ? "ok" : version.status().ToString()));
@@ -599,11 +615,30 @@ Result<RecordVersion> Vault::ReadRecordVersion(const PrincipalId& actor,
         AuditLocked(actor, AuditAction::kRead, record_id, "disposed"));
     return Status::KeyDestroyed("record was disposed of");
   }
-  auto result = versions_->ReadVersion(record_id, version);
+  auto result = ReadVersionCachedLocked(record_id, version);
   MEDVAULT_RETURN_IF_ERROR(AuditLocked(
       actor, AuditAction::kRead, record_id,
       "v" + std::to_string(version) +
           (result.ok() ? " ok" : " " + result.status().ToString())));
+  return result;
+}
+
+Result<RecordVersion> Vault::ReadVersionCachedLocked(
+    const RecordId& record_id, uint32_t version) const {
+  RecordCache* cache = options_.cache;
+  if (cache == nullptr) return versions_->ReadVersion(record_id, version);
+  // Authenticated serve: a hit counts only if the cached entry was
+  // stored under exactly the entry hash the catalog vouches for now.
+  auto expected = versions_->EntryHash(record_id, version);
+  if (expected.ok()) {
+    if (auto hit = cache->Get(record_id, version, *expected)) {
+      return std::move(*hit);
+    }
+  }
+  auto result = versions_->ReadVersion(record_id, version);
+  if (result.ok() && expected.ok()) {
+    cache->Put(record_id, version, *expected, *result);
+  }
   return result;
 }
 
@@ -630,6 +665,10 @@ Result<VersionHeader> Vault::CorrectRecord(
   MEDVAULT_RETURN_IF_ERROR(index_->AddPostings(record_id, keywords));
   meta.latest_version = header.version;
   MEDVAULT_RETURN_IF_ERROR(PutRecordMetaLocked(meta));
+  // A corrected record must never be served from pre-correction cache
+  // state (readers key "latest" off the meta, but purge anyway so the
+  // cache holds nothing for a record whose content was contested).
+  if (options_.cache != nullptr) options_.cache->PurgeRecord(record_id);
   MEDVAULT_RETURN_IF_ERROR(
       AuditLocked(actor, AuditAction::kCorrect, record_id,
                   "v" + std::to_string(header.version) +
@@ -728,6 +767,9 @@ Result<DisposalCertificate> Vault::ExecuteDisposalLocked(
                                   signer_.get()));
 
   MEDVAULT_RETURN_IF_ERROR(keystore_->DestroyKey(record_id));
+  // Secure deletion includes memory: purge every cached plaintext of
+  // the record synchronously, before the disposal is acknowledged.
+  if (options_.cache != nullptr) options_.cache->PurgeRecord(record_id);
   meta.disposed = true;
   MEDVAULT_RETURN_IF_ERROR(PutRecordMetaLocked(meta));
 

@@ -14,6 +14,7 @@
 #include "core/keystore.h"
 #include "core/provenance.h"
 #include "core/record.h"
+#include "core/record_cache.h"
 #include "core/retention.h"
 #include "core/secure_index.h"
 #include "core/version_store.h"
@@ -37,6 +38,18 @@ struct VaultOptions {
   /// disabled and destruction requires RequestDisposal by one admin
   /// plus ApproveDisposal by a *different* admin.
   bool require_dual_disposal = false;
+  /// Namespace for vault-assigned record ids: ids read
+  /// "<record_id_prefix>-<n>". The default "r" gives the classic
+  /// "r-<n>"; a sharded vault gives each shard a distinct prefix
+  /// ("s<k>-r") so ids are globally unique and carry their shard.
+  std::string record_id_prefix = "r";
+  /// Optional authenticated decrypted-record cache consulted by the
+  /// read path (see RecordCache). Not owned; may be shared by several
+  /// vault shards. When null (default) every read decrypts from the
+  /// version store — the seed behaviour, under which a read also
+  /// re-verifies the on-disk bytes, so leave it null for tamper
+  /// experiments that rely on read-time detection.
+  RecordCache* cache = nullptr;
 };
 
 /// MedVault: trustworthy regulatory-compliant health-record storage —
@@ -318,6 +331,12 @@ class Vault {
   Status AuditLocked(const PrincipalId& actor, AuditAction action,
                      const RecordId& record_id,
                      const std::string& details) const;
+  /// Read of one version through the optional authenticated cache: a
+  /// hit must match the catalog's current entry hash; misses decrypt
+  /// from the version store and populate the cache. Requires mu_
+  /// (shared or exclusive).
+  Result<RecordVersion> ReadVersionCachedLocked(const RecordId& record_id,
+                                                uint32_t version) const;
   Status CheckAndAuditLocked(const PrincipalId& actor, Operation op,
                              const RecordId& record_id,
                              const PrincipalId& patient_id) const;

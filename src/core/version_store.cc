@@ -254,6 +254,16 @@ Result<uint32_t> VersionStore::LatestVersion(const RecordId& record_id) const {
   return static_cast<uint32_t>(it->second.size());
 }
 
+Result<std::string> VersionStore::EntryHash(const RecordId& record_id,
+                                            uint32_t version) const {
+  auto it = catalog_.find(record_id);
+  if (it == catalog_.end() || version == 0 ||
+      version > it->second.size()) {
+    return Status::NotFound("unknown record version");
+  }
+  return it->second[version - 1].entry_hash;
+}
+
 Result<std::vector<VersionHeader>> VersionStore::History(
     const RecordId& record_id) const {
   auto it = catalog_.find(record_id);

@@ -80,6 +80,11 @@ class VersionStore {
   Result<std::vector<VersionHeader>> History(const RecordId& record_id) const;
 
   Result<uint32_t> LatestVersion(const RecordId& record_id) const;
+
+  /// The catalog's SHA-256 entry hash for one version — the integrity
+  /// anchor the authenticated record cache validates against.
+  Result<std::string> EntryHash(const RecordId& record_id,
+                                uint32_t version) const;
   std::vector<RecordId> RecordIds() const;
   uint64_t TotalVersionCount() const;
 

@@ -1,0 +1,265 @@
+// RecordCache tests: the cache must behave like an LRU for performance
+// accounting (hits/misses/evictions observable), and like a security
+// component for everything else — never serve an entry whose hash the
+// catalog no longer vouches for, and never serve a record after its
+// secure deletion, even to readers racing the disposal.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/record_cache.h"
+#include "core/vault.h"
+#include "storage/mem_env.h"
+
+namespace medvault::core {
+namespace {
+
+RecordVersion MakeVersion(const RecordId& id, uint32_t version,
+                          const std::string& plaintext) {
+  RecordVersion value;
+  value.header.record_id = id;
+  value.header.version = version;
+  value.header.author = "dr-a";
+  value.header.content_type = "text/plain";
+  value.plaintext = plaintext;
+  return value;
+}
+
+TEST(RecordCacheTest, HitMissAndCountersObservable) {
+  RecordCache cache(1 << 20);
+  EXPECT_FALSE(cache.Get("r-1", 1, "h1").has_value());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  cache.Put("r-1", 1, "h1", MakeVersion("r-1", 1, "payload"));
+  auto hit = cache.Get("r-1", 1, "h1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->plaintext, "payload");
+  EXPECT_EQ(hit->header.version, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+
+  // A different version of the same record is its own entry.
+  EXPECT_FALSE(cache.Get("r-1", 2, "h2").has_value());
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(RecordCacheTest, MismatchedHashIsRejectedAndDropped) {
+  RecordCache cache(1 << 20);
+  cache.Put("r-1", 1, "stale-hash", MakeVersion("r-1", 1, "old plaintext"));
+  // The caller's authoritative hash disagrees: the entry must not be
+  // served, and must not linger either (it is provably stale).
+  EXPECT_FALSE(cache.Get("r-1", 1, "current-hash").has_value());
+  EXPECT_EQ(cache.stats().rejections, 1u);
+  EXPECT_EQ(cache.entry_count(), 0u);
+  // Even asking with the original hash now misses — the entry is gone.
+  EXPECT_FALSE(cache.Get("r-1", 1, "stale-hash").has_value());
+}
+
+TEST(RecordCacheTest, LruEvictionUnderCapacityPressure) {
+  // Capacity fits roughly two of the three values; inserting the third
+  // must evict the least recently used, not the most.
+  const std::string payload(400, 'x');
+  RecordCache cache(1000);
+  cache.Put("r-1", 1, "h1", MakeVersion("r-1", 1, payload));
+  cache.Put("r-2", 1, "h2", MakeVersion("r-2", 1, payload));
+  // Touch r-1 so r-2 is the LRU victim.
+  EXPECT_TRUE(cache.Get("r-1", 1, "h1").has_value());
+  cache.Put("r-3", 1, "h3", MakeVersion("r-3", 1, payload));
+
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.Get("r-1", 1, "h1").has_value());
+  EXPECT_FALSE(cache.Get("r-2", 1, "h2").has_value()) << "LRU not evicted";
+  EXPECT_TRUE(cache.Get("r-3", 1, "h3").has_value());
+  EXPECT_LE(cache.charge_bytes(), cache.capacity_bytes());
+}
+
+TEST(RecordCacheTest, OversizedValuesAreNotCached) {
+  RecordCache cache(64);
+  cache.Put("r-1", 1, "h1", MakeVersion("r-1", 1, std::string(1000, 'x')));
+  EXPECT_EQ(cache.entry_count(), 0u);
+  EXPECT_FALSE(cache.Get("r-1", 1, "h1").has_value());
+}
+
+TEST(RecordCacheTest, PurgeRemovesEveryVersionOfTheRecord) {
+  RecordCache cache(1 << 20);
+  cache.Put("r-1", 1, "h1", MakeVersion("r-1", 1, "v1"));
+  cache.Put("r-1", 2, "h2", MakeVersion("r-1", 2, "v2"));
+  cache.Put("r-2", 1, "h3", MakeVersion("r-2", 1, "other"));
+  cache.PurgeRecord("r-1");
+  EXPECT_EQ(cache.stats().purges, 2u);
+  EXPECT_FALSE(cache.Get("r-1", 1, "h1").has_value());
+  EXPECT_FALSE(cache.Get("r-1", 2, "h2").has_value());
+  EXPECT_TRUE(cache.Get("r-2", 1, "h3").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Vault integration: the purge paths that make caching safe.
+// ---------------------------------------------------------------------------
+
+class CachedVaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cache_ = std::make_unique<RecordCache>(1 << 20);
+    VaultOptions options;
+    options.env = &env_;
+    options.dir = "vault";
+    options.clock = &clock_;
+    options.master_key = std::string(32, 'M');
+    options.entropy = "cache-test-entropy";
+    options.signer_height = 4;
+    options.cache = cache_.get();
+    auto vault = Vault::Open(options);
+    ASSERT_TRUE(vault.ok()) << vault.status().ToString();
+    vault_ = std::move(vault).value();
+
+    ASSERT_TRUE(
+        vault_->RegisterPrincipal("boot", {"admin-r", Role::kAdmin, "Root"})
+            .ok());
+    ASSERT_TRUE(vault_
+                    ->RegisterPrincipal("admin-r",
+                                        {"dr-a", Role::kPhysician, "Dr A"})
+                    .ok());
+    ASSERT_TRUE(vault_
+                    ->RegisterPrincipal("admin-r",
+                                        {"pat-p", Role::kPatient, "P"})
+                    .ok());
+    ASSERT_TRUE(vault_->AssignCare("admin-r", "dr-a", "pat-p").ok());
+  }
+
+  RecordId MustCreate(const std::string& note,
+                      const std::string& policy = "short-1y") {
+    auto id = vault_->CreateRecord("dr-a", "pat-p", "text/plain", note, {},
+                                   policy);
+    EXPECT_TRUE(id.ok()) << id.status().ToString();
+    return *id;
+  }
+
+  storage::MemEnv env_;
+  ManualClock clock_{1000000};
+  std::unique_ptr<RecordCache> cache_;
+  std::unique_ptr<Vault> vault_;
+};
+
+TEST_F(CachedVaultTest, RepeatReadsAreServedFromCache) {
+  RecordId id = MustCreate("cached payload");
+  auto first = vault_->ReadRecord("dr-a", id);
+  ASSERT_TRUE(first.ok());
+  uint64_t misses_after_first = cache_->stats().misses;
+  auto second = vault_->ReadRecord("dr-a", id);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->plaintext, "cached payload");
+  EXPECT_GE(cache_->stats().hits, 1u);
+  EXPECT_EQ(cache_->stats().misses, misses_after_first)
+      << "second read should not miss";
+}
+
+TEST_F(CachedVaultTest, CorrectionPurgesCachedVersions) {
+  RecordId id = MustCreate("original");
+  ASSERT_TRUE(vault_->ReadRecord("dr-a", id).ok());  // warm the cache
+  ASSERT_GE(cache_->entry_count(), 1u);
+  ASSERT_TRUE(vault_
+                  ->CorrectRecord("dr-a", id, "amended", "typo", {})
+                  .ok());
+  // The correction invalidated the record's cached entries; the next
+  // read must return the NEW latest from disk, never a stale cached v1.
+  auto read = vault_->ReadRecord("dr-a", id);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->plaintext, "amended");
+  EXPECT_EQ(read->header.version, 2u);
+  // Historical v1 still readable (from disk) — purge, not corruption.
+  auto v1 = vault_->ReadRecordVersion("dr-a", id, 1);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->plaintext, "original");
+}
+
+TEST_F(CachedVaultTest, DisposalPurgesCacheReadAfterSecureDeleteFails) {
+  RecordId id = MustCreate("to be shredded", "short-1y");
+  ASSERT_TRUE(vault_->ReadRecord("dr-a", id).ok());  // plaintext now cached
+  ASSERT_GE(cache_->entry_count(), 1u);
+
+  clock_.Advance(400LL * 24 * 3600 * kMicrosPerSecond);  // past 1y retention
+  auto cert = vault_->DisposeRecord("admin-r", id);
+  ASSERT_TRUE(cert.ok()) << cert.status().ToString();
+
+  // Crypto-shredding must extend into memory: the cached plaintext is
+  // gone, and the read fails exactly as it would with a cold cache.
+  uint64_t hits_before = cache_->stats().hits;
+  auto read = vault_->ReadRecord("dr-a", id);
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(cache_->stats().hits, hits_before)
+      << "disposed record served from cache";
+}
+
+TEST_F(CachedVaultTest, ConcurrentReadersNeverSeeDisposedPlaintext) {
+  RecordId id = MustCreate("hot record", "short-1y");
+  ASSERT_TRUE(vault_->ReadRecord("dr-a", id).ok());
+  clock_.Advance(400LL * 24 * 3600 * kMicrosPerSecond);
+
+  // Readers hammer the record while an admin disposes it mid-stream.
+  // Every read must be all-or-nothing: full plaintext before the
+  // disposal commits, a clean failure after — never a zeroized or
+  // partially-wiped buffer (which would indicate the purge races the
+  // cache's own copies).
+  constexpr int kReaders = 4;
+  std::atomic<bool> go{false};
+  std::atomic<int> bad_payloads{0};
+  std::atomic<int> reads_after_dispose_ok{0};
+  std::atomic<bool> disposed{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int i = 0; i < 200; ++i) {
+        bool disposed_before_read = disposed.load();
+        auto read = vault_->ReadRecord("dr-a", id);
+        if (read.ok()) {
+          if (read->plaintext != "hot record") bad_payloads++;
+          if (disposed_before_read) reads_after_dispose_ok++;
+        }
+      }
+    });
+  }
+  std::thread disposer([&] {
+    while (!go.load()) std::this_thread::yield();
+    auto cert = vault_->DisposeRecord("admin-r", id);
+    ASSERT_TRUE(cert.ok()) << cert.status().ToString();
+    disposed = true;
+  });
+  go = true;
+  for (auto& reader : readers) reader.join();
+  disposer.join();
+
+  EXPECT_EQ(bad_payloads.load(), 0);
+  EXPECT_EQ(reads_after_dispose_ok.load(), 0)
+      << "read succeeded after disposal was acknowledged";
+  // And the terminal state: the record stays unreadable.
+  EXPECT_FALSE(vault_->ReadRecord("dr-a", id).ok());
+  EXPECT_TRUE(vault_->VerifyEverything().ok());
+}
+
+TEST_F(CachedVaultTest, TamperedCatalogHashRejectsCachedEntry) {
+  // Direct cache-poisoning scenario: an entry stored under a hash the
+  // catalog no longer vouches for must be rejected by the read path.
+  RecordId id = MustCreate("authentic");
+  ASSERT_TRUE(vault_->ReadRecord("dr-a", id).ok());
+  // Poison: replace the cached entry under a wrong hash.
+  cache_->PurgeRecord(id);
+  RecordVersion forged;
+  forged.header.record_id = id;
+  forged.header.version = 1;
+  forged.plaintext = "forged plaintext";
+  cache_->Put(id, 1, "not-the-catalog-hash", forged);
+  auto read = vault_->ReadRecord("dr-a", id);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->plaintext, "authentic") << "forged cache entry served";
+  EXPECT_GE(cache_->stats().rejections, 1u);
+}
+
+}  // namespace
+}  // namespace medvault::core

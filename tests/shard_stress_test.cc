@@ -1,0 +1,230 @@
+// Cross-shard concurrency stress: eight client threads drive a mixed
+// create/read/correct/dispose workload against a four-shard vault with
+// the shared authenticated cache enabled. The point is not throughput —
+// it is that under real contention (per-shard locks, shared cache,
+// ingest pool all active at once) no operation tears, no audit event is
+// lost, no disposed plaintext resurfaces, and the whole thing still
+// verifies end-to-end. tools/smoke.sh re-runs this under ASan and TSan
+// (label "stress"), which is where cache/purge races would surface.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_vault.h"
+#include "storage/mem_env.h"
+
+namespace medvault::core {
+namespace {
+
+class ShardStressTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kShards = 4;
+  static constexpr int kThreads = 8;
+
+  void SetUp() override {
+    ShardedVaultOptions options;
+    options.env = &env_;
+    options.dir = "stress";
+    options.clock = &clock_;
+    options.master_key = std::string(32, 'M');
+    options.entropy = "stress-entropy";
+    options.num_shards = kShards;
+    options.signer_height = 6;
+    auto opened = ShardedVault::Open(options);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    vault_ = std::move(*opened);
+
+    ASSERT_TRUE(
+        vault_->RegisterPrincipal("boot", {"admin-r", Role::kAdmin, "Root"})
+            .ok());
+    ASSERT_TRUE(vault_
+                    ->RegisterPrincipal("admin-r",
+                                        {"aud-x", Role::kAuditor, "X"})
+                    .ok());
+    for (int t = 0; t < kThreads; ++t) {
+      std::string dr = "dr-" + std::to_string(t);
+      ASSERT_TRUE(vault_
+                      ->RegisterPrincipal("admin-r",
+                                          {dr, Role::kPhysician, dr})
+                      .ok());
+      std::string pat = "pat-" + std::to_string(t);
+      ASSERT_TRUE(vault_
+                      ->RegisterPrincipal("admin-r",
+                                          {pat, Role::kPatient, pat})
+                      .ok());
+      ASSERT_TRUE(vault_->AssignCare("admin-r", dr, pat).ok());
+    }
+  }
+
+  storage::MemEnv env_;
+  ManualClock clock_{1000000};
+  std::unique_ptr<ShardedVault> vault_;
+};
+
+TEST_F(ShardStressTest, MixedWorkloadStaysLinearizableAndVerifiable) {
+  // Each thread owns one patient (so its records may land on any shard
+  // but are private to it) and loops a create / read / correct / dispose
+  // mix. Before each disposal the thread jumps the (atomic, monotonic)
+  // clock past the short policy's horizon, so records genuinely get
+  // crypto-shredded mid-run while siblings are still being read through
+  // the shared cache.
+  constexpr int kOpsPerThread = 60;
+  std::atomic<int> failures{0};
+  std::atomic<int> disposed_reads_ok{0};
+  std::atomic<int> creates_done{0};
+  std::atomic<int> disposals_done{0};
+  std::vector<std::vector<RecordId>> owned(kThreads);
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string dr = "dr-" + std::to_string(t);
+      const std::string pat = "pat-" + std::to_string(t);
+      std::vector<RecordId> live;
+      std::set<RecordId> dead;
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        switch (i % 4) {
+          case 0: {  // create (backdated policy: immediately disposable)
+            auto id = vault_->CreateRecord(
+                dr, pat, "text/plain",
+                "t" + std::to_string(t) + " op " + std::to_string(i),
+                {"stress"}, "short-1y");
+            if (id.ok()) {
+              live.push_back(*id);
+              owned[t].push_back(*id);
+              creates_done++;
+            } else {
+              failures++;
+            }
+            break;
+          }
+          case 1: {  // read a live record (cache hit path under race)
+            if (live.empty()) break;
+            auto read = vault_->ReadRecord(dr, live.back());
+            if (!read.ok()) failures++;
+            break;
+          }
+          case 2: {  // correct a live record (purges its cache entries)
+            if (live.empty()) break;
+            auto corrected = vault_->CorrectRecord(
+                dr, live.front(), "amended " + std::to_string(i),
+                "routine", {"stress"});
+            if (!corrected.ok()) failures++;
+            break;
+          }
+          case 3: {  // dispose the oldest live record, then re-read it
+            if (live.size() < 2) break;
+            RecordId victim = live.front();
+            live.erase(live.begin());
+            // Any record created before this instant is now expired.
+            clock_.Advance(400LL * 24 * 3600 * kMicrosPerSecond);
+            auto cert = vault_->DisposeRecord("admin-r", victim);
+            if (!cert.ok()) {
+              failures++;
+              break;
+            }
+            disposals_done++;
+            dead.insert(victim);
+            if (vault_->ReadRecord(dr, victim).ok()) disposed_reads_ok++;
+            break;
+          }
+        }
+      }
+      // Terminal sweep: everything this thread disposed must stay dead.
+      for (const RecordId& id : dead) {
+        if (vault_->ReadRecord(dr, id).ok()) disposed_reads_ok++;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(disposed_reads_ok.load(), 0)
+      << "crypto-shredded record served after disposal";
+  EXPECT_GT(disposals_done.load(), 0) << "workload never exercised disposal";
+
+  // Global invariants after the storm: unique ids, clean audit chains,
+  // full cryptographic verification on every shard.
+  std::set<RecordId> all;
+  for (const auto& ids : owned) {
+    for (const RecordId& id : ids) {
+      EXPECT_TRUE(all.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(all.size()), creates_done.load());
+  EXPECT_TRUE(vault_->SyncAll().ok());
+  EXPECT_TRUE(vault_->VerifyAudit().ok());
+  EXPECT_TRUE(vault_->VerifyEverything().ok());
+
+  // Audit completeness: one kCreate per successful create, one
+  // kDispose per successful disposal, across the merged trail.
+  auto trail = vault_->ReadAuditTrail("aud-x", "");
+  ASSERT_TRUE(trail.ok());
+  int creates = 0;
+  int disposals = 0;
+  for (const AuditEvent& event : *trail) {
+    if (event.action == AuditAction::kCreate) creates++;
+    if (event.action == AuditAction::kDispose) disposals++;
+  }
+  EXPECT_EQ(creates, creates_done.load());
+  EXPECT_EQ(disposals, disposals_done.load());
+}
+
+TEST_F(ShardStressTest, ParallelBatchIngestFromManyThreads) {
+  // All eight threads push batches through the shared ingest pool at
+  // once; the pool must keep per-call completion separate (a thread
+  // must never return before ITS batch landed) and ids must stay
+  // globally unique.
+  constexpr int kBatches = 6;
+  constexpr int kBatchSize = 10;
+  std::atomic<int> failures{0};
+  std::vector<std::vector<RecordId>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const std::string dr = "dr-" + std::to_string(t);
+      const std::string pat = "pat-" + std::to_string(t);
+      for (int b = 0; b < kBatches; ++b) {
+        std::vector<Vault::NewRecord> batch;
+        for (int i = 0; i < kBatchSize; ++i) {
+          Vault::NewRecord record;
+          record.patient_id = pat;
+          record.content_type = "text/plain";
+          record.plaintext = "t" + std::to_string(t) + " b" +
+                             std::to_string(b) + " i" + std::to_string(i);
+          record.retention_policy = "hipaa-6y";
+          batch.push_back(std::move(record));
+        }
+        auto ids = vault_->CreateRecordsBatch(dr, batch);
+        if (!ids.ok() || ids->size() != batch.size()) {
+          failures++;
+          continue;
+        }
+        got[t].insert(got[t].end(), ids->begin(), ids->end());
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  std::set<RecordId> all;
+  for (int t = 0; t < kThreads; ++t) {
+    for (const RecordId& id : got[t]) {
+      EXPECT_TRUE(all.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(all.size(),
+            static_cast<size_t>(kThreads * kBatches * kBatchSize));
+  EXPECT_TRUE(vault_->SyncAll().ok());
+  EXPECT_TRUE(vault_->VerifyEverything().ok());
+}
+
+}  // namespace
+}  // namespace medvault::core

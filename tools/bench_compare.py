@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Compare fresh BENCH_*.json results against the committed baselines.
+
+Usage:
+    tools/bench_compare.py [--current DIR] [--baseline DIR] [--threshold PCT]
+
+Each benchmark binary (bench_ingest, bench_query, ...) writes
+BENCH_<name>.json into its working directory via RunBenchmarkMain. This
+tool pairs those files with the same-named files under bench/baselines/,
+matches individual benchmarks by full name (e.g.
+"BM_Ingest_MedVaultBatch/1024/64"), and compares throughput
+(items_per_second when present, otherwise inverse real_time).
+
+A benchmark is flagged as a REGRESSION when it is more than --threshold
+percent slower than its baseline (default 15%, per EXPERIMENTS.md).
+Speed-ups and new benchmarks are reported informationally. Exit status
+is 1 if any regression was found, 0 otherwise — suitable for CI.
+
+Baselines are machine-specific: they were recorded on the development
+container (single core, debug-adjacent flags). Regenerate them with
+
+    (cd build/bench && ./bench_ingest --benchmark_min_time=0.05 \
+        --benchmark_out=../../bench/baselines/BENCH_ingest.json \
+        --benchmark_out_format=json)
+
+whenever the hardware or the expected performance profile changes.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_results(path):
+    """Returns {benchmark name -> throughput (higher is better)}."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    results = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if not name:
+            continue
+        if "items_per_second" in bench:
+            results[name] = float(bench["items_per_second"])
+        elif bench.get("real_time"):
+            results[name] = 1.0 / float(bench["real_time"])
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--current", default=".",
+                        help="directory holding fresh BENCH_*.json "
+                             "(default: cwd)")
+    parser.add_argument("--baseline", default=None,
+                        help="directory holding baseline BENCH_*.json "
+                             "(default: <repo>/bench/baselines)")
+    parser.add_argument("--threshold", type=float, default=15.0,
+                        help="regression threshold in percent (default 15)")
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    baseline_dir = args.baseline or os.path.join(repo_root, "bench",
+                                                 "baselines")
+
+    current_files = sorted(glob.glob(os.path.join(args.current,
+                                                  "BENCH_*.json")))
+    if not current_files:
+        print(f"no BENCH_*.json found in {args.current!r}; run the bench "
+              "binaries first", file=sys.stderr)
+        return 2
+
+    regressions = 0
+    compared = 0
+    for current_path in current_files:
+        fname = os.path.basename(current_path)
+        baseline_path = os.path.join(baseline_dir, fname)
+        if not os.path.exists(baseline_path):
+            print(f"[skip] {fname}: no committed baseline")
+            continue
+        current = load_results(current_path)
+        baseline = load_results(baseline_path)
+        print(f"== {fname} (threshold {args.threshold:.0f}%) ==")
+        for name in sorted(baseline):
+            if name not in current:
+                print(f"  [gone] {name}: in baseline but not in current run")
+                continue
+            compared += 1
+            base = baseline[name]
+            cur = current[name]
+            if base <= 0:
+                continue
+            delta_pct = (cur - base) / base * 100.0
+            if delta_pct < -args.threshold:
+                regressions += 1
+                print(f"  [REGRESSION] {name}: {delta_pct:+.1f}% "
+                      f"({base:.3g} -> {cur:.3g} items/s)")
+            else:
+                tag = "faster" if delta_pct > args.threshold else "ok"
+                print(f"  [{tag}] {name}: {delta_pct:+.1f}%")
+        for name in sorted(set(current) - set(baseline)):
+            print(f"  [new] {name}: no baseline yet")
+
+    print(f"\ncompared {compared} benchmarks, "
+          f"{regressions} regression(s) beyond {args.threshold:.0f}%")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Line-coverage gate: builds the tree with MEDVAULT_COVERAGE=ON, runs
+# the full ctest battery, aggregates gcov line data for everything under
+# src/, and fails if coverage drops below the floor. The floor is the
+# seed line measured on this harness — raise it as coverage grows, never
+# lower it to make a regression pass.
+#
+# Usage: tools/coverage.sh [build-dir]
+#   MEDVAULT_COVERAGE_FLOOR=<pct> overrides the floor (e.g. for a local
+#   quick check on a subset build).
+#
+# Implementation note: uses `gcov --json-format --stdout` directly (no
+# gcovr/lcov dependency) and merges the per-test-binary counters in
+# python3 — a line is covered if ANY test executed it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+dir="${1:-build-cov}"
+# Measured 92.5% on the full suite when this gate landed; 90 leaves
+# headroom for counter noise without letting real regressions through.
+floor="${MEDVAULT_COVERAGE_FLOOR:-90.0}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== coverage build (${dir}) ==="
+cmake -B "$dir" -S . -DMEDVAULT_COVERAGE=ON >/dev/null
+cmake --build "$dir" -j "$jobs" >/dev/null
+
+# Stale counters from a previous run would inflate the number.
+find "$dir" -name '*.gcda' -delete
+
+echo "=== running tests ==="
+ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+
+echo "=== aggregating gcov line data ==="
+dump="$dir/coverage-gcov.jsonl"
+: > "$dump"
+while IFS= read -r -d '' gcda; do
+  gcov --json-format --stdout "$gcda" >> "$dump" 2>/dev/null || true
+done < <(find "$dir" -name '*.gcda' -print0)
+
+python3 - "$dump" "$floor" <<'PYEOF'
+import json
+import os
+import sys
+
+dump_path, floor = sys.argv[1], float(sys.argv[2])
+repo = os.getcwd()
+
+# (file, line) -> executed?  Merged across every test binary: the suite
+# covers a line if any test ran it.
+lines = {}
+with open(dump_path, "r", encoding="utf-8") as f:
+    for raw in f:
+        raw = raw.strip()
+        if not raw:
+            continue
+        doc = json.loads(raw)
+        for entry in doc.get("files", []):
+            path = os.path.normpath(os.path.join(repo, entry["file"]))
+            rel = os.path.relpath(path, repo)
+            # Gate on the library proper, not tests/benches/vendored code.
+            if not rel.startswith("src" + os.sep):
+                continue
+            for line in entry.get("lines", []):
+                key = (rel, line["line_number"])
+                lines[key] = lines.get(key, False) or line["count"] > 0
+
+total = len(lines)
+covered = sum(1 for hit in lines.values() if hit)
+if total == 0:
+    print("no coverage data for src/ — did the instrumented tests run?")
+    sys.exit(2)
+
+pct = 100.0 * covered / total
+per_file = {}
+for (rel, _), hit in lines.items():
+    t, c = per_file.get(rel, (0, 0))
+    per_file[rel] = (t + 1, c + (1 if hit else 0))
+worst = sorted(per_file.items(), key=lambda kv: kv[1][1] / kv[1][0])[:5]
+print(f"src/ line coverage: {covered}/{total} = {pct:.1f}% "
+      f"(floor {floor:.1f}%)")
+print("least-covered files:")
+for rel, (t, c) in worst:
+    print(f"  {100.0 * c / t:5.1f}%  {rel}")
+if pct < floor:
+    print(f"FAIL: coverage {pct:.1f}% is below the floor {floor:.1f}%")
+    sys.exit(1)
+print("coverage gate passed")
+PYEOF

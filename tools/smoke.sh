@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Smoke suite: the tier-1 test battery in the default configuration,
-# then the crash/fault matrix (`ctest -L crash`) rebuilt under
-# AddressSanitizer and UndefinedBehaviorSanitizer so the recovery paths
-# run instrumented. Usage: tools/smoke.sh [build-dir-prefix]
+# then the crash/fault matrix plus the cross-shard stress battery
+# (`ctest -L "crash|stress"`) rebuilt under AddressSanitizer and
+# UndefinedBehaviorSanitizer, and finally the stress battery under
+# ThreadSanitizer — the shared cache / ingest-pool races the sharded
+# vault must survive only surface instrumented.
+# Usage: tools/smoke.sh [build-dir-prefix]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,7 +27,8 @@ run_config() {
 }
 
 run_config "$prefix" "" ""
-run_config "${prefix}-asan" address crash
-run_config "${prefix}-ubsan" undefined crash
+run_config "${prefix}-asan" address "crash|stress"
+run_config "${prefix}-ubsan" undefined "crash|stress"
+run_config "${prefix}-tsan" thread "stress"
 
 echo "smoke suite passed"
