@@ -101,9 +101,10 @@ void BM_Ingest_ShardedBatch(benchmark::State& state) {
   constexpr int kPatients = 64;
 
   storage::MemEnv env;
+  storage::InstrumentedEnv ienv(&env, obs::ProcessIoStats());
   ManualClock clock(1000000);
   core::ShardedVaultOptions options;
-  options.env = &env;
+  options.env = &ienv;
   options.dir = "sharded";
   options.clock = &clock;
   options.master_key = std::string(32, 'M');

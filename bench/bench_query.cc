@@ -63,10 +63,11 @@ BENCHMARK(BM_PointRead_MedVault);
 // also bounds how much the mandatory audit path costs.
 void BM_PointRead_MedVaultCached(benchmark::State& state) {
   storage::MemEnv env;
+  storage::InstrumentedEnv ienv(&env, obs::ProcessIoStats());
   ManualClock clock(1000000);
   core::RecordCache cache(8u << 20);
   core::VaultOptions options;
-  options.env = &env;
+  options.env = &ienv;
   options.dir = "store";
   options.clock = &clock;
   options.master_key = std::string(32, 'K');
@@ -114,9 +115,10 @@ BENCHMARK(BM_PointRead_MedVaultCached);
 void BM_PointRead_Sharded(benchmark::State& state) {
   const uint32_t shards = static_cast<uint32_t>(state.range(0));
   storage::MemEnv env;
+  storage::InstrumentedEnv ienv(&env, obs::ProcessIoStats());
   ManualClock clock(1000000);
   core::ShardedVaultOptions options;
-  options.env = &env;
+  options.env = &ienv;
   options.dir = "sharded";
   options.clock = &clock;
   options.master_key = std::string(32, 'M');

@@ -20,8 +20,11 @@
 #include "baselines/vault_store.h"
 #include "baselines/worm_store.h"
 #include "common/clock.h"
+#include "obs/health.h"
 #include "sim/workload.h"
+#include "storage/instrumented_env.h"
 #include "storage/mem_env.h"
+#include "storage/posix_env.h"
 
 namespace medvault::bench {
 
@@ -33,9 +36,12 @@ inline const std::vector<std::string>& ModelNames() {
   return *names;
 }
 
-/// A store bundled with the Env/clock it lives on.
+/// A store bundled with the Env/clock it lives on. The MemEnv is
+/// wrapped in an InstrumentedEnv feeding obs::ProcessIoStats(), so
+/// every bench's physical I/O shows up in its HEALTH_<name>.json.
 struct StoreInstance {
   std::unique_ptr<storage::MemEnv> env;
+  std::unique_ptr<storage::InstrumentedEnv> ienv;
   std::unique_ptr<ManualClock> clock;
   std::unique_ptr<baselines::RecordStore> store;
 };
@@ -43,22 +49,24 @@ struct StoreInstance {
 inline StoreInstance MakeStore(const std::string& model) {
   StoreInstance instance;
   instance.env = std::make_unique<storage::MemEnv>();
+  instance.ienv = std::make_unique<storage::InstrumentedEnv>(
+      instance.env.get(), obs::ProcessIoStats());
   instance.clock = std::make_unique<ManualClock>(1000000);
   if (model == "relational") {
     instance.store = std::make_unique<baselines::RelationalStore>(
-        instance.env.get(), "store");
+        instance.ienv.get(), "store");
   } else if (model == "encrypted-db") {
     instance.store = std::make_unique<baselines::EncryptedDbStore>(
-        instance.env.get(), "store", std::string(32, 'D'));
+        instance.ienv.get(), "store", std::string(32, 'D'));
   } else if (model == "object-store") {
     instance.store = std::make_unique<baselines::ObjectStore>(
-        instance.env.get(), "store");
+        instance.ienv.get(), "store");
   } else if (model == "worm") {
     instance.store = std::make_unique<baselines::WormStore>(
-        instance.env.get(), "store");
+        instance.ienv.get(), "store");
   } else if (model == "medvault") {
     instance.store = std::make_unique<baselines::VaultStore>(
-        instance.env.get(), "store", instance.clock.get());
+        instance.ienv.get(), "store", instance.clock.get());
   }
   Status s = instance.store->Open();
   if (!s.ok()) {
@@ -93,7 +101,9 @@ inline std::vector<std::string> Populate(baselines::RecordStore* store,
 /// Drop-in replacement for BENCHMARK_MAIN() that persists results: unless
 /// the caller already passed --benchmark_out, the JSON reporter writes to
 /// BENCH_<name>.json in the working directory, so perf trajectories can
-/// be tracked across commits. Console output is unchanged.
+/// be tracked across commits. Console output is unchanged. A
+/// HEALTH_<name>.json observability snapshot (process-default registry
+/// op histograms + accumulated env I/O) is written next to it.
 inline int RunBenchmarkMain(const std::string& name, int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
@@ -113,6 +123,21 @@ inline int RunBenchmarkMain(const std::string& name, int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  // The vaults under test are gone by now, but their op histograms
+  // accumulated in the process-wide registry and their I/O in
+  // ProcessIoStats() — snapshot both for the experiment scripts.
+  int64_t now_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::system_clock::now().time_since_epoch())
+                           .count();
+  obs::HealthReport health = obs::CollectProcessHealth(
+      now_micros, obs::MetricsRegistry::Default(), obs::ProcessIoStats());
+  Status health_status = obs::WriteHealthFile(
+      storage::PosixEnv::Default(), health, "HEALTH_" + name + ".json");
+  if (!health_status.ok()) {
+    fprintf(stderr, "health report write failed: %s\n",
+            health_status.ToString().c_str());
+  }
   return 0;
 }
 

@@ -53,6 +53,12 @@ Result<MigrationReceipt> MigrationReceipt::Decode(const Slice& data) {
 
 Result<MigrationReceipt> Migrator::Migrate(Vault* source, Vault* target,
                                            const PrincipalId& actor) {
+  // Timed against the source's registry: migration drains the source,
+  // so that is where an operator watching op latency will look.
+  obs::ScopedOpTimer timer(
+      source->metrics_registry(),
+      source->metrics_registry()->GetHistogram("vault.migrate"),
+      "vault.migrate");
   // Both sides must authorize the movement.
   MEDVAULT_RETURN_IF_ERROR(source->access()->CheckAccess(
       actor, Operation::kMigrate, "", source->Now()));

@@ -27,13 +27,22 @@ std::optional<RecordVersion> RecordCache::Get(
     const RecordId& record_id, uint32_t version,
     const std::string& expected_entry_hash) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (expected_entry_hash.empty()) {
+    // The caller has no catalog hash to authenticate against, so the
+    // cache cannot serve — but that is a property of the caller, not
+    // evidence against the entry. Bypass without touching it (evicting
+    // here would let an unauthenticated reader flush valid entries and
+    // masquerade as tampering in the rejection stat).
+    stats_.bypasses++;
+    stats_.misses++;
+    return std::nullopt;
+  }
   auto it = index_.find(Key(record_id, version));
   if (it == index_.end()) {
     stats_.misses++;
     return std::nullopt;
   }
-  if (expected_entry_hash.empty() ||
-      it->second->entry_hash != expected_entry_hash) {
+  if (it->second->entry_hash != expected_entry_hash) {
     // The caller's source of truth disagrees with what was cached:
     // never serve it — drop it and treat as a miss.
     stats_.rejections++;

@@ -43,6 +43,10 @@ class RecordCache {
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
+    /// Gets with an empty expected hash: the caller could not
+    /// authenticate a hit, so the cache stood aside. Counted separately
+    /// from rejections — a bypass says nothing about entry integrity.
+    uint64_t bypasses = 0;
     uint64_t evictions = 0;   ///< capacity evictions
     uint64_t rejections = 0;  ///< hash-mismatch entries dropped
     uint64_t purges = 0;      ///< entries removed by PurgeRecord/Clear
@@ -57,7 +61,10 @@ class RecordCache {
 
   /// Serves (record, version) iff present AND stored under exactly
   /// `expected_entry_hash`; a mismatching entry is zeroized, dropped,
-  /// and counted as a rejection (plus a miss for the caller).
+  /// and counted as a rejection (plus a miss for the caller). An empty
+  /// `expected_entry_hash` cannot authenticate anything: it bypasses
+  /// the cache (counted as bypass + miss) and leaves any cached entry
+  /// untouched.
   std::optional<RecordVersion> Get(const RecordId& record_id,
                                    uint32_t version,
                                    const std::string& expected_entry_hash);

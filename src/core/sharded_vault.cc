@@ -1,93 +1,16 @@
 #include "core/sharded_vault.h"
 
 #include <algorithm>
-#include <condition_variable>
 #include <charconv>
-#include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 
+#include "core/worker_pool.h"
 #include "crypto/hkdf.h"
 #include "crypto/merkle.h"
 
 namespace medvault::core {
-
-// ---------------------------------------------------------------------------
-// Worker pool
-// ---------------------------------------------------------------------------
-
-/// A small persistent pool for cross-shard fan-out. Tasks submitted by
-/// one RunAll call complete before it returns; concurrent RunAll calls
-/// from different threads interleave safely (each call tracks its own
-/// completion state). With zero threads, RunAll executes inline in
-/// submission order — the deterministic mode the crash matrix uses.
-class ShardedVault::WorkerPool {
- public:
-  explicit WorkerPool(unsigned threads) {
-    for (unsigned i = 0; i < threads; ++i) {
-      threads_.emplace_back([this] { Loop(); });
-    }
-  }
-
-  ~WorkerPool() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    for (auto& t : threads_) t.join();
-  }
-
-  void RunAll(std::vector<std::function<void()>> tasks) {
-    if (threads_.empty() || tasks.size() <= 1) {
-      for (auto& task : tasks) task();
-      return;
-    }
-    struct BatchState {
-      std::mutex mu;
-      std::condition_variable done;
-      size_t remaining;
-    };
-    auto state = std::make_shared<BatchState>();
-    state->remaining = tasks.size();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      for (auto& task : tasks) {
-        queue_.emplace_back([task = std::move(task), state] {
-          task();
-          std::lock_guard<std::mutex> done_lock(state->mu);
-          if (--state->remaining == 0) state->done.notify_all();
-        });
-      }
-    }
-    cv_.notify_all();
-    std::unique_lock<std::mutex> wait_lock(state->mu);
-    state->done.wait(wait_lock, [&] { return state->remaining == 0; });
-  }
-
- private:
-  void Loop() {
-    for (;;) {
-      std::function<void()> task;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-        if (stop_ && queue_.empty()) return;
-        task = std::move(queue_.front());
-        queue_.pop_front();
-      }
-      task();
-    }
-  }
-
-  std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
-};
 
 // ---------------------------------------------------------------------------
 // Open / Init
@@ -123,6 +46,11 @@ Result<std::unique_ptr<ShardedVault>> ShardedVault::Open(
 
 Status ShardedVault::Init() {
   storage::Env* env = options_.env;
+
+  metrics_ = options_.metrics != nullptr ? options_.metrics
+                                         : obs::MetricsRegistry::Default();
+  op_metrics_ = obs::VaultOpMetrics::For(metrics_, "sharded");
+
   MEDVAULT_RETURN_IF_ERROR(env->CreateDirIfMissing(options_.dir));
 
   // The shard count is part of the vault's identity: it is persisted at
@@ -175,6 +103,7 @@ Status ShardedVault::Init() {
     shard_options.require_dual_disposal = options_.require_dual_disposal;
     shard_options.record_id_prefix = ShardRouter::RecordIdPrefix(k);
     shard_options.cache = cache_.get();
+    shard_options.metrics = metrics_;
     MEDVAULT_ASSIGN_OR_RETURN(auto shard, Vault::Open(shard_options));
     shards_.push_back(std::move(shard));
   }
@@ -244,12 +173,15 @@ Result<RecordId> ShardedVault::CreateRecord(
     const std::string& content_type, const Slice& plaintext,
     const std::vector<std::string>& keywords,
     const std::string& retention_policy) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.create, "sharded.create");
   return shards_[router_.ShardOf(patient_id)]->CreateRecord(
       actor, patient_id, content_type, plaintext, keywords, retention_policy);
 }
 
 Result<std::vector<RecordId>> ShardedVault::CreateRecordsBatch(
     const PrincipalId& actor, const std::vector<Vault::NewRecord>& batch) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.batch_ingest,
+                           "sharded.batch_ingest");
   if (batch.empty()) {
     return Status::InvalidArgument("batch is empty");
   }
@@ -298,12 +230,14 @@ Result<std::vector<RecordId>> ShardedVault::CreateRecordsBatch(
 
 Result<RecordVersion> ShardedVault::ReadRecord(const PrincipalId& actor,
                                                const RecordId& record_id) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.read, "sharded.read");
   MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
   return shards_[shard]->ReadRecord(actor, record_id);
 }
 
 Result<RecordVersion> ShardedVault::ReadRecordVersion(
     const PrincipalId& actor, const RecordId& record_id, uint32_t version) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.read, "sharded.read");
   MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
   return shards_[shard]->ReadRecordVersion(actor, record_id, version);
 }
@@ -312,6 +246,7 @@ Result<VersionHeader> ShardedVault::CorrectRecord(
     const PrincipalId& actor, const RecordId& record_id,
     const Slice& new_plaintext, const std::string& reason,
     const std::vector<std::string>& keywords) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.correct, "sharded.correct");
   MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
   return shards_[shard]->CorrectRecord(actor, record_id, new_plaintext,
                                        reason, keywords);
@@ -319,6 +254,7 @@ Result<VersionHeader> ShardedVault::CorrectRecord(
 
 Result<std::vector<RecordId>> ShardedVault::SearchKeyword(
     const PrincipalId& actor, const std::string& term) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.search, "sharded.search");
   std::vector<RecordId> merged;
   for (auto& shard : shards_) {
     MEDVAULT_ASSIGN_OR_RETURN(auto hits, shard->SearchKeyword(actor, term));
@@ -329,6 +265,7 @@ Result<std::vector<RecordId>> ShardedVault::SearchKeyword(
 
 Result<std::vector<RecordId>> ShardedVault::SearchKeywordsAll(
     const PrincipalId& actor, const std::vector<std::string>& terms) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.search, "sharded.search");
   std::vector<RecordId> merged;
   for (auto& shard : shards_) {
     MEDVAULT_ASSIGN_OR_RETURN(auto hits,
@@ -346,6 +283,7 @@ Result<std::vector<VersionHeader>> ShardedVault::RecordHistory(
 
 Result<DisposalCertificate> ShardedVault::DisposeRecord(
     const PrincipalId& actor, const RecordId& record_id) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.dispose, "sharded.dispose");
   MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
   return shards_[shard]->DisposeRecord(actor, record_id);
 }
@@ -417,6 +355,7 @@ Result<DisposalCertificate> ShardedVault::ApproveDisposal(
 }
 
 Status ShardedVault::SyncAll() {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.sync, "sharded.sync");
   for (auto& shard : shards_) {
     MEDVAULT_RETURN_IF_ERROR(shard->SyncAll());
   }
@@ -438,6 +377,7 @@ Result<std::vector<SignedCheckpoint>> ShardedVault::CheckpointAudit() {
 }
 
 Status ShardedVault::VerifyAudit() const {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.verify, "sharded.verify");
   for (const auto& shard : shards_) {
     MEDVAULT_RETURN_IF_ERROR(shard->VerifyAudit());
   }
@@ -494,6 +434,7 @@ Status ShardedVault::VerifyRecord(const RecordId& record_id) const {
 }
 
 Status ShardedVault::VerifyEverything() const {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.verify, "sharded.verify");
   for (const auto& shard : shards_) {
     MEDVAULT_RETURN_IF_ERROR(shard->VerifyEverything());
   }

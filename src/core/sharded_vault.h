@@ -14,6 +14,8 @@
 
 namespace medvault::core {
 
+class WorkerPool;
+
 /// Configuration for opening a ShardedVault.
 struct ShardedVaultOptions {
   storage::Env* env = nullptr;  ///< required
@@ -43,6 +45,10 @@ struct ShardedVaultOptions {
   /// execution in shard order — fully deterministic, which the crash
   /// matrix requires to replay identical I/O boundary sequences.
   unsigned ingest_threads = 0;
+  /// Metrics registry shared by the sharded wrapper ("sharded.*" op
+  /// histograms) and every shard ("vault.*"). Not owned; null uses the
+  /// process-wide obs::MetricsRegistry::Default().
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Horizontal scale-out of the Vault: records are partitioned across N
@@ -196,11 +202,13 @@ class ShardedVault {
   const Vault* shard(uint32_t k) const { return shards_[k].get(); }
   /// The shared authenticated read cache (null when cache_bytes == 0).
   RecordCache* cache() { return cache_.get(); }
+  const RecordCache* cache() const { return cache_.get(); }
   RecordCache::Stats CacheStats() const;
+  /// The registry the wrapper and all shards report into (never null
+  /// after Open).
+  obs::MetricsRegistry* metrics_registry() const { return metrics_; }
 
  private:
-  class WorkerPool;
-
   explicit ShardedVault(ShardedVaultOptions options);
 
   Status Init();
@@ -210,6 +218,12 @@ class ShardedVault {
 
   ShardedVaultOptions options_;
   ShardRouter router_;
+  /// Wrapper-level telemetry: "sharded.*" histograms time the whole
+  /// cross-shard operation (fan-out + merge), while each shard's own
+  /// "vault.*" histograms time its slice — the gap between the two is
+  /// the cost of coordination.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::VaultOpMetrics op_metrics_;
   std::unique_ptr<RecordCache> cache_;
   std::vector<std::unique_ptr<Vault>> shards_;
   std::unique_ptr<WorkerPool> pool_;

@@ -115,6 +115,12 @@ Result<std::unique_ptr<Vault>> Vault::Open(const VaultOptions& options) {
 Status Vault::Init() {
   storage::Env* env = options_.env;
   const std::string& dir = options_.dir;
+
+  // Resolve telemetry first: recovery (below) is already timed.
+  metrics_ =
+      options_.metrics != nullptr ? options_.metrics : obs::MetricsRegistry::Default();
+  op_metrics_ = obs::VaultOpMetrics::For(metrics_, "vault");
+
   MEDVAULT_RETURN_IF_ERROR(env->CreateDirIfMissing(dir));
 
   // Key derivation fan-out from master key / entropy.
@@ -229,6 +235,7 @@ Status Vault::LoadState() {
 }
 
 Status Vault::RecoverAfterUncleanShutdown() {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.recover, "vault.recover");
   // Init runs single-threaded, so the *Locked helpers are safe to call.
   // The state log is the commit point: everything else is reconciled
   // to agree with it.
@@ -309,6 +316,7 @@ Status Vault::RecoverAfterUncleanShutdown() {
 }
 
 Status Vault::SyncAll() {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.sync, "vault.sync");
   std::unique_lock lock(mu_);
   return SyncAllLocked();
 }
@@ -455,6 +463,7 @@ Result<RecordId> Vault::CreateRecord(
     const std::string& content_type, const Slice& plaintext,
     const std::vector<std::string>& keywords,
     const std::string& retention_policy) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.create, "vault.create");
   std::unique_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(
       CheckAndAuditLocked(actor, Operation::kCreateRecord, "", patient_id));
@@ -494,6 +503,8 @@ Result<RecordId> Vault::CreateRecord(
 
 Result<std::vector<RecordId>> Vault::CreateRecordsBatch(
     const PrincipalId& actor, const std::vector<NewRecord>& batch) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.batch_ingest,
+                           "vault.batch_ingest");
   std::unique_lock lock(mu_);
   std::vector<RecordId> ids;
   if (batch.empty()) return ids;
@@ -585,6 +596,7 @@ Status Vault::PutRecordMeta(const RecordMeta& meta) {
 
 Result<RecordVersion> Vault::ReadRecord(const PrincipalId& actor,
                                         const RecordId& record_id) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.read, "vault.read");
   std::shared_lock lock(mu_);
   MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
                             RequireLiveMetaLocked(record_id));
@@ -605,6 +617,7 @@ Result<RecordVersion> Vault::ReadRecord(const PrincipalId& actor,
 Result<RecordVersion> Vault::ReadRecordVersion(const PrincipalId& actor,
                                                const RecordId& record_id,
                                                uint32_t version) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.read, "vault.read");
   std::shared_lock lock(mu_);
   MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
                             RequireLiveMetaLocked(record_id));
@@ -646,6 +659,7 @@ Result<VersionHeader> Vault::CorrectRecord(
     const PrincipalId& actor, const RecordId& record_id,
     const Slice& new_plaintext, const std::string& reason,
     const std::vector<std::string>& keywords) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.correct, "vault.correct");
   std::unique_lock lock(mu_);
   if (reason.empty()) {
     return Status::InvalidArgument("corrections require a reason");
@@ -683,6 +697,7 @@ Result<VersionHeader> Vault::CorrectRecord(
 
 Result<std::vector<RecordId>> Vault::SearchKeyword(const PrincipalId& actor,
                                                    const std::string& term) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.search, "vault.search");
   std::shared_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(
       CheckAndAuditLocked(actor, Operation::kSearch, "", ""));
@@ -709,6 +724,7 @@ Result<std::vector<RecordId>> Vault::SearchKeyword(const PrincipalId& actor,
 
 Result<std::vector<RecordId>> Vault::SearchKeywordsAll(
     const PrincipalId& actor, const std::vector<std::string>& terms) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.search, "vault.search");
   std::shared_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(
       CheckAndAuditLocked(actor, Operation::kSearch, "", ""));
@@ -783,6 +799,7 @@ Result<DisposalCertificate> Vault::ExecuteDisposalLocked(
 
 Result<DisposalCertificate> Vault::DisposeRecord(const PrincipalId& actor,
                                                  const RecordId& record_id) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.dispose, "vault.dispose");
   std::unique_lock lock(mu_);
   if (options_.require_dual_disposal) {
     return Status::FailedPrecondition(
@@ -887,6 +904,7 @@ Result<std::string> Vault::RequestDisposal(const PrincipalId& actor,
 
 Result<DisposalCertificate> Vault::ApproveDisposal(
     const PrincipalId& actor, const std::string& request_id) {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.dispose, "vault.dispose");
   std::unique_lock lock(mu_);
   auto it = disposal_requests_.find(request_id);
   if (it == disposal_requests_.end()) {
@@ -923,6 +941,7 @@ Result<SignedCheckpoint> Vault::CheckpointAudit() {
 }
 
 Status Vault::VerifyAudit() const {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.verify, "vault.verify");
   // Exclusive: VerifyAll re-reads the log file from disk, so in-flight
   // appends (even from shared-lock read paths) must be excluded.
   std::unique_lock lock(mu_);
@@ -1005,11 +1024,13 @@ Result<std::vector<AuditEvent>> Vault::ListBreakGlassEvents(
 // ---- Verification ---------------------------------------------------------
 
 Status Vault::VerifyRecord(const RecordId& record_id) const {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.verify, "vault.verify");
   std::shared_lock lock(mu_);
   return versions_->VerifyRecord(record_id);
 }
 
 Status Vault::VerifyEverything() const {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.verify, "vault.verify");
   std::unique_lock lock(mu_);
   MEDVAULT_RETURN_IF_ERROR(versions_->VerifyAllRecords());
   MEDVAULT_RETURN_IF_ERROR(audit_->VerifyAll(
@@ -1038,6 +1059,28 @@ std::vector<RecordId> Vault::ListRecordIds() const {
   ids.reserve(metas_.size());
   for (const auto& [id, meta] : metas_) ids.push_back(id);
   return ids;
+}
+
+Vault::HealthStats Vault::CollectHealthStats() const {
+  std::shared_lock lock(mu_);
+  HealthStats stats;
+  const Timestamp now = Now();
+  for (const auto& [id, meta] : metas_) {
+    if (meta.disposed) {
+      stats.disposed++;
+      continue;
+    }
+    stats.records++;
+    if (meta.legal_hold) stats.legal_holds++;
+    // Backlog = disposal the retention schedule already allows but that
+    // nobody has executed yet (the paper's "assured destruction" debt).
+    if (retention_.CheckDisposalAllowed(meta, now).ok()) {
+      stats.retention_backlog++;
+    }
+  }
+  stats.signer_leaves_used = signer_->SignaturesUsed();
+  stats.signer_leaves_remaining = signer_->SignaturesRemaining();
+  return stats;
 }
 
 Status Vault::RotateMasterKey(const PrincipalId& actor,

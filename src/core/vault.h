@@ -19,6 +19,7 @@
 #include "core/secure_index.h"
 #include "core/version_store.h"
 #include "crypto/xmss.h"
+#include "obs/metrics.h"
 #include "storage/env.h"
 
 namespace medvault::core {
@@ -50,6 +51,12 @@ struct VaultOptions {
   /// re-verifies the on-disk bytes, so leave it null for tamper
   /// experiments that rely on read-time detection.
   RecordCache* cache = nullptr;
+  /// Metrics registry for op latency histograms and slow-op tracing.
+  /// Not owned; must outlive the vault. Null (default) uses the
+  /// process-wide obs::MetricsRegistry::Default(); multi-tenant hosts
+  /// pass per-tenant registries to keep telemetry apart. Metrics are
+  /// operator telemetry only — nothing here feeds the audit log.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// MedVault: trustworthy regulatory-compliant health-record storage —
@@ -264,6 +271,19 @@ class Vault {
   Result<RecordMeta> GetRecordMeta(const RecordId& record_id) const;
   std::vector<RecordId> ListRecordIds() const;
 
+  /// Health facts for the observability layer (obs::CollectHealth):
+  /// store occupancy, disposal backlog, and signer-budget consumption.
+  /// Gathered under the shared lock from in-memory state — no I/O.
+  struct HealthStats {
+    uint64_t records = 0;            ///< live (non-disposed) records
+    uint64_t disposed = 0;           ///< crypto-shredded tombstones
+    uint64_t legal_holds = 0;        ///< live records under legal hold
+    uint64_t retention_backlog = 0;  ///< expired + unheld, not yet disposed
+    uint64_t signer_leaves_used = 0;
+    uint64_t signer_leaves_remaining = 0;
+  };
+  HealthStats CollectHealthStats() const;
+
   /// Rotates the key-wrapping master key (30-year horizon hygiene).
   Status RotateMasterKey(const PrincipalId& actor,
                          const Slice& new_master_key);
@@ -280,6 +300,8 @@ class Vault {
   SecureIndex* index() { return index_.get(); }
   const VaultOptions& options() const { return options_; }
   Timestamp Now() const { return options_.clock->Now(); }
+  /// The registry this vault reports into (never null after Open).
+  obs::MetricsRegistry* metrics_registry() const { return metrics_; }
 
   /// The vault's signature-verification parameters.
   const std::string& SignerPublicKey() const;
@@ -352,6 +374,11 @@ class Vault {
 
   VaultOptions options_;
   std::string signer_public_seed_;
+  /// Resolved registry (options_.metrics or the process default) and
+  /// the per-op histograms cached at Open so timed operations never do
+  /// a name lookup.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::VaultOpMetrics op_metrics_;
   mutable std::shared_mutex mu_;
 
   AccessController access_;

@@ -1,0 +1,71 @@
+#include "core/worker_pool.h"
+
+#include <memory>
+#include <utility>
+
+namespace medvault::core {
+
+thread_local const WorkerPool* WorkerPool::current_pool_ = nullptr;
+
+WorkerPool::WorkerPool(unsigned threads) {
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { Loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
+  // Inline when there is nothing to parallelize — and, critically, when
+  // the submitter IS a pool worker: blocking a worker on the batch
+  // condvar while the batch sits behind it in the queue deadlocks as
+  // soon as every worker does it (see class comment).
+  if (threads_.empty() || tasks.size() <= 1 || OnWorkerThread()) {
+    for (auto& task : tasks) task();
+    return;
+  }
+  struct BatchState {
+    std::mutex mu;
+    std::condition_variable done;
+    size_t remaining;
+  };
+  auto state = std::make_shared<BatchState>();
+  state->remaining = tasks.size();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& task : tasks) {
+      queue_.emplace_back([task = std::move(task), state] {
+        task();
+        std::lock_guard<std::mutex> done_lock(state->mu);
+        if (--state->remaining == 0) state->done.notify_all();
+      });
+    }
+  }
+  cv_.notify_all();
+  std::unique_lock<std::mutex> wait_lock(state->mu);
+  state->done.wait(wait_lock, [&] { return state->remaining == 0; });
+}
+
+void WorkerPool::Loop() {
+  current_pool_ = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace medvault::core

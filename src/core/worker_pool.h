@@ -1,0 +1,61 @@
+#ifndef MEDVAULT_CORE_WORKER_POOL_H_
+#define MEDVAULT_CORE_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace medvault::core {
+
+/// A small persistent pool for cross-shard fan-out. Tasks submitted by
+/// one RunAll call complete before it returns; concurrent RunAll calls
+/// from different threads interleave safely (each call tracks its own
+/// completion state). With zero threads, RunAll executes inline in
+/// submission order — the deterministic mode the crash matrix uses.
+///
+/// Re-entrancy: RunAll called from one of the pool's own worker threads
+/// (a pooled task fanning out again) executes inline on that thread
+/// instead of queueing. Queueing would have the worker block on the
+/// batch condvar while occupying the very slot needed to drain it —
+/// with enough re-entrant submitters, every worker waits and no one
+/// runs, a guaranteed deadlock once all workers are blocked.
+class WorkerPool {
+ public:
+  /// Spawns `threads` workers; 0 means no workers (inline RunAll).
+  explicit WorkerPool(unsigned threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs every task and returns once all have completed. Tasks may
+  /// themselves call RunAll on this pool (see class comment).
+  void RunAll(std::vector<std::function<void()>> tasks);
+
+  unsigned thread_count() const {
+    return static_cast<unsigned>(threads_.size());
+  }
+
+  /// True iff the calling thread is one of this pool's workers.
+  bool OnWorkerThread() const { return current_pool_ == this; }
+
+ private:
+  void Loop();
+
+  /// The pool the current thread works for, if any — how RunAll detects
+  /// re-entrant submission from a pooled task.
+  static thread_local const WorkerPool* current_pool_;
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+}  // namespace medvault::core
+
+#endif  // MEDVAULT_CORE_WORKER_POOL_H_

@@ -1,0 +1,188 @@
+#include "obs/health.h"
+
+#include "core/sharded_vault.h"
+#include "core/vault.h"
+
+namespace medvault::obs {
+
+namespace {
+
+json::Value HistogramToJson(const Histogram::Snapshot& h) {
+  json::Value::Object out;
+  out["count"] = json::Value(h.count);
+  out["sum"] = json::Value(h.sum);
+  out["max"] = json::Value(h.max);
+  out["p50"] = json::Value(h.PercentileUpperBound(50));
+  out["p90"] = json::Value(h.PercentileUpperBound(90));
+  out["p99"] = json::Value(h.PercentileUpperBound(99));
+  json::Value::Array buckets;
+  for (size_t i = 0; i < Histogram::kNumBuckets; i++) {
+    if (h.buckets[i] == 0) continue;
+    json::Value::Array pair;
+    pair.push_back(json::Value(Histogram::BucketUpperBound(i)));
+    pair.push_back(json::Value(h.buckets[i]));
+    buckets.push_back(json::Value(std::move(pair)));
+  }
+  out["buckets"] = json::Value(std::move(buckets));
+  return json::Value(std::move(out));
+}
+
+json::Value ShardToJson(const ShardHealth& s) {
+  json::Value::Object out;
+  out["shard"] = json::Value(static_cast<uint64_t>(s.shard));
+  out["records"] = json::Value(s.records);
+  out["disposed"] = json::Value(s.disposed);
+  out["legal_holds"] = json::Value(s.legal_holds);
+  out["retention_backlog"] = json::Value(s.retention_backlog);
+  out["signer_leaves_used"] = json::Value(s.signer_leaves_used);
+  out["signer_leaves_remaining"] = json::Value(s.signer_leaves_remaining);
+  return json::Value(std::move(out));
+}
+
+ShardHealth FromVaultStats(uint32_t shard_index,
+                           const core::Vault::HealthStats& v) {
+  ShardHealth s;
+  s.shard = shard_index;
+  s.records = v.records;
+  s.disposed = v.disposed;
+  s.legal_holds = v.legal_holds;
+  s.retention_backlog = v.retention_backlog;
+  s.signer_leaves_used = v.signer_leaves_used;
+  s.signer_leaves_remaining = v.signer_leaves_remaining;
+  return s;
+}
+
+void FillCache(HealthReport* report, const core::RecordCache* cache) {
+  if (cache == nullptr) return;
+  report->has_cache = true;
+  report->cache = cache->stats();
+  report->cache_entries = cache->entry_count();
+  report->cache_charge_bytes = cache->charge_bytes();
+  report->cache_capacity_bytes = cache->capacity_bytes();
+}
+
+}  // namespace
+
+json::Value HealthReport::ToJson() const {
+  json::Value::Object out;
+  out["generated_at"] = json::Value(generated_at);
+
+  json::Value::Object ops;
+  for (const auto& [name, hist] : metrics.histograms) {
+    ops[name] = HistogramToJson(hist);
+  }
+  out["ops"] = json::Value(std::move(ops));
+
+  json::Value::Object counters;
+  for (const auto& [name, value] : metrics.counters) {
+    counters[name] = json::Value(value);
+  }
+  out["counters"] = json::Value(std::move(counters));
+
+  json::Value::Object gauges;
+  for (const auto& [name, value] : metrics.gauges) {
+    gauges[name] = json::Value(value);
+  }
+  out["gauges"] = json::Value(std::move(gauges));
+
+  out["series_dropped"] = json::Value(metrics.series_dropped);
+  out["slow_ops"] = json::Value(metrics.slow_ops);
+
+  if (has_env_io) {
+    json::Value::Object io;
+    io["reads"] = json::Value(env_io.reads);
+    io["read_bytes"] = json::Value(env_io.read_bytes);
+    io["writes"] = json::Value(env_io.writes);
+    io["write_bytes"] = json::Value(env_io.write_bytes);
+    io["syncs"] = json::Value(env_io.syncs);
+    io["flushes"] = json::Value(env_io.flushes);
+    io["file_opens"] = json::Value(env_io.file_opens);
+    io["deletes"] = json::Value(env_io.deletes);
+    io["renames"] = json::Value(env_io.renames);
+    out["env_io"] = json::Value(std::move(io));
+  }
+
+  if (has_cache) {
+    json::Value::Object c;
+    c["hits"] = json::Value(cache.hits);
+    c["misses"] = json::Value(cache.misses);
+    c["bypasses"] = json::Value(cache.bypasses);
+    c["evictions"] = json::Value(cache.evictions);
+    c["rejections"] = json::Value(cache.rejections);
+    c["purges"] = json::Value(cache.purges);
+    c["entries"] = json::Value(cache_entries);
+    c["charge_bytes"] = json::Value(cache_charge_bytes);
+    c["capacity_bytes"] = json::Value(cache_capacity_bytes);
+    out["cache"] = json::Value(std::move(c));
+  }
+
+  json::Value::Array shard_array;
+  for (const ShardHealth& s : shards) {
+    shard_array.push_back(ShardToJson(s));
+  }
+  out["shards"] = json::Value(std::move(shard_array));
+
+  return json::Value(std::move(out));
+}
+
+HealthReport CollectHealth(core::Vault& vault, const storage::IoStats* io) {
+  HealthReport report;
+  report.generated_at = vault.Now();
+  if (vault.metrics_registry() != nullptr) {
+    report.metrics = vault.metrics_registry()->TakeSnapshot();
+  }
+  if (io != nullptr) {
+    report.has_env_io = true;
+    report.env_io = io->TakeSnapshot();
+  }
+  FillCache(&report, vault.options().cache);
+  report.shards.push_back(FromVaultStats(0, vault.CollectHealthStats()));
+  return report;
+}
+
+HealthReport CollectHealth(core::ShardedVault& vault,
+                           const storage::IoStats* io) {
+  HealthReport report;
+  report.generated_at = vault.shard(0)->Now();
+  if (vault.shard(0)->metrics_registry() != nullptr) {
+    report.metrics = vault.shard(0)->metrics_registry()->TakeSnapshot();
+  }
+  if (io != nullptr) {
+    report.has_env_io = true;
+    report.env_io = io->TakeSnapshot();
+  }
+  FillCache(&report, vault.cache());
+  for (uint32_t k = 0; k < vault.num_shards(); k++) {
+    report.shards.push_back(
+        FromVaultStats(k, vault.shard(k)->CollectHealthStats()));
+  }
+  return report;
+}
+
+HealthReport CollectProcessHealth(int64_t generated_at,
+                                  MetricsRegistry* registry,
+                                  const storage::IoStats* io) {
+  HealthReport report;
+  report.generated_at = generated_at;
+  if (registry == nullptr) registry = MetricsRegistry::Default();
+  report.metrics = registry->TakeSnapshot();
+  if (io != nullptr) {
+    report.has_env_io = true;
+    report.env_io = io->TakeSnapshot();
+  }
+  return report;
+}
+
+Status WriteHealthFile(storage::Env* env, const HealthReport& report,
+                       const std::string& path) {
+  std::string text = report.Dump();
+  text.push_back('\n');
+  return storage::WriteStringToFile(env, Slice(text), path, /*sync=*/true);
+}
+
+storage::IoStats* ProcessIoStats() {
+  static storage::IoStats* stats = new storage::IoStats();
+  return stats;
+}
+
+}  // namespace medvault::obs

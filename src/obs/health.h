@@ -1,0 +1,96 @@
+#ifndef MEDVAULT_OBS_HEALTH_H_
+#define MEDVAULT_OBS_HEALTH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/record_cache.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "storage/instrumented_env.h"
+
+namespace medvault::core {
+class Vault;
+class ShardedVault;
+}  // namespace medvault::core
+
+namespace medvault::obs {
+
+/// Liveness/health facts of one vault shard — the operational numbers a
+/// records manager watches over a 30-year horizon: how much is stored,
+/// how much disposal work is overdue (retention backlog), and how many
+/// one-time XMSS leaves the shard's signer has left before checkpoints
+/// and disposal certificates stop being issuable.
+struct ShardHealth {
+  uint32_t shard = 0;
+  uint64_t records = 0;            ///< live (non-disposed) records
+  uint64_t disposed = 0;           ///< crypto-shredded tombstones
+  uint64_t legal_holds = 0;        ///< live records under litigation hold
+  uint64_t retention_backlog = 0;  ///< expired, not held, awaiting disposal
+  uint64_t signer_leaves_used = 0;
+  uint64_t signer_leaves_remaining = 0;
+};
+
+/// One JSON-dumpable snapshot of everything the observability layer
+/// knows: per-op latency histograms and counters (MetricsRegistry),
+/// storage-layer I/O tallies (InstrumentedEnv), read-cache efficacy,
+/// and per-shard vault health. Purely diagnostic — built from relaxed
+/// atomic reads, no integrity claims, never written to the audit log.
+struct HealthReport {
+  /// Snapshot time in microseconds since epoch, from the vault's Clock
+  /// (callers without a vault pass their own; tests use ManualClock so
+  /// golden dumps are deterministic).
+  int64_t generated_at = 0;
+
+  MetricsRegistry::RegistrySnapshot metrics;
+
+  bool has_env_io = false;
+  storage::IoStatsSnapshot env_io;
+
+  bool has_cache = false;
+  core::RecordCache::Stats cache;
+  uint64_t cache_entries = 0;
+  uint64_t cache_charge_bytes = 0;
+  uint64_t cache_capacity_bytes = 0;
+
+  std::vector<ShardHealth> shards;
+
+  /// Deterministic JSON (sorted keys, integers only). Histograms are
+  /// emitted as count/sum/max, p50/p90/p99 bucket upper bounds, and the
+  /// non-empty buckets as [upper_bound, count] pairs.
+  json::Value ToJson() const;
+  std::string Dump() const { return ToJson().Dump(); }
+};
+
+/// Health of one standalone vault: its registry's metrics, its cache
+/// (when configured), and a single ShardHealth entry (shard 0).
+/// Pass `io` when the vault's Env is wrapped in an InstrumentedEnv.
+HealthReport CollectHealth(core::Vault& vault,
+                           const storage::IoStats* io = nullptr);
+
+/// Health of a sharded vault: shared-registry metrics, the shared read
+/// cache, and one ShardHealth per shard.
+HealthReport CollectHealth(core::ShardedVault& vault,
+                           const storage::IoStats* io = nullptr);
+
+/// Process-level health with no vault at hand (bench binaries after the
+/// vaults under test have been destroyed): whatever accumulated in
+/// `registry` (default: the process-wide registry) plus optional I/O
+/// stats. `generated_at` is supplied by the caller.
+HealthReport CollectProcessHealth(int64_t generated_at,
+                                  MetricsRegistry* registry = nullptr,
+                                  const storage::IoStats* io = nullptr);
+
+/// Writes `report.Dump()` plus a trailing newline to `path` via `env`.
+Status WriteHealthFile(storage::Env* env, const HealthReport& report,
+                       const std::string& path);
+
+/// Process-wide I/O tally for bench/tool Envs that want their traffic
+/// in CollectProcessHealth reports. Never destroyed.
+storage::IoStats* ProcessIoStats();
+
+}  // namespace medvault::obs
+
+#endif  // MEDVAULT_OBS_HEALTH_H_

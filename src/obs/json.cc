@@ -1,0 +1,305 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+#include <limits>
+
+namespace medvault::obs::json {
+
+int64_t Value::as_int() const {
+  if (std::holds_alternative<int64_t>(v_)) return std::get<int64_t>(v_);
+  uint64_t u = std::get<uint64_t>(v_);
+  return static_cast<int64_t>(u);
+}
+
+uint64_t Value::as_uint() const {
+  if (std::holds_alternative<uint64_t>(v_)) return std::get<uint64_t>(v_);
+  return static_cast<uint64_t>(std::get<int64_t>(v_));
+}
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpTo(const Value& v, std::string* out);
+
+void DumpTo(const Value& v, std::string* out) {
+  if (v.is_null()) {
+    *out += "null";
+  } else if (v.is_bool()) {
+    *out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    // Negative values only ever live in the int64 alternative.
+    int64_t i = v.as_int();
+    if (i < 0) {
+      *out += std::to_string(i);
+    } else {
+      *out += std::to_string(v.as_uint());
+    }
+  } else if (v.is_string()) {
+    AppendEscaped(out, v.as_string());
+  } else if (v.is_array()) {
+    out->push_back('[');
+    bool first = true;
+    for (const Value& e : v.as_array()) {
+      if (!first) out->push_back(',');
+      first = false;
+      DumpTo(e, out);
+    }
+    out->push_back(']');
+  } else {
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [key, value] : v.as_object()) {
+      if (!first) out->push_back(',');
+      first = false;
+      AppendEscaped(out, key);
+      out->push_back(':');
+      DumpTo(value, out);
+    }
+    out->push_back('}');
+  }
+}
+
+/// Recursive-descent parser over the Dump() subset.
+class Parser {
+ public:
+  explicit Parser(const Slice& text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  Result<Value> Run() {
+    Value v;
+    MEDVAULT_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWs();
+    if (p_ != end_) return Status::InvalidArgument("trailing JSON content");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void SkipWs() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      p_++;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      p_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(const char* w) {
+    const char* save = p_;
+    for (; *w != '\0'; w++) {
+      if (p_ == end_ || *p_ != *w) {
+        p_ = save;
+        return false;
+      }
+      p_++;
+    }
+    return true;
+  }
+
+  // Status-plus-out-param (not Result<Value>) so the recursive moves
+  // stay transparent to the optimizer.
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Status::InvalidArgument("JSON too deep");
+    SkipWs();
+    if (p_ == end_) return Status::InvalidArgument("unexpected end of JSON");
+    if (ConsumeWord("null")) {
+      *out = Value(nullptr);
+      return Status::OK();
+    }
+    if (ConsumeWord("true")) {
+      *out = Value(true);
+      return Status::OK();
+    }
+    if (ConsumeWord("false")) {
+      *out = Value(false);
+      return Status::OK();
+    }
+    char c = *p_;
+    if (c == '"') {
+      std::string s;
+      MEDVAULT_RETURN_IF_ERROR(ParseStringInto(&s));
+      *out = Value(std::move(s));
+      return Status::OK();
+    }
+    if (c == '[') return ParseArray(out, depth);
+    if (c == '{') return ParseObject(out, depth);
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+    return Status::InvalidArgument("unexpected JSON character");
+  }
+
+  Status ParseNumber(Value* out) {
+    bool negative = Consume('-');
+    if (p_ == end_ || *p_ < '0' || *p_ > '9') {
+      return Status::InvalidArgument("malformed JSON number");
+    }
+    uint64_t magnitude = 0;
+    while (p_ != end_ && *p_ >= '0' && *p_ <= '9') {
+      uint64_t digit = static_cast<uint64_t>(*p_ - '0');
+      if (magnitude > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+        return Status::InvalidArgument("JSON integer overflow");
+      }
+      magnitude = magnitude * 10 + digit;
+      p_++;
+    }
+    if (p_ != end_ && (*p_ == '.' || *p_ == 'e' || *p_ == 'E')) {
+      return Status::InvalidArgument(
+          "floating-point JSON is not supported here");
+    }
+    if (negative) {
+      uint64_t limit =
+          static_cast<uint64_t>(std::numeric_limits<int64_t>::max()) + 1;
+      if (magnitude > limit) {
+        return Status::InvalidArgument("JSON integer overflow");
+      }
+      *out = Value(static_cast<int64_t>(0 - magnitude));
+      return Status::OK();
+    }
+    *out = Value(magnitude);
+    return Status::OK();
+  }
+
+  Status ParseStringInto(std::string* out) {
+    if (!Consume('"')) return Status::InvalidArgument("expected string");
+    while (p_ != end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ == end_) return Status::InvalidArgument("dangling escape");
+      char e = *p_++;
+      switch (e) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'u': {
+          if (end_ - p_ < 4) return Status::InvalidArgument("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; i++) {
+            char h = *p_++;
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Status::InvalidArgument("bad \\u escape");
+          }
+          // Dump() only emits \u00XX for control bytes; accept the same.
+          if (code > 0xFF) {
+            return Status::InvalidArgument("non-latin \\u escape unsupported");
+          }
+          out->push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          return Status::InvalidArgument("unknown escape");
+      }
+    }
+    if (!Consume('"')) return Status::InvalidArgument("unterminated string");
+    return Status::OK();
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    Consume('[');
+    Value::Array elements;
+    SkipWs();
+    if (Consume(']')) {
+      *out = Value(std::move(elements));
+      return Status::OK();
+    }
+    for (;;) {
+      Value element;
+      MEDVAULT_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+      elements.push_back(std::move(element));
+      SkipWs();
+      if (Consume(']')) {
+        *out = Value(std::move(elements));
+        return Status::OK();
+      }
+      if (!Consume(',')) return Status::InvalidArgument("expected ',' or ']'");
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    Consume('{');
+    Value::Object members;
+    SkipWs();
+    if (Consume('}')) {
+      *out = Value(std::move(members));
+      return Status::OK();
+    }
+    for (;;) {
+      SkipWs();
+      std::string key;
+      MEDVAULT_RETURN_IF_ERROR(ParseStringInto(&key));
+      SkipWs();
+      if (!Consume(':')) return Status::InvalidArgument("expected ':'");
+      Value value;
+      MEDVAULT_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      members[std::move(key)] = std::move(value);
+      SkipWs();
+      if (Consume('}')) {
+        *out = Value(std::move(members));
+        return Status::OK();
+      }
+      if (!Consume(',')) return Status::InvalidArgument("expected ',' or '}'");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::string Value::Dump() const {
+  std::string out;
+  DumpTo(*this, &out);
+  return out;
+}
+
+Result<Value> Value::Parse(const Slice& text) { return Parser(text).Run(); }
+
+}  // namespace medvault::obs::json

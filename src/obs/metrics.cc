@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace medvault::obs {
+
+uint64_t Histogram::Snapshot::PercentileUpperBound(double p) const {
+  if (count == 0) return 0;
+  if (p <= 0) p = 0;
+  if (p > 100) p = 100;
+  // Rank of the percentile observation, 1-based, rounded up.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(count) / 100.0);
+  if (rank * 100 < static_cast<uint64_t>(p * static_cast<double>(count))) {
+    rank++;
+  }
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    seen += buckets[i];
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return BucketUpperBound(kNumBuckets - 1);
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot snap;
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kNumBuckets; i++) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return instance;
+}
+
+namespace {
+
+/// Shared lookup for the three metric maps: find-or-create with the
+/// cardinality cap routing excess names to the "_overflow" series.
+template <typename T>
+T* GetSeries(std::map<std::string, std::unique_ptr<T>>* series,
+             const std::string& name, Counter* dropped) {
+  auto it = series->find(name);
+  if (it != series->end()) return it->second.get();
+  if (series->size() >= MetricsRegistry::kMaxSeriesPerKind &&
+      name != "_overflow") {
+    dropped->Increment();
+    auto overflow = series->find("_overflow");
+    if (overflow == series->end()) {
+      overflow = series->emplace("_overflow", std::make_unique<T>()).first;
+    }
+    return overflow->second.get();
+  }
+  auto inserted = series->emplace(name, std::make_unique<T>());
+  return inserted.first->second.get();
+}
+
+}  // namespace
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetSeries(&counters_, name, &series_dropped_);
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetSeries(&gauges_, name, &series_dropped_);
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GetSeries(&histograms_, name, &series_dropped_);
+}
+
+MetricsRegistry::RegistrySnapshot MetricsRegistry::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->TakeSnapshot();
+  }
+  snap.series_dropped = series_dropped_.Value();
+  snap.slow_ops = slow_ops_.Value();
+  return snap;
+}
+
+void MetricsRegistry::SetSlowOpSink(std::function<void(const SlowOp&)> sink) {
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  slow_op_sink_ = std::move(sink);
+}
+
+void MetricsRegistry::MaybeTraceSlowOp(const char* op, uint64_t micros) {
+  uint64_t threshold = slow_op_threshold_micros_.load(std::memory_order_relaxed);
+  if (threshold == 0 || micros < threshold) return;
+  slow_ops_.Increment();
+  SlowOp slow{op, micros, threshold};
+  std::lock_guard<std::mutex> lock(sink_mu_);
+  if (slow_op_sink_) {
+    slow_op_sink_(slow);
+    return;
+  }
+  // Default sink: one structured line on stderr. This is operator
+  // telemetry, not evidence — it deliberately does NOT go through the
+  // tamper-evident audit log (see DESIGN.md, Observability).
+  fprintf(stderr,
+          "{\"slow_op\":{\"op\":\"%s\",\"micros\":%" PRIu64
+          ",\"threshold_micros\":%" PRIu64 "}}\n",
+          slow.op.c_str(), slow.micros, slow.threshold_micros);
+}
+
+VaultOpMetrics VaultOpMetrics::For(MetricsRegistry* registry,
+                                   const std::string& prefix) {
+  VaultOpMetrics m;
+  m.create = registry->GetHistogram(prefix + ".create");
+  m.batch_ingest = registry->GetHistogram(prefix + ".batch_ingest");
+  m.read = registry->GetHistogram(prefix + ".read");
+  m.correct = registry->GetHistogram(prefix + ".correct");
+  m.dispose = registry->GetHistogram(prefix + ".dispose");
+  m.search = registry->GetHistogram(prefix + ".search");
+  m.verify = registry->GetHistogram(prefix + ".verify");
+  m.migrate = registry->GetHistogram(prefix + ".migrate");
+  m.recover = registry->GetHistogram(prefix + ".recover");
+  m.sync = registry->GetHistogram(prefix + ".sync");
+  return m;
+}
+
+}  // namespace medvault::obs

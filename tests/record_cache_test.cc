@@ -49,6 +49,30 @@ TEST(RecordCacheTest, HitMissAndCountersObservable) {
   EXPECT_EQ(cache.stats().misses, 2u);
 }
 
+TEST(RecordCacheTest, EmptyExpectedHashBypassesWithoutEvicting) {
+  // A caller with no authoritative hash (e.g. a path that could not
+  // consult the catalog) cannot authenticate a cached entry, so the
+  // lookup must miss — but that is a BYPASS, not evidence the entry is
+  // stale. The regression this pins down: the old code treated the
+  // empty hash as a mismatch, counted a rejection, and evicted a
+  // perfectly valid entry, so one unauthenticated probe would wipe the
+  // cache behind every authenticated reader.
+  RecordCache cache(1 << 20);
+  cache.Put("r-1", 1, "h1", MakeVersion("r-1", 1, "payload"));
+
+  EXPECT_FALSE(cache.Get("r-1", 1, "").has_value());
+  EXPECT_EQ(cache.stats().bypasses, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().rejections, 0u) << "bypass miscounted as rejection";
+  EXPECT_EQ(cache.entry_count(), 1u) << "bypass evicted a valid entry";
+
+  // The entry is still served to an authenticated reader afterwards.
+  auto hit = cache.Get("r-1", 1, "h1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->plaintext, "payload");
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
 TEST(RecordCacheTest, MismatchedHashIsRejectedAndDropped) {
   RecordCache cache(1 << 20);
   cache.Put("r-1", 1, "stale-hash", MakeVersion("r-1", 1, "old plaintext"));

@@ -1,0 +1,134 @@
+// WorkerPool tests — most importantly the re-entrant RunAll regression:
+// a pooled task fanning out through the same pool used to queue its
+// sub-batch and block on the batch condvar while holding the worker
+// slot that sub-batch needed, deadlocking the pool as soon as every
+// worker was a blocked submitter. The fix executes re-entrant RunAll
+// inline on the worker thread; these tests would hang (and trip the
+// ctest timeout) under the old behavior.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/worker_pool.h"
+
+namespace medvault::core {
+namespace {
+
+TEST(WorkerPoolTest, RunsEveryTaskAndWaitsForCompletion) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.thread_count(), 3u);
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) tasks.push_back([&] { completed++; });
+  pool.RunAll(std::move(tasks));
+  // RunAll returning IS the completion barrier.
+  EXPECT_EQ(completed.load(), 64);
+}
+
+TEST(WorkerPoolTest, ZeroThreadsRunsInlineInSubmissionOrder) {
+  WorkerPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<int> order;
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) tasks.push_back([&order, i] { order.push_back(i); });
+  pool.RunAll(std::move(tasks));
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(WorkerPoolTest, OnWorkerThreadDistinguishesPoolThreads) {
+  WorkerPool pool(2);
+  WorkerPool other(1);
+  EXPECT_FALSE(pool.OnWorkerThread());
+  std::atomic<int> on_pool{0};
+  std::atomic<int> on_other{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back([&] {
+      if (pool.OnWorkerThread()) on_pool++;
+      if (other.OnWorkerThread()) on_other++;
+    });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(on_pool.load(), 4);
+  EXPECT_EQ(on_other.load(), 0) << "worker claims membership in foreign pool";
+}
+
+// The deadlock regression. 2 workers, 4 outer tasks, each outer task
+// fans out 4 inner tasks through the SAME pool. Pre-fix: both workers
+// pick up outer tasks, queue their inner batches, and block on the
+// batch condvar — with no free worker left to drain the queue, the
+// pool is wedged forever. Post-fix: the inner RunAll detects it is on
+// a worker thread and executes inline, so all 16 inner tasks complete.
+TEST(WorkerPoolTest, ReentrantRunAllFromWorkerDoesNotDeadlock) {
+  WorkerPool pool(2);
+  std::atomic<int> inner_completed{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&] {
+      ASSERT_TRUE(pool.OnWorkerThread());
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 4; ++j) inner.push_back([&] { inner_completed++; });
+      pool.RunAll(std::move(inner));
+    });
+  }
+  pool.RunAll(std::move(outer));
+  EXPECT_EQ(inner_completed.load(), 16);
+}
+
+// Two levels of re-entrancy (a pooled task fans out, and ITS tasks fan
+// out again) must also complete — the inline path recurses safely.
+TEST(WorkerPoolTest, DoublyNestedReentrantRunAll) {
+  WorkerPool pool(2);
+  std::atomic<int> leaf{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 3; ++i) {
+    outer.push_back([&] {
+      std::vector<std::function<void()>> mid;
+      for (int j = 0; j < 3; ++j) {
+        mid.push_back([&] {
+          std::vector<std::function<void()>> inner;
+          for (int k = 0; k < 3; ++k) inner.push_back([&] { leaf++; });
+          pool.RunAll(std::move(inner));
+        });
+      }
+      pool.RunAll(std::move(mid));
+    });
+  }
+  pool.RunAll(std::move(outer));
+  EXPECT_EQ(leaf.load(), 27);
+}
+
+// Concurrent RunAll calls from independent external threads share the
+// workers without crosstalk: each call returns only when its OWN batch
+// is done.
+TEST(WorkerPoolTest, ConcurrentExternalBatchesTrackSeparately) {
+  WorkerPool pool(4);
+  constexpr int kSubmitters = 6;
+  constexpr int kTasksPerBatch = 50;
+  std::atomic<int> total{0};
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      std::atomic<int> mine{0};
+      std::vector<std::function<void()>> tasks;
+      for (int i = 0; i < kTasksPerBatch; ++i) {
+        tasks.push_back([&] {
+          mine++;
+          total++;
+        });
+      }
+      pool.RunAll(std::move(tasks));
+      EXPECT_EQ(mine.load(), kTasksPerBatch);
+    });
+  }
+  for (auto& t : submitters) t.join();
+  EXPECT_EQ(total.load(), kSubmitters * kTasksPerBatch);
+}
+
+}  // namespace
+}  // namespace medvault::core

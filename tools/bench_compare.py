@@ -3,18 +3,26 @@
 
 Usage:
     tools/bench_compare.py [--current DIR] [--baseline DIR] [--threshold PCT]
+    tools/bench_compare.py --self-test
 
 Each benchmark binary (bench_ingest, bench_query, ...) writes
 BENCH_<name>.json into its working directory via RunBenchmarkMain. This
 tool pairs those files with the same-named files under bench/baselines/,
 matches individual benchmarks by full name (e.g.
 "BM_Ingest_MedVaultBatch/1024/64"), and compares throughput
-(items_per_second when present, otherwise inverse real_time).
+(items_per_second when present, otherwise inverse real_time normalized
+to seconds via the benchmark's time_unit — real_time alone is a raw
+number in ns/us/ms/s, so 1/real_time across differing units would be
+off by the unit ratio, up to 1000x per step).
 
 A benchmark is flagged as a REGRESSION when it is more than --threshold
 percent slower than its baseline (default 15%, per EXPERIMENTS.md).
 Speed-ups and new benchmarks are reported informationally. Exit status
 is 1 if any regression was found, 0 otherwise — suitable for CI.
+
+`--self-test` exercises the comparison logic against synthetic fixtures
+in a temporary directory (in particular the cross-unit case that the
+naive 1/real_time fallback gets wrong) and exits 0 iff all cases pass.
 
 Baselines are machine-specific: they were recorded on the development
 container (single core, debug-adjacent flags). Regenerate them with
@@ -31,10 +39,28 @@ import glob
 import json
 import os
 import sys
+import tempfile
+
+# Google Benchmark time_unit values -> seconds per unit. real_time is
+# reported in this unit, so inverse-time throughput must be computed as
+# 1 / (real_time * unit_seconds) to be comparable across files that
+# chose different units.
+TIME_UNIT_SECONDS = {
+    "ns": 1e-9,
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+}
 
 
 def load_results(path):
-    """Returns {benchmark name -> throughput (higher is better)}."""
+    """Returns {benchmark name -> throughput (higher is better)}.
+
+    Throughput is items_per_second when the benchmark reported it,
+    otherwise operations per second (1 / real_time-in-seconds). Both are
+    in per-second units, so entries are comparable across files even
+    when their time_unit differs.
+    """
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
     results = {}
@@ -47,8 +73,179 @@ def load_results(path):
         if "items_per_second" in bench:
             results[name] = float(bench["items_per_second"])
         elif bench.get("real_time"):
-            results[name] = 1.0 / float(bench["real_time"])
+            unit = bench.get("time_unit", "ns")
+            if unit not in TIME_UNIT_SECONDS:
+                print(f"[warn] {os.path.basename(path)}: {name}: unknown "
+                      f"time_unit {unit!r}, skipping", file=sys.stderr)
+                continue
+            seconds = float(bench["real_time"]) * TIME_UNIT_SECONDS[unit]
+            if seconds > 0:
+                results[name] = 1.0 / seconds
     return results
+
+
+def compare_dirs(current_dir, baseline_dir, threshold, out=sys.stdout):
+    """Compares every BENCH_*.json pair; returns (compared, regressions).
+
+    Returns (None, None) when current_dir holds no BENCH_*.json at all.
+    """
+    current_files = sorted(glob.glob(os.path.join(current_dir,
+                                                  "BENCH_*.json")))
+    if not current_files:
+        return None, None
+
+    regressions = 0
+    compared = 0
+    for current_path in current_files:
+        fname = os.path.basename(current_path)
+        baseline_path = os.path.join(baseline_dir, fname)
+        if not os.path.exists(baseline_path):
+            print(f"[skip] {fname}: no committed baseline", file=out)
+            continue
+        current = load_results(current_path)
+        baseline = load_results(baseline_path)
+        print(f"== {fname} (threshold {threshold:.0f}%) ==", file=out)
+        for name in sorted(baseline):
+            if name not in current:
+                print(f"  [gone] {name}: in baseline but not in current run",
+                      file=out)
+                continue
+            base = baseline[name]
+            cur = current[name]
+            if base <= 0:
+                continue
+            compared += 1
+            delta_pct = (cur - base) / base * 100.0
+            if delta_pct < -threshold:
+                regressions += 1
+                print(f"  [REGRESSION] {name}: {delta_pct:+.1f}% "
+                      f"({base:.3g} -> {cur:.3g} items/s)", file=out)
+            else:
+                tag = "faster" if delta_pct > threshold else "ok"
+                print(f"  [{tag}] {name}: {delta_pct:+.1f}%", file=out)
+        for name in sorted(set(current) - set(baseline)):
+            print(f"  [new] {name}: no baseline yet", file=out)
+
+    print(f"\ncompared {compared} benchmarks, "
+          f"{regressions} regression(s) beyond {threshold:.0f}%", file=out)
+    return compared, regressions
+
+
+def _write_fixture(dirname, fname, entries):
+    doc = {"benchmarks": entries}
+    with open(os.path.join(dirname, fname), "w", encoding="utf-8") as f:
+        json.dump(doc, f)
+
+
+def self_test():
+    """Synthetic-fixture checks of the comparison logic. Returns 0/1."""
+    failures = []
+
+    def check(label, condition):
+        status = "ok" if condition else "FAIL"
+        print(f"[self-test] {label}: {status}")
+        if not condition:
+            failures.append(label)
+
+    with tempfile.TemporaryDirectory(prefix="bench_compare_selftest") as tmp:
+        case_index = [0]
+
+        def fresh_dirs():
+            """Per-case directory pair so fixtures cannot leak across cases."""
+            case_index[0] += 1
+            baseline = os.path.join(tmp, f"case{case_index[0]}", "baseline")
+            current = os.path.join(tmp, f"case{case_index[0]}", "current")
+            os.makedirs(baseline)
+            os.makedirs(current)
+            return baseline, current
+
+        devnull = open(os.devnull, "w", encoding="utf-8")
+
+        # Case 1 — unit mismatch, same real speed. Baseline recorded in
+        # ns (200000 ns/op), current run in us (200 us/op). The naive
+        # 1/real_time comparison sees 200000 -> 200 and reports a 1000x
+        # "speedup" (or, reversed, a catastrophic regression); the
+        # normalized comparison must say: no change.
+        baseline_dir, current_dir = fresh_dirs()
+        _write_fixture(baseline_dir, "BENCH_unit.json", [
+            {"name": "BM_X", "run_type": "iteration",
+             "real_time": 200000.0, "time_unit": "ns"},
+        ])
+        _write_fixture(current_dir, "BENCH_unit.json", [
+            {"name": "BM_X", "run_type": "iteration",
+             "real_time": 200.0, "time_unit": "us"},
+        ])
+        compared, regressions = compare_dirs(current_dir, baseline_dir,
+                                             15.0, out=devnull)
+        check("unit mismatch, same speed -> no regression",
+              compared == 1 and regressions == 0)
+
+        # Case 2 — true 2x slowdown expressed across units: 1 ms/op
+        # baseline vs 2000 us/op current. Must be flagged.
+        baseline_dir, current_dir = fresh_dirs()
+        _write_fixture(baseline_dir, "BENCH_unit.json", [
+            {"name": "BM_X", "run_type": "iteration",
+             "real_time": 1.0, "time_unit": "ms"},
+        ])
+        _write_fixture(current_dir, "BENCH_unit.json", [
+            {"name": "BM_X", "run_type": "iteration",
+             "real_time": 2000.0, "time_unit": "us"},
+        ])
+        compared, regressions = compare_dirs(current_dir, baseline_dir,
+                                             15.0, out=devnull)
+        check("true 2x slowdown across units -> regression",
+              compared == 1 and regressions == 1)
+
+        # Case 3 — items_per_second wins over real_time when present,
+        # and a within-threshold wobble is not flagged.
+        baseline_dir, current_dir = fresh_dirs()
+        _write_fixture(baseline_dir, "BENCH_items.json", [
+            {"name": "BM_Y", "run_type": "iteration",
+             "items_per_second": 1000.0, "real_time": 999999.0,
+             "time_unit": "ns"},
+        ])
+        _write_fixture(current_dir, "BENCH_items.json", [
+            {"name": "BM_Y", "run_type": "iteration",
+             "items_per_second": 950.0, "real_time": 1.0,
+             "time_unit": "ns"},
+        ])
+        compared, regressions = compare_dirs(current_dir, baseline_dir,
+                                             15.0, out=devnull)
+        check("items_per_second preferred, -5% within threshold",
+              compared == 1 and regressions == 0)
+
+        # Case 4 — a genuine 50% items/s drop is flagged (same baseline
+        # as case 3; only the current run is replaced).
+        _write_fixture(current_dir, "BENCH_items.json", [
+            {"name": "BM_Y", "run_type": "iteration",
+             "items_per_second": 500.0},
+        ])
+        compared, regressions = compare_dirs(current_dir, baseline_dir,
+                                             15.0, out=devnull)
+        check("50% items/s drop -> regression", regressions == 1)
+
+        # Case 5 — aggregate rows (mean/median/stddev) are ignored, and
+        # missing time_unit defaults to ns (Google Benchmark's default).
+        baseline_dir, current_dir = fresh_dirs()
+        _write_fixture(baseline_dir, "BENCH_agg.json", [
+            {"name": "BM_Z", "run_type": "iteration", "real_time": 100.0},
+            {"name": "BM_Z_mean", "run_type": "aggregate",
+             "real_time": 1.0, "time_unit": "ns"},
+        ])
+        _write_fixture(current_dir, "BENCH_agg.json", [
+            {"name": "BM_Z", "run_type": "iteration", "real_time": 100.0},
+            {"name": "BM_Z_mean", "run_type": "aggregate",
+             "real_time": 500.0, "time_unit": "ns"},
+        ])
+        compared, regressions = compare_dirs(current_dir, baseline_dir,
+                                             15.0, out=devnull)
+        check("aggregates ignored, default-ns equal times -> no regression",
+              compared == 1 and regressions == 0)
+
+        devnull.close()
+
+    print(f"[self-test] {5 - len(failures)}/5 passed")
+    return 1 if failures else 0
 
 
 def main():
@@ -61,52 +258,23 @@ def main():
                              "(default: <repo>/bench/baselines)")
     parser.add_argument("--threshold", type=float, default=15.0,
                         help="regression threshold in percent (default 15)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in fixture tests and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     baseline_dir = args.baseline or os.path.join(repo_root, "bench",
                                                  "baselines")
 
-    current_files = sorted(glob.glob(os.path.join(args.current,
-                                                  "BENCH_*.json")))
-    if not current_files:
+    compared, regressions = compare_dirs(args.current, baseline_dir,
+                                         args.threshold)
+    if compared is None:
         print(f"no BENCH_*.json found in {args.current!r}; run the bench "
               "binaries first", file=sys.stderr)
         return 2
-
-    regressions = 0
-    compared = 0
-    for current_path in current_files:
-        fname = os.path.basename(current_path)
-        baseline_path = os.path.join(baseline_dir, fname)
-        if not os.path.exists(baseline_path):
-            print(f"[skip] {fname}: no committed baseline")
-            continue
-        current = load_results(current_path)
-        baseline = load_results(baseline_path)
-        print(f"== {fname} (threshold {args.threshold:.0f}%) ==")
-        for name in sorted(baseline):
-            if name not in current:
-                print(f"  [gone] {name}: in baseline but not in current run")
-                continue
-            compared += 1
-            base = baseline[name]
-            cur = current[name]
-            if base <= 0:
-                continue
-            delta_pct = (cur - base) / base * 100.0
-            if delta_pct < -args.threshold:
-                regressions += 1
-                print(f"  [REGRESSION] {name}: {delta_pct:+.1f}% "
-                      f"({base:.3g} -> {cur:.3g} items/s)")
-            else:
-                tag = "faster" if delta_pct > args.threshold else "ok"
-                print(f"  [{tag}] {name}: {delta_pct:+.1f}%")
-        for name in sorted(set(current) - set(baseline)):
-            print(f"  [new] {name}: no baseline yet")
-
-    print(f"\ncompared {compared} benchmarks, "
-          f"{regressions} regression(s) beyond {args.threshold:.0f}%")
     return 1 if regressions else 0
 
 

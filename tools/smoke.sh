@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Smoke suite: the tier-1 test battery in the default configuration,
-# then the crash/fault matrix plus the cross-shard stress battery
-# (`ctest -L "crash|stress"`) rebuilt under AddressSanitizer and
-# UndefinedBehaviorSanitizer, and finally the stress battery under
-# ThreadSanitizer — the shared cache / ingest-pool races the sharded
-# vault must survive only surface instrumented.
+# then the crash/fault matrix, the cross-shard stress battery, and the
+# observability battery (`ctest -L "crash|stress|obs"`) rebuilt under
+# AddressSanitizer and UndefinedBehaviorSanitizer, and finally the
+# stress + obs batteries under ThreadSanitizer — the shared cache /
+# ingest-pool races and the lock-free metrics hot path only surface
+# instrumented. The bench_compare fixture self-test runs once up front
+# (pure python, no build needed).
 # Usage: tools/smoke.sh [build-dir-prefix]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 prefix="${1:-build}"
 jobs="$(nproc 2>/dev/null || echo 4)"
+
+python3 tools/bench_compare.py --self-test
 
 run_config() {
   local dir="$1" sanitize="$2" label="$3"
@@ -27,8 +31,8 @@ run_config() {
 }
 
 run_config "$prefix" "" ""
-run_config "${prefix}-asan" address "crash|stress"
-run_config "${prefix}-ubsan" undefined "crash|stress"
-run_config "${prefix}-tsan" thread "stress"
+run_config "${prefix}-asan" address "crash|stress|obs"
+run_config "${prefix}-ubsan" undefined "crash|stress|obs"
+run_config "${prefix}-tsan" thread "stress|obs"
 
 echo "smoke suite passed"
