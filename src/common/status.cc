@@ -32,6 +32,8 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kFailedPrecondition:
       return "FailedPrecondition";
+    case Status::Code::kBackupChainBroken:
+      return "BackupChainBroken";
   }
   return "Unknown";
 }

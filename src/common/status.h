@@ -29,6 +29,7 @@ class Status {
     kKeyDestroyed = 10,     // record was crypto-shredded; plaintext gone
     kNotSupported = 11,
     kFailedPrecondition = 12,
+    kBackupChainBroken = 13,  // backup chain references a missing/mismatched base
   };
 
   Status() : code_(Code::kOk) {}
@@ -75,6 +76,9 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(Code::kFailedPrecondition, std::move(msg));
   }
+  static Status BackupChainBroken(std::string msg) {
+    return Status(Code::kBackupChainBroken, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -95,6 +99,9 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsFailedPrecondition() const {
     return code_ == Code::kFailedPrecondition;
+  }
+  bool IsBackupChainBroken() const {
+    return code_ == Code::kBackupChainBroken;
   }
 
   /// "OK" or "<CodeName>: <message>".

@@ -6,6 +6,7 @@
 
 #include "common/coding.h"
 #include "common/hex.h"
+#include "core/scrub.h"
 #include "crypto/sha256.h"
 
 namespace medvault::core {
@@ -204,24 +205,75 @@ Result<BackupManifest> BackupManager::BackupIncremental(
   return manifest;
 }
 
+namespace {
+
+// Chain-structure validation shared by RestoreChain/VerifyChain/Repair:
+// the first link must be a full backup and every later link must build
+// on its predecessor. Violations are kBackupChainBroken — distinct from
+// per-file TamperDetected so callers can tell "your chain is unusable
+// (e.g. a mid-chain incremental was deleted)" from "a backup file was
+// modified".
+Status ValidateChainLinkage(
+    const std::vector<std::pair<std::string, BackupManifest>>& chain) {
+  if (chain.empty()) {
+    return Status::InvalidArgument("restore chain is empty");
+  }
+  for (size_t i = 0; i < chain.size(); i++) {
+    const BackupManifest& m = chain[i].second;
+    if (i == 0 && !m.base_backup_id.empty()) {
+      return Status::BackupChainBroken(
+          "chain must start with a full backup; " + m.backup_id +
+          " builds on missing base " + m.base_backup_id);
+    }
+    if (i > 0 && m.base_backup_id != chain[i - 1].second.backup_id) {
+      return Status::BackupChainBroken(
+          m.backup_id + " builds on " +
+          (m.base_backup_id.empty() ? std::string("<none: full backup>")
+                                    : m.base_backup_id) +
+          " but follows " + chain[i - 1].second.backup_id);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::pair<std::string, BackupManifest>>>
+BackupManager::LoadChain(storage::Env* offsite_env,
+                         const std::vector<std::string>& dirs) {
+  std::vector<std::pair<std::string, BackupManifest>> chain;
+  chain.reserve(dirs.size());
+  for (const std::string& dir : dirs) {
+    Result<BackupManifest> m = LoadManifest(offsite_env, dir);
+    if (!m.ok()) {
+      if (m.status().IsNotFound()) {
+        return Status::BackupChainBroken("backup " + dir +
+                                         " has no manifest (deleted?)");
+      }
+      return m.status();
+    }
+    chain.emplace_back(dir, std::move(m).value());
+  }
+  MEDVAULT_RETURN_IF_ERROR(ValidateChainLinkage(chain));
+  return chain;
+}
+
+Status BackupManager::VerifyChain(
+    storage::Env* offsite_env,
+    const std::vector<std::pair<std::string, BackupManifest>>& chain) {
+  MEDVAULT_RETURN_IF_ERROR(ValidateChainLinkage(chain));
+  for (const auto& [dir, manifest] : chain) {
+    MEDVAULT_RETURN_IF_ERROR(Verify(offsite_env, dir, manifest));
+  }
+  return Status::OK();
+}
+
 Status BackupManager::RestoreChain(
     storage::Env* offsite_env,
     const std::vector<std::pair<std::string, BackupManifest>>& chain,
     storage::Env* dest_env, const std::string& dest_dir) {
-  if (chain.empty()) {
-    return Status::InvalidArgument("restore chain is empty");
-  }
   // Validate linkage and verify every link before touching the dest.
-  for (size_t i = 0; i < chain.size(); i++) {
-    const BackupManifest& m = chain[i].second;
-    if (i == 0 && !m.base_backup_id.empty()) {
-      return Status::InvalidArgument("chain must start with a full backup");
-    }
-    if (i > 0 && m.base_backup_id != chain[i - 1].second.backup_id) {
-      return Status::InvalidArgument("broken incremental chain linkage");
-    }
-    MEDVAULT_RETURN_IF_ERROR(Verify(offsite_env, chain[i].first, m));
-  }
+  MEDVAULT_RETURN_IF_ERROR(VerifyChain(offsite_env, chain));
   MEDVAULT_RETURN_IF_ERROR(dest_env->CreateDirIfMissing(dest_dir));
   for (const auto& [dir, manifest] : chain) {
     for (const auto& [rel, hash] : manifest.files) {
@@ -281,6 +333,86 @@ Status BackupManager::Restore(storage::Env* offsite_env,
         dest_env, contents, dest_dir + "/" + rel, true));
   }
   return Status::OK();
+}
+
+Result<BackupManager::RepairSummary> BackupManager::Repair(
+    storage::Env* offsite_env,
+    const std::vector<std::pair<std::string, BackupManifest>>& chain,
+    storage::Env* dest_env, const std::string& dest_dir,
+    const ScrubReport& report) {
+  MEDVAULT_RETURN_IF_ERROR(ValidateChainLinkage(chain));
+
+  // Effective state of the chain: newest mention of each path wins,
+  // and a later `deleted` entry erases earlier mentions.
+  std::map<std::string, std::pair<std::string, std::string>>
+      effective;  // rel -> (offsite dir holding it, sha256)
+  for (const auto& [dir, manifest] : chain) {
+    for (const auto& [rel, hash] : manifest.files) {
+      effective[rel] = {dir, hash};
+    }
+    for (const std::string& rel : manifest.deleted) {
+      effective.erase(rel);
+    }
+  }
+
+  RepairSummary summary;
+  for (const std::string& rel : report.DamagedFiles()) {
+    auto it = effective.find(rel);
+    if (it == effective.end()) {
+      summary.unrepairable.push_back(rel);
+      continue;
+    }
+    const auto& [src_dir, expected_hash] = it->second;
+    std::string contents;
+    Status s = storage::ReadFileToString(offsite_env, src_dir + "/" + rel,
+                                         &contents);
+    if (!s.ok()) {
+      return Status::TamperDetected("backup file missing during repair: " +
+                                    rel);
+    }
+    if (crypto::Sha256Digest(contents) != expected_hash) {
+      return Status::TamperDetected("backup file hash mismatch during repair: " +
+                                    rel);
+    }
+    auto slash = rel.find('/');
+    if (slash != std::string::npos) {
+      MEDVAULT_RETURN_IF_ERROR(dest_env->CreateDirIfMissing(
+          dest_dir + "/" + rel.substr(0, slash)));
+    }
+    MEDVAULT_RETURN_IF_ERROR(storage::WriteStringToFile(
+        dest_env, contents, dest_dir + "/" + rel, true));
+    summary.restored.push_back(rel);
+  }
+
+  // Crash-leftover temp files and other unclaimed clutter flagged by
+  // the scrub: sweep them so the repaired directory is exactly a vault.
+  for (const std::string& rel : report.OrphanFiles()) {
+    Status s = dest_env->RemoveFile(dest_dir + "/" + rel);
+    if (!s.ok() && !s.IsNotFound()) return s;
+    summary.removed_orphans.push_back(rel);
+  }
+
+  // Re-scrub structurally: the damage we restored over must be gone.
+  // (The caller runs the deep verification after reopening the vault.)
+  MEDVAULT_ASSIGN_OR_RETURN(
+      ScrubReport after,
+      Scrubber::ScrubVaultDir(dest_env, dest_dir, report.scrubbed_at));
+  summary.verified_clean =
+      after.structurally_clean() && summary.unrepairable.empty();
+  return summary;
+}
+
+Status BackupManager::AuditRepair(Vault* vault, const PrincipalId& actor,
+                                  const RepairSummary& summary) {
+  MEDVAULT_RETURN_IF_ERROR(vault->access()->CheckAccess(
+      actor, Operation::kBackup, "", vault->Now()));
+  return vault->Audit(
+      actor, AuditAction::kRestore, "",
+      "repair restored=" + std::to_string(summary.restored.size()) +
+          " orphans-removed=" +
+          std::to_string(summary.removed_orphans.size()) +
+          " unrepairable=" + std::to_string(summary.unrepairable.size()) +
+          (summary.verified_clean ? " verified=clean" : " verified=dirty"));
 }
 
 Result<BackupManifest> BackupManager::LoadManifest(

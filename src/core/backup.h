@@ -55,6 +55,21 @@ class BackupManager {
                        const std::string& offsite_dir,
                        const BackupManifest& manifest);
 
+  /// Loads the manifests of `dirs` (oldest first) and validates their
+  /// linkage: the first must be a full backup and every later one must
+  /// reference the previous backup_id as its base. A missing manifest
+  /// or mismatched base yields kBackupChainBroken — the distinct signal
+  /// that the *chain* (not the data) is unusable, e.g. because a
+  /// mid-chain incremental was lost.
+  static Result<std::vector<std::pair<std::string, BackupManifest>>> LoadChain(
+      storage::Env* offsite_env, const std::vector<std::string>& dirs);
+
+  /// Verify() on every link of an already-loaded chain, after
+  /// re-validating its linkage.
+  static Status VerifyChain(
+      storage::Env* offsite_env,
+      const std::vector<std::pair<std::string, BackupManifest>>& chain);
+
   /// Restores a full-then-incrementals chain, oldest first. Each element
   /// is (offsite_dir, manifest); every step is verified, later files
   /// overwrite earlier ones, and `deleted` lists are honored.
@@ -69,6 +84,39 @@ class BackupManager {
                         const std::string& offsite_dir,
                         const BackupManifest& manifest,
                         storage::Env* dest_env, const std::string& dest_dir);
+
+  /// What a Repair() did, for audit trails and operator output.
+  struct RepairSummary {
+    std::vector<std::string> restored;         ///< damaged files restored
+    std::vector<std::string> removed_orphans;  ///< crash leftovers deleted
+    /// Damaged files the chain does not cover — manual intervention.
+    std::vector<std::string> unrepairable;
+    /// Post-repair structural re-scrub came back clean.
+    bool verified_clean = false;
+  };
+
+  /// Read-repair from backup: restores ONLY the files a scrub flagged
+  /// as damaged (kCorrupt/kMissing) from the chain's effective state,
+  /// verifying each restored file's SHA-256 against its manifest,
+  /// removes the scrub's orphaned crash leftovers, then re-scrubs the
+  /// directory structurally. Undamaged files are never touched. The
+  /// chain must reflect the vault's current committed state (take a
+  /// fresh incremental before repairing a live vault); restoring a
+  /// stale artifact next to newer peers is exactly what the post-repair
+  /// deep verification exists to catch. The vault at `dest_dir` must be
+  /// closed. Record the repair with AuditRepair once the vault reopens.
+  static Result<RepairSummary> Repair(
+      storage::Env* offsite_env,
+      const std::vector<std::pair<std::string, BackupManifest>>& chain,
+      storage::Env* dest_env, const std::string& dest_dir,
+      const ScrubReport& report);
+
+  /// Appends the single kRestore audit event for a completed Repair —
+  /// called on the reopened vault, since the vault was necessarily
+  /// closed (possibly unopenable) while its files were being replaced.
+  /// `actor` needs kBackup.
+  static Status AuditRepair(Vault* vault, const PrincipalId& actor,
+                            const RepairSummary& summary);
 
   /// Loads the manifest stored with a backup.
   static Result<BackupManifest> LoadManifest(storage::Env* offsite_env,

@@ -1,0 +1,349 @@
+#include "core/scrub.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/coding.h"
+#include "common/crc32c.h"
+#include "storage/log_format.h"
+
+namespace medvault::core {
+
+namespace {
+
+constexpr size_t kFrameHeaderSize = 8;  // crc32c(4) + length(4)
+
+bool AllZero(const char* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i] != 0) return false;
+  }
+  return true;
+}
+
+void AddRange(FileScrubResult* out, uint64_t offset, uint64_t length) {
+  out->verdict = ScrubVerdict::kCorrupt;
+  // Coalesce with the previous range when contiguous, so a multi-frame
+  // blast radius reads as one range.
+  if (!out->corrupt_ranges.empty()) {
+    CorruptRange& back = out->corrupt_ranges.back();
+    if (back.offset + back.length == offset) {
+      back.length += length;
+      return;
+    }
+  }
+  out->corrupt_ranges.push_back(CorruptRange{offset, length});
+}
+
+void AppendDetail(FileScrubResult* out, const std::string& note) {
+  if (!out->detail.empty()) out->detail += "; ";
+  out->detail += note;
+}
+
+bool ParseSegmentId(const std::string& name, uint64_t* id) {
+  return sscanf(name.c_str(), "seg-%08" PRIu64, id) == 1;
+}
+
+}  // namespace
+
+const char* ScrubVerdictName(ScrubVerdict v) {
+  switch (v) {
+    case ScrubVerdict::kClean:
+      return "clean";
+    case ScrubVerdict::kCorrupt:
+      return "corrupt";
+    case ScrubVerdict::kMissing:
+      return "missing";
+    case ScrubVerdict::kOrphan:
+      return "orphan";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> ScrubReport::DamagedFiles() const {
+  std::vector<std::string> out;
+  for (const FileScrubResult& f : files) {
+    if (f.verdict == ScrubVerdict::kCorrupt ||
+        f.verdict == ScrubVerdict::kMissing) {
+      out.push_back(f.path);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ScrubReport::OrphanFiles() const {
+  std::vector<std::string> out;
+  for (const FileScrubResult& f : files) {
+    if (f.verdict == ScrubVerdict::kOrphan) out.push_back(f.path);
+  }
+  return out;
+}
+
+const FileScrubResult* ScrubReport::Find(const std::string& path) const {
+  for (const FileScrubResult& f : files) {
+    if (f.path == path) return &f;
+  }
+  return nullptr;
+}
+
+std::string ScrubReport::Summary() const {
+  char head[256];
+  snprintf(head, sizeof(head),
+           "scrub %s: %" PRIu64 " files, %" PRIu64 " bytes, %" PRIu64
+           " damaged, %" PRIu64 " orphaned",
+           dir.c_str(), files_scanned, bytes_scanned, corrupt_files,
+           orphan_files);
+  std::string out = head;
+  for (const FileScrubResult& f : files) {
+    if (f.verdict == ScrubVerdict::kClean) continue;
+    out += "\n  ";
+    out += f.path;
+    out += ": ";
+    out += ScrubVerdictName(f.verdict);
+    for (const CorruptRange& r : f.corrupt_ranges) {
+      char buf[64];
+      snprintf(buf, sizeof(buf), " [%" PRIu64 ",+%" PRIu64 ")", r.offset,
+               r.length);
+      out += buf;
+    }
+    if (!f.detail.empty()) {
+      out += " (" + f.detail + ")";
+    }
+  }
+  if (!deep_status.ok()) {
+    out += "\n  deep verification: " + deep_status.ToString();
+  }
+  return out;
+}
+
+void Scrubber::ScrubSegmentData(const Slice& data, bool is_active,
+                                FileScrubResult* out) {
+  const char* base = data.data();
+  const uint64_t n = data.size();
+  uint64_t offset = 0;
+  while (offset + kFrameHeaderSize <= n) {
+    const uint32_t stored = DecodeFixed32(base + offset);
+    const uint32_t length = DecodeFixed32(base + offset + 4);
+    if (offset + kFrameHeaderSize + length > n) {
+      // The frame claims bytes past EOF. In the active (highest-id)
+      // segment that is the torn tail of a crashed append, which crash
+      // recovery truncates; in a sealed segment nothing may be torn, so
+      // it is damage (e.g. a bit flip inside this length field).
+      if (is_active) {
+        AppendDetail(out, "torn tail frame");
+      } else {
+        AddRange(out, offset, n - offset);
+        AppendDetail(out, "frame extends past EOF in sealed segment");
+      }
+      return;
+    }
+    const uint32_t actual =
+        crc32c::Mask(crc32c::Value(base + offset + kFrameHeaderSize, length));
+    if (actual != stored) {
+      AddRange(out, offset, kFrameHeaderSize + length);
+      AppendDetail(out, "frame crc mismatch");
+      // The length field still framed a plausible payload, so resync at
+      // the next frame boundary to localize the damage.
+    }
+    offset += kFrameHeaderSize + length;
+  }
+  if (offset < n) {
+    if (is_active) {
+      AppendDetail(out, "torn tail frame header");
+    } else {
+      AddRange(out, offset, n - offset);
+      AppendDetail(out, "trailing partial frame in sealed segment");
+    }
+  }
+}
+
+void Scrubber::ScrubLogData(const Slice& data, FileScrubResult* out) {
+  using storage::log::kBlockSize;
+  using storage::log::kHeaderSize;
+  using storage::log::kMaxRecordType;
+  const char* base = data.data();
+  const uint64_t n = data.size();
+  for (uint64_t block = 0; block < n; block += kBlockSize) {
+    const uint64_t avail = std::min<uint64_t>(kBlockSize, n - block);
+    const bool last_block = block + avail == n;
+    uint64_t p = 0;
+    while (p + kHeaderSize <= avail) {
+      const char* header = base + block + p;
+      const uint32_t stored = DecodeFixed32(header);
+      const uint32_t length = static_cast<uint8_t>(header[4]) |
+                              (static_cast<uint8_t>(header[5]) << 8);
+      const int type = static_cast<uint8_t>(header[6]);
+      if (type == 0 && length == 0) {
+        // Zero trailer: the writer pads the rest of the block with
+        // zeros. Anything non-zero in the padding is rot the reader
+        // would silently skip — flag it so repair restores the file.
+        if (!AllZero(header, avail - p)) {
+          AddRange(out, block + p, avail - p);
+          AppendDetail(out, "non-zero bytes in block trailer");
+        }
+        break;  // rest of block is padding
+      }
+      if (p + kHeaderSize + length > avail) {
+        // Record claims bytes past the block end. At EOF that is the
+        // torn tail of a crashed append (recovery truncates it);
+        // anywhere else it is damage.
+        if (last_block) {
+          AppendDetail(out, "torn tail record");
+          return;
+        }
+        AddRange(out, block + p, avail - p);
+        AppendDetail(out, "record extends past block end");
+        break;  // resync at the next block boundary
+      }
+      const uint32_t actual =
+          crc32c::Mask(crc32c::Value(header + 6, 1 + length));
+      if (actual != stored || type > kMaxRecordType) {
+        AddRange(out, block + p, kHeaderSize + length);
+        AppendDetail(out, actual != stored ? "record crc mismatch"
+                                           : "invalid record type");
+        // Length framed a plausible record: resync after it.
+      }
+      p += kHeaderSize + length;
+    }
+    // Fewer than kHeaderSize bytes left in the block: the writer
+    // zero-pads full blocks; at EOF a partial header is a torn tail.
+    if (p < avail && p + kHeaderSize > avail) {
+      if (last_block) {
+        if (!AllZero(base + block + p, avail - p)) {
+          AppendDetail(out, "torn tail header");
+        }
+      } else if (!AllZero(base + block + p, avail - p)) {
+        AddRange(out, block + p, avail - p);
+        AppendDetail(out, "non-zero bytes in block padding");
+      }
+    }
+  }
+}
+
+const std::vector<std::string>& Scrubber::ExpectedArtifacts() {
+  static const std::vector<std::string> kExpected = {
+      "audit.log",      "catalog.log", "index.log",
+      "provenance.log", "keys.db",     "state.log",
+  };
+  return kExpected;
+}
+
+Result<ScrubReport> Scrubber::ScrubVaultDir(storage::Env* env,
+                                            const std::string& dir,
+                                            Timestamp now) {
+  ScrubReport report;
+  report.dir = dir;
+  report.scrubbed_at = now;
+
+  std::vector<std::string> children;
+  MEDVAULT_RETURN_IF_ERROR(env->GetChildren(dir, &children));
+
+  auto scan_file = [&](const std::string& rel, bool is_segment,
+                       bool is_active) {
+    FileScrubResult r;
+    r.path = rel;
+    std::string contents;
+    Status s = storage::ReadFileToString(env, dir + "/" + rel, &contents);
+    if (!s.ok()) {
+      r.verdict =
+          s.IsNotFound() ? ScrubVerdict::kMissing : ScrubVerdict::kCorrupt;
+      r.detail = "unreadable: " + s.ToString();
+      report.files.push_back(std::move(r));
+      return;
+    }
+    r.bytes = contents.size();
+    report.files_scanned++;
+    report.bytes_scanned += contents.size();
+    if (is_segment) {
+      ScrubSegmentData(Slice(contents), is_active, &r);
+    } else {
+      ScrubLogData(Slice(contents), &r);
+    }
+    report.files.push_back(std::move(r));
+  };
+
+  const std::vector<std::string>& expected = ExpectedArtifacts();
+  bool initialized = false;
+  bool has_segments_dir = false;
+  for (const std::string& name : children) {
+    if (name == "." || name == "..") continue;
+    if (name == "segments") {
+      has_segments_dir = true;
+      initialized = true;
+      continue;
+    }
+    if (std::find(expected.begin(), expected.end(), name) != expected.end()) {
+      initialized = true;
+      scan_file(name, /*is_segment=*/false, /*is_active=*/false);
+      continue;
+    }
+    FileScrubResult r;
+    r.path = name;
+    r.verdict = ScrubVerdict::kOrphan;
+    uint64_t size = 0;
+    if (env->GetFileSize(dir + "/" + name, &size).ok()) r.bytes = size;
+    r.detail = name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0
+                   ? "temporary file (crash leftover)"
+                   : "unrecognized file";
+    report.files.push_back(std::move(r));
+  }
+
+  if (has_segments_dir) {
+    std::vector<std::string> segs;
+    MEDVAULT_RETURN_IF_ERROR(env->GetChildren(dir + "/segments", &segs));
+    uint64_t max_id = 0;
+    for (const std::string& name : segs) {
+      uint64_t id = 0;
+      if (ParseSegmentId(name, &id) && id > max_id) max_id = id;
+    }
+    for (const std::string& name : segs) {
+      if (name == "." || name == "..") continue;
+      uint64_t id = 0;
+      if (ParseSegmentId(name, &id)) {
+        scan_file("segments/" + name, /*is_segment=*/true,
+                  /*is_active=*/id == max_id);
+      } else {
+        FileScrubResult r;
+        r.path = "segments/" + name;
+        r.verdict = ScrubVerdict::kOrphan;
+        r.detail = "unrecognized file in segments/";
+        report.files.push_back(std::move(r));
+      }
+    }
+  }
+
+  if (initialized) {
+    for (const std::string& want : expected) {
+      bool found = false;
+      for (const FileScrubResult& f : report.files) {
+        if (f.path == want) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        FileScrubResult r;
+        r.path = want;
+        r.verdict = ScrubVerdict::kMissing;
+        r.detail = "expected vault artifact is absent";
+        report.files.push_back(std::move(r));
+      }
+    }
+  }
+
+  std::sort(report.files.begin(), report.files.end(),
+            [](const FileScrubResult& a, const FileScrubResult& b) {
+              return a.path < b.path;
+            });
+  for (const FileScrubResult& f : report.files) {
+    if (f.verdict == ScrubVerdict::kCorrupt ||
+        f.verdict == ScrubVerdict::kMissing) {
+      report.corrupt_files++;
+    } else if (f.verdict == ScrubVerdict::kOrphan) {
+      report.orphan_files++;
+    }
+  }
+  return report;
+}
+
+}  // namespace medvault::core

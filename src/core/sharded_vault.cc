@@ -6,6 +6,7 @@
 #include <thread>
 #include <utility>
 
+#include "core/scrub.h"
 #include "core/worker_pool.h"
 #include "crypto/hkdf.h"
 #include "crypto/merkle.h"
@@ -77,36 +78,43 @@ Status ShardedVault::Init() {
     cache_ = std::make_unique<RecordCache>(options_.cache_bytes);
   }
 
-  shards_.reserve(options_.num_shards);
+  shards_.resize(options_.num_shards);
+  quarantine_reasons_.resize(options_.num_shards);
   for (uint32_t k = 0; k < options_.num_shards; ++k) {
-    // Independent key domains per shard: both the key-wrapping master
-    // and the entropy pool (DRBG, signer seed, index blinding) are
-    // HKDF-derived with the shard index in the info string.
-    MEDVAULT_ASSIGN_OR_RETURN(
-        std::string shard_master,
-        crypto::HkdfSha256(options_.master_key, Slice(),
-                           "medvault-shard-master-" + std::to_string(k), 32));
-    MEDVAULT_ASSIGN_OR_RETURN(
-        std::string shard_entropy,
-        crypto::HkdfSha256(options_.entropy, Slice(),
-                           "medvault-shard-entropy-" + std::to_string(k), 64));
-
-    VaultOptions shard_options;
-    shard_options.env = env;
-    shard_options.dir = ShardRouter::ShardDir(options_.dir, k);
-    shard_options.clock = options_.clock;
-    shard_options.master_key = std::move(shard_master);
-    shard_options.entropy = std::move(shard_entropy);
-    shard_options.signer_height = options_.signer_height;
-    shard_options.system_id =
-        options_.system_id + "/shard-" + std::to_string(k);
-    shard_options.require_dual_disposal = options_.require_dual_disposal;
-    shard_options.record_id_prefix = ShardRouter::RecordIdPrefix(k);
-    shard_options.cache = cache_.get();
-    shard_options.metrics = metrics_;
-    MEDVAULT_ASSIGN_OR_RETURN(auto shard, Vault::Open(shard_options));
-    shards_.push_back(std::move(shard));
+    if (options_.open_mode == OpenMode::kDegraded) {
+      // Scrub before opening. Vault::Open tolerates torn tails and does
+      // not deep-verify, so a shard with a flipped segment byte would
+      // "open" and then fail clinical reads; the structural scan spots
+      // the damage up front without mutating the directory. A NotFound
+      // scrub means a fresh shard directory — open will create it.
+      Result<ScrubReport> scrub = Scrubber::ScrubVaultDir(
+          env, ShardRouter::ShardDir(options_.dir, k), options_.clock->Now());
+      if (!scrub.ok() && !scrub.status().IsNotFound()) {
+        quarantine_reasons_[k] =
+            "scrub failed: " + scrub.status().ToString();
+        continue;
+      }
+      if (scrub.ok() && !scrub->structurally_clean()) {
+        std::string reason = "failed structural scrub: " +
+                             std::to_string(scrub->corrupt_files) +
+                             " damaged file(s)";
+        const auto damaged = scrub->DamagedFiles();
+        if (!damaged.empty()) reason += ", first: " + damaged[0];
+        quarantine_reasons_[k] = std::move(reason);
+        continue;
+      }
+      Result<std::unique_ptr<Vault>> shard = OpenShard(k);
+      if (!shard.ok()) {
+        quarantine_reasons_[k] =
+            "open failed: " + shard.status().ToString();
+        continue;
+      }
+      shards_[k] = std::move(*shard);
+    } else {
+      MEDVAULT_ASSIGN_OR_RETURN(shards_[k], OpenShard(k));
+    }
   }
+  PublishQuarantineGauge();
 
   unsigned threads = options_.ingest_threads;
   if (threads == 0) {
@@ -116,6 +124,115 @@ Status ShardedVault::Init() {
   }
   // One thread means "sequential": no pool workers, RunAll runs inline.
   pool_ = std::make_unique<WorkerPool>(threads > 1 ? threads : 0);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Vault>> ShardedVault::OpenShard(uint32_t k) {
+  // Independent key domains per shard: both the key-wrapping master
+  // and the entropy pool (DRBG, signer seed, index blinding) are
+  // HKDF-derived with the shard index in the info string.
+  MEDVAULT_ASSIGN_OR_RETURN(
+      std::string shard_master,
+      crypto::HkdfSha256(options_.master_key, Slice(),
+                         "medvault-shard-master-" + std::to_string(k), 32));
+  MEDVAULT_ASSIGN_OR_RETURN(
+      std::string shard_entropy,
+      crypto::HkdfSha256(options_.entropy, Slice(),
+                         "medvault-shard-entropy-" + std::to_string(k), 64));
+
+  VaultOptions shard_options;
+  shard_options.env = options_.env;
+  shard_options.dir = ShardRouter::ShardDir(options_.dir, k);
+  shard_options.clock = options_.clock;
+  shard_options.master_key = std::move(shard_master);
+  shard_options.entropy = std::move(shard_entropy);
+  shard_options.signer_height = options_.signer_height;
+  shard_options.system_id = options_.system_id + "/shard-" + std::to_string(k);
+  shard_options.require_dual_disposal = options_.require_dual_disposal;
+  shard_options.record_id_prefix = ShardRouter::RecordIdPrefix(k);
+  shard_options.cache = cache_.get();
+  shard_options.metrics = metrics_;
+  return Vault::Open(shard_options);
+}
+
+Result<Vault*> ShardedVault::RequireShard(uint32_t k) const {
+  std::shared_lock lock(shards_mu_);
+  Vault* s = shards_[k].get();
+  if (s != nullptr) return s;
+  return Status::FailedPrecondition(
+      "shard " + std::to_string(k) +
+      " is quarantined: " + quarantine_reasons_[k]);
+}
+
+bool ShardedVault::IsQuarantined(uint32_t k) const {
+  std::shared_lock lock(shards_mu_);
+  return shards_[k] == nullptr;
+}
+
+std::string ShardedVault::QuarantineReason(uint32_t k) const {
+  std::shared_lock lock(shards_mu_);
+  return quarantine_reasons_[k];
+}
+
+std::vector<uint32_t> ShardedVault::QuarantinedShards() const {
+  std::shared_lock lock(shards_mu_);
+  std::vector<uint32_t> out;
+  for (uint32_t k = 0; k < shards_.size(); ++k) {
+    if (shards_[k] == nullptr) out.push_back(k);
+  }
+  return out;
+}
+
+std::string ShardedVault::ShardDirPath(uint32_t k) const {
+  return ShardRouter::ShardDir(options_.dir, k);
+}
+
+void ShardedVault::PublishQuarantineGauge() const {
+  std::shared_lock lock(shards_mu_);
+  int64_t quarantined = 0;
+  for (const auto& s : shards_) {
+    if (s == nullptr) quarantined++;
+  }
+  metrics_->GetGauge("sharded.quarantined")->Set(quarantined);
+}
+
+Result<ScrubReport> ShardedVault::ScrubShard(uint32_t k) {
+  if (k >= num_shards()) {
+    return Status::InvalidArgument("no such shard: " + std::to_string(k));
+  }
+  Vault* s = shard(k);
+  if (s != nullptr) return s->Scrub();
+  // Quarantined: the shard is not open, so only the offline structural
+  // scan is possible — which is all repair needs.
+  return Scrubber::ScrubVaultDir(options_.env, ShardDirPath(k), Now());
+}
+
+Status ShardedVault::RejoinShard(uint32_t k) {
+  if (k >= num_shards()) {
+    return Status::InvalidArgument("no such shard: " + std::to_string(k));
+  }
+  if (shard(k) != nullptr) return Status::OK();  // already healthy
+
+  // Gate on a clean structural scrub so a rejoin cannot re-admit the
+  // damage that caused the quarantine.
+  MEDVAULT_ASSIGN_OR_RETURN(
+      ScrubReport report,
+      Scrubber::ScrubVaultDir(options_.env, ShardDirPath(k), Now()));
+  if (!report.structurally_clean()) {
+    return Status::FailedPrecondition(
+        "shard " + std::to_string(k) + " is still damaged; repair first (" +
+        std::to_string(report.corrupt_files) + " damaged file(s))");
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(std::unique_ptr<Vault> opened, OpenShard(k));
+  MEDVAULT_RETURN_IF_ERROR(opened->VerifyEverything());
+  {
+    std::unique_lock lock(shards_mu_);
+    if (shards_[k] != nullptr) return Status::OK();  // lost a rejoin race
+    shards_[k] = std::move(opened);
+    quarantine_reasons_[k].clear();
+  }
+  metrics_->GetCounter("sharded.rejoined")->Increment();
+  PublishQuarantineGauge();
   return Status::OK();
 }
 
@@ -139,8 +256,12 @@ Status ShardedVault::RegisterPrincipal(const PrincipalId& actor,
   // shards may already hold the principal while others lost it, so a
   // shard's AlreadyExists is success for that shard and the loop keeps
   // going — otherwise the divergent shards could never be repaired.
-  for (auto& shard : shards_) {
-    Status status = shard->RegisterPrincipal(actor, principal);
+  // Quarantined shards are skipped; RejoinShard documents that admin
+  // state must be re-replicated after a repair.
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    Vault* s = shard(k);
+    if (s == nullptr) continue;
+    Status status = s->RegisterPrincipal(actor, principal);
     if (!status.ok() && !status.IsAlreadyExists()) return status;
   }
   return Status::OK();
@@ -149,8 +270,10 @@ Status ShardedVault::RegisterPrincipal(const PrincipalId& actor,
 Status ShardedVault::AssignCare(const PrincipalId& actor,
                                 const PrincipalId& clinician,
                                 const PrincipalId& patient) {
-  for (auto& shard : shards_) {
-    MEDVAULT_RETURN_IF_ERROR(shard->AssignCare(actor, clinician, patient));
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    Vault* s = shard(k);
+    if (s == nullptr) continue;
+    MEDVAULT_RETURN_IF_ERROR(s->AssignCare(actor, clinician, patient));
   }
   return Status::OK();
 }
@@ -159,9 +282,9 @@ Result<std::string> ShardedVault::BreakGlass(const PrincipalId& clinician,
                                              const PrincipalId& patient,
                                              const std::string& justification,
                                              Timestamp duration) {
-  return shards_[router_.ShardOf(patient)]->BreakGlass(clinician, patient,
-                                                       justification,
-                                                       duration);
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s,
+                            RequireShard(router_.ShardOf(patient)));
+  return s->BreakGlass(clinician, patient, justification, duration);
 }
 
 // ---------------------------------------------------------------------------
@@ -174,8 +297,10 @@ Result<RecordId> ShardedVault::CreateRecord(
     const std::vector<std::string>& keywords,
     const std::string& retention_policy) {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.create, "sharded.create");
-  return shards_[router_.ShardOf(patient_id)]->CreateRecord(
-      actor, patient_id, content_type, plaintext, keywords, retention_policy);
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s,
+                            RequireShard(router_.ShardOf(patient_id)));
+  return s->CreateRecord(actor, patient_id, content_type, plaintext, keywords,
+                         retention_policy);
 }
 
 Result<std::vector<RecordId>> ShardedVault::CreateRecordsBatch(
@@ -187,7 +312,8 @@ Result<std::vector<RecordId>> ShardedVault::CreateRecordsBatch(
   }
   const uint32_t n = num_shards();
   if (n == 1) {
-    return shards_[0]->CreateRecordsBatch(actor, batch);
+    MEDVAULT_ASSIGN_OR_RETURN(Vault * only, RequireShard(0));
+    return only->CreateRecordsBatch(actor, batch);
   }
 
   // Partition by patient shard, remembering each item's original index
@@ -202,11 +328,15 @@ Result<std::vector<RecordId>> ShardedVault::CreateRecordsBatch(
   std::vector<std::function<void()>> tasks;
   for (uint32_t k = 0; k < n; ++k) {
     if (indices[k].empty()) continue;
-    tasks.emplace_back([this, &actor, &batch, &indices, &statuses, &ids, k] {
+    // Refuse the whole batch up front if any involved shard is
+    // quarantined: a partial cross-shard ingest that can never complete
+    // is worse than a clean failure the caller can re-route.
+    MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+    tasks.emplace_back([s, &actor, &batch, &indices, &statuses, &ids, k] {
       std::vector<Vault::NewRecord> sub;
       sub.reserve(indices[k].size());
       for (size_t i : indices[k]) sub.push_back(batch[i]);
-      auto result = shards_[k]->CreateRecordsBatch(actor, sub);
+      auto result = s->CreateRecordsBatch(actor, sub);
       if (result.ok()) {
         ids[k] = std::move(*result);
       } else {
@@ -231,15 +361,17 @@ Result<std::vector<RecordId>> ShardedVault::CreateRecordsBatch(
 Result<RecordVersion> ShardedVault::ReadRecord(const PrincipalId& actor,
                                                const RecordId& record_id) {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.read, "sharded.read");
-  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
-  return shards_[shard]->ReadRecord(actor, record_id);
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t k, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->ReadRecord(actor, record_id);
 }
 
 Result<RecordVersion> ShardedVault::ReadRecordVersion(
     const PrincipalId& actor, const RecordId& record_id, uint32_t version) {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.read, "sharded.read");
-  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
-  return shards_[shard]->ReadRecordVersion(actor, record_id, version);
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t k, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->ReadRecordVersion(actor, record_id, version);
 }
 
 Result<VersionHeader> ShardedVault::CorrectRecord(
@@ -247,17 +379,21 @@ Result<VersionHeader> ShardedVault::CorrectRecord(
     const Slice& new_plaintext, const std::string& reason,
     const std::vector<std::string>& keywords) {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.correct, "sharded.correct");
-  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
-  return shards_[shard]->CorrectRecord(actor, record_id, new_plaintext,
-                                       reason, keywords);
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t k, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->CorrectRecord(actor, record_id, new_plaintext, reason, keywords);
 }
 
 Result<std::vector<RecordId>> ShardedVault::SearchKeyword(
     const PrincipalId& actor, const std::string& term) {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.search, "sharded.search");
+  // Degraded semantics: quarantined shards are skipped, so results may
+  // be partial until every shard rejoins — the price of availability.
   std::vector<RecordId> merged;
-  for (auto& shard : shards_) {
-    MEDVAULT_ASSIGN_OR_RETURN(auto hits, shard->SearchKeyword(actor, term));
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    Vault* s = shard(k);
+    if (s == nullptr) continue;
+    MEDVAULT_ASSIGN_OR_RETURN(auto hits, s->SearchKeyword(actor, term));
     merged.insert(merged.end(), hits.begin(), hits.end());
   }
   return merged;
@@ -267,9 +403,10 @@ Result<std::vector<RecordId>> ShardedVault::SearchKeywordsAll(
     const PrincipalId& actor, const std::vector<std::string>& terms) {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.search, "sharded.search");
   std::vector<RecordId> merged;
-  for (auto& shard : shards_) {
-    MEDVAULT_ASSIGN_OR_RETURN(auto hits,
-                              shard->SearchKeywordsAll(actor, terms));
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    Vault* s = shard(k);
+    if (s == nullptr) continue;
+    MEDVAULT_ASSIGN_OR_RETURN(auto hits, s->SearchKeywordsAll(actor, terms));
     merged.insert(merged.end(), hits.begin(), hits.end());
   }
   return merged;
@@ -277,22 +414,26 @@ Result<std::vector<RecordId>> ShardedVault::SearchKeywordsAll(
 
 Result<std::vector<VersionHeader>> ShardedVault::RecordHistory(
     const PrincipalId& actor, const RecordId& record_id) {
-  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
-  return shards_[shard]->RecordHistory(actor, record_id);
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t k, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->RecordHistory(actor, record_id);
 }
 
 Result<DisposalCertificate> ShardedVault::DisposeRecord(
     const PrincipalId& actor, const RecordId& record_id) {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.dispose, "sharded.dispose");
-  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
-  return shards_[shard]->DisposeRecord(actor, record_id);
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t k, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->DisposeRecord(actor, record_id);
 }
 
 Result<std::vector<RecordMeta>> ShardedVault::ListExpiredRecords(
     const PrincipalId& actor) {
   std::vector<RecordMeta> merged;
-  for (auto& shard : shards_) {
-    MEDVAULT_ASSIGN_OR_RETURN(auto expired, shard->ListExpiredRecords(actor));
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    Vault* s = shard(k);
+    if (s == nullptr) continue;
+    MEDVAULT_ASSIGN_OR_RETURN(auto expired, s->ListExpiredRecords(actor));
     merged.insert(merged.end(), std::make_move_iterator(expired.begin()),
                   std::make_move_iterator(expired.end()));
   }
@@ -301,9 +442,10 @@ Result<std::vector<RecordMeta>> ShardedVault::ListExpiredRecords(
 
 Result<int> ShardedVault::ReclaimDisposedMedia(const PrincipalId& actor) {
   int total = 0;
-  for (auto& shard : shards_) {
-    MEDVAULT_ASSIGN_OR_RETURN(int reclaimed,
-                              shard->ReclaimDisposedMedia(actor));
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    Vault* s = shard(k);
+    if (s == nullptr) continue;
+    MEDVAULT_ASSIGN_OR_RETURN(int reclaimed, s->ReclaimDisposedMedia(actor));
     total += reclaimed;
   }
   return total;
@@ -312,22 +454,25 @@ Result<int> ShardedVault::ReclaimDisposedMedia(const PrincipalId& actor) {
 Status ShardedVault::PlaceLegalHold(const PrincipalId& actor,
                                     const RecordId& record_id,
                                     const std::string& reason) {
-  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
-  return shards_[shard]->PlaceLegalHold(actor, record_id, reason);
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t k, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->PlaceLegalHold(actor, record_id, reason);
 }
 
 Status ShardedVault::ReleaseLegalHold(const PrincipalId& actor,
                                       const RecordId& record_id,
                                       const std::string& reason) {
-  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
-  return shards_[shard]->ReleaseLegalHold(actor, record_id, reason);
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t k, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->ReleaseLegalHold(actor, record_id, reason);
 }
 
 Result<std::string> ShardedVault::RequestDisposal(const PrincipalId& actor,
                                                   const RecordId& record_id) {
   MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(shard));
   MEDVAULT_ASSIGN_OR_RETURN(std::string request_id,
-                            shards_[shard]->RequestDisposal(actor, record_id));
+                            s->RequestDisposal(actor, record_id));
   std::string qualified = "s";
   qualified += std::to_string(shard);
   qualified += ":";
@@ -351,13 +496,16 @@ Result<DisposalCertificate> ShardedVault::ApproveDisposal(
   if (ec != std::errc() || ptr != end || shard >= num_shards()) {
     return Status::NotFound("unknown disposal request: " + request_id);
   }
-  return shards_[shard]->ApproveDisposal(actor, request_id.substr(colon + 1));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(shard));
+  return s->ApproveDisposal(actor, request_id.substr(colon + 1));
 }
 
 Status ShardedVault::SyncAll() {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.sync, "sharded.sync");
-  for (auto& shard : shards_) {
-    MEDVAULT_RETURN_IF_ERROR(shard->SyncAll());
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    Vault* s = shard(k);
+    if (s == nullptr) continue;
+    MEDVAULT_RETURN_IF_ERROR(s->SyncAll());
   }
   return Status::OK();
 }
@@ -368,9 +516,11 @@ Status ShardedVault::SyncAll() {
 
 Result<std::vector<SignedCheckpoint>> ShardedVault::CheckpointAudit() {
   std::vector<SignedCheckpoint> checkpoints;
-  checkpoints.reserve(shards_.size());
-  for (auto& shard : shards_) {
-    MEDVAULT_ASSIGN_OR_RETURN(auto checkpoint, shard->CheckpointAudit());
+  checkpoints.reserve(num_shards());
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    Vault* s = shard(k);
+    if (s == nullptr) continue;
+    MEDVAULT_ASSIGN_OR_RETURN(auto checkpoint, s->CheckpointAudit());
     checkpoints.push_back(std::move(checkpoint));
   }
   return checkpoints;
@@ -378,8 +528,10 @@ Result<std::vector<SignedCheckpoint>> ShardedVault::CheckpointAudit() {
 
 Status ShardedVault::VerifyAudit() const {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.verify, "sharded.verify");
-  for (const auto& shard : shards_) {
-    MEDVAULT_RETURN_IF_ERROR(shard->VerifyAudit());
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    const Vault* s = shard(k);
+    if (s == nullptr) continue;
+    MEDVAULT_RETURN_IF_ERROR(s->VerifyAudit());
   }
   return Status::OK();
 }
@@ -387,13 +539,16 @@ Status ShardedVault::VerifyAudit() const {
 Result<std::vector<AuditEvent>> ShardedVault::ReadAuditTrail(
     const PrincipalId& actor, const RecordId& record_id) {
   if (!record_id.empty()) {
-    MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
-    return shards_[shard]->ReadAuditTrail(actor, record_id);
+    MEDVAULT_ASSIGN_OR_RETURN(uint32_t k, RouteRecordId(record_id));
+    MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+    return s->ReadAuditTrail(actor, record_id);
   }
   std::vector<AuditEvent> merged;
-  for (auto& shard : shards_) {
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    Vault* s = shard(k);
+    if (s == nullptr) continue;
     MEDVAULT_ASSIGN_OR_RETURN(auto events,
-                              shard->ReadAuditTrail(actor, record_id));
+                              s->ReadAuditTrail(actor, record_id));
     merged.insert(merged.end(), std::make_move_iterator(events.begin()),
                   std::make_move_iterator(events.end()));
   }
@@ -402,22 +557,25 @@ Result<std::vector<AuditEvent>> ShardedVault::ReadAuditTrail(
 
 Result<std::vector<CustodyEvent>> ShardedVault::GetCustodyChain(
     const PrincipalId& actor, const RecordId& record_id) {
-  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
-  return shards_[shard]->GetCustodyChain(actor, record_id);
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t k, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->GetCustodyChain(actor, record_id);
 }
 
 Result<std::vector<AuditEvent>> ShardedVault::AccountingOfDisclosures(
     const PrincipalId& actor, const PrincipalId& patient_id) {
-  return shards_[router_.ShardOf(patient_id)]->AccountingOfDisclosures(
-      actor, patient_id);
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s,
+                            RequireShard(router_.ShardOf(patient_id)));
+  return s->AccountingOfDisclosures(actor, patient_id);
 }
 
 Result<std::vector<AuditEvent>> ShardedVault::ListBreakGlassEvents(
     const PrincipalId& actor) {
   std::vector<AuditEvent> merged;
-  for (auto& shard : shards_) {
-    MEDVAULT_ASSIGN_OR_RETURN(auto events,
-                              shard->ListBreakGlassEvents(actor));
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    Vault* s = shard(k);
+    if (s == nullptr) continue;
+    MEDVAULT_ASSIGN_OR_RETURN(auto events, s->ListBreakGlassEvents(actor));
     merged.insert(merged.end(), std::make_move_iterator(events.begin()),
                   std::make_move_iterator(events.end()));
   }
@@ -429,36 +587,48 @@ Result<std::vector<AuditEvent>> ShardedVault::ListBreakGlassEvents(
 // ---------------------------------------------------------------------------
 
 Status ShardedVault::VerifyRecord(const RecordId& record_id) const {
-  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
-  return shards_[shard]->VerifyRecord(record_id);
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t k, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->VerifyRecord(record_id);
 }
 
 Status ShardedVault::VerifyEverything() const {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.verify, "sharded.verify");
-  for (const auto& shard : shards_) {
-    MEDVAULT_RETURN_IF_ERROR(shard->VerifyEverything());
+  // Verifies what is serving: quarantined shards are skipped (their
+  // damage is already known and tracked; verify them via ScrubShard).
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    const Vault* s = shard(k);
+    if (s == nullptr) continue;
+    MEDVAULT_RETURN_IF_ERROR(s->VerifyEverything());
   }
   return Status::OK();
 }
 
 std::string ShardedVault::ContentRoot() const {
+  // NOTE: quarantined shards contribute nothing, so a degraded root is
+  // only comparable against another vault with the same quarantine set.
   crypto::MerkleTree tree(/*memoize=*/false);
-  for (const auto& shard : shards_) {
-    tree.Append(shard->ContentRoot());
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    const Vault* s = shard(k);
+    if (s == nullptr) continue;
+    tree.Append(s->ContentRoot());
   }
   return tree.Root();
 }
 
 Result<RecordMeta> ShardedVault::GetRecordMeta(
     const RecordId& record_id) const {
-  MEDVAULT_ASSIGN_OR_RETURN(uint32_t shard, RouteRecordId(record_id));
-  return shards_[shard]->GetRecordMeta(record_id);
+  MEDVAULT_ASSIGN_OR_RETURN(uint32_t k, RouteRecordId(record_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->GetRecordMeta(record_id);
 }
 
 std::vector<RecordId> ShardedVault::ListRecordIds() const {
   std::vector<RecordId> merged;
-  for (const auto& shard : shards_) {
-    auto ids = shard->ListRecordIds();
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    const Vault* s = shard(k);
+    if (s == nullptr) continue;
+    auto ids = s->ListRecordIds();
     merged.insert(merged.end(), std::make_move_iterator(ids.begin()),
                   std::make_move_iterator(ids.end()));
   }
@@ -470,13 +640,16 @@ Status ShardedVault::RotateMasterKey(const PrincipalId& actor,
   if (new_master_key.size() != 32) {
     return Status::InvalidArgument("master key must be 32 bytes");
   }
+  // Rotation must reach EVERY shard or none: a quarantined shard would
+  // silently stay on the old master and fail to open after rejoin, so
+  // RequireShard turns that into an up-front refusal.
   for (uint32_t k = 0; k < num_shards(); ++k) {
+    MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
     MEDVAULT_ASSIGN_OR_RETURN(
         std::string shard_master,
         crypto::HkdfSha256(new_master_key, Slice(),
                            "medvault-shard-master-" + std::to_string(k), 32));
-    MEDVAULT_RETURN_IF_ERROR(
-        shards_[k]->RotateMasterKey(actor, shard_master));
+    MEDVAULT_RETURN_IF_ERROR(s->RotateMasterKey(actor, shard_master));
   }
   return Status::OK();
 }

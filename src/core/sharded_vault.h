@@ -2,6 +2,7 @@
 #define MEDVAULT_CORE_SHARDED_VAULT_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,21 @@
 namespace medvault::core {
 
 class WorkerPool;
+
+/// How ShardedVault::Open treats shards with damaged media.
+enum class OpenMode {
+  /// Any shard that fails to open fails the whole open (historical
+  /// behavior; the right default for integrity-first deployments).
+  kStrict = 0,
+  /// A shard that fails to open — or whose directory fails a structural
+  /// scrub — is *quarantined* instead: the vault opens with that shard
+  /// offline, healthy shards keep serving reads and writes, operations
+  /// routed to a quarantined shard fail with kFailedPrecondition, and
+  /// the shard can be repaired (BackupManager::Repair) and brought back
+  /// with RejoinShard() without closing the vault. Availability for the
+  /// many must survive media death of the few (paper §3: reliability).
+  kDegraded = 1,
+};
 
 /// Configuration for opening a ShardedVault.
 struct ShardedVaultOptions {
@@ -49,6 +65,8 @@ struct ShardedVaultOptions {
   /// histograms) and every shard ("vault.*"). Not owned; null uses the
   /// process-wide obs::MetricsRegistry::Default().
   obs::MetricsRegistry* metrics = nullptr;
+  /// Media-fault posture of Open — see OpenMode.
+  OpenMode open_mode = OpenMode::kStrict;
 };
 
 /// Horizontal scale-out of the Vault: records are partitioned across N
@@ -76,10 +94,15 @@ struct ShardedVaultOptions {
 ///   * SyncAll syncs shards in index order; a batch spanning shards is
 ///     acknowledged only by a SyncAll that covered every shard.
 ///
-/// Thread safety: the ShardedVault itself is immutable after Open
-/// (router, shard set, pool); all mutable state lives behind each
-/// shard's own lock, the shared cache's mutex, and the pool's queue
-/// mutex — so concurrent callers enjoy true cross-shard parallelism.
+/// Thread safety: router and pool are immutable after Open; the shard
+/// slot table is guarded by a shared mutex because a degraded open can
+/// leave slots empty (quarantined) and RejoinShard fills them later. A
+/// slot only ever transitions null -> Vault* — an obtained Vault* stays
+/// valid for the ShardedVault's lifetime — so readers take the shared
+/// lock just long enough to load the pointer. All other mutable state
+/// lives behind each shard's own lock, the shared cache's mutex, and
+/// the pool's queue mutex, so concurrent callers enjoy true cross-shard
+/// parallelism.
 class ShardedVault {
  public:
   static Result<std::unique_ptr<ShardedVault>> Open(
@@ -195,11 +218,47 @@ class ShardedVault {
   Status RotateMasterKey(const PrincipalId& actor,
                          const Slice& new_master_key);
 
+  // ---- Media faults: quarantine, scrub, repair, rejoin ----------------
+
+  /// True if shard `k` is offline after a degraded open (or a failed
+  /// rejoin). Quarantined shards serve nothing; everything else does.
+  bool IsQuarantined(uint32_t k) const;
+  /// Why shard `k` is quarantined ("" when healthy).
+  std::string QuarantineReason(uint32_t k) const;
+  /// Indices of all quarantined shards, ascending.
+  std::vector<uint32_t> QuarantinedShards() const;
+
+  /// Scrubs shard `k`: a healthy shard gets the full Vault::Scrub
+  /// (structural + deep); a quarantined shard gets the offline
+  /// structural scan of its directory — exactly what repair needs.
+  Result<ScrubReport> ScrubShard(uint32_t k);
+
+  /// Brings a quarantined shard back after its files were repaired
+  /// (e.g. BackupManager::Repair against ShardDirPath(k)): re-scrubs
+  /// the directory, refuses with kFailedPrecondition if still dirty,
+  /// then opens the shard and fills its slot. Healthy shards are a
+  /// no-op. NOTE: admin state replicated while the shard was offline
+  /// (principals, care links) must be re-replicated by the caller.
+  Status RejoinShard(uint32_t k);
+
+  /// On-disk directory of shard `k` (repair tooling).
+  std::string ShardDirPath(uint32_t k) const;
+
+  Timestamp Now() const { return options_.clock->Now(); }
+
   uint32_t num_shards() const { return router_.num_shards(); }
   const ShardRouter& router() const { return router_; }
   /// Direct shard access (tests, migration, per-shard audit checks).
-  Vault* shard(uint32_t k) { return shards_[k].get(); }
-  const Vault* shard(uint32_t k) const { return shards_[k].get(); }
+  /// Null while shard `k` is quarantined (degraded opens only; a strict
+  /// open never leaves a null slot).
+  Vault* shard(uint32_t k) {
+    std::shared_lock lock(shards_mu_);
+    return shards_[k].get();
+  }
+  const Vault* shard(uint32_t k) const {
+    std::shared_lock lock(shards_mu_);
+    return shards_[k].get();
+  }
   /// The shared authenticated read cache (null when cache_bytes == 0).
   RecordCache* cache() { return cache_.get(); }
   const RecordCache* cache() const { return cache_.get(); }
@@ -215,6 +274,14 @@ class ShardedVault {
   /// Shard owning `record_id`, or NotFound for ids that do not name a
   /// valid shard of this vault.
   Result<uint32_t> RouteRecordId(const RecordId& record_id) const;
+  /// Shard `k` if healthy, kFailedPrecondition naming the quarantine
+  /// reason otherwise. Routed operations go through this.
+  Result<Vault*> RequireShard(uint32_t k) const;
+  /// Derives shard `k`'s key domain and opens its Vault.
+  Result<std::unique_ptr<Vault>> OpenShard(uint32_t k);
+  /// Re-publishes the "sharded.quarantined" gauge (takes the shared
+  /// lock itself).
+  void PublishQuarantineGauge() const;
 
   ShardedVaultOptions options_;
   ShardRouter router_;
@@ -225,7 +292,13 @@ class ShardedVault {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::VaultOpMetrics op_metrics_;
   std::unique_ptr<RecordCache> cache_;
+  /// Guards shards_ slot pointers and quarantine_reasons_. Slots only
+  /// transition null -> open vault (RejoinShard); a loaded Vault* stays
+  /// valid for the wrapper's lifetime.
+  mutable std::shared_mutex shards_mu_;
   std::vector<std::unique_ptr<Vault>> shards_;
+  /// Per-shard quarantine reason; "" means healthy. Parallel to shards_.
+  std::vector<std::string> quarantine_reasons_;
   std::unique_ptr<WorkerPool> pool_;
 };
 

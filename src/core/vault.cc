@@ -1039,6 +1039,45 @@ Status Vault::VerifyEverything() const {
   return provenance_->VerifyAllChains();
 }
 
+Result<ScrubReport> Vault::Scrub() {
+  obs::ScopedOpTimer timer(metrics_, op_metrics_.verify, "vault.scrub");
+  std::unique_lock lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(
+      ScrubReport report,
+      Scrubber::ScrubVaultDir(options_.env, options_.dir, Now()));
+  // Deep pass: Merkle/hash bindings from the catalog down to segment
+  // bytes, audit hash-chain + XMSS checkpoints, index and provenance
+  // chains. Structural damage usually fails this too; the structural
+  // scan above is what localizes it to byte ranges.
+  Status deep = versions_->VerifyAllRecords();
+  if (deep.ok()) {
+    deep = audit_->VerifyAll(signer_->public_key(), signer_public_seed_,
+                             options_.signer_height);
+  }
+  if (deep.ok()) deep = index_->VerifyIntegrity();
+  if (deep.ok()) deep = provenance_->VerifyAllChains();
+  report.deep_status = deep;
+
+  last_scrub_ =
+      ScrubStats{true,
+                 report.scrubbed_at,
+                 report.files_scanned,
+                 report.corrupt_files,
+                 report.orphan_files,
+                 report.clean()};
+  metrics_->GetCounter("vault.scrub.runs")->Increment();
+  metrics_->GetCounter("vault.scrub.bytes")->Increment(report.bytes_scanned);
+  if (!report.clean()) {
+    metrics_->GetCounter("vault.scrub.dirty")->Increment();
+  }
+  return report;
+}
+
+Vault::ScrubStats Vault::LastScrub() const {
+  std::shared_lock lock(mu_);
+  return last_scrub_;
+}
+
 std::string Vault::ContentRoot() const {
   std::shared_lock lock(mu_);
   crypto::MerkleTree tree;

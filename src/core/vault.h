@@ -16,6 +16,7 @@
 #include "core/record.h"
 #include "core/record_cache.h"
 #include "core/retention.h"
+#include "core/scrub.h"
 #include "core/secure_index.h"
 #include "core/version_store.h"
 #include "crypto/xmss.h"
@@ -284,6 +285,27 @@ class Vault {
   };
   HealthStats CollectHealthStats() const;
 
+  /// Media scrub: walks every on-disk artifact (structural CRC32C scan
+  /// of logs and segment frames, orphan/missing classification via
+  /// core::Scrubber) and then runs the deep content verification
+  /// (records + audit + index + provenance), returning both in one
+  /// ScrubReport. The outcome is remembered for health reporting
+  /// (LastScrub) and counted in the metrics registry
+  /// (vault.scrub.runs / vault.scrub.bytes / vault.scrub.dirty).
+  Result<ScrubReport> Scrub();
+
+  /// Facts about the most recent Scrub() on this handle; `ran` is false
+  /// if none has run yet.
+  struct ScrubStats {
+    bool ran = false;
+    Timestamp at = 0;
+    uint64_t files_scanned = 0;
+    uint64_t corrupt_files = 0;
+    uint64_t orphan_files = 0;
+    bool clean = false;
+  };
+  ScrubStats LastScrub() const;
+
   /// Rotates the key-wrapping master key (30-year horizon hygiene).
   Status RotateMasterKey(const PrincipalId& actor,
                          const Slice& new_master_key);
@@ -380,6 +402,7 @@ class Vault {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::VaultOpMetrics op_metrics_;
   mutable std::shared_mutex mu_;
+  ScrubStats last_scrub_;  // guarded by mu_
 
   AccessController access_;
   RetentionManager retention_;

@@ -36,19 +36,41 @@ json::Value ShardToJson(const ShardHealth& s) {
   out["retention_backlog"] = json::Value(s.retention_backlog);
   out["signer_leaves_used"] = json::Value(s.signer_leaves_used);
   out["signer_leaves_remaining"] = json::Value(s.signer_leaves_remaining);
+  // Media-fault fields are emitted only when set, so healthy reports —
+  // and their golden-JSON tests — are unchanged.
+  if (s.quarantined) {
+    out["quarantined"] = json::Value(uint64_t{1});
+    out["quarantine_reason"] = json::Value(s.quarantine_reason);
+  }
+  if (s.has_last_scrub) {
+    json::Value::Object scrub;
+    scrub["at"] = json::Value(s.last_scrub_at);
+    scrub["corrupt_files"] = json::Value(s.last_scrub_corrupt_files);
+    scrub["orphan_files"] = json::Value(s.last_scrub_orphan_files);
+    scrub["clean"] = json::Value(s.last_scrub_clean ? uint64_t{1} : uint64_t{0});
+    out["last_scrub"] = json::Value(std::move(scrub));
+  }
   return json::Value(std::move(out));
 }
 
-ShardHealth FromVaultStats(uint32_t shard_index,
-                           const core::Vault::HealthStats& v) {
+ShardHealth FromVaultStats(uint32_t shard_index, const core::Vault& v) {
   ShardHealth s;
+  const core::Vault::HealthStats stats = v.CollectHealthStats();
   s.shard = shard_index;
-  s.records = v.records;
-  s.disposed = v.disposed;
-  s.legal_holds = v.legal_holds;
-  s.retention_backlog = v.retention_backlog;
-  s.signer_leaves_used = v.signer_leaves_used;
-  s.signer_leaves_remaining = v.signer_leaves_remaining;
+  s.records = stats.records;
+  s.disposed = stats.disposed;
+  s.legal_holds = stats.legal_holds;
+  s.retention_backlog = stats.retention_backlog;
+  s.signer_leaves_used = stats.signer_leaves_used;
+  s.signer_leaves_remaining = stats.signer_leaves_remaining;
+  const core::Vault::ScrubStats scrub = v.LastScrub();
+  if (scrub.ran) {
+    s.has_last_scrub = true;
+    s.last_scrub_at = scrub.at;
+    s.last_scrub_corrupt_files = scrub.corrupt_files;
+    s.last_scrub_orphan_files = scrub.orphan_files;
+    s.last_scrub_clean = scrub.clean;
+  }
   return s;
 }
 
@@ -136,16 +158,18 @@ HealthReport CollectHealth(core::Vault& vault, const storage::IoStats* io) {
     report.env_io = io->TakeSnapshot();
   }
   FillCache(&report, vault.options().cache);
-  report.shards.push_back(FromVaultStats(0, vault.CollectHealthStats()));
+  report.shards.push_back(FromVaultStats(0, vault));
   return report;
 }
 
 HealthReport CollectHealth(core::ShardedVault& vault,
                            const storage::IoStats* io) {
   HealthReport report;
-  report.generated_at = vault.shard(0)->Now();
-  if (vault.shard(0)->metrics_registry() != nullptr) {
-    report.metrics = vault.shard(0)->metrics_registry()->TakeSnapshot();
+  // Wrapper-level clock/registry: with degraded opens, shard 0 itself
+  // may be quarantined (null), so nothing here may dereference a shard.
+  report.generated_at = vault.Now();
+  if (vault.metrics_registry() != nullptr) {
+    report.metrics = vault.metrics_registry()->TakeSnapshot();
   }
   if (io != nullptr) {
     report.has_env_io = true;
@@ -153,8 +177,16 @@ HealthReport CollectHealth(core::ShardedVault& vault,
   }
   FillCache(&report, vault.cache());
   for (uint32_t k = 0; k < vault.num_shards(); k++) {
-    report.shards.push_back(
-        FromVaultStats(k, vault.shard(k)->CollectHealthStats()));
+    const core::Vault* s = vault.shard(k);
+    if (s == nullptr) {
+      ShardHealth q;
+      q.shard = k;
+      q.quarantined = true;
+      q.quarantine_reason = vault.QuarantineReason(k);
+      report.shards.push_back(std::move(q));
+      continue;
+    }
+    report.shards.push_back(FromVaultStats(k, *s));
   }
   return report;
 }

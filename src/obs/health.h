@@ -31,6 +31,16 @@ struct ShardHealth {
   uint64_t retention_backlog = 0;  ///< expired, not held, awaiting disposal
   uint64_t signer_leaves_used = 0;
   uint64_t signer_leaves_remaining = 0;
+  /// Shard is offline after a degraded open (media damage); counts
+  /// above are zero because the shard cannot be asked.
+  bool quarantined = false;
+  std::string quarantine_reason;
+  /// Most recent Vault::Scrub on this shard (emitted only when one ran).
+  bool has_last_scrub = false;
+  int64_t last_scrub_at = 0;
+  uint64_t last_scrub_corrupt_files = 0;
+  uint64_t last_scrub_orphan_files = 0;
+  bool last_scrub_clean = false;
 };
 
 /// One JSON-dumpable snapshot of everything the observability layer

@@ -49,7 +49,7 @@ class FaultRandomRWFile : public RandomRWFile {
   }
   Status ReadAt(uint64_t offset, size_t n,
                 std::string* result) const override {
-    env_->CountRead();
+    MEDVAULT_RETURN_IF_ERROR(env_->BeforeRead());
     return base_->ReadAt(offset, n, result);
   }
   Status Sync() override {
@@ -70,7 +70,7 @@ class FaultSequentialFile : public SequentialFile {
       : base_(std::move(base)), env_(env) {}
 
   Status Read(size_t n, std::string* result) override {
-    env_->CountRead();
+    MEDVAULT_RETURN_IF_ERROR(env_->BeforeRead());
     return base_->Read(n, result);
   }
   Status Skip(uint64_t n) override { return base_->Skip(n); }
@@ -87,7 +87,7 @@ class FaultRandomAccessFile : public RandomAccessFile {
       : base_(std::move(base)), env_(env) {}
 
   Status Read(uint64_t offset, size_t n, std::string* result) const override {
-    env_->CountRead();
+    MEDVAULT_RETURN_IF_ERROR(env_->BeforeRead());
     return base_->Read(offset, n, result);
   }
 
@@ -114,6 +114,12 @@ Status FaultInjectionEnv::BeforeWrite(size_t size, size_t* torn_prefix) {
   }
   if (fail_writes_.load()) {
     return Status::IoError("injected write failure");
+  }
+  uint64_t wk = writes_to_fail_.load();
+  while (wk > 0) {
+    if (writes_to_fail_.compare_exchange_weak(wk, wk - 1)) {
+      return Status::IoError("injected transient write failure");
+    }
   }
   if (limited_.load(std::memory_order_acquire)) {
     uint64_t remaining = writes_allowed_.load();
@@ -145,6 +151,36 @@ Status FaultInjectionEnv::BeforeSync() {
     }
   }
   return Status::OK();
+}
+
+Status FaultInjectionEnv::BeforeRead() {
+  reads_++;
+  if (fail_reads_.load(std::memory_order_acquire)) {
+    return Status::IoError("injected persistent read failure");
+  }
+  uint64_t k = reads_to_fail_.load();
+  while (k > 0) {
+    if (reads_to_fail_.compare_exchange_weak(k, k - 1)) {
+      return Status::IoError("injected transient read failure");
+    }
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::FlipBit(const std::string& fname, uint64_t offset,
+                                  int bit) {
+  if (bit < 0 || bit > 7) {
+    return Status::InvalidArgument("bit must be in [0,7]");
+  }
+  // Read the current byte through the base env so read-fault knobs do
+  // not interfere with the corruption being staged.
+  std::string contents;
+  MEDVAULT_RETURN_IF_ERROR(ReadFileToString(base_, fname, &contents));
+  if (offset >= contents.size()) {
+    return Status::InvalidArgument("FlipBit offset beyond EOF");
+  }
+  char flipped = static_cast<char>(contents[offset] ^ (1u << bit));
+  return UnsafeOverwrite(fname, offset, Slice(&flipped, 1));
 }
 
 Status FaultInjectionEnv::CheckMutationAllowed() {

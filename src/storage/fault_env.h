@@ -18,7 +18,14 @@ namespace medvault::storage {
 ///  - FailWrites(bool): hard on/off switch.
 ///  - FailNextSyncs(k): the next k Sync() calls fail (data reached the
 ///    page cache but the durability barrier broke).
+///  - FailNextReads(k) / FailNextWrites(k): the next k read/write calls
+///    fail with kIoError, then the path recovers — a *transient* media
+///    fault, the kind RetryEnv is expected to absorb.
+///  - FailReads(bool): *persistent* read failure (dying media); every
+///    read fails until cleared, so bounded retries must give up.
 ///  - FailFileCreation(bool): creating new files fails (ENOSPC-style).
+///  - FlipBit(fname, offset, bit): silent single-bit rot injected via
+///    the unsafe channel — exactly what Scrub exists to localize.
 ///  - PlanCrash(k): power cut at I/O boundary k — see below.
 ///
 /// Counters (writes, syncs, reads, unsafe_writes) let tests assert I/O
@@ -49,6 +56,15 @@ class FaultInjectionEnv : public Env {
   void FailWrites(bool fail) { fail_writes_.store(fail); }
   /// The next `k` Sync() calls fail with kIoError.
   void FailNextSyncs(uint64_t k) { syncs_to_fail_.store(k); }
+  /// Transient read fault: the next `k` SequentialFile::Read /
+  /// RandomAccessFile::Read / RandomRWFile::ReadAt calls fail with
+  /// kIoError, after which reads succeed again.
+  void FailNextReads(uint64_t k) { reads_to_fail_.store(k); }
+  /// Persistent read fault: while set, every read fails with kIoError.
+  void FailReads(bool fail) { fail_reads_.store(fail); }
+  /// Transient write fault: the next `k` sanctioned Append/WriteAt
+  /// calls fail cleanly (no torn prefix), after which writes succeed.
+  void FailNextWrites(uint64_t k) { writes_to_fail_.store(k); }
   /// While set, NewWritableFile/NewAppendableFile/NewRandomRWFile fail.
   /// Opening existing files for read is unaffected.
   void FailFileCreation(bool fail) { fail_file_creation_.store(fail); }
@@ -64,11 +80,19 @@ class FaultInjectionEnv : public Env {
   /// Total I/O boundaries seen since the last Reset().
   uint64_t ops() const { return ops_.load(); }
 
+  /// Flips bit `bit` (0-7) of the byte at `offset` in `fname` through
+  /// the unsafe channel — models silent bit-rot / an insider with disk
+  /// access. Counted as one unsafe write; never consumes fault credits.
+  Status FlipBit(const std::string& fname, uint64_t offset, int bit);
+
   void Reset() {
     fail_writes_.store(false);
     limited_.store(false);
     writes_allowed_.store(0);
     syncs_to_fail_.store(0);
+    reads_to_fail_.store(0);
+    fail_reads_.store(false);
+    writes_to_fail_.store(0);
     fail_file_creation_.store(false);
     crash_armed_.store(false);
     crashed_.store(false);
@@ -91,7 +115,9 @@ class FaultInjectionEnv : public Env {
   Status BeforeWrite(size_t size, size_t* torn_prefix);
   /// Gate for a Sync. On kIoError the barrier must not be forwarded.
   Status BeforeSync();
-  void CountRead() { reads_++; }
+  /// Gate for a read: counts it, then applies the transient
+  /// (FailNextReads) and persistent (FailReads) fault knobs.
+  Status BeforeRead();
 
   Status NewSequentialFile(const std::string& fname,
                            std::unique_ptr<SequentialFile>* file) override;
@@ -149,6 +175,9 @@ class FaultInjectionEnv : public Env {
   std::atomic<bool> limited_{false};
   std::atomic<uint64_t> writes_allowed_{0};
   std::atomic<uint64_t> syncs_to_fail_{0};
+  std::atomic<uint64_t> reads_to_fail_{0};
+  std::atomic<bool> fail_reads_{false};
+  std::atomic<uint64_t> writes_to_fail_{0};
   std::atomic<bool> fail_file_creation_{false};
   std::atomic<bool> crash_armed_{false};
   std::atomic<bool> crashed_{false};

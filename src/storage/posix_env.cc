@@ -19,6 +19,48 @@ Status PosixError(const std::string& context, int err) {
   return Status::IoError(msg);
 }
 
+// Positional read of exactly `n` bytes unless EOF intervenes: retries
+// EINTR and loops on short preads, so a signal or a partial kernel read
+// can never masquerade as EOF (upstream log readers treat a short
+// result as end-of-file and would silently stop replaying).
+Status PreadFully(int fd, const std::string& fname, uint64_t offset,
+                  size_t n, std::string* result) {
+  result->resize(n);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::pread(fd, result->data() + got, n - got,
+                        static_cast<off_t>(offset + got));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return PosixError(fname, errno);
+    }
+    if (r == 0) break;  // EOF
+    got += static_cast<size_t>(r);
+  }
+  result->resize(got);
+  return Status::OK();
+}
+
+// Full-length positional write: loops on partial writes and retries
+// EINTR. A bare `w >= 0` success check would report success while
+// silently dropping the unwritten tail.
+Status PwriteFully(int fd, const std::string& fname, uint64_t offset,
+                   const Slice& data) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t w = ::pwrite(fd, p, left, static_cast<off_t>(offset));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return PosixError(fname, errno);
+    }
+    p += w;
+    offset += static_cast<uint64_t>(w);
+    left -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
 class PosixSequentialFile : public SequentialFile {
  public:
   explicit PosixSequentialFile(int fd, std::string fname)
@@ -26,10 +68,19 @@ class PosixSequentialFile : public SequentialFile {
   ~PosixSequentialFile() override { ::close(fd_); }
 
   Status Read(size_t n, std::string* result) override {
+    // Same contract as PreadFully: only EOF may shorten the result.
     result->resize(n);
-    ssize_t r = ::read(fd_, result->data(), n);
-    if (r < 0) return PosixError(fname_, errno);
-    result->resize(r);
+    size_t got = 0;
+    while (got < n) {
+      ssize_t r = ::read(fd_, result->data() + got, n - got);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return PosixError(fname_, errno);
+      }
+      if (r == 0) break;  // EOF
+      got += static_cast<size_t>(r);
+    }
+    result->resize(got);
     return Status::OK();
   }
 
@@ -52,11 +103,7 @@ class PosixRandomAccessFile : public RandomAccessFile {
   ~PosixRandomAccessFile() override { ::close(fd_); }
 
   Status Read(uint64_t offset, size_t n, std::string* result) const override {
-    result->resize(n);
-    ssize_t r = ::pread(fd_, result->data(), n, static_cast<off_t>(offset));
-    if (r < 0) return PosixError(fname_, errno);
-    result->resize(r);
-    return Status::OK();
+    return PreadFully(fd_, fname_, offset, n, result);
   }
 
  private:
@@ -117,21 +164,12 @@ class PosixRandomRWFile : public RandomRWFile {
   }
 
   Status WriteAt(uint64_t offset, const Slice& data) override {
-    ssize_t w = ::pwrite(fd_, data.data(), data.size(),
-                         static_cast<off_t>(offset));
-    if (w < 0 || static_cast<size_t>(w) != data.size()) {
-      return PosixError(fname_, errno);
-    }
-    return Status::OK();
+    return PwriteFully(fd_, fname_, offset, data);
   }
 
   Status ReadAt(uint64_t offset, size_t n,
                 std::string* result) const override {
-    result->resize(n);
-    ssize_t r = ::pread(fd_, result->data(), n, static_cast<off_t>(offset));
-    if (r < 0) return PosixError(fname_, errno);
-    result->resize(r);
-    return Status::OK();
+    return PreadFully(fd_, fname_, offset, n, result);
   }
 
   Status Sync() override {
@@ -266,14 +304,9 @@ Status PosixEnv::UnsafeOverwrite(const std::string& fname, uint64_t offset,
   }
   int fd = ::open(fname.c_str(), O_WRONLY);
   if (fd < 0) return PosixError(fname, errno);
-  ssize_t w = ::pwrite(fd, data.data(), data.size(),
-                       static_cast<off_t>(offset));
-  int err = errno;
+  Status s = PwriteFully(fd, fname, offset, data);
   ::close(fd);
-  if (w < 0 || static_cast<size_t>(w) != data.size()) {
-    return PosixError(fname, err);
-  }
-  return Status::OK();
+  return s;
 }
 
 Status PosixEnv::UnsafeTruncate(const std::string& fname, uint64_t size) {

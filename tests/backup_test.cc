@@ -240,17 +240,19 @@ TEST_F(BackupTest, RestoreChainValidatesLinkage) {
   ASSERT_TRUE(full2.ok());
 
   storage::MemEnv new_site;
-  // Chain must start with a full backup...
+  // Chain must start with a full backup... (broken linkage is the
+  // distinct kBackupChainBroken verdict, not a generic argument error:
+  // the caller must know the chain itself is unusable)
   BackupManifest fake_incr = *full2;
   fake_incr.base_backup_id = "bk-nonexistent";
   EXPECT_TRUE(BackupManager::RestoreChain(&offsite_, {{"f2", fake_incr}},
                                           &new_site, "vault")
-                  .IsInvalidArgument());
+                  .IsBackupChainBroken());
   // ...and each link must name its predecessor.
   EXPECT_TRUE(BackupManager::RestoreChain(
                   &offsite_, {{"f1", *full1}, {"f2", fake_incr}}, &new_site,
                   "vault")
-                  .IsInvalidArgument());
+                  .IsBackupChainBroken());
   EXPECT_TRUE(BackupManager::RestoreChain(&offsite_, {}, &new_site, "vault")
                   .IsInvalidArgument());
 }

@@ -59,13 +59,20 @@ int DumpVault(Vault* vault, const medvault::storage::IoStats* io) {
 }
 
 // Demo mode: a self-contained vault with enough workload that the ops,
-// cache, env_io, and shards sections are all non-trivial. The demo dir
-// is wiped first (a vault directory is flat) so reruns start from the
-// same state instead of replaying and growing an old vault.
+// cache, env_io, shards, and last_scrub sections are all non-trivial.
+// The demo dir is wiped first (vault files plus the segments/ subdir)
+// so reruns start from the same state instead of replaying and growing
+// an old vault.
 void WipeFlatDir(medvault::storage::Env* env, const std::string& dir) {
   std::vector<std::string> children;
   if (!env->GetChildren(dir, &children).ok()) return;
   for (const std::string& child : children) {
+    std::vector<std::string> nested;
+    if (env->GetChildren(dir + "/" + child, &nested).ok() && !nested.empty()) {
+      for (const std::string& inner : nested) {
+        (void)env->RemoveFile(dir + "/" + child + "/" + inner);
+      }
+    }
     (void)env->RemoveFile(dir + "/" + child);
   }
 }
@@ -111,6 +118,12 @@ int RunDemo(const std::string& dir) {
   }
   if (Status s = vault->VerifyAudit(); !s.ok()) return Fail(s);
   if (Status s = vault->SyncAll(); !s.ok()) return Fail(s);
+  // Media scrub so the report carries a last_scrub section (and the
+  // vault.scrub.* counters); its per-file findings go to stderr, the
+  // JSON report to stdout.
+  auto scrub = vault->Scrub();
+  if (!scrub.ok()) return Fail(scrub.status());
+  fprintf(stderr, "%s\n", scrub->Summary().c_str());
 
   return DumpVault(vault, &io);
 }

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Smoke suite: the tier-1 test battery in the default configuration,
-# then the crash/fault matrix, the cross-shard stress battery, and the
-# observability battery (`ctest -L "crash|stress|obs"`) rebuilt under
-# AddressSanitizer and UndefinedBehaviorSanitizer, and finally the
+# then the crash/fault matrix, the cross-shard stress battery, the
+# observability battery, and the media-fault scrub/repair battery
+# (`ctest -L "crash|stress|obs|scrub"`) rebuilt under AddressSanitizer
+# and UndefinedBehaviorSanitizer, and finally the
 # stress + obs batteries under ThreadSanitizer — the shared cache /
 # ingest-pool races and the lock-free metrics hot path only surface
 # instrumented. The bench_compare fixture self-test runs once up front
@@ -31,8 +32,8 @@ run_config() {
 }
 
 run_config "$prefix" "" ""
-run_config "${prefix}-asan" address "crash|stress|obs"
-run_config "${prefix}-ubsan" undefined "crash|stress|obs"
+run_config "${prefix}-asan" address "crash|stress|obs|scrub"
+run_config "${prefix}-ubsan" undefined "crash|stress|obs|scrub"
 run_config "${prefix}-tsan" thread "stress|obs"
 
 echo "smoke suite passed"
