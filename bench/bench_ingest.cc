@@ -6,8 +6,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "bench_util.h"
 #include "core/sharded_vault.h"
+#include "storage/async_env.h"
 
 namespace medvault::bench {
 namespace {
@@ -159,12 +162,302 @@ BENCHMARK(BM_Ingest_ShardedBatch)
     ->Arg(8)
     ->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// E14 — durability cost and group commit: what an fsync-per-op policy
+// costs, and how the batched/windowed commit path collapses it.
+// ---------------------------------------------------------------------------
+//
+// All durable benchmarks run on the same stack the production path
+// would use:  MemEnv (simulated ~100us media sync) → AsyncEnv (the
+// batched completion backend, so one commit window's barriers overlap)
+// → InstrumentedEnv (fsync tallies).  Every variant reports
+// `fsync_per_op` — syncs per acknowledged record — which is the number
+// group commit is supposed to drive toward flat: 6000 milli-fsyncs/op
+// for the per-op policy, and a curve falling toward zero as the batch
+// or window grows, at IDENTICAL durability (nothing is acknowledged
+// before a covering sync wave completes).
+
+/// Simulated media sync latency. ~100us sits between an enterprise SSD
+/// flush and an NVMe one; what matters is that it is large enough for
+/// overlap and coalescing to be visible in wall-clock.
+constexpr uint64_t kSimSyncMicros = 100;
+
+/// MemEnv → AsyncEnv → InstrumentedEnv + an open vault, for the
+/// durable-ingest variants.
+class DurableVault {
+ public:
+  explicit DurableVault(uint64_t commit_window_micros)
+      : aenv_(&env_,
+              [] {
+                storage::AsyncEnv::Options o;
+                o.threads = 8;
+                return o;
+              }()),
+        ienv_(&aenv_, obs::ProcessIoStats()),
+        clock_(1000000) {
+    env_.SetSyncDelayMicros(kSimSyncMicros);
+    core::VaultOptions options;
+    options.env = &ienv_;
+    options.dir = "durable";
+    options.clock = &clock_;
+    options.master_key = std::string(32, 'M');
+    options.entropy = "bench-durable-entropy";
+    options.signer_height = 8;
+    options.commit_window_micros = commit_window_micros;
+    auto opened = core::Vault::Open(options);
+    if (!opened.ok()) {
+      fprintf(stderr, "durable vault open failed: %s\n",
+              opened.status().ToString().c_str());
+      abort();
+    }
+    vault_ = std::move(*opened);
+    (void)vault_->RegisterPrincipal("boot",
+                                    {"admin", core::Role::kAdmin, "A"});
+    (void)vault_->RegisterPrincipal(
+        "admin", {"dr", core::Role::kPhysician, "D"});
+    (void)vault_->RegisterPrincipal("admin",
+                                    {"p", core::Role::kPatient, "P"});
+    (void)vault_->AssignCare("admin", "dr", "p");
+    (void)vault_->SyncAll();
+  }
+
+  core::Vault* vault() { return vault_.get(); }
+
+ private:
+  storage::MemEnv env_;
+  storage::AsyncEnv aenv_;
+  storage::InstrumentedEnv ienv_;
+  ManualClock clock_;
+  std::unique_ptr<core::Vault> vault_;
+};
+
+core::Vault::NewRecord MakeDurableRecord(sim::EhrGenerator* gen) {
+  sim::EhrRecord e = gen->Next();
+  core::Vault::NewRecord r;
+  r.patient_id = "p";
+  r.content_type = "text/plain";
+  r.plaintext = std::move(e.text);
+  r.keywords = std::move(e.keywords);
+  r.retention_policy = "short-1y";
+  return r;
+}
+
+/// Records/s and syncs/record over the timed section.
+void ReportFsyncPerOp(benchmark::State& state, int64_t records,
+                      const storage::IoStatsSnapshot& before) {
+  const storage::IoStatsSnapshot after =
+      obs::ProcessIoStats()->TakeSnapshot();
+  state.SetItemsProcessed(records);
+  state.SetBytesProcessed(records * 1024);
+  if (records > 0) {
+    state.counters["fsync_per_op"] = benchmark::Counter(
+        static_cast<double>(after.syncs - before.syncs) /
+        static_cast<double>(records));
+  }
+}
+
+// The equal-durability baseline: one record, one SyncAll, every time —
+// the fsync-per-op policy E1's caption warns about.
+void BM_Ingest_DurablePerOp(benchmark::State& state) {
+  DurableVault fixture(/*commit_window_micros=*/0);
+  sim::EhrGenerator::Options gen_options;
+  gen_options.note_bytes = 1024;
+  sim::EhrGenerator gen(7, gen_options);
+
+  const storage::IoStatsSnapshot before =
+      obs::ProcessIoStats()->TakeSnapshot();
+  int64_t records = 0;
+  for (auto _ : state) {
+    auto id = fixture.vault()->CreateRecord(
+        "dr", "p", "text/plain", MakeDurableRecord(&gen).plaintext,
+        {"bench"}, "short-1y");
+    if (!id.ok()) state.SkipWithError(id.status().ToString().c_str());
+    if (auto s = fixture.vault()->SyncAll(); !s.ok()) {
+      state.SkipWithError(s.ToString().c_str());
+    }
+    records++;
+  }
+  ReportFsyncPerOp(state, records, before);
+}
+
+// Batched durable ingest: the whole batch is acknowledged by ONE group-
+// committed sync wave. fsync_per_op must fall roughly as 1/batch.
+void BM_Ingest_DurableBatch(benchmark::State& state) {
+  const size_t batch_size = static_cast<size_t>(state.range(0));
+  DurableVault fixture(/*commit_window_micros=*/0);
+  sim::EhrGenerator::Options gen_options;
+  gen_options.note_bytes = 1024;
+  sim::EhrGenerator gen(7, gen_options);
+
+  const storage::IoStatsSnapshot before =
+      obs::ProcessIoStats()->TakeSnapshot();
+  int64_t records = 0;
+  for (auto _ : state) {
+    std::vector<core::Vault::NewRecord> batch;
+    batch.reserve(batch_size);
+    for (size_t i = 0; i < batch_size; ++i) {
+      batch.push_back(MakeDurableRecord(&gen));
+    }
+    auto ids = fixture.vault()->CreateRecordsBatchDurable("dr", batch);
+    if (!ids.ok()) state.SkipWithError(ids.status().ToString().c_str());
+    records += static_cast<int64_t>(batch_size);
+  }
+  ReportFsyncPerOp(state, records, before);
+}
+
+// Concurrent writers sharing a commit window: kWriters threads each
+// durably commit a small batch per iteration; the window axis
+// (`--commit_window_us`) trades acknowledgement latency for coalescing.
+// Window 0 still coalesces opportunistically behind in-flight waves.
+void BM_Ingest_DurableConcurrent(benchmark::State& state) {
+  const uint64_t window_us = static_cast<uint64_t>(state.range(0));
+  constexpr int kWriters = 4;
+  constexpr size_t kBatch = 8;
+  DurableVault fixture(window_us);
+
+  // Pre-built per-writer batches (copied each iteration): generation
+  // cost stays out of the contended section, and the generator is not
+  // shared across threads.
+  std::vector<std::vector<core::Vault::NewRecord>> templates(kWriters);
+  sim::EhrGenerator::Options gen_options;
+  gen_options.note_bytes = 1024;
+  sim::EhrGenerator gen(7, gen_options);
+  for (auto& batch : templates) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      batch.push_back(MakeDurableRecord(&gen));
+    }
+  }
+
+  const storage::IoStatsSnapshot before =
+      obs::ProcessIoStats()->TakeSnapshot();
+  int64_t records = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int t = 0; t < kWriters; ++t) {
+      writers.emplace_back([&fixture, &templates, t] {
+        auto ids =
+            fixture.vault()->CreateRecordsBatchDurable("dr", templates[t]);
+        if (!ids.ok()) {
+          fprintf(stderr, "durable batch failed: %s\n",
+                  ids.status().ToString().c_str());
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+    records += static_cast<int64_t>(kWriters * kBatch);
+  }
+  ReportFsyncPerOp(state, records, before);
+}
+
+// Cross-shard durable batch: CreateRecordsBatchDurable on a 2-shard
+// vault — one group-committed wave syncs BOTH shards concurrently on
+// the AsyncEnv backend. Compare against BM_Ingest_ShardedDurablePerOp
+// (same stack, SyncAll per record) for the headline at-equal-durability
+// speedup.
+void RunShardedDurable(benchmark::State& state, size_t batch_size) {
+  constexpr int kPatients = 16;
+  storage::MemEnv env;
+  env.SetSyncDelayMicros(kSimSyncMicros);
+  storage::AsyncEnv::Options async_options;
+  async_options.threads = 8;
+  storage::AsyncEnv aenv(&env, async_options);
+  storage::InstrumentedEnv ienv(&aenv, obs::ProcessIoStats());
+  ManualClock clock(1000000);
+  core::ShardedVaultOptions options;
+  options.env = &ienv;
+  options.dir = "sharded-durable";
+  options.clock = &clock;
+  options.master_key = std::string(32, 'M');
+  options.entropy = "bench-sharded-durable-entropy";
+  options.num_shards = 2;
+  options.signer_height = 8;
+  auto opened = core::ShardedVault::Open(options);
+  if (!opened.ok()) {
+    state.SkipWithError(opened.status().ToString().c_str());
+    return;
+  }
+  core::ShardedVault* vault = opened->get();
+  (void)vault->RegisterPrincipal("boot", {"admin", core::Role::kAdmin, "A"});
+  (void)vault->RegisterPrincipal("admin",
+                                 {"dr", core::Role::kPhysician, "D"});
+  std::vector<std::string> patients;
+  for (int p = 0; p < kPatients; ++p) {
+    std::string patient = "pat-" + std::to_string(p);
+    (void)vault->RegisterPrincipal(
+        "admin", {patient, core::Role::kPatient, patient});
+    (void)vault->AssignCare("admin", "dr", patient);
+    patients.push_back(std::move(patient));
+  }
+  (void)vault->SyncAll();
+
+  sim::EhrGenerator::Options gen_options;
+  gen_options.note_bytes = 1024;
+  sim::EhrGenerator gen(7, gen_options);
+  const storage::IoStatsSnapshot before =
+      obs::ProcessIoStats()->TakeSnapshot();
+  int64_t records = 0;
+  size_t next_patient = 0;
+  for (auto _ : state) {
+    std::vector<core::Vault::NewRecord> batch(batch_size);
+    for (core::Vault::NewRecord& r : batch) {
+      sim::EhrRecord e = gen.Next();
+      r.patient_id = patients[next_patient++ % patients.size()];
+      r.content_type = "text/plain";
+      r.plaintext = std::move(e.text);
+      r.keywords = std::move(e.keywords);
+      r.retention_policy = "short-1y";
+    }
+    if (batch_size == 1) {
+      // Per-op policy on the sharded stack: create, then SyncAll.
+      auto ids = vault->CreateRecordsBatch("dr", batch);
+      if (!ids.ok()) state.SkipWithError(ids.status().ToString().c_str());
+      if (auto s = vault->SyncAll(); !s.ok()) {
+        state.SkipWithError(s.ToString().c_str());
+      }
+    } else {
+      auto ids = vault->CreateRecordsBatchDurable("dr", batch);
+      if (!ids.ok()) state.SkipWithError(ids.status().ToString().c_str());
+    }
+    records += static_cast<int64_t>(batch_size);
+  }
+  ReportFsyncPerOp(state, records, before);
+}
+
+void BM_Ingest_ShardedDurablePerOp(benchmark::State& state) {
+  RunShardedDurable(state, 1);
+}
+void BM_Ingest_ShardedDurableBatch(benchmark::State& state) {
+  RunShardedDurable(state, static_cast<size_t>(state.range(0)));
+}
+
+BENCHMARK(BM_Ingest_DurablePerOp)->UseRealTime();
+BENCHMARK(BM_Ingest_DurableBatch)
+    ->ArgName("batch")
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(256)
+    ->UseRealTime();
+BENCHMARK(BM_Ingest_DurableConcurrent)
+    ->ArgName("window_us")
+    ->Arg(0)
+    ->Arg(200)
+    ->Arg(1000)
+    ->UseRealTime();
+BENCHMARK(BM_Ingest_ShardedDurablePerOp)->UseRealTime();
+BENCHMARK(BM_Ingest_ShardedDurableBatch)
+    ->ArgName("batch")
+    ->Arg(64)
+    ->Arg(256)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace medvault::bench
 
-// Accepts `--shards=N` as a convenience axis selector: it is rewritten
-// into a --benchmark_filter that runs only the sharded-ingest curve at
-// that shard count (all other flags pass through untouched).
+// Axis selectors rewritten into benchmark filters (all other flags pass
+// through untouched):
+//   --shards=N            the sharded-ingest curve at that shard count
+//   --commit_window_us=N  the concurrent durable curve at that window
 int main(int argc, char** argv) {
   std::vector<char*> args;
   std::string filter;
@@ -173,6 +466,9 @@ int main(int argc, char** argv) {
     if (arg.rfind("--shards=", 0) == 0) {
       filter = "--benchmark_filter=ShardedBatch/shards:" + arg.substr(9) +
                "/real_time$";
+    } else if (arg.rfind("--commit_window_us=", 0) == 0) {
+      filter = "--benchmark_filter=DurableConcurrent/window_us:" +
+               arg.substr(19) + "/real_time$";
     } else {
       args.push_back(argv[i]);
     }

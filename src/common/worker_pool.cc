@@ -1,0 +1,86 @@
+#include "common/worker_pool.h"
+
+#include <utility>
+
+namespace medvault {
+
+thread_local const WorkerPool* WorkerPool::current_pool_ = nullptr;
+
+WorkerPool::WorkerPool(unsigned threads) {
+  for (unsigned i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { Loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::Submit(std::function<void()> task) {
+  // Inline when there is no one to hand the task to — and, critically,
+  // when the submitter IS a pool worker: blocking a worker on a group
+  // condvar while its tasks sit behind it in the queue deadlocks as
+  // soon as every worker does it (see class comment).
+  if (threads_.empty() || OnWorkerThread()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void WorkerPool::RunAll(std::vector<std::function<void()>> tasks) {
+  if (tasks.size() == 1) {
+    tasks.front()();
+    return;
+  }
+  TaskGroup group(this);
+  for (auto& task : tasks) group.Submit(std::move(task));
+  group.Wait();
+}
+
+void WorkerPool::Loop() {
+  current_pool_ = this;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void TaskGroup::Submit(std::function<void()> task) {
+  if (pool_->thread_count() == 0 || pool_->OnWorkerThread()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+  });
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+}  // namespace medvault

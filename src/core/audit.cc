@@ -141,6 +141,12 @@ Status AuditLog::Sync() {
   return writer_->Sync();
 }
 
+storage::WritableFile* AuditLog::sync_target() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!open_) return nullptr;
+  return writer_->file();
+}
+
 Result<uint64_t> AuditLog::AppendEventLocked(AuditEvent event) {
   event.seq = events_.size();
   event.prev_hash = last_hash_;

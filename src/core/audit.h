@@ -116,6 +116,12 @@ class AuditLog {
   /// Durability barrier on the audit log.
   Status Sync();
 
+  /// The log file for batched sync waves (null before Open). The caller
+  /// must exclude concurrent appends for the duration of the wave — the
+  /// vault's exclusive lock does — since the barrier bypasses this
+  /// log's internal mutex.
+  storage::WritableFile* sync_target();
+
   /// Appends an event; fills seq/prev_hash. Returns the sequence number.
   Result<uint64_t> Append(const PrincipalId& actor, AuditAction action,
                           const RecordId& record_id,

@@ -204,8 +204,12 @@ Status KeyStore::AppendLiveEntry(const RecordId& record_id,
       std::string blob,
       master_aead_.Seal(WrapNonce(record_id), data_key, record_id));
   PutLengthPrefixed(&entry, blob);
-  MEDVAULT_RETURN_IF_ERROR(writer_->AddRecord(entry));
-  return writer_->Sync();
+  // No eager sync: live-key appends ride the vault's group-committed
+  // sync wave (the key log is synced before the catalog/state commit
+  // point — see Vault::SyncAllLocked), so batched ingest pays one key-
+  // log fsync per window instead of one per record. Destroy entries
+  // still sync eagerly (crypto-shredding must not be deferrable).
+  return writer_->AddRecord(entry);
 }
 
 Status KeyStore::CreateKey(const RecordId& record_id) {

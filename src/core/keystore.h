@@ -85,6 +85,16 @@ class KeyStore {
   bool IsDestroyed(const RecordId& record_id) const;
   size_t LiveKeyCount() const;
 
+  /// The key log's sync target for the vault's batched sync wave (null
+  /// until Open). Live-key appends are NOT synced eagerly — they become
+  /// durable at the next wave, before the catalog/state commit point —
+  /// so a batch of creates costs one key-log fsync, not one per record.
+  /// Destroy entries are excluded from this deferral: DestroyKey
+  /// rewrites and syncs immediately (crypto-shredding).
+  storage::WritableFile* sync_target() {
+    return writer_ ? writer_->file() : nullptr;
+  }
+
   /// Every record id with a live or destroyed key, in id order.
   /// Crash recovery diffs this against the record catalog.
   std::vector<RecordId> AllRecordIds() const;

@@ -80,6 +80,11 @@ Status ProvenanceTracker::Sync() {
   return writer_->Sync();
 }
 
+storage::WritableFile* ProvenanceTracker::sync_target() {
+  if (!open_) return nullptr;
+  return writer_->file();
+}
+
 Result<std::string> ProvenanceTracker::RecordEvent(
     const RecordId& record_id, CustodyEventType type,
     const PrincipalId& actor, const std::string& details, Timestamp now) {

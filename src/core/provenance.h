@@ -66,6 +66,10 @@ class ProvenanceTracker {
   /// Durability barrier on the custody log.
   Status Sync();
 
+  /// The log file for batched sync waves (null before Open); the vault
+  /// serializes appends against the wave.
+  storage::WritableFile* sync_target();
+
   /// Appends an event to `record_id`'s chain; returns the event's hash
   /// (the new chain head).
   Result<std::string> RecordEvent(const RecordId& record_id,

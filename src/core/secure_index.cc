@@ -60,6 +60,11 @@ Status SecureIndex::Sync() {
   return writer_->Sync();
 }
 
+storage::WritableFile* SecureIndex::sync_target() {
+  if (!open_) return nullptr;
+  return writer_->file();
+}
+
 Status SecureIndex::AddPostings(const RecordId& record_id,
                                 const std::vector<std::string>& terms) {
   return AddPostingsBatch({PostingBatch{record_id, terms}});

@@ -45,6 +45,10 @@ class SecureIndex {
   /// Durability barrier on the posting log.
   Status Sync();
 
+  /// The log file for batched sync waves (null before Open); the vault
+  /// serializes appends against the wave.
+  storage::WritableFile* sync_target();
+
   /// Indexes `record_id` under each term (normalizes to lowercase).
   Status AddPostings(const RecordId& record_id,
                      const std::vector<std::string>& terms);

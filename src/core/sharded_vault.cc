@@ -7,7 +7,7 @@
 #include <utility>
 
 #include "core/scrub.h"
-#include "core/worker_pool.h"
+#include "common/worker_pool.h"
 #include "crypto/hkdf.h"
 #include "crypto/merkle.h"
 
@@ -124,6 +124,32 @@ Status ShardedVault::Init() {
   }
   // One thread means "sequential": no pool workers, RunAll runs inline.
   pool_ = std::make_unique<WorkerPool>(threads > 1 ? threads : 0);
+
+  GroupCommitter::Options commit_options;
+  commit_options.window_micros = options_.commit_window_micros;
+  commit_options.metrics = metrics_;
+  commit_options.metric_prefix = "commit.window.sharded";
+  committer_ = std::make_unique<GroupCommitter>(
+      [this] { return SyncShardsWave(); }, std::move(commit_options));
+  return Status::OK();
+}
+
+Status ShardedVault::SyncShardsWave() {
+  // One wave: every healthy shard's SyncAll fans out over the pool and
+  // the wave completes when the slowest shard lands. Inline (0-thread)
+  // pools run shard order deterministically for the crash matrix.
+  const uint32_t n = num_shards();
+  std::vector<Status> statuses(n, Status::OK());
+  TaskGroup group(pool_.get());
+  for (uint32_t k = 0; k < n; ++k) {
+    Vault* s = shard(k);
+    if (s == nullptr) continue;  // quarantined: nothing mounted to sync
+    group.Submit([s, &statuses, k] { statuses[k] = s->SyncAll(); });
+  }
+  group.Wait();
+  for (uint32_t k = 0; k < n; ++k) {
+    if (!statuses[k].ok()) return statuses[k];
+  }
   return Status::OK();
 }
 
@@ -325,14 +351,19 @@ Result<std::vector<RecordId>> ShardedVault::CreateRecordsBatch(
 
   std::vector<Status> statuses(n, Status::OK());
   std::vector<std::vector<RecordId>> ids(n);
-  std::vector<std::function<void()>> tasks;
+  // Refuse the whole batch up front if any involved shard is
+  // quarantined: a partial cross-shard ingest that can never complete
+  // is worse than a clean failure the caller can re-route.
+  std::vector<Vault*> involved(n, nullptr);
   for (uint32_t k = 0; k < n; ++k) {
     if (indices[k].empty()) continue;
-    // Refuse the whole batch up front if any involved shard is
-    // quarantined: a partial cross-shard ingest that can never complete
-    // is worse than a clean failure the caller can re-route.
-    MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
-    tasks.emplace_back([s, &actor, &batch, &indices, &statuses, &ids, k] {
+    MEDVAULT_ASSIGN_OR_RETURN(involved[k], RequireShard(k));
+  }
+  TaskGroup group(pool_.get());
+  for (uint32_t k = 0; k < n; ++k) {
+    Vault* s = involved[k];
+    if (s == nullptr) continue;
+    group.Submit([s, &actor, &batch, &indices, &statuses, &ids, k] {
       std::vector<Vault::NewRecord> sub;
       sub.reserve(indices[k].size());
       for (size_t i : indices[k]) sub.push_back(batch[i]);
@@ -344,7 +375,7 @@ Result<std::vector<RecordId>> ShardedVault::CreateRecordsBatch(
       }
     });
   }
-  pool_->RunAll(std::move(tasks));
+  group.Wait();
 
   for (uint32_t k = 0; k < n; ++k) {
     if (!statuses[k].ok()) return statuses[k];
@@ -502,12 +533,17 @@ Result<DisposalCertificate> ShardedVault::ApproveDisposal(
 
 Status ShardedVault::SyncAll() {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.sync, "sharded.sync");
-  for (uint32_t k = 0; k < num_shards(); ++k) {
-    Vault* s = shard(k);
-    if (s == nullptr) continue;
-    MEDVAULT_RETURN_IF_ERROR(s->SyncAll());
-  }
-  return Status::OK();
+  return committer_->Commit();
+}
+
+Result<std::vector<RecordId>> ShardedVault::CreateRecordsBatchDurable(
+    const PrincipalId& actor, const std::vector<Vault::NewRecord>& batch) {
+  MEDVAULT_ASSIGN_OR_RETURN(std::vector<RecordId> ids,
+                            CreateRecordsBatch(actor, batch));
+  // One cross-shard wave acknowledges the whole batch; concurrent
+  // durable batches ride the same wave when their windows overlap.
+  MEDVAULT_RETURN_IF_ERROR(committer_->Commit());
+  return ids;
 }
 
 // ---------------------------------------------------------------------------

@@ -9,13 +9,16 @@
 #include "common/clock.h"
 #include "common/result.h"
 #include "core/record_cache.h"
+#include "core/group_commit.h"
 #include "core/shard_router.h"
 #include "core/vault.h"
 #include "storage/env.h"
 
-namespace medvault::core {
-
+namespace medvault {
 class WorkerPool;
+}
+
+namespace medvault::core {
 
 /// How ShardedVault::Open treats shards with damaged media.
 enum class OpenMode {
@@ -65,6 +68,12 @@ struct ShardedVaultOptions {
   /// histograms) and every shard ("vault.*"). Not owned; null uses the
   /// process-wide obs::MetricsRegistry::Default().
   obs::MetricsRegistry* metrics = nullptr;
+  /// Cross-shard group-commit window (see GroupCommitter): how long a
+  /// SyncAll leader lingers to gather concurrent committers before one
+  /// sync wave fans out over all shards. Shard vaults keep window 0 —
+  /// the cross-shard committer is the coalescing point. 0 adds no
+  /// latency; coalescing is then opportunistic only.
+  uint64_t commit_window_micros = 0;
   /// Media-fault posture of Open — see OpenMode.
   OpenMode open_mode = OpenMode::kStrict;
 };
@@ -181,9 +190,19 @@ class ShardedVault {
   Result<DisposalCertificate> ApproveDisposal(const PrincipalId& actor,
                                               const std::string& request_id);
 
-  /// Durability barrier over every shard, in shard-index order. A
+  /// Durability barrier over every shard. Concurrent callers coalesce
+  /// into one sync *wave* per commit window (GroupCommitter); within a
+  /// wave every healthy shard syncs concurrently on the worker pool
+  /// (in shard order when ingest_threads forces inline execution). A
   /// cross-shard batch is fully acknowledged only once this returns OK.
   Status SyncAll();
+
+  /// CreateRecordsBatch plus the group-committed cross-shard barrier:
+  /// ids are returned only after one sync wave covering every involved
+  /// shard has completed. Concurrent durable batches share a window —
+  /// one wave across all shards, not one sync per shard per batch.
+  Result<std::vector<RecordId>> CreateRecordsBatchDurable(
+      const PrincipalId& actor, const std::vector<Vault::NewRecord>& batch);
 
   // ---- Audit & custody ------------------------------------------------
 
@@ -279,6 +298,9 @@ class ShardedVault {
   Result<Vault*> RequireShard(uint32_t k) const;
   /// Derives shard `k`'s key domain and opens its Vault.
   Result<std::unique_ptr<Vault>> OpenShard(uint32_t k);
+  /// One commit wave: every healthy shard's SyncAll, fanned out over
+  /// the worker pool; first shard error in index order wins.
+  Status SyncShardsWave();
   /// Re-publishes the "sharded.quarantined" gauge (takes the shared
   /// lock itself).
   void PublishQuarantineGauge() const;
@@ -300,6 +322,9 @@ class ShardedVault {
   /// Per-shard quarantine reason; "" means healthy. Parallel to shards_.
   std::vector<std::string> quarantine_reasons_;
   std::unique_ptr<WorkerPool> pool_;
+  /// Cross-shard group commit ("commit.window.sharded.*" metrics); its
+  /// wave fans shard SyncAlls out over pool_.
+  std::unique_ptr<GroupCommitter> committer_;
 };
 
 }  // namespace medvault::core

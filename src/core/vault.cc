@@ -163,7 +163,20 @@ Status Vault::Init() {
       signer_secret, signer_public_seed_, options_.signer_height);
 
   MEDVAULT_RETURN_IF_ERROR(LoadState());
-  return RecoverAfterUncleanShutdown();
+  MEDVAULT_RETURN_IF_ERROR(RecoverAfterUncleanShutdown());
+
+  // Group commit last: recovery above syncs directly (the committer's
+  // sync function takes mu_, and nothing concurrent exists yet anyway).
+  GroupCommitter::Options commit_options;
+  commit_options.window_micros = options_.commit_window_micros;
+  commit_options.metrics = metrics_;
+  committer_ = std::make_unique<GroupCommitter>(
+      [this] {
+        std::unique_lock lock(mu_);
+        return SyncAllLocked();
+      },
+      std::move(commit_options));
+  return Status::OK();
 }
 
 Status Vault::LoadState() {
@@ -264,6 +277,18 @@ Status Vault::RecoverAfterUncleanShutdown() {
       actions.push_back(id + ":disposal-completed");
       if (options_.cache != nullptr) options_.cache->PurgeRecord(id);
     }
+    if (!updated.disposed && !keystore_->GetKey(id).ok()) {
+      // A committed meta whose key never became durable. Possible only
+      // for an UNACKED record under partial media (live-key appends are
+      // deferred to the sync wave, which completes before the state
+      // log's commit point — an acked record always has a durable key).
+      // The ciphertext is undecryptable forever: tombstone it.
+      updated.disposed = true;
+      updated.latest_version = 0;
+      changed = true;
+      actions.push_back(id + ":key-lost");
+      if (options_.cache != nullptr) options_.cache->PurgeRecord(id);
+    }
     if (!updated.disposed && actual == 0) {
       // A committed meta whose version bytes did not survive (possible
       // only when partial media kept the state tail but not the catalog
@@ -273,6 +298,9 @@ Status Vault::RecoverAfterUncleanShutdown() {
         MEDVAULT_RETURN_IF_ERROR(keystore_->DestroyKey(id));
       }
       updated.disposed = true;
+      // Zero the version count too, or the next open would "lower" it
+      // and log a second kRecovery — recovery must converge in one pass.
+      updated.latest_version = 0;
       changed = true;
       actions.push_back(id + ":versions-lost");
       if (options_.cache != nullptr) options_.cache->PurgeRecord(id);
@@ -317,18 +345,27 @@ Status Vault::RecoverAfterUncleanShutdown() {
 
 Status Vault::SyncAll() {
   obs::ScopedOpTimer timer(metrics_, op_metrics_.sync, "vault.sync");
-  std::unique_lock lock(mu_);
-  return SyncAllLocked();
+  // Group commit: concurrent callers coalesce into one sync wave per
+  // window; the wave itself runs SyncAllLocked under the vault lock.
+  return committer_->Commit();
 }
 
 Status Vault::SyncAllLocked() {
   // Commit-point ordering: every side log becomes durable BEFORE the
   // state log. A durable meta therefore implies durable version bytes,
-  // catalog entry, key, postings, and audit/custody events.
-  MEDVAULT_RETURN_IF_ERROR(versions_->Sync());
-  MEDVAULT_RETURN_IF_ERROR(index_->Sync());
-  MEDVAULT_RETURN_IF_ERROR(audit_->Sync());
-  MEDVAULT_RETURN_IF_ERROR(provenance_->Sync());
+  // catalog entry, key, postings, and audit/custody events. The side
+  // logs carry no ordering among themselves, so they sync as one
+  // batched wave (concurrent under AsyncEnv); only the catalog must
+  // trail its segment bytes, and the state log lands strictly last.
+  std::vector<storage::WritableFile*> wave = {
+      versions_->SegmentSyncTarget(),
+      index_->sync_target(),
+      audit_->sync_target(),
+      provenance_->sync_target(),
+      keystore_->sync_target(),
+  };
+  MEDVAULT_RETURN_IF_ERROR(storage::SyncFilesBatch(options_.env, wave));
+  MEDVAULT_RETURN_IF_ERROR(versions_->SyncCatalog());
   return state_writer_->Sync();
 }
 
@@ -573,6 +610,15 @@ Result<std::vector<RecordId>> Vault::CreateRecordsBatch(
                           "patient=" + batch[i].patient_id, now)
             .status());
   }
+  return ids;
+}
+
+Result<std::vector<RecordId>> Vault::CreateRecordsBatchDurable(
+    const PrincipalId& actor, const std::vector<NewRecord>& batch) {
+  MEDVAULT_ASSIGN_OR_RETURN(std::vector<RecordId> ids,
+                            CreateRecordsBatch(actor, batch));
+  // Acknowledge only after the window covering this batch has synced.
+  MEDVAULT_RETURN_IF_ERROR(committer_->Commit());
   return ids;
 }
 

@@ -92,6 +92,16 @@ Status VersionStore::Sync() {
   return catalog_writer_->Sync();
 }
 
+storage::WritableFile* VersionStore::SegmentSyncTarget() {
+  if (!open_) return nullptr;
+  return segments_->ActiveSyncTarget();
+}
+
+Status VersionStore::SyncCatalog() {
+  if (!open_) return Status::FailedPrecondition("version store not open");
+  return catalog_writer_->Sync();
+}
+
 Status VersionStore::RewriteCatalog() {
   const std::string catalog_path = dir_ + "/catalog.log";
   const std::string tmp_path = catalog_path + ".tmp";

@@ -51,6 +51,13 @@ class VersionStore {
   /// in that order, so a durable catalog entry implies its bytes.
   Status Sync();
 
+  /// Split sync for batched commit waves: the active segment file (null
+  /// when none is open or the store is closed) may sync concurrently
+  /// with other side logs, but SyncCatalog() must only run *after* that
+  /// wave completes — same segment-before-catalog invariant as Sync().
+  storage::WritableFile* SegmentSyncTarget();
+  Status SyncCatalog();
+
   /// Crash-recovery reconciliation. `committed_latest` maps record id →
   /// latest version the commit point (state log) vouches for. Drops
   /// catalog references that (a) belong to no committed record,

@@ -85,6 +85,13 @@ void FillCache(HealthReport* report, const core::RecordCache* cache) {
 
 }  // namespace
 
+uint64_t HealthReport::CommitOps() const {
+  auto it = metrics.counters.find("commit.window.sharded.ops");
+  if (it != metrics.counters.end() && it->second > 0) return it->second;
+  it = metrics.counters.find("commit.window.ops");
+  return it != metrics.counters.end() ? it->second : 0;
+}
+
 json::Value HealthReport::ToJson() const {
   json::Value::Object out;
   out["generated_at"] = json::Value(generated_at);
@@ -121,6 +128,24 @@ json::Value HealthReport::ToJson() const {
     io["file_opens"] = json::Value(env_io.file_opens);
     io["deletes"] = json::Value(env_io.deletes);
     io["renames"] = json::Value(env_io.renames);
+    // Batched I/O and the fsync/op ratio appear only when the batched
+    // path has actually run, so golden dumps of unbatched workloads
+    // (and pre-existing consumers) see an unchanged object — the same
+    // conditional-field convention as `quarantined`/`last_scrub`.
+    if (env_io.batched_syncs > 0) {
+      io["batched_syncs"] = json::Value(env_io.batched_syncs);
+    }
+    if (env_io.batched_writes > 0) {
+      io["batched_writes"] = json::Value(env_io.batched_writes);
+    }
+    const uint64_t commit_ops = CommitOps();
+    if (commit_ops > 0) {
+      // Integer-milli fixed point keeps the report deterministic (no
+      // float formatting). 1000 = one fsync per committed op; group
+      // commit drives this toward flat as batch/window size grows.
+      io["fsyncs_per_op_milli"] =
+          json::Value(env_io.syncs * 1000 / commit_ops);
+    }
     out["env_io"] = json::Value(std::move(io));
   }
 

@@ -72,6 +72,12 @@ struct HealthReport {
   /// non-empty buckets as [upper_bound, count] pairs.
   json::Value ToJson() const;
   std::string Dump() const { return ToJson().Dump(); }
+
+  /// Group-commit Commit() calls in the metrics snapshot — the
+  /// denominator of env_io.fsyncs_per_op_milli. Prefers the cross-shard
+  /// committer's count when it has run: its waves drive the per-shard
+  /// committers, so taking the shard count too would double-count.
+  uint64_t CommitOps() const;
 };
 
 /// Health of one standalone vault: its registry's metrics, its cache

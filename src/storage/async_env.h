@@ -1,0 +1,108 @@
+#ifndef MEDVAULT_STORAGE_ASYNC_ENV_H_
+#define MEDVAULT_STORAGE_ASYNC_ENV_H_
+
+#include <memory>
+#include <string>
+
+#include "common/worker_pool.h"
+// obs/metrics depends only on common (see src/CMakeLists.txt), so the
+// storage layer may report into a registry without a layering cycle.
+#include "obs/metrics.h"
+#include "storage/env.h"
+
+namespace medvault::storage {
+
+/// An Env decorator that gives SubmitWrites/SubmitSyncs a genuinely
+/// concurrent completion backend, so one commit window's syncs overlap
+/// instead of queueing behind each other. Two backends:
+///
+///  - io_uring (compiled when CMake finds liburing, MEDVAULT_IO_URING=ON):
+///    syncs on files that expose an OS descriptor (PosixEnv) are
+///    submitted as one SQE batch and reaped as a wave — the kernel
+///    overlaps the fsyncs. Files without a descriptor (decorated or
+///    in-memory files) fall back per-file to the thread pool, so a
+///    mixed batch still completes correctly.
+///  - thread pool (always available, the only backend when liburing is
+///    absent or MEDVAULT_IO_URING=OFF): each barrier runs as a pooled
+///    task. Behavior and tests are identical across backends.
+///
+/// Batched appends always use the pool: appends are buffered and cheap,
+/// and per-file slot order must be preserved (requests are grouped by
+/// file; groups run concurrently, a file's requests run in slot order).
+///
+/// Everything outside the batch API forwards to the base env untouched,
+/// so AsyncEnv composes anywhere in a decorator stack. Batched work is
+/// counted in the metrics registry:
+///   env.sync.batched   barriers completed through the batch API
+///   env.write.batched  appends completed through the batch API
+class AsyncEnv : public Env {
+ public:
+  struct Options {
+    /// Completion threads; 0 picks a small default (enough to overlap
+    /// one vault's sync wave even on a single-core host, where the
+    /// overlap comes from threads parked in fsync/simulated latency).
+    unsigned threads = 0;
+    /// Permit the io_uring backend when compiled in. The fallback is
+    /// used regardless when liburing was not found at configure time.
+    bool try_io_uring = true;
+    /// Null uses the process-wide registry.
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  /// `base` is borrowed and must outlive this env.
+  explicit AsyncEnv(Env* base);
+  AsyncEnv(Env* base, Options options);
+  ~AsyncEnv() override;
+
+  AsyncEnv(const AsyncEnv&) = delete;
+  AsyncEnv& operator=(const AsyncEnv&) = delete;
+
+  Status NewSequentialFile(const std::string& fname,
+                           std::unique_ptr<SequentialFile>* file) override;
+  Status NewRandomAccessFile(const std::string& fname,
+                             std::unique_ptr<RandomAccessFile>* file) override;
+  Status NewWritableFile(const std::string& fname,
+                         std::unique_ptr<WritableFile>* file) override;
+  Status NewAppendableFile(const std::string& fname,
+                           std::unique_ptr<WritableFile>* file) override;
+  Status NewRandomRWFile(const std::string& fname,
+                         std::unique_ptr<RandomRWFile>* file) override;
+
+  bool FileExists(const std::string& fname) override;
+  Status GetChildren(const std::string& dir,
+                     std::vector<std::string>* result) override;
+  Status RemoveFile(const std::string& fname) override;
+  Status CreateDirIfMissing(const std::string& dirname) override;
+  Status GetFileSize(const std::string& fname, uint64_t* size) override;
+  Status RenameFile(const std::string& src, const std::string& target) override;
+  Status Truncate(const std::string& fname, uint64_t size) override;
+  Status UnsafeOverwrite(const std::string& fname, uint64_t offset,
+                         const Slice& data) override;
+  Status UnsafeTruncate(const std::string& fname, uint64_t size) override;
+
+  void SubmitWrites(WriteRequest* requests, size_t n,
+                    BatchCompletion* done) override;
+  void SubmitSyncs(WritableFile* const* files, size_t n,
+                   BatchCompletion* done) override;
+
+  /// "io_uring" or "thread-pool" — what SubmitSyncs actually uses.
+  const char* backend_name() const;
+
+  /// True when this build carries the io_uring backend at all.
+  static bool IoUringCompiledIn();
+
+  unsigned thread_count() const { return pool_.thread_count(); }
+
+ private:
+  struct UringState;
+
+  Env* base_;
+  WorkerPool pool_;
+  obs::Counter* batched_syncs_;
+  obs::Counter* batched_writes_;
+  std::unique_ptr<UringState> uring_;  // null unless the backend is live
+};
+
+}  // namespace medvault::storage
+
+#endif  // MEDVAULT_STORAGE_ASYNC_ENV_H_

@@ -37,6 +37,12 @@ class Writer {
   /// Bytes written through this writer plus the initial offset.
   uint64_t FileOffset() const { return file_offset_; }
 
+  /// The underlying file — exposed so commit paths can batch several
+  /// writers' durability barriers into one Env::SubmitSyncs wave. The
+  /// caller must not close or append through it; the writer stays the
+  /// only appender.
+  WritableFile* file() { return dest_.get(); }
+
  private:
   /// Frames one logical record into `out`, tracking the block position
   /// in `block_offset` (same fragmenting rules as the incremental path).

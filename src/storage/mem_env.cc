@@ -1,7 +1,9 @@
 #include "storage/mem_env.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace medvault::storage {
 
@@ -53,6 +55,13 @@ class MemRandomAccessFile : public RandomAccessFile {
   std::mutex* mu_;
 };
 
+void SimulateSyncLatency(MemEnv* env) {
+  uint64_t micros = env->sync_delay_micros();
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
 }  // namespace
 
 class MemEnv::MemWritableFile : public WritableFile {
@@ -67,6 +76,9 @@ class MemEnv::MemWritableFile : public WritableFile {
   }
   Status Flush() override { return Status::OK(); }
   Status Sync() override {
+    // Simulated barrier latency sleeps before the lock so concurrent
+    // syncs of different files overlap (see SetSyncDelayMicros).
+    SimulateSyncLatency(env_);
     std::lock_guard<std::mutex> lock(env_->mu_);
     if (env_->crash_tracking_) state_->persisted = state_->contents;
     return Status::OK();
@@ -105,6 +117,7 @@ class MemEnv::MemRandomRWFile : public RandomRWFile {
   }
 
   Status Sync() override {
+    SimulateSyncLatency(env_);
     std::lock_guard<std::mutex> lock(env_->mu_);
     if (env_->crash_tracking_) state_->persisted = state_->contents;
     return Status::OK();

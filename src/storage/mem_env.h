@@ -1,6 +1,7 @@
 #ifndef MEDVAULT_STORAGE_MEM_ENV_H_
 #define MEDVAULT_STORAGE_MEM_ENV_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -77,6 +78,19 @@ class MemEnv : public Env {
   /// Total bytes across all files (used by cost experiments).
   uint64_t TotalBytes();
 
+  /// Makes every file Sync() sleep this long before completing —
+  /// benchmark realism on in-memory storage, where a barrier would
+  /// otherwise be free and batching one sync per window would measure
+  /// nothing. The sleep happens *outside* the env lock, so concurrent
+  /// syncs overlap exactly as real fsyncs on independent files do.
+  /// 0 (the default) disables the delay.
+  void SetSyncDelayMicros(uint64_t micros) {
+    sync_delay_micros_.store(micros, std::memory_order_relaxed);
+  }
+  uint64_t sync_delay_micros() const {
+    return sync_delay_micros_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct FileState {
     std::string contents;
@@ -93,6 +107,7 @@ class MemEnv : public Env {
   std::mutex mu_;
   std::map<std::string, std::shared_ptr<FileState>> files_;
   bool crash_tracking_ = false;  // guarded by mu_
+  std::atomic<uint64_t> sync_delay_micros_{0};
 };
 
 }  // namespace medvault::storage

@@ -65,6 +65,10 @@ class SegmentStore {
   /// Durability barrier on the active segment (no-op if it has none).
   Status SyncActive();
 
+  /// The active segment file for batched sync waves; null when no
+  /// segment is open (nothing to sync).
+  WritableFile* ActiveSyncTarget() { return active_file_.get(); }
+
   /// True if `handle` points at bytes structurally present in the store
   /// (segment exists and the frame lies within its recovered size).
   /// Recovery uses this to spot catalog entries whose segment frame was

@@ -289,15 +289,17 @@ TEST_F(KeyStoreV1Test, V1GarbageKindByteIsCorruption) {
 }
 
 TEST_F(KeyStoreTest, FailedCreateDoesNotBurnRecordId) {
-  // Regression: a CreateKey whose log sync failed used to leave the
-  // entry in the file while telling the caller it failed — reopening
-  // then reported AlreadyExists for an id the caller believes is free.
+  // Regression: a CreateKey whose log append failed used to leave a
+  // partial entry in the file while telling the caller it failed —
+  // reopening then reported AlreadyExists for an id the caller believes
+  // is free. (Create-time syncs are deferred to the vault's sync wave
+  // now, so the append is the only failure point left inside CreateKey.)
   storage::FaultInjectionEnv fault(&env_);
   store_ = std::make_unique<KeyStore>(&fault, "keys.db", std::string(32, 'M'),
                                       "drbg-seed");
   ASSERT_TRUE(store_->Open().ok());
 
-  fault.FailNextSyncs(1);
+  fault.FailNextWrites(1);
   ASSERT_FALSE(store_->CreateKey("r-1").ok());
   EXPECT_TRUE(store_->GetKey("r-1").status().IsNotFound());
   // Same session: the id is immediately reusable.
@@ -311,7 +313,7 @@ TEST_F(KeyStoreTest, FailedCreateDoesNotBurnRecordId) {
   auto store2 = std::make_unique<KeyStore>(&fault2, "keys.db",
                                            std::string(32, 'M'), "drbg-seed");
   ASSERT_TRUE(store2->Open().ok());
-  fault2.FailNextSyncs(1);
+  fault2.FailNextWrites(1);
   ASSERT_FALSE(store2->CreateKey("r-9").ok());
   store2.reset();
 

@@ -9,11 +9,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <thread>
 #include <vector>
 
-#include "core/worker_pool.h"
+#include "common/worker_pool.h"
 
 namespace medvault::core {
 namespace {
@@ -128,6 +129,80 @@ TEST(WorkerPoolTest, ConcurrentExternalBatchesTrackSeparately) {
   }
   for (auto& t : submitters) t.join();
   EXPECT_EQ(total.load(), kSubmitters * kTasksPerBatch);
+}
+
+// ---------------------------------------------------------------------------
+// TaskGroup: completion handle over a subset of a pool's work.
+// ---------------------------------------------------------------------------
+
+TEST(TaskGroupTest, WaitCoversExactlyItsOwnTasks) {
+  WorkerPool pool(3);
+  std::atomic<int> mine{0};
+  std::atomic<int> theirs{0};
+  std::atomic<bool> release_theirs{false};
+
+  // A stranger's slow task on the same pool must be invisible to the
+  // group: Wait() returns once the group's OWN tasks are done, even
+  // while the stranger is still blocked.
+  pool.Submit([&] {
+    while (!release_theirs.load()) std::this_thread::yield();
+    theirs++;
+  });
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 16; ++i) group.Submit([&] { mine++; });
+    group.Wait();
+    EXPECT_EQ(mine.load(), 16);
+  }
+  EXPECT_EQ(theirs.load(), 0) << "group waited on a stranger's task";
+  release_theirs.store(true);
+  // Pool destructor drains the stranger.
+}
+
+TEST(TaskGroupTest, ZeroThreadPoolRunsInlineInSubmissionOrder) {
+  WorkerPool pool(0);
+  TaskGroup group(&pool);
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) group.Submit([&order, i] { order.push_back(i); });
+  // Inline mode: everything already ran, Wait is a no-op.
+  group.Wait();
+  ASSERT_EQ(order.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TaskGroupTest, ReentrantSubmitFromWorkerRunsInlineNoDeadlock) {
+  // Same hazard as re-entrant RunAll: a pooled task fanning out through
+  // a group on its own pool must execute inline, or workers end up
+  // blocked in Wait() holding the slots their sub-tasks need. Hangs
+  // (ctest timeout) on regression.
+  WorkerPool pool(2);
+  std::atomic<int> leaf{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.Submit([&] {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 3; ++j) inner.Submit([&] { leaf++; });
+      inner.Wait();
+    });
+  }
+  outer.Wait();
+  EXPECT_EQ(leaf.load(), 12);
+}
+
+TEST(TaskGroupTest, DestructorWaitsForPendingTasks) {
+  WorkerPool pool(2);
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 8; ++i) {
+      group.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        done++;
+      });
+    }
+    // No explicit Wait: the destructor is the barrier.
+  }
+  EXPECT_EQ(done.load(), 8);
 }
 
 }  // namespace

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
 # Smoke suite: the tier-1 test battery in the default configuration,
 # then the crash/fault matrix, the cross-shard stress battery, the
-# observability battery, and the media-fault scrub/repair battery
-# (`ctest -L "crash|stress|obs|scrub"`) rebuilt under AddressSanitizer
-# and UndefinedBehaviorSanitizer, and finally the
-# stress + obs batteries under ThreadSanitizer — the shared cache /
-# ingest-pool races and the lock-free metrics hot path only surface
-# instrumented. The bench_compare fixture self-test runs once up front
-# (pure python, no build needed).
+# observability battery, the media-fault scrub/repair battery, and the
+# async-env/group-commit batteries
+# (`ctest -L "crash|stress|obs|scrub|env|commit"`) rebuilt under
+# AddressSanitizer and UndefinedBehaviorSanitizer, then the
+# stress + obs + commit batteries under ThreadSanitizer — the shared
+# cache / ingest-pool races, the lock-free metrics hot path, and the
+# group-commit leader/follower handoff only surface instrumented.
+# A final configuration forces -DMEDVAULT_IO_URING=OFF and re-runs the
+# env + commit batteries so the thread-pool sync fallback stays proven
+# even on hosts where liburing is found. The bench_compare fixture
+# self-test runs once up front (pure python, no build needed).
 # Usage: tools/smoke.sh [build-dir-prefix]
 set -euo pipefail
 
@@ -19,7 +23,8 @@ python3 tools/bench_compare.py --self-test
 
 run_config() {
   local dir="$1" sanitize="$2" label="$3"
-  local flags=()
+  shift 3
+  local flags=("$@")
   [ -n "$sanitize" ] && flags+=("-DMEDVAULT_SANITIZE=${sanitize}")
   echo "=== ${dir} (sanitize='${sanitize:-none}', tests: ${label:-all}) ==="
   cmake -B "$dir" -S . "${flags[@]}" >/dev/null
@@ -32,8 +37,9 @@ run_config() {
 }
 
 run_config "$prefix" "" ""
-run_config "${prefix}-asan" address "crash|stress|obs|scrub"
-run_config "${prefix}-ubsan" undefined "crash|stress|obs|scrub"
-run_config "${prefix}-tsan" thread "stress|obs"
+run_config "${prefix}-asan" address "crash|stress|obs|scrub|env|commit"
+run_config "${prefix}-ubsan" undefined "crash|stress|obs|scrub|env|commit"
+run_config "${prefix}-tsan" thread "stress|obs|commit"
+run_config "${prefix}-nouring" "" "env|commit" "-DMEDVAULT_IO_URING=OFF"
 
 echo "smoke suite passed"
