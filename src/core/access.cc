@@ -1,5 +1,8 @@
 #include "core/access.h"
 
+#include <algorithm>
+#include <charconv>
+
 namespace medvault::core {
 
 const char* RoleName(Role role) {
@@ -69,13 +72,27 @@ bool AccessController::InCare(const PrincipalId& clinician,
   return care_.count({clinician, patient}) > 0;
 }
 
+void AccessController::PruneExpiredLocked(Timestamp now) const {
+  for (auto it = grants_.begin(); it != grants_.end();) {
+    if (it->second.expires_at <= now) {
+      it = grants_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 bool AccessController::HasActiveGrant(const PrincipalId& clinician,
                                       const PrincipalId& patient,
                                       Timestamp now) const {
+  std::lock_guard<std::mutex> lock(grants_mu_);
+  // Every expiry check doubles as garbage collection: without it the
+  // table only ever grew (grants were inserted, never erased), so a
+  // long-lived daemon scanned an ever-longer list of dead entries.
+  PruneExpiredLocked(now);
   for (const auto& [id, grant] : grants_) {
-    if (grant.clinician == clinician && grant.patient == patient &&
-        grant.expires_at > now) {
-      return true;
+    if (grant.clinician == clinician && grant.patient == patient) {
+      return true;  // pruned above, so present => expires_at > now
     }
   }
   return false;
@@ -144,17 +161,42 @@ Result<std::string> AccessController::BreakGlass(
   if (expires_at <= now) {
     return Status::InvalidArgument("break-glass grant must expire in future");
   }
+  std::lock_guard<std::mutex> lock(grants_mu_);
+  PruneExpiredLocked(now);
   std::string grant_id = "bg-" + std::to_string(next_grant_++);
   grants_[grant_id] = Grant{clinician, patient, justification, expires_at};
   return grant_id;
 }
 
-size_t AccessController::ActiveGrantCount(Timestamp now) const {
-  size_t n = 0;
-  for (const auto& [id, grant] : grants_) {
-    if (grant.expires_at > now) n++;
+Status AccessController::RestoreGrant(const std::string& grant_id,
+                                      const PrincipalId& clinician,
+                                      const PrincipalId& patient,
+                                      const std::string& justification,
+                                      Timestamp now, Timestamp expires_at) {
+  if (grant_id.empty() || clinician.empty() || patient.empty()) {
+    return Status::InvalidArgument("malformed grant");
   }
-  return n;
+  std::lock_guard<std::mutex> lock(grants_mu_);
+  // Keep fresh ids ahead of every replayed one, including grants that
+  // already expired — an id must never be issued twice.
+  if (grant_id.rfind("bg-", 0) == 0) {
+    uint64_t n = 0;
+    const char* first = grant_id.data() + 3;
+    const char* last = grant_id.data() + grant_id.size();
+    auto [ptr, ec] = std::from_chars(first, last, n, 10);
+    if (ec == std::errc() && ptr == last) {
+      next_grant_ = std::max(next_grant_, n + 1);
+    }
+  }
+  if (expires_at <= now) return Status::OK();  // dead on arrival: skip
+  grants_[grant_id] = Grant{clinician, patient, justification, expires_at};
+  return Status::OK();
+}
+
+size_t AccessController::ActiveGrantCount(Timestamp now) const {
+  std::lock_guard<std::mutex> lock(grants_mu_);
+  PruneExpiredLocked(now);
+  return grants_.size();
 }
 
 }  // namespace medvault::core

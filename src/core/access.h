@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -87,13 +88,30 @@ class AccessController {
 
   /// Emergency override: grants `clinician` read access to `patient`'s
   /// records until `expires_at`. Returns the grant id. The caller MUST
-  /// audit this (Vault does).
+  /// audit this (Vault does) AND persist it (Vault appends a state-log
+  /// entry, replayed via RestoreGrant on reopen) — a grant that exists
+  /// only in memory silently revokes emergency access on crash while
+  /// the audit trail claims it was active.
   Result<std::string> BreakGlass(const PrincipalId& clinician,
                                  const PrincipalId& patient,
                                  const std::string& justification,
                                  Timestamp now, Timestamp expires_at);
 
-  /// Active break-glass grants for introspection/tests.
+  /// Re-installs a persisted grant under its original id (state-log
+  /// replay on open). Keeps the grant-id counter ahead of replayed ids
+  /// so fresh grants never collide; grants already expired at `now` are
+  /// counted but not re-installed. No role/justification re-validation:
+  /// BreakGlass validated at grant time, and replay must never make a
+  /// previously-open vault unopenable.
+  Status RestoreGrant(const std::string& grant_id,
+                      const PrincipalId& clinician,
+                      const PrincipalId& patient,
+                      const std::string& justification, Timestamp now,
+                      Timestamp expires_at);
+
+  /// Active break-glass grants. Exact: expired grants are pruned from
+  /// the table first, so this equals the table size afterwards — a
+  /// long-lived daemon's grant table cannot grow without bound.
   size_t ActiveGrantCount(Timestamp now) const;
 
  private:
@@ -106,11 +124,21 @@ class AccessController {
 
   bool HasActiveGrant(const PrincipalId& clinician,
                       const PrincipalId& patient, Timestamp now) const;
+  /// Drops every grant with expires_at <= now. Requires grants_mu_.
+  void PruneExpiredLocked(Timestamp now) const;
 
   std::map<PrincipalId, Principal> principals_;
   std::set<std::pair<PrincipalId, PrincipalId>> care_;  // (clinician, patient)
-  std::map<std::string, Grant> grants_;
-  uint64_t next_grant_ = 1;
+  /// Grants live under their own mutex (unlike the rest of the
+  /// controller, which relies on the Vault's lock): CheckAccess runs
+  /// under the vault's *shared* lock, and pruning dead grants during
+  /// the expiry scan there is a write — without an internal mutex,
+  /// parallel readers would race on the map. The table is tiny
+  /// (active emergencies only, now that expired entries are pruned),
+  /// so the serialization is negligible.
+  mutable std::mutex grants_mu_;
+  mutable std::map<std::string, Grant> grants_;
+  uint64_t next_grant_ = 1;  // guarded by grants_mu_
 };
 
 }  // namespace medvault::core

@@ -23,6 +23,7 @@ constexpr uint8_t kStateSigner = 2;
 constexpr uint8_t kStatePrincipal = 3;
 constexpr uint8_t kStateCareAssign = 4;
 constexpr uint8_t kStateCareRevoke = 5;
+constexpr uint8_t kStateGrant = 6;
 
 std::string EncodePrincipal(const Principal& p) {
   std::string out;
@@ -52,6 +53,44 @@ std::string EncodeCare(const PrincipalId& clinician,
   PutLengthPrefixed(&out, clinician);
   PutLengthPrefixed(&out, patient);
   return out;
+}
+
+/// Persisted break-glass grant: id, clinician, patient, justification,
+/// absolute expiry. The grant itself must survive a crash — the audit
+/// log records that emergency access was active, and a reopen that
+/// silently revoked it would contradict the trail (and cut off care
+/// mid-emergency).
+struct GrantEntry {
+  std::string grant_id;
+  PrincipalId clinician;
+  PrincipalId patient;
+  std::string justification;
+  Timestamp expires_at = 0;
+};
+
+std::string EncodeGrant(const GrantEntry& g) {
+  std::string out;
+  PutLengthPrefixed(&out, g.grant_id);
+  PutLengthPrefixed(&out, g.clinician);
+  PutLengthPrefixed(&out, g.patient);
+  PutLengthPrefixed(&out, g.justification);
+  PutVarint64(&out, static_cast<uint64_t>(g.expires_at));
+  return out;
+}
+
+Result<GrantEntry> DecodeGrant(const Slice& data) {
+  Slice in = data;
+  GrantEntry g;
+  uint64_t expires = 0;
+  if (!GetLengthPrefixedString(&in, &g.grant_id) ||
+      !GetLengthPrefixedString(&in, &g.clinician) ||
+      !GetLengthPrefixedString(&in, &g.patient) ||
+      !GetLengthPrefixedString(&in, &g.justification) ||
+      !GetVarint64(&in, &expires) || !in.empty()) {
+    return Status::Corruption("malformed grant entry");
+  }
+  g.expires_at = static_cast<Timestamp>(expires);
+  return g;
 }
 
 /// Keyword terms never enter the audit log in cleartext; we log a short
@@ -220,6 +259,13 @@ Status Vault::LoadState() {
             MEDVAULT_ASSIGN_OR_RETURN(Principal p, DecodePrincipal(payload));
             if (p.role == Role::kAdmin) has_admin_ = true;
             MEDVAULT_RETURN_IF_ERROR(access_.RegisterPrincipal(p));
+            break;
+          }
+          case kStateGrant: {
+            MEDVAULT_ASSIGN_OR_RETURN(GrantEntry g, DecodeGrant(payload));
+            MEDVAULT_RETURN_IF_ERROR(access_.RestoreGrant(
+                g.grant_id, g.clinician, g.patient, g.justification, Now(),
+                g.expires_at));
             break;
           }
           case kStateCareAssign:
@@ -485,6 +531,12 @@ Result<std::string> Vault::BreakGlass(const PrincipalId& clinician,
       std::string grant_id,
       access_.BreakGlass(clinician, patient, justification, now,
                          now + duration));
+  // The grant is vault *state*, not just an audit fact: without a
+  // state-log entry a crash/reopen silently revoked active emergency
+  // access while the audit trail still claimed it was in force.
+  MEDVAULT_RETURN_IF_ERROR(AppendStateEntryLocked(
+      kStateGrant, EncodeGrant(GrantEntry{grant_id, clinician, patient,
+                                          justification, now + duration})));
   // Break-glass is the one path that must never be silent.
   MEDVAULT_RETURN_IF_ERROR(
       AuditLocked(clinician, AuditAction::kBreakGlass, "",

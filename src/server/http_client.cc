@@ -1,0 +1,180 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <charconv>
+#include <cstring>
+
+namespace medvault::server {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+HttpClient::~HttpClient() { Close(); }
+
+void HttpClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  leftover_.clear();
+}
+
+Status HttpClient::Connect(uint16_t port, uint64_t timeout_micros) {
+  Close();
+  port_ = port;
+  timeout_micros_ = timeout_micros;
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IoError("socket: " + std::string(strerror(errno)));
+  if (timeout_micros_ > 0) {
+    struct timeval tv;
+    tv.tv_sec = static_cast<time_t>(timeout_micros_ / 1000000);
+    tv.tv_usec = static_cast<suseconds_t>(timeout_micros_ % 1000000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status s = Status::IoError("connect: " + std::string(strerror(errno)));
+    Close();
+    return s;
+  }
+  return Status::OK();
+}
+
+Status HttpClient::SendRaw(const std::string& data) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  if (!WriteAll(fd_, data)) {
+    return Status::IoError("send failed");
+  }
+  return Status::OK();
+}
+
+Result<ClientResponse> HttpClient::ReadResponse() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  char chunk[4096];
+
+  size_t header_end;
+  while (true) {
+    size_t found = leftover_.find("\r\n\r\n");
+    if (found != std::string::npos) {
+      header_end = found;
+      break;
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IoError("connection closed mid-response");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("recv: " + std::string(strerror(errno)));
+    }
+    leftover_.append(chunk, static_cast<size_t>(n));
+  }
+
+  ClientResponse out;
+  const std::string head = leftover_.substr(0, header_end);
+  size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  {
+    size_t sp1 = status_line.find(' ');
+    if (sp1 == std::string::npos) {
+      return Status::Corruption("malformed status line");
+    }
+    const char* first = status_line.data() + sp1 + 1;
+    const char* last = status_line.data() + status_line.size();
+    auto [ptr, ec] = std::from_chars(first, last, out.status, 10);
+    if (ec != std::errc()) return Status::Corruption("malformed status code");
+  }
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    const std::string line = head.substr(pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    out.headers[ToLower(Trim(line.substr(0, colon)))] =
+        Trim(line.substr(colon + 1));
+  }
+
+  size_t content_length = 0;
+  auto cl = out.headers.find("content-length");
+  if (cl != out.headers.end()) {
+    const std::string& v = cl->second;
+    auto [ptr, ec] =
+        std::from_chars(v.data(), v.data() + v.size(), content_length, 10);
+    if (ec != std::errc()) return Status::Corruption("bad content-length");
+  }
+  const size_t frame = header_end + 4 + content_length;
+  while (leftover_.size() < frame) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Status::IoError("connection closed mid-body");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("recv: " + std::string(strerror(errno)));
+    }
+    leftover_.append(chunk, static_cast<size_t>(n));
+  }
+  out.body = leftover_.substr(header_end + 4, content_length);
+  leftover_.erase(0, frame);
+
+  auto conn = out.headers.find("connection");
+  if (conn != out.headers.end() && ToLower(conn->second) == "close") {
+    Close();
+  }
+  return out;
+}
+
+Result<ClientResponse> HttpClient::DoOnce(const std::string& wire) {
+  MEDVAULT_RETURN_IF_ERROR(SendRaw(wire));
+  return ReadResponse();
+}
+
+Result<ClientResponse> HttpClient::Do(const std::string& method,
+                                      const std::string& target,
+                                      const std::string& body,
+                                      const std::string& bearer) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: 127.0.0.1\r\n";
+  if (!bearer.empty()) wire += "Authorization: Bearer " + bearer + "\r\n";
+  if (!body.empty() || method == "POST") {
+    wire += "Content-Type: application/json\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+
+  if (fd_ < 0) MEDVAULT_RETURN_IF_ERROR(Connect(port_, timeout_micros_));
+  Result<ClientResponse> first = DoOnce(wire);
+  if (first.ok()) return first;
+  // The server may have dropped an idle keep-alive connection between
+  // requests; one reconnect covers that without masking real failures.
+  MEDVAULT_RETURN_IF_ERROR(Connect(port_, timeout_micros_));
+  return DoOnce(wire);
+}
+
+}  // namespace medvault::server

@@ -1,0 +1,711 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/hex.h"
+#include "crypto/hmac.h"
+#include "obs/health.h"
+#include "obs/json.h"
+
+namespace medvault::server {
+
+namespace {
+
+using obs::json::Value;
+
+const char* const kRouteNames[] = {
+    "health",  "login",        "logout", "create_record", "read_record",
+    "correct", "history",      "dispose", "search",       "record_audit",
+    "audit",   "checkpoint",   "break_glass",
+};
+
+HttpResponse JsonResponse(int status, const Value& v) {
+  HttpResponse r;
+  r.status = status;
+  r.body = v.Dump() + "\n";
+  return r;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& message) {
+  Value::Object o;
+  o["error"] = Value(message);
+  return JsonResponse(status, Value(std::move(o)));
+}
+
+HttpResponse ErrorFromStatus(const Status& s) {
+  return ErrorResponse(MedVaultServer::MapStatusToHttp(s), s.ToString());
+}
+
+Result<Value> ParseJsonObject(const std::string& body) {
+  MEDVAULT_ASSIGN_OR_RETURN(Value v, Value::Parse(body));
+  if (!v.is_object()) {
+    return Status::InvalidArgument("request body must be a JSON object");
+  }
+  return v;
+}
+
+Result<std::string> RequireString(const Value::Object& o, const char* key) {
+  auto it = o.find(key);
+  if (it == o.end() || !it->second.is_string()) {
+    return Status::InvalidArgument(std::string("missing string field \"") +
+                                   key + "\"");
+  }
+  return it->second.as_string();
+}
+
+Result<int64_t> RequireInt(const Value::Object& o, const char* key) {
+  auto it = o.find(key);
+  if (it == o.end() || !it->second.is_int()) {
+    return Status::InvalidArgument(std::string("missing integer field \"") +
+                                   key + "\"");
+  }
+  return it->second.as_int();
+}
+
+std::string OptionalString(const Value::Object& o, const char* key,
+                           const std::string& fallback) {
+  auto it = o.find(key);
+  if (it == o.end() || !it->second.is_string()) return fallback;
+  return it->second.as_string();
+}
+
+Result<std::vector<std::string>> StringArray(const Value::Object& o,
+                                             const char* key) {
+  std::vector<std::string> out;
+  auto it = o.find(key);
+  if (it == o.end()) return out;
+  if (!it->second.is_array()) {
+    return Status::InvalidArgument(std::string("field \"") + key +
+                                   "\" must be an array of strings");
+  }
+  for (const Value& v : it->second.as_array()) {
+    if (!v.is_string()) {
+      return Status::InvalidArgument(std::string("field \"") + key +
+                                     "\" must be an array of strings");
+    }
+    out.push_back(v.as_string());
+  }
+  return out;
+}
+
+Value VersionHeaderJson(const core::VersionHeader& h) {
+  Value::Object o;
+  o["record_id"] = Value(h.record_id);
+  o["version"] = Value(static_cast<uint64_t>(h.version));
+  o["author"] = Value(h.author);
+  o["created_at"] = Value(h.created_at);
+  o["content_type"] = Value(h.content_type);
+  o["reason"] = Value(h.reason);
+  o["prev_version_hash"] = Value(HexEncode(h.prev_version_hash));
+  return Value(std::move(o));
+}
+
+Value AuditEventJson(const core::AuditEvent& e) {
+  Value::Object o;
+  o["seq"] = Value(e.seq);
+  o["timestamp"] = Value(e.timestamp);
+  o["actor"] = Value(e.actor);
+  o["action"] = Value(core::AuditActionName(e.action));
+  o["record_id"] = Value(e.record_id);
+  o["details"] = Value(e.details);
+  o["prev_hash"] = Value(HexEncode(e.prev_hash));
+  return Value(std::move(o));
+}
+
+}  // namespace
+
+int MedVaultServer::MapStatusToHttp(const Status& status) {
+  switch (status.code()) {
+    case Status::Code::kOk: return 200;
+    case Status::Code::kNotFound: return 404;
+    case Status::Code::kAlreadyExists: return 409;
+    case Status::Code::kInvalidArgument: return 400;
+    case Status::Code::kIoError: return 500;
+    case Status::Code::kCorruption: return 500;
+    case Status::Code::kTamperDetected: return 500;
+    case Status::Code::kPermissionDenied: return 403;
+    case Status::Code::kWormViolation: return 409;
+    case Status::Code::kRetentionViolation: return 409;
+    case Status::Code::kKeyDestroyed: return 410;
+    case Status::Code::kNotSupported: return 501;
+    // A quarantined shard is a temporary capacity loss, not a client
+    // error: clients should retry once the shard rejoins.
+    case Status::Code::kFailedPrecondition: return 503;
+    case Status::Code::kBackupChainBroken: return 500;
+  }
+  return 500;
+}
+
+Result<std::unique_ptr<MedVaultServer>> MedVaultServer::Start(
+    core::ShardedVault* vault, const ServerOptions& options) {
+  if (vault == nullptr) {
+    return Status::InvalidArgument("server requires a vault");
+  }
+  if (options.session_entropy.empty()) {
+    return Status::InvalidArgument("server requires session entropy");
+  }
+  std::unique_ptr<MedVaultServer> server(new MedVaultServer(vault, options));
+  MEDVAULT_RETURN_IF_ERROR(server->Init());
+  return server;
+}
+
+MedVaultServer::MedVaultServer(core::ShardedVault* vault,
+                               const ServerOptions& options)
+    : vault_(vault),
+      options_(options),
+      metrics_(vault->metrics_registry()),
+      conns_total_(metrics_->GetCounter("server.conns")),
+      accepted_(metrics_->GetCounter("server.accepted")),
+      shed_(metrics_->GetCounter("server.shed")),
+      requests_(metrics_->GetCounter("server.requests")),
+      active_(metrics_->GetGauge("server.active")) {
+  if (options_.worker_threads == 0) options_.worker_threads = 1;
+  for (const char* route : kRouteNames) {
+    route_hist_[route] =
+        metrics_->GetHistogram(std::string("server.req.") + route);
+  }
+}
+
+MedVaultServer::~MedVaultServer() { Stop(); }
+
+core::Vault* MedVaultServer::AnyShard() const {
+  for (uint32_t k = 0; k < vault_->num_shards(); ++k) {
+    if (core::Vault* shard = vault_->shard(k)) return shard;
+  }
+  return nullptr;
+}
+
+Status MedVaultServer::Init() {
+  const Clock* clock = options_.clock;
+  if (clock == nullptr) {
+    core::Vault* shard = AnyShard();
+    if (shard == nullptr) {
+      return Status::FailedPrecondition("all shards quarantined");
+    }
+    clock = shard->options().clock;
+  }
+  sessions_ = std::make_unique<SessionManager>(
+      options_.session_entropy, clock, options_.session_ttl_micros);
+  admission_ =
+      std::make_unique<AdmissionController>(options_.admission, metrics_);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket: " + std::string(strerror(errno)));
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Status::IoError("bind: " + std::string(strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    Status s = Status::IoError("listen: " + std::string(strerror(errno)));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  pool_ = std::make_unique<WorkerPool>(options_.worker_threads);
+  workers_ = std::make_unique<TaskGroup>(pool_.get());
+  for (unsigned i = 0; i < options_.worker_threads; ++i) {
+    workers_->Submit([this] { WorkerLoop(); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void MedVaultServer::Stop() {
+  if (!started_ || stopping_.exchange(true)) return;
+  // Wake the acceptor out of accept(2), then the workers out of both
+  // the admission queue and any in-flight recv.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  admission_->Stop();
+  {
+    std::lock_guard<std::mutex> lock(active_fds_mu_);
+    for (int fd : active_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  workers_->Wait();
+  workers_.reset();
+  pool_.reset();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MedVaultServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_relaxed)) break;
+      // Transient accept failure (EMFILE and friends): shed by doing
+      // nothing; the kernel backlog absorbs the blip.
+      continue;
+    }
+    conns_total_->Increment();
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (options_.idle_timeout_micros > 0) {
+      struct timeval tv;
+      tv.tv_sec = static_cast<time_t>(options_.idle_timeout_micros / 1000000);
+      tv.tv_usec =
+          static_cast<suseconds_t>(options_.idle_timeout_micros % 1000000);
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
+    if (!admission_->Offer(fd)) {
+      // Overload shedding happens HERE, on the acceptor: a full queue
+      // costs one serialized 503 write, never a worker slot.
+      shed_->Increment();
+      HttpResponse r = ErrorResponse(503, "server overloaded, retry later");
+      r.headers["Retry-After"] = std::to_string(options_.retry_after_seconds);
+      r.close = true;
+      WriteAll(fd, SerializeHttpResponse(r));
+      ::close(fd);
+    }
+  }
+}
+
+void MedVaultServer::WorkerLoop() {
+  AdmissionController::Ticket ticket;
+  while (admission_->Dequeue(&ticket)) {
+    ServeConnection(ticket);
+  }
+}
+
+void MedVaultServer::ServeConnection(
+    const AdmissionController::Ticket& ticket) {
+  const int fd = ticket.fd;
+  active_->Add(1);
+  {
+    std::lock_guard<std::mutex> lock(active_fds_mu_);
+    active_fds_.insert(fd);
+  }
+
+  if (ticket.timed_out) {
+    // Waited past the queue limit: its client has likely timed out
+    // already — answer 503 rather than spend vault work on it.
+    shed_->Increment();
+    HttpResponse r = ErrorResponse(503, "queue wait exceeded, retry later");
+    r.headers["Retry-After"] = std::to_string(options_.retry_after_seconds);
+    r.close = true;
+    WriteAll(fd, SerializeHttpResponse(r));
+  } else {
+    accepted_->Increment();
+    std::string leftover;
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      HttpRequest request;
+      ReadOutcome rc =
+          ReadHttpRequest(fd, options_.limits, &leftover, &request);
+      if (rc == ReadOutcome::kOk) {
+        HttpResponse response = Handle(request);
+        response.close = response.close || !request.KeepAlive() ||
+                         stopping_.load(std::memory_order_relaxed);
+        if (!WriteAll(fd, SerializeHttpResponse(response))) break;
+        if (response.close) break;
+        continue;
+      }
+      if (rc == ReadOutcome::kMalformed) {
+        HttpResponse r = ErrorResponse(400, "malformed HTTP request");
+        r.close = true;
+        WriteAll(fd, SerializeHttpResponse(r));
+      } else if (rc == ReadOutcome::kHeadersTooLarge) {
+        HttpResponse r = ErrorResponse(431, "request headers too large");
+        r.close = true;
+        WriteAll(fd, SerializeHttpResponse(r));
+      } else if (rc == ReadOutcome::kBodyTooLarge) {
+        HttpResponse r = ErrorResponse(413, "request body too large");
+        r.close = true;
+        WriteAll(fd, SerializeHttpResponse(r));
+      }
+      // kEof / kTimeout / kError: nothing useful to say; just close.
+      break;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(active_fds_mu_);
+    active_fds_.erase(fd);
+  }
+  ::close(fd);
+  active_->Add(-1);
+}
+
+Status MedVaultServer::CommitIfDurable() {
+  if (!options_.durable_writes) return Status::OK();
+  // Group commit: concurrent handlers coalesce into one sync wave per
+  // commit window, so per-request durability does not mean
+  // per-request fsync.
+  return vault_->SyncAll();
+}
+
+HttpResponse MedVaultServer::Handle(const HttpRequest& request) {
+  requests_->Increment();
+  const std::string path = request.Path();
+
+  auto timed = [&](const char* route,
+                   auto&& handler) -> HttpResponse {
+    obs::ScopedOpTimer timer(metrics_, route_hist_.at(route), route);
+    return handler();
+  };
+
+  // Unauthenticated endpoints.
+  if (path == "/v1/health") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return timed("health", [&] { return HandleHealth(); });
+  }
+  if (path == "/v1/login") {
+    if (request.method != "POST") return ErrorResponse(405, "use POST");
+    return timed("login", [&] { return HandleLogin(request); });
+  }
+
+  // Everything else requires a live session.
+  core::PrincipalId actor;
+  {
+    auto it = request.headers.find("authorization");
+    if (it == request.headers.end() || it->second.rfind("Bearer ", 0) != 0) {
+      HttpResponse r = ErrorResponse(401, "missing bearer token");
+      r.headers["WWW-Authenticate"] = "Bearer";
+      return r;
+    }
+    Result<core::PrincipalId> who = sessions_->Lookup(it->second.substr(7));
+    if (!who.ok()) {
+      HttpResponse r = ErrorResponse(401, who.status().ToString());
+      r.headers["WWW-Authenticate"] = "Bearer";
+      return r;
+    }
+    actor = *std::move(who);
+  }
+
+  if (path == "/v1/logout") {
+    if (request.method != "POST") return ErrorResponse(405, "use POST");
+    return timed("logout", [&] { return HandleLogout(request); });
+  }
+  if (path == "/v1/records") {
+    if (request.method != "POST") return ErrorResponse(405, "use POST");
+    return timed("create_record",
+                 [&] { return HandleCreateRecord(actor, request); });
+  }
+  if (path == "/v1/search") {
+    if (request.method != "POST") return ErrorResponse(405, "use POST");
+    return timed("search", [&] { return HandleSearch(actor, request); });
+  }
+  if (path == "/v1/audit") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return timed("audit", [&] { return HandleAuditTrail(actor); });
+  }
+  if (path == "/v1/audit/checkpoint") {
+    if (request.method != "POST") return ErrorResponse(405, "use POST");
+    return timed("checkpoint", [&] { return HandleCheckpoint(actor); });
+  }
+  if (path == "/v1/break-glass") {
+    if (request.method != "POST") return ErrorResponse(405, "use POST");
+    return timed("break_glass",
+                 [&] { return HandleBreakGlass(actor, request); });
+  }
+
+  constexpr const char kRecordsPrefix[] = "/v1/records/";
+  if (path.rfind(kRecordsPrefix, 0) == 0) {
+    std::string rest = path.substr(sizeof(kRecordsPrefix) - 1);
+    auto sub_at = rest.rfind('/');
+    std::string action =
+        sub_at == std::string::npos ? "" : rest.substr(sub_at + 1);
+    if (action == "correct" || action == "history" || action == "dispose" ||
+        action == "audit") {
+      const core::RecordId record_id = rest.substr(0, sub_at);
+      if (action == "correct") {
+        if (request.method != "POST") return ErrorResponse(405, "use POST");
+        return timed("correct", [&] {
+          return HandleCorrectRecord(actor, record_id, request);
+        });
+      }
+      if (action == "history") {
+        if (request.method != "GET") return ErrorResponse(405, "use GET");
+        return timed("history",
+                     [&] { return HandleHistory(actor, record_id); });
+      }
+      if (action == "dispose") {
+        if (request.method != "POST") return ErrorResponse(405, "use POST");
+        return timed("dispose",
+                     [&] { return HandleDispose(actor, record_id); });
+      }
+      if (request.method != "GET") return ErrorResponse(405, "use GET");
+      return timed("record_audit",
+                   [&] { return HandleRecordAudit(actor, record_id); });
+    }
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return timed("read_record",
+                 [&] { return HandleReadRecord(actor, rest, request); });
+  }
+
+  return ErrorResponse(404, "no such endpoint: " + path);
+}
+
+HttpResponse MedVaultServer::HandleHealth() {
+  obs::HealthReport report = obs::CollectHealth(*vault_);
+  return JsonResponse(200, report.ToJson());
+}
+
+HttpResponse MedVaultServer::HandleLogin(const HttpRequest& request) {
+  Result<Value> body = ParseJsonObject(request.body);
+  if (!body.ok()) return ErrorFromStatus(body.status());
+  const Value::Object& o = body->as_object();
+  Result<std::string> principal = RequireString(o, "principal");
+  if (!principal.ok()) return ErrorFromStatus(principal.status());
+  Result<std::string> secret = RequireString(o, "secret");
+  if (!secret.ok()) return ErrorFromStatus(secret.status());
+
+  // Deliberately one failure mode: whether the secret is wrong, the
+  // principal unknown, or logins disabled, the client learns only
+  // "login failed".
+  bool ok = !options_.api_secret.empty() &&
+            crypto::ConstantTimeEqual(*secret, options_.api_secret);
+  core::Principal who;
+  if (ok) {
+    core::Vault* shard = AnyShard();
+    if (shard == nullptr) {
+      return ErrorResponse(503, "all shards quarantined");
+    }
+    Result<core::Principal> found = shard->access()->GetPrincipal(*principal);
+    if (!found.ok()) {
+      ok = false;
+    } else {
+      who = *std::move(found);
+    }
+  }
+  if (!ok) return ErrorResponse(403, "login failed");
+
+  Value::Object out;
+  out["token"] = Value(sessions_->Issue(who.id));
+  out["principal"] = Value(who.id);
+  out["role"] = Value(core::RoleName(who.role));
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleLogout(const HttpRequest& request) {
+  auto it = request.headers.find("authorization");
+  // Authenticated already, so the header is present and well-formed.
+  sessions_->Revoke(it->second.substr(7));
+  Value::Object out;
+  out["ok"] = Value(true);
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleCreateRecord(const core::PrincipalId& actor,
+                                                const HttpRequest& request) {
+  Result<Value> body = ParseJsonObject(request.body);
+  if (!body.ok()) return ErrorFromStatus(body.status());
+  const Value::Object& o = body->as_object();
+  Result<std::string> patient = RequireString(o, "patient_id");
+  if (!patient.ok()) return ErrorFromStatus(patient.status());
+  Result<std::string> content = RequireString(o, "content");
+  if (!content.ok()) return ErrorFromStatus(content.status());
+  Result<std::vector<std::string>> keywords = StringArray(o, "keywords");
+  if (!keywords.ok()) return ErrorFromStatus(keywords.status());
+
+  Result<core::RecordId> id = vault_->CreateRecord(
+      actor, *patient, OptionalString(o, "content_type", "text/plain"),
+      *content, *keywords, OptionalString(o, "retention_policy", "hipaa-6y"));
+  if (!id.ok()) return ErrorFromStatus(id.status());
+  Status durable = CommitIfDurable();
+  if (!durable.ok()) return ErrorFromStatus(durable);
+
+  Value::Object out;
+  out["record_id"] = Value(*id);
+  return JsonResponse(201, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleReadRecord(const core::PrincipalId& actor,
+                                              const core::RecordId& record_id,
+                                              const HttpRequest& request) {
+  Result<core::RecordVersion> version = [&]() -> Result<core::RecordVersion> {
+    const std::string v = request.QueryParam("version");
+    if (v.empty()) return vault_->ReadRecord(actor, record_id);
+    uint32_t n = 0;
+    for (char c : v) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("version must be a number");
+      }
+      n = n * 10 + static_cast<uint32_t>(c - '0');
+    }
+    return vault_->ReadRecordVersion(actor, record_id, n);
+  }();
+  if (!version.ok()) return ErrorFromStatus(version.status());
+
+  Value header = VersionHeaderJson(version->header);
+  Value::Object out = header.as_object();
+  out["content"] = Value(version->plaintext);
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleCorrectRecord(
+    const core::PrincipalId& actor, const core::RecordId& record_id,
+    const HttpRequest& request) {
+  Result<Value> body = ParseJsonObject(request.body);
+  if (!body.ok()) return ErrorFromStatus(body.status());
+  const Value::Object& o = body->as_object();
+  Result<std::string> content = RequireString(o, "content");
+  if (!content.ok()) return ErrorFromStatus(content.status());
+  Result<std::string> reason = RequireString(o, "reason");
+  if (!reason.ok()) return ErrorFromStatus(reason.status());
+  Result<std::vector<std::string>> keywords = StringArray(o, "keywords");
+  if (!keywords.ok()) return ErrorFromStatus(keywords.status());
+
+  Result<core::VersionHeader> header =
+      vault_->CorrectRecord(actor, record_id, *content, *reason, *keywords);
+  if (!header.ok()) return ErrorFromStatus(header.status());
+  Status durable = CommitIfDurable();
+  if (!durable.ok()) return ErrorFromStatus(durable);
+  return JsonResponse(200, VersionHeaderJson(*header));
+}
+
+HttpResponse MedVaultServer::HandleHistory(const core::PrincipalId& actor,
+                                           const core::RecordId& record_id) {
+  Result<std::vector<core::VersionHeader>> history =
+      vault_->RecordHistory(actor, record_id);
+  if (!history.ok()) return ErrorFromStatus(history.status());
+  Value::Array versions;
+  for (const core::VersionHeader& h : *history) {
+    versions.push_back(VersionHeaderJson(h));
+  }
+  Value::Object out;
+  out["versions"] = Value(std::move(versions));
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleDispose(const core::PrincipalId& actor,
+                                           const core::RecordId& record_id) {
+  Result<core::DisposalCertificate> cert =
+      vault_->DisposeRecord(actor, record_id);
+  if (!cert.ok()) return ErrorFromStatus(cert.status());
+  Status durable = CommitIfDurable();
+  if (!durable.ok()) return ErrorFromStatus(durable);
+
+  Value::Object out;
+  out["record_id"] = Value(cert->record_id);
+  out["authorizer"] = Value(cert->authorizer);
+  out["policy"] = Value(cert->policy);
+  out["disposed_at"] = Value(cert->disposed_at);
+  out["custody_head"] = Value(HexEncode(cert->custody_head));
+  out["signature"] = Value(HexEncode(cert->signature));
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleSearch(const core::PrincipalId& actor,
+                                          const HttpRequest& request) {
+  Result<Value> body = ParseJsonObject(request.body);
+  if (!body.ok()) return ErrorFromStatus(body.status());
+  Result<std::vector<std::string>> terms =
+      StringArray(body->as_object(), "terms");
+  if (!terms.ok()) return ErrorFromStatus(terms.status());
+  if (terms->empty()) {
+    return ErrorResponse(400, "search requires at least one term");
+  }
+
+  Result<std::vector<core::RecordId>> ids =
+      terms->size() == 1 ? vault_->SearchKeyword(actor, terms->front())
+                         : vault_->SearchKeywordsAll(actor, *terms);
+  if (!ids.ok()) return ErrorFromStatus(ids.status());
+  Value::Array arr;
+  for (const core::RecordId& id : *ids) arr.push_back(Value(id));
+  Value::Object out;
+  out["record_ids"] = Value(std::move(arr));
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleRecordAudit(
+    const core::PrincipalId& actor, const core::RecordId& record_id) {
+  Result<std::vector<core::AuditEvent>> events =
+      vault_->ReadAuditTrail(actor, record_id);
+  if (!events.ok()) return ErrorFromStatus(events.status());
+  Value::Array arr;
+  for (const core::AuditEvent& e : *events) arr.push_back(AuditEventJson(e));
+  Value::Object out;
+  out["events"] = Value(std::move(arr));
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleAuditTrail(const core::PrincipalId& actor) {
+  Result<std::vector<core::AuditEvent>> events =
+      vault_->ReadAuditTrail(actor, "");
+  if (!events.ok()) return ErrorFromStatus(events.status());
+  Value::Array arr;
+  for (const core::AuditEvent& e : *events) arr.push_back(AuditEventJson(e));
+  Value::Object out;
+  out["events"] = Value(std::move(arr));
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleCheckpoint(const core::PrincipalId& actor) {
+  // Checkpointing is an auditor/admin act; the vault has no per-shard
+  // access gate for it, so enforce the role here the same way
+  // ReadAuditTrail would.
+  Result<std::vector<core::AuditEvent>> gate =
+      vault_->ReadAuditTrail(actor, "");
+  if (!gate.ok()) return ErrorFromStatus(gate.status());
+
+  Result<std::vector<core::SignedCheckpoint>> checkpoints =
+      vault_->CheckpointAudit();
+  if (!checkpoints.ok()) return ErrorFromStatus(checkpoints.status());
+  Status durable = CommitIfDurable();
+  if (!durable.ok()) return ErrorFromStatus(durable);
+
+  Value::Array arr;
+  for (size_t i = 0; i < checkpoints->size(); ++i) {
+    const core::SignedCheckpoint& cp = (*checkpoints)[i];
+    Value::Object o;
+    o["shard"] = Value(static_cast<uint64_t>(i));
+    o["tree_size"] = Value(cp.tree_size);
+    o["root"] = Value(HexEncode(cp.root));
+    o["timestamp"] = Value(cp.timestamp);
+    o["signature"] = Value(HexEncode(cp.signature));
+    arr.push_back(Value(std::move(o)));
+  }
+  Value::Object out;
+  out["checkpoints"] = Value(std::move(arr));
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleBreakGlass(const core::PrincipalId& actor,
+                                              const HttpRequest& request) {
+  Result<Value> body = ParseJsonObject(request.body);
+  if (!body.ok()) return ErrorFromStatus(body.status());
+  const Value::Object& o = body->as_object();
+  Result<std::string> patient = RequireString(o, "patient_id");
+  if (!patient.ok()) return ErrorFromStatus(patient.status());
+  Result<std::string> justification = RequireString(o, "justification");
+  if (!justification.ok()) return ErrorFromStatus(justification.status());
+  Result<int64_t> duration = RequireInt(o, "duration_micros");
+  if (!duration.ok()) return ErrorFromStatus(duration.status());
+
+  Result<std::string> grant =
+      vault_->BreakGlass(actor, *patient, *justification, *duration);
+  if (!grant.ok()) return ErrorFromStatus(grant.status());
+  // The grant is both audited and state-logged; the durability barrier
+  // makes it survive a crash the instant the client sees the grant id.
+  Status durable = CommitIfDurable();
+  if (!durable.ok()) return ErrorFromStatus(durable);
+
+  Value::Object out;
+  out["grant_id"] = Value(*grant);
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+}  // namespace medvault::server

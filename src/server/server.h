@@ -1,0 +1,179 @@
+#ifndef MEDVAULT_SERVER_SERVER_H_
+#define MEDVAULT_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/worker_pool.h"
+#include "core/sharded_vault.h"
+#include "obs/metrics.h"
+#include "server/admission.h"
+#include "server/http.h"
+#include "server/session.h"
+
+namespace medvault::server {
+
+/// Configuration of the HTTP front door.
+struct ServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (tests/benches
+  /// read it back via port()).
+  uint16_t port = 0;
+  /// Worker threads serving admitted connections — the pool's
+  /// max-connections limit in NaviServer terms: at most this many
+  /// connections are in service at once; the rest wait in the
+  /// admission queue or are shed. Clamped to >= 1.
+  unsigned worker_threads = 4;
+  AdmissionOptions admission;
+  HttpLimits limits;
+  /// Shared API secret required by POST /v1/login alongside a known
+  /// principal id. Empty refuses every login (health-only server).
+  std::string api_secret;
+  /// Entropy for session-token generation (required non-empty).
+  std::string session_entropy;
+  /// Clock for session expiry. Null uses the vault's clock (tests pass
+  /// the same ManualClock they opened the vault with).
+  const Clock* clock = nullptr;
+  uint64_t session_ttl_micros = 8ull * 3600 * 1000 * 1000;  ///< 8 hours
+  /// Sync the vault after every mutating endpoint before answering —
+  /// an acknowledged write survives power failure. Concurrent handlers
+  /// coalesce into one group-commit wave, so durability costs one
+  /// fsync per window, not per request.
+  bool durable_writes = true;
+  /// Blocking-read timeout on connection sockets: an idle keep-alive
+  /// connection is closed after this long. 0 = no timeout.
+  uint64_t idle_timeout_micros = 30ull * 1000 * 1000;
+  /// Seconds suggested to shed clients via Retry-After.
+  unsigned retry_after_seconds = 1;
+};
+
+/// HTTP/1.1 front-end for one ShardedVault: record lifecycle, audit
+/// access, and break-glass as JSON over REST, with NaviServer-style
+/// admission control in front of a fixed worker pool.
+///
+/// Architecture: one acceptor thread accepts and either queues the
+/// socket (AdmissionController) or sheds it with 503 + Retry-After;
+/// `worker_threads` long-running loop tasks on a WorkerPool each
+/// dequeue admitted connections and serve them to completion
+/// (keep-alive supported). All handler work happens on workers, so a
+/// saturated vault back-pressures into the bounded queue and then into
+/// shedding — memory and admitted-request latency stay bounded under
+/// any offered load.
+///
+/// Trust boundary: the server authenticates sessions and maps them to
+/// RBAC principals, but transport security (TLS) is outside this
+/// process — and outside the vault's tamper-evidence boundary (see
+/// DESIGN.md). Bind is loopback-only by construction.
+///
+/// Status -> HTTP mapping is deterministic (MapStatusToHttp): policy
+/// denials 403, retention/WORM conflicts 409, crypto-shredded content
+/// 410, quarantined shards 503, integrity failures 500.
+class MedVaultServer {
+ public:
+  /// Binds, spawns acceptor + workers, returns once the port is
+  /// listening. `vault` is borrowed and must outlive the server.
+  static Result<std::unique_ptr<MedVaultServer>> Start(
+      core::ShardedVault* vault, const ServerOptions& options);
+
+  ~MedVaultServer();
+
+  MedVaultServer(const MedVaultServer&) = delete;
+  MedVaultServer& operator=(const MedVaultServer&) = delete;
+
+  /// Bound port (useful with options.port == 0).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, sheds the queue, interrupts in-flight
+  /// connections, joins everything. Idempotent.
+  void Stop();
+
+  /// Routes one parsed request — exposed so tests can exercise the
+  /// routing table without sockets. `session_principal` handling,
+  /// access checks and audit all happen inside (via the vault).
+  HttpResponse Handle(const HttpRequest& request);
+
+  SessionManager* sessions() { return sessions_.get(); }
+
+  /// Deterministic Status -> HTTP status code mapping.
+  static int MapStatusToHttp(const Status& status);
+
+ private:
+  MedVaultServer(core::ShardedVault* vault, const ServerOptions& options);
+
+  Status Init();
+  void AcceptLoop();
+  void WorkerLoop();
+  void ServeConnection(const AdmissionController::Ticket& ticket);
+
+  /// First healthy shard (principals are replicated to every shard);
+  /// null only when ALL shards are quarantined.
+  core::Vault* AnyShard() const;
+  /// Group-committed durability barrier after a mutation (no-op when
+  /// durable_writes is off).
+  Status CommitIfDurable();
+
+  // ---- Route handlers (authenticated unless noted) --------------------
+  HttpResponse HandleHealth();  // unauthenticated
+  HttpResponse HandleLogin(const HttpRequest& request);
+  HttpResponse HandleLogout(const HttpRequest& request);
+  HttpResponse HandleCreateRecord(const core::PrincipalId& actor,
+                                  const HttpRequest& request);
+  HttpResponse HandleReadRecord(const core::PrincipalId& actor,
+                                const core::RecordId& record_id,
+                                const HttpRequest& request);
+  HttpResponse HandleCorrectRecord(const core::PrincipalId& actor,
+                                   const core::RecordId& record_id,
+                                   const HttpRequest& request);
+  HttpResponse HandleHistory(const core::PrincipalId& actor,
+                             const core::RecordId& record_id);
+  HttpResponse HandleDispose(const core::PrincipalId& actor,
+                             const core::RecordId& record_id);
+  HttpResponse HandleSearch(const core::PrincipalId& actor,
+                            const HttpRequest& request);
+  HttpResponse HandleRecordAudit(const core::PrincipalId& actor,
+                                 const core::RecordId& record_id);
+  HttpResponse HandleAuditTrail(const core::PrincipalId& actor);
+  HttpResponse HandleCheckpoint(const core::PrincipalId& actor);
+  HttpResponse HandleBreakGlass(const core::PrincipalId& actor,
+                                const HttpRequest& request);
+
+  core::ShardedVault* vault_;
+  ServerOptions options_;
+  obs::MetricsRegistry* metrics_;
+  std::unique_ptr<SessionManager> sessions_;
+  std::unique_ptr<AdmissionController> admission_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+
+  obs::Counter* conns_total_;
+  obs::Counter* accepted_;
+  obs::Counter* shed_;
+  obs::Counter* requests_;
+  obs::Gauge* active_;
+  /// Per-endpoint latency histograms ("server.req.<route>"), resolved
+  /// once at Start so the hot path never takes the registry mutex.
+  std::map<std::string, obs::Histogram*> route_hist_;
+
+  std::unique_ptr<WorkerPool> pool_;
+  std::unique_ptr<TaskGroup> workers_;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+
+  /// Sockets currently being served; Stop() shutdown()s them so
+  /// workers blocked in recv return promptly.
+  std::mutex active_fds_mu_;
+  std::set<int> active_fds_;
+};
+
+}  // namespace medvault::server
+
+#endif  // MEDVAULT_SERVER_SERVER_H_

@@ -1,0 +1,54 @@
+#include "server/session.h"
+
+#include "common/hex.h"
+
+namespace medvault::server {
+
+SessionManager::SessionManager(const Slice& entropy, const Clock* clock,
+                               uint64_t ttl_micros)
+    : clock_(clock), ttl_micros_(ttl_micros), drbg_(entropy) {}
+
+void SessionManager::PruneLocked(Timestamp now) {
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second.expires_at <= now) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string SessionManager::Issue(const core::PrincipalId& principal) {
+  const Timestamp now = clock_->Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked(now);
+  std::string token = HexEncode(drbg_.Generate(16));
+  sessions_[token] =
+      Session{principal, now + static_cast<Timestamp>(ttl_micros_)};
+  return token;
+}
+
+Result<core::PrincipalId> SessionManager::Lookup(const std::string& token) {
+  const Timestamp now = clock_->Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked(now);
+  auto it = sessions_.find(token);
+  if (it == sessions_.end()) {
+    return Status::PermissionDenied("invalid or expired session");
+  }
+  return it->second.principal;
+}
+
+bool SessionManager::Revoke(const std::string& token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.erase(token) > 0;
+}
+
+size_t SessionManager::ActiveSessions() {
+  const Timestamp now = clock_->Now();
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneLocked(now);
+  return sessions_.size();
+}
+
+}  // namespace medvault::server

@@ -1,0 +1,68 @@
+#ifndef MEDVAULT_SERVER_SESSION_H_
+#define MEDVAULT_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "core/record.h"
+#include "crypto/drbg.h"
+
+namespace medvault::server {
+
+/// Bearer-token sessions mapping HTTP clients onto RBAC principals.
+///
+/// A token is 32 hex chars of DRBG output — pure capability, carrying
+/// no principal data, so nothing about who is logged in leaks through
+/// the token itself. Sessions are in-memory only and die with the
+/// process: re-authentication after a restart is the conservative
+/// choice for a compliance front door (and mirrors how break-glass
+/// *grants* — which DO survive restarts — differ from mere logins).
+///
+/// Thread safety: all operations serialize on one internal mutex; the
+/// table holds only live sessions (expired entries are pruned on every
+/// lookup pass, same discipline as AccessController's grant table).
+class SessionManager {
+ public:
+  /// `entropy` seeds the token DRBG; `ttl_micros` is each session's
+  /// lifetime from issue.
+  SessionManager(const Slice& entropy, const Clock* clock,
+                 uint64_t ttl_micros);
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Issues a fresh token for `principal` (caller has already
+  /// authenticated them).
+  std::string Issue(const core::PrincipalId& principal);
+
+  /// Principal behind `token`; kPermissionDenied for unknown or
+  /// expired tokens (deliberately indistinguishable).
+  Result<core::PrincipalId> Lookup(const std::string& token);
+
+  /// Ends a session; false if the token was not live.
+  bool Revoke(const std::string& token);
+
+  size_t ActiveSessions();
+
+ private:
+  struct Session {
+    core::PrincipalId principal;
+    Timestamp expires_at = 0;
+  };
+
+  void PruneLocked(Timestamp now);
+
+  const Clock* clock_;
+  uint64_t ttl_micros_;
+  std::mutex mu_;
+  crypto::HmacDrbg drbg_;              // guarded by mu_
+  std::map<std::string, Session> sessions_;  // guarded by mu_
+};
+
+}  // namespace medvault::server
+
+#endif  // MEDVAULT_SERVER_SESSION_H_

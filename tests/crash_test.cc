@@ -54,6 +54,12 @@ struct WorkloadTrace {
   std::string disposal_id;         ///< the record the workload shreds
   bool disposal_started = false;   ///< DisposeRecord was entered
   bool disposal_acked = false;     ///< ...and a later SyncAll succeeded
+  /// The record reachable by "dr" only through a break-glass grant
+  /// (its patient has no treating clinician), and whether the grant
+  /// was durably acknowledged — an acked grant must survive reopen via
+  /// state-log replay at its ORIGINAL expiry.
+  std::string breakglass_record;
+  bool breakglass_acked = false;
 };
 
 VaultOptions Options(storage::Env* env, const Clock* clock) {
@@ -84,6 +90,12 @@ void RunWorkload(storage::Env* env, ManualClock* clock,
     return;
   if (!vault->RegisterPrincipal("admin", {"p", Role::kPatient, "P"}).ok())
     return;
+  if (!vault->RegisterPrincipal("admin", {"ck", Role::kClerk, "C"}).ok())
+    return;
+  // "q" deliberately has no treating clinician: only break-glass opens
+  // their records to dr.
+  if (!vault->RegisterPrincipal("admin", {"q", Role::kPatient, "Q"}).ok())
+    return;
   if (!vault->AssignCare("admin", "dr", "p").ok()) return;
   if (!vault->SyncAll().ok()) return;
 
@@ -112,6 +124,27 @@ void RunWorkload(storage::Env* env, ManualClock* clock,
     return;
   if (vault->SyncAll().ok()) trace->acked[*r1] = 2;
 
+  // Break-glass: the clerk registers a record for the clinician-less
+  // patient, then dr breaks glass. Record and grant are acked by the
+  // same SyncAll; from then on the reopened vault must honor the grant
+  // (it rides the state log — a grant living only in memory would be
+  // silently revoked by the power cut while the audit trail claims
+  // emergency access was active).
+  auto sealed = vault->CreateRecord("ck", "q", "text/plain",
+                                    "sealed note for q", {"sealed"},
+                                    "hipaa-6y");
+  if (!sealed.ok()) return;
+  trace->breakglass_record = *sealed;
+  // 10 years: outlives the disposal step's 2-year clock jump below.
+  if (!vault->BreakGlass("dr", "q", "crash-matrix emergency",
+                         10 * kMicrosPerYear)
+           .ok())
+    return;
+  if (vault->SyncAll().ok()) {
+    trace->acked[*sealed] = 1;
+    trace->breakglass_acked = true;
+  }
+
   if (!vault->CheckpointAudit().ok()) return;
 
   // Disposal: a short-retention record, aged out, then crypto-shredded.
@@ -135,6 +168,8 @@ void EnsureCast(Vault* vault) {
   (void)vault->RegisterPrincipal("boot", {"admin", Role::kAdmin, "A"});
   (void)vault->RegisterPrincipal("admin", {"dr", Role::kPhysician, "D"});
   (void)vault->RegisterPrincipal("admin", {"p", Role::kPatient, "P"});
+  (void)vault->RegisterPrincipal("admin", {"ck", Role::kClerk, "C"});
+  (void)vault->RegisterPrincipal("admin", {"q", Role::kPatient, "Q"});
   (void)vault->AssignCare("admin", "dr", "p");
 }
 
@@ -152,7 +187,10 @@ void CheckRecovered(storage::Env* env, ManualClock* clock,
   // acked version; the shredded one must read as destroyed once the
   // disposal was acked, and may read either way while it was in flight.
   for (const auto& [id, version] : trace.acked) {
-    auto read = vault->ReadRecord("dr", id);
+    // q's record is read as q themself: its survival must not depend
+    // on the break-glass grant's (asserted separately below).
+    const char* reader = id == trace.breakglass_record ? "q" : "dr";
+    auto read = vault->ReadRecord(reader, id);
     if (id == trace.disposal_id && trace.disposal_started) {
       if (trace.disposal_acked) {
         EXPECT_TRUE(read.status().IsKeyDestroyed())
@@ -173,16 +211,31 @@ void CheckRecovered(storage::Env* env, ManualClock* clock,
   for (const auto& id : vault->ListRecordIds()) {
     auto meta = vault->GetRecordMeta(id);
     ASSERT_TRUE(meta.ok()) << id;
-    auto read = vault->ReadRecord("dr", id);
+    // Read as the record's own patient: always authorized, even for
+    // the break-glass patient whose grant may not have survived.
+    const core::PrincipalId& reader = meta->patient_id;
+    auto read = vault->ReadRecord(reader, id);
     if (meta->disposed) {
       EXPECT_TRUE(read.status().IsKeyDestroyed())
           << id << ": " << read.status().ToString();
       continue;
     }
     ASSERT_TRUE(read.ok()) << id << ": " << read.status().ToString();
-    auto history = vault->RecordHistory("dr", id);
+    auto history = vault->RecordHistory(reader, id);
     ASSERT_TRUE(history.ok()) << id << ": " << history.status().ToString();
     EXPECT_EQ(history->size(), meta->latest_version) << id;
+  }
+
+  // An ACKED break-glass grant survives the crash: dr reads q's record
+  // with no care relation, purely through the replayed grant, and the
+  // grant table still counts it (at the original 10-year expiry — the
+  // disposal step's 2-year jump must not have aged it out).
+  if (trace.breakglass_acked) {
+    auto emergency = vault->ReadRecord("dr", trace.breakglass_record);
+    EXPECT_TRUE(emergency.ok())
+        << "acked break-glass grant lost in crash: "
+        << emergency.status().ToString();
+    EXPECT_GE(vault->access()->ActiveGrantCount(clock->Now()), 1u);
   }
 
   // Blinded search still finds every acked live record.
@@ -216,8 +269,9 @@ uint64_t CountBoundaries() {
   RunWorkload(&fault, &clock, &trace);
   // Sanity: the dry run must complete and ack everything, or the
   // matrix below would silently test a truncated workload.
-  EXPECT_EQ(trace.acked.size(), 4u);
+  EXPECT_EQ(trace.acked.size(), 5u);
   EXPECT_TRUE(trace.disposal_acked);
+  EXPECT_TRUE(trace.breakglass_acked);
   return fault.ops();
 }
 

@@ -1,0 +1,574 @@
+// HTTP front-door tests: the REST surface must add *nothing* to the
+// trust story — every endpoint rides the vault's own access control
+// and audit (401 without a session, 403 from RBAC, the same audit
+// events as the embedded API), admission control sheds overload with
+// prompt 503s instead of hanging, and break-glass grants made over
+// HTTP survive a server restart exactly like embedded ones (the
+// state-log persistence bugfix, observed end to end).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_vault.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "server/http.h"
+#include "server/http_client.h"
+#include "server/server.h"
+#include "storage/mem_env.h"
+
+namespace medvault::server {
+namespace {
+
+using core::Role;
+using core::ShardedVault;
+using core::ShardedVaultOptions;
+using obs::json::Value;
+
+constexpr char kSecret[] = "server-test-secret";
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { OpenVault(); }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+    server_.reset();
+    vault_.reset();
+  }
+
+  ShardedVaultOptions VaultOpts() {
+    ShardedVaultOptions options;
+    options.env = &env_;
+    options.dir = "served";
+    options.clock = &clock_;
+    options.master_key = std::string(32, 'S');
+    options.entropy = "server-test-entropy";
+    options.num_shards = 2;
+    options.signer_height = 6;
+    options.metrics = &registry_;
+    return options;
+  }
+
+  void OpenVault() {
+    auto opened = ShardedVault::Open(VaultOpts());
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    vault_ = std::move(*opened);
+  }
+
+  void Bootstrap() {
+    auto ok = [](const Status& s) {
+      ASSERT_TRUE(s.ok()) << s.ToString();
+    };
+    ok(vault_->RegisterPrincipal("boot", {"admin", Role::kAdmin, "A"}));
+    ok(vault_->RegisterPrincipal("admin", {"clerk", Role::kClerk, "C"}));
+    ok(vault_->RegisterPrincipal("admin", {"dr", Role::kPhysician, "D"}));
+    ok(vault_->RegisterPrincipal("admin", {"dr2", Role::kPhysician, "E"}));
+    ok(vault_->RegisterPrincipal("admin", {"aud", Role::kAuditor, "X"}));
+    ok(vault_->RegisterPrincipal("admin", {"pat", Role::kPatient, "P"}));
+    ok(vault_->RegisterPrincipal("admin", {"lone", Role::kPatient, "L"}));
+    ok(vault_->AssignCare("admin", "dr", "pat"));
+    // "lone" deliberately has NO treating clinician: reaching their
+    // records requires break-glass.
+    ok(vault_->SyncAll());
+  }
+
+  ServerOptions BaseServerOpts() {
+    ServerOptions options;
+    options.port = 0;  // ephemeral
+    options.worker_threads = 3;
+    options.api_secret = kSecret;
+    options.session_entropy = "server-test-session-entropy";
+    options.clock = &clock_;
+    options.idle_timeout_micros = 10ull * 1000 * 1000;
+    return options;
+  }
+
+  void StartServer(const ServerOptions& options) {
+    auto started = MedVaultServer::Start(vault_.get(), options);
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    server_ = std::move(*started);
+  }
+
+  void StartServer() { StartServer(BaseServerOpts()); }
+
+  /// Stops the server, closes and reopens the vault from the same
+  /// MemEnv (state-log replay), and starts a fresh server on it —
+  /// a full process restart as far as persistence is concerned.
+  void RestartEverything() {
+    server_->Stop();
+    server_.reset();
+    vault_.reset();
+    OpenVault();
+    StartServer();
+  }
+
+  static std::string Obj(std::initializer_list<
+                         std::pair<std::string, Value>> fields) {
+    Value::Object o;
+    for (const auto& [k, v] : fields) o[k] = v;
+    return Value(std::move(o)).Dump();
+  }
+
+  static Value Parsed(const ClientResponse& response) {
+    auto v = Value::Parse(response.body);
+    EXPECT_TRUE(v.ok()) << response.body;
+    return v.ok() ? *v : Value();
+  }
+
+  std::string Login(HttpClient* client, const std::string& principal) {
+    auto r = client->Do("POST", "/v1/login",
+                        Obj({{"principal", Value(principal)},
+                             {"secret", Value(kSecret)}}));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return "";
+    EXPECT_EQ(r->status, 200) << r->body;
+    Value v = Parsed(*r);
+    return v.is_object() ? v.as_object().at("token").as_string() : "";
+  }
+
+  HttpClient MakeClient() {
+    HttpClient client;
+    EXPECT_TRUE(client.Connect(server_->port()).ok());
+    return client;
+  }
+
+  storage::MemEnv env_;
+  ManualClock clock_{1000000};
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<ShardedVault> vault_;
+  std::unique_ptr<MedVaultServer> server_;
+};
+
+TEST_F(ServerTest, AuthRequiredOnEveryEndpoint) {
+  Bootstrap();
+  StartServer();
+  HttpClient client = MakeClient();
+
+  struct Endpoint {
+    const char* method;
+    const char* target;
+  };
+  const Endpoint kProtected[] = {
+      {"POST", "/v1/logout"},
+      {"POST", "/v1/records"},
+      {"GET", "/v1/records/s0-r-1"},
+      {"POST", "/v1/records/s0-r-1/correct"},
+      {"GET", "/v1/records/s0-r-1/history"},
+      {"POST", "/v1/records/s0-r-1/dispose"},
+      {"GET", "/v1/records/s0-r-1/audit"},
+      {"POST", "/v1/search"},
+      {"GET", "/v1/audit"},
+      {"POST", "/v1/audit/checkpoint"},
+      {"POST", "/v1/break-glass"},
+  };
+  for (const Endpoint& e : kProtected) {
+    auto bare = client.Do(e.method, e.target, "{}");
+    ASSERT_TRUE(bare.ok()) << bare.status().ToString();
+    EXPECT_EQ(bare->status, 401) << e.method << " " << e.target;
+    auto forged = client.Do(e.method, e.target, "{}", "not-a-real-token");
+    ASSERT_TRUE(forged.ok());
+    EXPECT_EQ(forged->status, 401) << e.method << " " << e.target;
+  }
+
+  // Health is the one deliberate exception (load balancers probe it).
+  auto health = client.Do("GET", "/v1/health");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_TRUE(Parsed(*health).is_object());
+
+  // Wrong secret and unknown principal both fail identically.
+  auto bad_secret = client.Do(
+      "POST", "/v1/login",
+      Obj({{"principal", Value("dr")}, {"secret", Value("nope")}}));
+  ASSERT_TRUE(bad_secret.ok());
+  EXPECT_EQ(bad_secret->status, 403);
+  auto bad_user = client.Do(
+      "POST", "/v1/login",
+      Obj({{"principal", Value("ghost")}, {"secret", Value(kSecret)}}));
+  ASSERT_TRUE(bad_user.ok());
+  EXPECT_EQ(bad_user->status, 403);
+}
+
+TEST_F(ServerTest, RecordLifecycleOverHttp) {
+  Bootstrap();
+  StartServer();
+  HttpClient client = MakeClient();
+  const std::string dr = Login(&client, "dr");
+  ASSERT_FALSE(dr.empty());
+
+  // Create.
+  auto created = client.Do(
+      "POST", "/v1/records",
+      Obj({{"patient_id", Value("pat")},
+           {"content", Value("bp 120/80, routine visit")},
+           {"keywords", Value(Value::Array{Value("bp"), Value("routine")})},
+           {"retention_policy", Value("hipaa-6y")}}),
+      dr);
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ASSERT_EQ(created->status, 201) << created->body;
+  const std::string id =
+      Parsed(*created).as_object().at("record_id").as_string();
+
+  // Read.
+  auto read = client.Do("GET", "/v1/records/" + id, "", dr);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->status, 200) << read->body;
+  Value body = Parsed(*read);
+  EXPECT_EQ(body.as_object().at("content").as_string(),
+            "bp 120/80, routine visit");
+  EXPECT_EQ(body.as_object().at("version").as_uint(), 1u);
+
+  // Correct, then read both versions.
+  auto corrected = client.Do(
+      "POST", "/v1/records/" + id + "/correct",
+      Obj({{"content", Value("bp 130/85, transcription corrected")},
+           {"reason", Value("transcription error")},
+           {"keywords", Value(Value::Array{Value("bp")})}}),
+      dr);
+  ASSERT_TRUE(corrected.ok());
+  ASSERT_EQ(corrected->status, 200) << corrected->body;
+  EXPECT_EQ(Parsed(*corrected).as_object().at("version").as_uint(), 2u);
+
+  auto v1 = client.Do("GET", "/v1/records/" + id + "?version=1", "", dr);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_EQ(v1->status, 200);
+  EXPECT_EQ(Parsed(*v1).as_object().at("content").as_string(),
+            "bp 120/80, routine visit");
+
+  auto history = client.Do("GET", "/v1/records/" + id + "/history", "", dr);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->status, 200);
+  EXPECT_EQ(Parsed(*history).as_object().at("versions").as_array().size(),
+            2u);
+
+  // Search.
+  auto hits = client.Do("POST", "/v1/search",
+                        Obj({{"terms", Value(Value::Array{Value("bp")})}}),
+                        dr);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->status, 200);
+  Value hit_body = Parsed(*hits);
+  const Value::Array& ids = hit_body.as_object().at("record_ids").as_array();
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0].as_string(), id);
+
+  // RBAC through the server: a physician may not read audit trails or
+  // dispose; the auditor reads the trail; disposal before retention
+  // expiry is a 409 even for the admin.
+  auto denied_audit = client.Do("GET", "/v1/audit", "", dr);
+  ASSERT_TRUE(denied_audit.ok());
+  EXPECT_EQ(denied_audit->status, 403);
+  auto denied_dispose =
+      client.Do("POST", "/v1/records/" + id + "/dispose", "", dr);
+  ASSERT_TRUE(denied_dispose.ok());
+  EXPECT_EQ(denied_dispose->status, 403);
+
+  const std::string aud = Login(&client, "aud");
+  auto trail = client.Do("GET", "/v1/records/" + id + "/audit", "", aud);
+  ASSERT_TRUE(trail.ok());
+  ASSERT_EQ(trail->status, 200);
+  EXPECT_GE(Parsed(*trail).as_object().at("events").as_array().size(), 2u);
+
+  const std::string admin = Login(&client, "admin");
+  auto early = client.Do("POST", "/v1/records/" + id + "/dispose", "", admin);
+  ASSERT_TRUE(early.ok());
+  EXPECT_EQ(early->status, 409) << early->body;  // retention violation
+
+  // Missing records are 404, crypto-shredded ones 410.
+  auto missing = client.Do("GET", "/v1/records/s0-r-999", "", dr);
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  // Jumping past retention also jumps past the session TTL; all three
+  // tokens are now dead and everyone logs in again.
+  clock_.AdvanceYears(7);
+  const std::string admin2 = Login(&client, "admin");
+  const std::string dr2 = Login(&client, "dr");
+  const std::string aud2 = Login(&client, "aud");
+  auto disposed =
+      client.Do("POST", "/v1/records/" + id + "/dispose", "", admin2);
+  ASSERT_TRUE(disposed.ok());
+  ASSERT_EQ(disposed->status, 200) << disposed->body;
+  EXPECT_FALSE(
+      Parsed(*disposed).as_object().at("signature").as_string().empty());
+  auto shredded = client.Do("GET", "/v1/records/" + id, "", dr2);
+  ASSERT_TRUE(shredded.ok());
+  EXPECT_EQ(shredded->status, 410);
+
+  // Checkpoint: auditor signs one checkpoint per shard.
+  auto checkpoint = client.Do("POST", "/v1/audit/checkpoint", "", aud2);
+  ASSERT_TRUE(checkpoint.ok());
+  ASSERT_EQ(checkpoint->status, 200) << checkpoint->body;
+  EXPECT_EQ(
+      Parsed(*checkpoint).as_object().at("checkpoints").as_array().size(),
+      2u);
+
+  // Logout kills the session.
+  auto out = client.Do("POST", "/v1/logout", "", dr2);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->status, 200);
+  auto after = client.Do("GET", "/v1/records/" + id, "", dr2);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status, 401);
+}
+
+TEST_F(ServerTest, MalformedAndOversizedInputsRejected) {
+  Bootstrap();
+  StartServer();
+  HttpClient client = MakeClient();
+  const std::string dr = Login(&client, "dr");
+
+  // Body that is not JSON at all, and JSON that is not an object.
+  auto garbage = client.Do("POST", "/v1/search", "][not json", dr);
+  ASSERT_TRUE(garbage.ok());
+  EXPECT_EQ(garbage->status, 400);
+  auto scalar = client.Do("POST", "/v1/search", "42", dr);
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(scalar->status, 400);
+  auto missing_field = client.Do("POST", "/v1/break-glass", "{}", dr);
+  ASSERT_TRUE(missing_field.ok());
+  EXPECT_EQ(missing_field->status, 400);
+
+  // Unparsable request line -> 400 and the connection is closed.
+  {
+    HttpClient raw = MakeClient();
+    ASSERT_TRUE(raw.SendRaw("THIS IS NOT HTTP\r\n\r\n").ok());
+    auto r = raw.ReadResponse();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 400);
+  }
+
+  // Declared body over the cap -> 413 without buffering the body.
+  {
+    HttpClient raw = MakeClient();
+    ASSERT_TRUE(raw.SendRaw("POST /v1/search HTTP/1.1\r\n"
+                            "Content-Length: 99999999\r\n\r\n")
+                    .ok());
+    auto r = raw.ReadResponse();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 413);
+  }
+
+  // Header block over the cap -> 431.
+  {
+    HttpClient raw = MakeClient();
+    std::string huge = "GET /v1/health HTTP/1.1\r\n";
+    huge += "X-Filler: " + std::string(64 * 1024, 'x') + "\r\n\r\n";
+    ASSERT_TRUE(raw.SendRaw(huge).ok());
+    auto r = raw.ReadResponse();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 431);
+  }
+
+  // Unknown endpoint and wrong method map deterministically.
+  auto nowhere = client.Do("GET", "/v2/nope", "", dr);
+  ASSERT_TRUE(nowhere.ok());
+  EXPECT_EQ(nowhere->status, 404);
+  auto wrong_method = client.Do("GET", "/v1/search", "", dr);
+  ASSERT_TRUE(wrong_method.ok());
+  EXPECT_EQ(wrong_method->status, 405);
+}
+
+TEST_F(ServerTest, OverloadShedsWith503InsteadOfHanging) {
+  Bootstrap();
+  ServerOptions options = BaseServerOpts();
+  options.worker_threads = 1;     // one connection in service
+  options.admission.max_queue = 1;  // one connection waiting
+  StartServer(options);
+
+  // Park connection A in the single worker: send half a request and
+  // stop. The worker blocks reading the rest.
+  HttpClient a = MakeClient();
+  ASSERT_TRUE(a.SendRaw("GET /v1/health HTTP/1.1\r\nConnection: close\r\n")
+                  .ok());
+  // Let the worker dequeue A before filling the queue behind it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // B fills the one queue slot.
+  HttpClient b = MakeClient();
+  ASSERT_TRUE(b.SendRaw("GET /v1/health HTTP/1.1\r\nConnection: close\r\n")
+                  .ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // C must be shed promptly by the acceptor — 503 with Retry-After,
+  // not a hang behind the busy worker.
+  HttpClient c = MakeClient();
+  auto shed_start = std::chrono::steady_clock::now();
+  auto shed = c.Do("GET", "/v1/health");
+  auto shed_elapsed = std::chrono::steady_clock::now() - shed_start;
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed->status, 503);
+  EXPECT_EQ(shed->headers.count("retry-after"), 1u);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(
+                shed_elapsed)
+                .count(),
+            2000);
+
+  // Unblock A; both parked connections then complete normally.
+  ASSERT_TRUE(a.SendRaw("\r\n").ok());
+  auto ra = a.ReadResponse();
+  ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+  EXPECT_EQ(ra->status, 200);
+  ASSERT_TRUE(b.SendRaw("\r\n").ok());
+  auto rb = b.ReadResponse();
+  ASSERT_TRUE(rb.ok()) << rb.status().ToString();
+  EXPECT_EQ(rb->status, 200);
+
+  // The shed shows up in telemetry.
+  auto snapshot = registry_.TakeSnapshot();
+  EXPECT_GE(snapshot.counters["server.shed"], 1u);
+  EXPECT_GE(snapshot.counters["server.accepted"], 2u);
+}
+
+TEST_F(ServerTest, BreakGlassAuditedOnceAndSurvivesRestart) {
+  Bootstrap();
+  // Seed a record for the unassigned patient (clerks may create).
+  auto sealed = vault_->CreateRecord("clerk", "lone", "text/plain",
+                                     "sealed emergency chart", {"sealed"},
+                                     "hipaa-6y");
+  ASSERT_TRUE(sealed.ok()) << sealed.status().ToString();
+  ASSERT_TRUE(vault_->SyncAll().ok());
+  const std::string record_id = *sealed;
+  StartServer();
+
+  HttpClient client = MakeClient();
+  std::string dr2 = Login(&client, "dr2");
+
+  // Without a grant: denied (and the denial is itself audited).
+  auto denied = client.Do("GET", "/v1/records/" + record_id, "", dr2);
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied->status, 403);
+
+  // Break glass over HTTP: two-hour emergency access.
+  const int64_t duration = 2ll * 3600 * 1000 * 1000;
+  auto grant = client.Do(
+      "POST", "/v1/break-glass",
+      Obj({{"patient_id", Value("lone")},
+           {"justification", Value("unconscious in ER, no consent possible")},
+           {"duration_micros", Value(duration)}}),
+      dr2);
+  ASSERT_TRUE(grant.ok()) << grant.status().ToString();
+  ASSERT_EQ(grant->status, 200) << grant->body;
+  const std::string grant_id =
+      Parsed(*grant).as_object().at("grant_id").as_string();
+  EXPECT_FALSE(grant_id.empty());
+
+  // Exactly one kBreakGlass event in the merged audit trail.
+  std::string aud = Login(&client, "aud");
+  auto CountBreakGlass = [&](const std::string& token) {
+    auto trail = client.Do("GET", "/v1/audit", "", token);
+    EXPECT_TRUE(trail.ok());
+    EXPECT_EQ(trail->status, 200);
+    size_t n = 0;
+    Value trail_body = Parsed(*trail);
+    for (const Value& e : trail_body.as_object().at("events").as_array()) {
+      if (e.as_object().at("action").as_string() == "break-glass") n++;
+    }
+    return n;
+  };
+  EXPECT_EQ(CountBreakGlass(aud), 1u);
+
+  // The grant works...
+  auto read = client.Do("GET", "/v1/records/" + record_id, "", dr2);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->status, 200) << read->body;
+
+  // ...and SURVIVES a full restart: this is the state-log persistence
+  // fix observed end to end. Before it, the grant existed only in
+  // memory — the audit trail claimed emergency access was active while
+  // a crash had silently revoked it.
+  RestartEverything();
+  HttpClient client2 = MakeClient();
+  dr2 = Login(&client2, "dr2");
+  auto after = client2.Do("GET", "/v1/records/" + record_id, "", dr2);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status, 200) << after->body;
+
+  // Still exactly one break-glass audit event (replay must not re-audit
+  // the grant), and exactly one active grant.
+  client = std::move(client2);
+  aud = Login(&client, "aud");
+  EXPECT_EQ(CountBreakGlass(aud), 1u);
+  size_t active = 0;
+  for (uint32_t k = 0; k < vault_->num_shards(); ++k) {
+    active += vault_->shard(k)->access()->ActiveGrantCount(clock_.Now());
+  }
+  EXPECT_EQ(active, 1u);
+
+  // The restart preserved the ORIGINAL expiry: advance past it and the
+  // emergency access lapses — and the grant table is pruned back to
+  // empty (expired grants must not accumulate over a 30-year horizon).
+  clock_.Advance(duration + 1);
+  auto expired = client.Do("GET", "/v1/records/" + record_id, "",
+                           Login(&client, "dr2"));
+  ASSERT_TRUE(expired.ok());
+  EXPECT_EQ(expired->status, 403);
+  active = 0;
+  for (uint32_t k = 0; k < vault_->num_shards(); ++k) {
+    active += vault_->shard(k)->access()->ActiveGrantCount(clock_.Now());
+  }
+  EXPECT_EQ(active, 0u);
+}
+
+TEST_F(ServerTest, ExpiredGrantsDoNotAccumulateAndIdsNeverRecycle) {
+  Bootstrap();
+
+  // Issue a pile of short grants directly against the vault, expire
+  // them, and check the table actually shrinks (the pruning fix: the
+  // old code only ever inserted).
+  for (int i = 0; i < 8; ++i) {
+    auto g = vault_->BreakGlass("dr2", "lone", "episode " + std::to_string(i),
+                                1000000);
+    ASSERT_TRUE(g.ok()) << g.status().ToString();
+    clock_.Advance(2000000);  // each grant dies before the next
+  }
+  size_t active = 0;
+  for (uint32_t k = 0; k < vault_->num_shards(); ++k) {
+    active += vault_->shard(k)->access()->ActiveGrantCount(clock_.Now());
+  }
+  EXPECT_EQ(active, 0u);
+
+  // Reopen: replay restores nothing (all expired) but must keep the id
+  // counter ahead of every replayed grant — an id is never issued twice
+  // even across restarts, or two different emergencies would be
+  // indistinguishable in the audit record.
+  ASSERT_TRUE(vault_->SyncAll().ok());
+  vault_.reset();
+  OpenVault();
+  active = 0;
+  for (uint32_t k = 0; k < vault_->num_shards(); ++k) {
+    active += vault_->shard(k)->access()->ActiveGrantCount(clock_.Now());
+  }
+  EXPECT_EQ(active, 0u);
+  auto fresh = vault_->BreakGlass("dr2", "lone", "fresh episode", 1000000);
+  ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+  EXPECT_EQ(*fresh, "bg-9");  // 8 replayed ids stay burned
+}
+
+TEST_F(ServerTest, KeepAliveServesPipelinedSequentialRequests) {
+  Bootstrap();
+  StartServer();
+  HttpClient client = MakeClient();
+  const std::string dr = Login(&client, "dr");
+  // Several requests on one connection — all on the same socket, all
+  // answered in order.
+  for (int i = 0; i < 5; ++i) {
+    auto health = client.Do("GET", "/v1/health", "", dr);
+    ASSERT_TRUE(health.ok()) << health.status().ToString();
+    EXPECT_EQ(health->status, 200);
+  }
+  auto snapshot = registry_.TakeSnapshot();
+  // One connection, many requests: request count outruns accepts.
+  EXPECT_GE(snapshot.counters["server.requests"], 6u);
+  auto hist = snapshot.histograms.find("server.req.health");
+  ASSERT_NE(hist, snapshot.histograms.end());
+  EXPECT_GE(hist->second.count, 5u);
+}
+
+}  // namespace
+}  // namespace medvault::server

@@ -1,0 +1,163 @@
+// medvaultd — the MedVault HTTP front door as a daemon.
+//
+//   medvaultd --dir <vault-dir> [--port N] [--shards K] [--workers N]
+//             [--max-queue N] [--bootstrap] [--no-durable]
+//
+// Opens (or creates) a sharded vault under --dir on the real
+// filesystem and serves the JSON/REST API on 127.0.0.1:<port> until
+// SIGINT/SIGTERM. Loopback only: TLS termination and network exposure
+// are an outer proxy's job, outside the vault's tamper-evidence
+// boundary (see DESIGN.md, "Server & admission control").
+//
+// Secrets come from the environment, same demo-grade custody as the
+// other tools: MEDVAULT_MASTER_KEY / MEDVAULT_ENTROPY for the vault,
+// MEDVAULT_API_SECRET for POST /v1/login (no secret = logins refused;
+// the health endpoint still works).
+//
+// --bootstrap registers a starter principal set (admin/clerk/
+// physician dr/patient pat/auditor aud, with dr treating pat) so a
+// fresh vault is immediately usable; reruns on an existing vault
+// ignore the resulting kAlreadyExists.
+
+#include <signal.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/clock.h"
+#include "core/sharded_vault.h"
+#include "obs/metrics.h"
+#include "server/server.h"
+#include "storage/posix_env.h"
+
+namespace {
+
+using medvault::Status;
+using medvault::core::Role;
+using medvault::core::ShardedVault;
+using medvault::core::ShardedVaultOptions;
+using medvault::server::MedVaultServer;
+using medvault::server::ServerOptions;
+
+std::string EnvOr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+int Fail(const Status& status) {
+  fprintf(stderr, "medvaultd: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void Bootstrap(ShardedVault* vault) {
+  auto ignore_exists = [](const Status& s) {
+    if (!s.ok() && !s.IsAlreadyExists()) {
+      fprintf(stderr, "medvaultd: bootstrap: %s\n", s.ToString().c_str());
+    }
+  };
+  ignore_exists(vault->RegisterPrincipal("boot", {"admin", Role::kAdmin,
+                                                  "Administrator"}));
+  ignore_exists(vault->RegisterPrincipal("admin", {"clerk", Role::kClerk,
+                                                   "Registration"}));
+  ignore_exists(vault->RegisterPrincipal("admin", {"dr", Role::kPhysician,
+                                                   "Physician"}));
+  ignore_exists(vault->RegisterPrincipal("admin", {"pat", Role::kPatient,
+                                                   "Patient"}));
+  ignore_exists(vault->RegisterPrincipal("admin", {"aud", Role::kAuditor,
+                                                   "Auditor"}));
+  ignore_exists(vault->AssignCare("admin", "dr", "pat"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  ServerOptions server_options;
+  uint32_t shards = 4;
+  bool bootstrap = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--dir") {
+      if (const char* v = next()) dir = v;
+    } else if (arg == "--port") {
+      if (const char* v = next()) server_options.port = static_cast<uint16_t>(atoi(v));
+    } else if (arg == "--shards") {
+      if (const char* v = next()) shards = static_cast<uint32_t>(atoi(v));
+    } else if (arg == "--workers") {
+      if (const char* v = next()) server_options.worker_threads = static_cast<unsigned>(atoi(v));
+    } else if (arg == "--max-queue") {
+      if (const char* v = next()) server_options.admission.max_queue = static_cast<size_t>(atoi(v));
+    } else if (arg == "--bootstrap") {
+      bootstrap = true;
+    } else if (arg == "--no-durable") {
+      server_options.durable_writes = false;
+    } else {
+      fprintf(stderr,
+              "usage: medvaultd --dir <vault-dir> [--port N] [--shards K] "
+              "[--workers N] [--max-queue N] [--bootstrap] [--no-durable]\n");
+      return 2;
+    }
+  }
+  if (dir.empty()) {
+    fprintf(stderr, "medvaultd: --dir is required\n");
+    return 2;
+  }
+  if (server_options.port == 0) server_options.port = 8461;
+
+  // Block the termination signals before any thread exists so every
+  // thread inherits the mask and only the sigwait below sees them.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGINT);
+  sigaddset(&sigs, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  medvault::storage::Env* env = medvault::storage::PosixEnv::Default();
+  medvault::SystemClock clock;
+
+  std::string master = EnvOr("MEDVAULT_MASTER_KEY", "demo-master-key");
+  master.resize(32, '#');
+
+  ShardedVaultOptions vault_options;
+  vault_options.env = env;
+  vault_options.dir = dir;
+  vault_options.clock = &clock;
+  vault_options.master_key = master;
+  vault_options.entropy = EnvOr("MEDVAULT_ENTROPY", "medvaultd-entropy:" + dir);
+  vault_options.num_shards = shards;
+  vault_options.open_mode = medvault::core::OpenMode::kDegraded;
+  vault_options.commit_window_micros = 500;  // coalesce concurrent writers
+
+  auto vault = ShardedVault::Open(vault_options);
+  if (!vault.ok()) return Fail(vault.status());
+  if (bootstrap) Bootstrap(vault->get());
+
+  server_options.api_secret = EnvOr("MEDVAULT_API_SECRET", "");
+  server_options.session_entropy =
+      EnvOr("MEDVAULT_ENTROPY", "medvaultd-session:" + dir) + ":sessions";
+  server_options.clock = &clock;
+
+  auto server = MedVaultServer::Start(vault->get(), server_options);
+  if (!server.ok()) return Fail(server.status());
+  fprintf(stderr, "medvaultd: serving %s on 127.0.0.1:%u (%u shards)\n",
+          dir.c_str(), (*server)->port(), vault->get()->num_shards());
+  if (server_options.api_secret.empty()) {
+    fprintf(stderr,
+            "medvaultd: MEDVAULT_API_SECRET unset — logins disabled, "
+            "health endpoint only\n");
+  }
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  fprintf(stderr, "medvaultd: %s — shutting down\n", strsignal(sig));
+  (*server)->Stop();
+  Status synced = vault->get()->SyncAll();
+  if (!synced.ok()) return Fail(synced);
+  return 0;
+}

@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
 # Smoke suite: the tier-1 test battery in the default configuration,
 # then the crash/fault matrix, the cross-shard stress battery, the
-# observability battery, the media-fault scrub/repair battery, and the
-# async-env/group-commit batteries
-# (`ctest -L "crash|stress|obs|scrub|env|commit"`) rebuilt under
+# observability battery, the media-fault scrub/repair battery, the
+# async-env/group-commit batteries, and the HTTP server battery
+# (`ctest -L "crash|stress|obs|scrub|env|commit|serve"`) rebuilt under
 # AddressSanitizer and UndefinedBehaviorSanitizer, then the
-# stress + obs + commit batteries under ThreadSanitizer — the shared
-# cache / ingest-pool races, the lock-free metrics hot path, and the
-# group-commit leader/follower handoff only surface instrumented.
+# stress + obs + commit + serve batteries under ThreadSanitizer — the
+# shared cache / ingest-pool races, the lock-free metrics hot path, the
+# group-commit leader/follower handoff, and the acceptor/worker socket
+# hand-off only surface instrumented.
 # A final configuration forces -DMEDVAULT_IO_URING=OFF and re-runs the
 # env + commit batteries so the thread-pool sync fallback stays proven
 # even on hosts where liburing is found. The bench_compare fixture
@@ -37,9 +38,9 @@ run_config() {
 }
 
 run_config "$prefix" "" ""
-run_config "${prefix}-asan" address "crash|stress|obs|scrub|env|commit"
-run_config "${prefix}-ubsan" undefined "crash|stress|obs|scrub|env|commit"
-run_config "${prefix}-tsan" thread "stress|obs|commit"
+run_config "${prefix}-asan" address "crash|stress|obs|scrub|env|commit|serve"
+run_config "${prefix}-ubsan" undefined "crash|stress|obs|scrub|env|commit|serve"
+run_config "${prefix}-tsan" thread "stress|obs|commit|serve"
 run_config "${prefix}-nouring" "" "env|commit" "-DMEDVAULT_IO_URING=OFF"
 
 echo "smoke suite passed"
