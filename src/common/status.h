@@ -80,6 +80,13 @@ class Status {
     return Status(Code::kBackupChainBroken, std::move(msg));
   }
 
+  /// Wraps an error with call-site context while preserving the code
+  /// callers branch on. OK passes through untouched.
+  static Status WithContext(const Status& s, const std::string& context) {
+    if (s.ok()) return s;
+    return Status(s.code(), context + ": " + s.message());
+  }
+
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -212,9 +212,19 @@ Result<uint64_t> AuditLog::AppendBatch(
     events.push_back(std::move(e));
   }
   std::vector<Slice> slices(records.begin(), records.end());
-  MEDVAULT_RETURN_IF_ERROR(writer_->AddRecords(slices.data(), slices.size()));
+  Status written = writer_->AddRecords(slices.data(), slices.size());
+  if (!written.ok()) {
+    // The buffered write can land a partial prefix on disk before
+    // failing (torn I/O), so this is NOT an all-or-nothing failure:
+    // surface it distinctly so callers (the replica apply path above
+    // all) know the on-disk log may hold a torn batch tail that crash
+    // recovery will truncate. The in-memory chain, tree and sequence
+    // deliberately do NOT advance — an acknowledged event must never
+    // depend on unacknowledged bytes.
+    return Status::WithContext(
+        written, "partial audit batch append (on-disk tail may be torn)");
+  }
 
-  // The write either landed whole or failed whole; mirror it in memory.
   for (size_t i = 0; i < batch.size(); ++i) {
     tree_.AppendLeafHash(crypto::MerkleTree::HashLeaf(payloads[i]));
     events_.push_back(std::move(events[i]));

@@ -184,6 +184,14 @@ class AuditLog {
     return tree_.Root();
   }
 
+  /// Tree head over the first `n` events — lets a verifier check that
+  /// an earlier head (e.g. one shipped to a replica) is a prefix of
+  /// this log.
+  Result<std::string> RootAt(uint64_t n) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tree_.RootAt(n);
+  }
+
  private:
   /// Requires mu_ held.
   Result<uint64_t> AppendEventLocked(AuditEvent event);

@@ -250,6 +250,14 @@ BackupManager::LoadChain(storage::Env* offsite_env,
         return Status::BackupChainBroken("backup " + dir +
                                          " has no manifest (deleted?)");
       }
+      if (m.status().IsCorruption()) {
+        // A manifest that exists but does not parse — e.g. truncated
+        // mid-file — breaks the chain exactly like a deleted link: no
+        // later link can be validated against it.
+        return Status::BackupChainBroken("backup " + dir +
+                                         " has an unreadable manifest: " +
+                                         m.status().message());
+      }
       return m.status();
     }
     chain.emplace_back(dir, std::move(m).value());

@@ -394,6 +394,7 @@ Status KeyStore::Persist() {
   std::unique_ptr<storage::WritableFile> app;
   MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(path_, &app));
   writer_ = std::make_unique<storage::log::Writer>(std::move(app), size);
+  rewrite_generation_++;
   return Status::OK();
 }
 

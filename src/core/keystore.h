@@ -113,6 +113,12 @@ class KeyStore {
   /// Writes the compacted key log.
   Status Persist();
 
+  /// Bumped every time Persist() rewrites the key log in place (destroy,
+  /// rotation, recovery compaction). Replication uses this to detect
+  /// that its running prefix hash of keys.db is stale and the file must
+  /// be re-shipped whole rather than appended to.
+  uint64_t rewrite_generation() const { return rewrite_generation_; }
+
  private:
   struct KeyState {
     std::string data_key;  // empty if destroyed
@@ -140,6 +146,7 @@ class KeyStore {
   std::unique_ptr<storage::log::Writer> writer_;
   std::map<RecordId, KeyState> keys_;
   std::map<std::string, RecordId> key_refs_;  // key-ref -> record
+  uint64_t rewrite_generation_ = 0;
   bool open_ = false;
 };
 

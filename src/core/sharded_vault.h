@@ -285,6 +285,9 @@ class ShardedVault {
   /// The registry the wrapper and all shards report into (never null
   /// after Open).
   obs::MetricsRegistry* metrics_registry() const { return metrics_; }
+  /// The cross-shard fan-out pool (replication cuts shards on it too).
+  WorkerPool* pool() { return pool_.get(); }
+  const ShardedVaultOptions& options() const { return options_; }
 
  private:
   explicit ShardedVault(ShardedVaultOptions options);

@@ -396,6 +396,15 @@ Status Vault::SyncAll() {
   return committer_->Commit();
 }
 
+Status Vault::WithQuiescedStore(const std::function<Status()>& fn) {
+  // Exclusive lock + direct sync wave (NOT committer_->Commit(), whose
+  // sync fn would re-take mu_). With the lock held nothing can append,
+  // rewrite, or reclaim, so `fn` observes a durable frozen store.
+  std::unique_lock lock(mu_);
+  MEDVAULT_RETURN_IF_ERROR(SyncAllLocked());
+  return fn();
+}
+
 Status Vault::SyncAllLocked() {
   // Commit-point ordering: every side log becomes durable BEFORE the
   // state log. A durable meta therefore implies durable version bytes,

@@ -1,6 +1,7 @@
 #ifndef MEDVAULT_CORE_VAULT_H_
 #define MEDVAULT_CORE_VAULT_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <shared_mutex>
@@ -356,6 +357,15 @@ class Vault {
 
   /// Persists an updated record meta (migration import path).
   Status PutRecordMeta(const RecordMeta& meta);
+
+  /// Runs `fn` with the store quiesced: the exclusive lock held and a
+  /// full sync wave completed, so for as long as `fn` runs the on-disk
+  /// artifacts are a durable, crash-consistent snapshot and nothing
+  /// mutates them. `fn` must not call back into the vault's public API
+  /// (the lock is not recursive); reading the vault's files through the
+  /// env is the intended use — this is how ReplicationSource cuts a
+  /// shipped batch at a group-commit window boundary.
+  Status WithQuiescedStore(const std::function<Status()>& fn);
 
  private:
   explicit Vault(VaultOptions options);

@@ -126,6 +126,7 @@ Status VersionStore::RewriteCatalog() {
   MEDVAULT_RETURN_IF_ERROR(env_->NewAppendableFile(catalog_path, &dest));
   catalog_writer_ = std::make_unique<storage::log::Writer>(std::move(dest),
                                                            size);
+  catalog_rewrite_generation_++;
   return Status::OK();
 }
 

@@ -133,6 +133,14 @@ class VersionStore {
 
   storage::SegmentStore* segments() { return segments_.get(); }
 
+  /// Bumped every time the catalog is rewritten in place (crash-recovery
+  /// reconciliation). Replication uses this to detect that its running
+  /// prefix hash of catalog.log is stale and the file must be re-shipped
+  /// whole rather than appended to.
+  uint64_t catalog_rewrite_generation() const {
+    return catalog_rewrite_generation_;
+  }
+
  private:
   struct VersionRef {
     storage::EntryHandle handle;
@@ -158,6 +166,7 @@ class VersionStore {
   std::unique_ptr<storage::SegmentStore> segments_;
   std::unique_ptr<storage::log::Writer> catalog_writer_;
   std::map<RecordId, std::vector<VersionRef>> catalog_;
+  uint64_t catalog_rewrite_generation_ = 0;
   bool open_ = false;
 };
 

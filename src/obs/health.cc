@@ -1,5 +1,6 @@
 #include "obs/health.h"
 
+#include "core/replication.h"
 #include "core/sharded_vault.h"
 #include "core/vault.h"
 
@@ -163,6 +164,16 @@ json::Value HealthReport::ToJson() const {
     out["cache"] = json::Value(std::move(c));
   }
 
+  if (has_repl) {
+    json::Value::Object repl;
+    repl["primary"] = json::Value(repl_primary ? uint64_t{1} : uint64_t{0});
+    repl["shipped_batches"] = json::Value(repl_shipped_batches);
+    repl["applied_batches"] = json::Value(repl_applied_batches);
+    repl["lag_bytes"] = json::Value(repl_lag_bytes);
+    repl["quarantined_shards"] = json::Value(repl_quarantined_shards);
+    out["repl"] = json::Value(std::move(repl));
+  }
+
   json::Value::Array shard_array;
   for (const ShardHealth& s : shards) {
     shard_array.push_back(ShardToJson(s));
@@ -228,6 +239,23 @@ HealthReport CollectProcessHealth(int64_t generated_at,
     report.env_io = io->TakeSnapshot();
   }
   return report;
+}
+
+void FillReplicationHealth(HealthReport* report,
+                           const core::ShardedReplicationSource* source,
+                           const core::ShardedReplicaApplier* applier) {
+  if (source == nullptr && applier == nullptr) return;
+  report->has_repl = true;
+  report->repl_primary = source != nullptr;
+  if (source != nullptr) {
+    report->repl_shipped_batches = source->batches_shipped();
+    report->repl_lag_bytes = source->lag_bytes();
+  }
+  if (applier != nullptr) {
+    report->repl_applied_batches = applier->applied_batches();
+    report->repl_lag_bytes = applier->lag_bytes();
+    report->repl_quarantined_shards = applier->quarantined_shards();
+  }
 }
 
 Status WriteHealthFile(storage::Env* env, const HealthReport& report,

@@ -14,6 +14,8 @@
 namespace medvault::core {
 class Vault;
 class ShardedVault;
+class ShardedReplicationSource;
+class ShardedReplicaApplier;
 }  // namespace medvault::core
 
 namespace medvault::obs {
@@ -67,6 +69,16 @@ struct HealthReport {
 
   std::vector<ShardHealth> shards;
 
+  /// Replication posture. Emitted only when this process runs a
+  /// replication endpoint (same conditional convention as env_io/cache,
+  /// so golden dumps of unreplicated deployments are unchanged).
+  bool has_repl = false;
+  bool repl_primary = false;          ///< ships batches (vs applies them)
+  uint64_t repl_shipped_batches = 0;  ///< source side
+  uint64_t repl_applied_batches = 0;  ///< applier side
+  uint64_t repl_lag_bytes = 0;        ///< backlog at last cut/apply
+  uint64_t repl_quarantined_shards = 0;
+
   /// Deterministic JSON (sorted keys, integers only). Histograms are
   /// emitted as count/sum/max, p50/p90/p99 bucket upper bounds, and the
   /// non-empty buckets as [upper_bound, count] pairs.
@@ -98,6 +110,13 @@ HealthReport CollectHealth(core::ShardedVault& vault,
 HealthReport CollectProcessHealth(int64_t generated_at,
                                   MetricsRegistry* registry = nullptr,
                                   const storage::IoStats* io = nullptr);
+
+/// Fills the conditional `repl` section from whichever replication
+/// endpoints this process runs. Either pointer may be null; when both
+/// are, the report is left untouched.
+void FillReplicationHealth(HealthReport* report,
+                           const core::ShardedReplicationSource* source,
+                           const core::ShardedReplicaApplier* applier);
 
 /// Writes `report.Dump()` plus a trailing newline to `path` via `env`.
 Status WriteHealthFile(storage::Env* env, const HealthReport& report,

@@ -8,9 +8,11 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <cstring>
 
 #include "common/hex.h"
+#include "core/replication.h"
 #include "crypto/hmac.h"
 #include "obs/health.h"
 #include "obs/json.h"
@@ -24,7 +26,7 @@ using obs::json::Value;
 const char* const kRouteNames[] = {
     "health",  "login",        "logout", "create_record", "read_record",
     "correct", "history",      "dispose", "search",       "record_audit",
-    "audit",   "checkpoint",   "break_glass",
+    "audit",   "checkpoint",   "break_glass", "replication", "repl_cut",
 };
 
 HttpResponse JsonResponse(int status, const Value& v) {
@@ -375,6 +377,20 @@ HttpResponse MedVaultServer::Handle(const HttpRequest& request) {
     if (request.method != "POST") return ErrorResponse(405, "use POST");
     return timed("login", [&] { return HandleLogin(request); });
   }
+  if (path == "/v1/replication") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return timed("replication", [&] { return HandleReplicationStatus(); });
+  }
+  // Cut requests authenticate themselves: the cursor in the body is
+  // HMAC-signed under the replication key, which only a legitimate
+  // replica (same vault entropy) can produce.
+  constexpr const char kCutPrefix[] = "/v1/replication/cut/";
+  if (path.rfind(kCutPrefix, 0) == 0) {
+    if (request.method != "POST") return ErrorResponse(405, "use POST");
+    const std::string shard_str = path.substr(sizeof(kCutPrefix) - 1);
+    return timed("repl_cut",
+                 [&] { return HandleReplicationCut(shard_str, request); });
+  }
 
   // Everything else requires a live session.
   core::PrincipalId actor;
@@ -460,7 +476,56 @@ HttpResponse MedVaultServer::Handle(const HttpRequest& request) {
 
 HttpResponse MedVaultServer::HandleHealth() {
   obs::HealthReport report = obs::CollectHealth(*vault_);
+  obs::FillReplicationHealth(&report, options_.repl_source,
+                             options_.repl_applier);
   return JsonResponse(200, report.ToJson());
+}
+
+HttpResponse MedVaultServer::HandleReplicationStatus() {
+  const core::ShardedReplicationSource* source = options_.repl_source;
+  const core::ShardedReplicaApplier* applier = options_.repl_applier;
+  if (source == nullptr && applier == nullptr) {
+    return ErrorResponse(404, "replication not configured");
+  }
+  Value::Object o;
+  o["role"] = Value(source != nullptr ? "primary" : "replica");
+  if (source != nullptr) {
+    o["num_shards"] = Value(static_cast<uint64_t>(source->num_shards()));
+    o["shipped_batches"] = Value(source->batches_shipped());
+    o["shipped_bytes"] = Value(source->bytes_shipped());
+    o["lag_bytes"] = Value(source->lag_bytes());
+  }
+  if (applier != nullptr) {
+    o["num_shards"] = Value(static_cast<uint64_t>(applier->num_shards()));
+    o["applied_batches"] = Value(applier->applied_batches());
+    o["lag_bytes"] = Value(applier->lag_bytes());
+    o["quarantined_shards"] =
+        Value(static_cast<uint64_t>(applier->quarantined_shards()));
+  }
+  return JsonResponse(200, Value(std::move(o)));
+}
+
+HttpResponse MedVaultServer::HandleReplicationCut(const std::string& shard_str,
+                                                  const HttpRequest& request) {
+  if (options_.repl_source == nullptr) {
+    return ErrorResponse(404, "this endpoint does not ship batches");
+  }
+  if (shard_str.empty() ||
+      shard_str.find_first_not_of("0123456789") != std::string::npos) {
+    return ErrorResponse(400, "bad shard index: " + shard_str);
+  }
+  const unsigned long shard = std::strtoul(shard_str.c_str(), nullptr, 10);
+  if (shard >= options_.repl_source->num_shards()) {
+    return ErrorResponse(404, "no such shard: " + shard_str);
+  }
+  Result<std::string> batch = options_.repl_source->HandleCutRequest(
+      static_cast<uint32_t>(shard), Slice(request.body));
+  if (!batch.ok()) return ErrorFromStatus(batch.status());
+  HttpResponse r;
+  r.status = 200;
+  r.headers["Content-Type"] = "application/octet-stream";
+  r.body = *std::move(batch);
+  return r;
 }
 
 HttpResponse MedVaultServer::HandleLogin(const HttpRequest& request) {

@@ -19,6 +19,11 @@
 #include "server/http.h"
 #include "server/session.h"
 
+namespace medvault::core {
+class ShardedReplicationSource;
+class ShardedReplicaApplier;
+}  // namespace medvault::core
+
 namespace medvault::server {
 
 /// Configuration of the HTTP front door.
@@ -52,6 +57,13 @@ struct ServerOptions {
   uint64_t idle_timeout_micros = 30ull * 1000 * 1000;
   /// Seconds suggested to shed clients via Retry-After.
   unsigned retry_after_seconds = 1;
+  /// Replication endpoints this process runs (both borrowed; either or
+  /// both may be null). A primary sets `repl_source` and serves
+  /// POST /v1/replication/cut/<shard>; a standby that fronts its
+  /// applier sets `repl_applier`. Either role reports posture on
+  /// GET /v1/replication and in /v1/health's `repl` section.
+  core::ShardedReplicationSource* repl_source = nullptr;
+  core::ShardedReplicaApplier* repl_applier = nullptr;
 };
 
 /// HTTP/1.1 front-end for one ShardedVault: record lifecycle, audit
@@ -120,7 +132,12 @@ class MedVaultServer {
   Status CommitIfDurable();
 
   // ---- Route handlers (authenticated unless noted) --------------------
-  HttpResponse HandleHealth();  // unauthenticated
+  HttpResponse HandleHealth();             // unauthenticated
+  HttpResponse HandleReplicationStatus();  // unauthenticated
+  /// Cursor-authenticated (the encoded cursor in the body carries its
+  /// own HMAC under the replication key), so no session is required.
+  HttpResponse HandleReplicationCut(const std::string& shard_str,
+                                    const HttpRequest& request);
   HttpResponse HandleLogin(const HttpRequest& request);
   HttpResponse HandleLogout(const HttpRequest& request);
   HttpResponse HandleCreateRecord(const core::PrincipalId& actor,

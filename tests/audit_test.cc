@@ -8,6 +8,7 @@
 
 #include "core/audit.h"
 #include "crypto/xmss.h"
+#include "storage/fault_env.h"
 #include "storage/mem_env.h"
 
 namespace medvault::core {
@@ -275,6 +276,65 @@ TEST_F(AuditTest, ForgedCheckpointSignatureDetected) {
   crypto::XmssSigner mallory("mallory-secret", "audit-public", kHeight);
   ASSERT_TRUE(log_->Checkpoint(&mallory, next_time_++).ok());
   EXPECT_TRUE(VerifyAll().IsTamperDetected());
+}
+
+TEST_F(AuditTest, RootAtProvesPrefixHeads) {
+  std::vector<std::string> heads;
+  heads.push_back(log_->Root());  // empty log
+  for (int i = 0; i < 8; i++) {
+    ASSERT_TRUE(Log("actor", AuditAction::kRead, "r").ok());
+    heads.push_back(log_->Root());
+  }
+  // Every historical head is reproducible from the grown log...
+  for (uint64_t n = 0; n <= 8; n++) {
+    auto at = log_->RootAt(n);
+    ASSERT_TRUE(at.ok());
+    EXPECT_EQ(*at, heads[n]) << "head over first " << n << " events";
+  }
+  // ...and a head PAST the log ("the replica is ahead") is an error,
+  // never a silently fabricated root.
+  EXPECT_FALSE(log_->RootAt(9).ok());
+}
+
+TEST_F(AuditTest, PartialBatchAppendSurfacesAndDoesNotAdvance) {
+  ASSERT_TRUE(Log("a", AuditAction::kCreate, "r-1").ok());
+  const uint64_t size_before = log_->size();
+  const std::string root_before = log_->Root();
+
+  // Rebuild the log on a fault-injecting env so the batch's coalesced
+  // write fails after the first underlying write: a torn prefix may be
+  // on disk, and the failure must say so distinctly.
+  storage::FaultInjectionEnv fault(&env_);
+  log_ = std::make_unique<AuditLog>(&fault, "audit.log");
+  ASSERT_TRUE(log_->Open().ok());
+  fault.FailNextWrites(1);
+
+  std::vector<PendingAuditEvent> batch(3);
+  for (auto& p : batch) {
+    p.actor = "dr";
+    p.action = AuditAction::kRead;
+    p.record_id = "r-1";
+  }
+  auto seq = log_->AppendBatch(batch, next_time_++);
+  ASSERT_FALSE(seq.ok());
+  EXPECT_NE(seq.status().ToString().find("partial audit batch append"),
+            std::string::npos)
+      << seq.status().ToString();
+  // The in-memory chain, tree and sequence did not advance: nothing
+  // was acknowledged, so nothing may depend on the failed bytes.
+  EXPECT_EQ(log_->size(), size_before);
+  EXPECT_EQ(log_->Root(), root_before);
+
+  // Crash recovery's reopen truncates whatever torn tail landed, and
+  // the retried batch then chains cleanly onto the surviving prefix.
+  fault.Reset();
+  OpenLog();
+  EXPECT_EQ(log_->size(), size_before);
+  auto retried = log_->AppendBatch(batch, next_time_++);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(*retried, size_before);
+  EXPECT_EQ(log_->size(), size_before + batch.size());
+  EXPECT_TRUE(VerifyAll().ok());
 }
 
 }  // namespace

@@ -257,6 +257,48 @@ TEST_F(BackupTest, RestoreChainValidatesLinkage) {
                   .IsInvalidArgument());
 }
 
+TEST_F(BackupTest, TruncatedFinalManifestBreaksTheChain) {
+  // A manifest cut off mid-file (torn copy to the offsite mount, a
+  // partially synced link) must read as "this chain is unusable" —
+  // kBackupChainBroken from LoadChain — not as a per-file tamper
+  // verdict or a raw parse error leaking to the operator.
+  RecordId r1 = CreateSample("base content");
+  auto full =
+      BackupManager::Backup(vault_.get(), "admin-r", &offsite_, "full");
+  ASSERT_TRUE(full.ok());
+  clock_.Advance(kMicrosPerDay);
+  ASSERT_TRUE(
+      vault_->CorrectRecord("dr-a", r1, "changed content", "fix", {}).ok());
+  auto incr = BackupManager::BackupIncremental(vault_.get(), "admin-r",
+                                               &offsite_, "incr", *full);
+  ASSERT_TRUE(incr.ok());
+
+  // Truncate the FINAL link's manifest mid-file: the newest state is
+  // exactly what a restore would be reaching for.
+  uint64_t size = 0;
+  ASSERT_TRUE(offsite_.GetFileSize("incr/MANIFEST", &size).ok());
+  ASSERT_GT(size, 2u);
+  ASSERT_TRUE(offsite_.UnsafeTruncate("incr/MANIFEST", size / 2).ok());
+
+  auto chain = BackupManager::LoadChain(&offsite_, {"full", "incr"});
+  ASSERT_FALSE(chain.ok());
+  EXPECT_TRUE(chain.status().IsBackupChainBroken())
+      << chain.status().ToString();
+  EXPECT_NE(chain.status().ToString().find("incr"), std::string::npos)
+      << "the verdict must name the broken link: "
+      << chain.status().ToString();
+
+  // The intact prefix is still a loadable, usable chain on its own.
+  auto prefix = BackupManager::LoadChain(&offsite_, {"full"});
+  ASSERT_TRUE(prefix.ok()) << prefix.status().ToString();
+  storage::MemEnv new_site;
+  ASSERT_TRUE(
+      BackupManager::RestoreChain(&offsite_, *prefix, &new_site, "vault")
+          .ok());
+  auto restored = OpenVault(&new_site, "vault");
+  EXPECT_EQ(restored->ReadRecord("dr-a", r1)->plaintext, "base content");
+}
+
 TEST_F(BackupTest, IncrementalChainHonorsDeletedFiles) {
   // Create enough disposed records to reclaim a sealed segment between
   // the full and the incremental backup: the restored vault must NOT

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/replication.h"
 #include "core/shard_router.h"
 #include "core/sharded_vault.h"
 #include "core/vault.h"
@@ -720,6 +721,163 @@ TEST(GroupCommitCrashMatrixTest, EveryWindowBoundaryDropUnsynced) {
 
 TEST(GroupCommitCrashMatrixTest, EveryWindowBoundaryKeepPartial) {
   RunDurableShardedMatrix(storage::CrashMode::kKeepPartial);
+}
+
+// ---------------------------------------------------------------------------
+// Replicated group-commit crash matrix
+// ---------------------------------------------------------------------------
+//
+// The durable workload again, now with a warm standby pulling a
+// Merkle-verified batch after every acknowledged window. The primary is
+// killed at every I/O boundary — including mid-window, between one
+// shard's sync and the other's, and mid-cut — and the invariant is:
+// the REPLICA is never ahead of the RECOVERED primary. Concretely,
+// every audit head the standby applied must still be a prefix of the
+// recovered primary's audit log (RootAt equality), because batches are
+// cut only over synced bytes. The replica process survives the
+// primary's power cut, so the surviving applier's state is what is
+// checked.
+
+void RunReplicatedDurableWorkload(storage::Env* env, ManualClock* clock,
+                                  core::ShardedReplicaApplier* applier,
+                                  WorkloadTrace* trace) {
+  auto opened = ShardedVault::Open(ShardedOptions(env, clock));
+  if (!opened.ok()) return;
+  ShardedVault* vault = opened->get();
+  core::ShardedReplicationSource source(vault);
+  const std::vector<std::string> patients = PatientsPerShard();
+
+  // Shipping failures are survivable (the crash lands mid-cut); the
+  // applier just keeps its previous state.
+  auto ship = [&] {
+    auto cursors = applier->Cursors();
+    if (!cursors.ok()) return;
+    auto batches = source.CutAll(*cursors);
+    if (!batches.ok()) return;
+    (void)applier->ApplyAll(*batches);
+  };
+
+  if (!vault->RegisterPrincipal("boot", {"admin", Role::kAdmin, "A"}).ok())
+    return;
+  if (!vault->RegisterPrincipal("admin", {"dr", Role::kPhysician, "D"}).ok())
+    return;
+  for (const std::string& patient : patients) {
+    if (!vault
+             ->RegisterPrincipal("admin", {patient, Role::kPatient, patient})
+             .ok())
+      return;
+    if (!vault->AssignCare("admin", "dr", patient).ok()) return;
+  }
+  if (!vault->SyncAll().ok()) return;
+  ship();
+
+  auto spanning = vault->CreateRecordsBatchDurable(
+      "dr", {{patients[0], "text/plain", "alpha spanning", {"shared"},
+              "hipaa-6y"},
+             {patients[1], "text/plain", "beta spanning", {"shared"},
+              "hipaa-6y"}});
+  if (!spanning.ok()) return;
+  for (const auto& id : *spanning) trace->acked[id] = 1;
+  ship();
+
+  auto single = vault->CreateRecordsBatchDurable(
+      "dr", {{patients[1], "text/plain", "gamma single-shard", {"shared"},
+              "hipaa-6y"}});
+  if (!single.ok()) return;
+  trace->acked[(*single)[0]] = 1;
+  ship();
+}
+
+void RunReplicatedDurableMatrix(storage::CrashMode mode) {
+  // Dry run for the boundary count, with shipping in the op stream.
+  uint64_t boundaries = 0;
+  {
+    storage::MemEnv primary_mem;
+    primary_mem.SetCrashTrackingEnabled(true);
+    storage::FaultInjectionEnv fault(&primary_mem);
+    storage::MemEnv replica_env;
+    ManualClock clock(1000000);
+    core::ShardedReplicaApplier::Options applier_options;
+    applier_options.env = &replica_env;
+    applier_options.dir = "standby";
+    applier_options.entropy = "sharded-crash-entropy";
+    applier_options.num_shards = 2;
+    applier_options.apply_threads = 1;  // deterministic boundary sequence
+    auto applier = core::ShardedReplicaApplier::Open(applier_options);
+    ASSERT_TRUE(applier.ok());
+    WorkloadTrace trace;
+    RunReplicatedDurableWorkload(&fault, &clock, applier->get(), &trace);
+    EXPECT_EQ(trace.acked.size(), 3u);
+    EXPECT_EQ((*applier)->lag_bytes(), 0u);
+    boundaries = fault.ops();
+  }
+  ASSERT_GT(boundaries, 0u);
+
+  for (uint64_t k = 0; k < boundaries; k++) {
+    SCOPED_TRACE("replicated window crash at boundary " + std::to_string(k));
+    storage::MemEnv primary_mem;
+    primary_mem.SetCrashTrackingEnabled(true);
+    storage::FaultInjectionEnv fault(&primary_mem);
+    storage::MemEnv replica_env;
+    ManualClock clock(1000000);
+    core::ShardedReplicaApplier::Options applier_options;
+    applier_options.env = &replica_env;
+    applier_options.dir = "standby";
+    applier_options.entropy = "sharded-crash-entropy";
+    applier_options.num_shards = 2;
+    applier_options.apply_threads = 1;
+    auto applier = core::ShardedReplicaApplier::Open(applier_options);
+    ASSERT_TRUE(applier.ok());
+    fault.PlanCrash(k);
+
+    WorkloadTrace trace;
+    RunReplicatedDurableWorkload(&fault, &clock, applier->get(), &trace);
+    ASSERT_TRUE(fault.crashed()) << "boundary " << k << " never reached";
+    ASSERT_EQ((*applier)->quarantined_shards(), 0u)
+        << "a primary crash must read as lag on the standby, never tamper";
+
+    primary_mem.CrashAndRecover(mode, /*seed=*/static_cast<uint32_t>(k));
+    auto reopened = ShardedVault::Open(ShardedOptions(&primary_mem, &clock));
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+
+    // Never ahead: every audit head the standby applied is a prefix of
+    // the recovered primary's audit log. RootAt fails outright if the
+    // standby's head were past the recovered end.
+    for (uint32_t s = 0; s < 2; s++) {
+      core::ReplicaApplier* shard = (*applier)->shard(s);
+      ASSERT_NE(shard, nullptr);
+      if (shard->last_audit_size() == 0) continue;
+      auto root =
+          (*reopened)->shard(s)->audit()->RootAt(shard->last_audit_size());
+      ASSERT_TRUE(root.ok())
+          << "standby shard " << s << " audit head at "
+          << shard->last_audit_size()
+          << " is past the recovered primary: " << root.status().ToString();
+      EXPECT_EQ(*root, shard->last_audit_root())
+          << "standby shard " << s
+          << " applied an audit head the recovered primary never had";
+    }
+
+    // And the recovered primary ships the standby back to equality.
+    core::ShardedReplicationSource source(reopened->get());
+    for (int round = 0; round < 3; round++) {
+      auto cursors = (*applier)->Cursors();
+      ASSERT_TRUE(cursors.ok());
+      auto batches = source.CutAll(*cursors);
+      ASSERT_TRUE(batches.ok()) << batches.status().ToString();
+      ASSERT_TRUE((*applier)->ApplyAll(*batches).ok());
+      if ((*applier)->lag_bytes() == 0) break;
+    }
+    EXPECT_EQ((*applier)->lag_bytes(), 0u);
+  }
+}
+
+TEST(ReplicatedGroupCommitCrashTest, StandbyNeverAheadDropUnsynced) {
+  RunReplicatedDurableMatrix(storage::CrashMode::kDropUnsynced);
+}
+
+TEST(ReplicatedGroupCommitCrashTest, StandbyNeverAheadKeepPartial) {
+  RunReplicatedDurableMatrix(storage::CrashMode::kKeepPartial);
 }
 
 }  // namespace

@@ -2,12 +2,22 @@
 //
 //   medvaultd --dir <vault-dir> [--port N] [--shards K] [--workers N]
 //             [--max-queue N] [--bootstrap] [--no-durable]
+//   medvaultd --dir <replica-dir> --replica-of <port> [--shards K]
+//             [--poll-ms N]
 //
 // Opens (or creates) a sharded vault under --dir on the real
 // filesystem and serves the JSON/REST API on 127.0.0.1:<port> until
 // SIGINT/SIGTERM. Loopback only: TLS termination and network exposure
 // are an outer proxy's job, outside the vault's tamper-evidence
 // boundary (see DESIGN.md, "Server & admission control").
+//
+// A primary always ships: it serves POST /v1/replication/cut/<shard>
+// (cursor-HMAC authenticated) and GET /v1/replication. With
+// --replica-of the daemon is a warm standby instead: it polls the
+// primary's cut endpoint per shard, applies Merkle-verified batches to
+// --dir, and exits non-zero if the replica quarantines on tamper
+// evidence. MEDVAULT_ENTROPY must match the primary's — without the
+// shared secret the cut endpoint refuses the cursor, by design.
 //
 // Secrets come from the environment, same demo-grade custody as the
 // other tools: MEDVAULT_MASTER_KEY / MEDVAULT_ENTROPY for the vault,
@@ -27,8 +37,10 @@
 #include <string>
 
 #include "common/clock.h"
+#include "core/replication.h"
 #include "core/sharded_vault.h"
 #include "obs/metrics.h"
+#include "server/http_client.h"
 #include "server/server.h"
 #include "storage/posix_env.h"
 
@@ -70,6 +82,84 @@ void Bootstrap(ShardedVault* vault) {
   ignore_exists(vault->AssignCare("admin", "dr", "pat"));
 }
 
+/// Warm-standby loop: poll the primary's cut endpoint per shard, apply
+/// verified batches, stop on SIGINT/SIGTERM (or quarantine).
+int RunReplica(medvault::storage::Env* env, const std::string& dir,
+               uint32_t shards, uint16_t primary_port, int poll_ms,
+               sigset_t* sigs) {
+  medvault::core::ShardedReplicaApplier::Options options;
+  options.env = env;
+  options.dir = dir;
+  options.entropy = EnvOr("MEDVAULT_ENTROPY", "");
+  options.num_shards = shards;
+  if (options.entropy.empty()) {
+    fprintf(stderr,
+            "medvaultd: --replica-of requires MEDVAULT_ENTROPY (the "
+            "primary's) — the shared secret authenticates cursors\n");
+    return 2;
+  }
+  auto applier = medvault::core::ShardedReplicaApplier::Open(options);
+  if (!applier.ok()) return Fail(applier.status());
+  fprintf(stderr,
+          "medvaultd: replica of 127.0.0.1:%u -> %s (%u shards, "
+          "poll %d ms)\n",
+          primary_port, dir.c_str(), shards, poll_ms);
+
+  medvault::server::HttpClient client;
+  while (true) {
+    for (uint32_t k = 0; k < shards; ++k) {
+      medvault::core::ReplicaApplier* shard = (*applier)->shard(k);
+      if (shard == nullptr || shard->quarantined()) continue;
+      auto cursor = shard->Cursor();
+      if (!cursor.ok()) {
+        fprintf(stderr, "medvaultd: shard %u cursor: %s\n", k,
+                cursor.status().ToString().c_str());
+        continue;
+      }
+      if (!client.connected() && !client.Connect(primary_port).ok()) {
+        break;  // primary down; retry the whole round next poll
+      }
+      auto response = client.Do(
+          "POST", "/v1/replication/cut/" + std::to_string(k),
+          cursor->Encode());
+      if (!response.ok()) {
+        client.Close();
+        break;
+      }
+      if (response->status != 200) {
+        fprintf(stderr, "medvaultd: shard %u cut refused (%d): %s", k,
+                response->status, response->body.c_str());
+        continue;
+      }
+      Status applied = shard->ApplyEncoded(medvault::Slice(response->body));
+      if (!applied.ok()) {
+        fprintf(stderr, "medvaultd: shard %u apply: %s\n", k,
+                applied.ToString().c_str());
+      }
+    }
+    if ((*applier)->any_quarantined()) {
+      fprintf(stderr,
+              "medvaultd: replica QUARANTINED (%u shards) — tamper "
+              "evidence recorded; operator intervention required\n",
+              (*applier)->quarantined_shards());
+      return 1;
+    }
+    struct timespec ts;
+    ts.tv_sec = poll_ms / 1000;
+    ts.tv_nsec = static_cast<long>(poll_ms % 1000) * 1000000L;
+    siginfo_t info;
+    if (sigtimedwait(sigs, &info, &ts) > 0) {
+      fprintf(stderr,
+              "medvaultd: %s — replica stopping (%llu batches applied, "
+              "lag %llu bytes)\n",
+              strsignal(info.si_signo),
+              static_cast<unsigned long long>((*applier)->applied_batches()),
+              static_cast<unsigned long long>((*applier)->lag_bytes()));
+      return 0;
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,6 +167,8 @@ int main(int argc, char** argv) {
   ServerOptions server_options;
   uint32_t shards = 4;
   bool bootstrap = false;
+  uint16_t replica_of = 0;
+  int poll_ms = 500;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -97,10 +189,16 @@ int main(int argc, char** argv) {
       bootstrap = true;
     } else if (arg == "--no-durable") {
       server_options.durable_writes = false;
+    } else if (arg == "--replica-of") {
+      if (const char* v = next()) replica_of = static_cast<uint16_t>(atoi(v));
+    } else if (arg == "--poll-ms") {
+      if (const char* v = next()) poll_ms = atoi(v) > 0 ? atoi(v) : 500;
     } else {
       fprintf(stderr,
               "usage: medvaultd --dir <vault-dir> [--port N] [--shards K] "
-              "[--workers N] [--max-queue N] [--bootstrap] [--no-durable]\n");
+              "[--workers N] [--max-queue N] [--bootstrap] [--no-durable]\n"
+              "       medvaultd --dir <replica-dir> --replica-of <port> "
+              "[--shards K] [--poll-ms N]\n");
       return 2;
     }
   }
@@ -119,6 +217,9 @@ int main(int argc, char** argv) {
   pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
 
   medvault::storage::Env* env = medvault::storage::PosixEnv::Default();
+  if (replica_of != 0) {
+    return RunReplica(env, dir, shards, replica_of, poll_ms, &sigs);
+  }
   medvault::SystemClock clock;
 
   std::string master = EnvOr("MEDVAULT_MASTER_KEY", "demo-master-key");
@@ -142,6 +243,10 @@ int main(int argc, char** argv) {
   server_options.session_entropy =
       EnvOr("MEDVAULT_ENTROPY", "medvaultd-session:" + dir) + ":sessions";
   server_options.clock = &clock;
+
+  // Every primary ships: standbys pull from /v1/replication/cut/<k>.
+  medvault::core::ShardedReplicationSource repl_source(vault->get());
+  server_options.repl_source = &repl_source;
 
   auto server = MedVaultServer::Start(vault->get(), server_options);
   if (!server.ok()) return Fail(server.status());

@@ -2,13 +2,15 @@
 # Smoke suite: the tier-1 test battery in the default configuration,
 # then the crash/fault matrix, the cross-shard stress battery, the
 # observability battery, the media-fault scrub/repair battery, the
-# async-env/group-commit batteries, and the HTTP server battery
-# (`ctest -L "crash|stress|obs|scrub|env|commit|serve"`) rebuilt under
-# AddressSanitizer and UndefinedBehaviorSanitizer, then the
-# stress + obs + commit + serve batteries under ThreadSanitizer — the
-# shared cache / ingest-pool races, the lock-free metrics hot path, the
-# group-commit leader/follower handoff, and the acceptor/worker socket
-# hand-off only surface instrumented.
+# async-env/group-commit batteries, the HTTP server battery, and the
+# verified-replication battery
+# (`ctest -L "crash|stress|obs|scrub|env|commit|serve|repl"`) rebuilt
+# under AddressSanitizer and UndefinedBehaviorSanitizer, then the
+# stress + obs + commit + serve + repl batteries under ThreadSanitizer —
+# the shared cache / ingest-pool races, the lock-free metrics hot path,
+# the group-commit leader/follower handoff, the acceptor/worker socket
+# hand-off, and the cut-under-exclusive-lock vs apply-pool interplay
+# only surface instrumented.
 # A final configuration forces -DMEDVAULT_IO_URING=OFF and re-runs the
 # env + commit batteries so the thread-pool sync fallback stays proven
 # even on hosts where liburing is found. The bench_compare fixture
@@ -38,9 +40,9 @@ run_config() {
 }
 
 run_config "$prefix" "" ""
-run_config "${prefix}-asan" address "crash|stress|obs|scrub|env|commit|serve"
-run_config "${prefix}-ubsan" undefined "crash|stress|obs|scrub|env|commit|serve"
-run_config "${prefix}-tsan" thread "stress|obs|commit|serve"
+run_config "${prefix}-asan" address "crash|stress|obs|scrub|env|commit|serve|repl"
+run_config "${prefix}-ubsan" undefined "crash|stress|obs|scrub|env|commit|serve|repl"
+run_config "${prefix}-tsan" thread "stress|obs|commit|serve|repl"
 run_config "${prefix}-nouring" "" "env|commit" "-DMEDVAULT_IO_URING=OFF"
 
 echo "smoke suite passed"
