@@ -119,6 +119,7 @@ Status AuditLog::Open() {
           }
           last_hash_ = crypto::Sha256Digest(payload);
           tree_.AppendLeafHash(crypto::MerkleTree::HashLeaf(payload));
+          IndexEventLocked(e);
           events_.push_back(std::move(e));
         } else if (kind == kRecordCheckpoint) {
           MEDVAULT_ASSIGN_OR_RETURN(SignedCheckpoint c,
@@ -147,6 +148,27 @@ storage::WritableFile* AuditLog::sync_target() {
   return writer_->file();
 }
 
+void AuditLog::IndexEventLocked(const AuditEvent& event) {
+  if (event.action == AuditAction::kRead && !event.record_id.empty()) {
+    read_seqs_by_record_[event.record_id].push_back(event.seq);
+  } else if (event.action == AuditAction::kBreakGlass) {
+    // Break-glass details are formatted "patient=<id> grant=..."; index
+    // by the patient token. The trailing space is required — matching
+    // the report's matcher exactly, so the indexed report can never
+    // differ from a full scan.
+    constexpr char kPrefix[] = "patient=";
+    constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+    if (event.details.rfind(kPrefix, 0) == 0) {
+      size_t space = event.details.find(' ', kPrefixLen);
+      if (space != std::string::npos) {
+        breakglass_seqs_by_patient_[event.details.substr(
+                                        kPrefixLen, space - kPrefixLen)]
+            .push_back(event.seq);
+      }
+    }
+  }
+}
+
 Result<uint64_t> AuditLog::AppendEventLocked(AuditEvent event) {
   event.seq = events_.size();
   event.prev_hash = last_hash_;
@@ -159,6 +181,7 @@ Result<uint64_t> AuditLog::AppendEventLocked(AuditEvent event) {
 
   last_hash_ = crypto::Sha256Digest(payload);
   tree_.AppendLeafHash(crypto::MerkleTree::HashLeaf(payload));
+  IndexEventLocked(event);
   events_.push_back(std::move(event));
   return events_.size() - 1;
 }
@@ -227,6 +250,7 @@ Result<uint64_t> AuditLog::AppendBatch(
 
   for (size_t i = 0; i < batch.size(); ++i) {
     tree_.AppendLeafHash(crypto::MerkleTree::HashLeaf(payloads[i]));
+    IndexEventLocked(events[i]);
     events_.push_back(std::move(events[i]));
   }
   last_hash_ = chain;
@@ -325,13 +349,40 @@ Status AuditLog::VerifyAgainstTrusted(const SignedCheckpoint& trusted) const {
 
 Result<EventProof> AuditLog::ProveEvent(uint64_t seq) const {
   std::lock_guard<std::mutex> lock(mu_);
+  return ProveEventAtLocked(seq, tree_.size());
+}
+
+Result<EventProof> AuditLog::ProveEventAt(uint64_t seq,
+                                          uint64_t tree_size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ProveEventAtLocked(seq, tree_size);
+}
+
+Result<EventProof> AuditLog::ProveEventAtLocked(uint64_t seq,
+                                                uint64_t tree_size) const {
   if (seq >= events_.size()) return Status::NotFound("no such audit event");
+  if (tree_size > tree_.size()) {
+    return Status::NotFound("tree size exceeds audit log");
+  }
+  if (seq >= tree_size) {
+    return Status::InvalidArgument(
+        "event not covered by requested tree size");
+  }
   EventProof proof;
   proof.event = events_[seq];
-  proof.tree_size = tree_.size();
+  proof.tree_size = tree_size;
   MEDVAULT_ASSIGN_OR_RETURN(proof.path,
-                            tree_.InclusionProof(seq, proof.tree_size));
+                            tree_.InclusionProof(seq, tree_size));
   return proof;
+}
+
+Result<std::vector<std::string>> AuditLog::ConsistencyProofBetween(
+    uint64_t old_size, uint64_t new_size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (new_size > tree_.size()) {
+    return Status::NotFound("tree size exceeds audit log");
+  }
+  return tree_.ConsistencyProof(old_size, new_size);
 }
 
 Status AuditLog::VerifyEventProof(const EventProof& proof,
@@ -340,6 +391,45 @@ Status AuditLog::VerifyEventProof(const EventProof& proof,
       crypto::MerkleTree::HashLeaf(proof.event.Encode());
   return crypto::MerkleTree::VerifyInclusion(
       leaf_hash, proof.event.seq, proof.tree_size, proof.path, root);
+}
+
+Result<SignedCheckpoint> AuditLog::LatestCheckpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (checkpoints_.empty()) {
+    return Status::NotFound("no checkpoint published");
+  }
+  return checkpoints_.back();
+}
+
+Result<SignedCheckpoint> AuditLog::CheckpointAt(uint64_t tree_size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Scan backwards: queries overwhelmingly target recent checkpoints.
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->tree_size == tree_size) return *it;
+  }
+  return Status::NotFound("no checkpoint at that size");
+}
+
+std::vector<uint64_t> AuditLog::DisclosureSeqsForRecord(
+    const RecordId& record_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = read_seqs_by_record_.find(record_id);
+  if (it == read_seqs_by_record_.end()) return {};
+  return it->second;
+}
+
+std::vector<uint64_t> AuditLog::BreakGlassSeqsForPatient(
+    const PrincipalId& patient_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakglass_seqs_by_patient_.find(patient_id);
+  if (it == breakglass_seqs_by_patient_.end()) return {};
+  return it->second;
+}
+
+Result<AuditEvent> AuditLog::EventAt(uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (seq >= events_.size()) return Status::NotFound("no such audit event");
+  return events_[seq];
 }
 
 }  // namespace medvault::core

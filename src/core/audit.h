@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
@@ -74,6 +75,10 @@ struct SignedCheckpoint {
 };
 
 /// Proof that one audit event is committed under a checkpoint.
+/// `tree_size` names the (checkpointed) tree size the proof verifies
+/// under — NOT necessarily the log's current size: a verifier holding a
+/// checkpoint for size n can check any event with seq < n regardless of
+/// how far the log has grown since (see ProveEventAt).
 struct EventProof {
   AuditEvent event;
   uint64_t tree_size = 0;
@@ -174,9 +179,53 @@ class AuditLog {
   /// Inclusion proof for event `seq` under the current tree head.
   Result<EventProof> ProveEvent(uint64_t seq) const;
 
+  /// Inclusion proof for event `seq` under the prefix head of size
+  /// `tree_size` — the proof a verifier needs when they trust an earlier
+  /// published checkpoint rather than the live head. kNotFound if the
+  /// log has fewer than `tree_size` events or `seq >= tree_size`.
+  Result<EventProof> ProveEventAt(uint64_t seq, uint64_t tree_size) const;
+
+  /// Merkle consistency proof that the first `new_size` events are an
+  /// append-only extension of the first `old_size` — lets a witness who
+  /// saved the checkpoint at `old_size` accept the one at `new_size`
+  /// without replaying the log. kNotFound if `new_size` exceeds the log.
+  Result<std::vector<std::string>> ConsistencyProofBetween(
+      uint64_t old_size, uint64_t new_size) const;
+
   /// Stateless verification of an event proof against a (checkpointed)
   /// root.
   static Status VerifyEventProof(const EventProof& proof, const Slice& root);
+
+  /// Consistent copy of the published-checkpoint list (log replay
+  /// restores it on Open, so this survives restarts).
+  std::vector<SignedCheckpoint> SnapshotCheckpoints() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return checkpoints_;
+  }
+
+  /// Most recently published checkpoint; kNotFound before the first.
+  Result<SignedCheckpoint> LatestCheckpoint() const;
+
+  /// The published checkpoint covering exactly `tree_size` events;
+  /// kNotFound if no checkpoint was ever published at that size.
+  Result<SignedCheckpoint> CheckpointAt(uint64_t tree_size) const;
+
+  /// Sequence numbers of kRead events naming `record_id` — the
+  /// disclosure-accounting index (HIPAA §164.528), maintained
+  /// incrementally at append and rebuilt by log replay on Open, so a
+  /// per-patient report is O(that patient's disclosures) instead of a
+  /// full-log scan.
+  std::vector<uint64_t> DisclosureSeqsForRecord(
+      const RecordId& record_id) const;
+
+  /// Sequence numbers of kBreakGlass events whose details name
+  /// `patient_id` (break-glass grants are patient-scoped, not
+  /// record-scoped, so they index separately).
+  std::vector<uint64_t> BreakGlassSeqsForPatient(
+      const PrincipalId& patient_id) const;
+
+  /// Copy of event `seq`; kNotFound past the end.
+  Result<AuditEvent> EventAt(uint64_t seq) const;
 
   /// Current tree head (root over all events).
   std::string Root() const {
@@ -196,6 +245,14 @@ class AuditLog {
   /// Requires mu_ held.
   Result<uint64_t> AppendEventLocked(AuditEvent event);
 
+  /// Requires mu_ held.
+  Result<EventProof> ProveEventAtLocked(uint64_t seq,
+                                        uint64_t tree_size) const;
+
+  /// Adds `event` to the disclosure-accounting index. Requires mu_ held
+  /// (or exclusive access during Open replay).
+  void IndexEventLocked(const AuditEvent& event);
+
   mutable std::mutex mu_;
   storage::Env* env_;
   std::string path_;
@@ -203,6 +260,11 @@ class AuditLog {
   crypto::MerkleTree tree_;
   std::vector<AuditEvent> events_;
   std::vector<SignedCheckpoint> checkpoints_;
+  /// Disclosure-accounting index: kRead seqs per record, kBreakGlass
+  /// seqs per patient. Seqs are naturally ascending (append order).
+  std::unordered_map<RecordId, std::vector<uint64_t>> read_seqs_by_record_;
+  std::unordered_map<PrincipalId, std::vector<uint64_t>>
+      breakglass_seqs_by_patient_;
   std::string last_hash_;
   bool open_ = false;
 };

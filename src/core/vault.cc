@@ -245,7 +245,7 @@ Status Vault::LoadState() {
               }
               next_record_num_ = std::max(next_record_num_, n + 1);
             }
-            metas_[meta.record_id] = meta;
+            StoreMetaLocked(meta);
             break;
           }
           case kStateSigner: {
@@ -645,7 +645,7 @@ Result<std::vector<RecordId>> Vault::CreateRecordsBatch(
     meta.retention_until = retention_until[i];
     meta.retention_policy = r.retention_policy;
     meta.latest_version = 1;
-    metas_[record_id] = meta;
+    StoreMetaLocked(meta);
 
     std::string state_record;
     state_record.push_back(static_cast<char>(kStateMeta));
@@ -692,8 +692,16 @@ Status Vault::PutRecordMetaLocked(const RecordMeta& meta) {
     }
     next_record_num_ = std::max(next_record_num_, n + 1);
   }
-  metas_[meta.record_id] = meta;
+  StoreMetaLocked(meta);
   return AppendStateEntryLocked(kStateMeta, meta.Encode());
+}
+
+void Vault::StoreMetaLocked(const RecordMeta& meta) {
+  auto [it, inserted] = metas_.insert_or_assign(meta.record_id, meta);
+  (void)it;
+  if (inserted) {
+    records_by_patient_[meta.patient_id].push_back(meta.record_id);
+  }
 }
 
 Status Vault::PutRecordMeta(const RecordMeta& meta) {
@@ -1091,29 +1099,45 @@ Result<std::vector<AuditEvent>> Vault::AccountingOfDisclosures(
     MEDVAULT_RETURN_IF_ERROR(
         CheckAndAuditLocked(actor, Operation::kReadAudit, "", ""));
   }
-  std::vector<AuditEvent> out;
-  for (const AuditEvent& e : audit_->SnapshotEvents()) {
-    switch (e.action) {
-      case AuditAction::kRead: {
-        auto it = metas_.find(e.record_id);
-        if (it != metas_.end() && it->second.patient_id == patient_id) {
-          out.push_back(e);
-        }
-        break;
-      }
-      case AuditAction::kBreakGlass:
-        if (e.details.rfind("patient=" + patient_id + " ", 0) == 0) {
-          out.push_back(e);
-        }
-        break;
-      default:
-        break;
+  // O(per-patient), not O(log): gather disclosure seqs from the
+  // patient's records plus their break-glass grants via the audit log's
+  // incremental index, merge the ascending lists, and materialize the
+  // events — a full-log scan at population scale would make the one
+  // report patients are entitled to the most expensive query we serve.
+  std::vector<uint64_t> seqs;
+  auto pit = records_by_patient_.find(patient_id);
+  if (pit != records_by_patient_.end()) {
+    for (const RecordId& record_id : pit->second) {
+      std::vector<uint64_t> s = audit_->DisclosureSeqsForRecord(record_id);
+      seqs.insert(seqs.end(), s.begin(), s.end());
     }
+  }
+  std::vector<uint64_t> bg = audit_->BreakGlassSeqsForPatient(patient_id);
+  seqs.insert(seqs.end(), bg.begin(), bg.end());
+  std::sort(seqs.begin(), seqs.end());
+  std::vector<AuditEvent> out;
+  out.reserve(seqs.size());
+  for (uint64_t seq : seqs) {
+    MEDVAULT_ASSIGN_OR_RETURN(AuditEvent e, audit_->EventAt(seq));
+    out.push_back(std::move(e));
   }
   MEDVAULT_RETURN_IF_ERROR(AuditLocked(actor, AuditAction::kSearch, "",
                                        "accounting-of-disclosures events=" +
                                            std::to_string(out.size())));
   return out;
+}
+
+Status Vault::CheckAuditAccess(const PrincipalId& actor) const {
+  std::shared_lock lock(mu_);
+  return CheckAndAuditLocked(actor, Operation::kReadAudit, "", "");
+}
+
+std::vector<RecordId> Vault::RecordIdsForPatient(
+    const PrincipalId& patient_id) const {
+  std::shared_lock lock(mu_);
+  auto it = records_by_patient_.find(patient_id);
+  if (it == records_by_patient_.end()) return {};
+  return it->second;
 }
 
 Result<std::vector<AuditEvent>> Vault::ListBreakGlassEvents(

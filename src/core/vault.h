@@ -273,6 +273,19 @@ class Vault {
   Result<std::vector<AuditEvent>> ListBreakGlassEvents(
       const PrincipalId& actor);
 
+  /// Cheap RBAC gate: does `actor` hold audit-read authority? Denials
+  /// are audited like any other access check. Server routes that serve
+  /// derived audit data (checkpoints, proofs) use this instead of
+  /// copying the whole trail just to test authority.
+  Status CheckAuditAccess(const PrincipalId& actor) const;
+
+  /// Record ids belonging to `patient_id` (including disposed
+  /// tombstones), from the in-memory per-patient index. No access check
+  /// — internal plumbing for the transparency layer, which applies its
+  /// own RBAC before calling.
+  std::vector<RecordId> RecordIdsForPatient(
+      const PrincipalId& patient_id) const;
+
   // ---- Verification & introspection ----------------------------------
 
   Status VerifyRecord(const RecordId& record_id) const;
@@ -408,9 +421,13 @@ class Vault {
   Status CheckAndAuditLocked(const PrincipalId& actor, Operation op,
                              const RecordId& record_id,
                              const PrincipalId& patient_id) const;
-  /// Registers `meta` in memory and appends it to the state log.
-  /// Requires exclusive mu_.
+  /// Registers `meta` in memory (catalog + per-patient index) and
+  /// appends it to the state log. Requires exclusive mu_.
   Status PutRecordMetaLocked(const RecordMeta& meta);
+  /// In-memory half of PutRecordMetaLocked, shared with state replay:
+  /// updates metas_ and, for a first sighting of the record id, the
+  /// per-patient index (a record's patient never changes).
+  void StoreMetaLocked(const RecordMeta& meta);
   /// Shared disposal tail: custody event, certificate, key destruction,
   /// meta flip, audit entry. `authorizers` is "a" or "a+b". Requires
   /// exclusive mu_.
@@ -449,6 +466,10 @@ class Vault {
   };
 
   std::map<RecordId, RecordMeta> metas_;
+  /// Per-patient record-id index (disclosure accounting): rebuilt from
+  /// the same state-log replay that rebuilds metas_, so the two can
+  /// never disagree. Record ids keep insertion order.
+  std::map<PrincipalId, std::vector<RecordId>> records_by_patient_;
   std::map<std::string, DisposalRequest> disposal_requests_;
   uint64_t next_disposal_request_ = 1;
   uint64_t next_record_num_ = 1;

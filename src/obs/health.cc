@@ -2,6 +2,7 @@
 
 #include "core/replication.h"
 #include "core/sharded_vault.h"
+#include "core/transparency.h"
 #include "core/vault.h"
 
 namespace medvault::obs {
@@ -174,6 +175,21 @@ json::Value HealthReport::ToJson() const {
     out["repl"] = json::Value(std::move(repl));
   }
 
+  if (has_transparency) {
+    json::Value::Object t;
+    t["checkpoints"] = json::Value(transparency_checkpoints);
+    t["cosigns"] = json::Value(transparency_cosigns);
+    t["refusals"] = json::Value(transparency_refusals);
+    t["witnesses"] = json::Value(transparency_witnesses);
+    t["tampered_witnesses"] = json::Value(transparency_tampered_witnesses);
+    t["inclusion_proofs"] = json::Value(transparency_inclusion_proofs);
+    t["consistency_proofs"] = json::Value(transparency_consistency_proofs);
+    t["cache_hits"] = json::Value(transparency_cache_hits);
+    t["cache_misses"] = json::Value(transparency_cache_misses);
+    t["latest_sizes_sum"] = json::Value(transparency_latest_sizes_sum);
+    out["transparency"] = json::Value(std::move(t));
+  }
+
   json::Value::Array shard_array;
   for (const ShardHealth& s : shards) {
     shard_array.push_back(ShardToJson(s));
@@ -256,6 +272,23 @@ void FillReplicationHealth(HealthReport* report,
     report->repl_lag_bytes = applier->lag_bytes();
     report->repl_quarantined_shards = applier->quarantined_shards();
   }
+}
+
+void FillTransparencyHealth(HealthReport* report,
+                            const core::ShardedTransparencyService* service) {
+  if (service == nullptr) return;
+  core::ShardedTransparencyService::Stats stats = service->CollectStats();
+  report->has_transparency = true;
+  report->transparency_checkpoints = stats.checkpoints_published;
+  report->transparency_cosigns = stats.cosigns;
+  report->transparency_refusals = stats.refusals;
+  report->transparency_witnesses = static_cast<uint64_t>(stats.witnesses);
+  report->transparency_tampered_witnesses = stats.tampered_witnesses;
+  report->transparency_inclusion_proofs = stats.inclusion_proofs;
+  report->transparency_consistency_proofs = stats.consistency_proofs;
+  report->transparency_cache_hits = stats.cache_hits;
+  report->transparency_cache_misses = stats.cache_misses;
+  report->transparency_latest_sizes_sum = stats.latest_sizes_sum;
 }
 
 Status WriteHealthFile(storage::Env* env, const HealthReport& report,

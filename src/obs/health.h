@@ -16,6 +16,7 @@ class Vault;
 class ShardedVault;
 class ShardedReplicationSource;
 class ShardedReplicaApplier;
+class ShardedTransparencyService;
 }  // namespace medvault::core
 
 namespace medvault::obs {
@@ -79,6 +80,20 @@ struct HealthReport {
   uint64_t repl_lag_bytes = 0;        ///< backlog at last cut/apply
   uint64_t repl_quarantined_shards = 0;
 
+  /// Audit-transparency posture. Emitted only when this process runs a
+  /// transparency service (same conditional convention as repl).
+  bool has_transparency = false;
+  uint64_t transparency_checkpoints = 0;  ///< published since start
+  uint64_t transparency_cosigns = 0;
+  uint64_t transparency_refusals = 0;     ///< witness refusals (tamper!)
+  uint64_t transparency_witnesses = 0;
+  uint64_t transparency_tampered_witnesses = 0;
+  uint64_t transparency_inclusion_proofs = 0;
+  uint64_t transparency_consistency_proofs = 0;
+  uint64_t transparency_cache_hits = 0;
+  uint64_t transparency_cache_misses = 0;
+  uint64_t transparency_latest_sizes_sum = 0;  ///< sum over shards
+
   /// Deterministic JSON (sorted keys, integers only). Histograms are
   /// emitted as count/sum/max, p50/p90/p99 bucket upper bounds, and the
   /// non-empty buckets as [upper_bound, count] pairs.
@@ -117,6 +132,11 @@ HealthReport CollectProcessHealth(int64_t generated_at,
 void FillReplicationHealth(HealthReport* report,
                            const core::ShardedReplicationSource* source,
                            const core::ShardedReplicaApplier* applier);
+
+/// Fills the conditional `transparency` section. Null leaves the report
+/// untouched.
+void FillTransparencyHealth(HealthReport* report,
+                            const core::ShardedTransparencyService* service);
 
 /// Writes `report.Dump()` plus a trailing newline to `path` via `env`.
 Status WriteHealthFile(storage::Env* env, const HealthReport& report,

@@ -13,6 +13,7 @@
 
 #include "common/hex.h"
 #include "core/replication.h"
+#include "core/transparency.h"
 #include "crypto/hmac.h"
 #include "obs/health.h"
 #include "obs/json.h"
@@ -27,6 +28,8 @@ const char* const kRouteNames[] = {
     "health",  "login",        "logout", "create_record", "read_record",
     "correct", "history",      "dispose", "search",       "record_audit",
     "audit",   "checkpoint",   "break_glass", "replication", "repl_cut",
+    "transparency", "transparency_checkpoint", "transparency_consistency",
+    "transparency_proof", "disclosures",
 };
 
 HttpResponse JsonResponse(int status, const Value& v) {
@@ -120,6 +123,57 @@ Value AuditEventJson(const core::AuditEvent& e) {
   o["details"] = Value(e.details);
   o["prev_hash"] = Value(HexEncode(e.prev_hash));
   return Value(std::move(o));
+}
+
+Value CheckpointJson(const core::SignedCheckpoint& cp) {
+  Value::Object o;
+  o["tree_size"] = Value(cp.tree_size);
+  o["root"] = Value(HexEncode(cp.root));
+  o["timestamp"] = Value(cp.timestamp);
+  o["signature"] = Value(HexEncode(cp.signature));
+  return Value(std::move(o));
+}
+
+Value CosignedCheckpointJson(const core::CosignedCheckpoint& cc) {
+  Value::Object o = CheckpointJson(cc.checkpoint).as_object();
+  Value::Array sigs;
+  for (const core::WitnessCosignature& cosig : cc.cosignatures) {
+    Value::Object s;
+    s["witness_id"] = Value(cosig.witness_id);
+    s["signature"] = Value(HexEncode(cosig.signature));
+    sigs.push_back(Value(std::move(s)));
+  }
+  o["cosignatures"] = Value(std::move(sigs));
+  return Value(std::move(o));
+}
+
+Value HexPathJson(const std::vector<std::string>& path) {
+  Value::Array arr;
+  for (const std::string& node : path) arr.push_back(Value(HexEncode(node)));
+  return Value(std::move(arr));
+}
+
+/// Decimal uint64 query parameter. Absent and empty both yield
+/// `fallback` when `required` is false; anything non-numeric is a 400.
+Result<uint64_t> Uint64Param(const HttpRequest& request, const char* name,
+                             bool required, uint64_t fallback = 0) {
+  const std::string v = request.QueryParam(name);
+  if (v.empty()) {
+    if (required) {
+      return Status::InvalidArgument(std::string("missing query parameter \"") +
+                                     name + "\"");
+    }
+    return fallback;
+  }
+  uint64_t n = 0;
+  for (char c : v) {
+    if (c < '0' || c > '9' || n > (UINT64_MAX - 9) / 10) {
+      return Status::InvalidArgument(std::string("query parameter \"") + name +
+                                     "\" must be a decimal integer");
+    }
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return n;
 }
 
 }  // namespace
@@ -391,6 +445,26 @@ HttpResponse MedVaultServer::Handle(const HttpRequest& request) {
     return timed("repl_cut",
                  [&] { return HandleReplicationCut(shard_str, request); });
   }
+  // Transparency posture, checkpoints, and consistency proofs are
+  // public by design: they disclose only tree sizes, roots, and
+  // signatures, and external witnesses/monitors must be able to fetch
+  // them without holding a clinical session. Inclusion proofs and
+  // disclosure reports carry event contents, so those two fall through
+  // to the authenticated block below.
+  if (path == "/v1/transparency") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return timed("transparency", [&] { return HandleTransparencyStatus(); });
+  }
+  if (path == "/v1/transparency/checkpoint") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return timed("transparency_checkpoint",
+                 [&] { return HandleTransparencyCheckpoint(request); });
+  }
+  if (path == "/v1/transparency/consistency") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return timed("transparency_consistency",
+                 [&] { return HandleTransparencyConsistency(request); });
+  }
 
   // Everything else requires a live session.
   core::PrincipalId actor;
@@ -436,6 +510,16 @@ HttpResponse MedVaultServer::Handle(const HttpRequest& request) {
     return timed("break_glass",
                  [&] { return HandleBreakGlass(actor, request); });
   }
+  if (path == "/v1/transparency/proof") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return timed("transparency_proof",
+                 [&] { return HandleTransparencyProof(actor, request); });
+  }
+  if (path == "/v1/transparency/disclosures") {
+    if (request.method != "GET") return ErrorResponse(405, "use GET");
+    return timed("disclosures",
+                 [&] { return HandleDisclosures(actor, request); });
+  }
 
   constexpr const char kRecordsPrefix[] = "/v1/records/";
   if (path.rfind(kRecordsPrefix, 0) == 0) {
@@ -478,6 +562,7 @@ HttpResponse MedVaultServer::HandleHealth() {
   obs::HealthReport report = obs::CollectHealth(*vault_);
   obs::FillReplicationHealth(&report, options_.repl_source,
                              options_.repl_applier);
+  obs::FillTransparencyHealth(&report, options_.transparency);
   return JsonResponse(200, report.ToJson());
 }
 
@@ -720,11 +805,15 @@ HttpResponse MedVaultServer::HandleAuditTrail(const core::PrincipalId& actor) {
 
 HttpResponse MedVaultServer::HandleCheckpoint(const core::PrincipalId& actor) {
   // Checkpointing is an auditor/admin act; the vault has no per-shard
-  // access gate for it, so enforce the role here the same way
-  // ReadAuditTrail would.
-  Result<std::vector<core::AuditEvent>> gate =
-      vault_->ReadAuditTrail(actor, "");
-  if (!gate.ok()) return ErrorFromStatus(gate.status());
+  // access gate for it, so enforce the kReadAudit role here. (This
+  // replaces an earlier gate that materialized the entire merged audit
+  // trail just to learn "yes/no".)
+  core::Vault* shard = AnyShard();
+  if (shard == nullptr) {
+    return ErrorResponse(503, "all shards quarantined");
+  }
+  Status gate = shard->CheckAuditAccess(actor);
+  if (!gate.ok()) return ErrorFromStatus(gate);
 
   Result<std::vector<core::SignedCheckpoint>> checkpoints =
       vault_->CheckpointAudit();
@@ -770,6 +859,163 @@ HttpResponse MedVaultServer::HandleBreakGlass(const core::PrincipalId& actor,
 
   Value::Object out;
   out["grant_id"] = Value(*grant);
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleTransparencyStatus() {
+  core::ShardedTransparencyService* svc = options_.transparency;
+  if (svc == nullptr) {
+    return ErrorResponse(404, "transparency not configured");
+  }
+  Value::Array shards;
+  for (uint32_t k = 0; k < svc->num_shards(); ++k) {
+    Value::Object o;
+    o["shard"] = Value(static_cast<uint64_t>(k));
+    Result<core::TransparencyLog*> log = svc->log(k);
+    if (!log.ok()) {
+      o["quarantined"] = Value(true);
+      shards.push_back(Value(std::move(o)));
+      continue;
+    }
+    Result<core::CosignedCheckpoint> latest = svc->LatestCosigned(k);
+    if (latest.ok()) {
+      o["tree_size"] = Value(latest->checkpoint.tree_size);
+      o["root"] = Value(HexEncode(latest->checkpoint.root));
+      o["cosignatures"] =
+          Value(static_cast<uint64_t>(latest->cosignatures.size()));
+    } else {
+      o["tree_size"] = Value(static_cast<uint64_t>(0));
+    }
+    shards.push_back(Value(std::move(o)));
+  }
+  Value::Object out;
+  out["num_shards"] = Value(static_cast<uint64_t>(svc->num_shards()));
+  out["witnesses"] = Value(static_cast<uint64_t>(svc->witness_count()));
+  out["shards"] = Value(std::move(shards));
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleTransparencyCheckpoint(
+    const HttpRequest& request) {
+  core::ShardedTransparencyService* svc = options_.transparency;
+  if (svc == nullptr) {
+    return ErrorResponse(404, "transparency not configured");
+  }
+  Result<uint64_t> shard = Uint64Param(request, "shard", /*required=*/false);
+  if (!shard.ok()) return ErrorFromStatus(shard.status());
+  Result<core::CosignedCheckpoint> latest =
+      svc->LatestCosigned(static_cast<uint32_t>(*shard));
+  if (!latest.ok()) return ErrorFromStatus(latest.status());
+  Value::Object out = CosignedCheckpointJson(*latest).as_object();
+  out["shard"] = Value(*shard);
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleTransparencyConsistency(
+    const HttpRequest& request) {
+  core::ShardedTransparencyService* svc = options_.transparency;
+  if (svc == nullptr) {
+    return ErrorResponse(404, "transparency not configured");
+  }
+  Result<uint64_t> shard = Uint64Param(request, "shard", /*required=*/false);
+  if (!shard.ok()) return ErrorFromStatus(shard.status());
+  Result<uint64_t> from = Uint64Param(request, "from", /*required=*/true);
+  if (!from.ok()) return ErrorFromStatus(from.status());
+  Result<uint64_t> to = Uint64Param(request, "to", /*required=*/true);
+  if (!to.ok()) return ErrorFromStatus(to.status());
+
+  Result<core::ConsistencyBundle> bundle =
+      svc->ConsistencyBetween(static_cast<uint32_t>(*shard), *from, *to);
+  if (!bundle.ok()) return ErrorFromStatus(bundle.status());
+  Value::Object out;
+  out["shard"] = Value(*shard);
+  out["from"] = CheckpointJson(bundle->from);
+  out["to"] = CheckpointJson(bundle->to);
+  out["proof"] = HexPathJson(bundle->proof);
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleTransparencyProof(
+    const core::PrincipalId& actor, const HttpRequest& request) {
+  core::ShardedTransparencyService* svc = options_.transparency;
+  if (svc == nullptr) {
+    return ErrorResponse(404, "transparency not configured");
+  }
+  Result<uint64_t> shard = Uint64Param(request, "shard", /*required=*/false);
+  if (!shard.ok()) return ErrorFromStatus(shard.status());
+  Result<uint64_t> seq = Uint64Param(request, "seq", /*required=*/true);
+  if (!seq.ok()) return ErrorFromStatus(seq.status());
+
+  Result<core::TransparencyLog*> log =
+      svc->log(static_cast<uint32_t>(*shard));
+  if (!log.ok()) return ErrorFromStatus(log.status());
+
+  // Default to the latest *published* size: proofs are only servable
+  // against checkpointed sizes, where the client holds a signed root.
+  Result<uint64_t> size = Uint64Param(request, "size", /*required=*/false);
+  if (!size.ok()) return ErrorFromStatus(size.status());
+  if (*size == 0) {
+    Result<core::CosignedCheckpoint> latest =
+        svc->LatestCosigned(static_cast<uint32_t>(*shard));
+    if (!latest.ok()) return ErrorFromStatus(latest.status());
+    size = latest->checkpoint.tree_size;
+  }
+
+  Result<core::EventProof> proof =
+      svc->ProveEventAt(static_cast<uint32_t>(*shard), *seq, *size);
+  if (!proof.ok()) return ErrorFromStatus(proof.status());
+
+  // RBAC: the proof carries the event's contents. Patients may prove
+  // events about themselves — their own actions, or disclosures of
+  // their own records; everyone else needs audit-read privileges
+  // (checked and audited by the shard, denial included).
+  core::Vault* any = AnyShard();
+  if (any == nullptr) return ErrorResponse(503, "all shards quarantined");
+  Result<core::Principal> who = any->access()->GetPrincipal(actor);
+  if (!who.ok()) return ErrorFromStatus(who.status());
+  bool own_event = false;
+  if (who->role == core::Role::kPatient) {
+    const core::AuditEvent& e = proof->event;
+    if (e.actor == actor) {
+      own_event = true;
+    } else if (!e.record_id.empty()) {
+      Result<core::RecordMeta> meta = vault_->GetRecordMeta(e.record_id);
+      own_event = meta.ok() && meta->patient_id == actor;
+    }
+  }
+  if (!own_event) {
+    Status gate = (*log)->vault()->CheckAuditAccess(actor);
+    if (!gate.ok()) return ErrorFromStatus(gate);
+  }
+
+  Value::Object out;
+  out["shard"] = Value(*shard);
+  out["event"] = AuditEventJson(proof->event);
+  out["tree_size"] = Value(proof->tree_size);
+  out["path"] = HexPathJson(proof->path);
+  // Ship the matching signed checkpoint so the client can verify the
+  // proof end-to-end from this one response.
+  Result<core::SignedCheckpoint> cp =
+      (*log)->vault()->audit()->CheckpointAt(proof->tree_size);
+  if (cp.ok()) out["checkpoint"] = CheckpointJson(*cp);
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleDisclosures(const core::PrincipalId& actor,
+                                               const HttpRequest& request) {
+  // HIPAA §164.528 accounting of disclosures. Defaults to the caller's
+  // own accounting; ?patient= lets auditors/admins pull another
+  // patient's (the vault's RBAC refuses everyone else).
+  std::string patient = request.QueryParam("patient");
+  if (patient.empty()) patient = actor;
+  Result<std::vector<core::AuditEvent>> events =
+      vault_->AccountingOfDisclosures(actor, patient);
+  if (!events.ok()) return ErrorFromStatus(events.status());
+  Value::Array arr;
+  for (const core::AuditEvent& e : *events) arr.push_back(AuditEventJson(e));
+  Value::Object out;
+  out["patient"] = Value(patient);
+  out["events"] = Value(std::move(arr));
   return JsonResponse(200, Value(std::move(out)));
 }
 

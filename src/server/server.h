@@ -22,6 +22,7 @@
 namespace medvault::core {
 class ShardedReplicationSource;
 class ShardedReplicaApplier;
+class ShardedTransparencyService;
 }  // namespace medvault::core
 
 namespace medvault::server {
@@ -64,6 +65,11 @@ struct ServerOptions {
   /// GET /v1/replication and in /v1/health's `repl` section.
   core::ShardedReplicationSource* repl_source = nullptr;
   core::ShardedReplicaApplier* repl_applier = nullptr;
+  /// Audit-transparency service (borrowed; may be null). When set, the
+  /// server serves GET /v1/transparency* — latest cosigned checkpoint,
+  /// inclusion/consistency proofs, and per-patient disclosure reports —
+  /// and /v1/health gains a `transparency` section.
+  core::ShardedTransparencyService* transparency = nullptr;
 };
 
 /// HTTP/1.1 front-end for one ShardedVault: record lifecycle, audit
@@ -160,6 +166,18 @@ class MedVaultServer {
   HttpResponse HandleCheckpoint(const core::PrincipalId& actor);
   HttpResponse HandleBreakGlass(const core::PrincipalId& actor,
                                 const HttpRequest& request);
+  // Transparency endpoints. Checkpoints, consistency proofs, and the
+  // service posture are public: they disclose only sizes, roots, and
+  // signatures — the whole point is that anyone can verify them.
+  // Inclusion proofs carry event contents and disclosure reports are
+  // per-patient, so both are session-authenticated with RBAC inside.
+  HttpResponse HandleTransparencyStatus();                       // unauth
+  HttpResponse HandleTransparencyCheckpoint(const HttpRequest& request);
+  HttpResponse HandleTransparencyConsistency(const HttpRequest& request);
+  HttpResponse HandleTransparencyProof(const core::PrincipalId& actor,
+                                       const HttpRequest& request);
+  HttpResponse HandleDisclosures(const core::PrincipalId& actor,
+                                 const HttpRequest& request);
 
   core::ShardedVault* vault_;
   ServerOptions options_;

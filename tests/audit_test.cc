@@ -246,6 +246,93 @@ TEST_F(AuditTest, EventProofsVerifyAgainstRoot) {
   EXPECT_TRUE(log_->ProveEvent(99).status().IsNotFound());
 }
 
+// Regression, the stale-root proof contract: ProveEvent proves against
+// the CURRENT head only, so a verifier who pinned a published
+// checkpoint and returned after the log grew held a proof that
+// verified against nothing they trusted. ProveEventAt(seq, n) must
+// serve any event under any historical size n, and the proof must
+// carry that size — not the live one.
+TEST_F(AuditTest, StaleCheckpointProofContract) {
+  for (int i = 0; i < 6; i++) {
+    ASSERT_TRUE(Log("actor-" + std::to_string(i), AuditAction::kRead).ok());
+  }
+  // The verifier pins this checkpoint and walks away.
+  auto pinned = log_->Checkpoint(signer_.get(), next_time_++);
+  ASSERT_TRUE(pinned.ok());
+  ASSERT_EQ(pinned->tree_size, 6u);
+
+  // The log grows past the pin.
+  for (int i = 0; i < 9; i++) {
+    ASSERT_TRUE(Log("later-" + std::to_string(i), AuditAction::kRead).ok());
+  }
+
+  // Every pinned-era event is provable against the pinned root...
+  for (uint64_t seq = 0; seq < pinned->tree_size; seq++) {
+    auto proof = log_->ProveEventAt(seq, pinned->tree_size);
+    ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+    EXPECT_EQ(proof->tree_size, pinned->tree_size);
+    EXPECT_TRUE(AuditLog::VerifyEventProof(*proof, pinned->root).ok());
+    // ...while the head proof for the same event is NOT (the bug).
+    auto head = log_->ProveEvent(seq);
+    ASSERT_TRUE(head.ok());
+    EXPECT_FALSE(AuditLog::VerifyEventProof(*head, pinned->root).ok());
+  }
+
+  // Contract edges: an event at/after the pinned size needs a newer
+  // checkpoint (kInvalidArgument); a size past the log is kNotFound.
+  EXPECT_TRUE(
+      log_->ProveEventAt(pinned->tree_size, pinned->tree_size).status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(log_->ProveEventAt(0, log_->size() + 1).status().IsNotFound());
+
+  // The consistency proof ties the pinned root to the grown head, so
+  // the verifier can re-pin without replaying the log.
+  auto grown = log_->Checkpoint(signer_.get(), next_time_++);
+  ASSERT_TRUE(grown.ok());
+  auto link =
+      log_->ConsistencyProofBetween(pinned->tree_size, grown->tree_size);
+  ASSERT_TRUE(link.ok());
+  EXPECT_TRUE(crypto::MerkleTree::VerifyConsistency(
+                  pinned->tree_size, pinned->root, grown->tree_size,
+                  grown->root, *link)
+                  .ok());
+  // A mismatched old root must NOT link (fork detection).
+  std::string forged = pinned->root;
+  forged[0] ^= 1;
+  EXPECT_FALSE(crypto::MerkleTree::VerifyConsistency(
+                   pinned->tree_size, forged, grown->tree_size, grown->root,
+                   *link)
+                   .ok());
+}
+
+// The disclosure-accounting index must agree with a full scan and
+// survive replay (it is rebuilt from the log on Open).
+TEST_F(AuditTest, DisclosureIndexMatchesScanAndSurvivesReopen) {
+  ASSERT_TRUE(Log("dr", AuditAction::kRead, "r-1").ok());
+  ASSERT_TRUE(Log("dr", AuditAction::kRead, "r-2").ok());
+  ASSERT_TRUE(Log("dr", AuditAction::kRead, "r-1").ok());
+  ASSERT_TRUE(Log("dr", AuditAction::kSearch, "r-1").ok());  // not a read
+  ASSERT_TRUE(Log("dr", AuditAction::kRead).ok());  // recordless read
+  ASSERT_TRUE(
+      Log("dr", AuditAction::kBreakGlass, "", "patient=pat grant=g-1").ok());
+  ASSERT_TRUE(  // malformed details (no trailing space): never indexed
+      Log("dr", AuditAction::kBreakGlass, "", "patient=pat").ok());
+
+  auto check = [&] {
+    EXPECT_EQ(log_->DisclosureSeqsForRecord("r-1"),
+              (std::vector<uint64_t>{0, 2}));
+    EXPECT_EQ(log_->DisclosureSeqsForRecord("r-2"),
+              (std::vector<uint64_t>{1}));
+    EXPECT_TRUE(log_->DisclosureSeqsForRecord("r-404").empty());
+    EXPECT_EQ(log_->BreakGlassSeqsForPatient("pat"),
+              (std::vector<uint64_t>{5}));
+    EXPECT_TRUE(log_->BreakGlassSeqsForPatient("other").empty());
+  };
+  check();
+  OpenLog();  // replay rebuilds the index
+  check();
+}
+
 TEST_F(AuditTest, ForgedEventProofFails) {
   for (int i = 0; i < 10; i++) {
     ASSERT_TRUE(Log("actor", AuditAction::kRead).ok());

@@ -25,13 +25,16 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "core/audit.h"
 #include "core/replication.h"
 #include "core/shard_router.h"
 #include "core/sharded_vault.h"
 #include "core/vault.h"
+#include "crypto/xmss.h"
 #include "storage/fault_env.h"
 #include "storage/mem_env.h"
 
@@ -61,6 +64,10 @@ struct WorkloadTrace {
   /// state-log replay at its ORIGINAL expiry.
   std::string breakglass_record;
   bool breakglass_acked = false;
+  /// Checkpoints whose publication returned OK. AuditLog::Checkpoint
+  /// syncs the frame before returning, so an OK return IS the ack: the
+  /// reopened log must still carry each one verbatim.
+  std::vector<core::SignedCheckpoint> acked_checkpoints;
 };
 
 VaultOptions Options(storage::Env* env, const Clock* clock) {
@@ -146,7 +153,9 @@ void RunWorkload(storage::Env* env, ManualClock* clock,
     trace->breakglass_acked = true;
   }
 
-  if (!vault->CheckpointAudit().ok()) return;
+  auto mid_checkpoint = vault->CheckpointAudit();
+  if (!mid_checkpoint.ok()) return;
+  trace->acked_checkpoints.push_back(*mid_checkpoint);
 
   // Disposal: a short-retention record, aged out, then crypto-shredded.
   auto doomed = vault->CreateRecord("dr", "p", "text/plain",
@@ -160,6 +169,16 @@ void RunWorkload(storage::Env* env, ManualClock* clock,
   trace->disposal_started = true;
   if (!vault->DisposeRecord("admin", *doomed).ok()) return;
   if (vault->SyncAll().ok()) trace->disposal_acked = true;
+
+  // A second checkpoint after the shred: the matrix now also covers
+  // crash points with one durable checkpoint behind them and another
+  // in flight — including the window between the XMSS leaf reservation
+  // (synced to the state log first) and the checkpoint frame's own
+  // sync, where the power cut must WASTE the reserved leaf, never hand
+  // it back for reuse.
+  auto final_checkpoint = vault->CheckpointAudit();
+  if (!final_checkpoint.ok()) return;
+  trace->acked_checkpoints.push_back(*final_checkpoint);
 }
 
 /// Re-registers whatever part of the cast the crash erased. Individual
@@ -183,6 +202,42 @@ void CheckRecovered(storage::Env* env, ManualClock* clock,
   Vault* vault = reopened->get();
 
   EXPECT_TRUE(vault->VerifyAudit().ok());
+
+  // Published-checkpoint contract: every checkpoint whose publication
+  // was acknowledged survives the crash verbatim, the reopened log
+  // still proves append-only growth from it, and an inclusion proof
+  // for an old event still verifies against its (now stale) root.
+  for (const core::SignedCheckpoint& cp : trace.acked_checkpoints) {
+    auto persisted = vault->audit()->CheckpointAt(cp.tree_size);
+    ASSERT_TRUE(persisted.ok())
+        << "acked checkpoint at size " << cp.tree_size
+        << " lost: " << persisted.status().ToString();
+    EXPECT_EQ(persisted->root, cp.root);
+    EXPECT_EQ(persisted->signature, cp.signature);
+    EXPECT_TRUE(vault->VerifyAuditAgainstTrusted(cp).ok());
+    if (cp.tree_size > 0) {
+      auto proof = vault->audit()->ProveEventAt(0, cp.tree_size);
+      ASSERT_TRUE(proof.ok()) << proof.status().ToString();
+      EXPECT_TRUE(core::AuditLog::VerifyEventProof(*proof, cp.root).ok());
+    }
+  }
+
+  // XMSS leaf conservation: reserve-then-sign makes the spent-leaf
+  // count durable BEFORE any signature exists, so no leaf visible in a
+  // persisted checkpoint may sign twice or sit at/past the restored
+  // signer position — wherever the power cut landed. Reuse would
+  // forfeit the one-time scheme outright.
+  std::set<uint32_t> used_leaves;
+  for (const core::SignedCheckpoint& cp :
+       vault->audit()->SnapshotCheckpoints()) {
+    auto sig = crypto::XmssSignature::Decode(cp.signature);
+    ASSERT_TRUE(sig.ok()) << sig.status().ToString();
+    EXPECT_TRUE(used_leaves.insert(sig->leaf_index).second)
+        << "XMSS leaf " << sig->leaf_index
+        << " signs two persisted checkpoints";
+    EXPECT_LT(sig->leaf_index, vault->signer()->SignaturesUsed())
+        << "restored signer would re-sign with leaf " << sig->leaf_index;
+  }
 
   // Every SyncAll-acked record must still be served at (at least) its
   // acked version; the shredded one must read as destroyed once the
@@ -257,6 +312,18 @@ void CheckRecovered(storage::Env* env, ManualClock* clock,
   ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
   ASSERT_TRUE(vault->SyncAll().ok());
   EXPECT_TRUE(vault->ReadRecord("dr", *fresh).ok());
+
+  // And a post-recovery checkpoint signs with a FRESH leaf — the
+  // direct demonstration that a leaf reserved-but-wasted by the crash
+  // is skipped, not recycled.
+  auto fresh_checkpoint = vault->CheckpointAudit();
+  ASSERT_TRUE(fresh_checkpoint.ok())
+      << fresh_checkpoint.status().ToString();
+  auto fresh_sig = crypto::XmssSignature::Decode(fresh_checkpoint->signature);
+  ASSERT_TRUE(fresh_sig.ok());
+  EXPECT_EQ(used_leaves.count(fresh_sig->leaf_index), 0u)
+      << "post-recovery checkpoint reused XMSS leaf "
+      << fresh_sig->leaf_index;
 }
 
 /// One fault-free pass to discover the boundary count; the workload is
@@ -273,6 +340,7 @@ uint64_t CountBoundaries() {
   EXPECT_EQ(trace.acked.size(), 5u);
   EXPECT_TRUE(trace.disposal_acked);
   EXPECT_TRUE(trace.breakglass_acked);
+  EXPECT_EQ(trace.acked_checkpoints.size(), 2u);
   return fault.ops();
 }
 

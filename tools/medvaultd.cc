@@ -11,6 +11,12 @@
 // are an outer proxy's job, outside the vault's tamper-evidence
 // boundary (see DESIGN.md, "Server & admission control").
 //
+// A primary always runs the audit-transparency service: an in-process
+// witness cosigns periodic checkpoints (--checkpoint-interval events,
+// polled every --checkpoint-poll-ms) and the server answers
+// GET /v1/transparency/* with cosigned checkpoints plus inclusion and
+// consistency proofs anyone can verify offline.
+//
 // A primary always ships: it serves POST /v1/replication/cut/<shard>
 // (cursor-HMAC authenticated) and GET /v1/replication. With
 // --replica-of the daemon is a warm standby instead: it polls the
@@ -39,6 +45,7 @@
 #include "common/clock.h"
 #include "core/replication.h"
 #include "core/sharded_vault.h"
+#include "core/transparency.h"
 #include "obs/metrics.h"
 #include "server/http_client.h"
 #include "server/server.h"
@@ -169,6 +176,8 @@ int main(int argc, char** argv) {
   bool bootstrap = false;
   uint16_t replica_of = 0;
   int poll_ms = 500;
+  int checkpoint_interval = 1024;  // audit events between checkpoints
+  int checkpoint_poll_ms = 1000;   // transparency tick cadence
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -193,10 +202,18 @@ int main(int argc, char** argv) {
       if (const char* v = next()) replica_of = static_cast<uint16_t>(atoi(v));
     } else if (arg == "--poll-ms") {
       if (const char* v = next()) poll_ms = atoi(v) > 0 ? atoi(v) : 500;
+    } else if (arg == "--checkpoint-interval") {
+      if (const char* v = next())
+        checkpoint_interval = atoi(v) > 0 ? atoi(v) : 1024;
+    } else if (arg == "--checkpoint-poll-ms") {
+      if (const char* v = next())
+        checkpoint_poll_ms = atoi(v) > 0 ? atoi(v) : 1000;
     } else {
       fprintf(stderr,
               "usage: medvaultd --dir <vault-dir> [--port N] [--shards K] "
               "[--workers N] [--max-queue N] [--bootstrap] [--no-durable]\n"
+              "                 [--checkpoint-interval N] "
+              "[--checkpoint-poll-ms N]\n"
               "       medvaultd --dir <replica-dir> --replica-of <port> "
               "[--shards K] [--poll-ms N]\n");
       return 2;
@@ -248,6 +265,26 @@ int main(int argc, char** argv) {
   medvault::core::ShardedReplicationSource repl_source(vault->get());
   server_options.repl_source = &repl_source;
 
+  // Every primary also runs the transparency service: witnessed
+  // checkpoints plus the /v1/transparency/* proof endpoints. The
+  // in-process witness is demo-grade custody (a real deployment runs
+  // witnesses in other failure domains), but it exercises the whole
+  // cosign path and makes forks self-evident in /v1/health.
+  medvault::core::ShardedTransparencyService::Options transparency_options;
+  transparency_options.checkpoint_interval =
+      static_cast<uint64_t>(checkpoint_interval);
+  medvault::core::ShardedTransparencyService transparency(
+      vault->get(), transparency_options);
+  {
+    const std::string seed =
+        EnvOr("MEDVAULT_WITNESS_SEED", "medvaultd-witness:" + dir);
+    Status added = transparency.AddWitness(
+        "witness-local", seed + ":secret", seed + ":public");
+    if (!added.ok()) fprintf(stderr, "medvaultd: witness: %s\n",
+                             added.ToString().c_str());
+  }
+  server_options.transparency = &transparency;
+
   auto server = MedVaultServer::Start(vault->get(), server_options);
   if (!server.ok()) return Fail(server.status());
   fprintf(stderr, "medvaultd: serving %s on 127.0.0.1:%u (%u shards)\n",
@@ -258,8 +295,25 @@ int main(int argc, char** argv) {
             "health endpoint only\n");
   }
 
+  // Periodic transparency tick instead of a blocking sigwait: publish
+  // a witnessed checkpoint whenever the audit log has grown a full
+  // interval since the last one (leaf-conserving no-op otherwise).
   int sig = 0;
-  sigwait(&sigs, &sig);
+  while (true) {
+    struct timespec ts;
+    ts.tv_sec = checkpoint_poll_ms / 1000;
+    ts.tv_nsec = static_cast<long>(checkpoint_poll_ms % 1000) * 1000000L;
+    siginfo_t info;
+    if (sigtimedwait(&sigs, &info, &ts) > 0) {
+      sig = info.si_signo;
+      break;
+    }
+    Status ticked = transparency.MaybeCheckpointAll();
+    if (!ticked.ok()) {
+      fprintf(stderr, "medvaultd: checkpoint tick: %s\n",
+              ticked.ToString().c_str());
+    }
+  }
   fprintf(stderr, "medvaultd: %s — shutting down\n", strsignal(sig));
   (*server)->Stop();
   Status synced = vault->get()->SyncAll();

@@ -2,15 +2,16 @@
 # Smoke suite: the tier-1 test battery in the default configuration,
 # then the crash/fault matrix, the cross-shard stress battery, the
 # observability battery, the media-fault scrub/repair battery, the
-# async-env/group-commit batteries, the HTTP server battery, and the
-# verified-replication battery
-# (`ctest -L "crash|stress|obs|scrub|env|commit|serve|repl"`) rebuilt
-# under AddressSanitizer and UndefinedBehaviorSanitizer, then the
-# stress + obs + commit + serve + repl batteries under ThreadSanitizer —
-# the shared cache / ingest-pool races, the lock-free metrics hot path,
-# the group-commit leader/follower handoff, the acceptor/worker socket
-# hand-off, and the cut-under-exclusive-lock vs apply-pool interplay
-# only surface instrumented.
+# async-env/group-commit batteries, the HTTP server battery, the
+# verified-replication battery, and the audit-transparency battery
+# (`ctest -L "crash|stress|obs|scrub|env|commit|serve|repl|transparency"`)
+# rebuilt under AddressSanitizer and UndefinedBehaviorSanitizer, then the
+# stress + obs + commit + serve + repl + transparency batteries under
+# ThreadSanitizer — the shared cache / ingest-pool races, the lock-free
+# metrics hot path, the group-commit leader/follower handoff, the
+# acceptor/worker socket hand-off, the cut-under-exclusive-lock vs
+# apply-pool interplay, and the proof-serving-vs-concurrent-append
+# interleaving only surface instrumented.
 # A final configuration forces -DMEDVAULT_IO_URING=OFF and re-runs the
 # env + commit batteries so the thread-pool sync fallback stays proven
 # even on hosts where liburing is found. The bench_compare fixture
@@ -40,9 +41,9 @@ run_config() {
 }
 
 run_config "$prefix" "" ""
-run_config "${prefix}-asan" address "crash|stress|obs|scrub|env|commit|serve|repl"
-run_config "${prefix}-ubsan" undefined "crash|stress|obs|scrub|env|commit|serve|repl"
-run_config "${prefix}-tsan" thread "stress|obs|commit|serve|repl"
+run_config "${prefix}-asan" address "crash|stress|obs|scrub|env|commit|serve|repl|transparency"
+run_config "${prefix}-ubsan" undefined "crash|stress|obs|scrub|env|commit|serve|repl|transparency"
+run_config "${prefix}-tsan" thread "stress|obs|commit|serve|repl|transparency"
 run_config "${prefix}-nouring" "" "env|commit" "-DMEDVAULT_IO_URING=OFF"
 
 echo "smoke suite passed"
