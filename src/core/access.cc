@@ -32,6 +32,18 @@ const char* OperationName(Operation op) {
   return "unknown";
 }
 
+const char* AccessBasisName(AccessBasis::Kind kind) {
+  switch (kind) {
+    case AccessBasis::Kind::kNone: return "none";
+    case AccessBasis::Kind::kRole: return "role";
+    case AccessBasis::Kind::kOwner: return "owner";
+    case AccessBasis::Kind::kCare: return "care";
+    case AccessBasis::Kind::kBreakGlass: return "break-glass";
+    case AccessBasis::Kind::kConsent: return "consent";
+  }
+  return "unknown";
+}
+
 Status AccessController::RegisterPrincipal(const Principal& principal) {
   if (principal.id.empty()) {
     return Status::InvalidArgument("principal id must not be empty");
@@ -84,14 +96,19 @@ void AccessController::PruneExpiredLocked(Timestamp now) const {
 
 bool AccessController::HasActiveGrant(const PrincipalId& clinician,
                                       const PrincipalId& patient,
-                                      Timestamp now) const {
+                                      Timestamp now,
+                                      std::string* grant_id_out) const {
   std::lock_guard<std::mutex> lock(grants_mu_);
   // Every expiry check doubles as garbage collection: without it the
   // table only ever grew (grants were inserted, never erased), so a
   // long-lived daemon scanned an ever-longer list of dead entries.
+  // Pruning drops expires_at <= now, so surviving entries are active
+  // strictly before expiry — a grant exercised at exactly expires_at
+  // is refused.
   PruneExpiredLocked(now);
   for (const auto& [id, grant] : grants_) {
     if (grant.clinician == clinician && grant.patient == patient) {
+      if (grant_id_out != nullptr) *grant_id_out = id;
       return true;  // pruned above, so present => expires_at > now
     }
   }
@@ -101,6 +118,14 @@ bool AccessController::HasActiveGrant(const PrincipalId& clinician,
 Status AccessController::CheckAccess(const PrincipalId& actor, Operation op,
                                      const PrincipalId& patient_id,
                                      Timestamp now) const {
+  return CheckAccess(actor, op, patient_id, RecordId(), now, nullptr);
+}
+
+Status AccessController::CheckAccess(const PrincipalId& actor, Operation op,
+                                     const PrincipalId& patient_id,
+                                     const RecordId& record_id, Timestamp now,
+                                     AccessBasis* basis) const {
+  if (basis != nullptr) *basis = AccessBasis{};
   auto it = principals_.find(actor);
   if (it == principals_.end()) return Status::NotFound("unknown principal");
   const Role role = it->second.role;
@@ -109,39 +134,64 @@ Status AccessController::CheckAccess(const PrincipalId& actor, Operation op,
     return Status::PermissionDenied(std::string(RoleName(role)) + " may not " +
                                     OperationName(op) + ": " + why);
   };
+  auto allow = [&](AccessBasis::Kind kind, std::string grant_id = "") {
+    if (basis != nullptr) *basis = AccessBasis{kind, std::move(grant_id)};
+    return Status::OK();
+  };
 
   const bool clinician = (role == Role::kPhysician || role == Role::kNurse);
-  const bool scoped_ok =
-      clinician && (InCare(actor, patient_id) ||
-                    HasActiveGrant(actor, patient_id, now));
+  const bool in_care = clinician && InCare(actor, patient_id);
+  std::string bg_grant;
+  const bool via_grant = clinician && !in_care &&
+                         HasActiveGrant(actor, patient_id, now, &bg_grant);
+  const bool scoped_ok = in_care || via_grant;
+  auto scoped_basis = [&]() {
+    return in_care ? allow(AccessBasis::Kind::kCare)
+                   : allow(AccessBasis::Kind::kBreakGlass, bg_grant);
+  };
 
   switch (op) {
     case Operation::kCreateRecord:
-      if (role == Role::kClerk) return Status::OK();
-      if (scoped_ok) return Status::OK();
+      if (role == Role::kClerk) return allow(AccessBasis::Kind::kRole);
+      if (scoped_ok) return scoped_basis();
       return deny("requires clerk, or clinician with a care relation");
-    case Operation::kReadRecord:
-      if (role == Role::kPatient && actor == patient_id) return Status::OK();
-      if (scoped_ok) return Status::OK();
-      return deny("requires care relation, break-glass, or record owner");
-    case Operation::kCorrectRecord:
-      if (role == Role::kPhysician && scoped_ok) return Status::OK();
+    case Operation::kReadRecord: {
       if (role == Role::kPatient && actor == patient_id) {
-        return Status::OK();  // HIPAA right to request amendment
+        return allow(AccessBasis::Kind::kOwner);
+      }
+      if (scoped_ok) return scoped_basis();
+      // Delegated consent opens reads — and only reads — to any
+      // registered principal the patient chose (specialist, insurer,
+      // researcher), regardless of role or care relation.
+      std::string consent_id;
+      if (consents_ != nullptr &&
+          consents_->HasActiveConsent(actor, patient_id, record_id, now,
+                                      &consent_id)) {
+        return allow(AccessBasis::Kind::kConsent, consent_id);
+      }
+      return deny("requires care relation, break-glass, consent, or "
+                  "record owner");
+    }
+    case Operation::kCorrectRecord:
+      if (role == Role::kPhysician && scoped_ok) return scoped_basis();
+      if (role == Role::kPatient && actor == patient_id) {
+        return allow(  // HIPAA right to request amendment
+            AccessBasis::Kind::kOwner);
       }
       return deny("requires treating physician or the patient");
     case Operation::kSearch:
-      if (scoped_ok || clinician) return Status::OK();
+      if (in_care || via_grant) return scoped_basis();
+      if (clinician) return allow(AccessBasis::Kind::kRole);
       return deny("requires a clinician");
     case Operation::kDispose:
     case Operation::kMigrate:
     case Operation::kBackup:
     case Operation::kManagePrincipals:
-      if (role == Role::kAdmin) return Status::OK();
+      if (role == Role::kAdmin) return allow(AccessBasis::Kind::kRole);
       return deny("requires admin");
     case Operation::kReadAudit:
       if (role == Role::kAuditor || role == Role::kAdmin) {
-        return Status::OK();
+        return allow(AccessBasis::Kind::kRole);
       }
       return deny("requires auditor");
   }

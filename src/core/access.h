@@ -10,6 +10,7 @@
 
 #include "common/clock.h"
 #include "common/result.h"
+#include "core/consent.h"
 #include "core/record.h"
 
 namespace medvault::core {
@@ -49,6 +50,24 @@ enum class Operation : uint8_t {
 
 const char* OperationName(Operation op);
 
+/// Why an access check succeeded — threaded into the audit trail so a
+/// disclosure report names HOW a reader got in (care relation vs
+/// emergency override vs delegated consent), not just that they did.
+struct AccessBasis {
+  enum class Kind : uint8_t {
+    kNone = 0,        ///< denied, or basis not applicable
+    kRole = 1,        ///< role policy alone (clerk create, admin ops, ...)
+    kOwner = 2,       ///< patient acting on their own records
+    kCare = 3,        ///< treating relationship
+    kBreakGlass = 4,  ///< emergency override grant
+    kConsent = 5,     ///< delegated patient consent grant
+  };
+  Kind kind = Kind::kNone;
+  std::string grant_id;  ///< set for kBreakGlass / kConsent
+};
+
+const char* AccessBasisName(AccessBasis::Kind kind);
+
 /// Role-based access control with treating-relationship scoping and
 /// emergency break-glass (paper §3: "only authorized personnel should
 /// have access"; availability requires an override that never blocks
@@ -80,11 +99,26 @@ class AccessController {
                     const PrincipalId& patient);
   bool InCare(const PrincipalId& clinician, const PrincipalId& patient) const;
 
+  /// Makes delegated consent grants visible to CheckAccess (read-only
+  /// borrow; the Vault owns the registry and outlives the controller).
+  void AttachConsentRegistry(const ConsentRegistry* consents) {
+    consents_ = consents;
+  }
+
   /// Decides whether `actor` may perform `op` on a record belonging to
   /// `patient_id` (empty for non-record operations). OK or
   /// kPermissionDenied (kNotFound for unknown actors).
   Status CheckAccess(const PrincipalId& actor, Operation op,
                      const PrincipalId& patient_id, Timestamp now) const;
+
+  /// Record-aware overload: also consults the consent registry (a
+  /// delegated grant authorizes kReadRecord only — sharing is
+  /// read-only) and reports the basis of a successful check via
+  /// `*basis` (may be null). `record_id` may be empty for
+  /// patient-scoped decisions.
+  Status CheckAccess(const PrincipalId& actor, Operation op,
+                     const PrincipalId& patient_id, const RecordId& record_id,
+                     Timestamp now, AccessBasis* basis) const;
 
   /// Emergency override: grants `clinician` read access to `patient`'s
   /// records until `expires_at`. Returns the grant id. The caller MUST
@@ -122,8 +156,10 @@ class AccessController {
     Timestamp expires_at = 0;
   };
 
+  /// Fills `*grant_id_out` (if non-null) with the matching grant's id.
   bool HasActiveGrant(const PrincipalId& clinician,
-                      const PrincipalId& patient, Timestamp now) const;
+                      const PrincipalId& patient, Timestamp now,
+                      std::string* grant_id_out) const;
   /// Drops every grant with expires_at <= now. Requires grants_mu_.
   void PruneExpiredLocked(Timestamp now) const;
 
@@ -139,6 +175,10 @@ class AccessController {
   mutable std::mutex grants_mu_;
   mutable std::map<std::string, Grant> grants_;
   uint64_t next_grant_ = 1;  // guarded by grants_mu_
+  /// Borrowed from the Vault; null until AttachConsentRegistry. The
+  /// registry has its own leaf mutex, so consulting it under the
+  /// vault's shared lock is safe, exactly like grants_mu_.
+  const ConsentRegistry* consents_ = nullptr;
 };
 
 }  // namespace medvault::core

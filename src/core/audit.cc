@@ -32,6 +32,8 @@ const char* AuditActionName(AuditAction action) {
     case AuditAction::kCustodyTransfer: return "custody-transfer";
     case AuditAction::kPolicyChange: return "policy-change";
     case AuditAction::kRecovery: return "recovery";
+    case AuditAction::kConsentGrant: return "consent-grant";
+    case AuditAction::kConsentRevoke: return "consent-revoke";
   }
   return "unknown";
 }
@@ -148,23 +150,39 @@ storage::WritableFile* AuditLog::sync_target() {
   return writer_->file();
 }
 
+namespace {
+
+/// Extracts "<id>" from details formatted "patient=<id> ...". The
+/// trailing space is required — matching the report's matcher exactly,
+/// so the indexed report can never differ from a full scan.
+bool ParsePatientToken(const std::string& details, std::string* patient) {
+  constexpr char kPrefix[] = "patient=";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (details.rfind(kPrefix, 0) != 0) return false;
+  size_t space = details.find(' ', kPrefixLen);
+  if (space == std::string::npos) return false;
+  *patient = details.substr(kPrefixLen, space - kPrefixLen);
+  return true;
+}
+
+}  // namespace
+
 void AuditLog::IndexEventLocked(const AuditEvent& event) {
   if (event.action == AuditAction::kRead && !event.record_id.empty()) {
     read_seqs_by_record_[event.record_id].push_back(event.seq);
   } else if (event.action == AuditAction::kBreakGlass) {
-    // Break-glass details are formatted "patient=<id> grant=..."; index
-    // by the patient token. The trailing space is required — matching
-    // the report's matcher exactly, so the indexed report can never
-    // differ from a full scan.
-    constexpr char kPrefix[] = "patient=";
-    constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
-    if (event.details.rfind(kPrefix, 0) == 0) {
-      size_t space = event.details.find(' ', kPrefixLen);
-      if (space != std::string::npos) {
-        breakglass_seqs_by_patient_[event.details.substr(
-                                        kPrefixLen, space - kPrefixLen)]
-            .push_back(event.seq);
-      }
+    // Break-glass details are formatted "patient=<id> grant=...".
+    std::string patient;
+    if (ParsePatientToken(event.details, &patient)) {
+      breakglass_seqs_by_patient_[patient].push_back(event.seq);
+    }
+  } else if (event.action == AuditAction::kConsentGrant) {
+    // Consent grants are formatted "patient=<id> grantee=..." — the
+    // grant names its recipient, so it is a reportable disclosure
+    // decision; revocations disclose nothing and are not indexed.
+    std::string patient;
+    if (ParsePatientToken(event.details, &patient)) {
+      consent_seqs_by_patient_[patient].push_back(event.seq);
     }
   }
 }
@@ -423,6 +441,14 @@ std::vector<uint64_t> AuditLog::BreakGlassSeqsForPatient(
   std::lock_guard<std::mutex> lock(mu_);
   auto it = breakglass_seqs_by_patient_.find(patient_id);
   if (it == breakglass_seqs_by_patient_.end()) return {};
+  return it->second;
+}
+
+std::vector<uint64_t> AuditLog::ConsentSeqsForPatient(
+    const PrincipalId& patient_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = consent_seqs_by_patient_.find(patient_id);
+  if (it == consent_seqs_by_patient_.end()) return {};
   return it->second;
 }
 

@@ -37,6 +37,8 @@ enum class AuditAction : uint8_t {
   kCustodyTransfer = 13,
   kPolicyChange = 14,
   kRecovery = 15,  ///< crash recovery reconciled partial state
+  kConsentGrant = 16,   ///< patient delegated access to a third party
+  kConsentRevoke = 17,  ///< delegation withdrawn (patient, admin, or shred)
 };
 
 const char* AuditActionName(AuditAction action);
@@ -224,6 +226,14 @@ class AuditLog {
   std::vector<uint64_t> BreakGlassSeqsForPatient(
       const PrincipalId& patient_id) const;
 
+  /// Sequence numbers of kConsentGrant events whose details name
+  /// `patient_id` — a consent grant is itself a §164.528-reportable
+  /// disclosure decision (it names the recipient), and like break-glass
+  /// it is patient-scoped. Revocations are deliberately NOT indexed:
+  /// withdrawing access discloses nothing.
+  std::vector<uint64_t> ConsentSeqsForPatient(
+      const PrincipalId& patient_id) const;
+
   /// Copy of event `seq`; kNotFound past the end.
   Result<AuditEvent> EventAt(uint64_t seq) const;
 
@@ -265,6 +275,8 @@ class AuditLog {
   std::unordered_map<RecordId, std::vector<uint64_t>> read_seqs_by_record_;
   std::unordered_map<PrincipalId, std::vector<uint64_t>>
       breakglass_seqs_by_patient_;
+  std::unordered_map<PrincipalId, std::vector<uint64_t>>
+      consent_seqs_by_patient_;
   std::string last_hash_;
   bool open_ = false;
 };

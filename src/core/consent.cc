@@ -1,0 +1,269 @@
+#include "core/consent.h"
+
+#include <charconv>
+#include <utility>
+
+#include "common/coding.h"
+#include "crypto/hmac.h"
+
+namespace medvault::core {
+
+const char* ConsentScopeName(ConsentScope scope) {
+  switch (scope) {
+    case ConsentScope::kRecord:
+      return "record";
+    case ConsentScope::kPatient:
+      return "patient";
+  }
+  return "unknown";
+}
+
+std::string ConsentGrant::SignedPayload() const {
+  std::string payload("medvault-consent-v1");
+  PutLengthPrefixed(&payload, grant_id);
+  PutLengthPrefixed(&payload, patient);
+  PutLengthPrefixed(&payload, grantee);
+  PutLengthPrefixed(&payload, record_id);
+  PutVarint64(&payload, static_cast<uint64_t>(scope));
+  PutLengthPrefixed(&payload, purpose);
+  PutVarint64(&payload, static_cast<uint64_t>(issued_at));
+  PutVarint64(&payload, static_cast<uint64_t>(expires_at));
+  return payload;
+}
+
+std::string ConsentGrant::Encode() const {
+  std::string out;
+  PutLengthPrefixed(&out, grant_id);
+  PutLengthPrefixed(&out, patient);
+  PutLengthPrefixed(&out, grantee);
+  PutLengthPrefixed(&out, record_id);
+  PutVarint64(&out, static_cast<uint64_t>(scope));
+  PutLengthPrefixed(&out, purpose);
+  PutVarint64(&out, static_cast<uint64_t>(issued_at));
+  PutVarint64(&out, static_cast<uint64_t>(expires_at));
+  PutLengthPrefixed(&out, signature);
+  return out;
+}
+
+Result<ConsentGrant> ConsentGrant::Decode(const Slice& data) {
+  Slice in = data;
+  ConsentGrant grant;
+  uint64_t scope_raw = 0;
+  uint64_t issued = 0;
+  uint64_t expires = 0;
+  if (!GetLengthPrefixedString(&in, &grant.grant_id) ||
+      !GetLengthPrefixedString(&in, &grant.patient) ||
+      !GetLengthPrefixedString(&in, &grant.grantee) ||
+      !GetLengthPrefixedString(&in, &grant.record_id) ||
+      !GetVarint64(&in, &scope_raw) ||
+      !GetLengthPrefixedString(&in, &grant.purpose) ||
+      !GetVarint64(&in, &issued) || !GetVarint64(&in, &expires) ||
+      !GetLengthPrefixedString(&in, &grant.signature) || !in.empty()) {
+    return Status::Corruption("bad consent grant encoding");
+  }
+  if (scope_raw != static_cast<uint64_t>(ConsentScope::kRecord) &&
+      scope_raw != static_cast<uint64_t>(ConsentScope::kPatient)) {
+    return Status::Corruption("bad consent scope");
+  }
+  grant.scope = static_cast<ConsentScope>(scope_raw);
+  if ((grant.scope == ConsentScope::kRecord) == grant.record_id.empty()) {
+    return Status::Corruption("consent scope disagrees with record id");
+  }
+  grant.issued_at = static_cast<Timestamp>(issued);
+  grant.expires_at = static_cast<Timestamp>(expires);
+  return grant;
+}
+
+void ConsentRegistry::Configure(std::string signing_root,
+                                std::string id_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  signing_root_ = std::move(signing_root);
+  if (!id_prefix.empty()) id_prefix_ = std::move(id_prefix);
+}
+
+std::string ConsentRegistry::SigningKeyFor(const PrincipalId& patient) const {
+  return crypto::HmacSha256(signing_root_, "consent-key:" + patient);
+}
+
+Result<ConsentGrant> ConsentRegistry::Grant(const PrincipalId& patient,
+                                            const PrincipalId& grantee,
+                                            const RecordId& record_id,
+                                            const std::string& purpose,
+                                            Timestamp now,
+                                            Timestamp expires_at) {
+  if (patient.empty() || grantee.empty()) {
+    return Status::InvalidArgument("consent needs a patient and a grantee");
+  }
+  if (grantee == patient) {
+    return Status::InvalidArgument(
+        "patients already read their own records; no self-consent");
+  }
+  if (purpose.empty()) {
+    return Status::InvalidArgument("consent requires a stated purpose");
+  }
+  if (expires_at <= now) {
+    return Status::InvalidArgument("consent must be time-boxed in the future");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ConsentGrant grant;
+  grant.grant_id = id_prefix_ + "-" + std::to_string(next_id_++);
+  grant.patient = patient;
+  grant.grantee = grantee;
+  grant.record_id = record_id;
+  grant.scope =
+      record_id.empty() ? ConsentScope::kPatient : ConsentScope::kRecord;
+  grant.purpose = purpose;
+  grant.issued_at = now;
+  grant.expires_at = expires_at;
+  grant.signature =
+      crypto::HmacSha256(SigningKeyFor(patient), grant.SignedPayload());
+  grants_[grant.grant_id] = grant;
+  return grant;
+}
+
+Status ConsentRegistry::Revoke(const std::string& grant_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = grants_.find(grant_id);
+  if (it == grants_.end()) {
+    return Status::NotFound("no such consent grant: " + grant_id);
+  }
+  grants_.erase(it);
+  return Status::OK();
+}
+
+Result<ConsentGrant> ConsentRegistry::Get(const std::string& grant_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = grants_.find(grant_id);
+  if (it == grants_.end()) {
+    return Status::NotFound("no such consent grant: " + grant_id);
+  }
+  return it->second;
+}
+
+bool ConsentRegistry::HasActiveConsent(const PrincipalId& grantee,
+                                       const PrincipalId& patient,
+                                       const RecordId& record_id,
+                                       Timestamp now,
+                                       std::string* grant_id_out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneExpiredLocked(now);
+  for (const auto& [id, grant] : grants_) {
+    if (grant.grantee != grantee || grant.patient != patient) continue;
+    if (grant.scope == ConsentScope::kRecord && grant.record_id != record_id) {
+      continue;
+    }
+    if (grant_id_out != nullptr) *grant_id_out = id;
+    return true;
+  }
+  return false;
+}
+
+bool ConsentRegistry::HasActiveConsentForRecord(const RecordId& record_id,
+                                                Timestamp now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneExpiredLocked(now);
+  for (const auto& [id, grant] : grants_) {
+    (void)id;
+    if (grant.scope == ConsentScope::kRecord && grant.record_id == record_id) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ConsentGrant> ConsentRegistry::ListForPatient(
+    const PrincipalId& patient, Timestamp now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneExpiredLocked(now);
+  std::vector<ConsentGrant> out;
+  for (const auto& [id, grant] : grants_) {
+    (void)id;
+    if (grant.patient == patient) out.push_back(grant);
+  }
+  return out;
+}
+
+std::vector<ConsentGrant> ConsentRegistry::RevokeAllForRecord(
+    const RecordId& record_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ConsentGrant> revoked;
+  for (auto it = grants_.begin(); it != grants_.end();) {
+    if (it->second.scope == ConsentScope::kRecord &&
+        it->second.record_id == record_id) {
+      revoked.push_back(it->second);
+      it = grants_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return revoked;
+}
+
+std::vector<ConsentGrant> ConsentRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ConsentGrant> out;
+  out.reserve(grants_.size());
+  for (const auto& [id, grant] : grants_) {
+    (void)id;
+    out.push_back(grant);
+  }
+  return out;
+}
+
+Status ConsentRegistry::VerifySignature(const ConsentGrant& grant) const {
+  std::string expected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    expected =
+        crypto::HmacSha256(SigningKeyFor(grant.patient), grant.SignedPayload());
+  }
+  if (!crypto::ConstantTimeEqual(expected, grant.signature)) {
+    return Status::TamperDetected("consent grant " + grant.grant_id +
+                                  " signature mismatch");
+  }
+  return Status::OK();
+}
+
+Status ConsentRegistry::Restore(const ConsentGrant& grant, Timestamp now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoteReplayedIdLocked(grant.grant_id);
+  if (grant.expires_at <= now) return Status::OK();  // dead on arrival: skip
+  grants_[grant.grant_id] = grant;
+  return Status::OK();
+}
+
+Status ConsentRegistry::RestoreRevoke(const std::string& grant_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoteReplayedIdLocked(grant_id);
+  grants_.erase(grant_id);
+  return Status::OK();
+}
+
+size_t ConsentRegistry::ActiveCount(Timestamp now) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  PruneExpiredLocked(now);
+  return grants_.size();
+}
+
+void ConsentRegistry::PruneExpiredLocked(Timestamp now) const {
+  for (auto it = grants_.begin(); it != grants_.end();) {
+    if (it->second.expires_at <= now) {
+      it = grants_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ConsentRegistry::NoteReplayedIdLocked(const std::string& grant_id) {
+  size_t dash = grant_id.rfind('-');
+  if (dash == std::string::npos || dash + 1 >= grant_id.size()) return;
+  uint64_t n = 0;
+  const char* first = grant_id.data() + dash + 1;
+  const char* last = grant_id.data() + grant_id.size();
+  auto [ptr, ec] = std::from_chars(first, last, n, 10);
+  if (ec != std::errc() || ptr != last) return;
+  if (n >= next_id_) next_id_ = n + 1;
+}
+
+}  // namespace medvault::core

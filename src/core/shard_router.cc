@@ -49,6 +49,31 @@ bool ShardRouter::ShardOfRecordId(const RecordId& record_id,
   return true;
 }
 
+std::string ShardRouter::ConsentIdPrefix(uint32_t shard) {
+  std::string prefix = "s";
+  prefix += std::to_string(shard);
+  prefix += "-cg";
+  return prefix;
+}
+
+bool ShardRouter::ShardOfConsentId(const std::string& grant_id,
+                                   uint32_t* shard) {
+  // "s<digits>-cg-<n>": same shape as ShardOfRecordId with a "-cg-"
+  // spine, so unsharded "cg-<n>" ids never misroute.
+  if (grant_id.size() < 6 || grant_id[0] != 's') return false;
+  const char* first = grant_id.data() + 1;
+  const char* last = grant_id.data() + grant_id.size();
+  uint32_t k = 0;
+  auto [ptr, ec] = std::from_chars(first, last, k, 10);
+  if (ec != std::errc() || ptr == first) return false;
+  if (last - ptr < 4 || ptr[0] != '-' || ptr[1] != 'c' || ptr[2] != 'g' ||
+      ptr[3] != '-') {
+    return false;
+  }
+  *shard = k;
+  return true;
+}
+
 Status ShardRouter::WriteManifest(storage::Env* env, const std::string& root,
                                   uint32_t num_shards) {
   std::string contents = kManifestMagic;

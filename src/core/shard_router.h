@@ -53,6 +53,16 @@ class ShardRouter {
   /// unsharded "r-<n>").
   static bool ShardOfRecordId(const RecordId& record_id, uint32_t* shard);
 
+  /// Consent-grant-id prefix shard `k`'s inner vault assigns ids under
+  /// ("s<k>-cg", so grant ids read "s<k>-cg-<n>"). A grant lives on the
+  /// shard of its granting patient; the embedded index lets revocation
+  /// route by grant id alone.
+  static std::string ConsentIdPrefix(uint32_t shard);
+
+  /// Parses the shard index out of a sharded consent-grant id
+  /// ("s<k>-cg-<n>"). Returns false for non-sharded ids ("cg-<n>").
+  static bool ShardOfConsentId(const std::string& grant_id, uint32_t* shard);
+
   // ---- Shard-count manifest -------------------------------------------
 
   /// Durably records `num_shards` in `<root>/shards.meta`.

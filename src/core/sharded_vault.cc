@@ -176,6 +176,7 @@ Result<std::unique_ptr<Vault>> ShardedVault::OpenShard(uint32_t k) {
   shard_options.system_id = options_.system_id + "/shard-" + std::to_string(k);
   shard_options.require_dual_disposal = options_.require_dual_disposal;
   shard_options.record_id_prefix = ShardRouter::RecordIdPrefix(k);
+  shard_options.consent_id_prefix = ShardRouter::ConsentIdPrefix(k);
   shard_options.cache = cache_.get();
   shard_options.metrics = metrics_;
   return Vault::Open(shard_options);
@@ -311,6 +312,60 @@ Result<std::string> ShardedVault::BreakGlass(const PrincipalId& clinician,
   MEDVAULT_ASSIGN_OR_RETURN(Vault * s,
                             RequireShard(router_.ShardOf(patient)));
   return s->BreakGlass(clinician, patient, justification, duration);
+}
+
+// ---------------------------------------------------------------------------
+// Patient-driven sharing
+// ---------------------------------------------------------------------------
+
+Result<ConsentGrant> ShardedVault::GrantConsent(const PrincipalId& actor,
+                                                const PrincipalId& grantee,
+                                                const RecordId& record_id,
+                                                const std::string& purpose,
+                                                Timestamp duration) {
+  // A grant lives on its granting patient's shard — the same shard as
+  // every record it can cover (records are placed by patient id), so
+  // the shard-local registry sees all relevant grants. A record-scoped
+  // grant id must agree with the actor's shard, or the registry could
+  // never match it against a read routed by record id.
+  const uint32_t k = router_.ShardOf(actor);
+  if (!record_id.empty()) {
+    MEDVAULT_ASSIGN_OR_RETURN(uint32_t rk, RouteRecordId(record_id));
+    if (rk != k) {
+      return Status::PermissionDenied(
+          "patients may share only their own records");
+    }
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->GrantConsent(actor, grantee, record_id, purpose, duration);
+}
+
+Status ShardedVault::RevokeConsent(const PrincipalId& actor,
+                                   const std::string& grant_id) {
+  // Grant ids embed their shard ("s<k>-cg-<n>") — route by id alone.
+  uint32_t k = 0;
+  if (!ShardRouter::ShardOfConsentId(grant_id, &k) || k >= num_shards()) {
+    return Status::NotFound("no such consent grant: " + grant_id);
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s, RequireShard(k));
+  return s->RevokeConsent(actor, grant_id);
+}
+
+Result<std::vector<ConsentGrant>> ShardedVault::ListConsents(
+    const PrincipalId& actor, const PrincipalId& patient) {
+  MEDVAULT_ASSIGN_OR_RETURN(Vault * s,
+                            RequireShard(router_.ShardOf(patient)));
+  return s->ListConsents(actor, patient);
+}
+
+size_t ShardedVault::ActiveConsentCount() const {
+  size_t total = 0;
+  for (uint32_t k = 0; k < num_shards(); ++k) {
+    const Vault* s = shard(k);
+    if (s == nullptr) continue;
+    total += s->ActiveConsentCount();
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------

@@ -133,6 +133,24 @@ class ShardedVault {
                                  const std::string& justification,
                                  Timestamp duration);
 
+  // ---- Patient-driven sharing -----------------------------------------
+
+  /// Routed to the granting patient's shard — the shard holding every
+  /// record the grant can cover. See Vault::GrantConsent.
+  Result<ConsentGrant> GrantConsent(const PrincipalId& actor,
+                                    const PrincipalId& grantee,
+                                    const RecordId& record_id,
+                                    const std::string& purpose,
+                                    Timestamp duration);
+  /// Routed by the grant id itself ("s<k>-cg-<n>" embeds the shard).
+  Status RevokeConsent(const PrincipalId& actor,
+                       const std::string& grant_id);
+  /// Routed to `patient`'s shard.
+  Result<std::vector<ConsentGrant>> ListConsents(const PrincipalId& actor,
+                                                 const PrincipalId& patient);
+  /// Sum over healthy shards (health reporting).
+  size_t ActiveConsentCount() const;
+
   // ---- Record lifecycle ----------------------------------------------
 
   Result<RecordId> CreateRecord(const PrincipalId& actor,

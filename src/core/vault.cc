@@ -24,6 +24,14 @@ constexpr uint8_t kStatePrincipal = 3;
 constexpr uint8_t kStateCareAssign = 4;
 constexpr uint8_t kStateCareRevoke = 5;
 constexpr uint8_t kStateGrant = 6;
+constexpr uint8_t kStateConsent = 7;
+constexpr uint8_t kStateConsentRevoke = 8;
+
+std::string EncodeConsentRevoke(const std::string& grant_id) {
+  std::string out;
+  PutLengthPrefixed(&out, grant_id);
+  return out;
+}
 
 std::string EncodePrincipal(const Principal& p) {
   std::string out;
@@ -99,6 +107,20 @@ std::string SearchAuditDetail(const Slice& master_key,
                               const std::string& term) {
   std::string blind = crypto::HmacSha256(master_key, "audit-term:" + term);
   return "term-blind:" + HexEncode(Slice(blind.data(), 8));
+}
+
+/// Audit-details suffix naming how a grant-exercised read got in.
+/// Empty for ordinary bases (owner/care/role), so existing details stay
+/// byte-identical; for break-glass and consent it appends
+/// " via=<basis> grant=<id>" — the §164.528 report needs the recipient
+/// AND the authority they read under.
+std::string BasisSuffix(const AccessBasis& basis) {
+  if (basis.kind != AccessBasis::Kind::kBreakGlass &&
+      basis.kind != AccessBasis::Kind::kConsent) {
+    return "";
+  }
+  return std::string(" via=") + AccessBasisName(basis.kind) +
+         " grant=" + basis.grant_id;
 }
 
 /// True iff `id` looks like a vault-assigned id, i.e. starts with
@@ -179,6 +201,13 @@ Status Vault::Init() {
   MEDVAULT_ASSIGN_OR_RETURN(
       signer_public_seed_,
       crypto::HkdfSha256(options_.entropy, Slice(), "signer-public", 32));
+  // Consent signatures derive from the long-term entropy seed too:
+  // grants must keep verifying across master-key rotation.
+  MEDVAULT_ASSIGN_OR_RETURN(
+      std::string consent_root,
+      crypto::HkdfSha256(options_.entropy, Slice(), "consent-signing", 32));
+  consent_.Configure(std::move(consent_root), options_.consent_id_prefix);
+  access_.AttachConsentRegistry(&consent_);
 
   keystore_ = std::make_unique<KeyStore>(env, dir + "/keys.db",
                                          options_.master_key, keystore_seed);
@@ -266,6 +295,25 @@ Status Vault::LoadState() {
             MEDVAULT_RETURN_IF_ERROR(access_.RestoreGrant(
                 g.grant_id, g.clinician, g.patient, g.justification, Now(),
                 g.expires_at));
+            break;
+          }
+          case kStateConsent: {
+            MEDVAULT_ASSIGN_OR_RETURN(ConsentGrant g,
+                                      ConsentGrant::Decode(payload));
+            // A consent entry that fails signature verification is
+            // tamper evidence, not a skippable oddity: refusing the
+            // open beats silently widening (or narrowing) access.
+            MEDVAULT_RETURN_IF_ERROR(consent_.VerifySignature(g));
+            MEDVAULT_RETURN_IF_ERROR(consent_.Restore(g, Now()));
+            break;
+          }
+          case kStateConsentRevoke: {
+            Slice in = payload;
+            std::string grant_id;
+            if (!GetLengthPrefixedString(&in, &grant_id) || !in.empty()) {
+              return Status::Corruption("malformed consent revoke entry");
+            }
+            MEDVAULT_RETURN_IF_ERROR(consent_.RestoreRevoke(grant_id));
             break;
           }
           case kStateCareAssign:
@@ -376,6 +424,21 @@ Status Vault::RecoverAfterUncleanShutdown() {
     }
     actions.push_back("orphan-keys-removed=" +
                       std::to_string(orphan_keys.size()));
+  }
+
+  // Record-scoped consent grants on records that are no longer live —
+  // shredded before the crash, tombstoned by the reconciliation above,
+  // or never committed. A crash between DestroyKey and the revoke
+  // entries must never leave a live capability to a dead record.
+  for (const ConsentGrant& g : consent_.Snapshot()) {
+    if (g.scope != ConsentScope::kRecord) continue;
+    auto dead = metas_.find(g.record_id);
+    if (dead != metas_.end() && !dead->second.disposed) continue;
+    (void)consent_.Revoke(g.grant_id);
+    MEDVAULT_RETURN_IF_ERROR(AppendStateEntryLocked(
+        kStateConsentRevoke, EncodeConsentRevoke(g.grant_id)));
+    if (options_.cache != nullptr) options_.cache->PurgeRecord(g.record_id);
+    actions.push_back(g.grant_id + ":consent-revoked");
   }
 
   if (actions.empty()) return Status::OK();
@@ -489,8 +552,10 @@ Result<RecordMeta> Vault::RequireLiveMetaLocked(
 
 Status Vault::CheckAndAuditLocked(const PrincipalId& actor, Operation op,
                                   const RecordId& record_id,
-                                  const PrincipalId& patient_id) const {
-  Status s = access_.CheckAccess(actor, op, patient_id, Now());
+                                  const PrincipalId& patient_id,
+                                  AccessBasis* basis) const {
+  Status s =
+      access_.CheckAccess(actor, op, patient_id, record_id, Now(), basis);
   if (!s.ok()) {
     // Denials are themselves auditable events (HIPAA audit controls).
     (void)AuditLocked(actor, AuditAction::kAccessDenied, record_id,
@@ -552,6 +617,108 @@ Result<std::string> Vault::BreakGlass(const PrincipalId& clinician,
                   "patient=" + patient + " grant=" + grant_id +
                       " justification=" + justification));
   return grant_id;
+}
+
+// ---- Patient-driven sharing ----------------------------------------------
+
+Result<ConsentGrant> Vault::GrantConsent(const PrincipalId& actor,
+                                         const PrincipalId& grantee,
+                                         const RecordId& record_id,
+                                         const std::string& purpose,
+                                         Timestamp duration) {
+  std::unique_lock lock(mu_);
+  Timestamp now = Now();
+  MEDVAULT_ASSIGN_OR_RETURN(Principal granter, access_.GetPrincipal(actor));
+  if (granter.role != Role::kPatient) {
+    (void)AuditLocked(actor, AuditAction::kAccessDenied, record_id,
+                      "consent-grant: only patients may delegate");
+    return Status::PermissionDenied(
+        "only the patient may delegate access to their records");
+  }
+  // The grantee must be a registered principal — consent delegates to a
+  // known identity the audit trail can name, never to a bare string.
+  MEDVAULT_RETURN_IF_ERROR(access_.GetPrincipal(grantee).status());
+  if (!record_id.empty()) {
+    MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
+                              RequireLiveMetaLocked(record_id));
+    if (meta.patient_id != actor) {
+      (void)AuditLocked(actor, AuditAction::kAccessDenied, record_id,
+                        "consent-grant: not the record owner");
+      return Status::PermissionDenied(
+          "patients may share only their own records");
+    }
+    if (meta.disposed) {
+      return Status::KeyDestroyed("record was disposed of");
+    }
+  }
+  MEDVAULT_ASSIGN_OR_RETURN(
+      ConsentGrant grant,
+      consent_.Grant(actor, grantee, record_id, purpose, now,
+                     now + duration));
+  // Like break-glass, the grant is vault *state*: persisted before the
+  // audit entry, replayed (signature-verified) on reopen.
+  MEDVAULT_RETURN_IF_ERROR(
+      AppendStateEntryLocked(kStateConsent, grant.Encode()));
+  MEDVAULT_RETURN_IF_ERROR(AuditLocked(
+      actor, AuditAction::kConsentGrant, record_id,
+      "patient=" + actor + " grantee=" + grantee + " grant=" +
+          grant.grant_id + " scope=" + ConsentScopeName(grant.scope) +
+          " purpose=" + purpose));
+  metrics_->GetCounter("consent.granted")->Increment();
+  return grant;
+}
+
+Status Vault::RevokeConsent(const PrincipalId& actor,
+                            const std::string& grant_id) {
+  std::unique_lock lock(mu_);
+  MEDVAULT_ASSIGN_OR_RETURN(ConsentGrant grant, consent_.Get(grant_id));
+  MEDVAULT_ASSIGN_OR_RETURN(Principal revoker, access_.GetPrincipal(actor));
+  if (actor != grant.patient && revoker.role != Role::kAdmin) {
+    (void)AuditLocked(actor, AuditAction::kAccessDenied, grant.record_id,
+                      "consent-revoke: not the granting patient or admin");
+    return Status::PermissionDenied(
+        "only the granting patient or an admin may revoke consent");
+  }
+  MEDVAULT_RETURN_IF_ERROR(consent_.Revoke(grant_id));
+  // Revocation is total: under the exclusive lock no read is in flight,
+  // and the cache drops every plaintext the grant could reach before
+  // the revoke is acknowledged.
+  if (options_.cache != nullptr) {
+    if (grant.scope == ConsentScope::kRecord) {
+      options_.cache->PurgeRecord(grant.record_id);
+    } else {
+      auto pit = records_by_patient_.find(grant.patient);
+      if (pit != records_by_patient_.end()) {
+        for (const RecordId& id : pit->second) {
+          options_.cache->PurgeRecord(id);
+        }
+      }
+    }
+  }
+  MEDVAULT_RETURN_IF_ERROR(AppendStateEntryLocked(
+      kStateConsentRevoke, EncodeConsentRevoke(grant_id)));
+  MEDVAULT_RETURN_IF_ERROR(AuditLocked(
+      actor, AuditAction::kConsentRevoke, grant.record_id,
+      "patient=" + grant.patient + " grantee=" + grant.grantee +
+          " grant=" + grant_id + " by=" + actor));
+  metrics_->GetCounter("consent.revoked")->Increment();
+  return Status::OK();
+}
+
+Result<std::vector<ConsentGrant>> Vault::ListConsents(
+    const PrincipalId& actor, const PrincipalId& patient) {
+  std::shared_lock lock(mu_);
+  // Patients list their own delegations; otherwise audit-read authority.
+  if (actor != patient) {
+    MEDVAULT_RETURN_IF_ERROR(
+        CheckAndAuditLocked(actor, Operation::kReadAudit, "", ""));
+  }
+  return consent_.ListForPatient(patient, Now());
+}
+
+size_t Vault::ActiveConsentCount() const {
+  std::shared_lock lock(mu_);
+  return consent_.ActiveCount(Now());
 }
 
 // ---- Record lifecycle ----------------------------------------------------
@@ -715,17 +882,22 @@ Result<RecordVersion> Vault::ReadRecord(const PrincipalId& actor,
   std::shared_lock lock(mu_);
   MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
                             RequireLiveMetaLocked(record_id));
-  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(actor, Operation::kReadRecord,
-                                               record_id, meta.patient_id));
+  AccessBasis basis;
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(
+      actor, Operation::kReadRecord, record_id, meta.patient_id, &basis));
   if (meta.disposed) {
-    MEDVAULT_RETURN_IF_ERROR(
-        AuditLocked(actor, AuditAction::kRead, record_id, "disposed"));
+    MEDVAULT_RETURN_IF_ERROR(AuditLocked(actor, AuditAction::kRead, record_id,
+                                         "disposed" + BasisSuffix(basis)));
     return Status::KeyDestroyed("record was disposed of");
   }
   auto version = ReadVersionCachedLocked(record_id, meta.latest_version);
   MEDVAULT_RETURN_IF_ERROR(AuditLocked(
       actor, AuditAction::kRead, record_id,
-      version.ok() ? "ok" : version.status().ToString()));
+      (version.ok() ? "ok" : version.status().ToString()) +
+          BasisSuffix(basis)));
+  if (version.ok() && basis.kind == AccessBasis::Kind::kConsent) {
+    metrics_->GetCounter("consent.exercised")->Increment();
+  }
   return version;
 }
 
@@ -736,18 +908,23 @@ Result<RecordVersion> Vault::ReadRecordVersion(const PrincipalId& actor,
   std::shared_lock lock(mu_);
   MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
                             RequireLiveMetaLocked(record_id));
-  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(actor, Operation::kReadRecord,
-                                               record_id, meta.patient_id));
+  AccessBasis basis;
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(
+      actor, Operation::kReadRecord, record_id, meta.patient_id, &basis));
   if (meta.disposed) {
-    MEDVAULT_RETURN_IF_ERROR(
-        AuditLocked(actor, AuditAction::kRead, record_id, "disposed"));
+    MEDVAULT_RETURN_IF_ERROR(AuditLocked(actor, AuditAction::kRead, record_id,
+                                         "disposed" + BasisSuffix(basis)));
     return Status::KeyDestroyed("record was disposed of");
   }
   auto result = ReadVersionCachedLocked(record_id, version);
   MEDVAULT_RETURN_IF_ERROR(AuditLocked(
       actor, AuditAction::kRead, record_id,
       "v" + std::to_string(version) +
-          (result.ok() ? " ok" : " " + result.status().ToString())));
+          (result.ok() ? " ok" : " " + result.status().ToString()) +
+          BasisSuffix(basis)));
+  if (result.ok() && basis.kind == AccessBasis::Kind::kConsent) {
+    metrics_->GetCounter("consent.exercised")->Increment();
+  }
   return result;
 }
 
@@ -824,8 +1001,11 @@ Result<std::vector<RecordId>> Vault::SearchKeyword(const PrincipalId& actor,
   for (const RecordId& id : hits) {
     auto meta = RequireLiveMetaLocked(id);
     if (!meta.ok()) continue;
-    if (access_.CheckAccess(actor, Operation::kReadRecord,
-                            meta->patient_id, now)
+    // Record-aware check so a clinician holding a per-record consent
+    // grant sees exactly the records it covers.
+    if (access_
+            .CheckAccess(actor, Operation::kReadRecord, meta->patient_id, id,
+                         now, nullptr)
             .ok()) {
       visible.push_back(id);
     }
@@ -850,8 +1030,9 @@ Result<std::vector<RecordId>> Vault::SearchKeywordsAll(
   for (const RecordId& id : hits) {
     auto meta = RequireLiveMetaLocked(id);
     if (!meta.ok()) continue;
-    if (access_.CheckAccess(actor, Operation::kReadRecord,
-                            meta->patient_id, now)
+    if (access_
+            .CheckAccess(actor, Operation::kReadRecord, meta->patient_id, id,
+                         now, nullptr)
             .ok()) {
       visible.push_back(id);
     }
@@ -872,10 +1053,11 @@ Result<std::vector<VersionHeader>> Vault::RecordHistory(
   std::shared_lock lock(mu_);
   MEDVAULT_ASSIGN_OR_RETURN(RecordMeta meta,
                             RequireLiveMetaLocked(record_id));
-  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(actor, Operation::kReadRecord,
-                                               record_id, meta.patient_id));
-  MEDVAULT_RETURN_IF_ERROR(
-      AuditLocked(actor, AuditAction::kRead, record_id, "history"));
+  AccessBasis basis;
+  MEDVAULT_RETURN_IF_ERROR(CheckAndAuditLocked(
+      actor, Operation::kReadRecord, record_id, meta.patient_id, &basis));
+  MEDVAULT_RETURN_IF_ERROR(AuditLocked(actor, AuditAction::kRead, record_id,
+                                       "history" + BasisSuffix(basis)));
   return versions_->History(record_id);
 }
 
@@ -901,6 +1083,20 @@ Result<DisposalCertificate> Vault::ExecuteDisposalLocked(
   // Secure deletion includes memory: purge every cached plaintext of
   // the record synchronously, before the disposal is acknowledged.
   if (options_.cache != nullptr) options_.cache->PurgeRecord(record_id);
+  // Crypto-shredding also kills every outstanding record-scoped consent
+  // on the record, synchronously — revoked, persisted, and audited
+  // before the disposal is acknowledged. (Patient-scoped grants stay:
+  // they cover the patient's other records, and this one is unreadable
+  // without its key regardless.)
+  for (const ConsentGrant& g : consent_.RevokeAllForRecord(record_id)) {
+    MEDVAULT_RETURN_IF_ERROR(AppendStateEntryLocked(
+        kStateConsentRevoke, EncodeConsentRevoke(g.grant_id)));
+    MEDVAULT_RETURN_IF_ERROR(
+        AuditLocked(actor, AuditAction::kConsentRevoke, record_id,
+                    "patient=" + g.patient + " grantee=" + g.grantee +
+                        " grant=" + g.grant_id + " reason=crypto-shred"));
+    metrics_->GetCounter("consent.revoked")->Increment();
+  }
   meta.disposed = true;
   MEDVAULT_RETURN_IF_ERROR(PutRecordMetaLocked(meta));
 
@@ -1114,6 +1310,11 @@ Result<std::vector<AuditEvent>> Vault::AccountingOfDisclosures(
   }
   std::vector<uint64_t> bg = audit_->BreakGlassSeqsForPatient(patient_id);
   seqs.insert(seqs.end(), bg.begin(), bg.end());
+  // Consent grants disclose too: each names the third party the patient
+  // authorized (the exercises themselves are kRead events on the
+  // patient's records, already gathered above with via=consent details).
+  std::vector<uint64_t> cg = audit_->ConsentSeqsForPatient(patient_id);
+  seqs.insert(seqs.end(), cg.begin(), cg.end());
   std::sort(seqs.begin(), seqs.end());
   std::vector<AuditEvent> out;
   out.reserve(seqs.size());

@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "core/access.h"
 #include "core/audit.h"
+#include "core/consent.h"
 #include "core/group_commit.h"
 #include "core/keystore.h"
 #include "core/provenance.h"
@@ -47,6 +48,10 @@ struct VaultOptions {
   /// "r-<n>"; a sharded vault gives each shard a distinct prefix
   /// ("s<k>-r") so ids are globally unique and carry their shard.
   std::string record_id_prefix = "r";
+  /// Namespace for consent-grant ids, "<consent_id_prefix>-<n>". The
+  /// default "cg" gives "cg-<n>"; a sharded vault gives each shard
+  /// "s<k>-cg" so a grant id names the shard that persists it.
+  std::string consent_id_prefix = "cg";
   /// Optional authenticated decrypted-record cache consulted by the
   /// read path (see RecordCache). Not owned; may be shared by several
   /// vault shards. When null (default) every read decrypts from the
@@ -126,6 +131,38 @@ class Vault {
                                  const PrincipalId& patient,
                                  const std::string& justification,
                                  Timestamp duration);
+
+  // ---- Patient-driven sharing ----------------------------------------
+
+  /// The granting patient (`actor`, Role::kPatient) delegates read
+  /// access to registered principal `grantee` for `duration`
+  /// microseconds — to one record (`record_id` non-empty, owned by the
+  /// patient and not disposed) or to all their records (`record_id`
+  /// empty). The grant is HMAC-signed under a per-patient key, persisted
+  /// in the state log (kStateConsent, signature re-verified on replay),
+  /// and audited as kConsentGrant naming the grantee — which also lands
+  /// it in the §164.528 disclosure index.
+  Result<ConsentGrant> GrantConsent(const PrincipalId& actor,
+                                    const PrincipalId& grantee,
+                                    const RecordId& record_id,
+                                    const std::string& purpose,
+                                    Timestamp duration);
+
+  /// Revokes a consent grant — the granting patient or an admin only.
+  /// Synchronous and total: runs under the exclusive lock, removes the
+  /// grant from the registry, purges every cached plaintext the grant
+  /// could reach, persists the revocation (kStateConsentRevoke), and
+  /// audits it. After this returns, no read under the grant can succeed.
+  Status RevokeConsent(const PrincipalId& actor,
+                       const std::string& grant_id);
+
+  /// Live grants issued by `patient` — the patient themself, or
+  /// audit-read authority.
+  Result<std::vector<ConsentGrant>> ListConsents(const PrincipalId& actor,
+                                                 const PrincipalId& patient);
+
+  /// Live delegated grants across the vault (health reporting).
+  size_t ActiveConsentCount() const;
 
   // ---- Record lifecycle ----------------------------------------------
 
@@ -263,8 +300,9 @@ class Vault {
 
   /// HIPAA §164.528 "accounting of disclosures": every audit event that
   /// disclosed content of one of `patient_id`'s records — reads
-  /// (including historical versions) and break-glass grants. Patients
-  /// may request their own accounting; auditors/admins anyone's.
+  /// (including historical versions), break-glass grants, and consent
+  /// grants (each names its recipient). Patients may request their own
+  /// accounting; auditors/admins anyone's.
   Result<std::vector<AuditEvent>> AccountingOfDisclosures(
       const PrincipalId& actor, const PrincipalId& patient_id);
 
@@ -345,6 +383,7 @@ class Vault {
   ProvenanceTracker* provenance() { return provenance_.get(); }
   AuditLog* audit() { return audit_.get(); }
   AccessController* access() { return &access_; }
+  ConsentRegistry* consent() { return &consent_; }
   RetentionManager* retention() { return &retention_; }
   crypto::XmssSigner* signer() { return signer_.get(); }
   SecureIndex* index() { return index_.get(); }
@@ -418,9 +457,13 @@ class Vault {
   /// (shared or exclusive).
   Result<RecordVersion> ReadVersionCachedLocked(const RecordId& record_id,
                                                 uint32_t version) const;
+  /// Access check + denial audit. `basis` (optional) receives why a
+  /// successful check passed, so read paths can name break-glass /
+  /// consent exercises in their kRead audit details.
   Status CheckAndAuditLocked(const PrincipalId& actor, Operation op,
                              const RecordId& record_id,
-                             const PrincipalId& patient_id) const;
+                             const PrincipalId& patient_id,
+                             AccessBasis* basis = nullptr) const;
   /// Registers `meta` in memory (catalog + per-patient index) and
   /// appends it to the state log. Requires exclusive mu_.
   Status PutRecordMetaLocked(const RecordMeta& meta);
@@ -446,6 +489,11 @@ class Vault {
   ScrubStats last_scrub_;  // guarded by mu_
 
   AccessController access_;
+  /// Delegated sharing grants. Declared before any use in Init: the
+  /// registry is configured (signing root + id prefix) and attached to
+  /// access_ BEFORE LoadState so replayed kStateConsent entries verify
+  /// and land in a ready table.
+  ConsentRegistry consent_;
   RetentionManager retention_;
   std::unique_ptr<KeyStore> keystore_;
   std::unique_ptr<VersionStore> versions_;

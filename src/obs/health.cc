@@ -85,6 +85,24 @@ void FillCache(HealthReport* report, const core::RecordCache* cache) {
   report->cache_capacity_bytes = cache->capacity_bytes();
 }
 
+void FillConsent(HealthReport* report, uint64_t active) {
+  auto counter = [&](const char* name) -> uint64_t {
+    auto it = report->metrics.counters.find(name);
+    return it == report->metrics.counters.end() ? 0 : it->second;
+  };
+  const uint64_t granted = counter("consent.granted");
+  const uint64_t revoked = counter("consent.revoked");
+  const uint64_t exercised = counter("consent.exercised");
+  // Conditional like repl/transparency: a vault that never saw a
+  // consent grant keeps a byte-identical report (and golden dumps).
+  if (active == 0 && granted == 0 && revoked == 0 && exercised == 0) return;
+  report->has_consent = true;
+  report->consent_active = active;
+  report->consent_granted = granted;
+  report->consent_revoked = revoked;
+  report->consent_exercised = exercised;
+}
+
 }  // namespace
 
 uint64_t HealthReport::CommitOps() const {
@@ -175,6 +193,15 @@ json::Value HealthReport::ToJson() const {
     out["repl"] = json::Value(std::move(repl));
   }
 
+  if (has_consent) {
+    json::Value::Object c;
+    c["active"] = json::Value(consent_active);
+    c["granted"] = json::Value(consent_granted);
+    c["revoked"] = json::Value(consent_revoked);
+    c["exercised"] = json::Value(consent_exercised);
+    out["consent"] = json::Value(std::move(c));
+  }
+
   if (has_transparency) {
     json::Value::Object t;
     t["checkpoints"] = json::Value(transparency_checkpoints);
@@ -210,6 +237,7 @@ HealthReport CollectHealth(core::Vault& vault, const storage::IoStats* io) {
     report.env_io = io->TakeSnapshot();
   }
   FillCache(&report, vault.options().cache);
+  FillConsent(&report, vault.ActiveConsentCount());
   report.shards.push_back(FromVaultStats(0, vault));
   return report;
 }
@@ -228,6 +256,7 @@ HealthReport CollectHealth(core::ShardedVault& vault,
     report.env_io = io->TakeSnapshot();
   }
   FillCache(&report, vault.cache());
+  FillConsent(&report, vault.ActiveConsentCount());
   for (uint32_t k = 0; k < vault.num_shards(); k++) {
     const core::Vault* s = vault.shard(k);
     if (s == nullptr) {

@@ -94,6 +94,15 @@ struct HealthReport {
   uint64_t transparency_cache_misses = 0;
   uint64_t transparency_latest_sizes_sum = 0;  ///< sum over shards
 
+  /// Patient-driven-sharing posture. Emitted only when the vault has
+  /// seen any consent activity (same conditional convention as repl),
+  /// so deployments without delegated sharing dump unchanged reports.
+  bool has_consent = false;
+  uint64_t consent_active = 0;     ///< live, unexpired grants right now
+  uint64_t consent_granted = 0;    ///< grants issued since start
+  uint64_t consent_revoked = 0;    ///< revocations (user + crypto-shred)
+  uint64_t consent_exercised = 0;  ///< reads performed under a grant
+
   /// Deterministic JSON (sorted keys, integers only). Histograms are
   /// emitted as count/sum/max, p50/p90/p99 bucket upper bounds, and the
   /// non-empty buckets as [upper_bound, count] pairs.

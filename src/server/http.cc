@@ -128,13 +128,22 @@ ReadOutcome ParseHttpRequest(std::string* buffer, size_t header_end,
     if (line.empty()) continue;
     size_t colon = line.find(':');
     if (colon == std::string::npos) return ReadOutcome::kMalformed;
-    out->headers[ToLower(Trim(line.substr(0, colon)))] =
-        Trim(line.substr(colon + 1));
+    const std::string name = ToLower(Trim(line.substr(0, colon)));
+    // Repeated Content-Length is the classic request-smuggling vector:
+    // any two parsers that disagree on which copy frames the body can
+    // be made to see different requests. Reject outright rather than
+    // pick one — even identical duplicates buy nothing legitimate.
+    if (name == "content-length" && out->headers.count(name) > 0) {
+      return ReadOutcome::kMalformed;
+    }
+    out->headers[name] = Trim(line.substr(colon + 1));
   }
 
   // Body length. Transfer-Encoding is deliberately unsupported: a
   // compliance API has no use for chunked uploads, and rejecting them
-  // keeps request framing single-pass and cap-checkable up front.
+  // keeps request framing single-pass and cap-checkable up front. That
+  // also closes the TE+CL smuggling pair — a request carrying both can
+  // never get two different framings out of this parser.
   if (out->headers.count("transfer-encoding") > 0) {
     return ReadOutcome::kMalformed;
   }
@@ -207,6 +216,13 @@ ReadOutcome ReadHttpRequest(int fd, const HttpLimits& limits,
       at += 2;
     }
     if (at != std::string::npos) {
+      // This pre-framing scan honors the FIRST Content-Length while the
+      // header map in ParseHttpRequest keeps the LAST — a second copy
+      // would let the two framings disagree about where the body ends
+      // (request smuggling). Reject before reading a single body byte.
+      if (head.find("\r\ncontent-length:", at) != std::string::npos) {
+        return ReadOutcome::kMalformed;
+      }
       size_t vstart = head.find(':', at) + 1;
       size_t vend = head.find("\r\n", vstart);
       std::string v = Trim(head.substr(vstart, vend - vstart));

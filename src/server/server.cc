@@ -30,6 +30,7 @@ const char* const kRouteNames[] = {
     "audit",   "checkpoint",   "break_glass", "replication", "repl_cut",
     "transparency", "transparency_checkpoint", "transparency_consistency",
     "transparency_proof", "disclosures",
+    "consent_grant", "consent_revoke", "consent_list",
 };
 
 HttpResponse JsonResponse(int status, const Value& v) {
@@ -510,6 +511,22 @@ HttpResponse MedVaultServer::Handle(const HttpRequest& request) {
     return timed("break_glass",
                  [&] { return HandleBreakGlass(actor, request); });
   }
+  if (path == "/v1/consent") {
+    if (request.method == "POST") {
+      return timed("consent_grant",
+                   [&] { return HandleConsentGrant(actor, request); });
+    }
+    if (request.method == "GET") {
+      return timed("consent_list",
+                   [&] { return HandleConsentList(actor, request); });
+    }
+    return ErrorResponse(405, "use POST or GET");
+  }
+  if (path == "/v1/consent/revoke") {
+    if (request.method != "POST") return ErrorResponse(405, "use POST");
+    return timed("consent_revoke",
+                 [&] { return HandleConsentRevoke(actor, request); });
+  }
   if (path == "/v1/transparency/proof") {
     if (request.method != "GET") return ErrorResponse(405, "use GET");
     return timed("transparency_proof",
@@ -859,6 +876,87 @@ HttpResponse MedVaultServer::HandleBreakGlass(const core::PrincipalId& actor,
 
   Value::Object out;
   out["grant_id"] = Value(*grant);
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleConsentGrant(const core::PrincipalId& actor,
+                                                const HttpRequest& request) {
+  Result<Value> body = ParseJsonObject(request.body);
+  if (!body.ok()) return ErrorFromStatus(body.status());
+  const Value::Object& o = body->as_object();
+  Result<std::string> grantee = RequireString(o, "grantee");
+  if (!grantee.ok()) return ErrorFromStatus(grantee.status());
+  Result<std::string> purpose = RequireString(o, "purpose");
+  if (!purpose.ok()) return ErrorFromStatus(purpose.status());
+  Result<int64_t> duration = RequireInt(o, "duration_micros");
+  if (!duration.ok()) return ErrorFromStatus(duration.status());
+  // Omitting record_id makes the grant patient-scoped (all of the
+  // caller's records, current and future).
+  const std::string record_id = OptionalString(o, "record_id", "");
+
+  Result<core::ConsentGrant> grant =
+      vault_->GrantConsent(actor, *grantee, record_id, *purpose, *duration);
+  if (!grant.ok()) return ErrorFromStatus(grant.status());
+  // The grant is signed, state-logged, and audited; the durability
+  // barrier makes it survive a crash the instant the client sees it.
+  Status durable = CommitIfDurable();
+  if (!durable.ok()) return ErrorFromStatus(durable);
+
+  Value::Object out;
+  out["grant_id"] = Value(grant->grant_id);
+  out["grantee"] = Value(grant->grantee);
+  out["scope"] = Value(core::ConsentScopeName(grant->scope));
+  out["expires_at"] = Value(grant->expires_at);
+  return JsonResponse(201, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleConsentRevoke(const core::PrincipalId& actor,
+                                                 const HttpRequest& request) {
+  Result<Value> body = ParseJsonObject(request.body);
+  if (!body.ok()) return ErrorFromStatus(body.status());
+  const Value::Object& o = body->as_object();
+  Result<std::string> grant_id = RequireString(o, "grant_id");
+  if (!grant_id.ok()) return ErrorFromStatus(grant_id.status());
+
+  Status revoked = vault_->RevokeConsent(actor, *grant_id);
+  if (!revoked.ok()) return ErrorFromStatus(revoked);
+  // Revocation must be durable before it is acknowledged: once the
+  // client sees this response, no crash may resurrect the grant.
+  Status durable = CommitIfDurable();
+  if (!durable.ok()) return ErrorFromStatus(durable);
+
+  Value::Object out;
+  out["ok"] = Value(true);
+  out["grant_id"] = Value(*grant_id);
+  return JsonResponse(200, Value(std::move(out)));
+}
+
+HttpResponse MedVaultServer::HandleConsentList(const core::PrincipalId& actor,
+                                               const HttpRequest& request) {
+  // Defaults to the caller's own grants; ?patient= lets auditors and
+  // admins pull another patient's (the vault's RBAC refuses everyone
+  // else).
+  std::string patient = request.QueryParam("patient");
+  if (patient.empty()) patient = actor;
+  Result<std::vector<core::ConsentGrant>> grants =
+      vault_->ListConsents(actor, patient);
+  if (!grants.ok()) return ErrorFromStatus(grants.status());
+  Value::Array arr;
+  for (const core::ConsentGrant& g : *grants) {
+    Value::Object o;
+    o["grant_id"] = Value(g.grant_id);
+    o["patient"] = Value(g.patient);
+    o["grantee"] = Value(g.grantee);
+    if (!g.record_id.empty()) o["record_id"] = Value(g.record_id);
+    o["scope"] = Value(core::ConsentScopeName(g.scope));
+    o["purpose"] = Value(g.purpose);
+    o["issued_at"] = Value(g.issued_at);
+    o["expires_at"] = Value(g.expires_at);
+    arr.push_back(Value(std::move(o)));
+  }
+  Value::Object out;
+  out["patient"] = Value(patient);
+  out["grants"] = Value(std::move(arr));
   return JsonResponse(200, Value(std::move(out)));
 }
 

@@ -166,6 +166,15 @@ class MedVaultServer {
   HttpResponse HandleCheckpoint(const core::PrincipalId& actor);
   HttpResponse HandleBreakGlass(const core::PrincipalId& actor,
                                 const HttpRequest& request);
+  // Patient-driven sharing: grant/revoke/list delegated consent.
+  // Grants and revocations are durability-barriered like break-glass —
+  // a revocation is total the moment the client sees the response.
+  HttpResponse HandleConsentGrant(const core::PrincipalId& actor,
+                                  const HttpRequest& request);
+  HttpResponse HandleConsentRevoke(const core::PrincipalId& actor,
+                                   const HttpRequest& request);
+  HttpResponse HandleConsentList(const core::PrincipalId& actor,
+                                 const HttpRequest& request);
   // Transparency endpoints. Checkpoints, consistency proofs, and the
   // service posture are public: they disclose only sizes, roots, and
   // signatures — the whole point is that anyone can verify them.

@@ -1,6 +1,7 @@
 #include "server/session.h"
 
 #include "common/hex.h"
+#include "crypto/hmac.h"
 
 namespace medvault::server {
 
@@ -18,6 +19,23 @@ void SessionManager::PruneLocked(Timestamp now) {
   }
 }
 
+const SessionManager::Session* SessionManager::FindLocked(
+    const std::string& token) const {
+  // A map lookup's comparisons stop at the first mismatching byte, so
+  // its timing tells an attacker how much of a guessed token matches a
+  // live one — the same side channel the login-secret compare already
+  // closes with ConstantTimeEqual. Scan every session with the
+  // constant-time compare and never break early; the table only holds
+  // live logins, so the full pass is cheap.
+  const Session* found = nullptr;
+  for (const auto& [candidate, session] : sessions_) {
+    if (crypto::ConstantTimeEqual(Slice(candidate), Slice(token))) {
+      found = &session;
+    }
+  }
+  return found;
+}
+
 std::string SessionManager::Issue(const core::PrincipalId& principal) {
   const Timestamp now = clock_->Now();
   std::lock_guard<std::mutex> lock(mu_);
@@ -32,16 +50,29 @@ Result<core::PrincipalId> SessionManager::Lookup(const std::string& token) {
   const Timestamp now = clock_->Now();
   std::lock_guard<std::mutex> lock(mu_);
   PruneLocked(now);
-  auto it = sessions_.find(token);
-  if (it == sessions_.end()) {
+  const Session* found = FindLocked(token);
+  if (found == nullptr) {
+    // One message for unknown, expired, and revoked alike: the error
+    // must not help a caller distinguish a never-issued token from one
+    // that was just logged out.
     return Status::PermissionDenied("invalid or expired session");
   }
-  return it->second.principal;
+  return found->principal;
 }
 
 bool SessionManager::Revoke(const std::string& token) {
   std::lock_guard<std::mutex> lock(mu_);
-  return sessions_.erase(token) > 0;
+  const Session* found = FindLocked(token);
+  if (found == nullptr) return false;
+  // Erase by the matched entry's own key, not the caller's bytes, so
+  // the erase path inherits the constant-time match above.
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (&it->second == found) {
+      sessions_.erase(it);
+      return true;
+    }
+  }
+  return false;
 }
 
 size_t SessionManager::ActiveSessions() {

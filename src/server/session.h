@@ -39,8 +39,10 @@ class SessionManager {
   /// authenticated them).
   std::string Issue(const core::PrincipalId& principal);
 
-  /// Principal behind `token`; kPermissionDenied for unknown or
-  /// expired tokens (deliberately indistinguishable).
+  /// Principal behind `token`; kPermissionDenied for unknown, expired,
+  /// and revoked tokens (deliberately indistinguishable). The match is
+  /// a constant-time scan of the live table, not a map lookup, so
+  /// response timing leaks nothing about partial token matches.
   Result<core::PrincipalId> Lookup(const std::string& token);
 
   /// Ends a session; false if the token was not live.
@@ -55,6 +57,8 @@ class SessionManager {
   };
 
   void PruneLocked(Timestamp now);
+  /// Constant-time scan for `token`; nullptr if no live session matches.
+  const Session* FindLocked(const std::string& token) const;
 
   const Clock* clock_;
   uint64_t ttl_micros_;

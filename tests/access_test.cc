@@ -167,6 +167,55 @@ TEST_F(AccessTest, BreakGlassDoesNotLeakToOtherClinicians) {
       Check("nurse-n", Operation::kReadRecord, "pat-q").IsPermissionDenied());
 }
 
+TEST_F(AccessTest, BreakGlassExpiryBoundaryIsExclusive) {
+  const Timestamp expires = now_ + 1000;
+  ASSERT_TRUE(ac_.BreakGlass("dr-a", "pat-q", "ER", now_, expires).ok());
+  // Active strictly before expiry...
+  now_ = expires - 1;
+  EXPECT_TRUE(Check("dr-a", Operation::kReadRecord, "pat-q").ok());
+  EXPECT_EQ(ac_.ActiveGrantCount(now_), 1u);
+  // ...refused at exactly expires_at. Pins `<` (never `<=`): a grant
+  // exercised at its own expiry instant has already lapsed.
+  now_ = expires;
+  EXPECT_TRUE(
+      Check("dr-a", Operation::kReadRecord, "pat-q").IsPermissionDenied());
+  EXPECT_EQ(ac_.ActiveGrantCount(now_), 0u);
+}
+
+TEST_F(AccessTest, ConsentDelegatesReadOnlyWithNamedBasis) {
+  ConsentRegistry consents;
+  consents.Configure(std::string(32, 'K'), "cg");
+  ac_.AttachConsentRegistry(&consents);
+  // pat-q delegates to dr-a, who has no care relation with them.
+  auto g = consents.Grant("pat-q", "dr-a", "", "second opinion", now_,
+                          now_ + 1000);
+  ASSERT_TRUE(g.ok());
+
+  AccessBasis basis;
+  ASSERT_TRUE(ac_.CheckAccess("dr-a", Operation::kReadRecord, "pat-q", "r-1",
+                              now_, &basis)
+                  .ok());
+  EXPECT_EQ(basis.kind, AccessBasis::Kind::kConsent);
+  EXPECT_EQ(basis.grant_id, g->grant_id);
+  // Consent never authorizes writes.
+  EXPECT_TRUE(ac_.CheckAccess("dr-a", Operation::kCorrectRecord, "pat-q",
+                              "r-1", now_, nullptr)
+                  .IsPermissionDenied());
+  // Reads on a stronger basis are not attributed to the consent grant.
+  basis = AccessBasis{};
+  ASSERT_TRUE(ac_.CheckAccess("dr-a", Operation::kReadRecord, "pat-p", "r-2",
+                              now_, &basis)
+                  .ok());
+  EXPECT_EQ(basis.kind, AccessBasis::Kind::kCare);
+  // Same exclusive expiry boundary as break-glass.
+  EXPECT_TRUE(ac_.CheckAccess("dr-a", Operation::kReadRecord, "pat-q", "r-1",
+                              now_ + 999, nullptr)
+                  .ok());
+  EXPECT_TRUE(ac_.CheckAccess("dr-a", Operation::kReadRecord, "pat-q", "r-1",
+                              now_ + 1000, nullptr)
+                  .IsPermissionDenied());
+}
+
 TEST_F(AccessTest, DenialMessagesNameRoleAndOperation) {
   Status s = Check("clerk-c", Operation::kReadRecord, "pat-p");
   EXPECT_NE(s.message().find("clerk"), std::string::npos);

@@ -317,6 +317,16 @@ TEST_F(AuditTest, DisclosureIndexMatchesScanAndSurvivesReopen) {
       Log("dr", AuditAction::kBreakGlass, "", "patient=pat grant=g-1").ok());
   ASSERT_TRUE(  // malformed details (no trailing space): never indexed
       Log("dr", AuditAction::kBreakGlass, "", "patient=pat").ok());
+  ASSERT_TRUE(  // a consent grant discloses PHI access to the grantee
+      Log("pat", AuditAction::kConsentGrant, "",
+          "patient=pat grantee=dr grant=cg-1 scope=record purpose=x")
+          .ok());
+  ASSERT_TRUE(  // malformed (no trailing space): never indexed
+      Log("pat", AuditAction::kConsentGrant, "", "patient=pat").ok());
+  ASSERT_TRUE(  // revocations disclose nothing: deliberately not indexed
+      Log("pat", AuditAction::kConsentRevoke, "",
+          "patient=pat grantee=dr grant=cg-1 by=pat")
+          .ok());
 
   auto check = [&] {
     EXPECT_EQ(log_->DisclosureSeqsForRecord("r-1"),
@@ -327,6 +337,9 @@ TEST_F(AuditTest, DisclosureIndexMatchesScanAndSurvivesReopen) {
     EXPECT_EQ(log_->BreakGlassSeqsForPatient("pat"),
               (std::vector<uint64_t>{5}));
     EXPECT_TRUE(log_->BreakGlassSeqsForPatient("other").empty());
+    EXPECT_EQ(log_->ConsentSeqsForPatient("pat"),
+              (std::vector<uint64_t>{7}));
+    EXPECT_TRUE(log_->ConsentSeqsForPatient("other").empty());
   };
   check();
   OpenLog();  // replay rebuilds the index

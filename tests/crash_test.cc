@@ -64,6 +64,20 @@ struct WorkloadTrace {
   /// state-log replay at its ORIGINAL expiry.
   std::string breakglass_record;
   bool breakglass_acked = false;
+  /// One record of patient "p" (for the revoked-consent probe below).
+  std::string p_record;
+  /// Patient-driven sharing: "spec" (a physician with NO care relation
+  /// and no break-glass grant) reads q's sealed record only through q's
+  /// consent grant. Grants and revocations ride the state log exactly
+  /// like break-glass: an acked grant must survive reopen at its
+  /// original expiry, an acked revocation must stay revoked, and an
+  /// acked crypto-shred must leave no live record-scoped grant behind.
+  std::string consent_grant_id;    ///< q -> spec on the sealed record
+  bool consent_grant_acked = false;
+  std::string revoked_grant_id;    ///< p -> spec, patient-wide, revoked
+  bool revoke_acked = false;
+  std::string doomed_grant_id;     ///< p -> spec on the doomed record
+  bool doomed_grant_acked = false;
   /// Checkpoints whose publication returned OK. AuditLog::Checkpoint
   /// syncs the frame before returning, so an OK return IS the ack: the
   /// reopened log must still carry each one verbatim.
@@ -104,6 +118,11 @@ void RunWorkload(storage::Env* env, ManualClock* clock,
   // their records to dr.
   if (!vault->RegisterPrincipal("admin", {"q", Role::kPatient, "Q"}).ok())
     return;
+  // "spec" has no care relation with anyone: only patient consent
+  // grants open records to them.
+  if (!vault->RegisterPrincipal("admin", {"spec", Role::kPhysician, "S"})
+           .ok())
+    return;
   if (!vault->AssignCare("admin", "dr", "p").ok()) return;
   if (!vault->SyncAll().ok()) return;
 
@@ -112,6 +131,7 @@ void RunWorkload(storage::Env* env, ManualClock* clock,
                                 "alpha clinical note", {"alpha", "shared"},
                                 "hipaa-6y");
   if (!r1.ok()) return;
+  trace->p_record = *r1;
   auto batch = vault->CreateRecordsBatch(
       "dr", {{"p", "text/plain", "beta result", {"beta", "shared"},
               "hipaa-6y"},
@@ -153,6 +173,23 @@ void RunWorkload(storage::Env* env, ManualClock* clock,
     trace->breakglass_acked = true;
   }
 
+  // Consent: q delegates their sealed record to spec (10 years, so the
+  // disposal step's 2-year jump cannot age it out), and p issues then
+  // immediately revokes a patient-wide grant. Both ride the state log.
+  auto shared_grant = vault->GrantConsent("q", "spec", *sealed,
+                                          "second opinion",
+                                          10 * kMicrosPerYear);
+  if (!shared_grant.ok()) return;
+  trace->consent_grant_id = shared_grant->grant_id;
+  if (vault->SyncAll().ok()) trace->consent_grant_acked = true;
+
+  auto broad_grant = vault->GrantConsent("p", "spec", "", "care transfer",
+                                         10 * kMicrosPerYear);
+  if (!broad_grant.ok()) return;
+  trace->revoked_grant_id = broad_grant->grant_id;
+  if (!vault->RevokeConsent("p", broad_grant->grant_id).ok()) return;
+  if (vault->SyncAll().ok()) trace->revoke_acked = true;
+
   auto mid_checkpoint = vault->CheckpointAudit();
   if (!mid_checkpoint.ok()) return;
   trace->acked_checkpoints.push_back(*mid_checkpoint);
@@ -164,6 +201,16 @@ void RunWorkload(storage::Env* env, ManualClock* clock,
   if (!doomed.ok()) return;
   if (vault->SyncAll().ok()) trace->acked[*doomed] = 1;
   trace->disposal_id = *doomed;
+
+  // A record-scoped grant on the doomed record: the crypto-shred below
+  // must revoke it synchronously and durably.
+  auto doomed_grant = vault->GrantConsent("p", "spec", *doomed,
+                                          "short-lived share",
+                                          10 * kMicrosPerYear);
+  if (!doomed_grant.ok()) return;
+  trace->doomed_grant_id = doomed_grant->grant_id;
+  if (vault->SyncAll().ok()) trace->doomed_grant_acked = true;
+
   clock->AdvanceYears(2);
 
   trace->disposal_started = true;
@@ -190,6 +237,7 @@ void EnsureCast(Vault* vault) {
   (void)vault->RegisterPrincipal("admin", {"p", Role::kPatient, "P"});
   (void)vault->RegisterPrincipal("admin", {"ck", Role::kClerk, "C"});
   (void)vault->RegisterPrincipal("admin", {"q", Role::kPatient, "Q"});
+  (void)vault->RegisterPrincipal("admin", {"spec", Role::kPhysician, "S"});
   (void)vault->AssignCare("admin", "dr", "p");
 }
 
@@ -294,6 +342,39 @@ void CheckRecovered(storage::Env* env, ManualClock* clock,
     EXPECT_GE(vault->access()->ActiveGrantCount(clock->Now()), 1u);
   }
 
+  // An ACKED consent grant survives the crash the same way: spec reads
+  // q's sealed record with no care relation and no break-glass, purely
+  // through the replayed grant — at its original 10-year expiry.
+  if (trace.consent_grant_acked) {
+    auto shared_read = vault->ReadRecord("spec", trace.breakglass_record);
+    EXPECT_TRUE(shared_read.ok())
+        << "acked consent grant " << trace.consent_grant_id
+        << " lost in crash: " << shared_read.status().ToString();
+    EXPECT_GE(vault->ActiveConsentCount(), 1u);
+  }
+
+  // An ACKED revocation stays revoked: spec has no remaining basis on
+  // p's records, so the read must be refused (not a replayed grant
+  // resurrecting the revoked patient-wide delegation).
+  if (trace.revoke_acked) {
+    auto dead = vault->ReadRecord("spec", trace.p_record);
+    EXPECT_TRUE(dead.status().IsPermissionDenied())
+        << "revoked consent grant " << trace.revoked_grant_id
+        << " came back after crash: " << dead.status().ToString();
+  }
+
+  // An ACKED crypto-shred leaves no live record-scoped grant on the
+  // shredded record — the grant dies with the key, durably.
+  if (trace.doomed_grant_acked && trace.disposal_acked) {
+    auto live = vault->ListConsents("p", "p");
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    for (const auto& g : *live) {
+      EXPECT_NE(g.record_id, trace.disposal_id)
+          << "crypto-shred left record-scoped grant " << g.grant_id
+          << " alive after crash";
+    }
+  }
+
   // Blinded search still finds every acked live record.
   if (!trace.acked_shared.empty()) {
     auto hits = vault->SearchKeyword("dr", "shared");
@@ -340,6 +421,9 @@ uint64_t CountBoundaries() {
   EXPECT_EQ(trace.acked.size(), 5u);
   EXPECT_TRUE(trace.disposal_acked);
   EXPECT_TRUE(trace.breakglass_acked);
+  EXPECT_TRUE(trace.consent_grant_acked);
+  EXPECT_TRUE(trace.revoke_acked);
+  EXPECT_TRUE(trace.doomed_grant_acked);
   EXPECT_EQ(trace.acked_checkpoints.size(), 2u);
   return fault.ops();
 }

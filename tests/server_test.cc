@@ -165,6 +165,9 @@ TEST_F(ServerTest, AuthRequiredOnEveryEndpoint) {
       {"GET", "/v1/audit"},
       {"POST", "/v1/audit/checkpoint"},
       {"POST", "/v1/break-glass"},
+      {"POST", "/v1/consent"},
+      {"GET", "/v1/consent"},
+      {"POST", "/v1/consent/revoke"},
   };
   for (const Endpoint& e : kProtected) {
     auto bare = client.Do(e.method, e.target, "{}");
@@ -548,6 +551,236 @@ TEST_F(ServerTest, ExpiredGrantsDoNotAccumulateAndIdsNeverRecycle) {
   auto fresh = vault_->BreakGlass("dr2", "lone", "fresh episode", 1000000);
   ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
   EXPECT_EQ(*fresh, "bg-9");  // 8 replayed ids stay burned
+}
+
+TEST_F(ServerTest, ConsentLifecycleOverHttpSurvivesRestart) {
+  Bootstrap();
+  // dr treats pat; dr2 has no care relation with pat at all.
+  auto created = vault_->CreateRecord("dr", "pat", "text/plain",
+                                      "shared consult notes", {"consult"},
+                                      "hipaa-6y");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  ASSERT_TRUE(vault_->SyncAll().ok());
+  const std::string record_id = *created;
+  StartServer();
+
+  HttpClient client = MakeClient();
+  std::string dr2 = Login(&client, "dr2");
+  const std::string pat = Login(&client, "pat");
+
+  // Without consent: RBAC refuses the stranger.
+  auto denied = client.Do("GET", "/v1/records/" + record_id, "", dr2);
+  ASSERT_TRUE(denied.ok());
+  EXPECT_EQ(denied->status, 403);
+
+  // Only the patient may delegate — the treating physician cannot
+  // re-share the chart.
+  const int64_t duration = 2ll * 3600 * 1000 * 1000;
+  auto reshare = client.Do(
+      "POST", "/v1/consent",
+      Obj({{"grantee", Value("dr2")},
+           {"record_id", Value(record_id)},
+           {"purpose", Value("specialist referral")},
+           {"duration_micros", Value(duration)}}),
+      Login(&client, "dr"));
+  ASSERT_TRUE(reshare.ok());
+  EXPECT_EQ(reshare->status, 403) << reshare->body;
+
+  // The patient grants a record-scoped consent: 201 with the grant id.
+  auto granted = client.Do(
+      "POST", "/v1/consent",
+      Obj({{"grantee", Value("dr2")},
+           {"record_id", Value(record_id)},
+           {"purpose", Value("specialist referral")},
+           {"duration_micros", Value(duration)}}),
+      pat);
+  ASSERT_TRUE(granted.ok()) << granted.status().ToString();
+  ASSERT_EQ(granted->status, 201) << granted->body;
+  Value grant_body = Parsed(*granted);
+  const std::string g1 = grant_body.as_object().at("grant_id").as_string();
+  EXPECT_FALSE(g1.empty());
+  EXPECT_EQ(grant_body.as_object().at("scope").as_string(), "record");
+
+  // The grantee now reads, and the patient sees the grant listed.
+  auto read = client.Do("GET", "/v1/records/" + record_id, "", dr2);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->status, 200) << read->body;
+  auto listed = client.Do("GET", "/v1/consent", "", pat);
+  ASSERT_TRUE(listed.ok());
+  ASSERT_EQ(listed->status, 200) << listed->body;
+  {
+    Value list_body = Parsed(*listed);
+    const Value::Array& grants =
+        list_body.as_object().at("grants").as_array();
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].as_object().at("grant_id").as_string(), g1);
+    EXPECT_EQ(grants[0].as_object().at("grantee").as_string(), "dr2");
+  }
+
+  // The consent read is attributed to its basis in the audit trail.
+  const std::string aud = Login(&client, "aud");
+  auto trail = client.Do("GET", "/v1/records/" + record_id + "/audit", "",
+                         aud);
+  ASSERT_TRUE(trail.ok());
+  ASSERT_EQ(trail->status, 200);
+  bool saw_consent_read = false;
+  Value trail_body = Parsed(*trail);
+  for (const Value& e : trail_body.as_object().at("events").as_array()) {
+    if (e.as_object().at("actor").as_string() == "dr2" &&
+        e.as_object().at("details").as_string().find("via=consent") !=
+            std::string::npos) {
+      saw_consent_read = true;
+    }
+  }
+  EXPECT_TRUE(saw_consent_read);
+
+  // Revocation over HTTP cuts access on the very next request.
+  auto revoked = client.Do("POST", "/v1/consent/revoke",
+                           Obj({{"grant_id", Value(g1)}}), pat);
+  ASSERT_TRUE(revoked.ok());
+  ASSERT_EQ(revoked->status, 200) << revoked->body;
+  auto after_revoke = client.Do("GET", "/v1/records/" + record_id, "", dr2);
+  ASSERT_TRUE(after_revoke.ok());
+  EXPECT_EQ(after_revoke->status, 403);
+
+  // A patient-wide grant re-opens the door (covers future records too).
+  auto broad = client.Do(
+      "POST", "/v1/consent",
+      Obj({{"grantee", Value("dr2")},
+           {"purpose", Value("care transfer")},
+           {"duration_micros", Value(duration)}}),
+      pat);
+  ASSERT_TRUE(broad.ok());
+  ASSERT_EQ(broad->status, 201) << broad->body;
+  const std::string g2 =
+      Parsed(*broad).as_object().at("grant_id").as_string();
+  EXPECT_EQ(Parsed(*broad).as_object().at("scope").as_string(), "patient");
+
+  // Restart: the surviving grant still works, the revocation still
+  // holds, and the listing shows exactly the live grant.
+  RestartEverything();
+  HttpClient client2 = MakeClient();
+  dr2 = Login(&client2, "dr2");
+  auto after_restart =
+      client2.Do("GET", "/v1/records/" + record_id, "", dr2);
+  ASSERT_TRUE(after_restart.ok());
+  EXPECT_EQ(after_restart->status, 200) << after_restart->body;
+  auto relisted =
+      client2.Do("GET", "/v1/consent", "", Login(&client2, "pat"));
+  ASSERT_TRUE(relisted.ok());
+  ASSERT_EQ(relisted->status, 200) << relisted->body;
+  {
+    Value relist_body = Parsed(*relisted);
+    const Value::Array& grants =
+        relist_body.as_object().at("grants").as_array();
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].as_object().at("grant_id").as_string(), g2);
+    EXPECT_EQ(grants[0].as_object().at("scope").as_string(), "patient");
+  }
+
+  // The restart preserved the original expiry: past it, access lapses.
+  clock_.Advance(duration + 1);
+  auto lapsed = client2.Do("GET", "/v1/records/" + record_id, "",
+                           Login(&client2, "dr2"));
+  ASSERT_TRUE(lapsed.ok());
+  EXPECT_EQ(lapsed->status, 403);
+}
+
+TEST_F(ServerTest, SmuggledFramingRejectedBeforeDispatch) {
+  Bootstrap();
+  StartServer();
+
+  // Two Content-Length headers, even agreeing ones: a front proxy and
+  // this server could pick different copies, so the request never
+  // reaches routing.
+  {
+    HttpClient raw = MakeClient();
+    ASSERT_TRUE(raw.SendRaw("POST /v1/search HTTP/1.1\r\n"
+                            "Content-Length: 5\r\n"
+                            "Content-Length: 5\r\n\r\nhello")
+                    .ok());
+    auto r = raw.ReadResponse();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 400);
+  }
+  // Conflicting copies, same refusal.
+  {
+    HttpClient raw = MakeClient();
+    ASSERT_TRUE(raw.SendRaw("POST /v1/search HTTP/1.1\r\n"
+                            "Content-Length: 5\r\n"
+                            "Content-Length: 6\r\n\r\nhello!")
+                    .ok());
+    auto r = raw.ReadResponse();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 400);
+  }
+  // Transfer-Encoding alongside Content-Length — the classic CL.TE /
+  // TE.CL desync pair — is refused outright.
+  {
+    HttpClient raw = MakeClient();
+    ASSERT_TRUE(raw.SendRaw("POST /v1/search HTTP/1.1\r\n"
+                            "Transfer-Encoding: chunked\r\n"
+                            "Content-Length: 5\r\n\r\nhello")
+                    .ok());
+    auto r = raw.ReadResponse();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 400);
+  }
+  {
+    HttpClient raw = MakeClient();
+    ASSERT_TRUE(raw.SendRaw("POST /v1/search HTTP/1.1\r\n"
+                            "Content-Length: 5\r\n"
+                            "Transfer-Encoding: chunked\r\n\r\nhello")
+                    .ok());
+    auto r = raw.ReadResponse();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 400);
+  }
+
+  // A single well-formed Content-Length still works on a fresh
+  // connection — the hardening rejects duplicates, not bodies.
+  HttpClient client = MakeClient();
+  const std::string dr = Login(&client, "dr");
+  auto fine = client.Do("POST", "/v1/search",
+                        Obj({{"terms", Value(Value::Array{Value("x")})}}),
+                        dr);
+  ASSERT_TRUE(fine.ok());
+  EXPECT_EQ(fine->status, 200) << fine->body;
+}
+
+TEST_F(ServerTest, LogoutLeavesNoDistinguishableTrace) {
+  Bootstrap();
+  StartServer();
+  HttpClient client = MakeClient();
+  const std::string dr = Login(&client, "dr");
+
+  // The token works, then logout invalidates it on the very next
+  // request — no grace window.
+  auto live = client.Do("GET", "/v1/health", "", dr);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->status, 200);
+  auto out = client.Do("POST", "/v1/logout", "", dr);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->status, 200);
+
+  // A replayed logged-out token and a token the server never issued
+  // must be indistinguishable: same status, same body, same challenge.
+  auto replayed = client.Do("GET", "/v1/audit", "", dr);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(replayed->status, 401);
+  auto forged = client.Do("GET", "/v1/audit", "",
+                          "0123456789abcdef0123456789abcdef");
+  ASSERT_TRUE(forged.ok());
+  EXPECT_EQ(forged->status, 401);
+  EXPECT_EQ(replayed->body, forged->body);
+  EXPECT_EQ(replayed->headers.count("www-authenticate"),
+            forged->headers.count("www-authenticate"));
+
+  // Logging out twice does not reveal whether the token ever existed.
+  auto relogout = client.Do("POST", "/v1/logout", "", dr);
+  ASSERT_TRUE(relogout.ok());
+  EXPECT_EQ(relogout->status, 401);
+  EXPECT_EQ(relogout->body, forged->body);
 }
 
 TEST_F(ServerTest, KeepAliveServesPipelinedSequentialRequests) {

@@ -11,6 +11,12 @@
 // are an outer proxy's job, outside the vault's tamper-evidence
 // boundary (see DESIGN.md, "Server & admission control").
 //
+// Patients direct their own sharing over the same API: POST/GET
+// /v1/consent grants and lists delegated read access (per-record or
+// patient-wide, time-boxed), POST /v1/consent/revoke kills a grant
+// synchronously; every exercise is audited and lands in the §164.528
+// disclosure accounting under the grantee's identity.
+//
 // A primary always runs the audit-transparency service: an in-process
 // witness cosigns periodic checkpoints (--checkpoint-interval events,
 // polled every --checkpoint-poll-ms) and the server answers

@@ -3,10 +3,12 @@
 # then the crash/fault matrix, the cross-shard stress battery, the
 # observability battery, the media-fault scrub/repair battery, the
 # async-env/group-commit batteries, the HTTP server battery, the
-# verified-replication battery, and the audit-transparency battery
-# (`ctest -L "crash|stress|obs|scrub|env|commit|serve|repl|transparency"`)
+# verified-replication battery, the audit-transparency battery, and the
+# patient-driven-sharing consent battery (`ctest -L
+# "crash|stress|obs|scrub|env|commit|serve|repl|transparency|consent"`)
 # rebuilt under AddressSanitizer and UndefinedBehaviorSanitizer, then the
-# stress + obs + commit + serve + repl + transparency batteries under
+# stress + obs + commit + serve + repl + transparency + consent
+# batteries under
 # ThreadSanitizer — the shared cache / ingest-pool races, the lock-free
 # metrics hot path, the group-commit leader/follower handoff, the
 # acceptor/worker socket hand-off, the cut-under-exclusive-lock vs
@@ -41,9 +43,9 @@ run_config() {
 }
 
 run_config "$prefix" "" ""
-run_config "${prefix}-asan" address "crash|stress|obs|scrub|env|commit|serve|repl|transparency"
-run_config "${prefix}-ubsan" undefined "crash|stress|obs|scrub|env|commit|serve|repl|transparency"
-run_config "${prefix}-tsan" thread "stress|obs|commit|serve|repl|transparency"
+run_config "${prefix}-asan" address "crash|stress|obs|scrub|env|commit|serve|repl|transparency|consent"
+run_config "${prefix}-ubsan" undefined "crash|stress|obs|scrub|env|commit|serve|repl|transparency|consent"
+run_config "${prefix}-tsan" thread "stress|obs|commit|serve|repl|transparency|consent"
 run_config "${prefix}-nouring" "" "env|commit" "-DMEDVAULT_IO_URING=OFF"
 
 echo "smoke suite passed"
